@@ -1,0 +1,341 @@
+//! The *other* regionalization family from the paper's related work (§II):
+//! two-phase clustering methods (Openshaw 1973/1995 style).
+//!
+//! Phase 1 clusters area centroids (optionally extended with attribute
+//! features) with k-means; phase 2 imposes spatial contiguity by splitting
+//! every cluster into its connected components. The result illustrates the
+//! limitation EMP removes: the user must supply the number of clusters `k`
+//! (the spatial scale), no user-defined constraints are honored, and the
+//! contiguity repair typically inflates the region count past `k`.
+
+use emp_core::heterogeneity::total_heterogeneity;
+use emp_core::instance::EmpInstance;
+use emp_core::solution::Solution;
+use emp_graph::ContiguityGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// K-means parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusteringConfig {
+    /// Number of clusters (the spatial scale the user must guess).
+    pub k: usize,
+    /// Lloyd-iteration cap.
+    pub max_iterations: usize,
+    /// Seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        ClusteringConfig {
+            k: 8,
+            max_iterations: 50,
+            seed: 0xC1,
+        }
+    }
+}
+
+/// Clustering-baseline output.
+#[derive(Clone, Debug)]
+pub struct ClusteringReport {
+    /// The contiguity-repaired partition (regions may exceed `k`).
+    pub solution: Solution,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Number of raw clusters before the contiguity split.
+    pub raw_clusters: usize,
+}
+
+/// Runs the two-phase clustering baseline over per-area feature rows
+/// (typically centroid `x`, `y`; attribute columns may be appended).
+/// All areas are assigned (the method has no notion of `U_0`).
+pub fn solve_clustering(
+    instance: &EmpInstance,
+    features: &[Vec<f64>],
+    config: &ClusteringConfig,
+) -> ClusteringReport {
+    let n = instance.len();
+    assert_eq!(features.len(), n, "one feature row per area");
+    assert!(config.k >= 1, "k must be positive");
+    let dim = features.first().map_or(0, Vec::len);
+    debug_assert!(features.iter().all(|f| f.len() == dim));
+
+    // Normalize each feature dimension to [0, 1] so centroids and attributes
+    // mix on equal footing.
+    let normalized = normalize(features, dim);
+
+    // Phase 1: Lloyd's k-means with random-point initialization.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let k = config.k.min(n.max(1));
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let mut centroids: Vec<Vec<f64>> = indices[..k]
+        .iter()
+        .map(|&i| normalized[i].clone())
+        .collect();
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0usize;
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        let mut changed = false;
+        for (i, row) in normalized.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    dist2(row, a)
+                        .partial_cmp(&dist2(row, b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            if assignment[i] != nearest {
+                assignment[i] = nearest;
+                changed = true;
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+        // Recompute centroids; empty clusters keep their previous position.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, row) in normalized.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (s, v) in sums[c].iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for (ctr, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *ctr = s / counts[c] as f64;
+                }
+            }
+        }
+    }
+
+    // Phase 2: impose contiguity — each cluster splits into its connected
+    // components within the contiguity graph.
+    let regions = split_into_components(instance.graph(), &assignment, k);
+    let raw_clusters = {
+        let mut used: Vec<usize> = assignment.clone();
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    };
+
+    let mut out_assignment = vec![None; n];
+    for (ri, members) in regions.iter().enumerate() {
+        for &a in members {
+            out_assignment[a as usize] = Some(ri as u32);
+        }
+    }
+    let heterogeneity = total_heterogeneity(instance.dissimilarity(), &regions);
+    ClusteringReport {
+        solution: Solution {
+            regions,
+            assignment: out_assignment,
+            unassigned: Vec::new(),
+            heterogeneity,
+        },
+        iterations,
+        raw_clusters,
+    }
+}
+
+/// Convenience: clusters on polygon centroids only.
+pub fn solve_clustering_spatial(
+    instance: &EmpInstance,
+    xs: &[f64],
+    ys: &[f64],
+    config: &ClusteringConfig,
+) -> ClusteringReport {
+    let features: Vec<Vec<f64>> = xs.iter().zip(ys).map(|(&x, &y)| vec![x, y]).collect();
+    solve_clustering(instance, &features, config)
+}
+
+fn normalize(features: &[Vec<f64>], dim: usize) -> Vec<Vec<f64>> {
+    let mut mins = vec![f64::INFINITY; dim];
+    let mut maxs = vec![f64::NEG_INFINITY; dim];
+    for row in features {
+        for d in 0..dim {
+            mins[d] = mins[d].min(row[d]);
+            maxs[d] = maxs[d].max(row[d]);
+        }
+    }
+    features
+        .iter()
+        .map(|row| {
+            (0..dim)
+                .map(|d| {
+                    let span = maxs[d] - mins[d];
+                    if span > 0.0 {
+                        (row[d] - mins[d]) / span
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[inline]
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Splits cluster labels into spatially connected regions (sorted members,
+/// regions ordered by smallest member).
+fn split_into_components(
+    graph: &ContiguityGraph,
+    assignment: &[usize],
+    _k: usize,
+) -> Vec<Vec<u32>> {
+    let n = assignment.len();
+    let mut visited = vec![false; n];
+    let mut regions = Vec::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let label = assignment[start];
+        let mut members = Vec::new();
+        let mut stack = vec![start as u32];
+        visited[start] = true;
+        while let Some(v) = stack.pop() {
+            members.push(v);
+            for &w in graph.neighbors(v) {
+                if !visited[w as usize] && assignment[w as usize] == label {
+                    visited[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        members.sort_unstable();
+        regions.push(members);
+    }
+    regions.sort_by_key(|m| m[0]);
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emp_core::attr::AttributeTable;
+    use emp_core::constraint::ConstraintSet;
+    use emp_core::validate::validate_solution;
+    use emp_graph::subgraph::is_connected_subset;
+
+    /// 6x6 lattice with centroid coordinates as features.
+    fn setup() -> (EmpInstance, Vec<f64>, Vec<f64>) {
+        let n = 36;
+        let graph = ContiguityGraph::lattice(6, 6);
+        let mut attrs = AttributeTable::new(n);
+        attrs
+            .push_column("POP", (0..n).map(|i| 100.0 + i as f64).collect())
+            .unwrap();
+        let instance = EmpInstance::new(graph, attrs, "POP").unwrap();
+        let xs: Vec<f64> = (0..n).map(|i| (i % 6) as f64).collect();
+        let ys: Vec<f64> = (0..n).map(|i| (i / 6) as f64).collect();
+        (instance, xs, ys)
+    }
+
+    #[test]
+    fn produces_contiguous_complete_partition() {
+        let (instance, xs, ys) = setup();
+        let report = solve_clustering_spatial(&instance, &xs, &ys, &ClusteringConfig::default());
+        assert!(report.solution.unassigned.is_empty());
+        assert!(report.solution.p() >= report.raw_clusters.min(8));
+        for members in &report.solution.regions {
+            assert!(is_connected_subset(instance.graph(), members));
+        }
+        // A constraint-free validation passes (coverage + contiguity +
+        // heterogeneity bookkeeping).
+        validate_solution(&instance, &ConstraintSet::new(), &report.solution).unwrap();
+    }
+
+    #[test]
+    fn spatial_clusters_are_compactish() {
+        let (instance, xs, ys) = setup();
+        let cfg = ClusteringConfig {
+            k: 4,
+            ..Default::default()
+        };
+        let report = solve_clustering_spatial(&instance, &xs, &ys, &cfg);
+        // Spatially coherent features: contiguity repair rarely splits, so
+        // p stays near k.
+        assert!(report.solution.p() <= 8, "p = {}", report.solution.p());
+    }
+
+    #[test]
+    fn k_equals_one_gives_components() {
+        let (instance, xs, ys) = setup();
+        let cfg = ClusteringConfig {
+            k: 1,
+            ..Default::default()
+        };
+        let report = solve_clustering_spatial(&instance, &xs, &ys, &cfg);
+        assert_eq!(report.solution.p(), 1); // single connected lattice
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (instance, xs, ys) = setup();
+        let a = solve_clustering_spatial(&instance, &xs, &ys, &ClusteringConfig::default());
+        let b = solve_clustering_spatial(&instance, &xs, &ys, &ClusteringConfig::default());
+        assert_eq!(a.solution, b.solution);
+    }
+
+    #[test]
+    fn attribute_features_pull_clusters_apart() {
+        // Two attribute blobs on one lattice: clustering on the attribute
+        // separates them even where space alone would not.
+        let n = 36;
+        let graph = ContiguityGraph::lattice(6, 6);
+        let mut attrs = AttributeTable::new(n);
+        let vals: Vec<f64> = (0..n).map(|i| if i % 6 < 3 { 10.0 } else { 1000.0 }).collect();
+        attrs.push_column("POP", vals.clone()).unwrap();
+        let instance = EmpInstance::new(graph, attrs, "POP").unwrap();
+        let features: Vec<Vec<f64>> = (0..n).map(|i| vec![vals[i]]).collect();
+        let cfg = ClusteringConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let report = solve_clustering(&instance, &features, &cfg);
+        // The two attribute halves are each spatially connected columns, so
+        // exactly two regions emerge.
+        assert_eq!(report.solution.p(), 2);
+    }
+
+    #[test]
+    fn contiguity_repair_inflates_fragmented_clusters() {
+        // Features that interleave spatially (checkerboard parity) force the
+        // repair phase to split clusters into many regions — the weakness
+        // the paper's §II points out.
+        let n = 36;
+        let graph = ContiguityGraph::lattice(6, 6);
+        let mut attrs = AttributeTable::new(n);
+        attrs.push_column("POP", vec![1.0; n]).unwrap();
+        let instance = EmpInstance::new(graph, attrs, "POP").unwrap();
+        let features: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let (x, y) = (i % 6, i / 6);
+                vec![((x + y) % 2) as f64 * 100.0]
+            })
+            .collect();
+        let cfg = ClusteringConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let report = solve_clustering(&instance, &features, &cfg);
+        assert_eq!(report.raw_clusters, 2);
+        // A 4-connected checkerboard has no same-color adjacency: every cell
+        // becomes its own region.
+        assert_eq!(report.solution.p(), 36);
+    }
+}

@@ -1,0 +1,37 @@
+//! # emp-baseline — the classic max-p-regions heuristic
+//!
+//! The EMP paper's Table IV compares FaCT against the state of the art for
+//! the original max-p-regions problem (`MP` rows): a single `SUM(attr) ≥ t`
+//! threshold, all areas assigned, heuristic construction plus tabu search
+//! (Duque, Anselin & Rey 2012; Wei, Rey & Knaap 2020). This crate implements
+//! that baseline from scratch:
+//!
+//! * greedy growing-phase construction — seed a region, absorb unassigned
+//!   neighbors until the threshold is met, repeat; leftover areas become
+//!   enclaves assigned to neighboring regions afterwards;
+//! * multiple construction iterations keeping the best `p`;
+//! * the same tabu local search as FaCT (the baseline's search phase is the
+//!   standard move-based tabu over a fixed `p`).
+//!
+//! ```
+//! use emp_baseline::{solve_mp, MpConfig};
+//! use emp_core::prelude::*;
+//! use emp_graph::ContiguityGraph;
+//!
+//! let graph = ContiguityGraph::lattice(4, 4);
+//! let mut attrs = AttributeTable::new(16);
+//! attrs.push_column("POP", vec![100.0; 16]).unwrap();
+//! let instance = EmpInstance::new(graph, attrs, "POP").unwrap();
+//! let report = solve_mp(&instance, "POP", 250.0, &MpConfig::default()).unwrap();
+//! assert!(report.solution.p() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clustering;
+pub mod mp_regions;
+pub mod skater;
+
+pub use clustering::{solve_clustering, solve_clustering_spatial, ClusteringConfig, ClusteringReport};
+pub use mp_regions::{solve_mp, MpConfig, MpReport};
+pub use skater::{solve_skater, SkaterConfig, SkaterReport};

@@ -1,0 +1,331 @@
+//! The max-p-regions construction heuristic and solver.
+
+use emp_core::constraint::{Constraint, ConstraintSet};
+use emp_core::engine::ConstraintEngine;
+use emp_core::error::EmpError;
+use emp_core::instance::EmpInstance;
+use emp_core::partition::Partition;
+use emp_core::solution::Solution;
+use emp_core::solver::PhaseTimings;
+use emp_core::tabu::{tabu_search, TabuConfig, TabuStats};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// MP-regions tuning parameters, mirroring FaCT's defaults where shared.
+#[derive(Clone, Debug)]
+pub struct MpConfig {
+    /// Construction iterations; the partition with the highest `p` wins.
+    pub construction_iterations: usize,
+    /// Tabu list length.
+    pub tabu_tenure: usize,
+    /// Maximum non-improving tabu iterations (`None` = number of areas).
+    pub max_no_improve: Option<usize>,
+    /// Hard cap on total tabu iterations (`None` = `20 n`).
+    pub max_tabu_iterations: Option<usize>,
+    /// Whether to run the tabu phase.
+    pub local_search: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MpConfig {
+    fn default() -> Self {
+        MpConfig {
+            construction_iterations: 3,
+            tabu_tenure: 10,
+            max_no_improve: None,
+            max_tabu_iterations: None,
+            local_search: true,
+            seed: 0x3A9,
+        }
+    }
+}
+
+impl MpConfig {
+    /// A config with a specific seed.
+    pub fn seeded(seed: u64) -> Self {
+        MpConfig { seed, ..Default::default() }
+    }
+}
+
+/// Solver output: solution plus timing and tabu statistics, shaped like
+/// FaCT's report for side-by-side evaluation.
+#[derive(Clone, Debug)]
+pub struct MpReport {
+    /// The final partition.
+    pub solution: Solution,
+    /// Heterogeneity before local search.
+    pub heterogeneity_before: f64,
+    /// Tabu statistics.
+    pub tabu: TabuStats,
+    /// Phase timings (feasibility slot unused; kept for symmetry).
+    pub timings: PhaseTimings,
+}
+
+impl MpReport {
+    /// Number of regions.
+    pub fn p(&self) -> usize {
+        self.solution.p()
+    }
+}
+
+/// Solves the max-p-regions problem: maximize the number of regions where
+/// every region has `SUM(attr) >= threshold`, all areas assigned where
+/// possible, then minimize heterogeneity.
+pub fn solve_mp(
+    instance: &EmpInstance,
+    attr: &str,
+    threshold: f64,
+    config: &MpConfig,
+) -> Result<MpReport, EmpError> {
+    let constraints = ConstraintSet::new().with(Constraint::sum(attr, threshold, f64::INFINITY)?);
+    let engine = ConstraintEngine::compile(instance, &constraints)?;
+    let col = instance
+        .attributes()
+        .column_index(attr)
+        .ok_or_else(|| EmpError::UnknownAttribute { name: attr.to_string() })?;
+
+    // Feasibility (the classic formulation's only check).
+    let total: f64 = instance.attributes().sum(col);
+    if total < threshold {
+        return Err(EmpError::Infeasible {
+            reasons: vec![format!(
+                "total {attr} = {total} is below the threshold {threshold}"
+            )],
+        });
+    }
+
+    let t0 = Instant::now();
+    let mut best: Option<Partition> = None;
+    for i in 0..config.construction_iterations.max(1) {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
+        let cand = construct(&engine, instance, col, threshold, &mut rng);
+        let replace = match &best {
+            None => true,
+            Some(b) => {
+                (cand.p(), std::cmp::Reverse(cand.unassigned().len()))
+                    > (b.p(), std::cmp::Reverse(b.unassigned().len()))
+            }
+        };
+        if replace {
+            best = Some(cand);
+        }
+    }
+    let mut partition = best.expect("at least one iteration");
+    let construction = t0.elapsed().as_secs_f64();
+    let heterogeneity_before = partition.heterogeneity_with(&engine);
+
+    let t1 = Instant::now();
+    let tabu = if config.local_search {
+        let mut cfg = TabuConfig {
+            tenure: config.tabu_tenure,
+            max_no_improve: config.max_no_improve.unwrap_or(instance.len()),
+            ..TabuConfig::for_instance(instance.len())
+        };
+        if let Some(cap) = config.max_tabu_iterations {
+            cfg.max_iterations = cap;
+        }
+        tabu_search(&engine, &mut partition, &cfg)
+    } else {
+        TabuStats {
+            initial: heterogeneity_before,
+            best: heterogeneity_before,
+            ..Default::default()
+        }
+    };
+    let local_search = t1.elapsed().as_secs_f64();
+
+    Ok(MpReport {
+        solution: Solution::from_partition(&engine, &partition),
+        heterogeneity_before,
+        tabu,
+        timings: PhaseTimings {
+            feasibility: 0.0,
+            construction,
+            local_search,
+        },
+    })
+}
+
+/// One growing-phase construction iteration.
+fn construct(
+    engine: &ConstraintEngine<'_>,
+    instance: &EmpInstance,
+    col: usize,
+    threshold: f64,
+    rng: &mut StdRng,
+) -> Partition {
+    let n = instance.len();
+    let graph = instance.graph();
+    let attrs = instance.attributes();
+    let mut partition = Partition::new(n);
+
+    // Growing phase: seed regions in random order, absorb unassigned
+    // neighbors until the threshold is met.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    for &seed in &order {
+        if !partition.is_unassigned(seed) {
+            continue;
+        }
+        let mut members = vec![seed];
+        let mut sum = attrs.value(col, seed as usize);
+        while sum < threshold {
+            // Unassigned frontier of the growing region.
+            let mut frontier: Vec<u32> = Vec::new();
+            for &m in &members {
+                for &nb in graph.neighbors(m) {
+                    if partition.is_unassigned(nb) && !members.contains(&nb) {
+                        frontier.push(nb);
+                    }
+                }
+            }
+            frontier.sort_unstable();
+            frontier.dedup();
+            // Classic heuristic: absorb the neighbor with the largest
+            // attribute value to reach the threshold quickly (keeps regions
+            // small, maximizing p).
+            let Some(&next) = frontier.iter().max_by(|&&a, &&b| {
+                attrs
+                    .value(col, a as usize)
+                    .partial_cmp(&attrs.value(col, b as usize))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }) else {
+                break;
+            };
+            members.push(next);
+            sum += attrs.value(col, next as usize);
+        }
+        if sum >= threshold {
+            // Commit: mark members assigned.
+            partition.create_region(engine, &members);
+        }
+        // Failed growth leaves the areas unassigned (enclaves).
+    }
+
+    // Enclave assignment: attach leftovers to adjacent regions, choosing the
+    // region whose objective increases least, until a fixpoint.
+    loop {
+        let mut changed = false;
+        let mut enclaves = partition.unassigned();
+        enclaves.shuffle(rng);
+        for a in enclaves {
+            if !partition.is_unassigned(a) {
+                continue;
+            }
+            let candidates = partition.regions_adjacent_to_area(engine, a);
+            let best = candidates.into_iter().min_by(|&r1, &r2| {
+                let d1 = partition.insert_objective_delta(engine, r1, a);
+                let d2 = partition.insert_objective_delta(engine, r2, a);
+                d1.partial_cmp(&d2).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            if let Some(r) = best {
+                partition.add_to_region(engine, r, a);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    partition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emp_core::attr::AttributeTable;
+    use emp_core::validate::validate_solution;
+    use emp_graph::ContiguityGraph;
+    use rand::Rng;
+
+    fn uniform_instance(n_side: usize, value: f64) -> EmpInstance {
+        let n = n_side * n_side;
+        let graph = ContiguityGraph::lattice(n_side, n_side);
+        let mut attrs = AttributeTable::new(n);
+        attrs.push_column("POP", vec![value; n]).unwrap();
+        EmpInstance::new(graph, attrs, "POP").unwrap()
+    }
+
+    fn random_instance(n_side: usize, seed: u64) -> EmpInstance {
+        let n = n_side * n_side;
+        let graph = ContiguityGraph::lattice(n_side, n_side);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut attrs = AttributeTable::new(n);
+        attrs
+            .push_column("POP", (0..n).map(|_| rng.gen_range(50.0..500.0)).collect())
+            .unwrap();
+        attrs
+            .push_column("HH", (0..n).map(|_| rng.gen_range(10.0..100.0)).collect())
+            .unwrap();
+        EmpInstance::new(graph, attrs, "HH").unwrap()
+    }
+
+    #[test]
+    fn uniform_grid_partitions_fully() {
+        // 6x6 grid of 100s with threshold 250 -> regions of 3 areas, p = 12.
+        let inst = uniform_instance(6, 100.0);
+        let report = solve_mp(&inst, "POP", 250.0, &MpConfig::seeded(1)).unwrap();
+        assert!(report.p() >= 10, "p = {}", report.p());
+        assert!(report.solution.unassigned.is_empty());
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 250.0, f64::INFINITY).unwrap());
+        validate_solution(&inst, &set, &report.solution).unwrap();
+    }
+
+    #[test]
+    fn p_respects_theoretical_bound() {
+        // Total = 3600, threshold 1000 -> at most 3 regions.
+        let inst = uniform_instance(6, 100.0);
+        let report = solve_mp(&inst, "POP", 1000.0, &MpConfig::seeded(2)).unwrap();
+        assert!(report.p() <= 3);
+        assert!(report.p() >= 1);
+    }
+
+    #[test]
+    fn infeasible_threshold_errors() {
+        let inst = uniform_instance(3, 1.0);
+        assert!(matches!(
+            solve_mp(&inst, "POP", 100.0, &MpConfig::default()),
+            Err(EmpError::Infeasible { .. })
+        ));
+        assert!(matches!(
+            solve_mp(&inst, "NOPE", 1.0, &MpConfig::default()),
+            Err(EmpError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn local_search_improves_or_preserves() {
+        let inst = random_instance(8, 3);
+        let report = solve_mp(&inst, "POP", 800.0, &MpConfig::seeded(4)).unwrap();
+        assert!(report.solution.heterogeneity <= report.heterogeneity_before + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = random_instance(7, 9);
+        let a = solve_mp(&inst, "POP", 600.0, &MpConfig::seeded(5)).unwrap();
+        let b = solve_mp(&inst, "POP", 600.0, &MpConfig::seeded(5)).unwrap();
+        assert_eq!(a.solution, b.solution);
+    }
+
+    #[test]
+    fn higher_threshold_gives_fewer_regions() {
+        let inst = random_instance(10, 11);
+        let lo = solve_mp(&inst, "POP", 500.0, &MpConfig::seeded(6)).unwrap();
+        let hi = solve_mp(&inst, "POP", 2000.0, &MpConfig::seeded(6)).unwrap();
+        assert!(hi.p() <= lo.p(), "hi {} vs lo {}", hi.p(), lo.p());
+    }
+
+    #[test]
+    fn solution_is_valid_partition() {
+        let inst = random_instance(9, 13);
+        let report = solve_mp(&inst, "POP", 700.0, &MpConfig::seeded(7)).unwrap();
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 700.0, f64::INFINITY).unwrap());
+        validate_solution(&inst, &set, &report.solution).unwrap();
+    }
+}

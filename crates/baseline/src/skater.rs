@@ -1,0 +1,292 @@
+//! Tree-partition regionalization (SKATER-style), the third family in the
+//! paper's related work (§II: "the construction methods include tree
+//! partition [5], [6]" — Assunção et al. 2006; Aydin et al. 2018).
+//!
+//! Phase 1 builds a minimum spanning tree of the contiguity graph with
+//! dissimilarity edge weights `|d_i − d_j|`; phase 2 repeatedly removes the
+//! tree edge whose removal most reduces total within-region heterogeneity,
+//! until `k` regions exist (or no admissible split remains). Regions are
+//! contiguous by construction (subtrees of a spanning tree of the contiguity
+//! graph). Like the clustering family, it needs the region count `k` as
+//! input and supports no enriched constraints beyond an optional minimum
+//! region size — exactly the gap EMP fills.
+
+use emp_core::heterogeneity::{total_heterogeneity, DissimStat};
+use emp_core::instance::EmpInstance;
+use emp_core::solution::Solution;
+use emp_graph::connected_components;
+
+/// Tree-partition parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SkaterConfig {
+    /// Target number of regions (the user-supplied spatial scale).
+    pub k: usize,
+    /// Minimum areas per region; splits violating it are skipped.
+    pub min_region_size: usize,
+}
+
+impl Default for SkaterConfig {
+    fn default() -> Self {
+        SkaterConfig {
+            k: 8,
+            min_region_size: 1,
+        }
+    }
+}
+
+/// Tree-partition output.
+#[derive(Clone, Debug)]
+pub struct SkaterReport {
+    /// The resulting partition (all areas assigned).
+    pub solution: Solution,
+    /// Splits actually performed (`p = components + splits`).
+    pub splits: usize,
+}
+
+/// Runs the SKATER-style baseline. Multi-component graphs get a spanning
+/// forest: each component starts as one region.
+pub fn solve_skater(instance: &EmpInstance, config: &SkaterConfig) -> SkaterReport {
+    let n = instance.len();
+    let graph = instance.graph();
+    let dissim = instance.dissimilarity();
+    assert!(config.k >= 1);
+    assert!(config.min_region_size >= 1);
+
+    // Phase 1: MST/forest via Kruskal over |d_i - d_j| weights.
+    let mut edges: Vec<(f64, u32, u32)> = graph
+        .edges()
+        .map(|(i, j)| ((dissim[i as usize] - dissim[j as usize]).abs(), i, j))
+        .collect();
+    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut dsu = Dsu::new(n);
+    // Tree adjacency.
+    let mut tree: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (_, i, j) in edges {
+        if dsu.union(i as usize, j as usize) {
+            tree[i as usize].push(j);
+            tree[j as usize].push(i);
+        }
+    }
+
+    // Initial regions: the connected components (each spanned by its tree).
+    let comps = connected_components(graph);
+    let mut regions: Vec<Vec<u32>> = comps.members.clone();
+    let mut splits = 0usize;
+
+    // Phase 2: greedy best-cut splitting until k regions.
+    while regions.len() < config.k {
+        let mut best: Option<(usize, u32, u32, f64)> = None; // (region, a, b, reduction)
+        for (ri, members) in regions.iter().enumerate() {
+            if members.len() < 2 * config.min_region_size {
+                continue;
+            }
+            let before = region_h(dissim, members);
+            // Member lookup for the tree walk.
+            let mut sorted = members.clone();
+            sorted.sort_unstable();
+            for &a in members {
+                for &b in &tree[a as usize] {
+                    if a < b && sorted.binary_search(&b).is_ok() {
+                        // Cutting (a, b) splits this subtree in two.
+                        let side = subtree_side(&tree, &sorted, a, b);
+                        if side.len() < config.min_region_size
+                            || members.len() - side.len() < config.min_region_size
+                        {
+                            continue;
+                        }
+                        let other: Vec<u32> = members
+                            .iter()
+                            .copied()
+                            .filter(|m| side.binary_search(m).is_err())
+                            .collect();
+                        let reduction =
+                            before - region_h(dissim, &side) - region_h(dissim, &other);
+                        if best.is_none_or(|(_, _, _, r)| reduction > r) {
+                            best = Some((ri, a, b, reduction));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((ri, a, b, _)) = best else {
+            break; // no admissible split left
+        };
+        let members = regions.swap_remove(ri);
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        let side = subtree_side(&tree, &sorted, a, b);
+        let other: Vec<u32> = members
+            .into_iter()
+            .filter(|m| side.binary_search(m).is_err())
+            .collect();
+        regions.push(side);
+        regions.push(other);
+        splits += 1;
+    }
+
+    regions.iter_mut().for_each(|m| m.sort_unstable());
+    regions.sort_by_key(|m| m[0]);
+    let mut assignment = vec![None; n];
+    for (ri, members) in regions.iter().enumerate() {
+        for &a in members {
+            assignment[a as usize] = Some(ri as u32);
+        }
+    }
+    let heterogeneity = total_heterogeneity(dissim, &regions);
+    SkaterReport {
+        solution: Solution {
+            regions,
+            assignment,
+            unassigned: Vec::new(),
+            heterogeneity,
+        },
+        splits,
+    }
+}
+
+/// Pairwise heterogeneity of one member list.
+fn region_h(dissim: &[f64], members: &[u32]) -> f64 {
+    let vals: Vec<f64> = members.iter().map(|&a| dissim[a as usize]).collect();
+    DissimStat::from_values(&vals).pairwise()
+}
+
+/// The members reachable from `b` in the tree without crossing edge
+/// `(a, b)`, restricted to `sorted` membership. Sorted ascending.
+fn subtree_side(tree: &[Vec<u32>], sorted: &[u32], a: u32, b: u32) -> Vec<u32> {
+    let mut side = Vec::new();
+    let mut stack = vec![b];
+    let mut visited = vec![b];
+    while let Some(v) = stack.pop() {
+        side.push(v);
+        for &w in &tree[v as usize] {
+            if (v == b && w == a) || visited.contains(&w) {
+                continue;
+            }
+            if sorted.binary_search(&w).is_ok() {
+                visited.push(w);
+                stack.push(w);
+            }
+        }
+    }
+    side.sort_unstable();
+    side
+}
+
+/// Disjoint-set union for Kruskal.
+struct Dsu {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            self.parent[x] = self.find(self.parent[x]);
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emp_core::attr::AttributeTable;
+    use emp_core::constraint::ConstraintSet;
+    use emp_core::validate::validate_solution;
+    use emp_graph::subgraph::is_connected_subset;
+    use emp_graph::ContiguityGraph;
+
+    fn instance(dissim: Vec<f64>, w: usize, h: usize) -> EmpInstance {
+        let graph = ContiguityGraph::lattice(w, h);
+        let mut attrs = AttributeTable::new(w * h);
+        attrs
+            .push_column("D", dissim.iter().map(|d| d.abs()).collect())
+            .unwrap();
+        EmpInstance::from_parts(graph, attrs, dissim).unwrap()
+    }
+
+    #[test]
+    fn splits_along_dissimilarity_boundary() {
+        // Left half d=0, right half d=100 on a 6x4 lattice: the first cut
+        // should separate the halves exactly.
+        let dissim: Vec<f64> = (0..24).map(|i| if i % 6 < 3 { 0.0 } else { 100.0 }).collect();
+        let inst = instance(dissim, 6, 4);
+        let report = solve_skater(&inst, &SkaterConfig { k: 2, min_region_size: 1 });
+        assert_eq!(report.solution.p(), 2);
+        assert_eq!(report.splits, 1);
+        assert_eq!(report.solution.heterogeneity, 0.0, "perfect split");
+        for members in &report.solution.regions {
+            assert_eq!(members.len(), 12);
+            assert!(is_connected_subset(inst.graph(), members));
+        }
+    }
+
+    #[test]
+    fn produces_k_contiguous_regions() {
+        let dissim: Vec<f64> = (0..36).map(|i| ((i * 7) % 23) as f64).collect();
+        let inst = instance(dissim, 6, 6);
+        for k in [1usize, 3, 6, 12] {
+            let report = solve_skater(&inst, &SkaterConfig { k, min_region_size: 1 });
+            assert_eq!(report.solution.p(), k, "k = {k}");
+            validate_solution(&inst, &ConstraintSet::new(), &report.solution).unwrap();
+        }
+    }
+
+    #[test]
+    fn min_region_size_limits_splitting() {
+        let dissim: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let inst = instance(dissim, 4, 4);
+        let report = solve_skater(&inst, &SkaterConfig { k: 16, min_region_size: 4 });
+        // 16 areas / min 4 per region -> at most 4 regions.
+        assert!(report.solution.p() <= 4);
+        for members in &report.solution.regions {
+            assert!(members.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn multi_component_starts_from_forest() {
+        let graph = ContiguityGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let mut attrs = AttributeTable::new(6);
+        attrs.push_column("D", vec![1.0; 6]).unwrap();
+        let inst = EmpInstance::new(graph, attrs, "D").unwrap();
+        let report = solve_skater(&inst, &SkaterConfig { k: 2, min_region_size: 1 });
+        assert_eq!(report.solution.p(), 2);
+        assert_eq!(report.splits, 0, "components already satisfy k");
+    }
+
+    #[test]
+    fn heterogeneity_monotone_in_k() {
+        let dissim: Vec<f64> = (0..25).map(|i| ((i * 13) % 31) as f64).collect();
+        let inst = instance(dissim, 5, 5);
+        let mut last = f64::INFINITY;
+        for k in [1usize, 2, 4, 8] {
+            let report = solve_skater(&inst, &SkaterConfig { k, min_region_size: 1 });
+            assert!(report.solution.heterogeneity <= last + 1e-9);
+            last = report.solution.heterogeneity;
+        }
+    }
+}

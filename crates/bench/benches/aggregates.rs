@@ -1,0 +1,50 @@
+//! Ablation bench (DESIGN.md §4.1): incremental region aggregates vs naive
+//! recomputation. FaCT checks constraints after every tentative add/remove;
+//! the incremental `RegionAgg` makes that O(m log k) instead of O(k·m).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use emp_core::constraint::{Constraint, ConstraintSet};
+use emp_core::engine::ConstraintEngine;
+
+fn bench_aggregates(c: &mut Criterion) {
+    let dataset = emp_data::build_sized("agg-bench", 2000);
+    let instance = dataset.to_instance().unwrap();
+    let set = ConstraintSet::new()
+        .with(Constraint::min("POP16UP", f64::NEG_INFINITY, 3000.0).unwrap())
+        .with(Constraint::avg("EMPLOYED", 1500.0, 3500.0).unwrap())
+        .with(Constraint::sum("TOTALPOP", 20000.0, f64::INFINITY).unwrap())
+        .with(Constraint::count(1.0, f64::INFINITY).unwrap());
+    let engine = ConstraintEngine::compile(&instance, &set).unwrap();
+
+    let mut group = c.benchmark_group("aggregates");
+    for &k in &[8usize, 64, 512] {
+        let members: Vec<u32> = (0..k as u32).collect();
+        // Incremental: maintain the aggregate, add/remove one area per probe.
+        group.bench_with_input(BenchmarkId::new("incremental", k), &k, |b, _| {
+            let mut agg = engine.compute_fresh(&members);
+            b.iter(|| {
+                engine.add_area(&mut agg, k as u32);
+                let ok = engine.satisfies_all(black_box(&agg));
+                engine.remove_area(&mut agg, k as u32);
+                black_box(ok)
+            });
+        });
+        // Naive: rebuild from scratch per probe (the ablation baseline).
+        group.bench_with_input(BenchmarkId::new("naive", k), &k, |b, _| {
+            let mut with_extra = members.clone();
+            with_extra.push(k as u32);
+            b.iter(|| {
+                let agg = engine.compute_fresh(black_box(&with_extra));
+                black_box(engine.satisfies_all(&agg))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_aggregates
+}
+criterion_main!(benches);

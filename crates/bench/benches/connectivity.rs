@@ -1,0 +1,46 @@
+//! Ablation bench (DESIGN.md §4.2): answering "is this area safe to remove
+//! from its region?" via one articulation-point precomputation (answers all
+//! members at once) vs a BFS per candidate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use emp_graph::articulation::articulation_points;
+use emp_graph::subgraph::is_connected_after_removal;
+use emp_graph::ContiguityGraph;
+
+fn bench_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity");
+    for &side in &[8usize, 16, 32] {
+        let graph = ContiguityGraph::lattice(side, side);
+        let members: Vec<u32> = (0..(side * side) as u32).collect();
+        group.bench_with_input(
+            BenchmarkId::new("articulation_once", side * side),
+            &side,
+            |b, _| {
+                b.iter(|| black_box(articulation_points(&graph, black_box(&members))));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bfs_per_member", side * side),
+            &side,
+            |b, _| {
+                b.iter(|| {
+                    let mut safe = 0usize;
+                    for &m in &members {
+                        if is_connected_after_removal(&graph, &members, m) {
+                            safe += 1;
+                        }
+                    }
+                    black_box(safe)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_connectivity
+}
+criterion_main!(benches);

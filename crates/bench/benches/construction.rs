@@ -1,0 +1,44 @@
+//! Solver bench: one FaCT construction iteration (feasibility + growing +
+//! adjustments, no tabu) across dataset sizes and constraint combos — the
+//! Criterion counterpart of Figures 14/16.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use emp_bench::presets::{avg_range, Combo};
+use emp_core::{solve, FactConfig};
+
+fn config() -> FactConfig {
+    FactConfig {
+        construction_iterations: 1,
+        local_search: false,
+        seed: 7,
+        ..FactConfig::default()
+    }
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for &n in &[500usize, 1000, 2344] {
+        let dataset = emp_data::build_sized(&format!("bench-{n}"), n);
+        let instance = dataset.to_instance().unwrap();
+        for combo in [Combo::M, Combo::Mas] {
+            let set = combo.build(None, None, None);
+            group.bench_with_input(
+                BenchmarkId::new(combo.label(), n),
+                &n,
+                |b, _| {
+                    b.iter(|| black_box(solve(&instance, &set, &config()).unwrap().p()));
+                },
+            );
+        }
+        // The AVG 3k±1k bottleneck (Figure 16).
+        let hard = Combo::Mas.build(None, Some(avg_range(2000.0, 4000.0)), None);
+        group.bench_with_input(BenchmarkId::new("MAS_avg3k±1k", n), &n, |b, _| {
+            b.iter(|| black_box(solve(&instance, &hard, &config()).unwrap().p()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Substrate bench: rook-contiguity detection over tessellations — the
+//! hashed exact-vertex path vs the geometric (grid-index + overlap) path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use emp_data::tessellation::{generate, TessellationSpec};
+use emp_geo::contiguity::{contiguity_hashed, contiguity_robust, ContiguityKind};
+
+fn bench_contiguity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contiguity");
+    for &n in &[250usize, 1000] {
+        let areas = generate(&TessellationSpec::squareish(n, 42));
+        group.bench_with_input(BenchmarkId::new("hashed_rook", n), &n, |b, _| {
+            b.iter(|| black_box(contiguity_hashed(black_box(&areas), ContiguityKind::Rook)));
+        });
+        group.bench_with_input(BenchmarkId::new("hashed_queen", n), &n, |b, _| {
+            b.iter(|| black_box(contiguity_hashed(black_box(&areas), ContiguityKind::Queen)));
+        });
+        if n <= 250 {
+            group.bench_with_input(BenchmarkId::new("robust_rook", n), &n, |b, _| {
+                b.iter(|| black_box(contiguity_robust(black_box(&areas), ContiguityKind::Rook)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_contiguity
+}
+criterion_main!(benches);

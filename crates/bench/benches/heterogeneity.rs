@@ -1,0 +1,40 @@
+//! Substrate bench: incremental pairwise-dissimilarity maintenance
+//! (`DissimStat`) vs O(k²) brute-force recomputation — the cost model behind
+//! every tabu move evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use emp_core::heterogeneity::DissimStat;
+
+fn brute(values: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..values.len() {
+        for j in (i + 1)..values.len() {
+            acc += (values[i] - values[j]).abs();
+        }
+    }
+    acc
+}
+
+fn bench_heterogeneity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heterogeneity");
+    for &k in &[16usize, 128, 1024] {
+        let values: Vec<f64> = (0..k).map(|i| ((i * 2654435761) % 10007) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("incremental_delta", k), &k, |b, _| {
+            let stat = DissimStat::from_values(&values);
+            b.iter(|| black_box(stat.insert_delta(black_box(5000.0))));
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce_recompute", k), &k, |b, _| {
+            let mut with_extra = values.clone();
+            with_extra.push(5000.0);
+            b.iter(|| black_box(brute(black_box(&with_extra))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_heterogeneity
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Local-search bench: tabu iterations per second on a constructed 2k-ish
+//! partition (the phase dominating FaCT's total runtime in Figures 5-16).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use emp_bench::presets::Combo;
+use emp_core::{solve, FactConfig};
+
+fn bench_tabu(c: &mut Criterion) {
+    let dataset = emp_data::build_sized("tabu-bench", 1000);
+    let instance = dataset.to_instance().unwrap();
+    let set = Combo::Mas.build(None, None, None);
+
+    let mut group = c.benchmark_group("tabu");
+    group.sample_size(10);
+    for &budget in &[50usize, 200] {
+        group.bench_function(format!("no_improve_{budget}"), |b| {
+            b.iter(|| {
+                let config = FactConfig {
+                    construction_iterations: 1,
+                    max_no_improve: Some(budget),
+                    seed: 3,
+                    ..FactConfig::default()
+                };
+                black_box(solve(&instance, &set, &config).unwrap().improvement())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tabu);
+criterion_main!(benches);

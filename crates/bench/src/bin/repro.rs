@@ -1,0 +1,103 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--fast] [--dataset NAME] [--out DIR] [EXPERIMENT...]
+//!
+//!   EXPERIMENT   one or more of: datasets table3 table4 min-runtime avg
+//!                sum-runtime scalability exact ablations all (default: all)
+//!   --fast       small datasets + capped tabu (seconds instead of minutes)
+//!   --dataset    default dataset preset for single-dataset experiments
+//!                (default: 2k, the paper's default)
+//!   --out DIR    output directory (default: results/)
+//! ```
+//!
+//! Each experiment prints its tables and writes `<name>.md` / `<name>.csv`
+//! into the output directory.
+
+use emp_bench::experiments::{registry, ExpContext};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut fast = false;
+    let mut dataset = "2k".to_string();
+    let mut out_dir = PathBuf::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--dataset" => {
+                dataset = args.next().unwrap_or_else(|| usage("--dataset needs a value"));
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a value")));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag '{other}'")),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = registry().iter().map(|e| e.name.to_string()).collect();
+    }
+
+    let mut ctx = if fast { ExpContext::fast() } else { ExpContext::new() };
+    ctx.dataset = dataset;
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let reg = registry();
+    let mut index = String::from("# EMP reproduction results\n\n");
+    for name in &wanted {
+        let Some(exp) = reg.iter().find(|e| e.name == *name) else {
+            usage(&format!("unknown experiment '{name}'"));
+        };
+        eprintln!(">> running {} (covers {})", exp.name, exp.covers);
+        let t0 = Instant::now();
+        let tables = (exp.run)(&ctx);
+        let elapsed = t0.elapsed().as_secs_f64();
+        eprintln!("   done in {elapsed:.1}s ({} tables)", tables.len());
+
+        let mut md = format!("# {} — covers {}\n\n", exp.name, exp.covers);
+        let mut csv = String::new();
+        for t in &tables {
+            println!("{}", t.markdown());
+            md.push_str(&t.markdown());
+            md.push('\n');
+            csv.push_str(&format!("# {}\n{}\n", t.title, t.csv()));
+        }
+        write_file(&out_dir.join(format!("{}.md", exp.name)), &md);
+        write_file(&out_dir.join(format!("{}.csv", exp.name)), &csv);
+        index.push_str(&format!(
+            "- [{}]({}.md) — covers {} ({elapsed:.1}s)\n",
+            exp.name, exp.name, exp.covers
+        ));
+    }
+    write_file(&out_dir.join("INDEX.md"), &index);
+    eprintln!(">> results written to {}", out_dir.display());
+}
+
+fn write_file(path: &PathBuf, content: &str) {
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+    f.write_all(content.as_bytes())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [--fast] [--dataset NAME] [--out DIR] [EXPERIMENT...]\n\
+         experiments: {} all",
+        registry()
+            .iter()
+            .map(|e| e.name)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,181 @@
+//! Ablations for the design choices called out in DESIGN.md §4:
+//! the AVG merge limit, construction iterations, extrema-guided seeding, and
+//! tabu tenure.
+
+use super::ExpContext;
+use crate::presets::{avg_range, Combo};
+use crate::runner::{run_fact, RunOptions};
+use crate::table::{fmt_f, fmt_secs, Table};
+use emp_core::engine::ConstraintEngine;
+use emp_core::feasibility::feasibility_phase;
+use emp_core::grow::region_growing;
+use emp_core::partition::Partition;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Runs all ablations.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    vec![
+        merge_limit(ctx),
+        construction_iterations(ctx),
+        seeding(ctx),
+        tabu_tenure(ctx),
+    ]
+}
+
+/// Ablation 1: the Substep 2.2 merge limit on the hard AVG range (3k±1k).
+fn merge_limit(ctx: &ExpContext) -> Table {
+    let dataset = ctx.default_dataset();
+    let instance = dataset.to_instance().expect("instance");
+    let mut table = Table::new(
+        "Ablation — AVG merge limit (range 3k±1k, paper default 3)",
+        &["merge_limit", "p", "unassigned", "construction_s"],
+    );
+    let set = Combo::A.build(None, Some(avg_range(2000.0, 4000.0)), None);
+    for limit in [0usize, 1, 3, 5, 10] {
+        let config = emp_core::FactConfig {
+            merge_limit: limit,
+            local_search: false,
+            construction_iterations: if ctx.fast { 1 } else { 3 },
+            seed: ctx.seed,
+            ..Default::default()
+        };
+        let report = emp_core::solve(&instance, &set, &config).expect("feasible");
+        table.push_row(vec![
+            limit.to_string(),
+            report.p().to_string(),
+            report.solution.unassigned.len().to_string(),
+            fmt_secs(report.timings.construction),
+        ]);
+    }
+    table
+}
+
+/// Ablation 2: construction iterations (best-of-k random orders).
+fn construction_iterations(ctx: &ExpContext) -> Table {
+    let dataset = ctx.default_dataset();
+    let instance = dataset.to_instance().expect("instance");
+    let mut table = Table::new(
+        "Ablation — construction iterations (keep best p)",
+        &["iterations", "p", "unassigned", "construction_s"],
+    );
+    let set = Combo::Mas.build(None, None, None);
+    for iters in [1usize, 2, 4, 8] {
+        let opts = RunOptions {
+            construction_iterations: iters,
+            local_search: false,
+            seed: ctx.seed,
+            max_no_improve: Some(0),
+            max_tabu_iterations: None,
+        };
+        let m = run_fact(&instance, &set, &opts);
+        table.push_row(vec![
+            iters.to_string(),
+            m.p.to_string(),
+            m.unassigned.to_string(),
+            fmt_secs(m.construction_s),
+        ]);
+    }
+    table
+}
+
+/// Ablation 3: extrema-guided seeding (paper Step 1) vs random seeds of the
+/// same cardinality — shows why MIN/MAX witnesses must seed the regions.
+fn seeding(ctx: &ExpContext) -> Table {
+    let dataset = ctx.default_dataset();
+    let instance = dataset.to_instance().expect("instance");
+    let set = Combo::Ma.build(None, None, None);
+    let engine = ConstraintEngine::compile(&instance, &set).expect("compiles");
+    let report = feasibility_phase(&engine);
+    let mut eligible = vec![true; instance.len()];
+    for &a in &report.invalid_areas {
+        eligible[a as usize] = false;
+    }
+
+    let mut table = Table::new(
+        "Ablation — extrema-guided seeding vs random seeds (MA combo)",
+        &["seeding", "p", "satisfied_regions", "unassigned"],
+    );
+    for mode in ["extrema (paper)", "random"] {
+        let mut rng = StdRng::seed_from_u64(ctx.seed);
+        let seeds: Vec<u32> = if mode == "random" {
+            let mut valid: Vec<u32> = (0..instance.len() as u32)
+                .filter(|&a| eligible[a as usize])
+                .collect();
+            valid.shuffle(&mut rng);
+            valid.truncate(report.seeds.len());
+            valid
+        } else {
+            report.seeds.clone()
+        };
+        let mut partition = Partition::new(instance.len());
+        region_growing(&engine, &mut partition, &seeds, &eligible, 3, &mut rng);
+        let satisfied = partition
+            .region_ids()
+            .filter(|&id| engine.satisfies_all(&partition.region(id).agg))
+            .count();
+        table.push_row(vec![
+            mode.to_string(),
+            partition.p().to_string(),
+            satisfied.to_string(),
+            partition.unassigned().len().to_string(),
+        ]);
+    }
+    table
+}
+
+/// Ablation 4: tabu tenure (paper default 10).
+fn tabu_tenure(ctx: &ExpContext) -> Table {
+    let dataset = ctx.default_dataset();
+    let instance = dataset.to_instance().expect("instance");
+    let set = Combo::Mas.build(None, None, None);
+    let mut table = Table::new(
+        "Ablation — tabu tenure (paper default 10)",
+        &["tenure", "improvement_%", "tabu_s"],
+    );
+    for tenure in [1usize, 5, 10, 20, 50] {
+        let config = emp_core::FactConfig {
+            tabu_tenure: tenure,
+            construction_iterations: if ctx.fast { 1 } else { 3 },
+            max_no_improve: Some(if ctx.fast { 200 } else { 1000 }),
+            seed: ctx.seed,
+            ..Default::default()
+        };
+        let report = emp_core::solve(&instance, &set, &config).expect("feasible");
+        table.push_row(vec![
+            tenure.to_string(),
+            fmt_f((report.improvement() * 1000.0).round() / 10.0),
+            fmt_secs(report.timings.local_search),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_produce_tables() {
+        let ctx = ExpContext::fast();
+        let tables = run(&ctx);
+        assert_eq!(tables.len(), 4);
+        // Merge limit: higher limits never reduce assignment coverage by
+        // much — the 0-limit row should have the most unassigned areas.
+        let ua = |t: &Table, i: usize| t.rows[i][2].parse::<i64>().unwrap();
+        let t0 = &tables[0];
+        assert!(ua(t0, 0) >= ua(t0, 4), "limit 0 {} vs 10 {}", ua(t0, 0), ua(t0, 4));
+        // Iterations: p never decreases with more iterations.
+        let t1 = &tables[1];
+        let p = |i: usize| t1.rows[i][1].parse::<i64>().unwrap();
+        assert!(p(3) >= p(0));
+        // Seeding: the paper's seeding satisfies at least as many regions.
+        let t2 = &tables[2];
+        let sat_paper: i64 = t2.rows[0][2].parse().unwrap();
+        let sat_random: i64 = t2.rows[1][2].parse().unwrap();
+        assert!(sat_paper >= sat_random);
+        // Tenure table parses.
+        assert_eq!(tables[3].rows.len(), 5);
+    }
+}

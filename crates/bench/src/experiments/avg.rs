@@ -1,0 +1,138 @@
+//! Figures 8–11: the AVG constraint study.
+//!
+//! * Figure 8 — distribution of the AVG attribute (`EMPLOYED`).
+//! * Figure 9 — fixed range length 2k, midpoint swept 1k → 4.5k: `p`,
+//!   unassigned areas, and runtime.
+//! * Figure 10 — fixed midpoint 3k, length swept: `p` and unassigned %.
+//! * Figure 11 — runtimes for the length sweep across combos (A/MA/AS/MAS).
+
+use super::ExpContext;
+use crate::presets::{avg_range, Combo};
+use crate::runner::run_fact;
+use crate::table::{fmt_f, fmt_secs, Table};
+use emp_data::attributes::ecdf;
+
+/// Runs the AVG study.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    let dataset = ctx.default_dataset();
+    let instance = dataset.to_instance().expect("preset instance");
+    let n = instance.len();
+    let mut tables = Vec::new();
+
+    // Figure 8: histogram of EMPLOYED.
+    let employed = dataset
+        .attributes
+        .column_by_name("EMPLOYED")
+        .expect("EMPLOYED column");
+    let mut fig8 = Table::new(
+        "Figure 8 — distribution of the AVG attribute (EMPLOYED)",
+        &["bin", "count", "cumulative_%"],
+    );
+    let max = employed.iter().copied().fold(0.0f64, f64::max);
+    let bin_width = 500.0;
+    let bins = ((max / bin_width).ceil() as usize).max(1);
+    for b in 0..bins {
+        let lo = b as f64 * bin_width;
+        let hi = lo + bin_width;
+        let count = employed.iter().filter(|&&v| v >= lo && v < hi).count();
+        fig8.push_row(vec![
+            format!("[{}, {})", fmt_f(lo), fmt_f(hi)),
+            count.to_string(),
+            fmt_f((ecdf(employed, hi) * 1000.0).round() / 10.0),
+        ]);
+    }
+    tables.push(fig8);
+
+    // Figure 9: fixed length 2k, midpoint 1k..4.5k step 0.5k; AVG only.
+    let mut fig9 = Table::new(
+        "Figure 9 — AVG with fixed range length 2k, varying midpoint",
+        &["midpoint", "p", "unassigned", "construction_s", "tabu_s", "improvement_%"],
+    );
+    let opts = ctx.opts(true, n);
+    let mut mid = 1000.0;
+    while mid <= 4500.0 {
+        let set = Combo::A.build(None, Some(avg_range(mid - 1000.0, mid + 1000.0)), None);
+        let m = run_fact(&instance, &set, &opts);
+        fig9.push_row(vec![
+            fmt_f(mid),
+            m.p.to_string(),
+            m.unassigned.to_string(),
+            fmt_secs(m.construction_s),
+            fmt_secs(m.tabu_s),
+            fmt_f((m.improvement * 1000.0).round() / 10.0),
+        ]);
+        mid += 500.0;
+    }
+    tables.push(fig9);
+
+    // Figures 10 & 11: fixed midpoint 3k, length +-0.5k..+-2k, all combos.
+    let lengths = [500.0, 1000.0, 1500.0, 2000.0];
+    let combos = [Combo::A, Combo::Ma, Combo::As, Combo::Mas];
+    let mut fig10 = Table::new(
+        "Figure 10 — AVG with fixed midpoint 3k, varying range length: p and unassigned",
+        &["combo", "range", "p", "unassigned", "unassigned_%"],
+    );
+    let mut fig11 = Table::new(
+        "Figure 11 — runtime for AVG with fixed midpoint 3k, varying range length",
+        &["combo", "range", "construction_s", "tabu_s", "total_s", "improvement_%"],
+    );
+    for combo in combos {
+        for &len in &lengths {
+            let set = combo.build(None, Some(avg_range(3000.0 - len, 3000.0 + len)), None);
+            let m = run_fact(&instance, &set, &opts);
+            let range = format!("3k+-{}", fmt_f(len));
+            fig10.push_row(vec![
+                combo.label().to_string(),
+                range.clone(),
+                m.p.to_string(),
+                m.unassigned.to_string(),
+                fmt_f((m.unassigned as f64 / n as f64 * 1000.0).round() / 10.0),
+            ]);
+            fig11.push_row(vec![
+                combo.label().to_string(),
+                range,
+                fmt_secs(m.construction_s),
+                fmt_secs(m.tabu_s),
+                fmt_secs(m.total_s()),
+                fmt_f((m.improvement * 1000.0).round() / 10.0),
+            ]);
+        }
+    }
+    tables.push(fig10);
+    tables.push(fig11);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_study_shapes() {
+        let ctx = ExpContext::fast();
+        let tables = run(&ctx);
+        assert_eq!(tables.len(), 4);
+        // Figure 8: histogram counts sum to the dataset size.
+        let total: usize = tables[0]
+            .rows
+            .iter()
+            .map(|r| r[1].parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, 400); // fast dataset size
+        // Figure 9: 8 midpoints.
+        assert_eq!(tables[1].rows.len(), 8);
+        // Paper shape: easy midpoints (2k, 2.5k) assign (nearly) everything;
+        // extreme midpoints (>= 4k) leave most areas unassigned.
+        let ua = |i: usize| tables[1].rows[i][2].parse::<usize>().unwrap();
+        let easy = ua(2).min(ua(3)); // midpoints 2k, 2.5k
+        let hard = ua(6).max(ua(7)); // midpoints 4k, 4.5k
+        assert!(easy < hard, "easy {easy} vs hard {hard}");
+        assert!(hard > 200, "most areas unassigned at extreme midpoints");
+        // Figures 10/11: 4 combos x 4 lengths.
+        assert_eq!(tables[2].rows.len(), 16);
+        assert_eq!(tables[3].rows.len(), 16);
+        // Figure 10 shape: longer ranges reduce unassigned areas for A.
+        let ua10 = |i: usize| tables[2].rows[i][3].parse::<usize>().unwrap();
+        assert!(ua10(0) >= ua10(3), "+-0.5k {} vs +-2k {}", ua10(0), ua10(3));
+    }
+}

@@ -1,0 +1,101 @@
+//! The §I MIP study, reproduced with the exact branch-and-bound solver.
+//!
+//! The paper solves EMP's MIP with Gurobi: 33.86 s for 9 areas, ~10 h for
+//! 16 areas, and no solution for 25 areas after 110 h — demonstrating that
+//! exact solving is hopeless beyond toy sizes. We reproduce the *shape*:
+//! node counts and runtimes explode with `n` while FaCT stays instant, and
+//! on instances the exact solver finishes, FaCT's `p` is close to optimal.
+
+use super::ExpContext;
+use crate::presets::Combo;
+use crate::runner::run_fact;
+use crate::table::{fmt_secs, Table};
+use emp_core::instance::EmpInstance;
+use emp_exact::{exact_solve, ExactConfig};
+use std::time::Instant;
+
+/// Grid sizes mirroring the paper's 9 / 16 / 25-area MIP instances.
+const SIZES: [usize; 3] = [9, 16, 25];
+
+/// Runs the study.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    let mut table = Table::new(
+        "Exact study — branch-and-bound vs FaCT (paper §I Gurobi experiment)",
+        &[
+            "areas",
+            "exact_nodes",
+            "exact_time_s",
+            "exact_complete",
+            "optimal_p",
+            "fact_p",
+            "fact_time_s",
+        ],
+    );
+    let budget = if ctx.fast { 2_000_000 } else { 40_000_000 };
+    for &n in &SIZES {
+        let side = (n as f64).sqrt().round() as usize;
+        let instance = grid_instance(side, ctx.seed);
+        // A SUM threshold that forces ~2-3 areas per region.
+        let total: f64 = (0..n as u32)
+            .map(|a| instance.attributes().value(0, a as usize))
+            .sum();
+        let threshold = total / (n as f64 / 2.5);
+        let constraints = Combo::S.build(
+            None,
+            None,
+            Some(emp_core::Constraint::sum("TOTALPOP", threshold, f64::INFINITY).unwrap()),
+        );
+
+        let t0 = Instant::now();
+        let exact = exact_solve(&instance, &constraints, &ExactConfig { max_nodes: budget })
+            .expect("small instance");
+        let exact_time = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let fact = run_fact(&instance, &constraints, &ctx.opts(true, n));
+        let fact_time = t1.elapsed().as_secs_f64();
+
+        table.push_row(vec![
+            n.to_string(),
+            exact.nodes.to_string(),
+            fmt_secs(exact_time),
+            exact.complete.to_string(),
+            exact.solution.p().to_string(),
+            fact.p.to_string(),
+            fmt_secs(fact_time),
+        ]);
+    }
+    vec![table]
+}
+
+/// A small grid instance with the default attribute generator
+/// (`build_sized` keys its RNG off the area count, so this is
+/// deterministic).
+fn grid_instance(side: usize, _seed: u64) -> EmpInstance {
+    let d = emp_data::build_sized(&format!("exact-{side}"), side * side);
+    d.to_instance().expect("instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blow_up_and_near_optimality() {
+        let ctx = ExpContext::fast();
+        let t = run(&ctx).remove(0);
+        assert_eq!(t.rows.len(), 3);
+        let nodes = |i: usize| t.rows[i][1].parse::<u64>().unwrap();
+        // Node counts explode with n (9 -> 16 -> 25 areas).
+        assert!(nodes(0) < nodes(1) && nodes(1) < nodes(2), "{:?}", (nodes(0), nodes(1), nodes(2)));
+        // Where the exact search completed, FaCT is close to optimal.
+        for row in &t.rows {
+            if row[3] == "true" {
+                let opt: i64 = row[4].parse().unwrap();
+                let fact: i64 = row[5].parse().unwrap();
+                assert!(fact <= opt, "heuristic cannot beat the optimum");
+                assert!(fact * 3 >= opt * 2, "fact {fact} far from optimal {opt}");
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Figures 5, 6, 7a, 7b: construction and Tabu runtimes for MIN-constraint
+//! combinations under the three range regimes.
+
+use super::ExpContext;
+use crate::presets::{min_range, Combo};
+use crate::runner::run_fact;
+use crate::table::{fmt_bound, fmt_f, fmt_secs, Table};
+use emp_core::instance::EmpInstance;
+
+const COMBOS: [Combo; 4] = [Combo::M, Combo::Ms, Combo::Ma, Combo::Mas];
+
+/// Runs all four figures.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    let dataset = ctx.default_dataset();
+    let instance = dataset.to_instance().expect("preset instance");
+
+    let fig5 = sweep(
+        ctx,
+        &instance,
+        "Figure 5 — runtime for MIN with l = -inf (seconds)",
+        &[
+            (f64::NEG_INFINITY, 2000.0),
+            (f64::NEG_INFINITY, 3500.0),
+            (f64::NEG_INFINITY, 5000.0),
+        ],
+    );
+    let fig6 = sweep(
+        ctx,
+        &instance,
+        "Figure 6 — runtime for MIN with u = inf (seconds)",
+        &[
+            (2000.0, f64::INFINITY),
+            (3500.0, f64::INFINITY),
+            (5000.0, f64::INFINITY),
+        ],
+    );
+    let fig7a = sweep(
+        ctx,
+        &instance,
+        "Figure 7a — runtime for MIN, bounded ranges, varying length (midpoint 3k)",
+        &[
+            (2500.0, 3500.0),
+            (2000.0, 4000.0),
+            (1500.0, 4500.0),
+            (1000.0, 5000.0),
+        ],
+    );
+    let fig7b = sweep(
+        ctx,
+        &instance,
+        "Figure 7b — runtime for MIN, bounded ranges, varying midpoint (length 1k)",
+        &[
+            (1000.0, 2000.0),
+            (2000.0, 3000.0),
+            (3000.0, 4000.0),
+            (4000.0, 5000.0),
+        ],
+    );
+    vec![fig5, fig6, fig7a, fig7b]
+}
+
+fn sweep(
+    ctx: &ExpContext,
+    instance: &EmpInstance,
+    title: &str,
+    ranges: &[(f64, f64)],
+) -> Table {
+    let opts = ctx.opts(true, instance.len());
+    let mut table = Table::new(
+        title,
+        &["combo", "range", "construction_s", "tabu_s", "total_s", "p", "improvement_%"],
+    );
+    for combo in COMBOS {
+        for &(l, u) in ranges {
+            let set = combo.build(Some(min_range(l, u)), None, None);
+            let m = run_fact(instance, &set, &opts);
+            table.push_row(vec![
+                combo.label().to_string(),
+                format!("[{}, {}]", fmt_bound(l), fmt_bound(u)),
+                fmt_secs(m.construction_s),
+                fmt_secs(m.tabu_s),
+                fmt_secs(m.total_s()),
+                m.p.to_string(),
+                fmt_f((m.improvement * 1000.0).round() / 10.0),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_four_figures_with_all_combos() {
+        let ctx = ExpContext::fast();
+        let tables = run(&ctx);
+        assert_eq!(tables.len(), 4);
+        assert_eq!(tables[0].rows.len(), 4 * 3); // 4 combos x 3 ranges
+        assert_eq!(tables[2].rows.len(), 4 * 4);
+        // All runtimes parse and are non-negative.
+        for t in &tables {
+            for row in &t.rows {
+                let total: f64 = row[4].parse().unwrap();
+                assert!(total >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Figures 14, 15, 16: FaCT scalability across dataset sizes.
+//!
+//! * Figure 14 — 1k…8k with default constraints, combos M/MS/MA/MAS.
+//! * Figure 15 — multi-state 10k…50k, same setup.
+//! * Figure 16 — the AVG bottleneck: range 3k±1k across dataset sizes.
+
+use super::ExpContext;
+use crate::presets::{avg_range, Combo};
+use crate::runner::run_fact;
+use crate::table::{fmt_f, fmt_secs, Table};
+use emp_data::Dataset;
+
+const COMBOS: [Combo; 4] = [Combo::M, Combo::Ms, Combo::Ma, Combo::Mas];
+const AVG_COMBOS: [Combo; 3] = [Combo::Ma, Combo::As, Combo::Mas];
+
+/// Runs the scalability study.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    let mut tables = Vec::new();
+
+    let small: Vec<&'static Dataset> = ctx
+        .small_scale_names()
+        .into_iter()
+        .map(|(name, areas)| ctx.sized(name, areas))
+        .collect();
+    tables.push(sweep(
+        ctx,
+        "Figure 14 — runtime varying datasets (small scale), default constraints",
+        &small,
+        &COMBOS,
+        None,
+    ));
+
+    let large: Vec<&'static Dataset> = ctx
+        .large_scale_names()
+        .into_iter()
+        .map(|(name, areas)| ctx.sized(name, areas))
+        .collect();
+    tables.push(sweep(
+        ctx,
+        "Figure 15 — runtime varying datasets (multi-state scale), default constraints",
+        &large,
+        &COMBOS,
+        None,
+    ));
+
+    // Figure 16: the AVG 3k±1k bottleneck on the small ladder.
+    tables.push(sweep(
+        ctx,
+        "Figure 16 — runtime varying datasets for AVG constraint with range 3k±1k",
+        &small,
+        &AVG_COMBOS,
+        Some(avg_range(2000.0, 4000.0)),
+    ));
+    tables
+}
+
+fn sweep(
+    ctx: &ExpContext,
+    title: &str,
+    datasets: &[&'static Dataset],
+    combos: &[Combo],
+    avg_override: Option<emp_core::Constraint>,
+) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "dataset", "areas", "combo", "construction_s", "tabu_s", "total_s", "p",
+            "unassigned_%",
+        ],
+    );
+    for d in datasets {
+        let instance = d.to_instance().expect("dataset instance");
+        let opts = ctx.opts(true, instance.len());
+        for &combo in combos {
+            let set = combo.build(None, avg_override.clone(), None);
+            let m = run_fact(&instance, &set, &opts);
+            table.push_row(vec![
+                d.name.clone(),
+                d.len().to_string(),
+                combo.label().to_string(),
+                fmt_secs(m.construction_s),
+                fmt_secs(m.tabu_s),
+                fmt_secs(m.total_s()),
+                m.p.to_string(),
+                fmt_f((m.unassigned as f64 / d.len() as f64 * 1000.0).round() / 10.0),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalability_shapes() {
+        let ctx = ExpContext::fast();
+        let tables = run(&ctx);
+        assert_eq!(tables.len(), 3);
+        // Fast ladder: 3 sizes x 4 combos.
+        assert_eq!(tables[0].rows.len(), 12);
+        // Construction time grows with dataset size for the M combo
+        // (allowing timer noise at tiny sizes via a generous factor).
+        let m_rows: Vec<&Vec<String>> = tables[0]
+            .rows
+            .iter()
+            .filter(|r| r[2] == "M")
+            .collect();
+        let first: f64 = m_rows.first().unwrap()[3].parse().unwrap();
+        let last: f64 = m_rows.last().unwrap()[3].parse().unwrap();
+        assert!(last >= first * 0.5, "construction should not shrink wildly");
+        // Figure 16 uses the AVG combos only.
+        assert_eq!(tables[2].rows.len(), 3 * 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Figures 12 and 13: runtimes for SUM-constraint combinations, including
+//! the MP-regions baseline on the shared open-ended thresholds.
+
+use super::ExpContext;
+use crate::presets::{sum_range, Combo};
+use crate::runner::{run_fact, run_mp};
+use crate::table::{fmt_bound, fmt_f, fmt_secs, Table};
+
+const COMBOS: [Combo; 4] = [Combo::S, Combo::Ms, Combo::As, Combo::Mas];
+
+/// Runs both figures.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    let dataset = ctx.default_dataset();
+    let instance = dataset.to_instance().expect("preset instance");
+    let opts = ctx.opts(true, instance.len());
+
+    // Figure 12: u = inf, l in {1k, 10k, 20k, 30k, 40k}; MP vs FaCT combos.
+    let open_ranges = [1000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0];
+    let mut fig12 = Table::new(
+        "Figure 12 — runtime for SUM with u = inf (seconds)",
+        &["method", "l", "construction_s", "tabu_s", "total_s", "p", "improvement_%"],
+    );
+    for &l in &open_ranges {
+        let m = run_mp(&instance, l, &opts);
+        fig12.push_row(vec![
+            "MP".into(),
+            fmt_bound(l),
+            fmt_secs(m.construction_s),
+            fmt_secs(m.tabu_s),
+            fmt_secs(m.total_s()),
+            m.p.to_string(),
+            fmt_f((m.improvement * 1000.0).round() / 10.0),
+        ]);
+    }
+    for combo in COMBOS {
+        for &l in &open_ranges {
+            let set = combo.build(None, None, Some(sum_range(l, f64::INFINITY)));
+            let m = run_fact(&instance, &set, &opts);
+            fig12.push_row(vec![
+                combo.label().to_string(),
+                fmt_bound(l),
+                fmt_secs(m.construction_s),
+                fmt_secs(m.tabu_s),
+                fmt_secs(m.total_s()),
+                m.p.to_string(),
+                fmt_f((m.improvement * 1000.0).round() / 10.0),
+            ]);
+        }
+    }
+
+    // Figure 13: bounded ranges around midpoint 20k with changing length.
+    let bounded = [(15_000.0, 25_000.0), (10_000.0, 30_000.0), (5_000.0, 35_000.0)];
+    let mut fig13 = Table::new(
+        "Figure 13 — runtime for SUM with a changing range length (seconds)",
+        &["combo", "range", "construction_s", "tabu_s", "total_s", "p", "unassigned_%"],
+    );
+    let n = instance.len() as f64;
+    for combo in COMBOS {
+        for &(l, u) in &bounded {
+            let set = combo.build(None, None, Some(sum_range(l, u)));
+            let m = run_fact(&instance, &set, &opts);
+            fig13.push_row(vec![
+                combo.label().to_string(),
+                format!("[{}, {}]", fmt_bound(l), fmt_bound(u)),
+                fmt_secs(m.construction_s),
+                fmt_secs(m.tabu_s),
+                fmt_secs(m.total_s()),
+                m.p.to_string(),
+                fmt_f((m.unassigned as f64 / n * 1000.0).round() / 10.0),
+            ]);
+        }
+    }
+    vec![fig12, fig13]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_runtime_shapes() {
+        let ctx = ExpContext::fast();
+        let tables = run(&ctx);
+        assert_eq!(tables.len(), 2);
+        // Figure 12: 5 MP rows + 4 combos x 5 thresholds.
+        assert_eq!(tables[0].rows.len(), 5 + 20);
+        // p decreases with l within the MP rows.
+        let p = |i: usize| tables[0].rows[i][5].parse::<i64>().unwrap();
+        assert!(p(0) >= p(4), "MP p falls with l: {} vs {}", p(0), p(4));
+        // Figure 13: 4 combos x 3 ranges.
+        assert_eq!(tables[1].rows.len(), 12);
+        // Bounded upper bounds can leave areas unassigned for combos (the
+        // paper reports up to 25.1%); the cell must parse.
+        for row in &tables[1].rows {
+            let ua: f64 = row[6].parse().unwrap();
+            assert!((0.0..=100.0).contains(&ua));
+        }
+    }
+}

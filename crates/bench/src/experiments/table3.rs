@@ -1,0 +1,78 @@
+//! Table III: `p` values for MIN-constraint combinations (M / MS / MA / MAS)
+//! across the 14 threshold ranges.
+//!
+//! The local-search phase never changes `p`, so these runs skip it.
+
+use super::ExpContext;
+use crate::presets::{min_range, table3_ranges, Combo};
+use crate::runner::run_fact;
+use crate::table::{fmt_bound, Table};
+
+/// The combos of Table III, in paper row order.
+pub const COMBOS: [Combo; 4] = [Combo::M, Combo::Ms, Combo::Ma, Combo::Mas];
+
+/// Runs the sweep.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    let dataset = ctx.default_dataset();
+    let instance = dataset.to_instance().expect("preset instance");
+    let opts = {
+        let mut o = ctx.opts(false, instance.len());
+        o.local_search = false;
+        o
+    };
+
+    let ranges = table3_ranges();
+    let mut headers: Vec<&str> = vec!["combo"];
+    let range_labels: Vec<String> = ranges
+        .iter()
+        .map(|&(l, u)| format!("[{}, {}]", fmt_bound(l), fmt_bound(u)))
+        .collect();
+    headers.extend(range_labels.iter().map(String::as_str));
+    let mut table = Table::new(
+        format!(
+            "Table III — p values for MIN constraint combinations ({} dataset)",
+            dataset.name
+        ),
+        &headers,
+    );
+
+    for combo in COMBOS {
+        let mut row = vec![combo.label().to_string()];
+        for &(l, u) in &ranges {
+            let set = combo.build(Some(min_range(l, u)), None, None);
+            let m = run_fact(&instance, &set, &opts);
+            row.push(m.p.to_string());
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_trends_match_paper() {
+        // Paper trends on the l = -inf columns: p(M) grows with u, and
+        // adding constraints can only reduce p (M >= MA >= MAS and
+        // M >= MS >= MAS column-wise).
+        let ctx = ExpContext::fast();
+        let tables = run(&ctx);
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 4);
+        let p = |row: usize, col: usize| -> i64 { t.rows[row][col + 1].parse().unwrap() };
+        // Columns 0..3 are u = 2k, 3.5k, 5k with l = -inf.
+        assert!(p(0, 0) <= p(0, 1) && p(0, 1) <= p(0, 2), "p(M) grows with u");
+        for col in 0..14 {
+            // p(M) equals the seed count, an upper bound for every combo.
+            assert!(p(0, col) >= p(2, col), "M >= MA at col {col}");
+            assert!(p(0, col) >= p(1, col), "M >= MS at col {col}");
+            assert!(p(0, col) >= p(3, col), "M >= MAS at col {col}");
+        }
+        // u = inf columns (3..6): p decreases as l grows.
+        assert!(p(0, 3) >= p(0, 4) && p(0, 4) >= p(0, 5), "p(M) falls with l");
+        // Bounded ranges with growing length (6..10): p grows.
+        assert!(p(0, 6) <= p(0, 9), "longer range, more seeds");
+    }
+}

@@ -1,0 +1,29 @@
+//! # emp-bench — reproduction harness for the EMP paper's evaluation
+//!
+//! Regenerates **every table and figure** of "EMP: Max-P Regionalization with
+//! Enriched Constraints" (ICDE 2022) on the synthetic datasets:
+//!
+//! * [`experiments`] — one module per paper artifact (Tables I–IV, Figures
+//!   5–16, the §I MIP study) plus design-choice ablations;
+//! * [`presets`] — the paper's default constraints (Table II) and the combo
+//!   / range sweeps of §VII-B;
+//! * [`runner`] — shared measurement plumbing for FaCT and the MP baseline;
+//! * the `repro` binary — CLI entry point writing Markdown + CSV under
+//!   `results/`;
+//! * Criterion benches (`benches/`) — micro-benchmarks of the hot paths and
+//!   the incremental-vs-naive ablations.
+//!
+//! Absolute numbers differ from the paper (different hardware, synthetic
+//! data); the *shapes* — who wins, monotone trends, where the AVG 3k±1k
+//! bottleneck bites — are the reproduction target. See `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod presets;
+pub mod runner;
+pub mod table;
+
+pub use experiments::{registry, ExpContext, Experiment};
+pub use runner::{run_fact, run_mp, DatasetCache, Measurement, RunOptions};
+pub use table::Table;

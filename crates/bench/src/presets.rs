@@ -1,0 +1,180 @@
+//! Constraint presets and combination builders mirroring the paper's
+//! experimental setup (Table II and §VII-B).
+
+use emp_core::constraint::{Constraint, ConstraintSet};
+
+/// Default MIN constraint: `MIN(POP16UP) <= 3000` (Table II).
+pub fn default_min() -> Constraint {
+    Constraint::min("POP16UP", f64::NEG_INFINITY, 3000.0).expect("valid")
+}
+
+/// Default AVG constraint: `AVG(EMPLOYED) in [1500, 3500]` (Table II).
+pub fn default_avg() -> Constraint {
+    Constraint::avg("EMPLOYED", 1500.0, 3500.0).expect("valid")
+}
+
+/// Default SUM constraint: `SUM(TOTALPOP) >= 20000` (Table II).
+pub fn default_sum() -> Constraint {
+    Constraint::sum("TOTALPOP", 20000.0, f64::INFINITY).expect("valid")
+}
+
+/// A MIN constraint over `POP16UP` with custom bounds.
+pub fn min_range(low: f64, high: f64) -> Constraint {
+    Constraint::min("POP16UP", low, high).expect("valid")
+}
+
+/// An AVG constraint over `EMPLOYED` with custom bounds.
+pub fn avg_range(low: f64, high: f64) -> Constraint {
+    Constraint::avg("EMPLOYED", low, high).expect("valid")
+}
+
+/// A SUM constraint over `TOTALPOP` with custom bounds.
+pub fn sum_range(low: f64, high: f64) -> Constraint {
+    Constraint::sum("TOTALPOP", low, high).expect("valid")
+}
+
+/// The constraint-combination labels used throughout §VII-B.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Combo {
+    /// MIN only.
+    M,
+    /// MIN + SUM.
+    Ms,
+    /// MIN + AVG.
+    Ma,
+    /// MIN + AVG + SUM.
+    Mas,
+    /// SUM only.
+    S,
+    /// AVG + SUM.
+    As,
+    /// AVG only.
+    A,
+}
+
+impl Combo {
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Combo::M => "M",
+            Combo::Ms => "MS",
+            Combo::Ma => "MA",
+            Combo::Mas => "MAS",
+            Combo::S => "S",
+            Combo::As => "AS",
+            Combo::A => "A",
+        }
+    }
+
+    /// Builds the constraint set for this combo, overriding the varied
+    /// constraint and keeping the others at Table II defaults.
+    ///
+    /// `min`, `avg`, `sum`: `None` keeps the default for combos that include
+    /// that constraint type.
+    pub fn build(
+        self,
+        min: Option<Constraint>,
+        avg: Option<Constraint>,
+        sum: Option<Constraint>,
+    ) -> ConstraintSet {
+        let mut set = ConstraintSet::new();
+        let (has_m, has_a, has_s) = match self {
+            Combo::M => (true, false, false),
+            Combo::Ms => (true, false, true),
+            Combo::Ma => (true, true, false),
+            Combo::Mas => (true, true, true),
+            Combo::S => (false, false, true),
+            Combo::As => (false, true, true),
+            Combo::A => (false, true, false),
+        };
+        if has_m {
+            set.push(min.unwrap_or_else(default_min));
+        }
+        if has_a {
+            set.push(avg.unwrap_or_else(default_avg));
+        }
+        if has_s {
+            set.push(sum.unwrap_or_else(default_sum));
+        }
+        set
+    }
+}
+
+/// Table III's MIN range sweep: `l = -inf` columns, `u = inf` columns, and
+/// the bounded ranges, in paper order.
+pub fn table3_ranges() -> Vec<(f64, f64)> {
+    vec![
+        (f64::NEG_INFINITY, 2000.0),
+        (f64::NEG_INFINITY, 3500.0),
+        (f64::NEG_INFINITY, 5000.0),
+        (2000.0, f64::INFINITY),
+        (3500.0, f64::INFINITY),
+        (5000.0, f64::INFINITY),
+        (2500.0, 3500.0),
+        (2000.0, 4000.0),
+        (1500.0, 4500.0),
+        (1000.0, 5000.0),
+        (1000.0, 2000.0),
+        (2000.0, 3000.0),
+        (3000.0, 4000.0),
+        (4000.0, 5000.0),
+    ]
+}
+
+/// Table IV's SUM range sweep.
+pub fn table4_ranges() -> Vec<(f64, f64)> {
+    vec![
+        (1000.0, f64::INFINITY),
+        (10000.0, f64::INFINITY),
+        (20000.0, f64::INFINITY),
+        (30000.0, f64::INFINITY),
+        (40000.0, f64::INFINITY),
+        (15000.0, 25000.0),
+        (10000.0, 30000.0),
+        (5000.0, 35000.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emp_core::constraint::Aggregate;
+
+    #[test]
+    fn defaults_match_table2() {
+        let m = default_min();
+        assert_eq!(m.aggregate, Aggregate::Min);
+        assert_eq!(m.attribute, "POP16UP");
+        assert_eq!(m.high, 3000.0);
+        let a = default_avg();
+        assert_eq!((a.low, a.high), (1500.0, 3500.0));
+        let s = default_sum();
+        assert_eq!(s.low, 20000.0);
+    }
+
+    #[test]
+    fn combo_builds() {
+        let mas = Combo::Mas.build(None, None, None);
+        assert_eq!(mas.len(), 3);
+        assert!(mas.has(Aggregate::Min) && mas.has(Aggregate::Avg) && mas.has(Aggregate::Sum));
+        let m = Combo::M.build(Some(min_range(1000.0, 2000.0)), None, None);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.constraints()[0].low, 1000.0);
+        let s = Combo::S.build(None, None, Some(sum_range(0.0, 5.0)));
+        assert_eq!(s.constraints()[0].high, 5.0);
+        assert_eq!(Combo::As.build(None, None, None).len(), 2);
+        assert_eq!(Combo::A.build(None, None, None).len(), 1);
+    }
+
+    #[test]
+    fn sweeps_match_paper_counts() {
+        assert_eq!(table3_ranges().len(), 14);
+        assert_eq!(table4_ranges().len(), 8);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Combo::Mas.label(), "MAS");
+        assert_eq!(Combo::Ms.label(), "MS");
+    }
+}

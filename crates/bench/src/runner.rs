@@ -1,0 +1,236 @@
+//! Shared experiment runner: solve instances, collect measurement rows.
+
+use emp_baseline::{solve_mp, MpConfig};
+use emp_core::constraint::ConstraintSet;
+use emp_core::instance::EmpInstance;
+use emp_core::solver::{solve, FactConfig};
+use emp_data::Dataset;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Measurement of one solver run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Measurement {
+    /// Number of regions.
+    pub p: usize,
+    /// Unassigned-area count.
+    pub unassigned: usize,
+    /// Construction-phase seconds (incl. feasibility).
+    pub construction_s: f64,
+    /// Local-search seconds.
+    pub tabu_s: f64,
+    /// Heterogeneity improvement ratio from the local search.
+    pub improvement: f64,
+    /// Final heterogeneity.
+    pub heterogeneity: f64,
+}
+
+impl Measurement {
+    /// Total runtime.
+    pub fn total_s(&self) -> f64 {
+        self.construction_s + self.tabu_s
+    }
+}
+
+/// Harness-wide run options.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Solver seed.
+    pub seed: u64,
+    /// Construction iterations.
+    pub construction_iterations: usize,
+    /// Run the tabu phase (p-only experiments can skip it).
+    pub local_search: bool,
+    /// Cap on non-improving tabu iterations; `None` = the paper's `n`.
+    /// Large datasets use a cap so the harness finishes in minutes (noted in
+    /// EXPERIMENTS.md).
+    pub max_no_improve: Option<usize>,
+    /// Hard cap on total tabu iterations (`None` = `20 n`).
+    pub max_tabu_iterations: Option<usize>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            seed: 20_22,
+            construction_iterations: 3,
+            local_search: true,
+            max_no_improve: None,
+            max_tabu_iterations: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options for p-value tables (no local search needed: tabu keeps `p`).
+    pub fn p_only() -> Self {
+        RunOptions {
+            local_search: false,
+            ..Default::default()
+        }
+    }
+
+    /// Effective tabu cap for an instance of `n` areas.
+    pub fn effective_no_improve(&self, n: usize) -> usize {
+        self.max_no_improve.unwrap_or(n)
+    }
+}
+
+/// Runs FaCT and converts the report into a [`Measurement`].
+pub fn run_fact(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    opts: &RunOptions,
+) -> Measurement {
+    let config = FactConfig {
+        construction_iterations: opts.construction_iterations,
+        max_no_improve: Some(opts.effective_no_improve(instance.len())),
+        max_tabu_iterations: opts.max_tabu_iterations,
+        local_search: opts.local_search,
+        seed: opts.seed,
+        ..FactConfig::default()
+    };
+    match solve(instance, constraints, &config) {
+        Ok(report) => Measurement {
+            p: report.p(),
+            unassigned: report.solution.unassigned.len(),
+            construction_s: report.timings.feasibility + report.timings.construction,
+            tabu_s: report.timings.local_search,
+            improvement: report.improvement(),
+            heterogeneity: report.solution.heterogeneity,
+        },
+        // Infeasible query: report zeros (the paper reports such cells as
+        // empty / p = 0).
+        Err(_) => Measurement::default(),
+    }
+}
+
+/// Runs the MP-regions baseline with a single `SUM(TOTALPOP) >= threshold`.
+pub fn run_mp(instance: &EmpInstance, threshold: f64, opts: &RunOptions) -> Measurement {
+    let config = MpConfig {
+        construction_iterations: opts.construction_iterations,
+        max_no_improve: Some(opts.effective_no_improve(instance.len())),
+        max_tabu_iterations: opts.max_tabu_iterations,
+        local_search: opts.local_search,
+        seed: opts.seed,
+        ..MpConfig::default()
+    };
+    match solve_mp(instance, "TOTALPOP", threshold, &config) {
+        Ok(report) => Measurement {
+            p: report.p(),
+            unassigned: report.solution.unassigned.len(),
+            construction_s: report.timings.construction,
+            tabu_s: report.timings.local_search,
+            improvement: report.tabu.improvement(),
+            heterogeneity: report.solution.heterogeneity,
+        },
+        Err(_) => Measurement::default(),
+    }
+}
+
+/// A process-wide dataset cache: experiments share the (deterministic)
+/// presets instead of regenerating tessellations per table.
+pub struct DatasetCache {
+    cache: Mutex<HashMap<String, &'static Dataset>>,
+}
+
+impl DatasetCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        DatasetCache {
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the preset dataset, building (and leaking) it on first use.
+    /// Leaking is deliberate: the harness is a short-lived process and the
+    /// datasets live for its duration anyway.
+    pub fn get(&self, name: &str) -> &'static Dataset {
+        let mut cache = self.cache.lock().expect("cache lock");
+        if let Some(d) = cache.get(name) {
+            return d;
+        }
+        let built = emp_data::build_preset(name)
+            .unwrap_or_else(|| panic!("unknown dataset preset '{name}'"));
+        let leaked: &'static Dataset = Box::leak(Box::new(built));
+        cache.insert(name.to_string(), leaked);
+        leaked
+    }
+
+    /// Returns a dataset of an arbitrary size keyed by `name`, building it
+    /// with [`emp_data::build_sized`] on first use.
+    pub fn get_or_build(&self, name: &str, areas: usize) -> &'static Dataset {
+        let mut cache = self.cache.lock().expect("cache lock");
+        if let Some(d) = cache.get(name) {
+            return d;
+        }
+        let leaked: &'static Dataset = Box::leak(Box::new(emp_data::build_sized(name, areas)));
+        cache.insert(name.to_string(), leaked);
+        leaked
+    }
+}
+
+impl Default for DatasetCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Combo;
+
+    #[test]
+    fn fact_and_mp_run_on_small_dataset() {
+        let d = emp_data::build_sized("t", 150);
+        let inst = d.to_instance().unwrap();
+        let opts = RunOptions {
+            max_no_improve: Some(50),
+            ..RunOptions::default()
+        };
+        let set = Combo::Mas.build(None, None, None);
+        let m = run_fact(&inst, &set, &opts);
+        assert!(m.p > 0);
+        assert!(m.total_s() > 0.0);
+        let b = run_mp(&inst, 20_000.0, &opts);
+        assert!(b.p > 0);
+    }
+
+    #[test]
+    fn p_only_skips_tabu() {
+        let d = emp_data::build_sized("t", 120);
+        let inst = d.to_instance().unwrap();
+        let m = run_fact(&inst, &Combo::M.build(None, None, None), &RunOptions::p_only());
+        assert!(m.tabu_s < 1e-3, "skipped tabu should be ~instant");
+        assert_eq!(m.improvement, 0.0);
+    }
+
+    #[test]
+    fn infeasible_yields_default() {
+        let d = emp_data::build_sized("t", 50);
+        let inst = d.to_instance().unwrap();
+        let set = Combo::S.build(None, None, Some(crate::presets::sum_range(1e15, f64::INFINITY)));
+        let m = run_fact(&inst, &set, &RunOptions::p_only());
+        assert_eq!(m.p, 0);
+    }
+
+    #[test]
+    fn cache_returns_same_dataset() {
+        let cache = DatasetCache::new();
+        let a = cache.get("1k") as *const Dataset;
+        let b = cache.get("1k") as *const Dataset;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn effective_cap() {
+        let o = RunOptions::default();
+        assert_eq!(o.effective_no_improve(500), 500);
+        let o = RunOptions {
+            max_no_improve: Some(100),
+            ..RunOptions::default()
+        };
+        assert_eq!(o.effective_no_improve(500), 100);
+    }
+}

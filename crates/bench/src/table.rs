@@ -1,0 +1,127 @@
+//! Result tables: the common output format of every experiment.
+
+use std::fmt::Write as _;
+
+/// A titled table of strings, renderable as Markdown or CSV.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Experiment/table title (e.g. `"Table III — p values for MIN"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must match `headers` in length.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders GitHub-flavored Markdown.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV (no quoting: cells must not contain commas).
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float compactly (3 significant decimals, no trailing zeros).
+pub fn fmt_f(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.3}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+/// Formats seconds with millisecond resolution.
+pub fn fmt_secs(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a bound that may be infinite, in the paper's style (`-inf`, `5k`).
+pub fn fmt_bound(v: f64) -> String {
+    if v == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else if v == f64::INFINITY {
+        "inf".to_string()
+    } else if v.abs() >= 1000.0 && (v / 100.0) == (v / 100.0).trunc() {
+        // Paper style: 2k, 3.5k, 20k.
+        format!("{}k", fmt_f(v / 1000.0))
+    } else {
+        fmt_f(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        let csv = t.csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(3.0), "3");
+        assert_eq!(fmt_f(1.23456), "1.235");
+        assert_eq!(fmt_f(2.5), "2.5");
+        assert_eq!(fmt_secs(1.23456), "1.235");
+    }
+
+    #[test]
+    fn bound_formatting() {
+        assert_eq!(fmt_bound(f64::NEG_INFINITY), "-inf");
+        assert_eq!(fmt_bound(f64::INFINITY), "inf");
+        assert_eq!(fmt_bound(3500.0), "3.5k"); // 3500/1000 = 3.5, not integer
+        assert_eq!(fmt_bound(2000.0), "2k");
+        assert_eq!(fmt_bound(150.0), "150");
+    }
+}

@@ -1,0 +1,463 @@
+//! Step 3 of the construction phase: **Monotonic Adjustments** (paper §V-B).
+//!
+//! Satisfies the SUM and COUNT constraints while preserving everything Step 2
+//! established. Because counting aggregates are monotonic over non-negative
+//! attributes, under-filled regions are grown (swaps, then merges) and
+//! over-filled regions are shrunk (swaps, then removals to `U_0`); regions
+//! that remain infeasible are dissolved.
+
+use crate::constraint::Aggregate;
+use crate::engine::{ConstraintEngine, RegionAgg};
+use crate::partition::{Partition, RegionId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Whether all MIN/MAX/AVG constraints hold.
+fn non_counting_ok(engine: &ConstraintEngine<'_>, agg: &RegionAgg) -> bool {
+    engine
+        .indices_of(Aggregate::Min)
+        .iter()
+        .chain(engine.indices_of(Aggregate::Max))
+        .chain(engine.indices_of(Aggregate::Avg))
+        .all(|&ci| engine.satisfied(agg, ci))
+}
+
+fn counting_indices(engine: &ConstraintEngine<'_>) -> Vec<usize> {
+    engine
+        .indices_of(Aggregate::Sum)
+        .iter()
+        .chain(engine.indices_of(Aggregate::Count))
+        .copied()
+        .collect()
+}
+
+/// Whether every counting constraint's *upper* bound holds.
+fn counting_upper_ok(engine: &ConstraintEngine<'_>, agg: &RegionAgg, counting: &[usize]) -> bool {
+    counting
+        .iter()
+        .all(|&ci| engine.value(agg, ci) <= engine.constraints()[ci].high)
+}
+
+/// Whether every counting constraint's *lower* bound holds.
+fn counting_lower_ok(engine: &ConstraintEngine<'_>, agg: &RegionAgg, counting: &[usize]) -> bool {
+    counting
+        .iter()
+        .all(|&ci| engine.value(agg, ci) >= engine.constraints()[ci].low)
+}
+
+/// Runs Step 3. No-op when the query has no SUM/COUNT constraints
+/// (paper §V-D).
+pub fn monotonic_adjustments<R: Rng>(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    rng: &mut R,
+) {
+    let counting = counting_indices(engine);
+    if counting.is_empty() {
+        return;
+    }
+    // "Each area is swapped at most once" — the paper's termination argument.
+    let mut swapped = vec![false; partition.len()];
+
+    // Pass 1: swap boundary areas with neighbor regions.
+    let ids: Vec<RegionId> = partition.region_ids().collect();
+    for id in ids {
+        if !partition.is_live(id) {
+            continue;
+        }
+        pull_swaps(engine, partition, id, &counting, &mut swapped, rng);
+        if partition.is_live(id) {
+            push_swaps(engine, partition, id, &counting, &mut swapped, rng);
+        }
+    }
+
+    // Pass 2: merge regions still below lower bounds.
+    merge_underfilled(engine, partition, &counting);
+
+    // Pass 3: shed areas from regions still above upper bounds.
+    let ids: Vec<RegionId> = partition.region_ids().collect();
+    for id in ids {
+        if partition.is_live(id) {
+            shed_overfilled(engine, partition, id, &counting);
+        }
+    }
+
+    // Pass 4: dissolve regions that remain infeasible.
+    let ids: Vec<RegionId> = partition.region_ids().collect();
+    for id in ids {
+        if partition.is_live(id) && !engine.satisfies_all(&partition.region(id).agg) {
+            partition.dissolve_region(id);
+        }
+    }
+}
+
+/// Pulls boundary areas from neighbor regions into an under-filled region.
+fn pull_swaps<R: Rng>(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    id: RegionId,
+    counting: &[usize],
+    swapped: &mut [bool],
+    rng: &mut R,
+) {
+    let graph = engine.instance().graph();
+    loop {
+        if counting_lower_ok(engine, &partition.region(id).agg, counting) {
+            return;
+        }
+        // Boundary candidates: areas of other regions adjacent to this one.
+        let mut candidates: Vec<u32> = Vec::new();
+        for &m in &partition.region(id).members {
+            for &nb in graph.neighbors(m) {
+                if let Some(other) = partition.region_of(nb) {
+                    if other != id && !swapped[nb as usize] {
+                        candidates.push(nb);
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.shuffle(rng);
+
+        let mut moved = false;
+        for a in candidates {
+            let donor = partition.region_of(a).expect("candidate is assigned");
+            // Donor must stay a single connected component...
+            if !partition.removal_keeps_connected(engine, a) {
+                continue;
+            }
+            partition.move_area(engine, a, id);
+            // ...and keep satisfying every constraint; the receiver must keep
+            // its non-counting constraints and counting upper bounds.
+            let donor_ok =
+                !partition.is_live(donor) || engine.satisfies_all(&partition.region(donor).agg);
+            // A donor must not be emptied out entirely.
+            let donor_alive = partition.is_live(donor);
+            let recv = &partition.region(id).agg;
+            let recv_ok = non_counting_ok(engine, recv)
+                && counting_upper_ok(engine, recv, counting);
+            if donor_ok && donor_alive && recv_ok {
+                swapped[a as usize] = true;
+                moved = true;
+                break;
+            }
+            // Revert.
+            partition.move_area(engine, a, donor);
+        }
+        if !moved {
+            return;
+        }
+    }
+}
+
+/// Pushes boundary areas of an over-filled region into neighbor regions.
+fn push_swaps<R: Rng>(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    id: RegionId,
+    counting: &[usize],
+    swapped: &mut [bool],
+    rng: &mut R,
+) {
+    let graph = engine.instance().graph();
+    loop {
+        if counting_upper_ok(engine, &partition.region(id).agg, counting) {
+            return;
+        }
+        let mut members: Vec<u32> = partition.region(id).members.clone();
+        members.shuffle(rng);
+        let mut moved = false;
+        'outer: for a in members {
+            if swapped[a as usize] || !partition.removal_keeps_connected(engine, a) {
+                continue;
+            }
+            let mut receivers: Vec<RegionId> = graph
+                .neighbors(a)
+                .iter()
+                .filter_map(|&nb| partition.region_of(nb))
+                .filter(|&r| r != id)
+                .collect();
+            receivers.sort_unstable();
+            receivers.dedup();
+            receivers.shuffle(rng);
+            for recv in receivers {
+                partition.move_area(engine, a, recv);
+                let recv_ok = engine.satisfies_all(&partition.region(recv).agg);
+                let donor_ok = partition.is_live(id)
+                    && non_counting_ok(engine, &partition.region(id).agg);
+                if recv_ok && donor_ok {
+                    swapped[a as usize] = true;
+                    moved = true;
+                    break 'outer;
+                }
+                partition.move_area(engine, a, id);
+            }
+        }
+        if !moved {
+            return;
+        }
+    }
+}
+
+/// Merges regions below counting lower bounds with neighbor regions, as long
+/// as the merged region would not break counting upper bounds.
+fn merge_underfilled(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    counting: &[usize],
+) {
+    loop {
+        let mut progressed = false;
+        let ids: Vec<RegionId> = partition.region_ids().collect();
+        for id in ids {
+            if !partition.is_live(id) {
+                continue;
+            }
+            while partition.is_live(id)
+                && !counting_lower_ok(engine, &partition.region(id).agg, counting)
+            {
+                // The most violated counting constraint drives the choice.
+                let driver = counting
+                    .iter()
+                    .copied()
+                    .find(|&ci| {
+                        engine.value(&partition.region(id).agg, ci)
+                            < engine.constraints()[ci].low
+                    })
+                    .expect("a lower bound is violated");
+                let nbrs = partition.neighbor_regions(engine, id);
+                // Merge with the *smallest* admissible neighbor: gluing onto
+                // an already-large region would overshoot and waste p.
+                let mergeable = nbrs
+                    .into_iter()
+                    .filter(|&r| {
+                        counting.iter().all(|&ci| {
+                            let c = &engine.constraints()[ci];
+                            let merged = engine.value(&partition.region(id).agg, ci)
+                                + engine.value(&partition.region(r).agg, ci);
+                            merged <= c.high
+                        })
+                    })
+                    .min_by(|&r1, &r2| {
+                        let v1 = engine.value(&partition.region(r1).agg, driver);
+                        let v2 = engine.value(&partition.region(r2).agg, driver);
+                        v1.partial_cmp(&v2).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                match mergeable {
+                    Some(r) => {
+                        partition.merge_regions(engine, id, r);
+                        progressed = true;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+}
+
+/// Removes areas from a region exceeding counting upper bounds into `U_0`,
+/// preferring areas whose removal fixes the violation fastest.
+fn shed_overfilled(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    id: RegionId,
+    counting: &[usize],
+) {
+    loop {
+        if counting_upper_ok(engine, &partition.region(id).agg, counting) {
+            return;
+        }
+        // The most violated counting constraint drives the choice.
+        let &ci = counting
+            .iter()
+            .max_by(|&&a, &&b| {
+                let va = engine.value(&partition.region(id).agg, a) - engine.constraints()[a].high;
+                let vb = engine.value(&partition.region(id).agg, b) - engine.constraints()[b].high;
+                va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("counting non-empty");
+        // Candidates: largest contribution first.
+        let mut members: Vec<u32> = partition.region(id).members.clone();
+        members.sort_by(|&a, &b| {
+            engine
+                .area_value(ci, b)
+                .partial_cmp(&engine.area_value(ci, a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut removed = false;
+        for a in members {
+            if !partition.removal_keeps_connected(engine, a) {
+                continue;
+            }
+            partition.remove_from_region(engine, a);
+            let still_ok = partition.is_live(id)
+                && non_counting_ok(engine, &partition.region(id).agg);
+            if still_ok {
+                removed = true;
+                break;
+            }
+            // Revert (re-attach to the same region).
+            partition.add_to_region(engine, id, a);
+        }
+        if !removed {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeTable;
+    use crate::constraint::{Constraint, ConstraintSet};
+    use crate::instance::EmpInstance;
+    use emp_graph::ContiguityGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_instance() -> EmpInstance {
+        let graph = ContiguityGraph::lattice(3, 3);
+        let mut attrs = AttributeTable::new(9);
+        attrs
+            .push_column("s", (1..=9).map(|v| v as f64).collect())
+            .unwrap();
+        EmpInstance::new(graph, attrs, "s").unwrap()
+    }
+
+    #[test]
+    fn noop_without_counting_constraints() {
+        let inst = paper_instance();
+        let set = ConstraintSet::new().with(Constraint::min("s", 1.0, 9.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        part.create_region(&eng, &[0, 1]);
+        let before = part.extract_regions();
+        let mut rng = StdRng::seed_from_u64(0);
+        monotonic_adjustments(&eng, &mut part, &mut rng);
+        assert_eq!(part.extract_regions(), before);
+    }
+
+    /// The swap mechanism of the paper's Figure 4a -> 4b example: a region
+    /// missing a SUM lower bound pulls a boundary area from a donor region
+    /// that keeps satisfying all constraints afterwards.
+    #[test]
+    fn swap_fixes_underfilled_region() {
+        // Path 0-1-2-3 with s = [10, 6, 6, 2]; SUM >= 8, COUNT <= 3.
+        // A = {0,1,2} (sum 22), B = {3} (sum 2, violates). Swapping area 2
+        // into B gives A = {0,1} (16) and B = {2,3} (8): both feasible.
+        let graph = ContiguityGraph::lattice(4, 1);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("s", vec![10.0, 6.0, 6.0, 2.0]).unwrap();
+        let inst = EmpInstance::new(graph, attrs, "s").unwrap();
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("s", 8.0, f64::INFINITY).unwrap())
+            .with(Constraint::count(f64::NEG_INFINITY, 3.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(4);
+        let a = part.create_region(&eng, &[0, 1, 2]);
+        let b = part.create_region(&eng, &[3]);
+        let mut rng = StdRng::seed_from_u64(42);
+        monotonic_adjustments(&eng, &mut part, &mut rng);
+        assert_eq!(part.p(), 2);
+        for id in [a, b] {
+            assert!(part.is_live(id));
+            assert!(eng.satisfies_all(&part.region(id).agg));
+        }
+        assert_eq!(part.region(b).members.len(), 2);
+        assert!(part.unassigned().is_empty());
+    }
+
+    #[test]
+    fn underfilled_regions_merge() {
+        // Path of 4, s = [1,1,1,1], SUM >= 2: singleton regions must merge.
+        let graph = ContiguityGraph::lattice(4, 1);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("s", vec![1.0; 4]).unwrap();
+        let inst = EmpInstance::new(graph, attrs, "s").unwrap();
+        let set =
+            ConstraintSet::new().with(Constraint::sum("s", 2.0, f64::INFINITY).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(4);
+        for a in 0..4 {
+            part.create_region(&eng, &[a]);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        monotonic_adjustments(&eng, &mut part, &mut rng);
+        assert!(part.p() >= 1);
+        for id in part.region_ids() {
+            assert!(eng.satisfies_all(&part.region(id).agg));
+            // Contiguity preserved.
+            let members = &part.region(id).members;
+            assert!(emp_graph::subgraph::is_connected_subset(inst.graph(), members));
+        }
+        assert!(part.unassigned().is_empty());
+    }
+
+    #[test]
+    fn overfilled_regions_shed_areas() {
+        // One big region over the COUNT upper bound sheds areas into U_0.
+        let graph = ContiguityGraph::lattice(5, 1);
+        let mut attrs = AttributeTable::new(5);
+        attrs.push_column("s", vec![1.0; 5]).unwrap();
+        let inst = EmpInstance::new(graph, attrs, "s").unwrap();
+        let set = ConstraintSet::new().with(Constraint::count(1.0, 3.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(5);
+        let r = part.create_region(&eng, &[0, 1, 2, 3, 4]);
+        let mut rng = StdRng::seed_from_u64(2);
+        monotonic_adjustments(&eng, &mut part, &mut rng);
+        assert!(part.is_live(r));
+        assert!(eng.satisfies_all(&part.region(r).agg));
+        assert_eq!(part.region(r).members.len(), 3);
+        assert_eq!(part.unassigned().len(), 2);
+        assert!(emp_graph::subgraph::is_connected_subset(
+            inst.graph(),
+            &part.region(r).members
+        ));
+    }
+
+    #[test]
+    fn hopeless_regions_are_dissolved() {
+        // Two isolated singletons with SUM >= 100: nothing can fix them.
+        let graph = ContiguityGraph::from_edges(2, &[]).unwrap();
+        let mut attrs = AttributeTable::new(2);
+        attrs.push_column("s", vec![1.0, 1.0]).unwrap();
+        let inst = EmpInstance::new(graph, attrs, "s").unwrap();
+        let set =
+            ConstraintSet::new().with(Constraint::sum("s", 100.0, f64::INFINITY).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(2);
+        part.create_region(&eng, &[0]);
+        part.create_region(&eng, &[1]);
+        let mut rng = StdRng::seed_from_u64(3);
+        monotonic_adjustments(&eng, &mut part, &mut rng);
+        assert_eq!(part.p(), 0);
+        assert_eq!(part.unassigned().len(), 2);
+    }
+
+    #[test]
+    fn swaps_preserve_avg_constraints() {
+        // AVG plus SUM: swapping must never break the receiver's AVG.
+        let graph = ContiguityGraph::lattice(4, 1);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("s", vec![4.0, 5.0, 5.0, 6.0]).unwrap();
+        let inst = EmpInstance::new(graph, attrs, "s").unwrap();
+        let set = ConstraintSet::new()
+            .with(Constraint::avg("s", 4.0, 6.0).unwrap())
+            .with(Constraint::sum("s", 9.0, f64::INFINITY).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(4);
+        part.create_region(&eng, &[0, 1]); // sum 9 ok
+        part.create_region(&eng, &[2, 3]); // sum 11 ok
+        let mut rng = StdRng::seed_from_u64(4);
+        monotonic_adjustments(&eng, &mut part, &mut rng);
+        for id in part.region_ids() {
+            assert!(eng.satisfies_all(&part.region(id).agg));
+        }
+        assert_eq!(part.p(), 2);
+    }
+}

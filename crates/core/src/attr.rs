@@ -1,0 +1,189 @@
+//! Column-major storage for spatially extensive attributes.
+
+use crate::error::EmpError;
+use std::collections::HashMap;
+
+/// A table of named `f64` columns, one row per area.
+///
+/// Attribute values must be finite; spatially extensive attributes in EMP are
+/// additionally assumed non-negative by the SUM feasibility analysis (the
+/// paper's "assuming that all spatially extensive attribute values are
+/// positive"), which [`AttributeTable::push_column`] enforces.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AttributeTable {
+    rows: usize,
+    names: Vec<String>,
+    columns: Vec<Vec<f64>>,
+    index: HashMap<String, usize>,
+}
+
+impl AttributeTable {
+    /// Creates an empty table for `rows` areas.
+    pub fn new(rows: usize) -> Self {
+        AttributeTable {
+            rows,
+            names: Vec::new(),
+            columns: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Number of rows (areas).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (attributes).
+    #[inline]
+    pub fn columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in insertion order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Adds a column. The name must be unique, the length must match the row
+    /// count, and every value must be finite and non-negative.
+    pub fn push_column(&mut self, name: impl Into<String>, values: Vec<f64>) -> Result<(), EmpError> {
+        let name = name.into();
+        if self.index.contains_key(&name) {
+            return Err(EmpError::DuplicateAttribute { name });
+        }
+        if values.len() != self.rows {
+            return Err(EmpError::ColumnLengthMismatch {
+                name,
+                expected: self.rows,
+                actual: values.len(),
+            });
+        }
+        if let Some(pos) = values.iter().position(|v| !v.is_finite() || *v < 0.0) {
+            return Err(EmpError::InvalidAttributeValue {
+                name,
+                row: pos,
+                value: values[pos],
+            });
+        }
+        self.index.insert(name.clone(), self.columns.len());
+        self.names.push(name);
+        self.columns.push(values);
+        Ok(())
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Column values by index.
+    #[inline]
+    pub fn column(&self, idx: usize) -> &[f64] {
+        &self.columns[idx]
+    }
+
+    /// Column values by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&[f64]> {
+        self.column_index(name).map(|i| self.column(i))
+    }
+
+    /// One cell.
+    #[inline]
+    pub fn value(&self, col: usize, row: usize) -> f64 {
+        self.columns[col][row]
+    }
+
+    /// Mean of a column (`0` for an empty table).
+    pub fn mean(&self, col: usize) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        self.columns[col].iter().sum::<f64>() / self.rows as f64
+    }
+
+    /// Minimum of a column.
+    pub fn min(&self, col: usize) -> f64 {
+        self.columns[col].iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum of a column.
+    pub fn max(&self, col: usize) -> f64 {
+        self.columns[col]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sum of a column.
+    pub fn sum(&self, col: usize) -> f64 {
+        self.columns[col].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> AttributeTable {
+        let mut t = AttributeTable::new(3);
+        t.push_column("POP", vec![10.0, 20.0, 30.0]).unwrap();
+        t.push_column("EMP", vec![5.0, 1.0, 9.0]).unwrap();
+        t
+    }
+
+    #[test]
+    fn basic_access() {
+        let t = table();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.columns(), 2);
+        assert_eq!(t.column_index("EMP"), Some(1));
+        assert_eq!(t.column_index("NOPE"), None);
+        assert_eq!(t.value(0, 1), 20.0);
+        assert_eq!(t.column_by_name("POP").unwrap(), &[10.0, 20.0, 30.0]);
+        assert_eq!(t.names(), &["POP".to_string(), "EMP".to_string()]);
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = table();
+        assert_eq!(t.mean(0), 20.0);
+        assert_eq!(t.min(1), 1.0);
+        assert_eq!(t.max(1), 9.0);
+        assert_eq!(t.sum(0), 60.0);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut t = table();
+        assert!(matches!(
+            t.push_column("POP", vec![0.0; 3]),
+            Err(EmpError::DuplicateAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let mut t = table();
+        assert!(matches!(
+            t.push_column("X", vec![0.0; 2]),
+            Err(EmpError::ColumnLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_values() {
+        let mut t = AttributeTable::new(2);
+        assert!(t.push_column("A", vec![1.0, f64::NAN]).is_err());
+        assert!(t.push_column("B", vec![1.0, -0.5]).is_err());
+        assert!(t.push_column("C", vec![1.0, f64::INFINITY]).is_err());
+        assert!(t.push_column("D", vec![1.0, 0.0]).is_ok());
+    }
+
+    #[test]
+    fn empty_table_mean_is_zero() {
+        let mut t = AttributeTable::new(0);
+        t.push_column("A", vec![]).unwrap();
+        assert_eq!(t.mean(0), 0.0);
+    }
+}

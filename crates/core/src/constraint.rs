@@ -1,0 +1,292 @@
+//! Enriched user-defined constraints: `(f, s, l, u)` tuples over SQL-style
+//! aggregates with range comparison operators (paper §III, Definition III.1).
+
+use crate::error::EmpError;
+use std::fmt;
+
+/// The SQL-inspired aggregate families supported by EMP.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Aggregate {
+    /// Extrema aggregate: minimum attribute value in the region.
+    Min,
+    /// Extrema aggregate: maximum attribute value in the region.
+    Max,
+    /// Centrality aggregate: mean attribute value in the region.
+    Avg,
+    /// Counting aggregate: attribute sum over the region.
+    Sum,
+    /// Counting aggregate: number of areas in the region.
+    Count,
+}
+
+impl Aggregate {
+    /// The constraint family this aggregate belongs to (paper §I).
+    pub fn family(self) -> Family {
+        match self {
+            Aggregate::Min | Aggregate::Max => Family::Extrema,
+            Aggregate::Avg => Family::Centrality,
+            Aggregate::Sum | Aggregate::Count => Family::Counting,
+        }
+    }
+
+    /// Whether adding an area changes the aggregate monotonically
+    /// (true for SUM and COUNT over non-negative attributes).
+    pub fn is_monotonic(self) -> bool {
+        matches!(self, Aggregate::Sum | Aggregate::Count)
+    }
+
+    /// SQL keyword for the aggregate.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Aggregate::Min => "MIN",
+            Aggregate::Max => "MAX",
+            Aggregate::Avg => "AVG",
+            Aggregate::Sum => "SUM",
+            Aggregate::Count => "COUNT",
+        }
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// The three constraint families from the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// MIN / MAX.
+    Extrema,
+    /// AVG.
+    Centrality,
+    /// SUM / COUNT.
+    Counting,
+}
+
+/// A user-defined constraint `f(s) ∈ [low, high]`.
+///
+/// `low = -∞` gives an upper-bound-only constraint, `high = ∞` a
+/// lower-bound-only one, matching the paper's range comparison operator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Constraint {
+    /// Aggregate function.
+    pub aggregate: Aggregate,
+    /// Spatially extensive attribute name. Ignored for COUNT (which counts
+    /// areas) but kept for uniformity with the paper's 4-tuple.
+    pub attribute: String,
+    /// Lower bound (inclusive), possibly `-∞`.
+    pub low: f64,
+    /// Upper bound (inclusive), possibly `∞`.
+    pub high: f64,
+}
+
+impl Constraint {
+    /// Creates a constraint, validating the range.
+    pub fn new(
+        aggregate: Aggregate,
+        attribute: impl Into<String>,
+        low: f64,
+        high: f64,
+    ) -> Result<Self, EmpError> {
+        if low.is_nan() || high.is_nan() || low > high || (low == f64::NEG_INFINITY && high == f64::NEG_INFINITY) || (low == f64::INFINITY) {
+            return Err(EmpError::InvalidRange { low, high });
+        }
+        Ok(Constraint {
+            aggregate,
+            attribute: attribute.into(),
+            low,
+            high,
+        })
+    }
+
+    /// `MIN(attr) ∈ [low, high]`.
+    pub fn min(attr: impl Into<String>, low: f64, high: f64) -> Result<Self, EmpError> {
+        Self::new(Aggregate::Min, attr, low, high)
+    }
+
+    /// `MAX(attr) ∈ [low, high]`.
+    pub fn max(attr: impl Into<String>, low: f64, high: f64) -> Result<Self, EmpError> {
+        Self::new(Aggregate::Max, attr, low, high)
+    }
+
+    /// `AVG(attr) ∈ [low, high]`.
+    pub fn avg(attr: impl Into<String>, low: f64, high: f64) -> Result<Self, EmpError> {
+        Self::new(Aggregate::Avg, attr, low, high)
+    }
+
+    /// `SUM(attr) ∈ [low, high]`.
+    pub fn sum(attr: impl Into<String>, low: f64, high: f64) -> Result<Self, EmpError> {
+        Self::new(Aggregate::Sum, attr, low, high)
+    }
+
+    /// `COUNT(*) ∈ [low, high]`.
+    pub fn count(low: f64, high: f64) -> Result<Self, EmpError> {
+        Self::new(Aggregate::Count, "*", low, high)
+    }
+
+    /// Whether `v` satisfies the range.
+    #[inline]
+    pub fn contains(&self, v: f64) -> bool {
+        self.low <= v && v <= self.high
+    }
+
+    /// Whether the range has a finite lower bound.
+    #[inline]
+    pub fn has_lower(&self) -> bool {
+        self.low != f64::NEG_INFINITY
+    }
+
+    /// Whether the range has a finite upper bound.
+    #[inline]
+    pub fn has_upper(&self) -> bool {
+        self.high != f64::INFINITY
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let target = if self.aggregate == Aggregate::Count {
+            "*"
+        } else {
+            &self.attribute
+        };
+        match (self.has_lower(), self.has_upper()) {
+            (true, true) => write!(
+                f,
+                "{}({}) IN [{}, {}]",
+                self.aggregate, target, self.low, self.high
+            ),
+            (true, false) => write!(f, "{}({}) >= {}", self.aggregate, target, self.low),
+            (false, true) => write!(f, "{}({}) <= {}", self.aggregate, target, self.high),
+            (false, false) => write!(f, "{}({}) unbounded", self.aggregate, target),
+        }
+    }
+}
+
+/// An ordered set of constraints forming an EMP query.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// An empty constraint set (every region is trivially feasible).
+    pub fn new() -> Self {
+        ConstraintSet::default()
+    }
+
+    /// Builds a set from constraints.
+    pub fn from_constraints(constraints: Vec<Constraint>) -> Self {
+        ConstraintSet { constraints }
+    }
+
+    /// Adds a constraint (builder style).
+    pub fn with(mut self, c: Constraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Adds a constraint in place.
+    pub fn push(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// The constraints, in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Constraints of a given aggregate.
+    pub fn of(&self, aggregate: Aggregate) -> impl Iterator<Item = &Constraint> {
+        self.constraints
+            .iter()
+            .filter(move |c| c.aggregate == aggregate)
+    }
+
+    /// Whether any constraint uses this aggregate.
+    pub fn has(&self, aggregate: Aggregate) -> bool {
+        self.of(aggregate).next().is_some()
+    }
+}
+
+impl fmt::Display for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" AND ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_and_monotonicity() {
+        assert_eq!(Aggregate::Min.family(), Family::Extrema);
+        assert_eq!(Aggregate::Avg.family(), Family::Centrality);
+        assert_eq!(Aggregate::Count.family(), Family::Counting);
+        assert!(Aggregate::Sum.is_monotonic());
+        assert!(!Aggregate::Avg.is_monotonic());
+        assert!(!Aggregate::Max.is_monotonic());
+    }
+
+    #[test]
+    fn range_validation() {
+        assert!(Constraint::min("A", 5.0, 1.0).is_err());
+        assert!(Constraint::min("A", f64::NAN, 1.0).is_err());
+        assert!(Constraint::min("A", f64::NEG_INFINITY, f64::INFINITY).is_ok());
+        assert!(Constraint::min("A", 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn contains_and_bounds() {
+        let c = Constraint::avg("E", 1500.0, 3500.0).unwrap();
+        assert!(c.contains(1500.0));
+        assert!(c.contains(3500.0));
+        assert!(!c.contains(1499.9));
+        assert!(c.has_lower() && c.has_upper());
+        let open = Constraint::sum("P", 20000.0, f64::INFINITY).unwrap();
+        assert!(open.has_lower() && !open.has_upper());
+        assert!(open.contains(1e12));
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = Constraint::sum("TOTALPOP", 20000.0, f64::INFINITY).unwrap();
+        assert_eq!(c.to_string(), "SUM(TOTALPOP) >= 20000");
+        let c = Constraint::min("POP16UP", f64::NEG_INFINITY, 3000.0).unwrap();
+        assert_eq!(c.to_string(), "MIN(POP16UP) <= 3000");
+        let c = Constraint::avg("EMPLOYED", 1500.0, 3500.0).unwrap();
+        assert_eq!(c.to_string(), "AVG(EMPLOYED) IN [1500, 3500]");
+        let c = Constraint::count(2.0, 10.0).unwrap();
+        assert_eq!(c.to_string(), "COUNT(*) IN [2, 10]");
+    }
+
+    #[test]
+    fn set_queries() {
+        let set = ConstraintSet::new()
+            .with(Constraint::min("A", 0.0, 5.0).unwrap())
+            .with(Constraint::sum("B", 10.0, f64::INFINITY).unwrap());
+        assert_eq!(set.len(), 2);
+        assert!(set.has(Aggregate::Min));
+        assert!(!set.has(Aggregate::Avg));
+        assert_eq!(set.of(Aggregate::Sum).count(), 1);
+        assert_eq!(set.to_string(), "MIN(A) IN [0, 5] AND SUM(B) >= 10");
+    }
+}

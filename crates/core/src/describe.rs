@@ -1,0 +1,226 @@
+//! Output statistics reporting.
+//!
+//! The paper notes (§VII-B3) that "FaCT algorithm reports output statistics
+//! to users so they are equipped with information about the impact of
+//! different threshold ranges on the given dataset, and are able to tune
+//! query parameters insightfully." This module produces those statistics:
+//! a per-region table of every constraint's aggregate value plus a
+//! solution-level summary.
+
+use crate::constraint::ConstraintSet;
+use crate::engine::ConstraintEngine;
+use crate::error::EmpError;
+use crate::instance::EmpInstance;
+use crate::solution::Solution;
+use std::fmt;
+
+/// Per-region statistics: one aggregate value per constraint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionStats {
+    /// Index into [`Solution::regions`].
+    pub region: usize,
+    /// Number of member areas.
+    pub size: usize,
+    /// Aggregate value per constraint, in constraint order.
+    pub values: Vec<f64>,
+    /// Slack to the nearest bound per constraint (negative = violated).
+    pub slack: Vec<f64>,
+}
+
+/// Solution-level summary statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolutionSummary {
+    /// Number of regions `p`.
+    pub p: usize,
+    /// Unassigned-area count.
+    pub unassigned: usize,
+    /// Fraction of areas unassigned.
+    pub unassigned_fraction: f64,
+    /// Smallest region size.
+    pub min_region_size: usize,
+    /// Largest region size.
+    pub max_region_size: usize,
+    /// Mean region size.
+    pub mean_region_size: f64,
+    /// Total objective score (heterogeneity under the default objective).
+    pub objective: f64,
+}
+
+/// The full report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolutionReport {
+    /// Constraint display strings, in order.
+    pub constraint_labels: Vec<String>,
+    /// Per-region rows.
+    pub regions: Vec<RegionStats>,
+    /// Solution summary.
+    pub summary: SolutionSummary,
+}
+
+/// Computes the full statistics report for a solution.
+pub fn describe(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    solution: &Solution,
+) -> Result<SolutionReport, EmpError> {
+    let engine = ConstraintEngine::compile(instance, constraints)?;
+    let constraint_labels: Vec<String> =
+        constraints.constraints().iter().map(|c| c.to_string()).collect();
+
+    let mut regions = Vec::with_capacity(solution.regions.len());
+    for (ri, members) in solution.regions.iter().enumerate() {
+        let agg = engine.compute_fresh(members);
+        let mut values = Vec::with_capacity(engine.constraints().len());
+        let mut slack = Vec::with_capacity(engine.constraints().len());
+        for (ci, c) in engine.constraints().iter().enumerate() {
+            let v = engine.value(&agg, ci);
+            values.push(v);
+            let lower_slack = if c.low.is_finite() { v - c.low } else { f64::INFINITY };
+            let upper_slack = if c.high.is_finite() { c.high - v } else { f64::INFINITY };
+            slack.push(lower_slack.min(upper_slack));
+        }
+        regions.push(RegionStats {
+            region: ri,
+            size: members.len(),
+            values,
+            slack,
+        });
+    }
+
+    let sizes: Vec<usize> = solution.regions.iter().map(Vec::len).collect();
+    let summary = SolutionSummary {
+        p: solution.p(),
+        unassigned: solution.unassigned.len(),
+        unassigned_fraction: solution.unassigned_fraction(),
+        min_region_size: sizes.iter().copied().min().unwrap_or(0),
+        max_region_size: sizes.iter().copied().max().unwrap_or(0),
+        mean_region_size: if sizes.is_empty() {
+            0.0
+        } else {
+            sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+        },
+        objective: instance.objective().score(&solution.regions),
+    };
+
+    Ok(SolutionReport {
+        constraint_labels,
+        regions,
+        summary,
+    })
+}
+
+impl SolutionReport {
+    /// The region with the least slack for constraint `ci` — the one a user
+    /// should look at when tightening that bound.
+    pub fn tightest_region(&self, ci: usize) -> Option<&RegionStats> {
+        self.regions.iter().min_by(|a, b| {
+            a.slack[ci]
+                .partial_cmp(&b.slack[ci])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+impl fmt::Display for SolutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "p = {}, unassigned = {} ({:.1}%), region sizes {}..{} (mean {:.1}), objective {:.1}",
+            self.summary.p,
+            self.summary.unassigned,
+            self.summary.unassigned_fraction * 100.0,
+            self.summary.min_region_size,
+            self.summary.max_region_size,
+            self.summary.mean_region_size,
+            self.summary.objective,
+        )?;
+        write!(f, "region | size")?;
+        for label in &self.constraint_labels {
+            write!(f, " | {label}")?;
+        }
+        writeln!(f)?;
+        for r in &self.regions {
+            write!(f, "{:6} | {:4}", r.region, r.size)?;
+            for v in &r.values {
+                write!(f, " | {v:.1}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeTable;
+    use crate::constraint::Constraint;
+    use crate::solver::{solve, FactConfig};
+    use emp_graph::ContiguityGraph;
+
+    fn setup() -> (EmpInstance, ConstraintSet, Solution) {
+        let graph = ContiguityGraph::lattice(4, 4);
+        let mut attrs = AttributeTable::new(16);
+        attrs
+            .push_column("POP", (0..16).map(|i| 100.0 + i as f64 * 10.0).collect())
+            .unwrap();
+        let instance = EmpInstance::new(graph, attrs, "POP").unwrap();
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 300.0, f64::INFINITY).unwrap())
+            .with(Constraint::count(2.0, 8.0).unwrap());
+        let report = solve(&instance, &set, &FactConfig::seeded(1)).unwrap();
+        (instance, set, report.solution)
+    }
+
+    #[test]
+    fn describes_every_region_and_constraint() {
+        let (instance, set, solution) = setup();
+        let report = describe(&instance, &set, &solution).unwrap();
+        assert_eq!(report.regions.len(), solution.p());
+        assert_eq!(report.constraint_labels.len(), 2);
+        for r in &report.regions {
+            assert_eq!(r.values.len(), 2);
+            assert!(r.values[0] >= 300.0, "SUM satisfied");
+            assert!(r.slack.iter().all(|&s| s >= 0.0), "no violations");
+            assert_eq!(r.values[1] as usize, r.size, "COUNT equals size");
+        }
+        assert_eq!(report.summary.p, solution.p());
+        assert!(report.summary.mean_region_size >= 2.0);
+    }
+
+    #[test]
+    fn tightest_region_has_min_slack() {
+        let (instance, set, solution) = setup();
+        let report = describe(&instance, &set, &solution).unwrap();
+        let tight = report.tightest_region(0).unwrap();
+        for r in &report.regions {
+            assert!(tight.slack[0] <= r.slack[0]);
+        }
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let (instance, set, solution) = setup();
+        let report = describe(&instance, &set, &solution).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("p = "));
+        assert!(text.contains("SUM(POP)"));
+        assert!(text.lines().count() >= 2 + report.regions.len());
+    }
+
+    #[test]
+    fn empty_solution_summary() {
+        let (instance, set, _) = setup();
+        let empty = Solution {
+            regions: vec![],
+            assignment: vec![None; 16],
+            unassigned: (0..16).collect(),
+            heterogeneity: 0.0,
+        };
+        let report = describe(&instance, &set, &empty).unwrap();
+        assert_eq!(report.summary.p, 0);
+        assert_eq!(report.summary.min_region_size, 0);
+        assert_eq!(report.summary.mean_region_size, 0.0);
+        assert!(report.tightest_region(0).is_none());
+    }
+}

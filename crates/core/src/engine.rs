@@ -1,0 +1,385 @@
+//! The constraint engine: compiled constraints plus incremental region
+//! aggregates.
+//!
+//! Regions are added to, removed from, and merged constantly during the
+//! construction and local-search phases. Recomputing every aggregate from
+//! scratch per check would be O(region size) each time; instead every region
+//! carries a [`RegionAgg`] maintaining
+//!
+//! * the area count (COUNT),
+//! * one running sum per attribute used by AVG/SUM constraints, and
+//! * one counted multiset per attribute used by MIN/MAX constraints
+//!
+//! so each constraint check is O(1) or O(log k). The naive recomputation
+//! path is kept (see [`ConstraintEngine::compute_fresh`]) both as a test
+//! oracle and as the ablation baseline benchmarked in `emp-bench`.
+
+use crate::attr::AttributeTable;
+use crate::constraint::{Aggregate, Constraint, ConstraintSet};
+use crate::error::EmpError;
+use crate::instance::EmpInstance;
+use crate::value::Multiset;
+
+/// A constraint resolved against the attribute table.
+#[derive(Clone, Debug)]
+pub struct CompiledConstraint {
+    /// Aggregate function.
+    pub aggregate: Aggregate,
+    /// Column index (`usize::MAX` for COUNT).
+    pub col: usize,
+    /// Inclusive lower bound.
+    pub low: f64,
+    /// Inclusive upper bound.
+    pub high: f64,
+    /// Index into [`RegionAgg::sums`] (AVG/SUM) or [`RegionAgg::multisets`]
+    /// (MIN/MAX); unused for COUNT.
+    pub slot: usize,
+}
+
+impl CompiledConstraint {
+    /// Whether `v` is within the constraint's bounds.
+    #[inline]
+    pub fn contains(&self, v: f64) -> bool {
+        self.low <= v && v <= self.high
+    }
+}
+
+/// Incrementally-maintained aggregates for one region.
+#[derive(Clone, Debug, Default)]
+pub struct RegionAgg {
+    /// Number of areas in the region.
+    pub count: usize,
+    /// Running sums, one per engine sum-slot.
+    pub sums: Vec<f64>,
+    /// Counted multisets, one per engine extrema-slot.
+    pub multisets: Vec<Multiset>,
+}
+
+/// Compiled constraint set bound to an instance's attribute table.
+pub struct ConstraintEngine<'a> {
+    instance: &'a EmpInstance,
+    constraints: Vec<CompiledConstraint>,
+    /// Unique columns needing running sums (for AVG and SUM constraints).
+    sum_cols: Vec<usize>,
+    /// Unique columns needing multisets (for MIN and MAX constraints).
+    extrema_cols: Vec<usize>,
+    /// Indices of constraints by aggregate, for phase-specific iteration.
+    by_aggregate: [Vec<usize>; 5],
+}
+
+fn agg_index(a: Aggregate) -> usize {
+    match a {
+        Aggregate::Min => 0,
+        Aggregate::Max => 1,
+        Aggregate::Avg => 2,
+        Aggregate::Sum => 3,
+        Aggregate::Count => 4,
+    }
+}
+
+impl<'a> ConstraintEngine<'a> {
+    /// Compiles `set` against the instance, validating attribute names.
+    pub fn compile(instance: &'a EmpInstance, set: &ConstraintSet) -> Result<Self, EmpError> {
+        let attrs = instance.attributes();
+        let mut constraints = Vec::with_capacity(set.len());
+        let mut sum_cols: Vec<usize> = Vec::new();
+        let mut extrema_cols: Vec<usize> = Vec::new();
+        let mut by_aggregate: [Vec<usize>; 5] = Default::default();
+
+        for (i, c) in set.constraints().iter().enumerate() {
+            let compiled = Self::compile_one(attrs, c, &mut sum_cols, &mut extrema_cols)?;
+            by_aggregate[agg_index(c.aggregate)].push(i);
+            constraints.push(compiled);
+        }
+        Ok(ConstraintEngine {
+            instance,
+            constraints,
+            sum_cols,
+            extrema_cols,
+            by_aggregate,
+        })
+    }
+
+    fn compile_one(
+        attrs: &AttributeTable,
+        c: &Constraint,
+        sum_cols: &mut Vec<usize>,
+        extrema_cols: &mut Vec<usize>,
+    ) -> Result<CompiledConstraint, EmpError> {
+        let (col, slot) = match c.aggregate {
+            Aggregate::Count => (usize::MAX, usize::MAX),
+            Aggregate::Avg | Aggregate::Sum => {
+                let col = attrs
+                    .column_index(&c.attribute)
+                    .ok_or_else(|| EmpError::UnknownAttribute {
+                        name: c.attribute.clone(),
+                    })?;
+                let slot = match sum_cols.iter().position(|&x| x == col) {
+                    Some(s) => s,
+                    None => {
+                        sum_cols.push(col);
+                        sum_cols.len() - 1
+                    }
+                };
+                (col, slot)
+            }
+            Aggregate::Min | Aggregate::Max => {
+                let col = attrs
+                    .column_index(&c.attribute)
+                    .ok_or_else(|| EmpError::UnknownAttribute {
+                        name: c.attribute.clone(),
+                    })?;
+                let slot = match extrema_cols.iter().position(|&x| x == col) {
+                    Some(s) => s,
+                    None => {
+                        extrema_cols.push(col);
+                        extrema_cols.len() - 1
+                    }
+                };
+                (col, slot)
+            }
+        };
+        Ok(CompiledConstraint {
+            aggregate: c.aggregate,
+            col,
+            low: c.low,
+            high: c.high,
+            slot,
+        })
+    }
+
+    /// The instance the engine is bound to.
+    #[inline]
+    pub fn instance(&self) -> &'a EmpInstance {
+        self.instance
+    }
+
+    /// The compiled constraints, in input order.
+    #[inline]
+    pub fn constraints(&self) -> &[CompiledConstraint] {
+        &self.constraints
+    }
+
+    /// Indices of constraints with the given aggregate.
+    #[inline]
+    pub fn indices_of(&self, aggregate: Aggregate) -> &[usize] {
+        &self.by_aggregate[agg_index(aggregate)]
+    }
+
+    /// Whether the set contains a constraint with the given aggregate.
+    #[inline]
+    pub fn has(&self, aggregate: Aggregate) -> bool {
+        !self.indices_of(aggregate).is_empty()
+    }
+
+    /// One area's value for the constraint's column (1 for COUNT).
+    #[inline]
+    pub fn area_value(&self, ci: usize, area: u32) -> f64 {
+        let c = &self.constraints[ci];
+        if c.aggregate == Aggregate::Count {
+            1.0
+        } else {
+            self.instance.attributes().value(c.col, area as usize)
+        }
+    }
+
+    /// A fresh, empty aggregate with correctly-sized slots.
+    pub fn empty_agg(&self) -> RegionAgg {
+        RegionAgg {
+            count: 0,
+            sums: vec![0.0; self.sum_cols.len()],
+            multisets: vec![Multiset::new(); self.extrema_cols.len()],
+        }
+    }
+
+    /// Adds one area to the aggregate.
+    pub fn add_area(&self, agg: &mut RegionAgg, area: u32) {
+        let attrs = self.instance.attributes();
+        agg.count += 1;
+        for (i, &col) in self.sum_cols.iter().enumerate() {
+            agg.sums[i] += attrs.value(col, area as usize);
+        }
+        for (i, &col) in self.extrema_cols.iter().enumerate() {
+            agg.multisets[i].insert(attrs.value(col, area as usize));
+        }
+    }
+
+    /// Removes one area from the aggregate.
+    pub fn remove_area(&self, agg: &mut RegionAgg, area: u32) {
+        debug_assert!(agg.count > 0);
+        let attrs = self.instance.attributes();
+        agg.count -= 1;
+        for (i, &col) in self.sum_cols.iter().enumerate() {
+            agg.sums[i] -= attrs.value(col, area as usize);
+        }
+        for (i, &col) in self.extrema_cols.iter().enumerate() {
+            agg.multisets[i].remove(attrs.value(col, area as usize));
+        }
+    }
+
+    /// Merges `other` into `agg`.
+    pub fn absorb(&self, agg: &mut RegionAgg, other: &RegionAgg) {
+        agg.count += other.count;
+        for (a, b) in agg.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        for (a, b) in agg.multisets.iter_mut().zip(&other.multisets) {
+            a.absorb(b);
+        }
+    }
+
+    /// Builds the aggregate for a member list from scratch (oracle/ablation).
+    pub fn compute_fresh(&self, members: &[u32]) -> RegionAgg {
+        let mut agg = self.empty_agg();
+        for &a in members {
+            self.add_area(&mut agg, a);
+        }
+        agg
+    }
+
+    /// The aggregate value of constraint `ci` for a (non-empty) region.
+    pub fn value(&self, agg: &RegionAgg, ci: usize) -> f64 {
+        let c = &self.constraints[ci];
+        match c.aggregate {
+            Aggregate::Count => agg.count as f64,
+            Aggregate::Sum => agg.sums[c.slot],
+            Aggregate::Avg => {
+                if agg.count == 0 {
+                    f64::NAN
+                } else {
+                    agg.sums[c.slot] / agg.count as f64
+                }
+            }
+            Aggregate::Min => agg.multisets[c.slot].min().unwrap_or(f64::NAN),
+            Aggregate::Max => agg.multisets[c.slot].max().unwrap_or(f64::NAN),
+        }
+    }
+
+    /// Whether constraint `ci` is satisfied.
+    #[inline]
+    pub fn satisfied(&self, agg: &RegionAgg, ci: usize) -> bool {
+        let v = self.value(agg, ci);
+        !v.is_nan() && self.constraints[ci].contains(v)
+    }
+
+    /// Whether every constraint is satisfied.
+    pub fn satisfies_all(&self, agg: &RegionAgg) -> bool {
+        (0..self.constraints.len()).all(|ci| self.satisfied(agg, ci))
+    }
+
+    /// Indices of the violated constraints.
+    pub fn violations(&self, agg: &RegionAgg) -> Vec<usize> {
+        (0..self.constraints.len())
+            .filter(|&ci| !self.satisfied(agg, ci))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emp_graph::ContiguityGraph;
+
+    fn instance() -> EmpInstance {
+        // 5-area path; POP = [10, 20, 30, 40, 50], EMP = [1, 2, 3, 4, 5].
+        let graph = ContiguityGraph::lattice(5, 1);
+        let mut attrs = AttributeTable::new(5);
+        attrs
+            .push_column("POP", vec![10.0, 20.0, 30.0, 40.0, 50.0])
+            .unwrap();
+        attrs.push_column("EMP", vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        EmpInstance::new(graph, attrs, "POP").unwrap()
+    }
+
+    fn full_set() -> ConstraintSet {
+        ConstraintSet::new()
+            .with(Constraint::min("EMP", 1.0, 3.0).unwrap())
+            .with(Constraint::max("EMP", 4.0, 5.0).unwrap())
+            .with(Constraint::avg("POP", 20.0, 40.0).unwrap())
+            .with(Constraint::sum("POP", 50.0, f64::INFINITY).unwrap())
+            .with(Constraint::count(2.0, 5.0).unwrap())
+    }
+
+    #[test]
+    fn compile_validates_attributes() {
+        let inst = instance();
+        let bad = ConstraintSet::new().with(Constraint::sum("NOPE", 0.0, 1.0).unwrap());
+        assert!(matches!(
+            ConstraintEngine::compile(&inst, &bad),
+            Err(EmpError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn slots_are_shared_per_column() {
+        let inst = instance();
+        let set = ConstraintSet::new()
+            .with(Constraint::avg("POP", 0.0, 100.0).unwrap())
+            .with(Constraint::sum("POP", 0.0, f64::INFINITY).unwrap())
+            .with(Constraint::min("EMP", 0.0, 9.0).unwrap())
+            .with(Constraint::max("EMP", 0.0, 9.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let agg = eng.empty_agg();
+        assert_eq!(agg.sums.len(), 1); // POP shared by AVG and SUM
+        assert_eq!(agg.multisets.len(), 1); // EMP shared by MIN and MAX
+    }
+
+    #[test]
+    fn incremental_values() {
+        let inst = instance();
+        let set = full_set();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut agg = eng.empty_agg();
+        eng.add_area(&mut agg, 0); // POP 10, EMP 1
+        eng.add_area(&mut agg, 4); // POP 50, EMP 5
+        assert_eq!(eng.value(&agg, 0), 1.0); // MIN(EMP)
+        assert_eq!(eng.value(&agg, 1), 5.0); // MAX(EMP)
+        assert_eq!(eng.value(&agg, 2), 30.0); // AVG(POP)
+        assert_eq!(eng.value(&agg, 3), 60.0); // SUM(POP)
+        assert_eq!(eng.value(&agg, 4), 2.0); // COUNT
+        assert!(eng.satisfies_all(&agg));
+
+        eng.remove_area(&mut agg, 4);
+        assert_eq!(eng.value(&agg, 1), 1.0); // MAX now 1
+        assert!(!eng.satisfied(&agg, 1));
+        // Remaining region {0}: MAX=1, AVG=10, SUM=10, COUNT=1 all violate.
+        assert_eq!(eng.violations(&agg), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn absorb_matches_fresh() {
+        let inst = instance();
+        let set = full_set();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut a = eng.compute_fresh(&[0, 1]);
+        let b = eng.compute_fresh(&[2, 3]);
+        eng.absorb(&mut a, &b);
+        let fresh = eng.compute_fresh(&[0, 1, 2, 3]);
+        for ci in 0..set.len() {
+            assert_eq!(eng.value(&a, ci), eng.value(&fresh, ci), "constraint {ci}");
+        }
+    }
+
+    #[test]
+    fn empty_region_never_satisfies_min_max_avg() {
+        let inst = instance();
+        let set = full_set();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let agg = eng.empty_agg();
+        assert!(!eng.satisfied(&agg, 0));
+        assert!(!eng.satisfied(&agg, 1));
+        assert!(!eng.satisfied(&agg, 2));
+    }
+
+    #[test]
+    fn area_value_and_indices() {
+        let inst = instance();
+        let set = full_set();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        assert_eq!(eng.area_value(2, 3), 40.0); // AVG(POP) col value
+        assert_eq!(eng.area_value(4, 3), 1.0); // COUNT
+        assert_eq!(eng.indices_of(Aggregate::Min), &[0]);
+        assert_eq!(eng.indices_of(Aggregate::Count), &[4]);
+        assert!(eng.has(Aggregate::Avg));
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for the EMP core.
+
+use std::fmt;
+
+/// Errors produced while building instances, constraints, or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmpError {
+    /// An attribute with this name already exists.
+    DuplicateAttribute {
+        /// Attribute name.
+        name: String,
+    },
+    /// A column's length does not match the table's row count.
+    ColumnLengthMismatch {
+        /// Attribute name.
+        name: String,
+        /// Expected row count.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+    },
+    /// A non-finite or negative attribute value.
+    InvalidAttributeValue {
+        /// Attribute name.
+        name: String,
+        /// Offending row.
+        row: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// A constraint references an attribute that is not in the table.
+    UnknownAttribute {
+        /// Attribute name.
+        name: String,
+    },
+    /// A constraint range has `low > high` or is fully unbounded on a side
+    /// that the aggregate requires.
+    InvalidRange {
+        /// Lower bound.
+        low: f64,
+        /// Upper bound.
+        high: f64,
+    },
+    /// The constraint expression failed to parse.
+    ConstraintParse {
+        /// Human-readable description.
+        message: String,
+    },
+    /// The graph's vertex count does not match the attribute table's rows.
+    SizeMismatch {
+        /// Vertices in the contiguity graph.
+        graph: usize,
+        /// Rows in the attribute table.
+        attrs: usize,
+    },
+    /// The feasibility phase proved no solution exists.
+    Infeasible {
+        /// Why each failing constraint cannot be satisfied.
+        reasons: Vec<String>,
+    },
+}
+
+impl fmt::Display for EmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmpError::DuplicateAttribute { name } => write!(f, "duplicate attribute '{name}'"),
+            EmpError::ColumnLengthMismatch { name, expected, actual } => write!(
+                f,
+                "column '{name}' has {actual} values, expected {expected}"
+            ),
+            EmpError::InvalidAttributeValue { name, row, value } => write!(
+                f,
+                "attribute '{name}' row {row}: value {value} must be finite and >= 0"
+            ),
+            EmpError::UnknownAttribute { name } => write!(f, "unknown attribute '{name}'"),
+            EmpError::InvalidRange { low, high } => {
+                write!(f, "invalid range [{low}, {high}]")
+            }
+            EmpError::ConstraintParse { message } => {
+                write!(f, "constraint parse error: {message}")
+            }
+            EmpError::SizeMismatch { graph, attrs } => write!(
+                f,
+                "graph has {graph} vertices but attribute table has {attrs} rows"
+            ),
+            EmpError::Infeasible { reasons } => {
+                write!(f, "instance is infeasible: {}", reasons.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EmpError::UnknownAttribute { name: "X".into() }
+            .to_string()
+            .contains("unknown attribute"));
+        assert!(EmpError::InvalidRange { low: 5.0, high: 1.0 }
+            .to_string()
+            .contains("[5, 1]"));
+        let e = EmpError::Infeasible {
+            reasons: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(e.to_string(), "instance is infeasible: a; b");
+    }
+}

@@ -1,0 +1,435 @@
+//! Phase 1 of FaCT: the feasibility phase (paper §V-A).
+//!
+//! A single pass over the areas computes the global aggregates every
+//! constraint needs, classifies each constraint's feasibility, filters out
+//! *invalid areas* (areas that can never belong to any valid region), and
+//! piggybacks seed-area selection for Step 1 of the construction phase.
+
+use crate::constraint::Aggregate;
+use crate::engine::ConstraintEngine;
+use std::fmt;
+
+/// Feasibility classification of a single constraint.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// The constraint poses no global obstruction.
+    Ok,
+    /// Feasible only after filtering this many invalid areas into `U_0`.
+    RequiresFiltering {
+        /// Number of areas this constraint invalidates.
+        removed: usize,
+    },
+    /// No partition of *all* areas can satisfy the constraint (Theorem 3 for
+    /// AVG); solutions must leave areas unassigned.
+    RequiresUnassigned {
+        /// The offending global aggregate value.
+        global: f64,
+    },
+    /// No valid region can exist at all; the instance is infeasible.
+    Infeasible {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Whether this verdict makes the whole instance unsolvable.
+    pub fn is_hard(&self) -> bool {
+        matches!(self, Verdict::Infeasible { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Ok => write!(f, "ok"),
+            Verdict::RequiresFiltering { removed } => {
+                write!(f, "feasible after filtering {removed} invalid areas")
+            }
+            Verdict::RequiresUnassigned { global } => write!(
+                f,
+                "no full partition exists (global aggregate {global}); areas will stay unassigned"
+            ),
+            Verdict::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+        }
+    }
+}
+
+/// Result of the feasibility phase.
+#[derive(Clone, Debug)]
+pub struct FeasibilityReport {
+    /// One verdict per constraint, in input order.
+    pub verdicts: Vec<Verdict>,
+    /// Areas that cannot belong to any valid region, sorted ascending
+    /// (moved to `U_0` before construction).
+    pub invalid_areas: Vec<u32>,
+    /// Seed areas for Step 1 (valid areas within the bounds of at least one
+    /// MIN/MAX constraint; all valid areas when no extrema constraint
+    /// exists), sorted ascending.
+    pub seeds: Vec<u32>,
+}
+
+impl FeasibilityReport {
+    /// Whether any constraint is hard-infeasible.
+    pub fn is_infeasible(&self) -> bool {
+        self.verdicts.iter().any(Verdict::is_hard)
+    }
+
+    /// Reasons of all hard-infeasible constraints.
+    pub fn infeasible_reasons(&self) -> Vec<String> {
+        self.verdicts
+            .iter()
+            .filter_map(|v| match v {
+                Verdict::Infeasible { reason } => Some(reason.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Runs the feasibility phase.
+pub fn feasibility_phase(engine: &ConstraintEngine<'_>) -> FeasibilityReport {
+    let n = engine.instance().len();
+    let constraints = engine.constraints();
+
+    // Global aggregates per constraint column, one pass conceptually; the
+    // column-major table makes per-constraint scans equally cache-friendly.
+    let mut verdicts = Vec::with_capacity(constraints.len());
+    let mut invalid = vec![false; n];
+
+    for (ci, c) in constraints.iter().enumerate() {
+        let verdict = match c.aggregate {
+            Aggregate::Avg => {
+                let mean = if n == 0 {
+                    f64::NAN
+                } else {
+                    (0..n as u32).map(|a| engine.area_value(ci, a)).sum::<f64>() / n as f64
+                };
+                if n == 0 || c.contains(mean) {
+                    Verdict::Ok
+                } else {
+                    // Theorem 3: no partition of all areas can satisfy c.
+                    Verdict::RequiresUnassigned { global: mean }
+                }
+            }
+            Aggregate::Min => {
+                let (gmin, gmax) = column_min_max(engine, ci, n);
+                if n > 0 && (gmax < c.low || gmin > c.high) {
+                    Verdict::Infeasible {
+                        reason: format!(
+                            "no area can witness MIN within [{}, {}] (attribute spans [{gmin}, {gmax}])",
+                            c.low, c.high
+                        ),
+                    }
+                } else {
+                    // Areas below the lower bound poison any region's MIN.
+                    let removed =
+                        mark_invalid(engine, ci, &mut invalid, |v| v < c.low);
+                    if removed > 0 {
+                        Verdict::RequiresFiltering { removed }
+                    } else {
+                        Verdict::Ok
+                    }
+                }
+            }
+            Aggregate::Max => {
+                let (gmin, gmax) = column_min_max(engine, ci, n);
+                if n > 0 && (gmin > c.high || gmax < c.low) {
+                    Verdict::Infeasible {
+                        reason: format!(
+                            "no area can witness MAX within [{}, {}] (attribute spans [{gmin}, {gmax}])",
+                            c.low, c.high
+                        ),
+                    }
+                } else {
+                    // Areas above the upper bound poison any region's MAX.
+                    let removed =
+                        mark_invalid(engine, ci, &mut invalid, |v| v > c.high);
+                    if removed > 0 {
+                        Verdict::RequiresFiltering { removed }
+                    } else {
+                        Verdict::Ok
+                    }
+                }
+            }
+            Aggregate::Sum => {
+                let (gmin, _gmax) = column_min_max(engine, ci, n);
+                let total: f64 = (0..n as u32).map(|a| engine.area_value(ci, a)).sum();
+                if n > 0 && gmin > c.high {
+                    Verdict::Infeasible {
+                        reason: format!(
+                            "every area exceeds the SUM upper bound {} (smallest is {gmin})",
+                            c.high
+                        ),
+                    }
+                } else if total < c.low {
+                    Verdict::Infeasible {
+                        reason: format!(
+                            "total {} is below the SUM lower bound {}; even one region over all areas fails",
+                            total, c.low
+                        ),
+                    }
+                } else {
+                    let removed =
+                        mark_invalid(engine, ci, &mut invalid, |v| v > c.high);
+                    if removed > 0 {
+                        Verdict::RequiresFiltering { removed }
+                    } else {
+                        Verdict::Ok
+                    }
+                }
+            }
+            Aggregate::Count => {
+                if (n as f64) < c.low {
+                    Verdict::Infeasible {
+                        reason: format!(
+                            "only {n} areas exist; no region can reach the COUNT lower bound {}",
+                            c.low
+                        ),
+                    }
+                } else if c.high < 1.0 {
+                    Verdict::Infeasible {
+                        reason: format!(
+                            "COUNT upper bound {} forbids even single-area regions",
+                            c.high
+                        ),
+                    }
+                } else {
+                    Verdict::Ok
+                }
+            }
+        };
+        verdicts.push(verdict);
+    }
+
+    // Seed selection piggybacks on the validity pass: a valid area is a seed
+    // if it lies within the bounds of at least one MIN or MAX constraint.
+    let extrema: Vec<usize> = engine
+        .indices_of(Aggregate::Min)
+        .iter()
+        .chain(engine.indices_of(Aggregate::Max))
+        .copied()
+        .collect();
+    let mut seeds = Vec::new();
+    for a in 0..n as u32 {
+        if invalid[a as usize] {
+            continue;
+        }
+        let is_seed = if extrema.is_empty() {
+            true
+        } else {
+            extrema.iter().any(|&ci| {
+                let c = &constraints[ci];
+                c.contains(engine.area_value(ci, a))
+            })
+        };
+        if is_seed {
+            seeds.push(a);
+        }
+    }
+
+    let invalid_areas: Vec<u32> = (0..n as u32).filter(|&a| invalid[a as usize]).collect();
+    FeasibilityReport {
+        verdicts,
+        invalid_areas,
+        seeds,
+    }
+}
+
+fn column_min_max(engine: &ConstraintEngine<'_>, ci: usize, n: usize) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for a in 0..n as u32 {
+        let v = engine.area_value(ci, a);
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
+}
+
+fn mark_invalid<F: Fn(f64) -> bool>(
+    engine: &ConstraintEngine<'_>,
+    ci: usize,
+    invalid: &mut [bool],
+    pred: F,
+) -> usize {
+    let mut removed = 0;
+    for a in 0..invalid.len() as u32 {
+        if pred(engine.area_value(ci, a)) {
+            if !invalid[a as usize] {
+                removed += 1;
+            }
+            invalid[a as usize] = true;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeTable;
+    use crate::constraint::{Constraint, ConstraintSet};
+    use crate::instance::EmpInstance;
+    use emp_graph::ContiguityGraph;
+
+    /// Figure 1a's running example: values s = [1, 2, 3, 4, 5, 6, 7, 8, 9]
+    /// for areas a1..a9 (index 0..8) on a 3x3 lattice.
+    fn paper_instance() -> EmpInstance {
+        let graph = ContiguityGraph::lattice(3, 3);
+        let mut attrs = AttributeTable::new(9);
+        attrs
+            .push_column("s", (1..=9).map(|v| v as f64).collect())
+            .unwrap();
+        EmpInstance::new(graph, attrs, "s").unwrap()
+    }
+
+    #[test]
+    fn paper_step1_example_filtering_and_seeding() {
+        // Constraints {(MIN, s, 2, 4), (MAX, s, 6, 7)} — paper Fig. 1b:
+        // a1 (s=1) filtered by MIN lower bound; a8, a9 (s=8,9) filtered by
+        // MAX upper bound; seeds = {a2,a3,a4} (MIN) ∪ {a6,a7} (MAX).
+        let inst = paper_instance();
+        let set = ConstraintSet::new()
+            .with(Constraint::min("s", 2.0, 4.0).unwrap())
+            .with(Constraint::max("s", 6.0, 7.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let report = feasibility_phase(&eng);
+        assert!(!report.is_infeasible());
+        assert_eq!(report.invalid_areas, vec![0, 7, 8]); // a1, a8, a9
+        assert_eq!(report.seeds, vec![1, 2, 3, 5, 6]); // a2,a3,a4,a6,a7
+        assert_eq!(
+            report.verdicts[0],
+            Verdict::RequiresFiltering { removed: 1 }
+        );
+        assert_eq!(
+            report.verdicts[1],
+            Verdict::RequiresFiltering { removed: 2 }
+        );
+    }
+
+    #[test]
+    fn avg_theorem3_detection() {
+        let inst = paper_instance(); // mean = 5
+        let ok = ConstraintSet::new().with(Constraint::avg("s", 4.0, 6.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &ok).unwrap();
+        assert_eq!(feasibility_phase(&eng).verdicts[0], Verdict::Ok);
+
+        let too_high = ConstraintSet::new().with(Constraint::avg("s", 7.0, 9.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &too_high).unwrap();
+        let report = feasibility_phase(&eng);
+        assert_eq!(
+            report.verdicts[0],
+            Verdict::RequiresUnassigned { global: 5.0 }
+        );
+        // Not a hard infeasibility: EMP permits unassigned areas.
+        assert!(!report.is_infeasible());
+    }
+
+    #[test]
+    fn min_hard_infeasibility() {
+        let inst = paper_instance();
+        // No area has s >= 100.
+        let set = ConstraintSet::new().with(Constraint::min("s", 100.0, 200.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let report = feasibility_phase(&eng);
+        assert!(report.is_infeasible());
+        assert_eq!(report.infeasible_reasons().len(), 1);
+
+        // MIN(s) over all areas is 1 > high 0.5.
+        let set = ConstraintSet::new()
+            .with(Constraint::min("s", f64::NEG_INFINITY, 0.5).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        assert!(feasibility_phase(&eng).is_infeasible());
+    }
+
+    #[test]
+    fn max_hard_infeasibility_and_filtering() {
+        let inst = paper_instance();
+        // Every area is above 0.5 -> gmin > high.
+        let set = ConstraintSet::new()
+            .with(Constraint::max("s", f64::NEG_INFINITY, 0.5).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        assert!(feasibility_phase(&eng).is_infeasible());
+
+        // MAX in [5, 7]: areas with s > 7 (a8, a9) are invalid.
+        let set = ConstraintSet::new().with(Constraint::max("s", 5.0, 7.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let report = feasibility_phase(&eng);
+        assert_eq!(report.invalid_areas, vec![7, 8]);
+        // Seeds for MAX in [5,7]: s in {5,6,7} = areas 4,5,6.
+        assert_eq!(report.seeds, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn sum_infeasibilities() {
+        let inst = paper_instance(); // total 45, min 1
+        // Lower bound above total.
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("s", 100.0, f64::INFINITY).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        assert!(feasibility_phase(&eng).is_infeasible());
+
+        // Upper bound below every single area.
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("s", f64::NEG_INFINITY, 0.5).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        assert!(feasibility_phase(&eng).is_infeasible());
+
+        // Upper bound 7 filters areas with s > 7.
+        let set = ConstraintSet::new().with(Constraint::sum("s", 0.0, 7.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let report = feasibility_phase(&eng);
+        assert!(!report.is_infeasible());
+        assert_eq!(report.invalid_areas, vec![7, 8]);
+    }
+
+    #[test]
+    fn count_infeasibilities() {
+        let inst = paper_instance();
+        let set = ConstraintSet::new().with(Constraint::count(10.0, f64::INFINITY).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        assert!(feasibility_phase(&eng).is_infeasible());
+
+        let set = ConstraintSet::new().with(Constraint::count(0.0, 0.5).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        assert!(feasibility_phase(&eng).is_infeasible());
+
+        let set = ConstraintSet::new().with(Constraint::count(2.0, 9.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        assert_eq!(feasibility_phase(&eng).verdicts[0], Verdict::Ok);
+    }
+
+    #[test]
+    fn no_extrema_means_all_valid_areas_are_seeds() {
+        let inst = paper_instance();
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("s", 0.0, 7.0).unwrap()); // filters a8, a9
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let report = feasibility_phase(&eng);
+        assert_eq!(report.seeds, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn empty_constraint_set_everything_valid() {
+        let inst = paper_instance();
+        let set = ConstraintSet::new();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let report = feasibility_phase(&eng);
+        assert!(report.verdicts.is_empty());
+        assert!(report.invalid_areas.is_empty());
+        assert_eq!(report.seeds.len(), 9);
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Ok.to_string(), "ok");
+        assert!(Verdict::RequiresFiltering { removed: 3 }
+            .to_string()
+            .contains("3 invalid"));
+        assert!(Verdict::RequiresUnassigned { global: 5.0 }
+            .to_string()
+            .contains("unassigned"));
+        assert!(Verdict::Infeasible { reason: "x".into() }.is_hard());
+    }
+}

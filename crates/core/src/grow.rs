@@ -1,0 +1,569 @@
+//! Step 2 of the construction phase: **Region Growing** (paper §V-B).
+//!
+//! Grows regions that satisfy the AVG constraints without violating MIN/MAX,
+//! in three substeps:
+//!
+//! * **2.1** — initialize regions from the seed set: seeds whose AVG
+//!   attribute lies inside the range become singleton regions; seeds outside
+//!   the range are merged with neighbors via Algorithm 1.
+//! * **2.2** — assign remaining areas in two rounds: direct attachment to
+//!   neighbor regions, then region-merging with a bounded number of merge
+//!   trials (the *merge limit*).
+//! * **2.3** — combine neighbor regions so every region satisfies all
+//!   MIN/MAX constraints.
+//!
+//! Invariant used throughout (paper §V-B): all invalid areas were filtered in
+//! the feasibility phase, so any remaining area satisfies `s ≥ l` of every
+//! MIN constraint and `s ≤ u` of every MAX constraint — hence *adding* areas
+//! can never break a MIN/MAX constraint that a region already satisfies, and
+//! only AVG needs re-validation during growth.
+
+use crate::constraint::Aggregate;
+use crate::engine::{ConstraintEngine, RegionAgg};
+use crate::partition::{Partition, RegionId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How an area's AVG-attribute value relates to the AVG constraints.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AvgClass {
+    /// Within every AVG constraint's range (`unassigned_avg`).
+    InRange,
+    /// Below the first violated AVG constraint's lower bound
+    /// (`unassigned_low`).
+    Low,
+    /// Above the first violated AVG constraint's upper bound
+    /// (`unassigned_high`).
+    High,
+}
+
+/// Classifies one area against the AVG constraints ([`AvgClass::InRange`]
+/// when there are none).
+pub fn classify_area(engine: &ConstraintEngine<'_>, area: u32) -> AvgClass {
+    for &ci in engine.indices_of(Aggregate::Avg) {
+        let v = engine.area_value(ci, area);
+        let c = &engine.constraints()[ci];
+        if v < c.low {
+            return AvgClass::Low;
+        }
+        if v > c.high {
+            return AvgClass::High;
+        }
+    }
+    AvgClass::InRange
+}
+
+/// Whether a (non-empty) region satisfies every AVG constraint.
+fn avg_satisfied(engine: &ConstraintEngine<'_>, agg: &RegionAgg) -> bool {
+    engine
+        .indices_of(Aggregate::Avg)
+        .iter()
+        .all(|&ci| engine.satisfied(agg, ci))
+}
+
+/// The first violated AVG constraint and the growth direction needed, if any.
+fn first_violated_avg(engine: &ConstraintEngine<'_>, agg: &RegionAgg) -> Option<(usize, AvgClass)> {
+    for &ci in engine.indices_of(Aggregate::Avg) {
+        let v = engine.value(agg, ci);
+        let c = &engine.constraints()[ci];
+        if v < c.low {
+            return Some((ci, AvgClass::Low));
+        }
+        if v > c.high {
+            return Some((ci, AvgClass::High));
+        }
+    }
+    None
+}
+
+/// Whether adding `area` to a region keeps every AVG constraint satisfied.
+fn add_preserves_avg(engine: &ConstraintEngine<'_>, agg: &RegionAgg, area: u32) -> bool {
+    engine.indices_of(Aggregate::Avg).iter().all(|&ci| {
+        let c = &engine.constraints()[ci];
+        let new_sum = agg.sums[c.slot] + engine.area_value(ci, area);
+        let new_avg = new_sum / (agg.count + 1) as f64;
+        c.contains(new_avg)
+    })
+}
+
+/// Whether the union of two regions plus one extra area satisfies every AVG
+/// constraint.
+fn merged_satisfies_avg(
+    engine: &ConstraintEngine<'_>,
+    a: &RegionAgg,
+    b: &RegionAgg,
+    extra: u32,
+) -> bool {
+    engine.indices_of(Aggregate::Avg).iter().all(|&ci| {
+        let c = &engine.constraints()[ci];
+        let sum = a.sums[c.slot] + b.sums[c.slot] + engine.area_value(ci, extra);
+        let avg = sum / (a.count + b.count + 1) as f64;
+        c.contains(avg)
+    })
+}
+
+/// Runs Step 2 on a fresh partition. `eligible[a]` is false for areas
+/// filtered into `U_0` by the feasibility phase.
+pub fn region_growing<R: Rng>(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    seeds: &[u32],
+    eligible: &[bool],
+    merge_limit: usize,
+    rng: &mut R,
+) {
+    substep_21_initialize(engine, partition, seeds, eligible, rng);
+    substep_22_assign(engine, partition, eligible, merge_limit, rng);
+    substep_23_combine(engine, partition);
+}
+
+/// Substep 2.1: initialize regions from seeds.
+pub fn substep_21_initialize<R: Rng>(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    seeds: &[u32],
+    eligible: &[bool],
+    rng: &mut R,
+) {
+    let mut in_range = Vec::new();
+    let mut extremes = Vec::new();
+    for &s in seeds {
+        debug_assert!(eligible[s as usize]);
+        match classify_area(engine, s) {
+            AvgClass::InRange => in_range.push(s),
+            AvgClass::Low | AvgClass::High => extremes.push(s),
+        }
+    }
+    // Maximize p: every in-range seed starts its own region.
+    in_range.shuffle(rng);
+    for s in in_range {
+        if partition.is_unassigned(s) {
+            partition.create_region(engine, &[s]);
+        }
+    }
+    // Algorithm 1: merge out-of-range seeds with neighbors until the AVG
+    // constraints hold, or revert.
+    extremes.shuffle(rng);
+    merge_areas_algorithm1(engine, partition, &extremes, eligible);
+}
+
+/// Algorithm 1 (paper): grow a temporary region from each out-of-range area,
+/// adding unassigned neighbors from beyond the opposite bound until the AVG
+/// range is met; revert if the neighborhood is exhausted.
+fn merge_areas_algorithm1(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    areas: &[u32],
+    eligible: &[bool],
+) {
+    let graph = engine.instance().graph();
+    for &start in areas {
+        if !partition.is_unassigned(start) {
+            continue;
+        }
+        let mut temp = vec![start];
+        let mut agg = engine.compute_fresh(&[start]);
+        let committed = loop {
+            if avg_satisfied(engine, &agg) {
+                break true;
+            }
+            let Some((ci, dir)) = first_violated_avg(engine, &agg) else {
+                break true;
+            };
+            let c = &engine.constraints()[ci];
+            // Frontier: unassigned eligible neighbors of the temp region.
+            let mut candidate = None;
+            'search: for &m in &temp {
+                for &nb in graph.neighbors(m) {
+                    if !eligible[nb as usize]
+                        || !partition.is_unassigned(nb)
+                        || temp.contains(&nb)
+                    {
+                        continue;
+                    }
+                    let v = engine.area_value(ci, nb);
+                    let moves_towards = match dir {
+                        AvgClass::Low => v > c.high,
+                        AvgClass::High => v < c.low,
+                        AvgClass::InRange => unreachable!(),
+                    };
+                    if moves_towards {
+                        candidate = Some(nb);
+                        break 'search;
+                    }
+                }
+            }
+            match candidate {
+                Some(nb) => {
+                    temp.push(nb);
+                    engine.add_area(&mut agg, nb);
+                }
+                None => break false, // revert: areas stay unassigned
+            }
+        };
+        if committed {
+            partition.create_region(engine, &temp);
+        }
+    }
+}
+
+/// Substep 2.2: assign remaining unassigned areas in two rounds.
+pub fn substep_22_assign<R: Rng>(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    eligible: &[bool],
+    merge_limit: usize,
+    rng: &mut R,
+) {
+    // Round 1: direct attachment, repeated until fixpoint — assigning an
+    // area may unlock its neighbors (paper §VII-B2).
+    loop {
+        let mut unassigned: Vec<u32> = partition
+            .unassigned()
+            .into_iter()
+            .filter(|&a| eligible[a as usize])
+            .collect();
+        unassigned.shuffle(rng);
+        let mut changed = false;
+        for a in unassigned {
+            if !partition.is_unassigned(a) {
+                continue;
+            }
+            let mut nbr_regions = partition.regions_adjacent_to_area(engine, a);
+            if nbr_regions.is_empty() {
+                continue;
+            }
+            nbr_regions.shuffle(rng);
+            match classify_area(engine, a) {
+                AvgClass::InRange => {
+                    // Safe for AVG by convexity of the range.
+                    partition.add_to_region(engine, nbr_regions[0], a);
+                    changed = true;
+                }
+                AvgClass::Low | AvgClass::High => {
+                    if let Some(&r) = nbr_regions
+                        .iter()
+                        .find(|&&r| add_preserves_avg(engine, &partition.region(r).agg, a))
+                    {
+                        partition.add_to_region(engine, r, a);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Round 2: absorb stubborn areas by merging a neighbor region with one
+    // of its neighbor regions, bounded by the merge limit per area.
+    let mut remaining: Vec<u32> = partition
+        .unassigned()
+        .into_iter()
+        .filter(|&a| eligible[a as usize] && classify_area(engine, a) != AvgClass::InRange)
+        .collect();
+    remaining.shuffle(rng);
+    for a in remaining {
+        if !partition.is_unassigned(a) {
+            continue;
+        }
+        let mut trials = 0usize;
+        let nbr_regions = partition.regions_adjacent_to_area(engine, a);
+        'outer: for &r in &nbr_regions {
+            if !partition.is_live(r) {
+                continue;
+            }
+            let second_ring = partition.neighbor_regions(engine, r);
+            for r2 in second_ring {
+                if trials >= merge_limit {
+                    break 'outer;
+                }
+                trials += 1;
+                if !partition.is_live(r) || !partition.is_live(r2) || r == r2 {
+                    continue;
+                }
+                if merged_satisfies_avg(
+                    engine,
+                    &partition.region(r).agg,
+                    &partition.region(r2).agg,
+                    a,
+                ) {
+                    partition.merge_regions(engine, r, r2);
+                    partition.add_to_region(engine, r, a);
+                    break 'outer;
+                }
+            }
+        }
+    }
+}
+
+/// Substep 2.3: merge regions until each satisfies every MIN/MAX constraint.
+///
+/// Merging two AVG-satisfying regions keeps AVG satisfied (range convexity),
+/// and a neighbor that satisfies a violated extrema constraint donates a
+/// witness area, so the merged region satisfies it too.
+pub fn substep_23_combine(engine: &ConstraintEngine<'_>, partition: &mut Partition) {
+    let extrema: Vec<usize> = engine
+        .indices_of(Aggregate::Min)
+        .iter()
+        .chain(engine.indices_of(Aggregate::Max))
+        .copied()
+        .collect();
+    if extrema.is_empty() {
+        return;
+    }
+    loop {
+        let mut progressed = false;
+        let ids: Vec<RegionId> = partition.region_ids().collect();
+        for id in ids {
+            if !partition.is_live(id) {
+                continue;
+            }
+            let violated: Vec<usize> = extrema
+                .iter()
+                .copied()
+                .filter(|&ci| !engine.satisfied(&partition.region(id).agg, ci))
+                .collect();
+            if violated.is_empty() {
+                continue;
+            }
+            let nbrs = partition.neighbor_regions(engine, id);
+            // Prefer a neighbor that witnesses every violated constraint.
+            let full_fix = nbrs.iter().copied().find(|&r| {
+                violated
+                    .iter()
+                    .all(|&ci| engine.satisfied(&partition.region(r).agg, ci))
+            });
+            let partial_fix = full_fix.or_else(|| {
+                nbrs.iter().copied().find(|&r| {
+                    violated
+                        .iter()
+                        .any(|&ci| engine.satisfied(&partition.region(r).agg, ci))
+                })
+            });
+            match partial_fix.or_else(|| nbrs.first().copied()) {
+                Some(r) => {
+                    partition.merge_regions(engine, id, r);
+                    progressed = true;
+                }
+                None => {
+                    // Isolated region that cannot be fixed.
+                    partition.dissolve_region(id);
+                    progressed = true;
+                }
+            }
+        }
+        // Done when a full pass finds no violated region (progressed stays
+        // false) — or nothing more can change.
+        if !progressed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeTable;
+    use crate::constraint::{Constraint, ConstraintSet};
+    use crate::feasibility::feasibility_phase;
+    use crate::instance::EmpInstance;
+    use emp_graph::ContiguityGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The paper's running example (Figures 1-4): 3x3 lattice, s = 1..9.
+    fn paper_instance() -> EmpInstance {
+        let graph = ContiguityGraph::lattice(3, 3);
+        let mut attrs = AttributeTable::new(9);
+        attrs
+            .push_column("s", (1..=9).map(|v| v as f64).collect())
+            .unwrap();
+        EmpInstance::new(graph, attrs, "s").unwrap()
+    }
+
+    fn run_growth(
+        inst: &EmpInstance,
+        set: &ConstraintSet,
+        seed: u64,
+    ) -> (Partition, Vec<bool>) {
+        let engine = ConstraintEngine::compile(inst, set).unwrap();
+        let report = feasibility_phase(&engine);
+        assert!(!report.is_infeasible());
+        let mut eligible = vec![true; inst.len()];
+        for &a in &report.invalid_areas {
+            eligible[a as usize] = false;
+        }
+        let mut part = Partition::new(inst.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        region_growing(&engine, &mut part, &report.seeds, &eligible, 3, &mut rng);
+        (part, eligible)
+    }
+
+    #[test]
+    fn classify_against_avg() {
+        let inst = paper_instance();
+        let set = ConstraintSet::new().with(Constraint::avg("s", 4.0, 5.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        assert_eq!(classify_area(&eng, 0), AvgClass::Low); // s=1
+        assert_eq!(classify_area(&eng, 3), AvgClass::InRange); // s=4
+        assert_eq!(classify_area(&eng, 4), AvgClass::InRange); // s=5
+        assert_eq!(classify_area(&eng, 8), AvgClass::High); // s=9
+    }
+
+    #[test]
+    fn no_avg_constraint_classifies_in_range() {
+        let inst = paper_instance();
+        let set = ConstraintSet::new().with(Constraint::min("s", 2.0, 4.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        assert_eq!(classify_area(&eng, 0), AvgClass::InRange);
+        assert_eq!(classify_area(&eng, 8), AvgClass::InRange);
+    }
+
+    /// Paper example in §V-B Step 2: constraints {MIN in [2,4], MAX in [6,7],
+    /// AVG in [4,5]} on the running example. Areas a1, a8, a9 (s=1,8,9) are
+    /// filtered; all regions produced must satisfy all three constraints.
+    #[test]
+    fn paper_example_regions_satisfy_extrema_and_avg() {
+        let inst = paper_instance();
+        let set = ConstraintSet::new()
+            .with(Constraint::min("s", 2.0, 4.0).unwrap())
+            .with(Constraint::max("s", 6.0, 7.0).unwrap())
+            .with(Constraint::avg("s", 4.0, 5.0).unwrap());
+        for seed in 0..10u64 {
+            let (part, _) = run_growth(&inst, &set, seed);
+            let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+            assert!(part.p() >= 1, "seed {seed}: no regions");
+            for id in part.region_ids() {
+                let agg = &part.region(id).agg;
+                for ci in 0..3 {
+                    assert!(
+                        eng.satisfied(agg, ci),
+                        "seed {seed}: region {id} violates constraint {ci}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grown_regions_are_contiguous() {
+        let inst = paper_instance();
+        let set = ConstraintSet::new().with(Constraint::avg("s", 4.0, 6.0).unwrap());
+        for seed in 0..10u64 {
+            let (part, _) = run_growth(&inst, &set, seed);
+            for members in part.extract_regions() {
+                assert!(
+                    emp_graph::subgraph::is_connected_subset(inst.graph(), &members),
+                    "seed {seed}: region {members:?} not contiguous"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avg_only_query_assigns_everything_when_possible() {
+        // AVG in [1, 9] covers every area: everything should be assigned and
+        // every area become its own region (all seeds in range, p maximal).
+        let inst = paper_instance();
+        let set = ConstraintSet::new().with(Constraint::avg("s", 1.0, 9.0).unwrap());
+        let (part, _) = run_growth(&inst, &set, 7);
+        assert_eq!(part.p(), 9);
+        assert!(part.unassigned().is_empty());
+    }
+
+    #[test]
+    fn no_constraints_gives_singletons() {
+        let inst = paper_instance();
+        let set = ConstraintSet::new();
+        let (part, _) = run_growth(&inst, &set, 3);
+        assert_eq!(part.p(), 9);
+    }
+
+    #[test]
+    fn tight_avg_leaves_unassigned() {
+        // AVG in [100, 200] is unreachable: every area stays unassigned and
+        // no regions form.
+        let inst = paper_instance();
+        let set = ConstraintSet::new().with(Constraint::avg("s", 100.0, 200.0).unwrap());
+        let (part, _) = run_growth(&inst, &set, 1);
+        assert_eq!(part.p(), 0);
+        assert_eq!(part.unassigned().len(), 9);
+    }
+
+    #[test]
+    fn algorithm1_combines_low_and_high() {
+        // 2x2 block with s = [1, 9, 9, 1] and AVG in [4.5, 5.5]: no single
+        // area satisfies, but any low/high pair averages 5. Every low area
+        // has two high neighbors, so Algorithm 1 always finds two regions.
+        let graph = ContiguityGraph::lattice(2, 2);
+        let mut attrs = AttributeTable::new(4);
+        attrs
+            .push_column("s", vec![1.0, 9.0, 9.0, 1.0])
+            .unwrap();
+        let inst = EmpInstance::new(graph, attrs, "s").unwrap();
+        let set = ConstraintSet::new().with(Constraint::avg("s", 4.5, 5.5).unwrap());
+        for seed in 0..8u64 {
+            let (part, _) = run_growth(&inst, &set, seed);
+            assert_eq!(part.p(), 2, "seed {seed}");
+            assert!(part.unassigned().is_empty(), "seed {seed}");
+            let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+            for id in part.region_ids() {
+                assert!(eng.satisfied(&part.region(id).agg, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn substep_23_merges_min_only_region_with_max_witness() {
+        // Paper Figure 4: R_red = {a4} holds only a MIN seed; it must merge
+        // with a neighbor satisfying the MAX constraint.
+        let inst = paper_instance();
+        let set = ConstraintSet::new()
+            .with(Constraint::min("s", 2.0, 4.0).unwrap())
+            .with(Constraint::max("s", 6.0, 7.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        // Region layout of Figure 2b: R_red={a4}, R_blue={a2,a5,a6},
+        // R_green={a3,a7} — indices 3; 1,4,5; 2,6.
+        part.create_region(&eng, &[3]);
+        part.create_region(&eng, &[1, 4, 5]);
+        part.create_region(&eng, &[2, 6]);
+        substep_23_combine(&eng, &mut part);
+        assert_eq!(part.p(), 2);
+        for id in part.region_ids() {
+            assert!(eng.satisfied(&part.region(id).agg, 0), "MIN violated");
+            assert!(eng.satisfied(&part.region(id).agg, 1), "MAX violated");
+        }
+    }
+
+    #[test]
+    fn round2_merging_respects_merge_limit() {
+        // Path 0-1-2 with s = [4, 6, 9] and AVG in [4, 6.5].
+        // Areas 0 and 1 are in range (singleton regions); area 2 is high.
+        // Attaching 2 to {1} gives avg 7.5 (violates); merging {1} with its
+        // neighbor {0} and absorbing 2 gives avg 19/3 ≈ 6.33 (satisfies).
+        // Round 2 must perform that merge — unless the merge limit is 0.
+        let set = ConstraintSet::new().with(Constraint::avg("s", 4.0, 6.5).unwrap());
+        for (merge_limit, expect_assigned) in [(0usize, false), (3usize, true)] {
+            let graph = ContiguityGraph::lattice(3, 1);
+            let mut attrs = AttributeTable::new(3);
+            attrs.push_column("s", vec![4.0, 6.0, 9.0]).unwrap();
+            let inst = EmpInstance::new(graph, attrs, "s").unwrap();
+            let engine = ConstraintEngine::compile(&inst, &set).unwrap();
+            let report = feasibility_phase(&engine);
+            let eligible = vec![true; 3];
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut part = Partition::new(3);
+            region_growing(&engine, &mut part, &report.seeds, &eligible, merge_limit, &mut rng);
+            if expect_assigned {
+                assert!(part.unassigned().is_empty(), "merge_limit {merge_limit}");
+                assert_eq!(part.p(), 1);
+            } else {
+                assert_eq!(part.unassigned(), vec![2], "merge_limit {merge_limit}");
+                assert_eq!(part.p(), 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Region heterogeneity: `H(P) = Σ_R Σ_{i,j ∈ R} |d_i - d_j|` (paper Eq. 1).
+//!
+//! Each region keeps a [`DissimStat`]: its members' dissimilarity values in
+//! sorted order plus the running pairwise sum, so the local-search phase can
+//! evaluate a move's ΔH in O(k) and commit it in O(k) — matching the paper's
+//! O(n) move attempt while avoiding full recomputation (O(k²)).
+
+/// Sorted dissimilarity values of one region with the pairwise-distance sum
+/// maintained incrementally.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DissimStat {
+    sorted: Vec<f64>,
+    pairwise: f64,
+}
+
+impl DissimStat {
+    /// Empty statistic.
+    pub fn new() -> Self {
+        DissimStat::default()
+    }
+
+    /// Builds the statistic for a value slice.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite dissimilarity"));
+        let pairwise = pairwise_of_sorted(&sorted);
+        DissimStat { sorted, pairwise }
+    }
+
+    /// Number of stored values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the statistic is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Current pairwise sum `Σ_{i<j} |d_i - d_j|` counted once per unordered
+    /// pair (the paper's double sum counts each pair twice; a constant factor
+    /// that cancels in comparisons — see [`DissimStat::paper_heterogeneity`]).
+    #[inline]
+    pub fn pairwise(&self) -> f64 {
+        self.pairwise
+    }
+
+    /// The paper's Eq. 1 value for this region (each pair counted twice).
+    #[inline]
+    pub fn paper_heterogeneity(&self) -> f64 {
+        2.0 * self.pairwise
+    }
+
+    /// Change of the pairwise sum if `x` were inserted.
+    pub fn insert_delta(&self, x: f64) -> f64 {
+        // Σ |x - v| over current members.
+        self.sorted.iter().map(|v| (x - v).abs()).sum()
+    }
+
+    /// Change of the pairwise sum if `x` (which must be present) were removed.
+    pub fn remove_delta(&self, x: f64) -> f64 {
+        -(self.insert_delta(x) /* |x-x| contributes 0 */)
+    }
+
+    /// Inserts `x`, returning the pairwise-sum delta.
+    pub fn insert(&mut self, x: f64) -> f64 {
+        let delta = self.insert_delta(x);
+        let idx = self.sorted.partition_point(|&v| v < x);
+        self.sorted.insert(idx, x);
+        self.pairwise += delta;
+        delta
+    }
+
+    /// Removes one occurrence of `x`, returning the pairwise-sum delta.
+    /// Panics if `x` is absent.
+    pub fn remove(&mut self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v < x);
+        assert!(
+            idx < self.sorted.len() && self.sorted[idx] == x,
+            "DissimStat: removing absent value {x}"
+        );
+        self.sorted.remove(idx);
+        let delta = -self.insert_delta(x);
+        self.pairwise += delta;
+        delta
+    }
+
+    /// Merges `other` into `self`, returning the pairwise-sum delta (the
+    /// cross-pair contribution).
+    pub fn absorb(&mut self, other: &DissimStat) -> f64 {
+        // Cross terms via a merge-style scan: for each x in other, sum of
+        // |x - v| over self. O(k_other * log k_self) with prefix sums would
+        // be possible; regions merge rarely, so the simple O(k*k) loop is
+        // only used when both sides are small — otherwise rebuild.
+        let cross: f64 = if other.len().saturating_mul(self.len()) <= 4096 {
+            other
+                .sorted
+                .iter()
+                .map(|&x| self.insert_delta(x))
+                .sum()
+        } else {
+            cross_pairwise_sorted(&self.sorted, &other.sorted)
+        };
+        let mut merged = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.sorted.len() && j < other.sorted.len() {
+            if self.sorted[i] <= other.sorted[j] {
+                merged.push(self.sorted[i]);
+                i += 1;
+            } else {
+                merged.push(other.sorted[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.sorted[i..]);
+        merged.extend_from_slice(&other.sorted[j..]);
+        self.sorted = merged;
+        self.pairwise += other.pairwise + cross;
+        cross
+    }
+}
+
+/// Pairwise sum of a sorted slice in O(k):
+/// `Σ_{i<j} (d_j - d_i) = Σ_k (2k - m + 1) · d_(k)`.
+pub fn pairwise_of_sorted(sorted: &[f64]) -> f64 {
+    let m = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(k, &v)| (2.0 * k as f64 - m + 1.0) * v)
+        .sum()
+}
+
+/// Cross-pair sum between two sorted slices in O(k₁ + k₂).
+fn cross_pairwise_sorted(a: &[f64], b: &[f64]) -> f64 {
+    // For each x in b: Σ_a |x - v| = x·c_less − s_less + (s_total − s_less) − x·(n − c_less)
+    let s_total: f64 = a.iter().sum();
+    let n = a.len();
+    let mut acc = 0.0;
+    let mut c_less = 0usize;
+    let mut s_less = 0.0f64;
+    // b is sorted, so walk a's prefix monotonically.
+    for &x in b {
+        while c_less < n && a[c_less] <= x {
+            s_less += a[c_less];
+            c_less += 1;
+        }
+        acc += x * c_less as f64 - s_less + (s_total - s_less) - x * (n - c_less) as f64;
+    }
+    acc
+}
+
+/// Total heterogeneity (unordered-pair convention) of a full partition given
+/// per-area dissimilarities and region member lists.
+pub fn total_heterogeneity(dissim: &[f64], regions: &[Vec<u32>]) -> f64 {
+    regions
+        .iter()
+        .map(|members| {
+            let values: Vec<f64> = members.iter().map(|&a| dissim[a as usize]).collect();
+            DissimStat::from_values(&values).pairwise()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(values: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..values.len() {
+            for j in (i + 1)..values.len() {
+                acc += (values[i] - values[j]).abs();
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn from_values_matches_bruteforce() {
+        let vals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let s = DissimStat::from_values(&vals);
+        assert!((s.pairwise() - brute(&vals)).abs() < 1e-9);
+        assert!((s.paper_heterogeneity() - 2.0 * brute(&vals)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_and_remove_track_bruteforce() {
+        let mut s = DissimStat::new();
+        let mut vals: Vec<f64> = Vec::new();
+        for x in [5.0, 2.0, 8.0, 2.0, 7.0] {
+            s.insert(x);
+            vals.push(x);
+            assert!((s.pairwise() - brute(&vals)).abs() < 1e-9, "after insert {x}");
+        }
+        for x in [2.0, 8.0, 5.0] {
+            s.remove(x);
+            let idx = vals.iter().position(|&v| v == x).unwrap();
+            vals.remove(idx);
+            assert!((s.pairwise() - brute(&vals)).abs() < 1e-9, "after remove {x}");
+        }
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn deltas_match_commit() {
+        let mut s = DissimStat::from_values(&[1.0, 4.0, 6.0]);
+        let d = s.insert_delta(3.0);
+        let committed = s.insert(3.0);
+        assert_eq!(d, committed);
+        assert_eq!(d, 2.0 + 1.0 + 3.0);
+        let d = s.remove_delta(4.0);
+        let committed = s.remove(4.0);
+        assert_eq!(d, committed);
+    }
+
+    #[test]
+    #[should_panic(expected = "removing absent value")]
+    fn remove_absent_panics() {
+        let mut s = DissimStat::from_values(&[1.0]);
+        s.remove(2.0);
+    }
+
+    #[test]
+    fn absorb_matches_bruteforce() {
+        let a_vals = [1.0, 5.0, 9.0];
+        let b_vals = [2.0, 2.0, 8.0];
+        let mut a = DissimStat::from_values(&a_vals);
+        let b = DissimStat::from_values(&b_vals);
+        a.absorb(&b);
+        let mut all = a_vals.to_vec();
+        all.extend_from_slice(&b_vals);
+        assert!((a.pairwise() - brute(&all)).abs() < 1e-9);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn absorb_large_uses_linear_path() {
+        let a_vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b_vals: Vec<f64> = (0..100).map(|i| (i * 3 % 97) as f64).collect();
+        let mut a = DissimStat::from_values(&a_vals);
+        let b = DissimStat::from_values(&b_vals);
+        a.absorb(&b);
+        let mut all = a_vals.clone();
+        all.extend_from_slice(&b_vals);
+        assert!((a.pairwise() - brute(&all)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn total_heterogeneity_sums_regions() {
+        let d = [0.0, 1.0, 10.0, 12.0];
+        let regions = vec![vec![0u32, 1], vec![2, 3]];
+        assert!((total_heterogeneity(&d, &regions) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_zero() {
+        assert_eq!(DissimStat::new().pairwise(), 0.0);
+        assert_eq!(DissimStat::from_values(&[7.0]).pairwise(), 0.0);
+        assert!(DissimStat::new().is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! An EMP problem instance: areas with attributes plus their contiguity graph.
+
+use crate::attr::AttributeTable;
+use crate::error::EmpError;
+use crate::objective::ObjectiveSpec;
+use emp_graph::ContiguityGraph;
+
+/// The input of the EMP problem: a set of areas `A` where each area has
+/// spatially extensive attributes `S_i`, a dissimilarity attribute `d_i`, and
+/// spatial adjacency encoded in a [`ContiguityGraph`] (paper §III).
+#[derive(Clone, Debug)]
+pub struct EmpInstance {
+    graph: ContiguityGraph,
+    attributes: AttributeTable,
+    dissimilarity: Vec<f64>,
+    objective: ObjectiveSpec,
+}
+
+impl EmpInstance {
+    /// Creates an instance where the dissimilarity attribute is one of the
+    /// table's columns (e.g. `HOUSEHOLDS` in the paper's evaluation).
+    pub fn new(
+        graph: ContiguityGraph,
+        attributes: AttributeTable,
+        dissimilarity_attr: &str,
+    ) -> Result<Self, EmpError> {
+        let col = attributes
+            .column_index(dissimilarity_attr)
+            .ok_or_else(|| EmpError::UnknownAttribute {
+                name: dissimilarity_attr.to_string(),
+            })?;
+        let dissimilarity = attributes.column(col).to_vec();
+        Self::from_parts(graph, attributes, dissimilarity)
+    }
+
+    /// Creates an instance with an explicit dissimilarity vector (which may
+    /// be derived data rather than a raw attribute).
+    pub fn from_parts(
+        graph: ContiguityGraph,
+        attributes: AttributeTable,
+        dissimilarity: Vec<f64>,
+    ) -> Result<Self, EmpError> {
+        if graph.len() != attributes.rows() {
+            return Err(EmpError::SizeMismatch {
+                graph: graph.len(),
+                attrs: attributes.rows(),
+            });
+        }
+        if dissimilarity.len() != graph.len() {
+            return Err(EmpError::SizeMismatch {
+                graph: graph.len(),
+                attrs: dissimilarity.len(),
+            });
+        }
+        if let Some(row) = dissimilarity.iter().position(|v| !v.is_finite()) {
+            return Err(EmpError::InvalidAttributeValue {
+                name: "<dissimilarity>".to_string(),
+                row,
+                value: dissimilarity[row],
+            });
+        }
+        let objective = ObjectiveSpec::heterogeneity(dissimilarity.clone());
+        Ok(EmpInstance {
+            graph,
+            attributes,
+            dissimilarity,
+            objective,
+        })
+    }
+
+    /// Replaces the local-search objective (paper §III: "our work can
+    /// support alternative definitions, such as improving spatial
+    /// compactness or balancing multiple criteria"). The spec must cover
+    /// every area.
+    pub fn with_objective(mut self, objective: ObjectiveSpec) -> Result<Self, EmpError> {
+        if objective.len() != self.len() {
+            return Err(EmpError::SizeMismatch {
+                graph: self.len(),
+                attrs: objective.len(),
+            });
+        }
+        self.objective = objective;
+        Ok(self)
+    }
+
+    /// The local-search objective (defaults to the paper's heterogeneity
+    /// over the dissimilarity attribute).
+    #[inline]
+    pub fn objective(&self) -> &ObjectiveSpec {
+        &self.objective
+    }
+
+    /// Number of areas `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the instance has no areas.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The contiguity graph.
+    #[inline]
+    pub fn graph(&self) -> &ContiguityGraph {
+        &self.graph
+    }
+
+    /// The attribute table.
+    #[inline]
+    pub fn attributes(&self) -> &AttributeTable {
+        &self.attributes
+    }
+
+    /// Dissimilarity values `d_i`, one per area.
+    #[inline]
+    pub fn dissimilarity(&self) -> &[f64] {
+        &self.dissimilarity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_instance() -> EmpInstance {
+        let graph = ContiguityGraph::lattice(2, 2);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("POP", vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        EmpInstance::new(graph, attrs, "POP").unwrap()
+    }
+
+    #[test]
+    fn construction_from_attr() {
+        let inst = small_instance();
+        assert_eq!(inst.len(), 4);
+        assert_eq!(inst.dissimilarity(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(!inst.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_dissimilarity() {
+        let graph = ContiguityGraph::lattice(2, 2);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("POP", vec![0.0; 4]).unwrap();
+        assert!(matches!(
+            EmpInstance::new(graph, attrs, "NOPE"),
+            Err(EmpError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_size_mismatch() {
+        let graph = ContiguityGraph::lattice(2, 2);
+        let mut attrs = AttributeTable::new(3);
+        attrs.push_column("POP", vec![0.0; 3]).unwrap();
+        assert!(matches!(
+            EmpInstance::new(graph, attrs, "POP"),
+            Err(EmpError::SizeMismatch { .. })
+        ));
+        let graph = ContiguityGraph::lattice(2, 2);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("POP", vec![0.0; 4]).unwrap();
+        assert!(EmpInstance::from_parts(graph, attrs, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_dissimilarity() {
+        let graph = ContiguityGraph::lattice(2, 2);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("POP", vec![0.0; 4]).unwrap();
+        let err = EmpInstance::from_parts(graph, attrs, vec![0.0, f64::NAN, 0.0, 0.0]);
+        assert!(matches!(err, Err(EmpError::InvalidAttributeValue { row: 1, .. })));
+    }
+
+    #[test]
+    fn dissimilarity_may_be_negative() {
+        // Unlike extensive attributes, d_i only feeds |d_i - d_j|.
+        let graph = ContiguityGraph::lattice(2, 2);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("POP", vec![0.0; 4]).unwrap();
+        let inst = EmpInstance::from_parts(graph, attrs, vec![-1.0, 0.0, 1.0, 2.0]).unwrap();
+        assert_eq!(inst.dissimilarity()[0], -1.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! # emp-core — Enriched Max-P Regionalization (EMP) and the FaCT solver
+//!
+//! A from-scratch Rust implementation of *"EMP: Max-P Regionalization with
+//! Enriched Constraints"* (Kang & Magdy, ICDE 2022).
+//!
+//! The **EMP problem** groups spatial areas into the maximum number `p` of
+//! spatially contiguous regions such that every region satisfies a set of
+//! user-defined constraints — SQL-style aggregates (`MIN`, `MAX`, `AVG`,
+//! `SUM`, `COUNT`) over spatially extensive attributes with range bounds —
+//! while minimizing total region heterogeneity. Unlike the classic
+//! max-p-regions problem it supports multiple simultaneous constraints,
+//! non-monotonic aggregates, upper bounds, multi-component datasets, and an
+//! unassigned set `U_0`.
+//!
+//! The **FaCT** algorithm solves EMP in three phases:
+//!
+//! 1. [`feasibility`] — proves (in)feasibility per constraint, filters
+//!    invalid areas, selects seed areas;
+//! 2. construction — [`grow`] (Step 2: region growing around seeds, driven
+//!    by the AVG constraints) and [`adjust`] (Step 3: monotonic adjustments
+//!    for SUM/COUNT);
+//! 3. [`tabu`] — local search minimizing heterogeneity at fixed `p`.
+//!
+//! ```
+//! use emp_core::prelude::*;
+//! use emp_graph::ContiguityGraph;
+//!
+//! // Four areas in a row with one attribute.
+//! let graph = ContiguityGraph::lattice(4, 1);
+//! let mut attrs = AttributeTable::new(4);
+//! attrs.push_column("POP", vec![120.0, 80.0, 100.0, 90.0]).unwrap();
+//! let instance = EmpInstance::new(graph, attrs, "POP").unwrap();
+//!
+//! // "SUM(POP) >= 150" — written the way the paper's examples read.
+//! let constraints = parse_constraints("SUM(POP) >= 150").unwrap();
+//!
+//! let report = solve(&instance, &constraints, &FactConfig::default()).unwrap();
+//! assert!(report.p() >= 1);
+//! for region in &report.solution.regions {
+//!     let pop: f64 = region.iter().map(|&a| instance.attributes().value(0, a as usize)).sum();
+//!     assert!(pop >= 150.0);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adjust;
+pub mod attr;
+pub mod constraint;
+pub mod describe;
+pub mod engine;
+pub mod error;
+pub mod feasibility;
+pub mod grow;
+pub mod heterogeneity;
+pub mod instance;
+pub mod objective;
+pub mod parse;
+pub mod partition;
+pub mod solution;
+pub mod solver;
+pub mod tabu;
+pub mod validate;
+pub mod value;
+
+pub use attr::AttributeTable;
+pub use constraint::{Aggregate, Constraint, ConstraintSet, Family};
+pub use describe::{describe, SolutionReport};
+pub use error::EmpError;
+pub use feasibility::{FeasibilityReport, Verdict};
+pub use instance::EmpInstance;
+pub use objective::{Channel, ObjectiveSpec};
+pub use parse::{parse_constraint, parse_constraints};
+pub use solution::Solution;
+pub use solver::{solve, FactConfig, PhaseTimings, SolveReport};
+pub use tabu::{TabuConfig, TabuStats};
+pub use validate::{p_upper_bound, validate_solution};
+
+/// Common imports for EMP users.
+pub mod prelude {
+    pub use crate::attr::AttributeTable;
+    pub use crate::constraint::{Aggregate, Constraint, ConstraintSet};
+    pub use crate::error::EmpError;
+    pub use crate::instance::EmpInstance;
+    pub use crate::parse::{parse_constraint, parse_constraints};
+    pub use crate::solution::Solution;
+    pub use crate::solver::{solve, FactConfig, SolveReport};
+    pub use crate::validate::validate_solution;
+}

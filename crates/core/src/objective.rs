@@ -1,0 +1,195 @@
+//! Pluggable local-search objectives.
+//!
+//! The paper's Eq. 1 heterogeneity is the default objective, but §III notes
+//! that "our work can support alternative definitions, such as improving
+//! spatial compactness or balancing multiple criteria" because the Tabu
+//! phase only needs an objective it can evaluate incrementally. This module
+//! makes that concrete: an objective is a weighted sum of *channels*, each a
+//! per-area value whose per-region pairwise L1 spread is minimized.
+//!
+//! * **Heterogeneity** — one channel: the dissimilarity attribute `d_i`
+//!   (exactly the paper's `H(P)` up to the pair-counting convention).
+//! * **Compactness** — two channels: area centroid `x` and `y`; minimizing
+//!   pairwise coordinate spread pulls regions into compact blobs.
+//! * **Balanced** — any weighted combination of the above.
+
+use crate::error::EmpError;
+
+/// One objective channel: per-area values plus a weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Channel {
+    /// Channel name (reporting only).
+    pub name: String,
+    /// One value per area; the channel score of a region is the pairwise
+    /// `Σ_{i<j} |v_i - v_j|` over its members.
+    pub values: Vec<f64>,
+    /// Weight in the overall objective.
+    pub weight: f64,
+}
+
+/// A weighted multi-channel objective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectiveSpec {
+    channels: Vec<Channel>,
+}
+
+impl ObjectiveSpec {
+    /// The paper's default: minimize dissimilarity heterogeneity.
+    pub fn heterogeneity(dissimilarity: Vec<f64>) -> Self {
+        ObjectiveSpec {
+            channels: vec![Channel {
+                name: "heterogeneity".to_string(),
+                values: dissimilarity,
+                weight: 1.0,
+            }],
+        }
+    }
+
+    /// Spatial compactness: minimize the pairwise centroid spread.
+    pub fn compactness(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, EmpError> {
+        Self::from_channels(vec![
+            Channel {
+                name: "centroid-x".to_string(),
+                values: xs,
+                weight: 1.0,
+            },
+            Channel {
+                name: "centroid-y".to_string(),
+                values: ys,
+                weight: 1.0,
+            },
+        ])
+    }
+
+    /// A custom weighted combination (e.g. heterogeneity + compactness).
+    pub fn from_channels(channels: Vec<Channel>) -> Result<Self, EmpError> {
+        if channels.is_empty() {
+            return Err(EmpError::ConstraintParse {
+                message: "objective needs at least one channel".to_string(),
+            });
+        }
+        let len = channels[0].values.len();
+        for ch in &channels {
+            if ch.values.len() != len {
+                return Err(EmpError::ColumnLengthMismatch {
+                    name: ch.name.clone(),
+                    expected: len,
+                    actual: ch.values.len(),
+                });
+            }
+            if !ch.weight.is_finite() || ch.weight < 0.0 {
+                return Err(EmpError::InvalidAttributeValue {
+                    name: ch.name.clone(),
+                    row: 0,
+                    value: ch.weight,
+                });
+            }
+            if let Some(row) = ch.values.iter().position(|v| !v.is_finite()) {
+                return Err(EmpError::InvalidAttributeValue {
+                    name: ch.name.clone(),
+                    row,
+                    value: ch.values[row],
+                });
+            }
+        }
+        Ok(ObjectiveSpec { channels })
+    }
+
+    /// The channels.
+    #[inline]
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Number of areas the spec covers.
+    pub fn len(&self) -> usize {
+        self.channels[0].values.len()
+    }
+
+    /// Whether the spec covers no areas.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Recomputes the full objective score of a region list from scratch
+    /// (test/validation oracle).
+    pub fn score(&self, regions: &[Vec<u32>]) -> f64 {
+        use crate::heterogeneity::DissimStat;
+        self.channels
+            .iter()
+            .map(|ch| {
+                ch.weight
+                    * regions
+                        .iter()
+                        .map(|members| {
+                            let vals: Vec<f64> =
+                                members.iter().map(|&a| ch.values[a as usize]).collect();
+                            DissimStat::from_values(&vals).pairwise()
+                        })
+                        .sum::<f64>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heterogeneity_single_channel() {
+        let o = ObjectiveSpec::heterogeneity(vec![0.0, 1.0, 3.0]);
+        assert_eq!(o.channels().len(), 1);
+        assert_eq!(o.len(), 3);
+        // One region {0,1,2}: |0-1| + |0-3| + |1-3| = 6.
+        assert_eq!(o.score(&[vec![0, 1, 2]]), 6.0);
+        // Split: {0,1} | {2} = 1.
+        assert_eq!(o.score(&[vec![0, 1], vec![2]]), 1.0);
+    }
+
+    #[test]
+    fn compactness_two_channels() {
+        let o = ObjectiveSpec::compactness(vec![0.0, 0.0, 5.0], vec![0.0, 1.0, 0.0]).unwrap();
+        assert_eq!(o.channels().len(), 2);
+        // Region {0,1}: x spread 0, y spread 1 -> 1.
+        // Region {0,2}: x spread 5, y spread 0 -> 5.
+        assert_eq!(o.score(&[vec![0, 1]]), 1.0);
+        assert_eq!(o.score(&[vec![0, 2]]), 5.0);
+    }
+
+    #[test]
+    fn weighted_combination() {
+        let o = ObjectiveSpec::from_channels(vec![
+            Channel {
+                name: "a".into(),
+                values: vec![0.0, 2.0],
+                weight: 10.0,
+            },
+            Channel {
+                name: "b".into(),
+                values: vec![0.0, 1.0],
+                weight: 1.0,
+            },
+        ])
+        .unwrap();
+        assert_eq!(o.score(&[vec![0, 1]]), 21.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ObjectiveSpec::from_channels(vec![]).is_err());
+        assert!(ObjectiveSpec::compactness(vec![0.0], vec![0.0, 1.0]).is_err());
+        let bad_weight = Channel {
+            name: "w".into(),
+            values: vec![0.0],
+            weight: -1.0,
+        };
+        assert!(ObjectiveSpec::from_channels(vec![bad_weight]).is_err());
+        let nan = Channel {
+            name: "n".into(),
+            values: vec![f64::NAN],
+            weight: 1.0,
+        };
+        assert!(ObjectiveSpec::from_channels(vec![nan]).is_err());
+    }
+}

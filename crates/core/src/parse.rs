@@ -1,0 +1,424 @@
+//! A small parser for SQL-inspired constraint expressions.
+//!
+//! EMP's constraints are "inspired by the standard SQL aggregate functions";
+//! this module lets queries be written the way the paper's examples read:
+//!
+//! ```text
+//! SUM(TOTALPOP) >= 200000 AND AVG(INCOME) IN [3000, 5000] AND SUM(TRANSIT) >= 10000
+//! ```
+//!
+//! Supported forms (case-insensitive keywords):
+//!
+//! * `AGG(attr) >= x`, `AGG(attr) <= x`
+//! * `AGG(attr) IN [x, y]`, `AGG(attr) BETWEEN x AND y`
+//! * `x <= AGG(attr) <= y`
+//! * conjunctions with `AND` or `;`
+//!
+//! `COUNT(*)` and `COUNT(attr)` are both accepted.
+
+use crate::constraint::{Aggregate, Constraint, ConstraintSet};
+use crate::error::EmpError;
+
+/// Parses a conjunction of constraint expressions.
+pub fn parse_constraints(input: &str) -> Result<ConstraintSet, EmpError> {
+    let mut set = ConstraintSet::new();
+    for part in split_conjunction(input) {
+        let trimmed = part.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        set.push(parse_constraint(trimmed)?);
+    }
+    Ok(set)
+}
+
+/// Parses a single constraint expression.
+pub fn parse_constraint(input: &str) -> Result<Constraint, EmpError> {
+    let mut t = Tokenizer::new(input);
+    let tokens = t.tokenize()?;
+    ParserState { tokens, pos: 0 }.parse()
+}
+
+/// Splits on `AND` (word boundaries, case-insensitive) and `;`, but not
+/// inside brackets (so `BETWEEN x AND y` survives).
+fn split_conjunction(input: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0i32;
+    // ASCII uppercasing preserves byte offsets, so `upper[i..]` is valid
+    // whenever `i` is a char boundary of `input` (guaranteed by
+    // `char_indices`).
+    let upper = input.to_ascii_uppercase();
+    let bytes = upper.as_bytes();
+    let mut between_pending = false;
+    let mut chars = input.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '[' | '(' => depth += 1,
+            ']' | ')' => depth -= 1,
+            ';' if depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        if depth == 0 && upper[i..].starts_with("BETWEEN") && word_boundary(bytes, i, 7) {
+            between_pending = true;
+        }
+        if depth == 0 && upper[i..].starts_with("AND") && word_boundary(bytes, i, 3) {
+            if between_pending {
+                // The AND belongs to a BETWEEN ... AND ... range.
+                between_pending = false;
+            } else {
+                parts.push(std::mem::take(&mut cur));
+                // Consume the 'N' and 'D' (ASCII, one char each).
+                chars.next();
+                chars.next();
+                continue;
+            }
+        }
+        cur.push(c);
+    }
+    parts.push(cur);
+    parts
+}
+
+fn word_boundary(bytes: &[u8], start: usize, len: usize) -> bool {
+    let before_ok = start == 0 || !bytes[start - 1].is_ascii_alphanumeric();
+    let after = start + len;
+    let after_ok = after >= bytes.len() || !bytes[after].is_ascii_alphanumeric();
+    before_ok && after_ok
+}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Symbol(char), // ( ) [ ] , *
+    Le,           // <=
+    Ge,           // >=
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer { input, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> EmpError {
+        EmpError::ConstraintParse {
+            message: format!("{} (at byte {})", message.into(), self.pos),
+        }
+    }
+
+    fn tokenize(&mut self) -> Result<Vec<Token>, EmpError> {
+        let bytes = self.input.as_bytes();
+        let mut out = Vec::new();
+        while self.pos < bytes.len() {
+            let b = bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                b'(' | b')' | b'[' | b']' | b',' | b'*' => {
+                    out.push(Token::Symbol(b as char));
+                    self.pos += 1;
+                }
+                b'<' | b'>' => {
+                    let op = b;
+                    self.pos += 1;
+                    if self.pos < bytes.len() && bytes[self.pos] == b'=' {
+                        self.pos += 1;
+                    }
+                    // Treat `<` as `<=`: the paper's ranges are inclusive.
+                    out.push(if op == b'<' { Token::Le } else { Token::Ge });
+                }
+                b'-' | b'+' | b'0'..=b'9' | b'.' => {
+                    // Signed infinity: `-INF` / `+INFINITY`.
+                    if (b == b'-' || b == b'+')
+                        && bytes
+                            .get(self.pos + 1)
+                            .is_some_and(|nb| nb.is_ascii_alphabetic())
+                    {
+                        let sign = if b == b'-' { -1.0 } else { 1.0 };
+                        let start = self.pos + 1;
+                        let mut end = start;
+                        while end < bytes.len() && bytes[end].is_ascii_alphabetic() {
+                            end += 1;
+                        }
+                        let word = self.input[start..end].to_ascii_uppercase();
+                        if word == "INF" || word == "INFINITY" {
+                            self.pos = end;
+                            out.push(Token::Number(sign * f64::INFINITY));
+                            continue;
+                        }
+                        return Err(self.err(format!("bad signed literal '{word}'")));
+                    }
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < bytes.len()
+                        && (bytes[self.pos].is_ascii_digit()
+                            || matches!(bytes[self.pos], b'.' | b'e' | b'E' | b'_')
+                            || ((bytes[self.pos] == b'+' || bytes[self.pos] == b'-')
+                                && matches!(bytes[self.pos - 1], b'e' | b'E')))
+                    {
+                        self.pos += 1;
+                    }
+                    let text: String = self.input[start..self.pos].replace('_', "");
+                    // Allow k/K/m/M magnitude suffixes (the paper writes "20k").
+                    let (text, mult) =
+                        if self.pos < bytes.len() && matches!(bytes[self.pos], b'k' | b'K') {
+                            self.pos += 1;
+                            (text, 1_000.0)
+                        } else if self.pos < bytes.len() && matches!(bytes[self.pos], b'm' | b'M') {
+                            self.pos += 1;
+                            (text, 1_000_000.0)
+                        } else {
+                            (text, 1.0)
+                        };
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| self.err(format!("bad number '{text}'")))?;
+                    out.push(Token::Number(v * mult));
+                }
+                _ if b.is_ascii_alphabetic() || b == b'_' => {
+                    let start = self.pos;
+                    while self.pos < bytes.len()
+                        && (bytes[self.pos].is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    let word = &self.input[start..self.pos];
+                    match word.to_ascii_uppercase().as_str() {
+                        "INF" | "INFINITY" => out.push(Token::Number(f64::INFINITY)),
+                        _ => out.push(Token::Ident(word.to_string())),
+                    }
+                }
+                _ => return Err(self.err(format!("unexpected character '{}'", b as char))),
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct ParserState {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl ParserState {
+    fn err(&self, message: impl Into<String>) -> EmpError {
+        EmpError::ConstraintParse {
+            message: format!("{} (token {})", message.into(), self.pos),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_symbol(&mut self, ch: char) -> Result<(), EmpError> {
+        match self.next() {
+            Some(Token::Symbol(c)) if c == ch => Ok(()),
+            other => Err(self.err(format!("expected '{ch}', got {other:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, EmpError> {
+        match self.next() {
+            Some(Token::Number(v)) => Ok(v),
+            // Unary minus on INF etc. is handled in the tokenizer via the
+            // leading '-' branch, so any remaining ident here is an error.
+            other => Err(self.err(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// `AGG ( attr | * )`
+    fn aggregate_call(&mut self) -> Result<(Aggregate, String), EmpError> {
+        let name = match self.next() {
+            Some(Token::Ident(s)) => s,
+            other => return Err(self.err(format!("expected aggregate name, got {other:?}"))),
+        };
+        let aggregate = match name.to_ascii_uppercase().as_str() {
+            "MIN" => Aggregate::Min,
+            "MAX" => Aggregate::Max,
+            "AVG" | "MEAN" => Aggregate::Avg,
+            "SUM" => Aggregate::Sum,
+            "COUNT" => Aggregate::Count,
+            other => return Err(self.err(format!("unknown aggregate '{other}'"))),
+        };
+        self.expect_symbol('(')?;
+        let attr = match self.next() {
+            Some(Token::Ident(s)) => s,
+            Some(Token::Symbol('*')) => "*".to_string(),
+            other => return Err(self.err(format!("expected attribute, got {other:?}"))),
+        };
+        self.expect_symbol(')')?;
+        Ok((aggregate, attr))
+    }
+
+    fn parse(&mut self) -> Result<Constraint, EmpError> {
+        // Form: x <= AGG(attr) <= y
+        if matches!(self.peek(), Some(Token::Number(_))) {
+            let low = self.number()?;
+            match self.next() {
+                Some(Token::Le) => {}
+                other => return Err(self.err(format!("expected '<=', got {other:?}"))),
+            }
+            let (aggregate, attr) = self.aggregate_call()?;
+            match self.next() {
+                Some(Token::Le) => {}
+                other => return Err(self.err(format!("expected '<=', got {other:?}"))),
+            }
+            let high = self.number()?;
+            self.end()?;
+            return Constraint::new(aggregate, attr, low, high);
+        }
+
+        let (aggregate, attr) = self.aggregate_call()?;
+        match self.next() {
+            Some(Token::Ge) => {
+                let low = self.number()?;
+                self.end()?;
+                Constraint::new(aggregate, attr, low, f64::INFINITY)
+            }
+            Some(Token::Le) => {
+                let high = self.number()?;
+                self.end()?;
+                Constraint::new(aggregate, attr, f64::NEG_INFINITY, high)
+            }
+            Some(Token::Ident(kw)) if kw.eq_ignore_ascii_case("in") => {
+                self.expect_symbol('[')?;
+                let low = self.signed_number()?;
+                self.expect_symbol(',')?;
+                let high = self.signed_number()?;
+                self.expect_symbol(']')?;
+                self.end()?;
+                Constraint::new(aggregate, attr, low, high)
+            }
+            Some(Token::Ident(kw)) if kw.eq_ignore_ascii_case("between") => {
+                let low = self.signed_number()?;
+                match self.next() {
+                    Some(Token::Ident(a)) if a.eq_ignore_ascii_case("and") => {}
+                    other => return Err(self.err(format!("expected AND, got {other:?}"))),
+                }
+                let high = self.signed_number()?;
+                self.end()?;
+                Constraint::new(aggregate, attr, low, high)
+            }
+            other => Err(self.err(format!("expected comparison, got {other:?}"))),
+        }
+    }
+
+    fn signed_number(&mut self) -> Result<f64, EmpError> {
+        self.number()
+    }
+
+    fn end(&mut self) -> Result<(), EmpError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing tokens"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_bounds() {
+        let c = parse_constraint("SUM(TOTALPOP) >= 20000").unwrap();
+        assert_eq!(c.aggregate, Aggregate::Sum);
+        assert_eq!(c.attribute, "TOTALPOP");
+        assert_eq!(c.low, 20000.0);
+        assert_eq!(c.high, f64::INFINITY);
+
+        let c = parse_constraint("MIN(POP16UP) <= 3000").unwrap();
+        assert_eq!(c.aggregate, Aggregate::Min);
+        assert_eq!(c.low, f64::NEG_INFINITY);
+        assert_eq!(c.high, 3000.0);
+    }
+
+    #[test]
+    fn parses_ranges() {
+        let c = parse_constraint("AVG(EMPLOYED) IN [1500, 3500]").unwrap();
+        assert_eq!((c.low, c.high), (1500.0, 3500.0));
+        let c = parse_constraint("COUNT(*) BETWEEN 2 AND 10").unwrap();
+        assert_eq!(c.aggregate, Aggregate::Count);
+        assert_eq!((c.low, c.high), (2.0, 10.0));
+        let c = parse_constraint("1500 <= AVG(EMPLOYED) <= 3500").unwrap();
+        assert_eq!((c.low, c.high), (1500.0, 3500.0));
+    }
+
+    #[test]
+    fn parses_magnitude_suffixes() {
+        let c = parse_constraint("SUM(TOTALPOP) >= 20k").unwrap();
+        assert_eq!(c.low, 20000.0);
+        let c = parse_constraint("SUM(TOTALPOP) <= 1.5M").unwrap();
+        assert_eq!(c.high, 1_500_000.0);
+    }
+
+    #[test]
+    fn parses_conjunctions() {
+        let set = parse_constraints(
+            "MIN(POP16UP) <= 3000 AND AVG(EMPLOYED) IN [1500,3500]; SUM(TOTALPOP) >= 20k",
+        )
+        .unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(set.has(Aggregate::Min));
+        assert!(set.has(Aggregate::Avg));
+        assert!(set.has(Aggregate::Sum));
+    }
+
+    #[test]
+    fn between_and_inside_conjunction() {
+        let set = parse_constraints(
+            "COUNT(*) BETWEEN 2 AND 12 AND SUM(POP) >= 100",
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.constraints()[0].high, 12.0);
+    }
+
+    #[test]
+    fn strict_operators_treated_as_inclusive() {
+        let c = parse_constraint("SUM(P) > 5").unwrap();
+        assert_eq!(c.low, 5.0);
+        let c = parse_constraint("SUM(P) < 5").unwrap();
+        assert_eq!(c.high, 5.0);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_constraint("FOO(X) >= 1").is_err());
+        assert!(parse_constraint("SUM(X) >=").is_err());
+        assert!(parse_constraint("SUM X >= 1").is_err());
+        assert!(parse_constraint("SUM(X) IN [5, 1]").is_err()); // low > high
+        assert!(parse_constraint("SUM(X) >= 1 garbage").is_err());
+        assert!(parse_constraint("").is_err());
+    }
+
+    #[test]
+    fn infinity_keyword() {
+        let c = parse_constraint("SUM(X) IN [5, INF]").unwrap();
+        assert_eq!(c.high, f64::INFINITY);
+    }
+
+    #[test]
+    fn count_star_and_named() {
+        assert!(parse_constraint("COUNT(*) <= 4").is_ok());
+        assert!(parse_constraint("COUNT(AREAS) <= 4").is_ok());
+    }
+}

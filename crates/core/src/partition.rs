@@ -1,0 +1,505 @@
+//! The working partition: mutable assignment of areas to regions with
+//! incrementally-maintained aggregates and heterogeneity statistics.
+
+use crate::engine::{ConstraintEngine, RegionAgg};
+use crate::heterogeneity::DissimStat;
+use emp_graph::subgraph;
+
+/// Region identifier within a [`Partition`]. Region slots are reused via
+/// tombstones, so ids are stable while a region lives.
+pub type RegionId = u32;
+
+/// A live region: its member areas plus cached aggregates.
+#[derive(Clone, Debug)]
+pub struct RegionData {
+    /// Member areas (unsorted).
+    pub members: Vec<u32>,
+    /// Incremental constraint aggregates.
+    pub agg: RegionAgg,
+    /// Incremental objective statistics, one per objective channel (the
+    /// default objective has a single dissimilarity channel).
+    pub dissim: Vec<DissimStat>,
+}
+
+/// A (partial) partition of the areas into regions, with unassigned areas
+/// (the paper's `U_0`) represented by `None` in the assignment.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    assignment: Vec<Option<RegionId>>,
+    regions: Vec<Option<RegionData>>,
+    live: usize,
+}
+
+impl Partition {
+    /// A partition of `n` areas with everything unassigned.
+    pub fn new(n: usize) -> Self {
+        Partition {
+            assignment: vec![None; n],
+            regions: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of areas.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the partition covers no areas.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Number of live regions `p`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.live
+    }
+
+    /// The region an area belongs to, if any.
+    #[inline]
+    pub fn region_of(&self, area: u32) -> Option<RegionId> {
+        self.assignment[area as usize]
+    }
+
+    /// Whether an area is unassigned.
+    #[inline]
+    pub fn is_unassigned(&self, area: u32) -> bool {
+        self.assignment[area as usize].is_none()
+    }
+
+    /// Borrows a live region.
+    #[inline]
+    pub fn region(&self, id: RegionId) -> &RegionData {
+        self.regions[id as usize].as_ref().expect("live region")
+    }
+
+    /// Whether a region id refers to a live region.
+    #[inline]
+    pub fn is_live(&self, id: RegionId) -> bool {
+        (id as usize) < self.regions.len() && self.regions[id as usize].is_some()
+    }
+
+    /// Iterates live region ids.
+    pub fn region_ids(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|_| i as RegionId))
+    }
+
+    /// All unassigned areas, ascending.
+    pub fn unassigned(&self) -> Vec<u32> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_none().then_some(i as u32))
+            .collect()
+    }
+
+    /// The weighted objective score: for the default objective this is the
+    /// per-region pairwise dissimilarity sum (unordered-pair convention;
+    /// multiply by 2 for the paper's Eq. 1 value). Requires the per-channel
+    /// weights, so it takes the engine.
+    pub fn heterogeneity_with(&self, engine: &ConstraintEngine<'_>) -> f64 {
+        let channels = engine.instance().objective().channels();
+        self.region_ids()
+            .map(|id| {
+                self.region(id)
+                    .dissim
+                    .iter()
+                    .zip(channels)
+                    .map(|(stat, ch)| ch.weight * stat.pairwise())
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Objective delta of moving `area` from its region to `to` (without
+    /// mutating anything).
+    pub fn move_objective_delta(
+        &self,
+        engine: &ConstraintEngine<'_>,
+        area: u32,
+        from: RegionId,
+        to: RegionId,
+    ) -> f64 {
+        let channels = engine.instance().objective().channels();
+        let mut delta = 0.0;
+        for (ci, ch) in channels.iter().enumerate() {
+            let v = ch.values[area as usize];
+            delta += ch.weight
+                * (self.region(from).dissim[ci].remove_delta(v)
+                    + self.region(to).dissim[ci].insert_delta(v));
+        }
+        delta
+    }
+
+    /// Objective delta of adding an (unassigned) area to region `to`.
+    pub fn insert_objective_delta(
+        &self,
+        engine: &ConstraintEngine<'_>,
+        to: RegionId,
+        area: u32,
+    ) -> f64 {
+        engine
+            .instance()
+            .objective()
+            .channels()
+            .iter()
+            .enumerate()
+            .map(|(ci, ch)| {
+                ch.weight * self.region(to).dissim[ci].insert_delta(ch.values[area as usize])
+            })
+            .sum()
+    }
+
+    /// Creates a region from unassigned areas, returning its id.
+    ///
+    /// Panics (debug) if any area is already assigned.
+    pub fn create_region(&mut self, engine: &ConstraintEngine<'_>, areas: &[u32]) -> RegionId {
+        debug_assert!(!areas.is_empty());
+        let dissim: Vec<DissimStat> = engine
+            .instance()
+            .objective()
+            .channels()
+            .iter()
+            .map(|ch| {
+                let vals: Vec<f64> = areas.iter().map(|&a| ch.values[a as usize]).collect();
+                DissimStat::from_values(&vals)
+            })
+            .collect();
+        let data = RegionData {
+            members: areas.to_vec(),
+            agg: engine.compute_fresh(areas),
+            dissim,
+        };
+        // Reuse a tombstone slot if present.
+        let id = match self.regions.iter().position(|r| r.is_none()) {
+            Some(slot) => {
+                self.regions[slot] = Some(data);
+                slot as RegionId
+            }
+            None => {
+                self.regions.push(Some(data));
+                (self.regions.len() - 1) as RegionId
+            }
+        };
+        for &a in areas {
+            debug_assert!(self.assignment[a as usize].is_none(), "area {a} already assigned");
+            self.assignment[a as usize] = Some(id);
+        }
+        self.live += 1;
+        id
+    }
+
+    /// Adds an unassigned area to a live region.
+    pub fn add_to_region(&mut self, engine: &ConstraintEngine<'_>, id: RegionId, area: u32) {
+        debug_assert!(self.assignment[area as usize].is_none());
+        let channels = engine.instance().objective().channels();
+        let region = self.regions[id as usize].as_mut().expect("live region");
+        region.members.push(area);
+        engine.add_area(&mut region.agg, area);
+        for (stat, ch) in region.dissim.iter_mut().zip(channels) {
+            stat.insert(ch.values[area as usize]);
+        }
+        self.assignment[area as usize] = Some(id);
+    }
+
+    /// Removes an area from its region, leaving it unassigned. Dissolving the
+    /// last member removes the region.
+    pub fn remove_from_region(&mut self, engine: &ConstraintEngine<'_>, area: u32) {
+        let id = self.assignment[area as usize].expect("area is assigned");
+        let channels = engine.instance().objective().channels();
+        let region = self.regions[id as usize].as_mut().expect("live region");
+        let pos = region
+            .members
+            .iter()
+            .position(|&a| a == area)
+            .expect("member present");
+        region.members.swap_remove(pos);
+        engine.remove_area(&mut region.agg, area);
+        for (stat, ch) in region.dissim.iter_mut().zip(channels) {
+            stat.remove(ch.values[area as usize]);
+        }
+        self.assignment[area as usize] = None;
+        if region.members.is_empty() {
+            self.regions[id as usize] = None;
+            self.live -= 1;
+        }
+    }
+
+    /// Moves an assigned area from its region to another live region.
+    pub fn move_area(&mut self, engine: &ConstraintEngine<'_>, area: u32, to: RegionId) {
+        self.remove_from_region(engine, area);
+        self.add_to_region(engine, to, area);
+    }
+
+    /// Merges region `src` into region `dst`; `src` becomes a tombstone.
+    pub fn merge_regions(&mut self, _engine: &ConstraintEngine<'_>, dst: RegionId, src: RegionId) {
+        debug_assert_ne!(dst, src);
+        let src_data = self.regions[src as usize].take().expect("live src region");
+        self.live -= 1;
+        let dst_data = self.regions[dst as usize].as_mut().expect("live dst region");
+        for &a in &src_data.members {
+            self.assignment[a as usize] = Some(dst);
+        }
+        dst_data.members.extend_from_slice(&src_data.members);
+        let mut agg = std::mem::take(&mut dst_data.agg);
+        // Absorb aggregates (engine-independent: same slot layout).
+        agg.count += src_data.agg.count;
+        for (a, b) in agg.sums.iter_mut().zip(&src_data.agg.sums) {
+            *a += b;
+        }
+        for (a, b) in agg.multisets.iter_mut().zip(&src_data.agg.multisets) {
+            a.absorb(b);
+        }
+        dst_data.agg = agg;
+        for (dst_stat, src_stat) in dst_data.dissim.iter_mut().zip(&src_data.dissim) {
+            dst_stat.absorb(src_stat);
+        }
+    }
+
+    /// Dissolves a region, unassigning all members.
+    pub fn dissolve_region(&mut self, id: RegionId) {
+        let data = self.regions[id as usize].take().expect("live region");
+        for a in data.members {
+            self.assignment[a as usize] = None;
+        }
+        self.live -= 1;
+    }
+
+    /// Ids of live regions adjacent to `id` (sharing a graph edge).
+    pub fn neighbor_regions(&self, engine: &ConstraintEngine<'_>, id: RegionId) -> Vec<RegionId> {
+        let graph = engine.instance().graph();
+        let mut out = Vec::new();
+        for &a in &self.region(id).members {
+            for &nb in graph.neighbors(a) {
+                if let Some(other) = self.assignment[nb as usize] {
+                    if other != id {
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Ids of live regions adjacent to an (unassigned) area.
+    pub fn regions_adjacent_to_area(
+        &self,
+        engine: &ConstraintEngine<'_>,
+        area: u32,
+    ) -> Vec<RegionId> {
+        let mut out: Vec<RegionId> = engine
+            .instance()
+            .graph()
+            .neighbors(area)
+            .iter()
+            .filter_map(|&nb| self.assignment[nb as usize])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether removing `area` keeps its region connected (and non-empty).
+    pub fn removal_keeps_connected(&self, engine: &ConstraintEngine<'_>, area: u32) -> bool {
+        let id = self.assignment[area as usize].expect("assigned");
+        subgraph::is_connected_after_removal(
+            engine.instance().graph(),
+            &self.region(id).members,
+            area,
+        )
+    }
+
+    /// Extracts the final member lists of all live regions (sorted members,
+    /// regions ordered by their smallest member).
+    pub fn extract_regions(&self) -> Vec<Vec<u32>> {
+        let mut regions: Vec<Vec<u32>> = self
+            .region_ids()
+            .map(|id| {
+                let mut m = self.region(id).members.clone();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        regions.sort_by_key(|m| m[0]);
+        regions
+    }
+
+    /// Raw assignment slice.
+    pub fn assignment(&self) -> &[Option<RegionId>] {
+        &self.assignment
+    }
+
+    /// Rebuilds a partition from an assignment snapshot (region ids need not
+    /// be dense; they are re-labeled).
+    pub fn from_assignment(
+        engine: &ConstraintEngine<'_>,
+        assignment: &[Option<RegionId>],
+    ) -> Partition {
+        use std::collections::HashMap;
+        let mut groups: HashMap<RegionId, Vec<u32>> = HashMap::new();
+        for (a, r) in assignment.iter().enumerate() {
+            if let Some(r) = r {
+                groups.entry(*r).or_default().push(a as u32);
+            }
+        }
+        let mut part = Partition::new(assignment.len());
+        let mut ids: Vec<RegionId> = groups.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            part.create_region(engine, &groups[&id]);
+        }
+        part
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeTable;
+    use crate::constraint::{Constraint, ConstraintSet};
+    use crate::instance::EmpInstance;
+    use emp_graph::ContiguityGraph;
+
+    fn setup() -> (EmpInstance, ConstraintSet) {
+        // 3x3 lattice, POP = index*10, dissim = index.
+        let graph = ContiguityGraph::lattice(3, 3);
+        let mut attrs = AttributeTable::new(9);
+        attrs
+            .push_column("POP", (0..9).map(|i| i as f64 * 10.0).collect())
+            .unwrap();
+        attrs
+            .push_column("D", (0..9).map(|i| i as f64).collect())
+            .unwrap();
+        let inst = EmpInstance::new(graph, attrs, "D").unwrap();
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 0.0, f64::INFINITY).unwrap())
+            .with(Constraint::min("POP", 0.0, f64::INFINITY).unwrap());
+        (inst, set)
+    }
+
+    #[test]
+    fn lifecycle_create_add_remove() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        assert_eq!(part.p(), 0);
+        let r = part.create_region(&eng, &[0, 1]);
+        assert_eq!(part.p(), 1);
+        assert_eq!(part.region_of(0), Some(r));
+        assert!(part.is_unassigned(2));
+        assert_eq!(eng.value(&part.region(r).agg, 0), 10.0); // SUM POP
+
+        part.add_to_region(&eng, r, 2);
+        assert_eq!(eng.value(&part.region(r).agg, 0), 30.0);
+        assert_eq!(part.region(r).members.len(), 3);
+
+        part.remove_from_region(&eng, 1);
+        assert_eq!(eng.value(&part.region(r).agg, 0), 20.0);
+        assert!(part.is_unassigned(1));
+        assert_eq!(part.unassigned().len(), 7);
+    }
+
+    #[test]
+    fn removing_last_member_kills_region() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        let r = part.create_region(&eng, &[4]);
+        part.remove_from_region(&eng, 4);
+        assert_eq!(part.p(), 0);
+        assert!(!part.is_live(r));
+        // Slot is reused.
+        let r2 = part.create_region(&eng, &[5]);
+        assert_eq!(r2, r);
+    }
+
+    #[test]
+    fn merge_moves_members_and_aggregates() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        let a = part.create_region(&eng, &[0, 1]);
+        let b = part.create_region(&eng, &[2, 5]);
+        part.merge_regions(&eng, a, b);
+        assert_eq!(part.p(), 1);
+        assert!(!part.is_live(b));
+        assert_eq!(part.region_of(2), Some(a));
+        assert_eq!(eng.value(&part.region(a).agg, 0), 80.0);
+        assert_eq!(part.region(a).members.len(), 4);
+        // Heterogeneity matches fresh computation: d = {0,1,2,5}.
+        let expect = crate::heterogeneity::total_heterogeneity(
+            inst.dissimilarity(),
+            &part.extract_regions(),
+        );
+        assert!((part.heterogeneity_with(&eng) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dissolve_unassigns() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        let a = part.create_region(&eng, &[0, 1, 2]);
+        part.dissolve_region(a);
+        assert_eq!(part.p(), 0);
+        assert_eq!(part.unassigned().len(), 9);
+    }
+
+    #[test]
+    fn neighbor_queries() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        // Lattice 3x3: rows are {0,1,2}, {3,4,5}, {6,7,8}.
+        let top = part.create_region(&eng, &[0, 1, 2]);
+        let mid = part.create_region(&eng, &[3, 4, 5]);
+        assert_eq!(part.neighbor_regions(&eng, top), vec![mid]);
+        assert_eq!(part.neighbor_regions(&eng, mid), vec![top]);
+        assert_eq!(part.regions_adjacent_to_area(&eng, 7), vec![mid]);
+        assert_eq!(part.regions_adjacent_to_area(&eng, 6), vec![mid]);
+    }
+
+    #[test]
+    fn move_area_between_regions() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        let top = part.create_region(&eng, &[0, 1, 2]);
+        let mid = part.create_region(&eng, &[3, 4, 5]);
+        part.move_area(&eng, 2, mid);
+        assert_eq!(part.region_of(2), Some(mid));
+        assert_eq!(part.region(top).members.len(), 2);
+        assert_eq!(part.region(mid).members.len(), 4);
+    }
+
+    #[test]
+    fn removal_connectivity_guard() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        // Snake region 0-1-2-5: removing 2 disconnects 5.
+        let _r = part.create_region(&eng, &[0, 1, 2, 5]);
+        assert!(!part.removal_keeps_connected(&eng, 2));
+        assert!(part.removal_keeps_connected(&eng, 5));
+        assert!(part.removal_keeps_connected(&eng, 0));
+    }
+
+    #[test]
+    fn extract_regions_is_deterministic() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        part.create_region(&eng, &[5, 2]);
+        part.create_region(&eng, &[1, 0]);
+        let regions = part.extract_regions();
+        assert_eq!(regions, vec![vec![0, 1], vec![2, 5]]);
+    }
+}

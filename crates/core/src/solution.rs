@@ -1,0 +1,108 @@
+//! Final solver output types.
+
+use crate::engine::ConstraintEngine;
+use crate::partition::Partition;
+
+/// The EMP output: `p` regions plus the unassigned set `U_0` (paper §III).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    /// Member areas per region (each sorted ascending; regions ordered by
+    /// their smallest member, so output is deterministic).
+    pub regions: Vec<Vec<u32>>,
+    /// For each area, the index into `regions` it belongs to, or `None` for
+    /// `U_0`.
+    pub assignment: Vec<Option<u32>>,
+    /// Areas in `U_0`, sorted ascending.
+    pub unassigned: Vec<u32>,
+    /// Total heterogeneity in the unordered-pair convention
+    /// (half the paper's Eq. 1 double-sum value).
+    pub heterogeneity: f64,
+}
+
+impl Solution {
+    /// Number of regions `p`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The paper's Eq. 1 heterogeneity (each pair counted twice).
+    #[inline]
+    pub fn paper_heterogeneity(&self) -> f64 {
+        2.0 * self.heterogeneity
+    }
+
+    /// Fraction of areas left unassigned.
+    pub fn unassigned_fraction(&self) -> f64 {
+        if self.assignment.is_empty() {
+            0.0
+        } else {
+            self.unassigned.len() as f64 / self.assignment.len() as f64
+        }
+    }
+
+    /// Builds a solution snapshot from a working partition.
+    pub fn from_partition(engine: &ConstraintEngine<'_>, partition: &Partition) -> Self {
+        let regions = partition.extract_regions();
+        let mut assignment = vec![None; partition.len()];
+        for (idx, members) in regions.iter().enumerate() {
+            for &a in members {
+                assignment[a as usize] = Some(idx as u32);
+            }
+        }
+        let unassigned: Vec<u32> = assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(a, r)| r.is_none().then_some(a as u32))
+            .collect();
+        Solution {
+            regions,
+            assignment,
+            unassigned,
+            heterogeneity: partition.heterogeneity_with(engine),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeTable;
+    use crate::constraint::ConstraintSet;
+    use crate::engine::ConstraintEngine;
+    use crate::instance::EmpInstance;
+    use emp_graph::ContiguityGraph;
+
+    #[test]
+    fn snapshot_from_partition() {
+        let graph = ContiguityGraph::lattice(4, 1);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("D", vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let inst = EmpInstance::new(graph, attrs, "D").unwrap();
+        let set = ConstraintSet::new();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(4);
+        part.create_region(&eng, &[1, 0]);
+        part.create_region(&eng, &[3]);
+        let sol = Solution::from_partition(&eng, &part);
+        assert_eq!(sol.p(), 2);
+        assert_eq!(sol.regions, vec![vec![0, 1], vec![3]]);
+        assert_eq!(sol.assignment, vec![Some(0), Some(0), None, Some(1)]);
+        assert_eq!(sol.unassigned, vec![2]);
+        assert_eq!(sol.heterogeneity, 1.0);
+        assert_eq!(sol.paper_heterogeneity(), 2.0);
+        assert_eq!(sol.unassigned_fraction(), 0.25);
+    }
+
+    #[test]
+    fn empty_solution() {
+        let sol = Solution {
+            regions: vec![],
+            assignment: vec![],
+            unassigned: vec![],
+            heterogeneity: 0.0,
+        };
+        assert_eq!(sol.p(), 0);
+        assert_eq!(sol.unassigned_fraction(), 0.0);
+    }
+}

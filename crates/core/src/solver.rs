@@ -1,0 +1,459 @@
+//! The FaCT solver: orchestrates the feasibility, construction, and local
+//! search phases (paper §V).
+
+use crate::adjust::monotonic_adjustments;
+use crate::constraint::ConstraintSet;
+use crate::engine::ConstraintEngine;
+use crate::error::EmpError;
+use crate::feasibility::{feasibility_phase, FeasibilityReport};
+use crate::grow::region_growing;
+use crate::instance::EmpInstance;
+use crate::partition::Partition;
+use crate::solution::Solution;
+use crate::tabu::{tabu_search, TabuConfig, TabuStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// FaCT tuning parameters. Defaults follow the paper's experimental setup
+/// (§VII-A): random area pickup, AVG merge limit 3, tabu tenure 10,
+/// `max_no_improve = n`.
+#[derive(Clone, Debug)]
+pub struct FactConfig {
+    /// Construction iterations; the partition with the highest `p` is kept.
+    pub construction_iterations: usize,
+    /// Merge-trial limit per area in Substep 2.2 round 2.
+    pub merge_limit: usize,
+    /// Tabu list length.
+    pub tabu_tenure: usize,
+    /// Maximum non-improving tabu iterations (`None` = number of areas).
+    pub max_no_improve: Option<usize>,
+    /// Hard cap on total tabu iterations (`None` = the [`TabuConfig`]
+    /// default of `20 n`; the paper observes ~`2 n` in practice).
+    pub max_tabu_iterations: Option<usize>,
+    /// Whether to run the local search phase at all.
+    pub local_search: bool,
+    /// RNG seed (construction iteration `i` uses `seed + i`).
+    pub seed: u64,
+    /// Run construction iterations on scoped threads (paper §VIII future
+    /// work: parallelization).
+    pub parallel: bool,
+}
+
+impl Default for FactConfig {
+    fn default() -> Self {
+        FactConfig {
+            construction_iterations: 3,
+            merge_limit: 3,
+            tabu_tenure: 10,
+            max_no_improve: None,
+            max_tabu_iterations: None,
+            local_search: true,
+            seed: 0xE5_1D,
+            parallel: false,
+        }
+    }
+}
+
+impl FactConfig {
+    /// A config with a specific seed and defaults elsewhere.
+    pub fn seeded(seed: u64) -> Self {
+        FactConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Wall-clock timings of the three phases, in seconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Feasibility phase.
+    pub feasibility: f64,
+    /// Construction phase (all iterations).
+    pub construction: f64,
+    /// Local search phase.
+    pub local_search: f64,
+}
+
+impl PhaseTimings {
+    /// Total runtime.
+    pub fn total(&self) -> f64 {
+        self.feasibility + self.construction + self.local_search
+    }
+}
+
+/// Everything FaCT reports back: the solution, the feasibility analysis
+/// (which the paper surfaces to let users tune data or query), per-phase
+/// timings, and local-search statistics.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The final solution.
+    pub solution: Solution,
+    /// Feasibility phase output.
+    pub feasibility: FeasibilityReport,
+    /// Heterogeneity before the local search (unordered-pair convention).
+    pub heterogeneity_before: f64,
+    /// Tabu statistics (zeroed when local search is disabled).
+    pub tabu: TabuStats,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+}
+
+impl SolveReport {
+    /// Number of regions.
+    pub fn p(&self) -> usize {
+        self.solution.p()
+    }
+
+    /// Relative heterogeneity improvement achieved by the local search.
+    pub fn improvement(&self) -> f64 {
+        self.tabu.improvement()
+    }
+}
+
+/// Solves an EMP instance with FaCT.
+///
+/// Returns `Err(EmpError::Infeasible)` when the feasibility phase proves no
+/// valid region can exist; constraint/attribute mismatches surface as their
+/// respective errors.
+pub fn solve(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    config: &FactConfig,
+) -> Result<SolveReport, EmpError> {
+    let engine = ConstraintEngine::compile(instance, constraints)?;
+
+    // Phase 1: feasibility.
+    let t0 = Instant::now();
+    let feasibility = feasibility_phase(&engine);
+    let feasibility_time = t0.elapsed().as_secs_f64();
+    if feasibility.is_infeasible() {
+        return Err(EmpError::Infeasible {
+            reasons: feasibility.infeasible_reasons(),
+        });
+    }
+    let mut eligible = vec![true; instance.len()];
+    for &a in &feasibility.invalid_areas {
+        eligible[a as usize] = false;
+    }
+
+    // Phase 2: construction (multiple iterations, keep max p; ties broken by
+    // fewer unassigned areas, then lower heterogeneity).
+    let t1 = Instant::now();
+    let iterations = config.construction_iterations.max(1);
+    let best = if config.parallel && iterations > 1 {
+        construct_parallel(&engine, &feasibility, &eligible, config, iterations)
+    } else {
+        construct_serial(&engine, &feasibility, &eligible, config, iterations)
+    };
+    let mut partition = best.expect("at least one construction iteration");
+    let construction_time = t1.elapsed().as_secs_f64();
+    let heterogeneity_before = partition.heterogeneity_with(&engine);
+
+    // Phase 3: local search.
+    let t2 = Instant::now();
+    let tabu = if config.local_search {
+        let mut tabu_cfg = TabuConfig {
+            tenure: config.tabu_tenure,
+            max_no_improve: config.max_no_improve.unwrap_or(instance.len()),
+            ..TabuConfig::for_instance(instance.len())
+        };
+        if let Some(cap) = config.max_tabu_iterations {
+            tabu_cfg.max_iterations = cap;
+        }
+        tabu_search(&engine, &mut partition, &tabu_cfg)
+    } else {
+        TabuStats {
+            initial: heterogeneity_before,
+            best: heterogeneity_before,
+            ..Default::default()
+        }
+    };
+    let local_search_time = t2.elapsed().as_secs_f64();
+
+    Ok(SolveReport {
+        solution: Solution::from_partition(&engine, &partition),
+        feasibility,
+        heterogeneity_before,
+        tabu,
+        timings: PhaseTimings {
+            feasibility: feasibility_time,
+            construction: construction_time,
+            local_search: local_search_time,
+        },
+    })
+}
+
+/// One construction iteration: region growing then monotonic adjustments.
+fn construct_once(
+    engine: &ConstraintEngine<'_>,
+    feasibility: &FeasibilityReport,
+    eligible: &[bool],
+    merge_limit: usize,
+    seed: u64,
+) -> Partition {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut partition = Partition::new(engine.instance().len());
+    region_growing(
+        engine,
+        &mut partition,
+        &feasibility.seeds,
+        eligible,
+        merge_limit,
+        &mut rng,
+    );
+    monotonic_adjustments(engine, &mut partition, &mut rng);
+    partition
+}
+
+/// Ranks construction outcomes: higher p, then fewer unassigned, then lower
+/// heterogeneity.
+fn better(engine: &ConstraintEngine<'_>, a: &Partition, b: &Partition) -> bool {
+    let ua = a.unassigned().len();
+    let ub = b.unassigned().len();
+    (a.p(), std::cmp::Reverse(ua), std::cmp::Reverse(OrdKey(a.heterogeneity_with(engine))))
+        > (b.p(), std::cmp::Reverse(ub), std::cmp::Reverse(OrdKey(b.heterogeneity_with(engine))))
+}
+
+#[derive(PartialEq, PartialOrd)]
+struct OrdKey(f64);
+impl Eq for OrdKey {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+fn construct_serial(
+    engine: &ConstraintEngine<'_>,
+    feasibility: &FeasibilityReport,
+    eligible: &[bool],
+    config: &FactConfig,
+    iterations: usize,
+) -> Option<Partition> {
+    let mut best: Option<Partition> = None;
+    for i in 0..iterations {
+        let cand = construct_once(
+            engine,
+            feasibility,
+            eligible,
+            config.merge_limit,
+            config.seed.wrapping_add(i as u64),
+        );
+        if best.as_ref().is_none_or(|b| better(engine, &cand, b)) {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
+fn construct_parallel(
+    engine: &ConstraintEngine<'_>,
+    feasibility: &FeasibilityReport,
+    eligible: &[bool],
+    config: &FactConfig,
+    iterations: usize,
+) -> Option<Partition> {
+    let results = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..iterations)
+            .map(|i| {
+                let seed = config.seed.wrapping_add(i as u64);
+                let merge_limit = config.merge_limit;
+                scope.spawn(move |_| {
+                    construct_once(engine, feasibility, eligible, merge_limit, seed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("construction thread panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope");
+    let mut best: Option<Partition> = None;
+    for cand in results {
+        if best.as_ref().is_none_or(|b| better(engine, &cand, b)) {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeTable;
+    use crate::constraint::Constraint;
+    use crate::validate::validate_solution;
+    use emp_graph::ContiguityGraph;
+    use rand::Rng;
+
+    /// A 10x10 lattice with deterministic pseudo-census attributes.
+    fn grid_instance(seed: u64) -> EmpInstance {
+        let n = 100;
+        let graph = ContiguityGraph::lattice(10, 10);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut attrs = AttributeTable::new(n);
+        let pop: Vec<f64> = (0..n).map(|_| rng.gen_range(100.0..5000.0)).collect();
+        let emp: Vec<f64> = pop.iter().map(|p| p * rng.gen_range(0.3..0.6)).collect();
+        attrs.push_column("POP", pop).unwrap();
+        attrs.push_column("EMP", emp).unwrap();
+        attrs
+            .push_column("HH", (0..n).map(|_| rng.gen_range(50.0..2000.0)).collect())
+            .unwrap();
+        EmpInstance::new(graph, attrs, "HH").unwrap()
+    }
+
+    fn default_constraints() -> ConstraintSet {
+        ConstraintSet::new()
+            .with(Constraint::min("POP", f64::NEG_INFINITY, 3000.0).unwrap())
+            .with(Constraint::avg("EMP", 500.0, 2500.0).unwrap())
+            .with(Constraint::sum("POP", 8000.0, f64::INFINITY).unwrap())
+    }
+
+    #[test]
+    fn end_to_end_solution_is_valid() {
+        let inst = grid_instance(1);
+        let report = solve(&inst, &default_constraints(), &FactConfig::seeded(7)).unwrap();
+        assert!(report.p() >= 1, "expected some regions");
+        validate_solution(&inst, &default_constraints(), &report.solution).unwrap();
+        assert!(report.timings.total() > 0.0);
+    }
+
+    #[test]
+    fn local_search_never_worsens() {
+        let inst = grid_instance(2);
+        let report = solve(&inst, &default_constraints(), &FactConfig::seeded(3)).unwrap();
+        assert!(report.solution.heterogeneity <= report.heterogeneity_before + 1e-9);
+        assert!(report.improvement() >= 0.0);
+    }
+
+    #[test]
+    fn disabling_local_search_keeps_construction_result() {
+        let inst = grid_instance(3);
+        let cfg = FactConfig {
+            local_search: false,
+            ..FactConfig::seeded(3)
+        };
+        let report = solve(&inst, &default_constraints(), &cfg).unwrap();
+        assert_eq!(report.solution.heterogeneity, report.heterogeneity_before);
+        assert_eq!(report.tabu.moves, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = grid_instance(4);
+        let a = solve(&inst, &default_constraints(), &FactConfig::seeded(9)).unwrap();
+        let b = solve(&inst, &default_constraints(), &FactConfig::seeded(9)).unwrap();
+        assert_eq!(a.solution, b.solution);
+    }
+
+    #[test]
+    fn parallel_matches_serial_quality() {
+        let inst = grid_instance(5);
+        let serial = solve(
+            &inst,
+            &default_constraints(),
+            &FactConfig {
+                construction_iterations: 4,
+                parallel: false,
+                ..FactConfig::seeded(11)
+            },
+        )
+        .unwrap();
+        let parallel = solve(
+            &inst,
+            &default_constraints(),
+            &FactConfig {
+                construction_iterations: 4,
+                parallel: true,
+                ..FactConfig::seeded(11)
+            },
+        )
+        .unwrap();
+        // Same candidate set, same ranking: identical p.
+        assert_eq!(serial.p(), parallel.p());
+        validate_solution(&inst, &default_constraints(), &parallel.solution).unwrap();
+    }
+
+    #[test]
+    fn infeasible_instances_error_out() {
+        let inst = grid_instance(6);
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 1e12, f64::INFINITY).unwrap());
+        match solve(&inst, &set, &FactConfig::default()) {
+            Err(EmpError::Infeasible { reasons }) => assert!(!reasons.is_empty()),
+            other => panic!("expected infeasibility, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_errors_out() {
+        let inst = grid_instance(7);
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("MISSING", 0.0, f64::INFINITY).unwrap());
+        assert!(matches!(
+            solve(&inst, &set, &FactConfig::default()),
+            Err(EmpError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn more_iterations_never_reduce_p() {
+        let inst = grid_instance(8);
+        let one = solve(
+            &inst,
+            &default_constraints(),
+            &FactConfig {
+                construction_iterations: 1,
+                local_search: false,
+                ..FactConfig::seeded(13)
+            },
+        )
+        .unwrap();
+        let many = solve(
+            &inst,
+            &default_constraints(),
+            &FactConfig {
+                construction_iterations: 6,
+                local_search: false,
+                ..FactConfig::seeded(13)
+            },
+        )
+        .unwrap();
+        assert!(many.p() >= one.p());
+    }
+
+    #[test]
+    fn multi_component_dataset_is_supported() {
+        // Two disconnected 3x3 blocks (the MP-regions formulation cannot
+        // handle this; EMP can — paper §I contribution (e)).
+        let mut edges = Vec::new();
+        let id = |b: u32, x: u32, y: u32| b * 9 + y * 3 + x;
+        for b in 0..2 {
+            for y in 0..3 {
+                for x in 0..3 {
+                    if x + 1 < 3 {
+                        edges.push((id(b, x, y), id(b, x + 1, y)));
+                    }
+                    if y + 1 < 3 {
+                        edges.push((id(b, x, y), id(b, x, y + 1)));
+                    }
+                }
+            }
+        }
+        let graph = ContiguityGraph::from_edges(18, &edges).unwrap();
+        let mut attrs = AttributeTable::new(18);
+        attrs
+            .push_column("POP", (0..18).map(|i| 100.0 + i as f64).collect())
+            .unwrap();
+        let inst = EmpInstance::new(graph, attrs, "POP").unwrap();
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 200.0, f64::INFINITY).unwrap());
+        let report = solve(&inst, &set, &FactConfig::seeded(2)).unwrap();
+        assert!(report.p() >= 2, "each component should host regions");
+        validate_solution(&inst, &set, &report.solution).unwrap();
+    }
+}

@@ -1,0 +1,464 @@
+//! Phase 3 of FaCT: the **Local Search** phase (paper §V-C).
+//!
+//! Tabu search over area moves between neighboring regions. A move relocates
+//! one boundary area; it is admissible when the donor region stays connected
+//! and non-empty and both regions keep satisfying every user-defined
+//! constraint, so `p` never changes. Worsening moves are allowed (to escape
+//! local optima), reverse moves are tabu for a fixed tenure, and tabu moves
+//! are still taken when they beat the best solution found so far
+//! (aspiration). The search stops after `max_no_improve` consecutive
+//! iterations without improving the best heterogeneity.
+
+use crate::constraint::Aggregate;
+use crate::engine::{ConstraintEngine, RegionAgg};
+use crate::partition::{Partition, RegionId};
+use std::collections::VecDeque;
+
+/// Tabu search parameters (paper defaults: tenure 10, `max_no_improve = n`).
+#[derive(Clone, Copy, Debug)]
+pub struct TabuConfig {
+    /// Length of the tabu list.
+    pub tenure: usize,
+    /// Stop after this many consecutive non-improving iterations.
+    pub max_no_improve: usize,
+    /// Hard iteration cap (safety net; the paper observes improving moves
+    /// cluster early, so this is rarely reached).
+    pub max_iterations: usize,
+}
+
+impl TabuConfig {
+    /// Paper defaults for an instance of `n` areas.
+    pub fn for_instance(n: usize) -> Self {
+        TabuConfig {
+            tenure: 10,
+            max_no_improve: n,
+            max_iterations: 20 * n.max(50),
+        }
+    }
+}
+
+/// Outcome statistics of the local search.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TabuStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Moves applied (equals iterations unless the search stalls).
+    pub moves: usize,
+    /// Heterogeneity before (unordered-pair convention).
+    pub initial: f64,
+    /// Best heterogeneity found.
+    pub best: f64,
+}
+
+impl TabuStats {
+    /// Relative improvement `(initial - best) / initial` (0 when `initial`
+    /// is 0).
+    pub fn improvement(&self) -> f64 {
+        if self.initial > 0.0 {
+            (self.initial - self.best) / self.initial
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A candidate relocation of `area` from region `from` to region `to`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct Move {
+    area: u32,
+    from: RegionId,
+    to: RegionId,
+    delta: f64,
+}
+
+/// Runs tabu search in place; the partition ends at the best found solution.
+pub fn tabu_search(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    config: &TabuConfig,
+) -> TabuStats {
+    let initial = partition.heterogeneity_with(engine);
+    let mut best_h = initial;
+    let mut best_assignment: Vec<Option<RegionId>> = partition.assignment().to_vec();
+    let mut stats = TabuStats {
+        initial,
+        best: initial,
+        ..Default::default()
+    };
+    // Tabu entries forbid moving `area` back into region `to`.
+    let mut tabu: VecDeque<(u32, RegionId)> = VecDeque::with_capacity(config.tenure + 1);
+    let mut no_improve = 0usize;
+
+    while no_improve < config.max_no_improve && stats.iterations < config.max_iterations {
+        stats.iterations += 1;
+        let current_h = partition.heterogeneity_with(engine);
+        let Some(mv) = select_move(engine, partition, &tabu, current_h, best_h) else {
+            break; // no admissible move at all
+        };
+        partition.move_area(engine, mv.area, mv.to);
+        stats.moves += 1;
+        // Forbid the reverse move.
+        tabu.push_back((mv.area, mv.from));
+        while tabu.len() > config.tenure {
+            tabu.pop_front();
+        }
+        let new_h = current_h + mv.delta;
+        if new_h < best_h - 1e-9 {
+            best_h = new_h;
+            best_assignment = partition.assignment().to_vec();
+            no_improve = 0;
+        } else {
+            no_improve += 1;
+        }
+    }
+
+    // Return the best partition encountered.
+    if (partition.heterogeneity_with(engine) - best_h).abs() > 1e-9 {
+        *partition = Partition::from_assignment(engine, &best_assignment);
+    }
+    stats.best = best_h;
+    stats
+}
+
+/// Picks the best admissible move (lowest ΔH), skipping tabu moves unless
+/// they aspire to beat `best_h`.
+fn select_move(
+    engine: &ConstraintEngine<'_>,
+    partition: &Partition,
+    tabu: &VecDeque<(u32, RegionId)>,
+    current_h: f64,
+    best_h: f64,
+) -> Option<Move> {
+    let graph = engine.instance().graph();
+    let mut best: Option<Move> = None;
+
+    for from in partition.region_ids() {
+        let region = partition.region(from);
+        if region.members.len() <= 1 {
+            continue; // p must not change
+        }
+        for &area in &region.members {
+            // Destination regions adjacent to this area.
+            let mut dests: Vec<RegionId> = graph
+                .neighbors(area)
+                .iter()
+                .filter_map(|&nb| partition.region_of(nb))
+                .filter(|&r| r != from)
+                .collect();
+            if dests.is_empty() {
+                continue;
+            }
+            dests.sort_unstable();
+            dests.dedup();
+
+            let mut connectivity_checked = false;
+            let mut connectivity_ok = false;
+
+            for to in dests {
+                let delta = partition.move_objective_delta(engine, area, from, to);
+                let is_tabu = tabu.iter().any(|&(a, r)| a == area && r == to);
+                let aspires = current_h + delta < best_h - 1e-9;
+                if is_tabu && !aspires {
+                    continue;
+                }
+                if let Some(b) = &best {
+                    if delta >= b.delta {
+                        continue; // cannot beat the incumbent; skip checks
+                    }
+                }
+                // Feasibility: donor keeps constraints after removal,
+                // receiver keeps them after addition.
+                if !move_keeps_constraints(engine, partition, area, from, to) {
+                    continue;
+                }
+                // Connectivity last (most expensive), computed once per area.
+                if !connectivity_checked {
+                    connectivity_ok = partition.removal_keeps_connected(engine, area);
+                    connectivity_checked = true;
+                }
+                if !connectivity_ok {
+                    break;
+                }
+                best = Some(Move { area, from, to, delta });
+            }
+        }
+    }
+    best
+}
+
+/// Checks both regions' constraints for a hypothetical move without mutating
+/// the partition (O(m log k) via the incremental aggregates).
+fn move_keeps_constraints(
+    engine: &ConstraintEngine<'_>,
+    partition: &Partition,
+    area: u32,
+    from: RegionId,
+    to: RegionId,
+) -> bool {
+    let donor = &partition.region(from).agg;
+    let recv = &partition.region(to).agg;
+    for (ci, c) in engine.constraints().iter().enumerate() {
+        let v = engine.area_value(ci, area);
+        // Donor after removal.
+        let donor_val = hypothetical_after_removal(engine, donor, ci, v);
+        match donor_val {
+            Some(val) if c.contains(val) => {}
+            _ => return false,
+        }
+        // Receiver after addition.
+        let recv_val = hypothetical_after_addition(engine, recv, ci, v);
+        if !c.contains(recv_val) {
+            return false;
+        }
+    }
+    true
+}
+
+fn hypothetical_after_removal(
+    engine: &ConstraintEngine<'_>,
+    agg: &RegionAgg,
+    ci: usize,
+    v: f64,
+) -> Option<f64> {
+    let c = &engine.constraints()[ci];
+    let new_count = agg.count.checked_sub(1)?;
+    Some(match c.aggregate {
+        Aggregate::Count => new_count as f64,
+        Aggregate::Sum => agg.sums[c.slot] - v,
+        Aggregate::Avg => {
+            if new_count == 0 {
+                return None;
+            }
+            (agg.sums[c.slot] - v) / new_count as f64
+        }
+        Aggregate::Min => agg.multisets[c.slot].min_excluding(v)?,
+        Aggregate::Max => agg.multisets[c.slot].max_excluding(v)?,
+    })
+}
+
+fn hypothetical_after_addition(
+    engine: &ConstraintEngine<'_>,
+    agg: &RegionAgg,
+    ci: usize,
+    v: f64,
+) -> f64 {
+    let c = &engine.constraints()[ci];
+    match c.aggregate {
+        Aggregate::Count => (agg.count + 1) as f64,
+        Aggregate::Sum => agg.sums[c.slot] + v,
+        Aggregate::Avg => (agg.sums[c.slot] + v) / (agg.count + 1) as f64,
+        Aggregate::Min => agg.multisets[c.slot].min().map_or(v, |m| m.min(v)),
+        Aggregate::Max => agg.multisets[c.slot].max().map_or(v, |m| m.max(v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeTable;
+    use crate::constraint::{Constraint, ConstraintSet};
+    use crate::instance::EmpInstance;
+    use emp_graph::ContiguityGraph;
+
+    /// 4x1 path with dissimilarity [0, 0, 10, 10]: the optimal 2-region
+    /// partition is {0,1} | {2,3} with H = 0.
+    fn line_instance() -> EmpInstance {
+        let graph = ContiguityGraph::lattice(4, 1);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("POP", vec![1.0; 4]).unwrap();
+        attrs.push_column("D", vec![0.0, 0.0, 10.0, 10.0]).unwrap();
+        EmpInstance::new(graph, attrs, "D").unwrap()
+    }
+
+    #[test]
+    fn improves_bad_partition_to_optimum() {
+        let inst = line_instance();
+        let set = ConstraintSet::new()
+            .with(Constraint::count(1.0, 3.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(4);
+        // Suboptimal split {0} | {1,2,3}: H = 0 + (10 + 10 + 0) = 20.
+        part.create_region(&eng, &[0]);
+        part.create_region(&eng, &[1, 2, 3]);
+        assert!((part.heterogeneity_with(&eng) - 20.0).abs() < 1e-9);
+        let stats = tabu_search(&eng, &mut part, &TabuConfig::for_instance(4));
+        assert!(
+            (part.heterogeneity_with(&eng) - 0.0).abs() < 1e-9,
+            "H = {}",
+            part.heterogeneity_with(&eng)
+        );
+        assert_eq!(part.p(), 2);
+        assert!(stats.best <= stats.initial);
+        assert!((stats.improvement() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_is_preserved() {
+        let inst = line_instance();
+        let set = ConstraintSet::new();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(4);
+        part.create_region(&eng, &[0, 1]);
+        part.create_region(&eng, &[2, 3]);
+        let p_before = part.p();
+        tabu_search(&eng, &mut part, &TabuConfig::for_instance(4));
+        assert_eq!(part.p(), p_before);
+    }
+
+    #[test]
+    fn moves_respect_constraints() {
+        // SUM >= 2 with unit weights: no region may shrink below 2 areas.
+        let inst = line_instance();
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 2.0, f64::INFINITY).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(4);
+        part.create_region(&eng, &[0, 1]);
+        part.create_region(&eng, &[2, 3]);
+        tabu_search(&eng, &mut part, &TabuConfig::for_instance(4));
+        for id in part.region_ids() {
+            assert!(eng.satisfies_all(&part.region(id).agg));
+            assert!(part.region(id).members.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn contiguity_is_preserved() {
+        let inst = {
+            let graph = ContiguityGraph::lattice(3, 3);
+            let mut attrs = AttributeTable::new(9);
+            attrs.push_column("POP", vec![1.0; 9]).unwrap();
+            attrs
+                .push_column("D", (0..9).map(|i| (i % 4) as f64).collect())
+                .unwrap();
+            EmpInstance::new(graph, attrs, "D").unwrap()
+        };
+        let set = ConstraintSet::new();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        part.create_region(&eng, &[0, 1, 2]);
+        part.create_region(&eng, &[3, 4, 5]);
+        part.create_region(&eng, &[6, 7, 8]);
+        tabu_search(&eng, &mut part, &TabuConfig::for_instance(9));
+        for members in part.extract_regions() {
+            assert!(emp_graph::subgraph::is_connected_subset(inst.graph(), &members));
+        }
+    }
+
+    #[test]
+    fn no_moves_when_single_region() {
+        let inst = line_instance();
+        let set = ConstraintSet::new();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(4);
+        part.create_region(&eng, &[0, 1, 2, 3]);
+        let stats = tabu_search(&eng, &mut part, &TabuConfig::for_instance(4));
+        assert_eq!(stats.moves, 0);
+        assert_eq!(part.p(), 1);
+    }
+
+    #[test]
+    fn hypothetical_helpers_match_actual() {
+        let inst = line_instance();
+        let set = ConstraintSet::new()
+            .with(Constraint::min("D", f64::NEG_INFINITY, f64::INFINITY).unwrap())
+            .with(Constraint::max("D", f64::NEG_INFINITY, f64::INFINITY).unwrap())
+            .with(Constraint::avg("D", f64::NEG_INFINITY, f64::INFINITY).unwrap())
+            .with(Constraint::sum("D", f64::NEG_INFINITY, f64::INFINITY).unwrap())
+            .with(Constraint::count(1.0, f64::INFINITY).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let agg = eng.compute_fresh(&[1, 2, 3]); // D values 0, 10, 10
+        for ci in 0..5 {
+            let v = eng.area_value(ci, 2);
+            let hypo = hypothetical_after_removal(&eng, &agg, ci, v).unwrap();
+            let actual = {
+                let mut a = agg.clone();
+                eng.remove_area(&mut a, 2);
+                eng.value(&a, ci)
+            };
+            assert_eq!(hypo, actual, "removal ci={ci}");
+            let v0 = eng.area_value(ci, 0);
+            let hypo = hypothetical_after_addition(&eng, &agg, ci, v0);
+            let actual = {
+                let mut a = agg.clone();
+                eng.add_area(&mut a, 0);
+                eng.value(&a, ci)
+            };
+            assert_eq!(hypo, actual, "addition ci={ci}");
+        }
+    }
+
+    #[test]
+    fn compactness_objective_reshapes_regions() {
+        use crate::objective::ObjectiveSpec;
+        // 4x2 lattice; start with two interleaved snaky regions and a
+        // compactness objective on the (x, y) centroids: tabu should move
+        // toward two 2x2 blocks (or at least reduce the spread).
+        let graph = ContiguityGraph::lattice(4, 2);
+        let mut attrs = AttributeTable::new(8);
+        attrs.push_column("POP", vec![1.0; 8]).unwrap();
+        let xs: Vec<f64> = (0..8).map(|i| (i % 4) as f64).collect();
+        let ys: Vec<f64> = (0..8).map(|i| (i / 4) as f64).collect();
+        let inst = EmpInstance::new(graph, attrs, "POP")
+            .unwrap()
+            .with_objective(ObjectiveSpec::compactness(xs, ys).unwrap())
+            .unwrap();
+        let set = ConstraintSet::new().with(Constraint::count(2.0, 6.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(8);
+        // Stripes: {0,1,2,3} (top row) and {4,5,6,7} (bottom row): each has
+        // x-spread sum |i-j| pairs = 10, y-spread 0 -> total 20.
+        part.create_region(&eng, &[0, 1, 2, 3]);
+        part.create_region(&eng, &[4, 5, 6, 7]);
+        let before = part.heterogeneity_with(&eng);
+        assert!((before - 20.0).abs() < 1e-9);
+        let stats = tabu_search(&eng, &mut part, &TabuConfig::for_instance(8));
+        // Two 2x2 blocks score: per block x-spread 4*|..|: pairs (0,0,1,1):
+        // sum |xi-xj| = 4, y-spread = 4 -> 8 per... compute: values x
+        // {0,0,1,1}: pairs |0-0|,|0-1|x4,|1-1| = 4; y {0,0,1,1} same = 4;
+        // block total 8, two blocks 16.
+        assert!(stats.best <= 16.0 + 1e-9, "best = {}", stats.best);
+        assert_eq!(part.p(), 2);
+    }
+
+    #[test]
+    fn balanced_multi_criteria_objective_runs() {
+        use crate::objective::{Channel, ObjectiveSpec};
+        let graph = ContiguityGraph::lattice(3, 3);
+        let mut attrs = AttributeTable::new(9);
+        attrs.push_column("POP", vec![1.0; 9]).unwrap();
+        let d: Vec<f64> = (0..9).map(|i| (i * i % 7) as f64).collect();
+        let xs: Vec<f64> = (0..9).map(|i| (i % 3) as f64).collect();
+        let spec = ObjectiveSpec::from_channels(vec![
+            Channel { name: "dissim".into(), values: d.clone(), weight: 1.0 },
+            Channel { name: "x".into(), values: xs, weight: 0.5 },
+        ])
+        .unwrap();
+        let inst = EmpInstance::new(graph, attrs, "POP")
+            .unwrap()
+            .with_objective(spec)
+            .unwrap();
+        let set = ConstraintSet::new().with(Constraint::count(1.0, 5.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        part.create_region(&eng, &[0, 1, 2]);
+        part.create_region(&eng, &[3, 4, 5]);
+        part.create_region(&eng, &[6, 7, 8]);
+        let stats = tabu_search(&eng, &mut part, &TabuConfig::for_instance(9));
+        assert!(stats.best <= stats.initial + 1e-9);
+        assert_eq!(part.p(), 3);
+        // The final score matches a fresh recomputation via the spec.
+        let fresh = inst.objective().score(&part.extract_regions());
+        assert!((part.heterogeneity_with(&eng) - fresh).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_improvement_handles_zero_initial() {
+        let s = TabuStats {
+            initial: 0.0,
+            best: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(s.improvement(), 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Full-solution validation: the EMP output contract, checked from scratch.
+//!
+//! Used by integration and property tests as an oracle independent of the
+//! incremental bookkeeping in [`crate::partition`].
+
+use crate::constraint::{Aggregate, ConstraintSet};
+use crate::engine::ConstraintEngine;
+use crate::error::EmpError;
+use crate::instance::EmpInstance;
+use crate::solution::Solution;
+use emp_graph::subgraph::is_connected_subset;
+
+/// Validates every EMP output constraint (paper §III):
+///
+/// 1. regions are pairwise disjoint and disjoint from `U_0`;
+/// 2. regions plus `U_0` cover all areas;
+/// 3. every region is non-empty and spatially contiguous;
+/// 4. every region satisfies every user-defined constraint;
+/// 5. the reported heterogeneity matches a fresh recomputation;
+/// 6. the `assignment` vector is consistent with `regions`/`unassigned`.
+///
+/// Returns all violation descriptions on failure.
+pub fn validate_solution(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    solution: &Solution,
+) -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    let n = instance.len();
+
+    if solution.assignment.len() != n {
+        problems.push(format!(
+            "assignment length {} != {} areas",
+            solution.assignment.len(),
+            n
+        ));
+        return Err(problems);
+    }
+
+    // Coverage and disjointness.
+    let mut seen = vec![false; n];
+    for (ri, members) in solution.regions.iter().enumerate() {
+        if members.is_empty() {
+            problems.push(format!("region {ri} is empty"));
+        }
+        for &a in members {
+            if a as usize >= n {
+                problems.push(format!("region {ri} contains out-of-range area {a}"));
+                continue;
+            }
+            if seen[a as usize] {
+                problems.push(format!("area {a} appears in more than one region"));
+            }
+            seen[a as usize] = true;
+            if solution.assignment[a as usize] != Some(ri as u32) {
+                problems.push(format!(
+                    "assignment[{a}] = {:?}, expected Some({ri})",
+                    solution.assignment[a as usize]
+                ));
+            }
+        }
+    }
+    for &a in &solution.unassigned {
+        if a as usize >= n {
+            problems.push(format!("unassigned area {a} out of range"));
+            continue;
+        }
+        if seen[a as usize] {
+            problems.push(format!("area {a} is both assigned and unassigned"));
+        }
+        seen[a as usize] = true;
+        if solution.assignment[a as usize].is_some() {
+            problems.push(format!("assignment[{a}] set but area is in U_0"));
+        }
+    }
+    for (a, s) in seen.iter().enumerate() {
+        if !s {
+            problems.push(format!("area {a} is neither in a region nor in U_0"));
+        }
+    }
+
+    // Contiguity.
+    for (ri, members) in solution.regions.iter().enumerate() {
+        if !is_connected_subset(instance.graph(), members) {
+            problems.push(format!("region {ri} is not spatially contiguous"));
+        }
+    }
+
+    // Constraints, recomputed from scratch.
+    match ConstraintEngine::compile(instance, constraints) {
+        Ok(engine) => {
+            for (ri, members) in solution.regions.iter().enumerate() {
+                let agg = engine.compute_fresh(members);
+                for (ci, c) in engine.constraints().iter().enumerate() {
+                    let v = engine.value(&agg, ci);
+                    if v.is_nan() || !c.contains(v) {
+                        problems.push(format!(
+                            "region {ri} violates constraint {ci} ({:?} value {v}, range [{}, {}])",
+                            c.aggregate, c.low, c.high
+                        ));
+                    }
+                }
+            }
+        }
+        Err(e) => problems.push(format!("constraint compilation failed: {e}")),
+    }
+
+    // Objective score (heterogeneity under the default objective).
+    let fresh = instance.objective().score(&solution.regions);
+    if (fresh - solution.heterogeneity).abs() > 1e-6 * fresh.abs().max(1.0) {
+        problems.push(format!(
+            "reported heterogeneity {} != recomputed {fresh}",
+            solution.heterogeneity
+        ));
+    }
+
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+/// Convenience wrapper converting validation problems into an [`EmpError`].
+pub fn validate_or_error(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    solution: &Solution,
+) -> Result<(), EmpError> {
+    validate_solution(instance, constraints, solution).map_err(|reasons| EmpError::Infeasible {
+        reasons,
+    })
+}
+
+/// Theoretical upper bound on `p` implied by the constraints (paper §V-B):
+/// each region needs at least one seed per extrema constraint, and the SUM /
+/// COUNT lower bounds cap how many disjoint regions can exist.
+pub fn p_upper_bound(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+) -> Result<usize, EmpError> {
+    let engine = ConstraintEngine::compile(instance, constraints)?;
+    let n = instance.len();
+    let mut bound = n;
+
+    // Extrema: at most (number of in-bounds witness areas) regions.
+    for (ci, c) in engine.constraints().iter().enumerate() {
+        match c.aggregate {
+            Aggregate::Min | Aggregate::Max => {
+                let witnesses = (0..n as u32)
+                    .filter(|&a| c.contains(engine.area_value(ci, a)))
+                    .count();
+                bound = bound.min(witnesses);
+            }
+            Aggregate::Sum => {
+                if c.low > 0.0 {
+                    let total: f64 = (0..n as u32).map(|a| engine.area_value(ci, a)).sum();
+                    bound = bound.min((total / c.low).floor() as usize);
+                }
+            }
+            Aggregate::Count => {
+                if c.low > 0.0 {
+                    bound = bound.min((n as f64 / c.low).floor() as usize);
+                }
+            }
+            Aggregate::Avg => {}
+        }
+    }
+    Ok(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeTable;
+    use crate::constraint::Constraint;
+    use emp_graph::ContiguityGraph;
+
+    fn inst() -> EmpInstance {
+        let graph = ContiguityGraph::lattice(4, 1);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("POP", vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        EmpInstance::new(graph, attrs, "POP").unwrap()
+    }
+
+    fn good_solution() -> Solution {
+        Solution {
+            regions: vec![vec![0, 1], vec![2, 3]],
+            assignment: vec![Some(0), Some(0), Some(1), Some(1)],
+            unassigned: vec![],
+            heterogeneity: 20.0, // |10-20| + |30-40|
+        }
+    }
+
+    #[test]
+    fn accepts_valid_solution() {
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 30.0, f64::INFINITY).unwrap());
+        validate_solution(&inst(), &set, &good_solution()).unwrap();
+        validate_or_error(&inst(), &set, &good_solution()).unwrap();
+    }
+
+    #[test]
+    fn detects_constraint_violation() {
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 50.0, f64::INFINITY).unwrap());
+        let errs = validate_solution(&inst(), &set, &good_solution()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("violates constraint")));
+    }
+
+    #[test]
+    fn detects_discontiguity() {
+        let sol = Solution {
+            regions: vec![vec![0, 2], vec![1, 3]],
+            assignment: vec![Some(0), Some(1), Some(0), Some(1)],
+            unassigned: vec![],
+            heterogeneity: 40.0,
+        };
+        let errs = validate_solution(&inst(), &ConstraintSet::new(), &sol).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("not spatially contiguous")));
+    }
+
+    #[test]
+    fn detects_overlap_and_gaps() {
+        let sol = Solution {
+            regions: vec![vec![0, 1], vec![1, 2]],
+            assignment: vec![Some(0), Some(0), Some(1), None],
+            unassigned: vec![],
+            heterogeneity: 20.0,
+        };
+        let errs = validate_solution(&inst(), &ConstraintSet::new(), &sol).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("more than one region")));
+        assert!(errs.iter().any(|e| e.contains("neither in a region nor in U_0")));
+    }
+
+    #[test]
+    fn detects_heterogeneity_mismatch() {
+        let mut sol = good_solution();
+        sol.heterogeneity = 999.0;
+        let errs = validate_solution(&inst(), &ConstraintSet::new(), &sol).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("heterogeneity")));
+    }
+
+    #[test]
+    fn detects_assignment_inconsistency() {
+        let mut sol = good_solution();
+        sol.assignment[0] = Some(1);
+        let errs = validate_solution(&inst(), &ConstraintSet::new(), &sol).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("assignment[0]")));
+    }
+
+    #[test]
+    fn upper_bound_from_extrema_witnesses() {
+        // MIN in [15, 25]: only area 1 (value 20) is a witness.
+        let set = ConstraintSet::new().with(Constraint::min("POP", 15.0, 25.0).unwrap());
+        assert_eq!(p_upper_bound(&inst(), &set).unwrap(), 1);
+    }
+
+    #[test]
+    fn upper_bound_from_sum_and_count() {
+        // Total POP = 100, SUM >= 40 -> at most 2 regions.
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 40.0, f64::INFINITY).unwrap());
+        assert_eq!(p_upper_bound(&inst(), &set).unwrap(), 2);
+        // COUNT >= 3 over 4 areas -> at most 1 region.
+        let set = ConstraintSet::new().with(Constraint::count(3.0, f64::INFINITY).unwrap());
+        assert_eq!(p_upper_bound(&inst(), &set).unwrap(), 1);
+    }
+
+    #[test]
+    fn upper_bound_defaults_to_n() {
+        assert_eq!(p_upper_bound(&inst(), &ConstraintSet::new()).unwrap(), 4);
+    }
+}

@@ -1,0 +1,200 @@
+//! Totally-ordered `f64` wrapper and a counted multiset over it.
+//!
+//! MIN/MAX aggregates must survive both area insertion *and* removal, so
+//! regions keep a counted multiset of the constrained attribute's values.
+//! Attribute values are validated to be finite at instance construction,
+//! which makes the total order safe.
+
+use std::collections::BTreeMap;
+
+/// An `f64` with a total order. Constructing from NaN is a logic error
+/// (attribute tables reject non-finite values).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        debug_assert!(!self.0.is_nan() && !other.0.is_nan());
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// A counted multiset of `f64` values supporting O(log k) insert/remove and
+/// O(log k) min/max queries.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Multiset {
+    counts: BTreeMap<OrdF64, u32>,
+    len: usize,
+}
+
+impl Multiset {
+    /// An empty multiset.
+    pub fn new() -> Self {
+        Multiset::default()
+    }
+
+    /// Number of stored values (with multiplicity).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the multiset is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts one occurrence of `v`.
+    pub fn insert(&mut self, v: f64) {
+        debug_assert!(v.is_finite());
+        *self.counts.entry(OrdF64(v)).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Removes one occurrence of `v`. Panics if `v` is absent (callers only
+    /// remove values they previously inserted).
+    pub fn remove(&mut self, v: f64) {
+        let key = OrdF64(v);
+        let c = self
+            .counts
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("multiset: removing absent value {v}"));
+        *c -= 1;
+        if *c == 0 {
+            self.counts.remove(&key);
+        }
+        self.len -= 1;
+    }
+
+    /// Smallest value, if any.
+    #[inline]
+    pub fn min(&self) -> Option<f64> {
+        self.counts.keys().next().map(|k| k.0)
+    }
+
+    /// Largest value, if any.
+    #[inline]
+    pub fn max(&self) -> Option<f64> {
+        self.counts.keys().next_back().map(|k| k.0)
+    }
+
+    /// Merges another multiset into this one.
+    pub fn absorb(&mut self, other: &Multiset) {
+        for (k, &c) in &other.counts {
+            *self.counts.entry(*k).or_insert(0) += c;
+        }
+        self.len += other.len;
+    }
+
+    /// Number of occurrences of `v`.
+    pub fn count(&self, v: f64) -> u32 {
+        self.counts.get(&OrdF64(v)).copied().unwrap_or(0)
+    }
+
+    /// Minimum after hypothetically removing one occurrence of `v`
+    /// (`None` if that removal would empty the multiset). `v` must be present.
+    pub fn min_excluding(&self, v: f64) -> Option<f64> {
+        debug_assert!(self.count(v) > 0);
+        let mut iter = self.counts.iter();
+        let (&first, &c) = iter.next()?;
+        if first.0 != v || c > 1 {
+            return Some(first.0);
+        }
+        iter.next().map(|(k, _)| k.0)
+    }
+
+    /// Maximum after hypothetically removing one occurrence of `v`
+    /// (`None` if that removal would empty the multiset). `v` must be present.
+    pub fn max_excluding(&self, v: f64) -> Option<f64> {
+        debug_assert!(self.count(v) > 0);
+        let mut iter = self.counts.iter().rev();
+        let (&last, &c) = iter.next()?;
+        if last.0 != v || c > 1 {
+            return Some(last.0);
+        }
+        iter.next().map(|(k, _)| k.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ord_f64_total_order() {
+        let mut v = vec![OrdF64(3.0), OrdF64(-1.0), OrdF64(2.5)];
+        v.sort();
+        assert_eq!(v, vec![OrdF64(-1.0), OrdF64(2.5), OrdF64(3.0)]);
+    }
+
+    #[test]
+    fn insert_remove_minmax() {
+        let mut m = Multiset::new();
+        assert!(m.is_empty());
+        assert_eq!(m.min(), None);
+        m.insert(5.0);
+        m.insert(2.0);
+        m.insert(5.0);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(5.0));
+        assert_eq!(m.count(5.0), 2);
+        m.remove(2.0);
+        assert_eq!(m.min(), Some(5.0));
+        m.remove(5.0);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.max(), Some(5.0));
+        m.remove(5.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "removing absent value")]
+    fn remove_absent_panics() {
+        let mut m = Multiset::new();
+        m.insert(1.0);
+        m.remove(2.0);
+    }
+
+    #[test]
+    fn excluding_queries() {
+        let mut m = Multiset::new();
+        for v in [2.0, 2.0, 5.0, 9.0] {
+            m.insert(v);
+        }
+        assert_eq!(m.min_excluding(2.0), Some(2.0)); // duplicate remains
+        assert_eq!(m.min_excluding(5.0), Some(2.0));
+        assert_eq!(m.max_excluding(9.0), Some(5.0));
+        assert_eq!(m.max_excluding(2.0), Some(9.0));
+        let mut single = Multiset::new();
+        single.insert(7.0);
+        assert_eq!(single.min_excluding(7.0), None);
+        assert_eq!(single.max_excluding(7.0), None);
+    }
+
+    #[test]
+    fn absorb_merges_counts() {
+        let mut a = Multiset::new();
+        a.insert(1.0);
+        a.insert(2.0);
+        let mut b = Multiset::new();
+        b.insert(2.0);
+        b.insert(3.0);
+        a.absorb(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.count(2.0), 2);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(3.0));
+    }
+}

@@ -1,0 +1,62 @@
+//! Fuzz-style robustness tests for the constraint parser: arbitrary input
+//! must produce `Ok` or `Err`, never a panic, and valid constraints must
+//! round-trip.
+
+use emp_core::constraint::Aggregate;
+use emp_core::parse::{parse_constraint, parse_constraints};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parser_never_panics_on_garbage(input in ".{0,120}") {
+        let _ = parse_constraint(&input);
+        let _ = parse_constraints(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_expression_shaped_garbage(
+        agg in "(MIN|MAX|AVG|SUM|COUNT|FOO|min)",
+        attr in "[A-Za-z_*][A-Za-z0-9_]{0,12}",
+        op in "(>=|<=|>|<|IN|BETWEEN|==)",
+        a in -1e12f64..1e12,
+        b in -1e12f64..1e12,
+        shape in 0u8..4,
+    ) {
+        let text = match shape {
+            0 => format!("{agg}({attr}) {op} {a}"),
+            1 => format!("{agg}({attr}) IN [{a}, {b}]"),
+            2 => format!("{a} <= {agg}({attr}) <= {b}"),
+            _ => format!("{agg}({attr}) BETWEEN {a} AND {b}"),
+        };
+        let _ = parse_constraint(&text);
+    }
+
+    #[test]
+    fn conjunctions_of_valid_constraints_parse(count in 1usize..6) {
+        let parts: Vec<String> = (0..count)
+            .map(|i| format!("SUM(ATTR{i}) >= {}", i * 100))
+            .collect();
+        let set = parse_constraints(&parts.join(" AND ")).unwrap();
+        prop_assert_eq!(set.len(), count);
+        for (i, c) in set.constraints().iter().enumerate() {
+            prop_assert_eq!(c.aggregate, Aggregate::Sum);
+            prop_assert_eq!(c.low, (i * 100) as f64);
+        }
+    }
+
+    #[test]
+    fn whitespace_and_case_insensitivity(
+        spaces in prop::collection::vec(0usize..4, 6),
+    ) {
+        let pad = |k: usize| " ".repeat(spaces[k % spaces.len()]);
+        let text = format!(
+            "{}sum{}({}POP{}){}>={}42",
+            pad(0), pad(1), pad(2), pad(3), pad(4), pad(5)
+        );
+        let c = parse_constraint(&text).unwrap();
+        prop_assert_eq!(c.aggregate, Aggregate::Sum);
+        prop_assert_eq!(c.low, 42.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests of the construction-phase postconditions, phase by phase.
+//!
+//! These are the invariants FaCT's correctness argument rests on (paper
+//! §V-B): after Step 2 every region satisfies MIN/MAX/AVG; after Step 3
+//! every surviving region satisfies *every* constraint; contiguity and
+//! disjointness hold throughout.
+
+use emp_core::adjust::monotonic_adjustments;
+use emp_core::attr::AttributeTable;
+use emp_core::constraint::{Aggregate, Constraint, ConstraintSet};
+use emp_core::engine::ConstraintEngine;
+use emp_core::feasibility::feasibility_phase;
+use emp_core::grow::region_growing;
+use emp_core::instance::EmpInstance;
+use emp_core::partition::Partition;
+use emp_graph::subgraph::is_connected_subset;
+use emp_graph::ContiguityGraph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_instance(w: usize, h: usize, seed: u64, scale: f64) -> EmpInstance {
+    let n = w * h;
+    let graph = ContiguityGraph::lattice(w, h);
+    let mut attrs = AttributeTable::new(n);
+    let s: Vec<f64> = (0..n)
+        .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f64 / 1000.0 * scale)
+        .collect();
+    let t: Vec<f64> = (0..n)
+        .map(|i| ((i as u64).wrapping_mul(97003).wrapping_add(seed * 31) % 1000) as f64 / 1000.0 * scale)
+        .collect();
+    attrs.push_column("S", s).unwrap();
+    attrs.push_column("T", t).unwrap();
+    EmpInstance::new(graph, attrs, "T").unwrap()
+}
+
+fn random_constraints(scale: f64, mask: u8) -> ConstraintSet {
+    let mut set = ConstraintSet::new();
+    if mask & 1 != 0 {
+        set.push(Constraint::min("S", scale * 0.05, scale * 0.9).unwrap());
+    }
+    if mask & 2 != 0 {
+        set.push(Constraint::max("S", scale * 0.3, f64::INFINITY).unwrap());
+    }
+    if mask & 4 != 0 {
+        set.push(Constraint::avg("S", scale * 0.25, scale * 0.75).unwrap());
+    }
+    if mask & 8 != 0 {
+        set.push(Constraint::sum("T", scale * 0.8, scale * 10.0).unwrap());
+    }
+    if mask & 16 != 0 {
+        set.push(Constraint::count(1.0, 12.0).unwrap());
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn step2_satisfies_extrema_and_avg(
+        w in 3usize..8,
+        h in 3usize..8,
+        seed in 0u64..500,
+        mask in 0u8..8, // MIN/MAX/AVG subsets only
+    ) {
+        let scale = 100.0;
+        let instance = build_instance(w, h, seed, scale);
+        let set = random_constraints(scale, mask);
+        let engine = ConstraintEngine::compile(&instance, &set).unwrap();
+        let report = feasibility_phase(&engine);
+        prop_assume!(!report.is_infeasible());
+        let mut eligible = vec![true; instance.len()];
+        for &a in &report.invalid_areas {
+            eligible[a as usize] = false;
+        }
+        let mut partition = Partition::new(instance.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        region_growing(&engine, &mut partition, &report.seeds, &eligible, 3, &mut rng);
+
+        for id in partition.region_ids() {
+            let region = partition.region(id);
+            // Postcondition (paper §V-B after Substep 2.3): every MIN, MAX
+            // and AVG constraint holds.
+            for &ci in engine
+                .indices_of(Aggregate::Min)
+                .iter()
+                .chain(engine.indices_of(Aggregate::Max))
+                .chain(engine.indices_of(Aggregate::Avg))
+            {
+                prop_assert!(
+                    engine.satisfied(&region.agg, ci),
+                    "region {id} violates constraint {ci} after Step 2"
+                );
+            }
+            prop_assert!(is_connected_subset(instance.graph(), &region.members));
+            // Filtered areas never join regions.
+            for &a in &region.members {
+                prop_assert!(eligible[a as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn step3_leaves_only_fully_feasible_regions(
+        w in 3usize..8,
+        h in 3usize..8,
+        seed in 0u64..500,
+        mask in 0u8..32, // all constraint subsets
+    ) {
+        let scale = 100.0;
+        let instance = build_instance(w, h, seed, scale);
+        let set = random_constraints(scale, mask);
+        let engine = ConstraintEngine::compile(&instance, &set).unwrap();
+        let report = feasibility_phase(&engine);
+        prop_assume!(!report.is_infeasible());
+        let mut eligible = vec![true; instance.len()];
+        for &a in &report.invalid_areas {
+            eligible[a as usize] = false;
+        }
+        let mut partition = Partition::new(instance.len());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        region_growing(&engine, &mut partition, &report.seeds, &eligible, 3, &mut rng);
+        monotonic_adjustments(&engine, &mut partition, &mut rng);
+
+        // Invariant: every surviving region satisfies EVERY constraint and
+        // is contiguous; assignment is a partition of a subset of areas.
+        let mut seen = vec![false; instance.len()];
+        for id in partition.region_ids() {
+            let region = partition.region(id);
+            prop_assert!(
+                engine.satisfies_all(&region.agg),
+                "region {id} infeasible after Step 3 (mask {mask:05b})"
+            );
+            prop_assert!(is_connected_subset(instance.graph(), &region.members));
+            for &a in &region.members {
+                prop_assert!(!seen[a as usize], "area {a} in two regions");
+                seen[a as usize] = true;
+                prop_assert_eq!(partition.region_of(a), Some(id));
+            }
+        }
+        // Unassigned areas are exactly the complement.
+        for a in partition.unassigned() {
+            prop_assert!(!seen[a as usize]);
+        }
+    }
+
+    #[test]
+    fn feasibility_seeds_are_always_valid_areas(
+        w in 3usize..8,
+        h in 3usize..8,
+        seed in 0u64..500,
+        mask in 0u8..32,
+    ) {
+        let scale = 100.0;
+        let instance = build_instance(w, h, seed, scale);
+        let set = random_constraints(scale, mask);
+        let engine = ConstraintEngine::compile(&instance, &set).unwrap();
+        let report = feasibility_phase(&engine);
+        // Seeds and invalid areas are disjoint; both are sorted and unique.
+        for pair in report.seeds.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+        for pair in report.invalid_areas.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+        for s in &report.seeds {
+            prop_assert!(report.invalid_areas.binary_search(s).is_err());
+        }
+    }
+}

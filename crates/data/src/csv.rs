@@ -1,0 +1,99 @@
+//! Minimal CSV reader/writer for attribute tables.
+//!
+//! Census attribute tables ship as CSV; this supports the numeric subset the
+//! pipeline needs (no quoting — attribute names and numbers never contain
+//! commas).
+
+use emp_core::attr::AttributeTable;
+use emp_core::error::EmpError;
+
+/// Serializes an attribute table to CSV with a header row.
+pub fn to_csv(table: &AttributeTable) -> String {
+    let mut out = String::new();
+    out.push_str(&table.names().join(","));
+    out.push('\n');
+    for row in 0..table.rows() {
+        for col in 0..table.columns() {
+            if col > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}", table.value(col, row)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses an attribute table from CSV text with a header row.
+pub fn from_csv(text: &str) -> Result<AttributeTable, EmpError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let Some(header) = lines.next() else {
+        return Ok(AttributeTable::new(0));
+    };
+    let names: Vec<&str> = header.split(',').map(str::trim).collect();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    for (lineno, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != names.len() {
+            return Err(EmpError::ConstraintParse {
+                message: format!(
+                    "CSV row {} has {} cells, expected {}",
+                    lineno + 2,
+                    cells.len(),
+                    names.len()
+                ),
+            });
+        }
+        for (col, cell) in cells.iter().enumerate() {
+            let v: f64 = cell.parse().map_err(|_| EmpError::ConstraintParse {
+                message: format!("CSV row {}: bad number '{cell}'", lineno + 2),
+            })?;
+            columns[col].push(v);
+        }
+    }
+    let rows = columns.first().map_or(0, Vec::len);
+    let mut table = AttributeTable::new(rows);
+    for (name, column) in names.iter().zip(columns) {
+        table.push_column(*name, column)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut t = AttributeTable::new(3);
+        t.push_column("A", vec![1.0, 2.5, 3.0]).unwrap();
+        t.push_column("B", vec![10.0, 0.0, 30.5]).unwrap();
+        let text = to_csv(&t);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_and_header_only() {
+        let t = from_csv("").unwrap();
+        assert_eq!(t.rows(), 0);
+        let t = from_csv("A,B\n").unwrap();
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.columns(), 2);
+    }
+
+    #[test]
+    fn rejects_ragged_rows_and_bad_numbers() {
+        assert!(from_csv("A,B\n1.0\n").is_err());
+        assert!(from_csv("A\nxyz\n").is_err());
+        // Negative values violate the attribute-table contract.
+        assert!(from_csv("A\n-5\n").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let t = from_csv("A, B\n 1.0 , 2.0 \n").unwrap();
+        assert_eq!(t.value(0, 0), 1.0);
+        assert_eq!(t.value(1, 0), 2.0);
+    }
+}

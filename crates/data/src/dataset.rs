@@ -1,0 +1,269 @@
+//! Complete synthetic datasets: geometry + contiguity + attributes.
+
+use crate::attributes::census_attributes;
+use crate::tessellation::{generate, TessellationSpec};
+use emp_core::attr::AttributeTable;
+use emp_core::error::EmpError;
+use emp_core::instance::EmpInstance;
+use emp_geo::contiguity::{contiguity_hashed, edges_to_adjacency, ContiguityKind};
+use emp_geo::geojson::{read_feature_collection, write_feature_collection, AreaFeature};
+use emp_geo::polygon::MultiPolygon;
+use emp_geo::GeoError;
+use emp_graph::ContiguityGraph;
+use std::collections::BTreeMap;
+
+/// The dissimilarity attribute used throughout the paper's evaluation.
+pub const DISSIMILARITY_ATTR: &str = "HOUSEHOLDS";
+
+/// A dataset ready for EMP: polygons, derived contiguity graph, and the four
+/// census-style attributes.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset name (e.g. `"2k"`).
+    pub name: String,
+    /// Area geometries.
+    pub areas: Vec<MultiPolygon>,
+    /// Rook-contiguity graph derived from the geometries.
+    pub graph: ContiguityGraph,
+    /// Attribute table (`TOTALPOP`, `POP16UP`, `EMPLOYED`, `HOUSEHOLDS`).
+    pub attributes: AttributeTable,
+}
+
+impl Dataset {
+    /// Generates a dataset from a tessellation spec; attributes use the same
+    /// seed.
+    pub fn generate(name: impl Into<String>, spec: &TessellationSpec) -> Dataset {
+        let areas = generate(spec);
+        let graph = derive_graph(&areas);
+        let attributes = census_attributes(&graph, spec.seed);
+        Dataset {
+            name: name.into(),
+            areas,
+            graph,
+            attributes,
+        }
+    }
+
+    /// Number of areas.
+    pub fn len(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.areas.is_empty()
+    }
+
+    /// Converts into an [`EmpInstance`] with the paper's default
+    /// dissimilarity attribute (`HOUSEHOLDS`).
+    pub fn to_instance(&self) -> Result<EmpInstance, EmpError> {
+        self.to_instance_with(DISSIMILARITY_ATTR)
+    }
+
+    /// Converts into an [`EmpInstance`] with an explicit dissimilarity
+    /// attribute.
+    pub fn to_instance_with(&self, dissimilarity: &str) -> Result<EmpInstance, EmpError> {
+        EmpInstance::new(self.graph.clone(), self.attributes.clone(), dissimilarity)
+    }
+
+    /// Serializes to a GeoJSON `FeatureCollection` (geometry + attributes).
+    pub fn to_geojson(&self) -> String {
+        let names = self.attributes.names().to_vec();
+        let features: Vec<AreaFeature> = self
+            .areas
+            .iter()
+            .enumerate()
+            .map(|(i, geom)| {
+                let mut properties = BTreeMap::new();
+                for (ci, name) in names.iter().enumerate() {
+                    properties.insert(name.clone(), self.attributes.value(ci, i));
+                }
+                AreaFeature {
+                    geometry: geom.clone(),
+                    properties,
+                }
+            })
+            .collect();
+        write_feature_collection(&features)
+    }
+
+    /// Loads a dataset from GeoJSON text, re-deriving contiguity from the
+    /// geometry. All features must carry the same numeric properties.
+    pub fn from_geojson(name: impl Into<String>, text: &str) -> Result<Dataset, GeoError> {
+        let features = read_feature_collection(text)?;
+        let areas: Vec<MultiPolygon> = features.iter().map(|f| f.geometry.clone()).collect();
+        let graph = derive_graph(&areas);
+        // Column set = properties of the first feature.
+        let mut attributes = AttributeTable::new(areas.len());
+        if let Some(first) = features.first() {
+            for name in first.properties.keys() {
+                let column: Vec<f64> = features
+                    .iter()
+                    .map(|f| f.properties.get(name).copied().unwrap_or(0.0))
+                    .collect();
+                attributes
+                    .push_column(name.clone(), column)
+                    .map_err(|e| GeoError::GeoJson {
+                        message: format!("attribute error: {e}"),
+                    })?;
+            }
+        }
+        Ok(Dataset {
+            name: name.into(),
+            areas,
+            graph,
+            attributes,
+        })
+    }
+}
+
+/// The shapefile sidecar trio: `.shp` geometry, `.shx` index, `.dbf`
+/// attributes.
+#[derive(Clone, Debug)]
+pub struct ShapefileBundle {
+    /// Geometry file bytes.
+    pub shp: Vec<u8>,
+    /// Index file bytes.
+    pub shx: Vec<u8>,
+    /// Attribute table bytes.
+    pub dbf: Vec<u8>,
+}
+
+impl Dataset {
+    /// Serializes the dataset to an ESRI shapefile bundle (the paper's
+    /// native input format).
+    pub fn to_shapefile(&self) -> Result<ShapefileBundle, GeoError> {
+        let (shp, shx) = emp_geo::shapefile::write_shp(&self.areas);
+        let table = emp_geo::dbf::DbfTable {
+            names: self.attributes.names().to_vec(),
+            columns: (0..self.attributes.columns())
+                .map(|c| self.attributes.column(c).to_vec())
+                .collect(),
+        };
+        let dbf = emp_geo::dbf::write_dbf(&table)?;
+        Ok(ShapefileBundle { shp, shx, dbf })
+    }
+
+    /// Loads a dataset from shapefile bytes (`.shp` + `.dbf`), re-deriving
+    /// contiguity from the geometry. The `.shx` index is not needed.
+    pub fn from_shapefile(
+        name: impl Into<String>,
+        shp: &[u8],
+        dbf: &[u8],
+    ) -> Result<Dataset, GeoError> {
+        let areas = emp_geo::shapefile::read_shp(shp)?;
+        let table = emp_geo::dbf::read_dbf(dbf)?;
+        if table.rows() != areas.len() {
+            return Err(GeoError::Io {
+                message: format!(
+                    "shapefile has {} shapes but dbf has {} records",
+                    areas.len(),
+                    table.rows()
+                ),
+            });
+        }
+        let graph = derive_graph(&areas);
+        let mut attributes = AttributeTable::new(areas.len());
+        for (name, column) in table.names.iter().zip(table.columns) {
+            attributes
+                .push_column(name.clone(), column)
+                .map_err(|e| GeoError::Io {
+                    message: format!("attribute error: {e}"),
+                })?;
+        }
+        Ok(Dataset {
+            name: name.into(),
+            areas,
+            graph,
+            attributes,
+        })
+    }
+}
+
+/// Derives the rook-contiguity graph from area geometries.
+pub fn derive_graph(areas: &[MultiPolygon]) -> ContiguityGraph {
+    let edges = contiguity_hashed(areas, ContiguityKind::Rook);
+    let adjacency = edges_to_adjacency(areas.len(), &edges);
+    ContiguityGraph::from_adjacency(adjacency).expect("derived adjacency is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emp_graph::connected_components;
+
+    fn small() -> Dataset {
+        Dataset::generate("test", &TessellationSpec::squareish(60, 4))
+    }
+
+    #[test]
+    fn generation_is_consistent() {
+        let d = small();
+        assert_eq!(d.len(), 60);
+        assert_eq!(d.graph.len(), 60);
+        assert_eq!(d.attributes.rows(), 60);
+        assert_eq!(connected_components(&d.graph).count(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn converts_to_instance() {
+        let d = small();
+        let inst = d.to_instance().unwrap();
+        assert_eq!(inst.len(), 60);
+        // Dissimilarity is HOUSEHOLDS.
+        let hh = d.attributes.column_by_name("HOUSEHOLDS").unwrap();
+        assert_eq!(inst.dissimilarity(), hh);
+        assert!(d.to_instance_with("NOPE").is_err());
+    }
+
+    #[test]
+    fn geojson_roundtrip_preserves_everything() {
+        let d = small();
+        let text = d.to_geojson();
+        let back = Dataset::from_geojson("back", &text).unwrap();
+        assert_eq!(back.len(), d.len());
+        // Graph re-derived from geometry matches.
+        assert_eq!(back.graph, d.graph);
+        // Attribute values survive (column order may differ: BTreeMap sorts).
+        for name in d.attributes.names() {
+            let orig = d.attributes.column_by_name(name).unwrap();
+            let new = back.attributes.column_by_name(name).unwrap();
+            for (a, b) in orig.iter().zip(new) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn from_geojson_rejects_garbage() {
+        assert!(Dataset::from_geojson("x", "{}").is_err());
+    }
+
+    #[test]
+    fn shapefile_roundtrip_preserves_everything() {
+        let d = small();
+        let bundle = d.to_shapefile().unwrap();
+        let back = Dataset::from_shapefile("back", &bundle.shp, &bundle.dbf).unwrap();
+        assert_eq!(back.len(), d.len());
+        // Contiguity re-derived from the written geometry matches.
+        assert_eq!(back.graph, d.graph);
+        // Attribute values survive at dbf precision (3 decimals).
+        for name in d.attributes.names() {
+            let orig = d.attributes.column_by_name(name).unwrap();
+            let new = back.attributes.column_by_name(name).unwrap();
+            for (a, b) in orig.iter().zip(new) {
+                assert!((a - b).abs() < 1e-3, "{name}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn shapefile_rejects_mismatched_sidecars() {
+        let d = small();
+        let other = Dataset::generate("other", &TessellationSpec::squareish(10, 1));
+        let bundle = d.to_shapefile().unwrap();
+        let wrong_dbf = other.to_shapefile().unwrap().dbf;
+        assert!(Dataset::from_shapefile("x", &bundle.shp, &wrong_dbf).is_err());
+    }
+}

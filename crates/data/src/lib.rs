@@ -1,0 +1,46 @@
+//! # emp-data — synthetic census datasets for EMP regionalization
+//!
+//! The EMP paper evaluates on nine real US-census-tract datasets (1k–50k
+//! areas) joined with 2010 census attributes. Those shapefiles and attribute
+//! tables cannot be bundled here, so this crate synthesizes statistically
+//! faithful substitutes (see `DESIGN.md` for the substitution argument):
+//!
+//! * [`tessellation`] — brick-wall polygon tessellations with deterministic
+//!   vertex jitter (mean contiguity degree ≈ 6 like census tracts), with
+//!   optional multi-component "island" layouts;
+//! * [`attributes`] — log-normal `TOTALPOP` / `POP16UP` / `EMPLOYED` /
+//!   `HOUSEHOLDS` fields calibrated to the quantiles the paper reports, with
+//!   spatial autocorrelation and realistic cross-correlations;
+//! * [`presets`] — the paper's nine dataset sizes (`"1k"` … `"50k"`), exact
+//!   to the area;
+//! * [`dataset`] — ties geometry + contiguity + attributes together, with
+//!   GeoJSON round-tripping;
+//! * [`csv`] — attribute-table CSV I/O.
+//!
+//! ```
+//! use emp_data::prelude::*;
+//!
+//! let spec = TessellationSpec::squareish(100, 7);
+//! let dataset = Dataset::generate("demo", &spec);
+//! let instance = dataset.to_instance().unwrap();
+//! assert_eq!(instance.len(), 100);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attributes;
+pub mod csv;
+pub mod dataset;
+pub mod presets;
+pub mod tessellation;
+
+pub use dataset::{Dataset, DISSIMILARITY_ATTR};
+pub use presets::{build_preset, build_sized, preset, Preset, DEFAULT_PRESET, PRESETS};
+pub use tessellation::TessellationSpec;
+
+/// Common imports for dataset users.
+pub mod prelude {
+    pub use crate::dataset::{Dataset, DISSIMILARITY_ATTR};
+    pub use crate::presets::{build_preset, build_sized, PRESETS};
+    pub use crate::tessellation::TessellationSpec;
+}

@@ -1,0 +1,214 @@
+//! Irregular polygon tessellations standing in for census-tract shapefiles.
+//!
+//! Census tracts form a planar tessellation whose contiguity graph has mean
+//! degree ≈ 6. A *brick-wall* layout reproduces that: every interior brick
+//! touches two side neighbors plus two above and two below. Vertices are
+//! jittered with a deterministic hash (shared between adjacent bricks, so
+//! contiguity survives), which makes the polygons irregular like real
+//! tracts. Multi-component layouts ("islands") model states with offshore
+//! areas — a capability EMP has over classic MP-regions.
+
+use emp_geo::polygon::MultiPolygon;
+use emp_geo::ring::Ring;
+use emp_geo::{Point, Polygon};
+
+/// Parameters of a brick-wall tessellation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TessellationSpec {
+    /// Exact number of areas to generate.
+    pub n: usize,
+    /// Bricks per full row (the last row may be partial).
+    pub row_width: usize,
+    /// Number of disconnected island bands (1 = a single component).
+    pub islands: usize,
+    /// Vertex jitter amplitude in cell units (0 = perfectly regular).
+    pub jitter: f64,
+    /// Seed for the deterministic vertex jitter.
+    pub seed: u64,
+}
+
+impl TessellationSpec {
+    /// A near-square layout for `n` areas with default jitter.
+    pub fn squareish(n: usize, seed: u64) -> Self {
+        let row_width = ((n as f64).sqrt() / 1.4).ceil().max(1.0) as usize;
+        TessellationSpec {
+            n,
+            row_width,
+            islands: 1,
+            jitter: 0.22,
+            seed,
+        }
+    }
+}
+
+/// Generates the tessellation: one (multi-)polygon per area.
+///
+/// Bricks are laid row by row; odd rows are offset by half a brick. Brick
+/// edges are split at half-brick boundaries so adjacent bricks share
+/// identical vertices and hashed contiguity detection works exactly.
+pub fn generate(spec: &TessellationSpec) -> Vec<MultiPolygon> {
+    assert!(spec.row_width > 0, "row_width must be positive");
+    assert!(spec.islands > 0, "islands must be positive");
+    let mut areas = Vec::with_capacity(spec.n);
+    let w = spec.row_width;
+    // Horizontal gap (in x lattice units) inserted between island bands.
+    let island_of = |brick_x: usize| -> usize {
+        if spec.islands == 1 {
+            0
+        } else {
+            (brick_x * spec.islands / w).min(spec.islands - 1)
+        }
+    };
+    let gap = 6i64;
+
+    for idx in 0..spec.n {
+        let row = idx / w;
+        let col = idx % w;
+        // Lattice coordinates: x in half-brick units (brick = 2 units).
+        let offset = if row % 2 == 1 { 1 } else { 0 };
+        let band = island_of(col) as i64;
+        let x0 = (2 * col + offset) as i64 + band * gap;
+        let y0 = row as i64;
+        let verts = [
+            (x0, y0),
+            (x0 + 1, y0),
+            (x0 + 2, y0),
+            (x0 + 2, y0 + 1),
+            (x0 + 1, y0 + 1),
+            (x0, y0 + 1),
+        ];
+        let points: Vec<Point> = verts
+            .iter()
+            .map(|&(ix, iy)| jittered_vertex(ix, iy, spec.jitter, spec.seed))
+            .collect();
+        let ring = Ring::new(points).expect("brick ring is valid");
+        areas.push(Polygon::new(ring).into());
+    }
+    areas
+}
+
+/// Deterministic, shared vertex jitter: the same lattice vertex always maps
+/// to the same planar point, so adjacent bricks keep identical boundary
+/// vertices.
+fn jittered_vertex(ix: i64, iy: i64, amplitude: f64, seed: u64) -> Point {
+    if amplitude == 0.0 {
+        return Point::new(ix as f64, iy as f64);
+    }
+    let h = hash3(ix as u64, iy as u64, seed);
+    // Two independent offsets in [-amplitude, amplitude).
+    let dx = (((h & 0xFFFF_FFFF) as f64) / 2f64.powi(32) - 0.5) * 2.0 * amplitude;
+    let dy = ((((h >> 32) & 0xFFFF_FFFF) as f64) / 2f64.powi(32) - 0.5) * 2.0 * amplitude;
+    Point::new(ix as f64 + dx, iy as f64 + dy)
+}
+
+/// SplitMix64-style avalanche over three words.
+fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(c.rotate_left(41));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emp_geo::contiguity::{contiguity_hashed, edges_to_adjacency, ContiguityKind};
+    use emp_graph::{connected_components, ContiguityGraph};
+
+    fn graph_of(areas: &[MultiPolygon]) -> ContiguityGraph {
+        let edges = contiguity_hashed(areas, ContiguityKind::Rook);
+        let adj = edges_to_adjacency(areas.len(), &edges);
+        ContiguityGraph::from_adjacency(adj).unwrap()
+    }
+
+    #[test]
+    fn exact_area_count() {
+        for n in [1, 7, 30, 101] {
+            let spec = TessellationSpec::squareish(n, 1);
+            assert_eq!(generate(&spec).len(), n);
+        }
+    }
+
+    #[test]
+    fn interior_bricks_have_degree_six() {
+        let spec = TessellationSpec {
+            n: 100,
+            row_width: 10,
+            islands: 1,
+            jitter: 0.0,
+            seed: 0,
+        };
+        let areas = generate(&spec);
+        let g = graph_of(&areas);
+        // Area 55 is interior (row 5, col 5).
+        assert_eq!(g.degree(55), 6);
+        // Mean degree approaches 6 from below (boundary effects).
+        assert!(g.mean_degree() > 4.5 && g.mean_degree() <= 6.0);
+    }
+
+    #[test]
+    fn jitter_preserves_contiguity() {
+        let flat = TessellationSpec {
+            n: 60,
+            row_width: 6,
+            islands: 1,
+            jitter: 0.0,
+            seed: 3,
+        };
+        let wavy = TessellationSpec { jitter: 0.22, ..flat.clone() };
+        let g_flat = graph_of(&generate(&flat));
+        let g_wavy = graph_of(&generate(&wavy));
+        assert_eq!(g_flat, g_wavy, "jitter must not change adjacency");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_shared() {
+        let spec = TessellationSpec::squareish(40, 9);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a, b);
+        // Polygons remain simple under default jitter.
+        for mp in &a {
+            for poly in mp.polygons() {
+                assert!(poly.exterior().is_simple());
+                assert!(poly.area() > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn single_component_by_default() {
+        let spec = TessellationSpec::squareish(80, 2);
+        let g = graph_of(&generate(&spec));
+        assert_eq!(connected_components(&g).count(), 1);
+    }
+
+    #[test]
+    fn islands_create_components() {
+        let spec = TessellationSpec {
+            n: 90,
+            row_width: 9,
+            islands: 3,
+            jitter: 0.1,
+            seed: 5,
+        };
+        let g = graph_of(&generate(&spec));
+        assert_eq!(connected_components(&g).count(), 3);
+    }
+
+    #[test]
+    fn partial_last_row_stays_connected() {
+        let spec = TessellationSpec {
+            n: 25, // 3 full rows of 7 + 4
+            row_width: 7,
+            islands: 1,
+            jitter: 0.15,
+            seed: 11,
+        };
+        let g = graph_of(&generate(&spec));
+        assert_eq!(connected_components(&g).count(), 1);
+    }
+}

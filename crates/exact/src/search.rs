@@ -1,0 +1,434 @@
+//! Exact EMP solving by exhaustive branch-and-bound over connected
+//! partitions.
+//!
+//! The paper demonstrates EMP's intractability by solving a MIP formulation
+//! with Gurobi: 33.86 s for 9 areas, ~10 h for 16 areas, and no feasible
+//! solution after 110 h for 25 areas. Gurobi is proprietary, so this crate
+//! provides an exact solver with the same role: ground truth for tiny
+//! instances and a measurable exponential blow-up (`experiments::exact_study`
+//! in `emp-bench` reproduces the growth curve).
+//!
+//! The search picks the lowest-indexed undecided area and branches on
+//! (a) leaving it unassigned (`U_0`), or (b) every connected, feasible
+//! region containing it drawn from the undecided set — enumerated with the
+//! standard fixed-pivot connected-subgraph expansion, pruned by monotonic
+//! SUM/COUNT upper bounds. The objective is lexicographic, as in the paper:
+//! maximize `p`, then minimize heterogeneity (and prefer fewer unassigned
+//! areas among ties).
+
+use emp_core::constraint::{Aggregate, ConstraintSet};
+use emp_core::engine::ConstraintEngine;
+use emp_core::error::EmpError;
+use emp_core::heterogeneity::DissimStat;
+use emp_core::instance::EmpInstance;
+use emp_core::solution::Solution;
+
+/// Search limits and knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactConfig {
+    /// Abort after this many search nodes (the result is then a lower
+    /// bound, flagged in [`ExactReport::complete`]).
+    pub max_nodes: u64,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            max_nodes: 50_000_000,
+        }
+    }
+}
+
+/// Exact solver output.
+#[derive(Clone, Debug)]
+pub struct ExactReport {
+    /// The best solution found (optimal when `complete`).
+    pub solution: Solution,
+    /// Whether the search space was fully explored.
+    pub complete: bool,
+    /// Search nodes expanded (the blow-up measure for the MIP study).
+    pub nodes: u64,
+}
+
+/// Maximum instance size (areas are tracked in a `u64` bitmask).
+pub const MAX_AREAS: usize = 64;
+
+struct Ctx<'a, 'b> {
+    engine: &'a ConstraintEngine<'b>,
+    adjacency_masks: Vec<u64>,
+    dissim: &'a [f64],
+    count_low: f64,
+    /// Monotonic upper bounds: (constraint index, is_count).
+    nodes: u64,
+    max_nodes: u64,
+    best_p: usize,
+    best_h: f64,
+    best_unassigned: usize,
+    best_regions: Option<Vec<u64>>,
+}
+
+/// Solves an EMP instance exactly. Errors on instances larger than
+/// [`MAX_AREAS`] or invalid constraints; hard-infeasible constraint sets
+/// yield the optimal "everything unassigned" solution with `p = 0`.
+pub fn exact_solve(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    config: &ExactConfig,
+) -> Result<ExactReport, EmpError> {
+    let n = instance.len();
+    if n > MAX_AREAS {
+        return Err(EmpError::SizeMismatch {
+            graph: n,
+            attrs: MAX_AREAS,
+        });
+    }
+    let engine = ConstraintEngine::compile(instance, constraints)?;
+    let adjacency_masks: Vec<u64> = (0..n as u32)
+        .map(|v| {
+            instance
+                .graph()
+                .neighbors(v)
+                .iter()
+                .fold(0u64, |m, &w| m | (1u64 << w))
+        })
+        .collect();
+    // Per-region COUNT lower bound refines the p upper bound.
+    let count_low = engine
+        .indices_of(Aggregate::Count)
+        .iter()
+        .map(|&ci| engine.constraints()[ci].low)
+        .fold(1.0f64, f64::max);
+
+    let mut ctx = Ctx {
+        engine: &engine,
+        adjacency_masks,
+        dissim: instance.dissimilarity(),
+        count_low,
+        nodes: 0,
+        max_nodes: config.max_nodes,
+        best_p: 0,
+        best_h: f64::INFINITY,
+        best_unassigned: usize::MAX,
+        best_regions: None,
+    };
+    // Baseline incumbent: everything unassigned (always valid in EMP).
+    ctx.consider(&[], n);
+
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut regions: Vec<u64> = Vec::new();
+    let complete = search(&mut ctx, full, &mut regions, 0.0, 0);
+
+    let best_regions = ctx.best_regions.clone().unwrap_or_default();
+    let mut region_lists: Vec<Vec<u32>> = best_regions
+        .iter()
+        .map(|&mask| mask_to_vec(mask))
+        .collect();
+    region_lists.sort_by_key(|m| m[0]);
+    let mut assignment = vec![None; n];
+    for (ri, members) in region_lists.iter().enumerate() {
+        for &a in members {
+            assignment[a as usize] = Some(ri as u32);
+        }
+    }
+    let unassigned: Vec<u32> = (0..n as u32)
+        .filter(|&a| assignment[a as usize].is_none())
+        .collect();
+    let heterogeneity =
+        emp_core::heterogeneity::total_heterogeneity(instance.dissimilarity(), &region_lists);
+    Ok(ExactReport {
+        solution: Solution {
+            regions: region_lists,
+            assignment,
+            unassigned,
+            heterogeneity,
+        },
+        complete,
+        nodes: ctx.nodes,
+    })
+}
+
+fn mask_to_vec(mask: u64) -> Vec<u32> {
+    let mut v = Vec::with_capacity(mask.count_ones() as usize);
+    let mut m = mask;
+    while m != 0 {
+        let b = m.trailing_zeros();
+        v.push(b);
+        m &= m - 1;
+    }
+    v
+}
+
+impl Ctx<'_, '_> {
+    fn consider(&mut self, regions: &[u64], unassigned: usize) {
+        let p = regions.len();
+        let h: f64 = regions.iter().map(|&m| self.region_h(m)).sum();
+        let better = (p, -(unassigned as i64), -h)
+            .partial_cmp(&(self.best_p, -(self.best_unassigned as i64), -self.best_h))
+            .is_some_and(|o| o == std::cmp::Ordering::Greater);
+        if self.best_regions.is_none() || better {
+            self.best_p = p;
+            self.best_h = h;
+            self.best_unassigned = unassigned;
+            self.best_regions = Some(regions.to_vec());
+        }
+    }
+
+    fn region_h(&self, mask: u64) -> f64 {
+        let mut stat = DissimStat::new();
+        for a in mask_to_vec(mask) {
+            stat.insert(self.dissim[a as usize]);
+        }
+        stat.pairwise()
+    }
+
+    /// Whether the region described by `mask` satisfies every constraint.
+    fn region_feasible(&self, mask: u64) -> bool {
+        let members = mask_to_vec(mask);
+        let agg = self.engine.compute_fresh(&members);
+        self.engine.satisfies_all(&agg)
+    }
+
+    /// Whether growing `mask` further could still satisfy monotonic upper
+    /// bounds (SUM/COUNT only increase).
+    fn upper_bounds_ok(&self, mask: u64) -> bool {
+        let members = mask_to_vec(mask);
+        let agg = self.engine.compute_fresh(&members);
+        for (ci, c) in self.engine.constraints().iter().enumerate() {
+            if matches!(c.aggregate, Aggregate::Sum | Aggregate::Count)
+                && self.engine.value(&agg, ci) > c.high
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Returns `false` when the node budget ran out (result may be suboptimal).
+fn search(ctx: &mut Ctx<'_, '_>, remaining: u64, regions: &mut Vec<u64>, _h: f64, _depth: usize) -> bool {
+    ctx.nodes += 1;
+    if ctx.nodes > ctx.max_nodes {
+        return false;
+    }
+    if remaining == 0 {
+        ctx.consider(regions, 0);
+        return true;
+    }
+    // Bound: current p plus the most regions the remaining areas could form.
+    let remaining_count = remaining.count_ones() as usize;
+    let max_extra = (remaining_count as f64 / ctx.count_low).floor() as usize;
+    if regions.len() + max_extra < ctx.best_p {
+        // Cannot reach the incumbent's p even in the best case. (Ties are
+        // NOT pruned: they can still win on unassigned count or
+        // heterogeneity.)
+        ctx.consider(regions, remaining_count);
+        return true;
+    }
+
+    let pivot = remaining.trailing_zeros() as usize;
+    let pivot_bit = 1u64 << pivot;
+    let mut complete = true;
+
+    // Branch (a): pivot goes to U_0.
+    {
+        let rest = remaining & !pivot_bit;
+        // Record the partial state as a candidate (all remaining areas could
+        // be unassigned).
+        ctx.consider(regions, remaining_count);
+        complete &= search(ctx, rest, regions, _h, _depth + 1);
+    }
+
+    // Branch (b): every connected feasible region containing the pivot.
+    let mut subsets: Vec<u64> = Vec::new();
+    enumerate_connected(ctx, pivot_bit, pivot_bit, remaining & !pivot_bit, &mut subsets);
+    for mask in subsets {
+        if ctx.region_feasible(mask) {
+            regions.push(mask);
+            complete &= search(ctx, remaining & !mask, regions, _h, _depth + 1);
+            regions.pop();
+            if ctx.nodes > ctx.max_nodes {
+                return false;
+            }
+        }
+    }
+    complete
+}
+
+/// Enumerates all connected subsets of `current ∪ (subsets of candidates)`
+/// that contain the pivot, using the fixed-pivot expansion (each subset
+/// generated exactly once).
+#[allow(clippy::only_used_in_recursion)]
+fn enumerate_connected(
+    ctx: &Ctx<'_, '_>,
+    current: u64,
+    _pivot_bit: u64,
+    available: u64,
+    out: &mut Vec<u64>,
+) {
+    out.push(current);
+    // Prune: if monotonic upper bounds are already violated, no superset of
+    // `current` can be feasible.
+    if !ctx.upper_bounds_ok(current) {
+        out.pop();
+        return;
+    }
+    // Frontier of `current` within `available`.
+    let mut frontier = 0u64;
+    let mut cm = current;
+    while cm != 0 {
+        let v = cm.trailing_zeros() as usize;
+        frontier |= ctx.adjacency_masks[v];
+        cm &= cm - 1;
+    }
+    frontier &= available;
+    // Standard duplicate-free expansion: pick frontier vertices in order;
+    // once a vertex is skipped it is banned for the whole subtree.
+    let mut banned = 0u64;
+    let mut f = frontier;
+    while f != 0 {
+        let v = f.trailing_zeros() as usize;
+        let v_bit = 1u64 << v;
+        f &= f - 1;
+        enumerate_connected(
+            ctx,
+            current | v_bit,
+            _pivot_bit,
+            available & !banned & !v_bit,
+            out,
+        );
+        banned |= v_bit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emp_core::attr::AttributeTable;
+    use emp_core::constraint::Constraint;
+    use emp_core::validate::validate_solution;
+    use emp_graph::ContiguityGraph;
+
+    fn path_instance(values: &[f64]) -> EmpInstance {
+        let n = values.len();
+        let graph = ContiguityGraph::lattice(n, 1);
+        let mut attrs = AttributeTable::new(n);
+        attrs.push_column("POP", values.to_vec()).unwrap();
+        EmpInstance::new(graph, attrs, "POP").unwrap()
+    }
+
+    #[test]
+    fn trivial_no_constraints_gives_singletons() {
+        let inst = path_instance(&[1.0, 2.0, 3.0]);
+        let report = exact_solve(&inst, &ConstraintSet::new(), &ExactConfig::default()).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.solution.p(), 3);
+        assert!(report.solution.unassigned.is_empty());
+    }
+
+    #[test]
+    fn sum_threshold_optimal_p() {
+        // Path [3,3,3,3], SUM >= 6: optimal p = 2 ({0,1}, {2,3}).
+        let inst = path_instance(&[3.0; 4]);
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 6.0, f64::INFINITY).unwrap());
+        let report = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.solution.p(), 2);
+        assert!(report.solution.unassigned.is_empty());
+        validate_solution(&inst, &set, &report.solution).unwrap();
+    }
+
+    #[test]
+    fn prefers_unassigned_over_infeasible_region() {
+        // [10, 1, 10] with SUM in [10, 11]: the optimum is {0}, {2} as
+        // regions and area 1 unassigned (p = 2).
+        let inst = path_instance(&[10.0, 1.0, 10.0]);
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 10.0, 11.0).unwrap());
+        let report = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.solution.p(), 2);
+        assert_eq!(report.solution.unassigned, vec![1]);
+        validate_solution(&inst, &set, &report.solution).unwrap();
+    }
+
+    #[test]
+    fn heterogeneity_breaks_p_ties() {
+        // 4-path dissim [0, 0, 10, 10]; COUNT = 2 exactly: p = 2 both ways,
+        // but {0,1},{2,3} has H = 0.
+        let graph = ContiguityGraph::lattice(4, 1);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("POP", vec![1.0; 4]).unwrap();
+        attrs.push_column("D", vec![0.0, 0.0, 10.0, 10.0]).unwrap();
+        let inst = EmpInstance::new(graph, attrs, "D").unwrap();
+        let set = ConstraintSet::new().with(Constraint::count(2.0, 2.0).unwrap());
+        let report = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.solution.p(), 2);
+        assert_eq!(report.solution.heterogeneity, 0.0);
+        assert_eq!(report.solution.regions, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn respects_min_max_avg() {
+        // Lattice 2x2, s = [2, 8, 4, 6]; constraints force pairing low/high:
+        // AVG in [4.5, 5.5] and COUNT <= 2.
+        let graph = ContiguityGraph::lattice(2, 2);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("s", vec![2.0, 8.0, 4.0, 6.0]).unwrap();
+        let inst = EmpInstance::new(graph, attrs, "s").unwrap();
+        let set = ConstraintSet::new()
+            .with(Constraint::avg("s", 4.5, 5.5).unwrap())
+            .with(Constraint::count(1.0, 2.0).unwrap());
+        let report = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
+        assert!(report.complete);
+        // {0,1} avg 5 and {2,3} avg 5: p = 2, everything assigned.
+        assert_eq!(report.solution.p(), 2);
+        assert!(report.solution.unassigned.is_empty());
+        validate_solution(&inst, &set, &report.solution).unwrap();
+    }
+
+    #[test]
+    fn infeasible_everything_unassigned() {
+        let inst = path_instance(&[1.0, 1.0]);
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 100.0, f64::INFINITY).unwrap());
+        let report = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.solution.p(), 0);
+        assert_eq!(report.solution.unassigned.len(), 2);
+    }
+
+    #[test]
+    fn node_budget_truncates_search() {
+        let inst = path_instance(&[1.0; 12]);
+        let cfg = ExactConfig { max_nodes: 10 };
+        let report = exact_solve(&inst, &ConstraintSet::new(), &cfg).unwrap();
+        assert!(!report.complete);
+        assert!(report.nodes >= 10);
+    }
+
+    #[test]
+    fn rejects_oversized_instances() {
+        let graph = ContiguityGraph::lattice(9, 9);
+        let mut attrs = AttributeTable::new(81);
+        attrs.push_column("POP", vec![1.0; 81]).unwrap();
+        let inst = EmpInstance::new(graph, attrs, "POP").unwrap();
+        assert!(exact_solve(&inst, &ConstraintSet::new(), &ExactConfig::default()).is_err());
+    }
+
+    #[test]
+    fn nodes_grow_with_instance_size() {
+        // The paper's MIP blow-up, in miniature: nodes explode from 6 to 9
+        // to 12 areas.
+        let mut counts = Vec::new();
+        for n in [4usize, 6, 8] {
+            let inst = path_instance(&vec![1.0; n]);
+            let set = ConstraintSet::new()
+                .with(Constraint::sum("POP", 2.0, f64::INFINITY).unwrap());
+            let report = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
+            assert!(report.complete);
+            counts.push(report.nodes);
+        }
+        assert!(counts[0] < counts[1] && counts[1] < counts[2], "{counts:?}");
+    }
+}

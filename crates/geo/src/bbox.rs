@@ -1,0 +1,190 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point;
+
+/// An axis-aligned bounding box. Empty boxes are represented with inverted
+/// bounds so that `union` behaves as the identity.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BBox {
+    /// Minimum x coordinate.
+    pub min_x: f64,
+    /// Minimum y coordinate.
+    pub min_y: f64,
+    /// Maximum x coordinate.
+    pub max_x: f64,
+    /// Maximum y coordinate.
+    pub max_y: f64,
+}
+
+impl BBox {
+    /// An empty box (`union` identity).
+    pub const EMPTY: BBox = BBox {
+        min_x: f64::INFINITY,
+        min_y: f64::INFINITY,
+        max_x: f64::NEG_INFINITY,
+        max_y: f64::NEG_INFINITY,
+    };
+
+    /// Creates a box from explicit bounds.
+    #[inline]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        BBox { min_x, min_y, max_x, max_y }
+    }
+
+    /// Box covering a single point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        BBox::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// Smallest box covering all points in the iterator.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        let mut b = BBox::EMPTY;
+        for p in points {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// Whether the box covers no point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    /// Grows the box to cover `p`.
+    #[inline]
+    pub fn expand(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Smallest box covering both operands.
+    #[inline]
+    pub fn union(&self, other: &BBox) -> BBox {
+        BBox {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Whether the two boxes share at least one point (boundary contact counts).
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Whether `p` lies inside or on the boundary of the box.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Whether `other` lies fully inside `self` (boundaries may touch).
+    #[inline]
+    pub fn contains_bbox(&self, other: &BBox) -> bool {
+        !other.is_empty()
+            && other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// Box width (0 for empty boxes).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    /// Box height (0 for empty boxes).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    /// Center point; meaningless for empty boxes.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.min_x + self.max_x) * 0.5, (self.min_y + self.max_y) * 0.5)
+    }
+
+    /// Returns the box expanded by `margin` on every side.
+    #[inline]
+    pub fn inflate(&self, margin: f64) -> BBox {
+        BBox {
+            min_x: self.min_x - margin,
+            min_y: self.min_y - margin,
+            max_x: self.max_x + margin,
+            max_y: self.max_y + margin,
+        }
+    }
+}
+
+impl Default for BBox {
+    fn default() -> Self {
+        BBox::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_behaviour() {
+        let e = BBox::EMPTY;
+        assert!(e.is_empty());
+        assert!(!e.intersects(&BBox::new(0.0, 0.0, 1.0, 1.0)));
+        let b = BBox::new(0.0, 0.0, 1.0, 2.0);
+        assert_eq!(e.union(&b), b);
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let b = BBox::from_points([
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.5),
+            Point::new(3.0, 2.0),
+        ]);
+        assert_eq!(b, BBox::new(-2.0, 0.5, 3.0, 5.0));
+        assert_eq!(b.width(), 5.0);
+        assert_eq!(b.height(), 4.5);
+        assert_eq!(b.center(), Point::new(0.5, 2.75));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = BBox::new(0.0, 0.0, 2.0, 2.0);
+        let b = BBox::new(1.0, 1.0, 3.0, 3.0);
+        let c = BBox::new(2.0, 2.0, 3.0, 3.0); // corner touch
+        let d = BBox::new(5.0, 5.0, 6.0, 6.0);
+        assert!(a.intersects(&b));
+        assert!(a.intersects(&c));
+        assert!(!a.intersects(&d));
+    }
+
+    #[test]
+    fn containment() {
+        let a = BBox::new(0.0, 0.0, 4.0, 4.0);
+        assert!(a.contains_point(Point::new(0.0, 4.0)));
+        assert!(!a.contains_point(Point::new(-0.1, 2.0)));
+        assert!(a.contains_bbox(&BBox::new(1.0, 1.0, 3.0, 4.0)));
+        assert!(!a.contains_bbox(&BBox::new(1.0, 1.0, 5.0, 3.0)));
+        assert!(!a.contains_bbox(&BBox::EMPTY));
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let a = BBox::new(0.0, 0.0, 1.0, 1.0).inflate(0.5);
+        assert_eq!(a, BBox::new(-0.5, -0.5, 1.5, 1.5));
+    }
+}

@@ -1,0 +1,269 @@
+//! dBASE III (`.dbf`) attribute tables — the sidecar of every shapefile.
+//!
+//! Census attribute tables ship as numeric `.dbf` columns joined to the
+//! `.shp` geometry by record order. The subset implemented is numeric
+//! (`N`/`F`) fields, which covers the paper's attributes (`TOTALPOP`,
+//! `POP16UP`, `EMPLOYED`, `HOUSEHOLDS`).
+
+use crate::error::GeoError;
+use bytes::{Buf, BufMut};
+
+/// dBASE III without memo.
+const DBF_VERSION: u8 = 0x03;
+/// Field-descriptor terminator.
+const HEADER_TERMINATOR: u8 = 0x0D;
+/// End-of-file marker.
+const EOF_MARKER: u8 = 0x1A;
+
+/// A numeric attribute table read from / written to `.dbf`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DbfTable {
+    /// Column names (max 10 ASCII characters each, the dBASE limit).
+    pub names: Vec<String>,
+    /// Column-major values; all columns have the same length.
+    pub columns: Vec<Vec<f64>>,
+}
+
+impl DbfTable {
+    /// Number of records.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+}
+
+fn err(message: impl Into<String>) -> GeoError {
+    GeoError::Io {
+        message: format!("dbf: {}", message.into()),
+    }
+}
+
+/// Field width used on write (fits census magnitudes with 3 decimals).
+const FIELD_WIDTH: u8 = 19;
+/// Decimal places used on write.
+const FIELD_DECIMALS: u8 = 3;
+
+/// Serializes a numeric table to `.dbf` bytes.
+///
+/// Errors when a name is empty, exceeds 10 bytes, or is not ASCII.
+pub fn write_dbf(table: &DbfTable) -> Result<Vec<u8>, GeoError> {
+    for (name, col) in table.names.iter().zip(&table.columns) {
+        if name.is_empty() || name.len() > 10 || !name.is_ascii() {
+            return Err(err(format!("bad field name '{name}' (1-10 ASCII chars)")));
+        }
+        if col.len() != table.rows() {
+            return Err(err("ragged columns"));
+        }
+    }
+    if table.names.len() != table.columns.len() {
+        return Err(err("names/columns length mismatch"));
+    }
+    let n_fields = table.names.len();
+    let header_size = 32 + 32 * n_fields + 1;
+    let record_size = 1 + n_fields * FIELD_WIDTH as usize;
+    let rows = table.rows();
+
+    let mut out = Vec::with_capacity(header_size + rows * record_size + 1);
+    out.put_u8(DBF_VERSION);
+    out.put_u8(26); // last-update date YY (arbitrary fixed date: 1926-01-01
+    out.put_u8(1); // keeps output deterministic)
+    out.put_u8(1);
+    out.put_u32_le(rows as u32);
+    out.put_u16_le(header_size as u16);
+    out.put_u16_le(record_size as u16);
+    out.extend_from_slice(&[0u8; 20]);
+
+    for name in &table.names {
+        let mut name_bytes = [0u8; 11];
+        name_bytes[..name.len()].copy_from_slice(name.as_bytes());
+        out.extend_from_slice(&name_bytes);
+        out.put_u8(b'N'); // numeric
+        out.extend_from_slice(&[0u8; 4]);
+        out.put_u8(FIELD_WIDTH);
+        out.put_u8(FIELD_DECIMALS);
+        out.extend_from_slice(&[0u8; 14]);
+    }
+    out.put_u8(HEADER_TERMINATOR);
+
+    for row in 0..rows {
+        out.put_u8(b' '); // not deleted
+        for col in &table.columns {
+            let text = format!("{:>width$.prec$}", col[row], width = FIELD_WIDTH as usize, prec = FIELD_DECIMALS as usize);
+            // Overflowing values would corrupt the fixed layout; reject.
+            if text.len() != FIELD_WIDTH as usize {
+                return Err(err(format!("value {} too wide for field", col[row])));
+            }
+            out.extend_from_slice(text.as_bytes());
+        }
+    }
+    out.put_u8(EOF_MARKER);
+    Ok(out)
+}
+
+/// Parses numeric columns from `.dbf` bytes; non-numeric fields are skipped.
+pub fn read_dbf(data: &[u8]) -> Result<DbfTable, GeoError> {
+    if data.len() < 33 {
+        return Err(err("file shorter than minimal header"));
+    }
+    let mut cur = data;
+    let version = cur.get_u8();
+    if version & 0x07 != DBF_VERSION {
+        return Err(err(format!("unsupported version byte {version:#x}")));
+    }
+    cur.advance(3); // date
+    let rows = cur.get_u32_le() as usize;
+    let header_size = cur.get_u16_le() as usize;
+    let record_size = cur.get_u16_le() as usize;
+    cur.advance(20);
+
+    if header_size < 33 || header_size > data.len() {
+        return Err(err("bad header size"));
+    }
+    // Field descriptors until the 0x0D terminator.
+    struct Field {
+        name: String,
+        ftype: u8,
+        width: usize,
+    }
+    let mut fields = Vec::new();
+    let n_descriptors = (header_size - 32 - 1) / 32;
+    for _ in 0..n_descriptors {
+        if cur.remaining() < 32 {
+            return Err(err("truncated field descriptor"));
+        }
+        let mut name_bytes = [0u8; 11];
+        cur.copy_to_slice(&mut name_bytes);
+        let name_end = name_bytes.iter().position(|&b| b == 0).unwrap_or(11);
+        let name = String::from_utf8_lossy(&name_bytes[..name_end]).into_owned();
+        let ftype = cur.get_u8();
+        cur.advance(4);
+        let width = cur.get_u8() as usize;
+        cur.advance(1 + 14);
+        fields.push(Field { name, ftype, width });
+    }
+    if cur.remaining() < 1 || cur.get_u8() != HEADER_TERMINATOR {
+        return Err(err("missing header terminator"));
+    }
+
+    let expected_record = 1 + fields.iter().map(|f| f.width).sum::<usize>();
+    if expected_record != record_size {
+        return Err(err(format!(
+            "record size {record_size} != field widths {expected_record}"
+        )));
+    }
+    let body = &data[header_size..];
+    if body.len() < rows * record_size {
+        return Err(err("truncated records"));
+    }
+
+    let numeric: Vec<usize> = fields
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| matches!(f.ftype, b'N' | b'F'))
+        .map(|(i, _)| i)
+        .collect();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(rows); numeric.len()];
+    for row in 0..rows {
+        let rec = &body[row * record_size..(row + 1) * record_size];
+        if rec[0] == b'*' {
+            return Err(err(format!("record {row} is deleted; compact the file first")));
+        }
+        let mut offset = 1usize;
+        let mut out_idx = 0usize;
+        for (fi, f) in fields.iter().enumerate() {
+            let raw = &rec[offset..offset + f.width];
+            offset += f.width;
+            if !numeric.contains(&fi) {
+                continue;
+            }
+            let text = std::str::from_utf8(raw)
+                .map_err(|_| err(format!("record {row}: non-UTF8 numeric field")))?
+                .trim();
+            let value: f64 = if text.is_empty() {
+                0.0
+            } else {
+                text.parse()
+                    .map_err(|_| err(format!("record {row}: bad number '{text}'")))?
+            };
+            columns[out_idx].push(value);
+            out_idx += 1;
+        }
+    }
+    Ok(DbfTable {
+        names: numeric.iter().map(|&i| fields[i].name.clone()).collect(),
+        columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> DbfTable {
+        DbfTable {
+            names: vec!["TOTALPOP".into(), "EMPLOYED".into()],
+            columns: vec![vec![4100.5, 2000.0, 0.0], vec![1800.25, 900.0, 12.125]],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = table();
+        let bytes = write_dbf(&t).unwrap();
+        let back = read_dbf(&bytes).unwrap();
+        assert_eq!(back.names, t.names);
+        assert_eq!(back.rows(), 3);
+        for (a, b) in t.columns.iter().flatten().zip(back.columns.iter().flatten()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn write_is_deterministic() {
+        assert_eq!(write_dbf(&table()).unwrap(), write_dbf(&table()).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        let mut t = table();
+        t.names[0] = "WAY_TOO_LONG_NAME".into();
+        assert!(write_dbf(&t).is_err());
+        t.names[0] = "".into();
+        assert!(write_dbf(&t).is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_and_mismatched() {
+        let t = DbfTable {
+            names: vec!["A".into(), "B".into()],
+            columns: vec![vec![1.0], vec![1.0, 2.0]],
+        };
+        assert!(write_dbf(&t).is_err());
+        let t = DbfTable {
+            names: vec!["A".into()],
+            columns: vec![],
+        };
+        assert!(write_dbf(&t).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupted_files() {
+        assert!(read_dbf(&[]).is_err());
+        let bytes = write_dbf(&table()).unwrap();
+        assert!(read_dbf(&bytes[..40]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = 0x08; // unsupported version
+        assert!(read_dbf(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let t = DbfTable {
+            names: vec!["X".into()],
+            columns: vec![vec![]],
+        };
+        let bytes = write_dbf(&t).unwrap();
+        let back = read_dbf(&bytes).unwrap();
+        assert_eq!(back.rows(), 0);
+        assert_eq!(back.names, vec!["X".to_string()]);
+    }
+}

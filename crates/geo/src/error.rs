@@ -1,0 +1,84 @@
+//! Error type for geometry construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by geometry constructors, parsers, and writers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A ring needs at least three distinct vertices.
+    DegenerateRing {
+        /// Number of distinct vertices supplied.
+        vertices: usize,
+    },
+    /// NaN or infinite coordinate encountered.
+    NonFiniteCoordinate,
+    /// A multi-polygon needs at least one part.
+    EmptyMultiPolygon,
+    /// WKT text failed to parse.
+    WktParse {
+        /// Byte offset of the failure in the input.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// GeoJSON document failed to parse or had an unexpected shape.
+    GeoJson {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Underlying I/O failure (message-only to keep the error `Clone`).
+    Io {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::DegenerateRing { vertices } => {
+                write!(f, "ring needs >= 3 distinct vertices, got {vertices}")
+            }
+            GeoError::NonFiniteCoordinate => write!(f, "non-finite coordinate"),
+            GeoError::EmptyMultiPolygon => write!(f, "multi-polygon needs >= 1 part"),
+            GeoError::WktParse { offset, message } => {
+                write!(f, "WKT parse error at byte {offset}: {message}")
+            }
+            GeoError::GeoJson { message } => write!(f, "GeoJSON error: {message}"),
+            GeoError::Io { message } => write!(f, "I/O error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+impl From<std::io::Error> for GeoError {
+    fn from(e: std::io::Error) -> Self {
+        GeoError::Io {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GeoError::DegenerateRing { vertices: 2 };
+        assert!(e.to_string().contains("3 distinct"));
+        let e = GeoError::WktParse {
+            offset: 7,
+            message: "expected '('".into(),
+        };
+        assert!(e.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GeoError = io.into();
+        assert!(matches!(e, GeoError::Io { .. }));
+    }
+}

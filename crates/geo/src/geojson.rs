@@ -1,0 +1,264 @@
+//! GeoJSON reading/writing for area datasets.
+//!
+//! The supported subset is what regionalization pipelines exchange: a
+//! `FeatureCollection` of `Polygon`/`MultiPolygon` features with numeric
+//! properties (the spatially extensive attributes and the dissimilarity
+//! attribute).
+
+use crate::error::GeoError;
+use crate::point::Point;
+use crate::polygon::{MultiPolygon, Polygon};
+use crate::ring::Ring;
+use serde_json::{json, Map, Value};
+use std::collections::BTreeMap;
+
+/// One area read from GeoJSON: geometry plus numeric properties.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AreaFeature {
+    /// The area's (multi-)polygon geometry.
+    pub geometry: MultiPolygon,
+    /// Numeric properties, sorted by name for deterministic iteration.
+    pub properties: BTreeMap<String, f64>,
+}
+
+/// Parses a GeoJSON `FeatureCollection` string into area features.
+///
+/// Non-numeric properties are ignored; `Polygon` and `MultiPolygon`
+/// geometries are accepted, everything else is an error.
+pub fn read_feature_collection(text: &str) -> Result<Vec<AreaFeature>, GeoError> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| GeoError::GeoJson {
+        message: format!("invalid JSON: {e}"),
+    })?;
+    let obj = doc.as_object().ok_or_else(|| err("root is not an object"))?;
+    if obj.get("type").and_then(Value::as_str) != Some("FeatureCollection") {
+        return Err(err("root type must be FeatureCollection"));
+    }
+    let features = obj
+        .get("features")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing features array"))?;
+
+    let mut out = Vec::with_capacity(features.len());
+    for (idx, f) in features.iter().enumerate() {
+        let fo = f
+            .as_object()
+            .ok_or_else(|| err(&format!("feature {idx} is not an object")))?;
+        let geom = fo
+            .get("geometry")
+            .ok_or_else(|| err(&format!("feature {idx} has no geometry")))?;
+        let geometry = parse_geometry(geom)
+            .map_err(|e| err(&format!("feature {idx}: {e}")))?;
+        let mut properties = BTreeMap::new();
+        if let Some(props) = fo.get("properties").and_then(Value::as_object) {
+            for (k, v) in props {
+                if let Some(num) = v.as_f64() {
+                    properties.insert(k.clone(), num);
+                }
+            }
+        }
+        out.push(AreaFeature { geometry, properties });
+    }
+    Ok(out)
+}
+
+/// Serializes area features to a GeoJSON `FeatureCollection` string.
+pub fn write_feature_collection(features: &[AreaFeature]) -> String {
+    let feats: Vec<Value> = features
+        .iter()
+        .map(|f| {
+            let props: Map<String, Value> = f
+                .properties
+                .iter()
+                .map(|(k, v)| (k.clone(), json!(v)))
+                .collect();
+            json!({
+                "type": "Feature",
+                "geometry": geometry_to_value(&f.geometry),
+                "properties": Value::Object(props),
+            })
+        })
+        .collect();
+    let doc = json!({ "type": "FeatureCollection", "features": feats });
+    serde_json::to_string(&doc).expect("GeoJSON value serializes")
+}
+
+fn err(message: &str) -> GeoError {
+    GeoError::GeoJson {
+        message: message.to_string(),
+    }
+}
+
+fn parse_position(v: &Value) -> Result<Point, GeoError> {
+    let arr = v.as_array().ok_or_else(|| err("position is not an array"))?;
+    if arr.len() < 2 {
+        return Err(err("position needs 2 coordinates"));
+    }
+    let x = arr[0].as_f64().ok_or_else(|| err("x not a number"))?;
+    let y = arr[1].as_f64().ok_or_else(|| err("y not a number"))?;
+    Ok(Point::new(x, y))
+}
+
+fn parse_ring(v: &Value) -> Result<Ring, GeoError> {
+    let arr = v.as_array().ok_or_else(|| err("ring is not an array"))?;
+    let pts = arr.iter().map(parse_position).collect::<Result<Vec<_>, _>>()?;
+    Ring::new(pts)
+}
+
+fn parse_polygon_coords(v: &Value) -> Result<Polygon, GeoError> {
+    let rings = v.as_array().ok_or_else(|| err("polygon coords not an array"))?;
+    if rings.is_empty() {
+        return Err(err("polygon needs an exterior ring"));
+    }
+    let exterior = parse_ring(&rings[0])?;
+    let holes = rings[1..].iter().map(parse_ring).collect::<Result<Vec<_>, _>>()?;
+    Ok(Polygon::with_holes(exterior, holes))
+}
+
+fn parse_geometry(v: &Value) -> Result<MultiPolygon, GeoError> {
+    let obj = v.as_object().ok_or_else(|| err("geometry is not an object"))?;
+    let gtype = obj
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("geometry missing type"))?;
+    let coords = obj
+        .get("coordinates")
+        .ok_or_else(|| err("geometry missing coordinates"))?;
+    match gtype {
+        "Polygon" => Ok(parse_polygon_coords(coords)?.into()),
+        "MultiPolygon" => {
+            let parts = coords
+                .as_array()
+                .ok_or_else(|| err("multipolygon coords not an array"))?;
+            let polys = parts
+                .iter()
+                .map(parse_polygon_coords)
+                .collect::<Result<Vec<_>, _>>()?;
+            MultiPolygon::new(polys)
+        }
+        other => Err(err(&format!("unsupported geometry type '{other}'"))),
+    }
+}
+
+fn ring_to_value(r: &Ring) -> Value {
+    let mut coords: Vec<Value> = r
+        .vertices()
+        .iter()
+        .map(|p| json!([p.x, p.y]))
+        .collect();
+    // GeoJSON rings repeat the first position.
+    let first = r.vertices()[0];
+    coords.push(json!([first.x, first.y]));
+    Value::Array(coords)
+}
+
+fn polygon_to_value(p: &Polygon) -> Value {
+    let mut rings = vec![ring_to_value(p.exterior())];
+    rings.extend(p.holes().iter().map(ring_to_value));
+    Value::Array(rings)
+}
+
+fn geometry_to_value(mp: &MultiPolygon) -> Value {
+    if mp.polygons().len() == 1 {
+        json!({
+            "type": "Polygon",
+            "coordinates": polygon_to_value(&mp.polygons()[0]),
+        })
+    } else {
+        json!({
+            "type": "MultiPolygon",
+            "coordinates": Value::Array(mp.polygons().iter().map(polygon_to_value).collect()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<AreaFeature> {
+        let mut props = BTreeMap::new();
+        props.insert("TOTALPOP".to_string(), 4200.0);
+        props.insert("EMPLOYED".to_string(), 1800.5);
+        vec![
+            AreaFeature {
+                geometry: Polygon::rect(0.0, 0.0, 1.0, 1.0).into(),
+                properties: props,
+            },
+            AreaFeature {
+                geometry: MultiPolygon::new(vec![
+                    Polygon::rect(2.0, 0.0, 3.0, 1.0),
+                    Polygon::rect(4.0, 0.0, 5.0, 1.0),
+                ])
+                .unwrap(),
+                properties: BTreeMap::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let features = sample();
+        let text = write_feature_collection(&features);
+        let back = read_feature_collection(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].properties["TOTALPOP"], 4200.0);
+        assert!((back[0].geometry.area() - 1.0).abs() < 1e-12);
+        assert_eq!(back[1].geometry.polygons().len(), 2);
+    }
+
+    #[test]
+    fn parses_handwritten_geojson() {
+        let text = r#"{
+          "type": "FeatureCollection",
+          "features": [{
+            "type": "Feature",
+            "geometry": {
+              "type": "Polygon",
+              "coordinates": [[[0,0],[2,0],[2,2],[0,2],[0,0]]]
+            },
+            "properties": {"POP": 10, "NAME": "tract-1"}
+          }]
+        }"#;
+        let features = read_feature_collection(text).unwrap();
+        assert_eq!(features.len(), 1);
+        assert!((features[0].geometry.area() - 4.0).abs() < 1e-12);
+        // Numeric kept, string ignored.
+        assert_eq!(features[0].properties.len(), 1);
+        assert_eq!(features[0].properties["POP"], 10.0);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(read_feature_collection("not json").is_err());
+        assert!(read_feature_collection("{\"type\": \"Feature\"}").is_err());
+        assert!(read_feature_collection(
+            r#"{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Point","coordinates":[0,0]},"properties":{}}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn polygon_with_hole_roundtrips() {
+        let ext = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 2.0),
+        ])
+        .unwrap();
+        let f = AreaFeature {
+            geometry: Polygon::with_holes(ext, vec![hole]).into(),
+            properties: BTreeMap::new(),
+        };
+        let text = write_feature_collection(std::slice::from_ref(&f));
+        let back = read_feature_collection(&text).unwrap();
+        assert!((back[0].geometry.area() - 15.0).abs() < 1e-12);
+    }
+}

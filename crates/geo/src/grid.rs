@@ -1,0 +1,193 @@
+//! A uniform spatial grid index over bounding boxes.
+//!
+//! Contiguity detection and point-lookup over tens of thousands of polygons
+//! needs candidate pruning; a uniform grid is simple, cache-friendly, and
+//! well-suited to census tessellations whose areas have similar sizes.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+use std::collections::HashMap;
+
+/// Spatial hash grid mapping cells to the ids of bboxes overlapping them.
+#[derive(Debug)]
+pub struct GridIndex {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<u32>>,
+    bboxes: Vec<BBox>,
+}
+
+impl GridIndex {
+    /// Builds an index over `bboxes`, choosing a cell size near the average
+    /// box diagonal (a good default for similarly-sized areas).
+    pub fn build(bboxes: Vec<BBox>) -> Self {
+        let n = bboxes.len().max(1);
+        let avg: f64 = bboxes
+            .iter()
+            .map(|b| (b.width() + b.height()) * 0.5)
+            .sum::<f64>()
+            / n as f64;
+        let cell = if avg > 0.0 { avg * 2.0 } else { 1.0 };
+        Self::build_with_cell(bboxes, cell)
+    }
+
+    /// Builds an index with an explicit cell size.
+    pub fn build_with_cell(bboxes: Vec<BBox>, cell: f64) -> Self {
+        assert!(cell > 0.0, "cell size must be positive");
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (id, b) in bboxes.iter().enumerate() {
+            if b.is_empty() {
+                continue;
+            }
+            let (x0, y0) = cell_of(b.min_x, b.min_y, cell);
+            let (x1, y1) = cell_of(b.max_x, b.max_y, cell);
+            for cx in x0..=x1 {
+                for cy in y0..=y1 {
+                    cells.entry((cx, cy)).or_default().push(id as u32);
+                }
+            }
+        }
+        GridIndex { cell, cells, bboxes }
+    }
+
+    /// Number of indexed boxes.
+    pub fn len(&self) -> usize {
+        self.bboxes.len()
+    }
+
+    /// Whether the index holds no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.bboxes.is_empty()
+    }
+
+    /// Ids of boxes whose bbox intersects `query` (deduplicated, sorted).
+    pub fn query_bbox(&self, query: &BBox) -> Vec<u32> {
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let (x0, y0) = cell_of(query.min_x, query.min_y, self.cell);
+        let (x1, y1) = cell_of(query.max_x, query.max_y, self.cell);
+        let mut out = Vec::new();
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                if let Some(ids) = self.cells.get(&(cx, cy)) {
+                    for &id in ids {
+                        if self.bboxes[id as usize].intersects(query) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Ids of boxes containing point `p` (deduplicated, sorted).
+    pub fn query_point(&self, p: Point) -> Vec<u32> {
+        self.query_bbox(&BBox::from_point(p))
+    }
+
+    /// All candidate id pairs `(i, j)` with `i < j` whose bboxes intersect.
+    ///
+    /// Used as the pruning step for contiguity detection.
+    pub fn candidate_pairs(&self) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        for ids in self.cells.values() {
+            for (k, &i) in ids.iter().enumerate() {
+                for &j in &ids[k + 1..] {
+                    let (a, b) = if i < j { (i, j) } else { (j, i) };
+                    if self.bboxes[a as usize].intersects(&self.bboxes[b as usize]) {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+}
+
+#[inline]
+fn cell_of(x: f64, y: f64, cell: f64) -> (i64, i64) {
+    ((x / cell).floor() as i64, (y / cell).floor() as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxes() -> Vec<BBox> {
+        vec![
+            BBox::new(0.0, 0.0, 1.0, 1.0),
+            BBox::new(0.5, 0.5, 1.5, 1.5),
+            BBox::new(10.0, 10.0, 11.0, 11.0),
+        ]
+    }
+
+    #[test]
+    fn query_bbox_finds_overlapping() {
+        let idx = GridIndex::build(boxes());
+        let hits = idx.query_bbox(&BBox::new(0.9, 0.9, 1.1, 1.1));
+        assert_eq!(hits, vec![0, 1]);
+        let hits = idx.query_bbox(&BBox::new(10.5, 10.5, 10.6, 10.6));
+        assert_eq!(hits, vec![2]);
+        assert!(idx.query_bbox(&BBox::new(5.0, 5.0, 6.0, 6.0)).is_empty());
+        assert!(idx.query_bbox(&BBox::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn query_point_hits_containing_boxes() {
+        let idx = GridIndex::build(boxes());
+        assert_eq!(idx.query_point(Point::new(0.75, 0.75)), vec![0, 1]);
+        assert_eq!(idx.query_point(Point::new(0.1, 0.1)), vec![0]);
+        assert!(idx.query_point(Point::new(50.0, 50.0)).is_empty());
+    }
+
+    #[test]
+    fn candidate_pairs_prune_far_boxes() {
+        let idx = GridIndex::build(boxes());
+        let pairs = idx.candidate_pairs();
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::build(vec![]);
+        assert!(idx.is_empty());
+        assert!(idx.candidate_pairs().is_empty());
+    }
+
+    #[test]
+    fn touching_boxes_are_candidates() {
+        let idx = GridIndex::build(vec![
+            BBox::new(0.0, 0.0, 1.0, 1.0),
+            BBox::new(1.0, 0.0, 2.0, 1.0), // shares an edge
+        ]);
+        assert_eq!(idx.candidate_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn many_grid_boxes_pairs_match_bruteforce() {
+        // 10x10 lattice of unit boxes: each box touches its 8 surrounding
+        // boxes (corner contact counts for bbox intersection).
+        let mut bs = Vec::new();
+        for y in 0..10 {
+            for x in 0..10 {
+                bs.push(BBox::new(x as f64, y as f64, x as f64 + 1.0, y as f64 + 1.0));
+            }
+        }
+        let idx = GridIndex::build(bs.clone());
+        let pairs = idx.candidate_pairs();
+        let mut brute = Vec::new();
+        for i in 0..bs.len() {
+            for j in (i + 1)..bs.len() {
+                if bs[i].intersects(&bs[j]) {
+                    brute.push((i as u32, j as u32));
+                }
+            }
+        }
+        assert_eq!(pairs, brute);
+    }
+}

@@ -1,0 +1,45 @@
+//! # emp-geo — planar geometry substrate for EMP regionalization
+//!
+//! The EMP paper (Kang & Magdy, ICDE 2022) operates on census-tract polygons
+//! whose spatial contiguity drives the regionalization graph. This crate
+//! provides the geometry layer from scratch:
+//!
+//! * [`Point`], [`BBox`], [`Segment`], [`Ring`], [`Polygon`], [`MultiPolygon`]
+//!   primitives with robust-enough planar predicates;
+//! * rook/queen [`contiguity`] detection (hashed fast path and a geometric
+//!   fallback for T-junction tessellations);
+//! * a uniform [`grid::GridIndex`] for candidate pruning;
+//! * [`wkt`], [`geojson`], and ESRI [`shapefile`] + [`dbf`] I/O.
+//!
+//! ```
+//! use emp_geo::{Polygon, MultiPolygon, contiguity::{contiguity_hashed, ContiguityKind}};
+//!
+//! let areas: Vec<MultiPolygon> = vec![
+//!     Polygon::rect(0.0, 0.0, 1.0, 1.0).into(),
+//!     Polygon::rect(1.0, 0.0, 2.0, 1.0).into(),
+//! ];
+//! let edges = contiguity_hashed(&areas, ContiguityKind::Rook);
+//! assert_eq!(edges, vec![(0, 1)]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod contiguity;
+pub mod dbf;
+pub mod error;
+pub mod geojson;
+pub mod grid;
+pub mod point;
+pub mod polygon;
+pub mod ring;
+pub mod shapefile;
+pub mod segment;
+pub mod wkt;
+
+pub use bbox::BBox;
+pub use error::GeoError;
+pub use point::Point;
+pub use polygon::{MultiPolygon, Polygon};
+pub use ring::{PointLocation, Ring};
+pub use segment::Segment;

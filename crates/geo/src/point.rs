@@ -1,0 +1,250 @@
+//! Planar points and basic vector arithmetic.
+//!
+//! All geometry in this crate is planar (projected coordinates). Census-tract
+//! shapefiles are typically consumed in a projected CRS before contiguity
+//! analysis, so a planar model matches the paper's pipeline.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (or 2-vector) in the plane.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Dot product with another vector.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the cross product (signed parallelogram area).
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean distance to another point.
+    #[inline]
+    pub fn dist2(self, other: Point) -> f64 {
+        let d = self - other;
+        d.dot(d)
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Whether both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Lexicographic comparison `(x, then y)`; total order for finite points.
+    #[inline]
+    pub fn lex_cmp(self, other: Point) -> std::cmp::Ordering {
+        self.x
+            .partial_cmp(&other.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.y.partial_cmp(&other.y).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+/// A point key quantized to a fixed grid, usable as a hash-map key.
+///
+/// Contiguity detection hashes polygon vertices/edges; floating-point
+/// coordinates coming from file round-trips may differ in the last ulp, so we
+/// snap to a quantum (default `1e-9` of a coordinate unit) before hashing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct QuantizedPoint {
+    /// Quantized x coordinate.
+    pub qx: i64,
+    /// Quantized y coordinate.
+    pub qy: i64,
+}
+
+/// Default quantum used by [`QuantizedPoint::quantize`].
+pub const DEFAULT_QUANTUM: f64 = 1e-9;
+
+impl QuantizedPoint {
+    /// Quantizes `p` with the given positive quantum.
+    #[inline]
+    pub fn with_quantum(p: Point, quantum: f64) -> Self {
+        debug_assert!(quantum > 0.0);
+        QuantizedPoint {
+            qx: (p.x / quantum).round() as i64,
+            qy: (p.y / quantum).round() as i64,
+        }
+    }
+
+    /// Quantizes `p` with [`DEFAULT_QUANTUM`].
+    #[inline]
+    pub fn quantize(p: Point) -> Self {
+        Self::with_quantum(p, DEFAULT_QUANTUM)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist2(b), 25.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.midpoint(b), Point::new(1.5, 2.0));
+        assert_eq!(b.norm(), 5.0);
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = (2.0, 3.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (2.0, 3.0));
+    }
+
+    #[test]
+    fn quantized_points_snap_nearby_coordinates() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(1.0 + 1e-12, 2.0 - 1e-12);
+        assert_eq!(QuantizedPoint::quantize(a), QuantizedPoint::quantize(b));
+        let c = Point::new(1.0001, 2.0);
+        assert_ne!(QuantizedPoint::quantize(a), QuantizedPoint::quantize(c));
+    }
+
+    #[test]
+    fn lex_cmp_orders_by_x_then_y() {
+        use std::cmp::Ordering;
+        let a = Point::new(0.0, 5.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(a.lex_cmp(b), Ordering::Less);
+        assert_eq!(b.lex_cmp(a), Ordering::Greater);
+        assert_eq!(a.lex_cmp(a), Ordering::Equal);
+        let c = Point::new(0.0, 6.0);
+        assert_eq!(a.lex_cmp(c), Ordering::Less);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+}

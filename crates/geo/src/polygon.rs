@@ -1,0 +1,302 @@
+//! Polygons (one exterior ring, zero or more holes) and multi-polygons.
+
+use crate::bbox::BBox;
+use crate::error::GeoError;
+use crate::point::Point;
+use crate::ring::{PointLocation, Ring};
+use crate::segment::Segment;
+
+/// A polygon with an exterior ring and optional interior rings (holes).
+///
+/// Constructors normalize winding: exterior counter-clockwise, holes
+/// clockwise (the convention used by GeoJSON/OGC writers).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Polygon {
+    exterior: Ring,
+    holes: Vec<Ring>,
+}
+
+impl Polygon {
+    /// Creates a polygon from an exterior ring and holes, normalizing winding.
+    pub fn with_holes(mut exterior: Ring, mut holes: Vec<Ring>) -> Self {
+        if !exterior.is_ccw() {
+            exterior.reverse();
+        }
+        for h in &mut holes {
+            if h.is_ccw() {
+                h.reverse();
+            }
+        }
+        Polygon { exterior, holes }
+    }
+
+    /// Creates a hole-free polygon.
+    pub fn new(exterior: Ring) -> Self {
+        Polygon::with_holes(exterior, Vec::new())
+    }
+
+    /// Convenience: a hole-free polygon from raw coordinates.
+    pub fn from_coords(coords: Vec<(f64, f64)>) -> Result<Self, GeoError> {
+        let ring = Ring::new(coords.into_iter().map(Point::from).collect())?;
+        Ok(Polygon::new(ring))
+    }
+
+    /// Axis-aligned rectangle polygon.
+    pub fn rect(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Polygon::new(
+            Ring::new(vec![
+                Point::new(min_x, min_y),
+                Point::new(max_x, min_y),
+                Point::new(max_x, max_y),
+                Point::new(min_x, max_y),
+            ])
+            .expect("rectangle ring is valid"),
+        )
+    }
+
+    /// The exterior ring.
+    #[inline]
+    pub fn exterior(&self) -> &Ring {
+        &self.exterior
+    }
+
+    /// The interior rings (holes).
+    #[inline]
+    pub fn holes(&self) -> &[Ring] {
+        &self.holes
+    }
+
+    /// Area (exterior minus holes).
+    pub fn area(&self) -> f64 {
+        let holes: f64 = self.holes.iter().map(|h| h.area()).sum();
+        (self.exterior.area() - holes).max(0.0)
+    }
+
+    /// Perimeter of the exterior plus all hole boundaries.
+    pub fn perimeter(&self) -> f64 {
+        self.exterior.perimeter() + self.holes.iter().map(|h| h.perimeter()).sum::<f64>()
+    }
+
+    /// Bounding box (that of the exterior ring).
+    pub fn bbox(&self) -> BBox {
+        self.exterior.bbox()
+    }
+
+    /// Area-weighted centroid accounting for holes.
+    pub fn centroid(&self) -> Point {
+        let ext_a = self.exterior.area();
+        let mut cx = self.exterior.centroid().x * ext_a;
+        let mut cy = self.exterior.centroid().y * ext_a;
+        let mut a = ext_a;
+        for h in &self.holes {
+            let ha = h.area();
+            let hc = h.centroid();
+            cx -= hc.x * ha;
+            cy -= hc.y * ha;
+            a -= ha;
+        }
+        if a.abs() < 1e-300 {
+            return self.exterior.centroid();
+        }
+        Point::new(cx / a, cy / a)
+    }
+
+    /// Whether `p` is inside the polygon (holes excluded; boundaries count as
+    /// inside for the exterior and as inside for hole boundaries as well,
+    /// matching the closed-set convention).
+    pub fn contains(&self, p: Point) -> bool {
+        match self.exterior.locate(p) {
+            PointLocation::Outside => false,
+            PointLocation::Boundary => true,
+            PointLocation::Inside => !self
+                .holes
+                .iter()
+                .any(|h| h.locate(p) == PointLocation::Inside),
+        }
+    }
+
+    /// All boundary edges: exterior plus holes.
+    pub fn all_edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.exterior
+            .edges()
+            .chain(self.holes.iter().flat_map(|h| h.edges()))
+    }
+
+    /// All boundary vertices: exterior plus holes.
+    pub fn all_vertices(&self) -> impl Iterator<Item = Point> + '_ {
+        self.exterior
+            .vertices()
+            .iter()
+            .copied()
+            .chain(self.holes.iter().flat_map(|h| h.vertices().iter().copied()))
+    }
+
+    /// Total vertex count across all rings.
+    pub fn vertex_count(&self) -> usize {
+        self.exterior.len() + self.holes.iter().map(|h| h.len()).sum::<usize>()
+    }
+}
+
+/// One or more polygons treated as a single (possibly disconnected) area.
+///
+/// Census areas occasionally consist of several disjoint parts (e.g. islands),
+/// which is why EMP datasets can have multiple connected components.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MultiPolygon {
+    polygons: Vec<Polygon>,
+}
+
+impl MultiPolygon {
+    /// Creates a multi-polygon; at least one part is required.
+    pub fn new(polygons: Vec<Polygon>) -> Result<Self, GeoError> {
+        if polygons.is_empty() {
+            return Err(GeoError::EmptyMultiPolygon);
+        }
+        Ok(MultiPolygon { polygons })
+    }
+
+    /// The constituent polygons.
+    #[inline]
+    pub fn polygons(&self) -> &[Polygon] {
+        &self.polygons
+    }
+
+    /// Total area.
+    pub fn area(&self) -> f64 {
+        self.polygons.iter().map(|p| p.area()).sum()
+    }
+
+    /// Union bounding box.
+    pub fn bbox(&self) -> BBox {
+        self.polygons
+            .iter()
+            .fold(BBox::EMPTY, |acc, p| acc.union(&p.bbox()))
+    }
+
+    /// Area-weighted centroid of all parts.
+    pub fn centroid(&self) -> Point {
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a = 0.0;
+        for p in &self.polygons {
+            let pa = p.area();
+            let c = p.centroid();
+            cx += c.x * pa;
+            cy += c.y * pa;
+            a += pa;
+        }
+        if a.abs() < 1e-300 {
+            return self.polygons[0].centroid();
+        }
+        Point::new(cx / a, cy / a)
+    }
+
+    /// Whether any part contains `p`.
+    pub fn contains(&self, p: Point) -> bool {
+        self.polygons.iter().any(|poly| poly.contains(p))
+    }
+
+    /// All boundary edges across parts.
+    pub fn all_edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.polygons.iter().flat_map(|p| p.all_edges())
+    }
+
+    /// All boundary vertices across parts.
+    pub fn all_vertices(&self) -> impl Iterator<Item = Point> + '_ {
+        self.polygons.iter().flat_map(|p| p.all_vertices())
+    }
+}
+
+impl From<Polygon> for MultiPolygon {
+    fn from(p: Polygon) -> Self {
+        MultiPolygon { polygons: vec![p] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn square_with_hole() -> Polygon {
+        let ext = Ring::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]).unwrap();
+        let hole = Ring::new(vec![p(1.0, 1.0), p(2.0, 1.0), p(2.0, 2.0), p(1.0, 2.0)]).unwrap();
+        Polygon::with_holes(ext, vec![hole])
+    }
+
+    #[test]
+    fn winding_is_normalized() {
+        let mut ext =
+            Ring::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]).unwrap();
+        ext.reverse(); // now CW
+        let poly = Polygon::new(ext);
+        assert!(poly.exterior().is_ccw());
+        let hole_ccw =
+            Ring::new(vec![p(1.0, 1.0), p(2.0, 1.0), p(2.0, 2.0), p(1.0, 2.0)]).unwrap();
+        let ext2 =
+            Ring::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]).unwrap();
+        let poly2 = Polygon::with_holes(ext2, vec![hole_ccw]);
+        assert!(!poly2.holes()[0].is_ccw());
+    }
+
+    #[test]
+    fn area_subtracts_holes() {
+        let poly = square_with_hole();
+        assert!((poly.area() - 15.0).abs() < 1e-12);
+        assert!((poly.perimeter() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_respects_holes() {
+        let poly = square_with_hole();
+        assert!(poly.contains(p(3.0, 3.0)));
+        assert!(!poly.contains(p(1.5, 1.5))); // in the hole
+        assert!(poly.contains(p(0.0, 2.0))); // exterior boundary
+        assert!(!poly.contains(p(5.0, 5.0)));
+    }
+
+    #[test]
+    fn centroid_with_hole_shifts_away() {
+        let poly = square_with_hole();
+        let c = poly.centroid();
+        // The hole is in the lower-left, so the centroid moves up-right of (2,2).
+        assert!(c.x > 2.0 && c.y > 2.0);
+    }
+
+    #[test]
+    fn rect_constructor() {
+        let r = Polygon::rect(1.0, 2.0, 3.0, 5.0);
+        assert!((r.area() - 6.0).abs() < 1e-12);
+        assert_eq!(r.bbox(), BBox::new(1.0, 2.0, 3.0, 5.0));
+    }
+
+    #[test]
+    fn multipolygon_aggregates() {
+        let a = Polygon::rect(0.0, 0.0, 1.0, 1.0);
+        let b = Polygon::rect(2.0, 0.0, 4.0, 1.0);
+        let mp = MultiPolygon::new(vec![a, b]).unwrap();
+        assert!((mp.area() - 3.0).abs() < 1e-12);
+        assert_eq!(mp.bbox(), BBox::new(0.0, 0.0, 4.0, 1.0));
+        assert!(mp.contains(p(0.5, 0.5)));
+        assert!(mp.contains(p(3.0, 0.5)));
+        assert!(!mp.contains(p(1.5, 0.5)));
+        // Area-weighted centroid: (0.5*1 + 3*2)/3 = 6.5/3
+        assert!((mp.centroid().x - 6.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multipolygon_rejects_empty() {
+        assert!(MultiPolygon::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn vertex_and_edge_iterators() {
+        let poly = square_with_hole();
+        assert_eq!(poly.vertex_count(), 8);
+        assert_eq!(poly.all_edges().count(), 8);
+        assert_eq!(poly.all_vertices().count(), 8);
+    }
+}

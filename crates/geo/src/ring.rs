@@ -1,0 +1,297 @@
+//! Linear rings: closed, simple polylines forming polygon boundaries.
+
+use crate::bbox::BBox;
+use crate::error::GeoError;
+use crate::point::Point;
+use crate::segment::{orientation, Orientation, Segment};
+
+/// A closed ring of vertices. The closing edge from the last vertex back to
+/// the first is implicit; the vertex list must not repeat the first vertex at
+/// the end (constructors normalize this).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Ring {
+    vertices: Vec<Point>,
+}
+
+impl Ring {
+    /// Creates a ring, normalizing an explicitly closed vertex list and
+    /// validating that at least three distinct vertices remain.
+    pub fn new(mut vertices: Vec<Point>) -> Result<Self, GeoError> {
+        if vertices.len() >= 2 {
+            let first = vertices[0];
+            let last = *vertices.last().expect("non-empty");
+            if first == last {
+                vertices.pop();
+            }
+        }
+        if vertices.len() < 3 {
+            return Err(GeoError::DegenerateRing {
+                vertices: vertices.len(),
+            });
+        }
+        if vertices.iter().any(|v| !v.is_finite()) {
+            return Err(GeoError::NonFiniteCoordinate);
+        }
+        Ok(Ring { vertices })
+    }
+
+    /// Vertices of the ring (first vertex not repeated at the end).
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices (equals number of edges).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Rings are never empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the ring's edges, including the closing edge.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Signed area (positive for counter-clockwise winding).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.cross(b);
+        }
+        acc * 0.5
+    }
+
+    /// Absolute area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Whether vertices wind counter-clockwise.
+    #[inline]
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area() > 0.0
+    }
+
+    /// Reverses the winding direction in place.
+    pub fn reverse(&mut self) {
+        self.vertices.reverse();
+    }
+
+    /// Area centroid of the ring (assumes non-self-intersecting boundary).
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a = 0.0;
+        for i in 0..n {
+            let p0 = self.vertices[i];
+            let p1 = self.vertices[(i + 1) % n];
+            let w = p0.cross(p1);
+            cx += (p0.x + p1.x) * w;
+            cy += (p0.y + p1.y) * w;
+            a += w;
+        }
+        if a.abs() < 1e-300 {
+            // Degenerate (zero-area) ring: fall back to the vertex mean.
+            let inv = 1.0 / n as f64;
+            let sum = self
+                .vertices
+                .iter()
+                .fold(Point::ORIGIN, |acc, &p| acc + p);
+            return sum * inv;
+        }
+        Point::new(cx / (3.0 * a), cy / (3.0 * a))
+    }
+
+    /// Bounding box of the ring.
+    pub fn bbox(&self) -> BBox {
+        BBox::from_points(self.vertices.iter().copied())
+    }
+
+    /// Whether `p` is strictly inside, on the boundary of, or outside the
+    /// ring, via the even-odd crossing rule.
+    pub fn locate(&self, p: Point) -> PointLocation {
+        let n = self.vertices.len();
+        let mut inside = false;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if Segment::new(a, b).contains_point(p) {
+                return PointLocation::Boundary;
+            }
+            // Ray cast towards +x; half-open rule on y avoids double counting.
+            if (a.y > p.y) != (b.y > p.y) {
+                let t = (p.y - a.y) / (b.y - a.y);
+                let x = a.x + t * (b.x - a.x);
+                if x > p.x {
+                    inside = !inside;
+                }
+            }
+        }
+        if inside {
+            PointLocation::Inside
+        } else {
+            PointLocation::Outside
+        }
+    }
+
+    /// Whether `p` is inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.locate(p) != PointLocation::Outside
+    }
+
+    /// Checks that no two non-adjacent edges intersect (O(n²); intended for
+    /// validation and tests, not hot paths).
+    pub fn is_simple(&self) -> bool {
+        let edges: Vec<Segment> = self.edges().collect();
+        let n = edges.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let adjacent = j == i + 1 || (i == 0 && j == n - 1);
+                if adjacent {
+                    // Adjacent edges must meet only at the shared vertex, i.e.
+                    // must not be collinear and overlapping.
+                    let (e1, e2) = (&edges[i], &edges[j]);
+                    if orientation(e1.a, e1.b, e2.b) == Orientation::Collinear
+                        && e1.contains_point(e2.b)
+                        && e2.b != e1.b
+                        && e2.b != e1.a
+                    {
+                        return false;
+                    }
+                    continue;
+                }
+                if edges[i].intersects(&edges[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Result of a point-in-ring query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PointLocation {
+    /// Strictly inside the ring.
+    Inside,
+    /// On the ring boundary (within tolerance).
+    Boundary,
+    /// Strictly outside the ring.
+    Outside,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn unit_square() -> Ring {
+        Ring::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn construction_normalizes_closed_lists() {
+        let r = Ring::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0), p(0.0, 0.0)]).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn construction_rejects_degenerate() {
+        assert!(Ring::new(vec![p(0.0, 0.0), p(1.0, 0.0)]).is_err());
+        assert!(Ring::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 0.0)]).is_ok());
+        assert!(Ring::new(vec![p(0.0, 0.0), p(1.0, f64::NAN), p(1.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn area_and_winding() {
+        let r = unit_square();
+        assert!((r.signed_area() - 1.0).abs() < 1e-12);
+        assert!(r.is_ccw());
+        let mut rev = r.clone();
+        rev.reverse();
+        assert!((rev.signed_area() + 1.0).abs() < 1e-12);
+        assert!(!rev.is_ccw());
+        assert_eq!(rev.area(), r.area());
+    }
+
+    #[test]
+    fn perimeter_and_centroid() {
+        let r = unit_square();
+        assert!((r.perimeter() - 4.0).abs() < 1e-12);
+        assert!(r.centroid().dist(p(0.5, 0.5)) < 1e-12);
+    }
+
+    #[test]
+    fn point_location() {
+        let r = unit_square();
+        assert_eq!(r.locate(p(0.5, 0.5)), PointLocation::Inside);
+        assert_eq!(r.locate(p(1.0, 0.5)), PointLocation::Boundary);
+        assert_eq!(r.locate(p(0.0, 0.0)), PointLocation::Boundary);
+        assert_eq!(r.locate(p(1.5, 0.5)), PointLocation::Outside);
+        assert!(r.contains(p(0.25, 0.75)));
+        assert!(!r.contains(p(-0.1, 0.5)));
+    }
+
+    #[test]
+    fn point_location_concave() {
+        // L-shaped ring.
+        let r = Ring::new(vec![
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(2.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 2.0),
+            p(0.0, 2.0),
+        ])
+        .unwrap();
+        assert_eq!(r.locate(p(0.5, 1.5)), PointLocation::Inside);
+        assert_eq!(r.locate(p(1.5, 1.5)), PointLocation::Outside);
+        assert_eq!(r.locate(p(1.5, 0.5)), PointLocation::Inside);
+        assert!((r.area() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplicity() {
+        assert!(unit_square().is_simple());
+        // Bow-tie: self-intersecting.
+        let bowtie =
+            Ring::new(vec![p(0.0, 0.0), p(1.0, 1.0), p(1.0, 0.0), p(0.0, 1.0)]).unwrap();
+        assert!(!bowtie.is_simple());
+    }
+
+    #[test]
+    fn edges_include_closing_edge() {
+        let r = unit_square();
+        let edges: Vec<Segment> = r.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3].b, p(0.0, 0.0));
+    }
+
+    #[test]
+    fn centroid_degenerate_zero_area_falls_back_to_mean() {
+        let r = Ring::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)]).unwrap();
+        let c = r.centroid();
+        assert!(c.dist(p(1.0, 0.0)) < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! Line segments and the planar predicates built on them.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+
+/// Tolerance used by the orientation / on-segment predicates.
+pub const EPS: f64 = 1e-12;
+
+/// Orientation of the ordered point triple `(a, b, c)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Orientation {
+    /// Negative signed area.
+    Clockwise,
+    /// Positive signed area.
+    CounterClockwise,
+    /// Zero signed area within tolerance.
+    Collinear,
+}
+
+/// Computes the orientation of the triple `(a, b, c)`.
+#[inline]
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let v = (b - a).cross(c - a);
+    // Scale tolerance with magnitude so large coordinates stay robust.
+    let scale = (b - a).norm() * (c - a).norm();
+    let tol = EPS * scale.max(1.0);
+    if v > tol {
+        Orientation::CounterClockwise
+    } else if v < -tol {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// A directed line segment.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from endpoints.
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// Bounding box of the segment.
+    #[inline]
+    pub fn bbox(&self) -> BBox {
+        BBox::from_points([self.a, self.b])
+    }
+
+    /// Whether `p` lies on the (closed) segment, within tolerance.
+    pub fn contains_point(&self, p: Point) -> bool {
+        if orientation(self.a, self.b, p) != Orientation::Collinear {
+            return false;
+        }
+        let d = self.b - self.a;
+        let t = (p - self.a).dot(d);
+        -EPS <= t && t <= d.dot(d) + EPS
+    }
+
+    /// Whether two closed segments intersect (shared endpoints count).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let o1 = orientation(self.a, self.b, other.a);
+        let o2 = orientation(self.a, self.b, other.b);
+        let o3 = orientation(other.a, other.b, self.a);
+        let o4 = orientation(other.a, other.b, self.b);
+
+        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear {
+            return true;
+        }
+        // Collinear / endpoint cases.
+        (o1 == Orientation::Collinear && self.contains_point(other.a))
+            || (o2 == Orientation::Collinear && self.contains_point(other.b))
+            || (o3 == Orientation::Collinear && other.contains_point(self.a))
+            || (o4 == Orientation::Collinear && other.contains_point(self.b))
+    }
+
+    /// Intersection point of two properly crossing segments, if any.
+    ///
+    /// Returns `None` for parallel/collinear pairs and for pairs that do not
+    /// cross within both segments' extents.
+    pub fn intersection(&self, other: &Segment) -> Option<Point> {
+        let r = self.b - self.a;
+        let s = other.b - other.a;
+        let denom = r.cross(s);
+        if denom.abs() < EPS {
+            return None;
+        }
+        let qp = other.a - self.a;
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (-EPS..=1.0 + EPS).contains(&t) && (-EPS..=1.0 + EPS).contains(&u) {
+            Some(self.a + r * t)
+        } else {
+            None
+        }
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn orientation_basic() {
+        assert_eq!(
+            orientation(p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orientation(p(0.0, 0.0), p(1.0, 0.0), p(1.0, -1.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orientation(p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn contains_point_on_and_off() {
+        let s = Segment::new(p(0.0, 0.0), p(2.0, 2.0));
+        assert!(s.contains_point(p(1.0, 1.0)));
+        assert!(s.contains_point(p(0.0, 0.0)));
+        assert!(s.contains_point(p(2.0, 2.0)));
+        assert!(!s.contains_point(p(3.0, 3.0)));
+        assert!(!s.contains_point(p(1.0, 1.5)));
+    }
+
+    #[test]
+    fn proper_crossing() {
+        let s1 = Segment::new(p(0.0, 0.0), p(2.0, 2.0));
+        let s2 = Segment::new(p(0.0, 2.0), p(2.0, 0.0));
+        assert!(s1.intersects(&s2));
+        let ip = s1.intersection(&s2).unwrap();
+        assert!(ip.dist(p(1.0, 1.0)) < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        let s1 = Segment::new(p(0.0, 0.0), p(1.0, 0.0));
+        let s2 = Segment::new(p(0.0, 1.0), p(1.0, 1.0));
+        assert!(!s1.intersects(&s2));
+        assert!(s1.intersection(&s2).is_none());
+    }
+
+    #[test]
+    fn shared_endpoint_counts_as_intersection() {
+        let s1 = Segment::new(p(0.0, 0.0), p(1.0, 0.0));
+        let s2 = Segment::new(p(1.0, 0.0), p(2.0, 1.0));
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn collinear_overlap() {
+        let s1 = Segment::new(p(0.0, 0.0), p(2.0, 0.0));
+        let s2 = Segment::new(p(1.0, 0.0), p(3.0, 0.0));
+        assert!(s1.intersects(&s2));
+        // Parallel non-crossing has no unique intersection point.
+        assert!(s1.intersection(&s2).is_none());
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = Segment::new(p(0.0, 0.0), p(3.0, 4.0));
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.midpoint(), p(1.5, 2.0));
+        assert_eq!(s.bbox(), BBox::new(0.0, 0.0, 3.0, 4.0));
+    }
+}

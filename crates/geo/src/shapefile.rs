@@ -1,0 +1,367 @@
+//! ESRI Shapefile (`.shp`) reading and writing for polygon layers.
+//!
+//! The paper's datasets are census-tract shapefiles from the US Census
+//! Bureau / SCAG portals, so a real EMP pipeline must speak this format.
+//! The subset implemented is what those layers use: shape type 5 (Polygon)
+//! with multiple parts, where outer rings wind clockwise and holes
+//! counter-clockwise (the ESRI convention). Null shapes (type 0) are
+//! accepted on read and skipped-as-empty on write. The companion `.dbf`
+//! attribute table lives in [`crate::dbf`].
+
+use crate::error::GeoError;
+use crate::point::Point;
+use crate::polygon::{MultiPolygon, Polygon};
+use crate::ring::{PointLocation, Ring};
+use bytes::{Buf, BufMut};
+
+/// Shapefile magic number ("file code").
+const FILE_CODE: i32 = 9994;
+/// Shapefile format version.
+const VERSION: i32 = 1000;
+/// Polygon shape type.
+const SHAPE_POLYGON: i32 = 5;
+/// Null shape type.
+const SHAPE_NULL: i32 = 0;
+
+fn err(message: impl Into<String>) -> GeoError {
+    GeoError::Io {
+        message: format!("shapefile: {}", message.into()),
+    }
+}
+
+/// Reads a polygon shapefile from its raw bytes. Every record must be a
+/// Polygon (or Null, which yields no geometry — an error here since EMP
+/// areas need geometry).
+pub fn read_shp(data: &[u8]) -> Result<Vec<MultiPolygon>, GeoError> {
+    if data.len() < 100 {
+        return Err(err("file shorter than the 100-byte header"));
+    }
+    let mut header = &data[..100];
+    let file_code = header.get_i32();
+    if file_code != FILE_CODE {
+        return Err(err(format!("bad file code {file_code}")));
+    }
+    header.advance(20); // unused
+    let file_len_words = header.get_i32() as usize;
+    if file_len_words * 2 != data.len() {
+        return Err(err(format!(
+            "header says {} bytes, file has {}",
+            file_len_words * 2,
+            data.len()
+        )));
+    }
+    let version = header.get_i32_le();
+    if version != VERSION {
+        return Err(err(format!("unsupported version {version}")));
+    }
+    let shape_type = header.get_i32_le();
+    if shape_type != SHAPE_POLYGON {
+        return Err(err(format!("unsupported shape type {shape_type} (want Polygon = 5)")));
+    }
+
+    let mut body = &data[100..];
+    let mut shapes = Vec::new();
+    let mut expected_recno = 1i32;
+    while body.remaining() >= 8 {
+        let recno = body.get_i32();
+        let content_words = body.get_i32() as usize;
+        if recno != expected_recno {
+            return Err(err(format!("record {expected_recno} has number {recno}")));
+        }
+        expected_recno += 1;
+        let content_len = content_words * 2;
+        if body.remaining() < content_len {
+            return Err(err(format!("record {recno} truncated")));
+        }
+        let mut content = &body[..content_len];
+        body.advance(content_len);
+        let stype = content.get_i32_le();
+        match stype {
+            SHAPE_NULL => {
+                return Err(err(format!("record {recno} is a null shape; EMP areas need geometry")));
+            }
+            SHAPE_POLYGON => shapes.push(read_polygon_record(&mut content, recno)?),
+            other => return Err(err(format!("record {recno}: unsupported shape type {other}"))),
+        }
+    }
+    if body.has_remaining() {
+        return Err(err("trailing bytes after the last record"));
+    }
+    Ok(shapes)
+}
+
+fn read_polygon_record(content: &mut &[u8], recno: i32) -> Result<MultiPolygon, GeoError> {
+    if content.remaining() < 32 + 8 {
+        return Err(err(format!("record {recno}: polygon content too short")));
+    }
+    content.advance(32); // bbox, recomputed on demand
+    let num_parts = content.get_i32_le();
+    let num_points = content.get_i32_le();
+    if num_parts <= 0 || num_points <= 0 {
+        return Err(err(format!("record {recno}: empty polygon")));
+    }
+    let (num_parts, num_points) = (num_parts as usize, num_points as usize);
+    if content.remaining() < num_parts * 4 + num_points * 16 {
+        return Err(err(format!("record {recno}: truncated parts/points")));
+    }
+    let mut part_starts = Vec::with_capacity(num_parts);
+    for _ in 0..num_parts {
+        part_starts.push(content.get_i32_le() as usize);
+    }
+    let mut points = Vec::with_capacity(num_points);
+    for _ in 0..num_points {
+        let x = content.get_f64_le();
+        let y = content.get_f64_le();
+        points.push(Point::new(x, y));
+    }
+    // Slice the point array into rings.
+    let mut rings = Vec::with_capacity(num_parts);
+    for (i, &start) in part_starts.iter().enumerate() {
+        let end = part_starts.get(i + 1).copied().unwrap_or(num_points);
+        if start >= end || end > num_points {
+            return Err(err(format!("record {recno}: bad part bounds {start}..{end}")));
+        }
+        // ESRI rings repeat the first point; Ring::new normalizes that.
+        rings.push(Ring::new(points[start..end].to_vec())?);
+    }
+    assemble_polygons(rings, recno)
+}
+
+/// Groups rings into polygons: ESRI outer rings wind clockwise, holes
+/// counter-clockwise; each hole belongs to the outer ring containing it.
+fn assemble_polygons(rings: Vec<Ring>, recno: i32) -> Result<MultiPolygon, GeoError> {
+    let mut outers: Vec<(Ring, Vec<Ring>)> = Vec::new();
+    let mut holes: Vec<Ring> = Vec::new();
+    for ring in rings {
+        if ring.is_ccw() {
+            holes.push(ring);
+        } else {
+            outers.push((ring, Vec::new()));
+        }
+    }
+    if outers.is_empty() {
+        return Err(err(format!("record {recno}: no outer (clockwise) ring")));
+    }
+    'hole: for hole in holes {
+        let probe = hole.vertices()[0];
+        for (outer, outer_holes) in &mut outers {
+            if outer.locate(probe) != PointLocation::Outside {
+                outer_holes.push(hole);
+                continue 'hole;
+            }
+        }
+        return Err(err(format!("record {recno}: hole not contained in any outer ring")));
+    }
+    MultiPolygon::new(
+        outers
+            .into_iter()
+            .map(|(outer, hs)| Polygon::with_holes(outer, hs))
+            .collect(),
+    )
+}
+
+/// Writes a polygon shapefile. Returns the `.shp` bytes; the index file
+/// (`.shx`) is returned alongside since most GIS tools require it.
+pub fn write_shp(shapes: &[MultiPolygon]) -> (Vec<u8>, Vec<u8>) {
+    let mut records: Vec<Vec<u8>> = Vec::with_capacity(shapes.len());
+    let mut global_bbox = crate::bbox::BBox::EMPTY;
+    for mp in shapes {
+        global_bbox = global_bbox.union(&mp.bbox());
+        records.push(polygon_record_content(mp));
+    }
+
+    let total_len: usize =
+        100 + records.iter().map(|r| 8 + r.len()).sum::<usize>();
+    let mut shp = Vec::with_capacity(total_len);
+    write_header(&mut shp, total_len, &global_bbox);
+    let mut shx = Vec::with_capacity(100 + records.len() * 8);
+    write_header(&mut shx, 100 + records.len() * 8, &global_bbox);
+
+    let mut offset_words = 50usize; // header = 50 16-bit words
+    for (i, content) in records.iter().enumerate() {
+        shx.put_i32(offset_words as i32);
+        shx.put_i32((content.len() / 2) as i32);
+        shp.put_i32((i + 1) as i32);
+        shp.put_i32((content.len() / 2) as i32);
+        shp.extend_from_slice(content);
+        offset_words += 4 + content.len() / 2;
+    }
+    (shp, shx)
+}
+
+fn write_header(out: &mut Vec<u8>, file_len_bytes: usize, bbox: &crate::bbox::BBox) {
+    out.put_i32(FILE_CODE);
+    out.extend_from_slice(&[0u8; 20]);
+    out.put_i32((file_len_bytes / 2) as i32);
+    out.put_i32_le(VERSION);
+    out.put_i32_le(SHAPE_POLYGON);
+    let (x0, y0, x1, y1) = if bbox.is_empty() {
+        (0.0, 0.0, 0.0, 0.0)
+    } else {
+        (bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y)
+    };
+    out.put_f64_le(x0);
+    out.put_f64_le(y0);
+    out.put_f64_le(x1);
+    out.put_f64_le(y1);
+    out.extend_from_slice(&[0u8; 32]); // Z/M ranges unused
+}
+
+fn polygon_record_content(mp: &MultiPolygon) -> Vec<u8> {
+    // Collect rings in ESRI winding: outers clockwise, holes CCW.
+    let mut rings: Vec<Vec<Point>> = Vec::new();
+    for poly in mp.polygons() {
+        let mut outer: Vec<Point> = poly.exterior().vertices().to_vec();
+        // Internal representation is CCW exterior; ESRI wants CW.
+        outer.reverse();
+        rings.push(close_ring(outer));
+        for hole in poly.holes() {
+            let mut h: Vec<Point> = hole.vertices().to_vec();
+            // Internal holes are CW; ESRI wants CCW.
+            h.reverse();
+            rings.push(close_ring(h));
+        }
+    }
+    let num_points: usize = rings.iter().map(Vec::len).sum();
+    let bbox = mp.bbox();
+
+    let mut out = Vec::with_capacity(44 + rings.len() * 4 + num_points * 16);
+    out.put_i32_le(SHAPE_POLYGON);
+    out.put_f64_le(bbox.min_x);
+    out.put_f64_le(bbox.min_y);
+    out.put_f64_le(bbox.max_x);
+    out.put_f64_le(bbox.max_y);
+    out.put_i32_le(rings.len() as i32);
+    out.put_i32_le(num_points as i32);
+    let mut start = 0usize;
+    for ring in &rings {
+        out.put_i32_le(start as i32);
+        start += ring.len();
+    }
+    for ring in &rings {
+        for p in ring {
+            out.put_f64_le(p.x);
+            out.put_f64_le(p.y);
+        }
+    }
+    out
+}
+
+fn close_ring(mut pts: Vec<Point>) -> Vec<Point> {
+    if let Some(&first) = pts.first() {
+        pts.push(first);
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shapes() -> Vec<MultiPolygon> {
+        let plain: MultiPolygon = Polygon::rect(0.0, 0.0, 2.0, 1.0).into();
+        let holed = {
+            let ext = Ring::new(vec![
+                Point::new(10.0, 10.0),
+                Point::new(14.0, 10.0),
+                Point::new(14.0, 14.0),
+                Point::new(10.0, 14.0),
+            ])
+            .unwrap();
+            let hole = Ring::new(vec![
+                Point::new(11.0, 11.0),
+                Point::new(12.0, 11.0),
+                Point::new(12.0, 12.0),
+                Point::new(11.0, 12.0),
+            ])
+            .unwrap();
+            Polygon::with_holes(ext, vec![hole]).into()
+        };
+        let multi = MultiPolygon::new(vec![
+            Polygon::rect(20.0, 0.0, 21.0, 1.0),
+            Polygon::rect(23.0, 0.0, 24.0, 1.0),
+        ])
+        .unwrap();
+        vec![plain, holed, multi]
+    }
+
+    #[test]
+    fn roundtrip_preserves_geometry() {
+        let original = shapes();
+        let (shp, shx) = write_shp(&original);
+        assert!(shx.len() == 100 + original.len() * 8);
+        let back = read_shp(&shp).unwrap();
+        assert_eq!(back.len(), original.len());
+        for (a, b) in original.iter().zip(&back) {
+            assert!((a.area() - b.area()).abs() < 1e-9, "area mismatch");
+            assert_eq!(a.polygons().len(), b.polygons().len());
+            assert_eq!(
+                a.polygons()[0].holes().len(),
+                b.polygons()[0].holes().len()
+            );
+        }
+        // Hole survived: the holed shape has area 16 - 1 = 15.
+        assert!((back[1].area() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn esri_winding_is_emitted() {
+        let (shp, _) = write_shp(&shapes()[..1]);
+        // Parse the raw first ring and check clockwise winding (negative
+        // shoelace sum).
+        let content = &shp[108..]; // header + record header
+        let mut c = content;
+        assert_eq!(c.get_i32_le(), SHAPE_POLYGON);
+        c.advance(32);
+        let parts = c.get_i32_le();
+        let points = c.get_i32_le();
+        assert_eq!(parts, 1);
+        assert_eq!(points, 5); // closed ring
+        c.advance(4);
+        let mut pts = Vec::new();
+        for _ in 0..points {
+            pts.push(Point::new(c.get_f64_le(), c.get_f64_le()));
+        }
+        let shoelace: f64 = pts
+            .windows(2)
+            .map(|w| w[0].cross(w[1]))
+            .sum();
+        assert!(shoelace < 0.0, "outer ring must be clockwise");
+    }
+
+    #[test]
+    fn rejects_corrupted_input() {
+        assert!(read_shp(&[]).is_err());
+        assert!(read_shp(&[0u8; 100]).is_err()); // bad file code
+        let (mut shp, _) = write_shp(&shapes());
+        // Flip the declared length.
+        shp[27] = shp[27].wrapping_add(1);
+        assert!(read_shp(&shp).is_err());
+        // Truncate a record.
+        let (shp, _) = write_shp(&shapes());
+        assert!(read_shp(&shp[..shp.len() - 10]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_polygon_layers() {
+        let (mut shp, _) = write_shp(&shapes());
+        shp[32] = 1; // shape type -> Point (LE byte 0 of i32 at offset 32)
+        assert!(read_shp(&shp).is_err());
+    }
+
+    #[test]
+    fn reads_tessellation_scale_layer() {
+        // A bigger synthetic layer exercises multi-record paths.
+        let polys: Vec<MultiPolygon> = (0..200)
+            .map(|i| {
+                let x = (i % 20) as f64;
+                let y = (i / 20) as f64;
+                Polygon::rect(x, y, x + 1.0, y + 1.0).into()
+            })
+            .collect();
+        let (shp, _) = write_shp(&polys);
+        let back = read_shp(&shp).unwrap();
+        assert_eq!(back.len(), 200);
+        assert!((back.iter().map(|p| p.area()).sum::<f64>() - 200.0).abs() < 1e-9);
+    }
+}

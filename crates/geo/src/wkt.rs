@@ -1,0 +1,330 @@
+//! Minimal WKT (Well-Known Text) reader/writer for the geometry types used in
+//! regionalization datasets: `POINT`, `POLYGON`, and `MULTIPOLYGON`.
+
+use crate::error::GeoError;
+use crate::point::Point;
+use crate::polygon::{MultiPolygon, Polygon};
+use crate::ring::Ring;
+use std::fmt::Write as _;
+
+/// Any geometry parsable from WKT by this module.
+#[derive(Clone, PartialEq, Debug)]
+pub enum WktGeometry {
+    /// A single point.
+    Point(Point),
+    /// A polygon with optional holes.
+    Polygon(Polygon),
+    /// A multi-polygon.
+    MultiPolygon(MultiPolygon),
+}
+
+/// Parses a WKT string into a geometry.
+pub fn parse_wkt(input: &str) -> Result<WktGeometry, GeoError> {
+    let mut p = Parser::new(input);
+    let geom = p.parse_geometry()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("trailing characters"));
+    }
+    Ok(geom)
+}
+
+/// Serializes a polygon to WKT.
+pub fn polygon_to_wkt(poly: &Polygon) -> String {
+    let mut out = String::with_capacity(poly.vertex_count() * 16 + 16);
+    out.push_str("POLYGON ");
+    write_polygon_body(&mut out, poly);
+    out
+}
+
+/// Serializes a multi-polygon to WKT.
+pub fn multipolygon_to_wkt(mp: &MultiPolygon) -> String {
+    let mut out = String::from("MULTIPOLYGON (");
+    for (i, poly) in mp.polygons().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_polygon_body(&mut out, poly);
+    }
+    out.push(')');
+    out
+}
+
+/// Serializes a point to WKT.
+pub fn point_to_wkt(p: Point) -> String {
+    format!("POINT ({} {})", fmt_coord(p.x), fmt_coord(p.y))
+}
+
+fn fmt_coord(v: f64) -> String {
+    // Shortest representation that round-trips.
+    let mut s = format!("{v}");
+    if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+        s.push_str(".0");
+        // Integral values keep a decimal point for WKT readability; parsing
+        // accepts both forms.
+        s.truncate(s.len()); // no-op; kept explicit
+    }
+    s
+}
+
+fn write_ring(out: &mut String, ring: &Ring) {
+    out.push('(');
+    for (i, v) in ring.vertices().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", fmt_coord(v.x), fmt_coord(v.y));
+    }
+    // WKT rings repeat the first vertex.
+    let first = ring.vertices()[0];
+    let _ = write!(out, ", {} {}", fmt_coord(first.x), fmt_coord(first.y));
+    out.push(')');
+}
+
+fn write_polygon_body(out: &mut String, poly: &Polygon) {
+    out.push('(');
+    write_ring(out, poly.exterior());
+    for h in poly.holes() {
+        out.push_str(", ");
+        write_ring(out, h);
+    }
+    out.push(')');
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> GeoError {
+        GeoError::WktParse {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<(), GeoError> {
+        self.skip_ws();
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == ch {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", ch as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn keyword(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        self.input[start..self.pos].to_ascii_uppercase()
+    }
+
+    fn number(&mut self) -> Result<f64, GeoError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_digit() || matches!(b, b'+' | b'-' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.error("expected number"));
+        }
+        self.input[start..self.pos]
+            .parse::<f64>()
+            .map_err(|_| self.error("invalid number"))
+    }
+
+    fn coordinate(&mut self) -> Result<Point, GeoError> {
+        let x = self.number()?;
+        let y = self.number()?;
+        Ok(Point::new(x, y))
+    }
+
+    fn ring(&mut self) -> Result<Ring, GeoError> {
+        self.expect(b'(')?;
+        let mut pts = Vec::new();
+        loop {
+            pts.push(self.coordinate()?);
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.error("expected ',' or ')' in ring")),
+            }
+        }
+        Ring::new(pts)
+    }
+
+    fn polygon_body(&mut self) -> Result<Polygon, GeoError> {
+        self.expect(b'(')?;
+        let exterior = self.ring()?;
+        let mut holes = Vec::new();
+        loop {
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    holes.push(self.ring()?);
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.error("expected ',' or ')' in polygon")),
+            }
+        }
+        Ok(Polygon::with_holes(exterior, holes))
+    }
+
+    fn parse_geometry(&mut self) -> Result<WktGeometry, GeoError> {
+        let kw = self.keyword();
+        match kw.as_str() {
+            "POINT" => {
+                self.expect(b'(')?;
+                let p = self.coordinate()?;
+                self.expect(b')')?;
+                Ok(WktGeometry::Point(p))
+            }
+            "POLYGON" => Ok(WktGeometry::Polygon(self.polygon_body()?)),
+            "MULTIPOLYGON" => {
+                self.expect(b'(')?;
+                let mut polys = Vec::new();
+                loop {
+                    polys.push(self.polygon_body()?);
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b')') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.error("expected ',' or ')' in multipolygon")),
+                    }
+                }
+                Ok(WktGeometry::MultiPolygon(MultiPolygon::new(polys)?))
+            }
+            other => Err(self.error(&format!("unsupported geometry type '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_point() {
+        match parse_wkt("POINT (1.5 -2)").unwrap() {
+            WktGeometry::Point(p) => assert_eq!(p, Point::new(1.5, -2.0)),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_polygon_with_hole() {
+        let wkt = "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))";
+        match parse_wkt(wkt).unwrap() {
+            WktGeometry::Polygon(p) => {
+                assert_eq!(p.holes().len(), 1);
+                assert!((p.area() - 15.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_multipolygon() {
+        let wkt = "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((2 0, 3 0, 3 1, 2 1, 2 0)))";
+        match parse_wkt(wkt).unwrap() {
+            WktGeometry::MultiPolygon(mp) => {
+                assert_eq!(mp.polygons().len(), 2);
+                assert!((mp.area() - 2.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_polygon() {
+        let poly = Polygon::rect(0.0, 0.0, 2.0, 3.0);
+        let wkt = polygon_to_wkt(&poly);
+        match parse_wkt(&wkt).unwrap() {
+            WktGeometry::Polygon(p) => assert!((p.area() - 6.0).abs() < 1e-12),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_multipolygon() {
+        let mp = MultiPolygon::new(vec![
+            Polygon::rect(0.0, 0.0, 1.0, 1.0),
+            Polygon::rect(5.0, 5.0, 7.0, 6.0),
+        ])
+        .unwrap();
+        let wkt = multipolygon_to_wkt(&mp);
+        match parse_wkt(&wkt).unwrap() {
+            WktGeometry::MultiPolygon(m) => assert!((m.area() - mp.area()).abs() < 1e-12),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_point() {
+        let wkt = point_to_wkt(Point::new(-1.25, 3.0));
+        match parse_wkt(&wkt).unwrap() {
+            WktGeometry::Point(p) => assert_eq!(p, Point::new(-1.25, 3.0)),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_report_offsets() {
+        let err = parse_wkt("POLYGON [0 0]").unwrap_err();
+        assert!(matches!(err, GeoError::WktParse { .. }));
+        assert!(parse_wkt("CIRCLE (0 0, 1)").is_err());
+        assert!(parse_wkt("POINT (1 2) junk").is_err());
+        assert!(parse_wkt("POINT (1)").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert!(parse_wkt("point(0 0)").is_ok());
+        assert!(parse_wkt("Polygon((0 0,1 0,1 1,0 1,0 0))").is_ok());
+    }
+}

@@ -1,0 +1,111 @@
+//! Robustness tests: the parsers must reject arbitrary garbage with errors,
+//! never panic, and round-trip arbitrary valid geometry.
+
+use emp_geo::dbf::{read_dbf, write_dbf, DbfTable};
+use emp_geo::geojson::read_feature_collection;
+use emp_geo::shapefile::{read_shp, write_shp};
+use emp_geo::wkt::parse_wkt;
+use emp_geo::{MultiPolygon, Point, Polygon, Ring};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wkt_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_wkt(&input);
+    }
+
+    #[test]
+    fn wkt_parser_handles_near_valid_input(
+        xs in prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 0..12),
+        junk in "[A-Za-z(), .0-9-]{0,30}",
+    ) {
+        let coords: Vec<String> = xs.iter().map(|(x, y)| format!("{x} {y}")).collect();
+        let text = format!("POLYGON (({})){junk}", coords.join(", "));
+        let _ = parse_wkt(&text);
+    }
+
+    #[test]
+    fn geojson_reader_never_panics(input in ".{0,300}") {
+        let _ = read_feature_collection(&input);
+    }
+
+    #[test]
+    fn shp_reader_never_panics(data in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = read_shp(&data);
+    }
+
+    #[test]
+    fn shp_reader_survives_bit_flips(
+        flip_at in 0usize..500,
+        flip_bit in 0u8..8,
+    ) {
+        let shapes: Vec<MultiPolygon> = vec![
+            Polygon::rect(0.0, 0.0, 2.0, 1.0).into(),
+            Polygon::rect(3.0, 0.0, 4.0, 2.0).into(),
+        ];
+        let (mut shp, _) = write_shp(&shapes);
+        let idx = flip_at % shp.len();
+        shp[idx] ^= 1 << flip_bit;
+        // Must not panic; may legitimately succeed if the flip hits padding.
+        let _ = read_shp(&shp);
+    }
+
+    #[test]
+    fn dbf_reader_never_panics(data in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = read_dbf(&data);
+    }
+
+    #[test]
+    fn dbf_roundtrips_arbitrary_numeric_tables(
+        rows in prop::collection::vec((0.0f64..1e9, 0.0f64..1e4), 0..30),
+    ) {
+        let table = DbfTable {
+            names: vec!["POP".into(), "EMP".into()],
+            columns: vec![
+                rows.iter().map(|r| (r.0 * 1000.0).round() / 1000.0).collect(),
+                rows.iter().map(|r| (r.1 * 1000.0).round() / 1000.0).collect(),
+            ],
+        };
+        let bytes = write_dbf(&table).unwrap();
+        let back = read_dbf(&bytes).unwrap();
+        prop_assert_eq!(back.rows(), table.rows());
+        for (a, b) in table.columns.iter().flatten().zip(back.columns.iter().flatten()) {
+            prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn shp_roundtrips_random_rectangles(
+        rects in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0, 0.1f64..10.0, 0.1f64..10.0), 1..25),
+    ) {
+        let shapes: Vec<MultiPolygon> = rects
+            .iter()
+            .map(|&(x, y, w, h)| Polygon::rect(x, y, x + w, y + h).into())
+            .collect();
+        let (shp, shx) = write_shp(&shapes);
+        prop_assert_eq!(shx.len(), 100 + shapes.len() * 8);
+        let back = read_shp(&shp).unwrap();
+        prop_assert_eq!(back.len(), shapes.len());
+        for (a, b) in shapes.iter().zip(&back) {
+            prop_assert!((a.area() - b.area()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ring_area_is_invariant_under_rotation(
+        pts in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..12),
+        shift in 0usize..12,
+    ) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        if let Ok(ring) = Ring::new(points.clone()) {
+            let mut rotated = points.clone();
+            rotated.rotate_left(shift % points.len());
+            if let Ok(ring2) = Ring::new(rotated) {
+                // Same cyclic sequence -> same unsigned area.
+                prop_assert!((ring.area() - ring2.area()).abs() < 1e-6 * ring.area().max(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Articulation points (cut vertices) of induced subgraphs.
+//!
+//! A region's articulation points are exactly the areas whose removal would
+//! disconnect it. Computing them once per region (O(V + E) Tarjan) lets the
+//! local-search phase answer "is this move contiguity-safe?" in O(1) instead
+//! of a BFS per candidate move — one of the design choices benchmarked as an
+//! ablation (see DESIGN.md §4.2).
+
+use crate::graph::ContiguityGraph;
+
+/// Computes the articulation points of the subgraph induced by `members`,
+/// returned as a sorted vertex list.
+///
+/// If the induced subgraph is disconnected, articulation points of each
+/// component are returned. Vertices in `members` must be distinct.
+pub fn articulation_points(graph: &ContiguityGraph, members: &[u32]) -> Vec<u32> {
+    let k = members.len();
+    if k <= 2 {
+        // Removing a vertex of a 1- or 2-vertex region never disconnects the
+        // remainder (it becomes empty or a singleton).
+        return Vec::new();
+    }
+    let mut sorted = members.to_vec();
+    sorted.sort_unstable();
+
+    // Iterative Tarjan lowlink over local indices.
+    const NIL: u32 = u32::MAX;
+    let mut disc = vec![NIL; k];
+    let mut low = vec![0u32; k];
+    let mut parent = vec![NIL; k];
+    let mut is_art = vec![false; k];
+    let mut timer = 0u32;
+
+    // Explicit DFS stack: (node, neighbor cursor).
+    let mut stack: Vec<(u32, usize)> = Vec::with_capacity(k);
+
+    for root in 0..k as u32 {
+        if disc[root as usize] != NIL {
+            continue;
+        }
+        let mut root_children = 0u32;
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        stack.push((root, 0));
+        while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+            let global_u = sorted[u as usize];
+            let neighbors = graph.neighbors(global_u);
+            if *cursor < neighbors.len() {
+                let w_global = neighbors[*cursor];
+                *cursor += 1;
+                let Ok(w) = sorted.binary_search(&w_global) else {
+                    continue; // neighbor outside the region
+                };
+                let w = w as u32;
+                if disc[w as usize] == NIL {
+                    parent[w as usize] = u;
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    stack.push((w, 0));
+                } else if w != parent[u as usize] {
+                    low[u as usize] = low[u as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p as usize] = low[p as usize].min(low[u as usize]);
+                    if p != root && low[u as usize] >= disc[p as usize] {
+                        is_art[p as usize] = true;
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            is_art[root as usize] = true;
+        }
+    }
+
+    sorted
+        .iter()
+        .zip(is_art.iter())
+        .filter_map(|(&v, &a)| a.then_some(v))
+        .collect()
+}
+
+/// Convenience: the members of a region that are *safe to remove* without
+/// disconnecting it — i.e. non-articulation members (singleton regions have
+/// no safe removals, since a region must keep at least one area).
+pub fn removable_areas(graph: &ContiguityGraph, members: &[u32]) -> Vec<u32> {
+    if members.len() <= 1 {
+        return Vec::new();
+    }
+    let arts = articulation_points(graph, members);
+    let mut out: Vec<u32> = members
+        .iter()
+        .copied()
+        .filter(|v| arts.binary_search(v).is_err())
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subgraph::is_connected_after_removal;
+
+    #[test]
+    fn path_interior_vertices_are_articulation() {
+        let g = ContiguityGraph::lattice(4, 1); // path 0-1-2-3
+        let arts = articulation_points(&g, &[0, 1, 2, 3]);
+        assert_eq!(arts, vec![1, 2]);
+        assert_eq!(removable_areas(&g, &[0, 1, 2, 3]), vec![0, 3]);
+    }
+
+    #[test]
+    fn cycle_has_no_articulation() {
+        // 2x2 block of a lattice forms a 4-cycle.
+        let g = ContiguityGraph::lattice(2, 2);
+        assert!(articulation_points(&g, &[0, 1, 2, 3]).is_empty());
+        assert_eq!(removable_areas(&g, &[0, 1, 2, 3]), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn small_regions_have_no_articulation() {
+        let g = ContiguityGraph::lattice(3, 1);
+        assert!(articulation_points(&g, &[0]).is_empty());
+        assert!(articulation_points(&g, &[0, 1]).is_empty());
+        assert!(removable_areas(&g, &[0]).is_empty());
+        assert_eq!(removable_areas(&g, &[0, 1]), vec![0, 1]);
+    }
+
+    #[test]
+    fn star_center_is_articulation() {
+        let g = ContiguityGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(articulation_points(&g, &[0, 1, 2, 3]), vec![0]);
+    }
+
+    #[test]
+    fn agrees_with_bfs_oracle_on_lattice_regions() {
+        let g = ContiguityGraph::lattice(5, 5);
+        // Several irregular but connected regions.
+        let regions: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2, 7, 12, 11, 10],      // snake
+            vec![6, 7, 8, 11, 13, 16, 17, 18], // ring around 12
+            (0..25).collect(),                  // everything
+            vec![0, 5, 10, 15, 20, 21, 22],     // L
+        ];
+        for region in regions {
+            let arts = articulation_points(&g, &region);
+            for &v in &region {
+                let safe = is_connected_after_removal(&g, &region, v);
+                let is_art = arts.binary_search(&v).is_ok();
+                // v is an articulation point iff removal disconnects
+                // (for regions with > 1 member).
+                if region.len() > 1 {
+                    assert_eq!(is_art, !safe, "vertex {v} in {region:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_subset_components_handled() {
+        let g = ContiguityGraph::lattice(5, 1); // path 0-1-2-3-4
+        // Two components: {0,1,2} and {4}.
+        let arts = articulation_points(&g, &[0, 1, 2, 4]);
+        assert_eq!(arts, vec![1]);
+    }
+}

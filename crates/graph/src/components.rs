@@ -1,0 +1,105 @@
+//! Connected components of the whole contiguity graph.
+//!
+//! EMP explicitly supports datasets with multiple connected components
+//! (unlike the original MP-regions formulation), so component analysis is a
+//! first-class operation.
+
+use crate::graph::ContiguityGraph;
+
+/// Component labeling of every vertex plus the member lists per component.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Components {
+    /// `label[v]` is the component index of vertex `v`.
+    pub label: Vec<u32>,
+    /// `members[c]` lists the vertices of component `c`, sorted ascending.
+    pub members: Vec<Vec<u32>>,
+}
+
+impl Components {
+    /// Number of components.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.members.iter().map(|m| m.len()).max().unwrap_or(0)
+    }
+}
+
+/// Computes connected components with an iterative BFS.
+pub fn connected_components(graph: &ContiguityGraph) -> Components {
+    let n = graph.len();
+    let mut label = vec![u32::MAX; n];
+    let mut members: Vec<Vec<u32>> = Vec::new();
+    let mut queue: Vec<u32> = Vec::new();
+    for start in 0..n as u32 {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        let c = members.len() as u32;
+        let mut comp = Vec::new();
+        label[start as usize] = c;
+        queue.clear();
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            comp.push(v);
+            for &w in graph.neighbors(v) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = c;
+                    queue.push(w);
+                }
+            }
+        }
+        comp.sort_unstable();
+        members.push(comp);
+    }
+    Components { label, members }
+}
+
+/// Whether the whole graph is connected (true for the empty graph).
+pub fn is_connected(graph: &ContiguityGraph) -> bool {
+    graph.is_empty() || connected_components(graph).count() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component_lattice() {
+        let g = ContiguityGraph::lattice(4, 4);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.largest(), 16);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_components() {
+        let g = ContiguityGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.members[0], vec![0, 1, 2]);
+        assert_eq!(c.members[1], vec![3, 4]);
+        assert_eq!(c.label[3], c.label[4]);
+        assert_ne!(c.label[0], c.label[3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let g = ContiguityGraph::from_edges(3, &[]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.largest(), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = ContiguityGraph::from_edges(0, &[]).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).count(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for graph construction.
+
+use std::fmt;
+
+/// Errors produced by graph constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge `(v, v)` was supplied.
+    SelfLoop {
+        /// The offending vertex.
+        vertex: u32,
+    },
+    /// An edge endpoint is `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range (n = {n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            GraphError::SelfLoop { vertex: 4 }.to_string(),
+            "self-loop at vertex 4"
+        );
+        assert!(GraphError::VertexOutOfRange { vertex: 9, n: 5 }
+            .to_string()
+            .contains("out of range"));
+    }
+}

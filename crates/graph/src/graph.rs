@@ -1,0 +1,204 @@
+//! The contiguity graph: areas as vertices, spatial adjacency as edges.
+
+use crate::error::GraphError;
+
+/// An undirected graph over `n` areas, stored as sorted adjacency lists.
+///
+/// Vertex ids are dense `u32` in `0..n`, matching area indices in the dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContiguityGraph {
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl ContiguityGraph {
+    /// Builds a graph from an undirected edge list over `n` vertices.
+    ///
+    /// Edges are deduplicated; self-loops are rejected.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
+        let mut adjacency = vec![Vec::new(); n];
+        for &(i, j) in edges {
+            if i == j {
+                return Err(GraphError::SelfLoop { vertex: i });
+            }
+            if i as usize >= n || j as usize >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: i.max(j),
+                    n,
+                });
+            }
+            adjacency[i as usize].push(j);
+            adjacency[j as usize].push(i);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Ok(ContiguityGraph { adjacency })
+    }
+
+    /// Builds a graph from pre-computed adjacency lists (normalized to be
+    /// sorted, deduplicated, and symmetric).
+    pub fn from_adjacency(mut adjacency: Vec<Vec<u32>>) -> Result<Self, GraphError> {
+        let n = adjacency.len();
+        // Validate ranges and self-loops first.
+        for (i, list) in adjacency.iter().enumerate() {
+            for &j in list {
+                if j as usize >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: j, n });
+                }
+                if j as usize == i {
+                    return Err(GraphError::SelfLoop { vertex: i as u32 });
+                }
+            }
+        }
+        // Symmetrize.
+        let mut to_add: Vec<(usize, u32)> = Vec::new();
+        for (i, list) in adjacency.iter().enumerate() {
+            for &j in list {
+                if !adjacency[j as usize].contains(&(i as u32)) {
+                    to_add.push((j as usize, i as u32));
+                }
+            }
+        }
+        for (i, j) in to_add {
+            adjacency[i].push(j);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Ok(ContiguityGraph { adjacency })
+    }
+
+    /// A `w x h` 4-connected lattice (useful for tests and synthetic data).
+    pub fn lattice(w: usize, h: usize) -> Self {
+        let mut edges = Vec::with_capacity(2 * w * h);
+        let id = |x: usize, y: usize| (y * w + x) as u32;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < h {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        Self::from_edges(w * h, &edges).expect("lattice edges are valid")
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Whether the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adjacency[v as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.adjacency[v as usize].len()
+    }
+
+    /// Whether `(i, j)` is an edge (binary search on the sorted list).
+    #[inline]
+    pub fn has_edge(&self, i: u32, j: u32) -> bool {
+        self.adjacency[i as usize].binary_search(&j).is_ok()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(|l| l.len()).sum::<usize>() / 2
+    }
+
+    /// Mean vertex degree (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.adjacency.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / self.adjacency.len() as f64
+    }
+
+    /// Iterates all undirected edges `(i, j)` with `i < j`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(i, list)| {
+            let i = i as u32;
+            list.iter().copied().filter(move |&j| i < j).map(move |j| (i, j))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_dedups_and_sorts() {
+        let g = ContiguityGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (0, 1)]).unwrap();
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn rejects_self_loops_and_out_of_range() {
+        assert!(matches!(
+            ContiguityGraph::from_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
+        assert!(matches!(
+            ContiguityGraph::from_edges(3, &[(0, 3)]),
+            Err(GraphError::VertexOutOfRange { vertex: 3, n: 3 })
+        ));
+    }
+
+    #[test]
+    fn from_adjacency_symmetrizes() {
+        let g = ContiguityGraph::from_adjacency(vec![vec![1], vec![], vec![1]]).unwrap();
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn from_adjacency_validates() {
+        assert!(ContiguityGraph::from_adjacency(vec![vec![0]]).is_err());
+        assert!(ContiguityGraph::from_adjacency(vec![vec![5]]).is_err());
+    }
+
+    #[test]
+    fn lattice_structure() {
+        let g = ContiguityGraph::lattice(3, 2);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.edge_count(), 7);
+        // Corner has degree 2, middle-edge 3.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert!((g.mean_degree() - 14.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_iterator_each_edge_once() {
+        let g = ContiguityGraph::lattice(2, 2);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ContiguityGraph::from_edges(0, &[]).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # emp-graph — contiguity-graph substrate for EMP regionalization
+//!
+//! Regionalization algorithms operate on the *contiguity graph* of the input
+//! areas: vertices are areas, edges are spatial adjacency. This crate
+//! provides that graph plus the connectivity machinery FaCT needs:
+//!
+//! * [`ContiguityGraph`] — sorted adjacency lists over dense `u32` ids;
+//! * [`components`] — whole-graph connected components (EMP supports
+//!   multi-component datasets);
+//! * [`subgraph`] — region connectivity checks, boundary areas, frontiers;
+//! * [`articulation`] — cut vertices of a region for O(1) "safe to remove"
+//!   answers in the local-search phase;
+//! * [`traversal`] — BFS iterators and distances.
+//!
+//! ```
+//! use emp_graph::{ContiguityGraph, subgraph::is_connected_subset};
+//!
+//! let g = ContiguityGraph::lattice(3, 3);
+//! assert!(is_connected_subset(&g, &[0, 1, 2]));
+//! assert!(!is_connected_subset(&g, &[0, 8]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod articulation;
+pub mod components;
+pub mod error;
+pub mod graph;
+pub mod subgraph;
+pub mod traversal;
+
+pub use components::{connected_components, is_connected, Components};
+pub use error::GraphError;
+pub use graph::ContiguityGraph;

@@ -1,0 +1,149 @@
+//! Connectivity queries on induced subgraphs (regions).
+//!
+//! FaCT repeatedly asks "is this region still spatially contiguous if area X
+//! leaves?" during Step 3 swaps and Tabu moves. These helpers answer such
+//! questions without materializing subgraphs, using a caller-provided
+//! membership predicate over the global assignment.
+
+use crate::graph::ContiguityGraph;
+
+/// Whether the vertices in `members` induce a connected subgraph.
+///
+/// `members` may be in any order; duplicates are not allowed. An empty set is
+/// considered connected (a region, however, always has >= 1 area).
+pub fn is_connected_subset(graph: &ContiguityGraph, members: &[u32]) -> bool {
+    match members.len() {
+        0 | 1 => return true,
+        _ => {}
+    }
+    // Membership test via a sorted copy: O(k log k) once, O(log k) per probe.
+    let mut sorted = members.to_vec();
+    sorted.sort_unstable();
+    debug_assert!(sorted.windows(2).all(|w| w[0] != w[1]), "duplicate member");
+    let mut visited = vec![false; sorted.len()];
+    let mut stack = vec![0usize];
+    visited[0] = true;
+    let mut seen = 1usize;
+    while let Some(idx) = stack.pop() {
+        let v = sorted[idx];
+        for &w in graph.neighbors(v) {
+            if let Ok(widx) = sorted.binary_search(&w) {
+                if !visited[widx] {
+                    visited[widx] = true;
+                    seen += 1;
+                    stack.push(widx);
+                }
+            }
+        }
+    }
+    seen == sorted.len()
+}
+
+/// Whether the subgraph induced by `members` minus vertex `removed` is still
+/// connected. `removed` must be in `members`.
+///
+/// Returns `false` when the region would become empty — by convention a
+/// region must keep at least one area, so removing the last area is invalid.
+pub fn is_connected_after_removal(
+    graph: &ContiguityGraph,
+    members: &[u32],
+    removed: u32,
+) -> bool {
+    debug_assert!(members.contains(&removed));
+    if members.len() == 1 {
+        return false;
+    }
+    let remaining: Vec<u32> = members.iter().copied().filter(|&v| v != removed).collect();
+    is_connected_subset(graph, &remaining)
+}
+
+/// Members of `members` that have at least one neighbor for which
+/// `is_outside` returns true (i.e. the region's boundary areas).
+pub fn boundary_areas<F: Fn(u32) -> bool>(
+    graph: &ContiguityGraph,
+    members: &[u32],
+    is_outside: F,
+) -> Vec<u32> {
+    members
+        .iter()
+        .copied()
+        .filter(|&v| graph.neighbors(v).iter().any(|&w| is_outside(w)))
+        .collect()
+}
+
+/// All vertices outside `members` adjacent to at least one member, sorted and
+/// deduplicated: the region's neighboring frontier.
+pub fn frontier(graph: &ContiguityGraph, members: &[u32]) -> Vec<u32> {
+    let mut inside = members.to_vec();
+    inside.sort_unstable();
+    let mut out = Vec::new();
+    for &v in members {
+        for &w in graph.neighbors(v) {
+            if inside.binary_search(&w).is_err() {
+                out.push(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_subsets_on_lattice() {
+        let g = ContiguityGraph::lattice(3, 3);
+        // Row 0: vertices 0,1,2 connected.
+        assert!(is_connected_subset(&g, &[0, 1, 2]));
+        // Two opposite corners: not connected.
+        assert!(!is_connected_subset(&g, &[0, 8]));
+        // L-shape.
+        assert!(is_connected_subset(&g, &[0, 3, 6, 7, 8]));
+        // Singleton and empty.
+        assert!(is_connected_subset(&g, &[4]));
+        assert!(is_connected_subset(&g, &[]));
+    }
+
+    #[test]
+    fn removal_connectivity() {
+        let g = ContiguityGraph::lattice(3, 1); // path 0-1-2
+        assert!(!is_connected_after_removal(&g, &[0, 1, 2], 1)); // cut vertex
+        assert!(is_connected_after_removal(&g, &[0, 1, 2], 0));
+        assert!(is_connected_after_removal(&g, &[0, 1, 2], 2));
+        assert!(!is_connected_after_removal(&g, &[0], 0)); // last area
+    }
+
+    #[test]
+    fn boundary_of_region() {
+        let g = ContiguityGraph::lattice(3, 3);
+        // Region = left column {0,3,6}; outside everything else.
+        let region = [0u32, 3, 6];
+        let b = boundary_areas(&g, &region, |v| !region.contains(&v));
+        assert_eq!(b, vec![0, 3, 6]); // every member touches the middle column
+        // Region = whole lattice: no boundary against an empty outside.
+        let all: Vec<u32> = (0..9).collect();
+        let b = boundary_areas(&g, &all, |_| false);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn frontier_of_region() {
+        let g = ContiguityGraph::lattice(3, 3);
+        let f = frontier(&g, &[4]); // center
+        assert_eq!(f, vec![1, 3, 5, 7]);
+        let f = frontier(&g, &[0, 1, 2]); // top row (y=0)
+        assert_eq!(f, vec![3, 4, 5]);
+        let all: Vec<u32> = (0..9).collect();
+        assert!(frontier(&g, &all).is_empty());
+    }
+
+    #[test]
+    fn unordered_members_are_fine() {
+        let g = ContiguityGraph::lattice(3, 3);
+        assert!(is_connected_subset(&g, &[2, 0, 1]));
+        assert!(!is_connected_subset(&g, &[8, 0]));
+    }
+}

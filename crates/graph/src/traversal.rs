@@ -1,0 +1,105 @@
+//! Breadth-first traversal utilities.
+
+use crate::graph::ContiguityGraph;
+use std::collections::VecDeque;
+
+/// Breadth-first iterator over the component containing `start`.
+pub struct Bfs<'g> {
+    graph: &'g ContiguityGraph,
+    queue: VecDeque<u32>,
+    visited: Vec<bool>,
+}
+
+impl<'g> Bfs<'g> {
+    /// Starts a BFS from `start`.
+    pub fn new(graph: &'g ContiguityGraph, start: u32) -> Self {
+        let mut visited = vec![false; graph.len()];
+        let mut queue = VecDeque::new();
+        if (start as usize) < graph.len() {
+            visited[start as usize] = true;
+            queue.push_back(start);
+        }
+        Bfs { graph, queue, visited }
+    }
+}
+
+impl Iterator for Bfs<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        let v = self.queue.pop_front()?;
+        for &w in self.graph.neighbors(v) {
+            if !self.visited[w as usize] {
+                self.visited[w as usize] = true;
+                self.queue.push_back(w);
+            }
+        }
+        Some(v)
+    }
+}
+
+/// BFS distances from `start` to every vertex (`u32::MAX` if unreachable).
+pub fn bfs_distances(graph: &ContiguityGraph, start: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.len()];
+    if (start as usize) >= graph.len() {
+        return dist;
+    }
+    dist[start as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &w in graph.neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_visits_component_once() {
+        let g = ContiguityGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let mut order: Vec<u32> = Bfs::new(&g, 0).collect();
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2]);
+        let other: Vec<u32> = Bfs::new(&g, 3).collect();
+        assert_eq!(other, vec![3, 4]);
+    }
+
+    #[test]
+    fn bfs_order_is_breadth_first() {
+        let g = ContiguityGraph::lattice(3, 3);
+        let order: Vec<u32> = Bfs::new(&g, 4).collect();
+        assert_eq!(order[0], 4);
+        // Distance-1 vertices come before distance-2.
+        let pos = |v: u32| order.iter().position(|&x| x == v).unwrap();
+        for near in [1u32, 3, 5, 7] {
+            for far in [0u32, 2, 6, 8] {
+                assert!(pos(near) < pos(far));
+            }
+        }
+    }
+
+    #[test]
+    fn distances_on_lattice() {
+        let g = ContiguityGraph::lattice(3, 3);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[4], 2);
+        assert_eq!(d[8], 4);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_max() {
+        let g = ContiguityGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], u32::MAX);
+    }
+}

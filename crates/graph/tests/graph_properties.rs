@@ -1,0 +1,113 @@
+//! Property tests for the connectivity machinery: articulation points vs a
+//! BFS oracle on random induced subgraphs.
+
+use emp_graph::articulation::{articulation_points, removable_areas};
+use emp_graph::subgraph::{frontier, is_connected_after_removal, is_connected_subset};
+use emp_graph::{connected_components, ContiguityGraph};
+use proptest::prelude::*;
+
+/// Random connected-ish region: BFS ball around a start vertex.
+fn region_around(graph: &ContiguityGraph, start: u32, size: usize) -> Vec<u32> {
+    let mut members = vec![start];
+    let mut i = 0;
+    while members.len() < size && i < members.len() {
+        let v = members[i];
+        for &w in graph.neighbors(v) {
+            if !members.contains(&w) && members.len() < size {
+                members.push(w);
+            }
+        }
+        i += 1;
+    }
+    members
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn articulation_matches_bfs_oracle(
+        w in 2usize..8,
+        h in 2usize..8,
+        start in 0usize..64,
+        size in 1usize..30,
+    ) {
+        let graph = ContiguityGraph::lattice(w, h);
+        let start = (start % (w * h)) as u32;
+        let members = region_around(&graph, start, size.min(w * h));
+        let arts = articulation_points(&graph, &members);
+        let removable = removable_areas(&graph, &members);
+        for &v in &members {
+            let oracle_safe = is_connected_after_removal(&graph, &members, v);
+            let is_art = arts.binary_search(&v).is_ok();
+            if members.len() > 1 {
+                prop_assert_eq!(is_art, !oracle_safe, "vertex {} in {:?}", v, members);
+                prop_assert_eq!(removable.binary_search(&v).is_ok(), oracle_safe);
+            } else {
+                prop_assert!(removable.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_is_exactly_outside_neighbors(
+        w in 2usize..7,
+        h in 2usize..7,
+        start in 0usize..49,
+        size in 1usize..20,
+    ) {
+        let graph = ContiguityGraph::lattice(w, h);
+        let start = (start % (w * h)) as u32;
+        let members = region_around(&graph, start, size.min(w * h));
+        let f = frontier(&graph, &members);
+        for &v in &f {
+            prop_assert!(!members.contains(&v));
+            prop_assert!(graph.neighbors(v).iter().any(|nb| members.contains(nb)));
+        }
+        // Completeness: every outside neighbor is in the frontier.
+        for v in 0..(w * h) as u32 {
+            if !members.contains(&v)
+                && graph.neighbors(v).iter().any(|nb| members.contains(nb))
+            {
+                prop_assert!(f.binary_search(&v).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_balls_are_connected(
+        w in 2usize..8,
+        h in 2usize..8,
+        start in 0usize..64,
+        size in 1usize..40,
+    ) {
+        let graph = ContiguityGraph::lattice(w, h);
+        let start = (start % (w * h)) as u32;
+        let members = region_around(&graph, start, size.min(w * h));
+        prop_assert!(is_connected_subset(&graph, &members));
+    }
+
+    #[test]
+    fn random_edge_graphs_components_partition_vertices(
+        n in 1usize..40,
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..80),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .filter(|&(a, b)| a != b && (a as usize) < n && (b as usize) < n)
+            .collect();
+        let graph = ContiguityGraph::from_edges(n, &edges).unwrap();
+        let comps = connected_components(&graph);
+        // Every vertex appears in exactly one component.
+        let mut seen = vec![0usize; n];
+        for members in &comps.members {
+            prop_assert!(is_connected_subset(&graph, members));
+            for &v in members {
+                seen[v as usize] += 1;
+                prop_assert_eq!(comps.label[v as usize] as usize,
+                    comps.members.iter().position(|m| m.contains(&v)).unwrap());
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,90 @@
+//! Alternative local-search objectives (paper §III: "our work can support
+//! alternative definitions, such as improving spatial compactness or
+//! balancing multiple criteria").
+//!
+//! Solves the same EMP query three times — heterogeneity objective (the
+//! paper's default), pure spatial compactness, and a balanced combination —
+//! and compares the resulting region shapes.
+//!
+//! ```text
+//! cargo run --release --example compact_regions
+//! ```
+
+use emp::core::objective::{Channel, ObjectiveSpec};
+use emp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = emp::data::build_sized("compact", 400);
+    let constraints = parse_constraints("SUM(TOTALPOP) >= 40k")?;
+
+    // Area centroids feed the compactness channels.
+    let (xs, ys): (Vec<f64>, Vec<f64>) = dataset
+        .areas
+        .iter()
+        .map(|a| {
+            let c = a.centroid();
+            (c.x, c.y)
+        })
+        .unzip();
+    let dissim = dataset
+        .attributes
+        .column_by_name("HOUSEHOLDS")
+        .expect("generated column")
+        .to_vec();
+
+    let objectives: Vec<(&str, ObjectiveSpec)> = vec![
+        ("heterogeneity (paper default)", ObjectiveSpec::heterogeneity(dissim.clone())),
+        ("spatial compactness", ObjectiveSpec::compactness(xs.clone(), ys.clone())?),
+        (
+            "balanced (heterogeneity + compactness)",
+            ObjectiveSpec::from_channels(vec![
+                Channel { name: "dissim".into(), values: dissim.clone(), weight: 1.0 },
+                // Centroid units are cells; weight them up so both criteria
+                // matter at similar magnitudes.
+                Channel { name: "x".into(), values: xs.clone(), weight: 300.0 },
+                Channel { name: "y".into(), values: ys.clone(), weight: 300.0 },
+            ])?,
+        ),
+    ];
+
+    println!("objective                                |   p | H (dissim) | mean bbox diag");
+    for (name, spec) in objectives {
+        let instance = dataset.to_instance()?.with_objective(spec)?;
+        let report = solve(&instance, &constraints, &FactConfig::seeded(21))?;
+        validate_solution(&instance, &constraints, &report.solution)
+            .map_err(|p| p.join("; "))?;
+
+        // Report the *paper's* heterogeneity for comparison regardless of
+        // the optimized objective, plus a shape measure (mean region bbox
+        // diagonal — smaller = more compact).
+        let h: f64 = report
+            .solution
+            .regions
+            .iter()
+            .map(|members| {
+                let vals: Vec<f64> = members.iter().map(|&a| dissim[a as usize]).collect();
+                emp::core::heterogeneity::DissimStat::from_values(&vals).pairwise()
+            })
+            .sum();
+        let mean_diag: f64 = report
+            .solution
+            .regions
+            .iter()
+            .map(|members| {
+                let bbox = members.iter().fold(emp::geo::BBox::EMPTY, |acc, &a| {
+                    acc.union(&dataset.areas[a as usize].bbox())
+                });
+                (bbox.width().powi(2) + bbox.height().powi(2)).sqrt()
+            })
+            .sum::<f64>()
+            / report.p().max(1) as f64;
+        println!("{name:40} | {:3} | {h:10.0} | {mean_diag:10.2}", report.p());
+    }
+
+    println!(
+        "\nthe compactness objective trades dissimilarity homogeneity for tighter\n\
+         region shapes; the balanced objective sits in between — all three keep\n\
+         the same constraints satisfied."
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Exploring the feasibility phase: how FaCT signals infeasible queries and
+//! lets the analyst tune them (paper §V-A), plus GeoJSON export of a result.
+//!
+//! ```text
+//! cargo run --release --example feasibility_explorer
+//! ```
+
+use emp::core::EmpError;
+use emp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = emp::data::build_sized("explorer", 300);
+    let instance = dataset.to_instance()?;
+    let attrs = instance.attributes();
+    let emp_col = attrs.column_index("EMPLOYED").expect("column");
+    println!(
+        "EMPLOYED spans [{:.0}, {:.0}], mean {:.0}",
+        attrs.min(emp_col),
+        attrs.max(emp_col),
+        attrs.mean(emp_col)
+    );
+
+    // A ladder of queries from hopeless to comfortable.
+    let queries = [
+        // Hard infeasible: no area can witness this MIN range.
+        "MIN(EMPLOYED) IN [50000, 60000]",
+        // Theorem-3 case: the global average is far below the range; a full
+        // partition is impossible, but regions + unassigned areas are fine.
+        "AVG(EMPLOYED) IN [4000, 5000]",
+        // Filtering case: areas above the MAX bound must be dropped.
+        "MAX(EMPLOYED) <= 3000 AND SUM(TOTALPOP) >= 15k",
+        // Comfortable query.
+        "AVG(EMPLOYED) IN [1200, 3800] AND SUM(TOTALPOP) >= 15k",
+    ];
+
+    for text in queries {
+        println!("\nquery: {text}");
+        let constraints = parse_constraints(text)?;
+        match solve(&instance, &constraints, &FactConfig::seeded(9)) {
+            Err(EmpError::Infeasible { reasons }) => {
+                println!("  -> hard infeasible: {}", reasons.join("; "));
+            }
+            Err(other) => return Err(other.into()),
+            Ok(report) => {
+                for (c, v) in constraints
+                    .constraints()
+                    .iter()
+                    .zip(&report.feasibility.verdicts)
+                {
+                    println!("  {c}: {v}");
+                }
+                println!(
+                    "  -> p = {}, unassigned = {} ({:.1}%), filtered invalid = {}",
+                    report.p(),
+                    report.solution.unassigned.len(),
+                    report.solution.unassigned_fraction() * 100.0,
+                    report.feasibility.invalid_areas.len()
+                );
+                // The theoretical p upper bound helps judge solution quality.
+                let bound = p_upper_bound(&instance, &constraints)?;
+                println!("  -> theoretical p upper bound: {bound}");
+            }
+        }
+    }
+
+    // Export the final solvable query's dataset to GeoJSON for GIS tools.
+    let geojson = dataset.to_geojson();
+    let path = std::env::temp_dir().join("emp_explorer.geojson");
+    std::fs::write(&path, &geojson)?;
+    println!(
+        "\ndataset exported to {} ({} bytes); round-trips losslessly:",
+        path.display(),
+        geojson.len()
+    );
+    let back = Dataset::from_geojson("reload", &geojson)?;
+    println!(
+        "  reloaded {} areas, contiguity graph identical: {}",
+        back.len(),
+        back.graph == dataset.graph
+    );
+    Ok(())
+}

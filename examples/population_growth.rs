@@ -1,0 +1,105 @@
+//! The paper's §I second scenario: population-growth analysis regions.
+//!
+//! "Studying the changes in population requires considering multiple factors
+//! ... such as the minimum population of each area, the maximum school
+//! drop-out rate, the average age of the population, and total
+//! unemployment." — four constraints with four different aggregates, one per
+//! family, on four different attributes.
+//!
+//! ```text
+//! cargo run --release --example population_growth
+//! ```
+
+use emp::core::attr::AttributeTable;
+use emp::core::Aggregate;
+use emp::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = emp::data::build_sized("growth", 600);
+    let n = base.len();
+    let mut rng = StdRng::seed_from_u64(0x6A0);
+
+    let mut attrs = AttributeTable::new(n);
+    let population = base
+        .attributes
+        .column_by_name("TOTALPOP")
+        .expect("generated column")
+        .to_vec();
+    // Drop-out rate in percent, mostly small with a heavy tail.
+    let dropout: Vec<f64> = (0..n)
+        .map(|_| {
+            let base: f64 = rng.gen_range(1.0..9.0);
+            if rng.gen_bool(0.08) { base + rng.gen_range(5.0..25.0) } else { base }
+        })
+        .collect();
+    // Mean age per area.
+    let age: Vec<f64> = (0..n).map(|_| rng.gen_range(24.0..58.0)).collect();
+    // Unemployed count correlates with population.
+    let unemployed: Vec<f64> = population
+        .iter()
+        .map(|&p| p * rng.gen_range(0.02..0.12))
+        .collect();
+    attrs.push_column("POPULATION", population)?;
+    attrs.push_column("DROPOUT", dropout)?;
+    attrs.push_column("AGE", age)?;
+    attrs.push_column("UNEMPLOYED", unemployed)?;
+
+    let instance = EmpInstance::new(base.graph.clone(), attrs, "POPULATION")?;
+
+    // One constraint per aggregate family:
+    //   every area populated enough, no high-dropout outliers, working-age
+    //   average, and enough unemployment mass for the study to be meaningful.
+    let query = parse_constraints(
+        "MIN(POPULATION) >= 1000 AND MAX(DROPOUT) <= 12 \
+         AND AVG(AGE) IN [30, 45] AND SUM(UNEMPLOYED) >= 2000",
+    )?;
+    println!("growth-analysis query: {query}");
+
+    // The feasibility phase tells the analyst what filtering the query
+    // implies before any regions are built.
+    let report = solve(&instance, &query, &FactConfig::seeded(5))?;
+    for (c, v) in query.constraints().iter().zip(&report.feasibility.verdicts) {
+        println!("  {c}: {v}");
+    }
+    println!(
+        "invalid areas filtered into U_0 by the feasibility phase: {}",
+        report.feasibility.invalid_areas.len()
+    );
+
+    println!(
+        "\np = {} regions, {} unassigned, heterogeneity improved {:.1}%",
+        report.p(),
+        report.solution.unassigned.len(),
+        report.improvement() * 100.0
+    );
+
+    // Show that each constraint family did its job on the first regions.
+    let engine_check = |region: &Vec<u32>| -> (f64, f64, f64, f64) {
+        let attrs = instance.attributes();
+        let g = |name: &str, a: u32| {
+            attrs.value(attrs.column_index(name).expect("column"), a as usize)
+        };
+        let min_pop = region.iter().map(|&a| g("POPULATION", a)).fold(f64::INFINITY, f64::min);
+        let max_drop = region.iter().map(|&a| g("DROPOUT", a)).fold(0.0f64, f64::max);
+        let avg_age =
+            region.iter().map(|&a| g("AGE", a)).sum::<f64>() / region.len() as f64;
+        let unemp: f64 = region.iter().map(|&a| g("UNEMPLOYED", a)).sum();
+        (min_pop, max_drop, avg_age, unemp)
+    };
+    println!("\nregion | areas | min pop | max dropout | avg age | unemployed");
+    for (i, region) in report.solution.regions.iter().take(8).enumerate() {
+        let (mp, md, aa, un) = engine_check(region);
+        println!(
+            "{i:6} | {:5} | {mp:7.0} | {md:11.1} | {aa:7.1} | {un:10.0}",
+            region.len()
+        );
+    }
+
+    assert!(query.has(Aggregate::Min) && query.has(Aggregate::Max));
+    validate_solution(&instance, &query, &report.solution)
+        .map_err(|problems| problems.join("; "))?;
+    println!("\nall regions verified against all four constraint families");
+    Ok(())
+}

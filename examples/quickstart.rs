@@ -1,0 +1,65 @@
+//! Quickstart: generate a dataset, pose an enriched max-p query, inspect the
+//! regions.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use emp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic census-like dataset: 400 areas, four attributes
+    //    (TOTALPOP, POP16UP, EMPLOYED, HOUSEHOLDS), rook contiguity derived
+    //    from the polygon tessellation.
+    let dataset = emp::data::build_sized("quickstart", 400);
+    println!(
+        "dataset: {} areas, {} adjacency edges, mean degree {:.2}",
+        dataset.len(),
+        dataset.graph.edge_count(),
+        dataset.graph.mean_degree()
+    );
+
+    // 2. An EMP query — the paper's Table II defaults. Constraints are
+    //    SQL-inspired and can be written as text.
+    let constraints = parse_constraints(
+        "MIN(POP16UP) <= 3000 AND AVG(EMPLOYED) IN [1500, 3500] AND SUM(TOTALPOP) >= 20k",
+    )?;
+    println!("query: {constraints}");
+
+    // 3. Solve with FaCT (feasibility -> construction -> tabu search).
+    let instance = dataset.to_instance()?;
+    let report = solve(&instance, &constraints, &FactConfig::default())?;
+
+    println!(
+        "\nFaCT found p = {} regions, {} unassigned areas ({:.1}%)",
+        report.p(),
+        report.solution.unassigned.len(),
+        report.solution.unassigned_fraction() * 100.0
+    );
+    println!(
+        "heterogeneity: {:.0} -> {:.0} ({:.1}% improvement from tabu search)",
+        report.heterogeneity_before,
+        report.solution.heterogeneity,
+        report.improvement() * 100.0
+    );
+    println!(
+        "phase times: feasibility {:.3}s, construction {:.3}s, local search {:.3}s",
+        report.timings.feasibility, report.timings.construction, report.timings.local_search
+    );
+
+    // 4. Inspect the first few regions: every region satisfies every
+    //    constraint.
+    let attrs = instance.attributes();
+    let pop_col = attrs.column_index("TOTALPOP").expect("column exists");
+    for (i, region) in report.solution.regions.iter().take(5).enumerate() {
+        let pop: f64 = region.iter().map(|&a| attrs.value(pop_col, a as usize)).sum();
+        println!("region {i}: {} areas, total population {:.0}", region.len(), pop);
+    }
+
+    // 5. The validator re-checks everything from scratch (contiguity,
+    //    disjointness, constraints, heterogeneity).
+    validate_solution(&instance, &constraints, &report.solution)
+        .map_err(|problems| problems.join("; "))?;
+    println!("\nsolution validated: all regions contiguous and feasible");
+    Ok(())
+}

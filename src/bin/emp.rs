@@ -1,0 +1,290 @@
+//! `emp` — command-line EMP regionalization.
+//!
+//! ```text
+//! emp generate    --areas N [--islands K] [--seed S] --out PREFIX
+//! emp info        --input FILE[.geojson|.shp]
+//! emp feasibility --input FILE --query "CONSTRAINTS"
+//! emp solve       --input FILE --query "CONSTRAINTS" [--dissim ATTR]
+//!                 [--seed S] [--iterations K] [--merge-limit M]
+//!                 [--no-local-search] [--out result.geojson] [--stats]
+//! ```
+//!
+//! `--input` accepts a GeoJSON FeatureCollection or an ESRI shapefile (the
+//! matching `.dbf` is looked up next to the `.shp`). `solve` writes the
+//! input features back out with a `REGION` property (`-1` = unassigned,
+//! the paper's `U_0`).
+
+use emp::core::{describe, EmpError, FactConfig};
+use emp::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return usage("missing command");
+    };
+    let opts = match Options::parse(rest) {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "info" => cmd_info(&opts),
+        "feasibility" => cmd_feasibility(&opts),
+        "solve" => cmd_solve(&opts),
+        "--help" | "-h" | "help" => {
+            usage("");
+            return ExitCode::SUCCESS;
+        }
+        other => return usage(&format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// Parsed command-line options (flat namespace shared by all subcommands).
+#[derive(Default)]
+struct Options {
+    input: Option<PathBuf>,
+    out: Option<PathBuf>,
+    query: Option<String>,
+    dissim: Option<String>,
+    areas: usize,
+    islands: usize,
+    seed: u64,
+    iterations: usize,
+    merge_limit: usize,
+    local_search: bool,
+    stats: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = Options {
+            areas: 400,
+            islands: 1,
+            seed: 2022,
+            iterations: 3,
+            merge_limit: 3,
+            local_search: true,
+            ..Default::default()
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--input" => o.input = Some(PathBuf::from(value("--input")?)),
+                "--out" => o.out = Some(PathBuf::from(value("--out")?)),
+                "--query" => o.query = Some(value("--query")?),
+                "--dissim" => o.dissim = Some(value("--dissim")?),
+                "--areas" => o.areas = parse_num(&value("--areas")?)?,
+                "--islands" => o.islands = parse_num(&value("--islands")?)?,
+                "--seed" => o.seed = parse_num(&value("--seed")?)? as u64,
+                "--iterations" => o.iterations = parse_num(&value("--iterations")?)?,
+                "--merge-limit" => o.merge_limit = parse_num(&value("--merge-limit")?)?,
+                "--no-local-search" => o.local_search = false,
+                "--stats" => o.stats = true,
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(o)
+    }
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("bad number '{s}'"))
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage:\n  emp generate    --areas N [--islands K] [--seed S] --out PREFIX\n  \
+         emp info        --input FILE\n  \
+         emp feasibility --input FILE --query \"...\"\n  \
+         emp solve       --input FILE --query \"...\" [--dissim ATTR] [--seed S]\n                  \
+         [--iterations K] [--merge-limit M] [--no-local-search]\n                  \
+         [--out result.geojson] [--stats]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn load_dataset(opts: &Options) -> Result<Dataset, Box<dyn std::error::Error>> {
+    let path = opts
+        .input
+        .as_ref()
+        .ok_or("--input is required for this command")?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "dataset".to_string());
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("geojson") | Some("json") => {
+            let text = std::fs::read_to_string(path)?;
+            Ok(Dataset::from_geojson(name, &text)?)
+        }
+        Some("shp") => {
+            let shp = std::fs::read(path)?;
+            let dbf = std::fs::read(path.with_extension("dbf"))?;
+            Ok(Dataset::from_shapefile(name, &shp, &dbf)?)
+        }
+        other => Err(format!("unsupported input extension {other:?} (want .geojson or .shp)").into()),
+    }
+}
+
+fn cmd_generate(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let out = opts.out.as_ref().ok_or("--out PREFIX is required")?;
+    let spec = TessellationSpec {
+        islands: opts.islands,
+        seed: opts.seed,
+        ..TessellationSpec::squareish(opts.areas, opts.seed)
+    };
+    let dataset = Dataset::generate("generated", &spec);
+    if out.extension().and_then(|e| e.to_str()) == Some("geojson") {
+        std::fs::write(out, dataset.to_geojson())?;
+        eprintln!("wrote {} areas to {}", dataset.len(), out.display());
+    } else {
+        let bundle = dataset.to_shapefile()?;
+        let base: &Path = out;
+        std::fs::write(base.with_extension("shp"), &bundle.shp)?;
+        std::fs::write(base.with_extension("shx"), &bundle.shx)?;
+        std::fs::write(base.with_extension("dbf"), &bundle.dbf)?;
+        eprintln!(
+            "wrote {} areas to {}.{{shp,shx,dbf}}",
+            dataset.len(),
+            base.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = load_dataset(opts)?;
+    let components = emp::graph::connected_components(&dataset.graph).count();
+    println!("dataset: {}", dataset.name);
+    println!("areas: {}", dataset.len());
+    println!("adjacency edges: {}", dataset.graph.edge_count());
+    println!("mean degree: {:.2}", dataset.graph.mean_degree());
+    println!("connected components: {components}");
+    println!("attributes:");
+    let attrs = &dataset.attributes;
+    for (ci, name) in attrs.names().iter().enumerate() {
+        println!(
+            "  {name}: min {:.1}, mean {:.1}, max {:.1}",
+            attrs.min(ci),
+            attrs.mean(ci),
+            attrs.max(ci)
+        );
+    }
+    Ok(())
+}
+
+fn instance_of(dataset: &Dataset, opts: &Options) -> Result<EmpInstance, EmpError> {
+    match &opts.dissim {
+        Some(attr) => dataset.to_instance_with(attr),
+        None => {
+            // Default to HOUSEHOLDS (paper) or the first attribute.
+            let fallback = dataset
+                .attributes
+                .names()
+                .first()
+                .cloned()
+                .unwrap_or_default();
+            dataset
+                .to_instance()
+                .or_else(|_| dataset.to_instance_with(&fallback))
+        }
+    }
+}
+
+fn cmd_feasibility(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = load_dataset(opts)?;
+    let query_text = opts.query.as_ref().ok_or("--query is required")?;
+    let constraints = parse_constraints(query_text)?;
+    let instance = instance_of(&dataset, opts)?;
+    let engine = emp::core::engine::ConstraintEngine::compile(&instance, &constraints)?;
+    let report = emp::core::feasibility::feasibility_phase(&engine);
+    for (c, v) in constraints.constraints().iter().zip(&report.verdicts) {
+        println!("{c}: {v}");
+    }
+    println!("invalid areas: {}", report.invalid_areas.len());
+    println!("seed areas: {}", report.seeds.len());
+    println!(
+        "p upper bound: {}",
+        emp::core::p_upper_bound(&instance, &constraints)?
+    );
+    if report.is_infeasible() {
+        return Err("query is infeasible on this dataset".into());
+    }
+    Ok(())
+}
+
+fn cmd_solve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = load_dataset(opts)?;
+    let query_text = opts.query.as_ref().ok_or("--query is required")?;
+    let constraints = parse_constraints(query_text)?;
+    let instance = instance_of(&dataset, opts)?;
+
+    let config = FactConfig {
+        construction_iterations: opts.iterations,
+        merge_limit: opts.merge_limit,
+        local_search: opts.local_search,
+        seed: opts.seed,
+        ..FactConfig::default()
+    };
+    let report = solve(&instance, &constraints, &config)?;
+    validate_solution(&instance, &constraints, &report.solution)
+        .map_err(|problems| problems.join("; "))?;
+
+    println!(
+        "p = {}, unassigned = {} ({:.1}%), heterogeneity {:.1} (tabu improved {:.1}%)",
+        report.p(),
+        report.solution.unassigned.len(),
+        report.solution.unassigned_fraction() * 100.0,
+        report.solution.heterogeneity,
+        report.improvement() * 100.0
+    );
+    println!(
+        "times: feasibility {:.3}s, construction {:.3}s, local search {:.3}s",
+        report.timings.feasibility, report.timings.construction, report.timings.local_search
+    );
+    if opts.stats {
+        let stats = describe(&instance, &constraints, &report.solution)?;
+        println!("\n{stats}");
+    }
+    if let Some(out) = &opts.out {
+        let mut features = Vec::with_capacity(dataset.len());
+        for (i, geom) in dataset.areas.iter().enumerate() {
+            let mut properties = std::collections::BTreeMap::new();
+            for (ci, name) in dataset.attributes.names().iter().enumerate() {
+                properties.insert(name.clone(), dataset.attributes.value(ci, i));
+            }
+            let region = report.solution.assignment[i]
+                .map(|r| r as f64)
+                .unwrap_or(-1.0);
+            properties.insert("REGION".to_string(), region);
+            features.push(emp::geo::geojson::AreaFeature {
+                geometry: geom.clone(),
+                properties,
+            });
+        }
+        std::fs::write(out, emp::geo::geojson::write_feature_collection(&features))?;
+        eprintln!("wrote labeled GeoJSON to {}", out.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # emp — Enriched Max-P Regionalization (facade crate)
+//!
+//! A from-scratch Rust implementation of *"EMP: Max-P Regionalization with
+//! Enriched Constraints"* (Kang & Magdy, ICDE 2022): the EMP problem model,
+//! the three-phase **FaCT** solver, the classic max-p-regions baseline, an
+//! exact solver for tiny instances, a geometry/contiguity substrate, and
+//! synthetic census datasets.
+//!
+//! This crate re-exports the workspace members under stable paths:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `emp-core` | constraints, FaCT solver, validation |
+//! | [`geo`] | `emp-geo` | polygons, contiguity detection, WKT/GeoJSON |
+//! | [`graph`] | `emp-graph` | contiguity graphs, connectivity machinery |
+//! | [`data`] | `emp-data` | synthetic census datasets (paper presets) |
+//! | [`baseline`] | `emp-baseline` | max-p-regions comparison heuristic |
+//! | [`exact`] | `emp-exact` | exact branch-and-bound for tiny instances |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use emp::prelude::*;
+//!
+//! // A synthetic 100-area dataset with census-like attributes.
+//! let dataset = emp::data::build_sized("demo", 100);
+//! let instance = dataset.to_instance().unwrap();
+//!
+//! // The paper's default query (Table II), written as SQL-ish text.
+//! let constraints = parse_constraints(
+//!     "MIN(POP16UP) <= 3000 AND AVG(EMPLOYED) IN [1500, 3500] AND SUM(TOTALPOP) >= 20k",
+//! ).unwrap();
+//!
+//! let report = solve(&instance, &constraints, &FactConfig::default()).unwrap();
+//! println!("p = {}, unassigned = {}", report.p(), report.solution.unassigned.len());
+//! validate_solution(&instance, &constraints, &report.solution).unwrap();
+//! ```
+
+pub use emp_baseline as baseline;
+pub use emp_core as core;
+pub use emp_data as data;
+pub use emp_exact as exact;
+pub use emp_geo as geo;
+pub use emp_graph as graph;
+
+/// Convenient top-level re-exports for the common workflow.
+pub mod prelude {
+    pub use emp_baseline::{solve_mp, MpConfig};
+    pub use emp_core::prelude::*;
+    pub use emp_core::{p_upper_bound, Verdict};
+    pub use emp_data::prelude::*;
+    pub use emp_exact::{exact_solve, ExactConfig};
+    pub use emp_graph::ContiguityGraph;
+}

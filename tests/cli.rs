@@ -1,0 +1,130 @@
+//! End-to-end tests of the `emp` CLI binary: generate → info → feasibility →
+//! solve, over both GeoJSON and shapefile inputs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn emp_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_emp"))
+}
+
+fn run(args: &[&str]) -> Output {
+    emp_bin().args(args).output().expect("spawn emp binary")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("emp-cli-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+const QUERY: &str = "AVG(EMPLOYED) IN [1200, 3800] AND SUM(TOTALPOP) >= 15k";
+
+#[test]
+fn generate_info_solve_geojson() {
+    let data = tmp("cli_a.geojson");
+    let out = run(&[
+        "generate",
+        "--areas",
+        "150",
+        "--seed",
+        "9",
+        "--out",
+        data.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.exists());
+
+    let out = run(&["info", "--input", data.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("areas: 150"), "{text}");
+    assert!(text.contains("TOTALPOP"));
+
+    let labeled = tmp("cli_a_result.geojson");
+    let out = run(&[
+        "solve",
+        "--input",
+        data.to_str().unwrap(),
+        "--query",
+        QUERY,
+        "--stats",
+        "--out",
+        labeled.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("p = "), "{text}");
+    assert!(text.contains("region | size"), "--stats table missing: {text}");
+    // The labeled output carries REGION properties.
+    let labeled_text = std::fs::read_to_string(&labeled).unwrap();
+    assert!(labeled_text.contains("\"REGION\""));
+}
+
+#[test]
+fn generate_and_solve_shapefile() {
+    let base = tmp("cli_b");
+    let out = run(&[
+        "generate",
+        "--areas",
+        "120",
+        "--islands",
+        "2",
+        "--out",
+        base.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for ext in ["shp", "shx", "dbf"] {
+        assert!(base.with_extension(ext).exists(), "missing .{ext}");
+    }
+    let shp = base.with_extension("shp");
+    let out = run(&["info", "--input", shp.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("connected components: 2"));
+
+    let out = run(&[
+        "solve",
+        "--input",
+        shp.to_str().unwrap(),
+        "--query",
+        "SUM(TOTALPOP) >= 20k",
+        "--no-local-search",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn feasibility_reports_verdicts() {
+    let data = tmp("cli_c.geojson");
+    assert!(run(&["generate", "--areas", "100", "--out", data.to_str().unwrap()])
+        .status
+        .success());
+    let out = run(&[
+        "feasibility",
+        "--input",
+        data.to_str().unwrap(),
+        "--query",
+        "MIN(POP16UP) <= 3000",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("p upper bound"), "{text}");
+
+    // Hard-infeasible query exits non-zero.
+    let out = run(&[
+        "feasibility",
+        "--input",
+        data.to_str().unwrap(),
+        "--query",
+        "SUM(TOTALPOP) >= 999999999",
+    ]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bad_usage_exits_with_error() {
+    assert!(!run(&[]).status.success());
+    assert!(!run(&["frobnicate"]).status.success());
+    assert!(!run(&["solve", "--query", "SUM(X) >= 1"]).status.success()); // no input
+    assert!(!run(&["solve", "--input"]).status.success()); // missing value
+}

@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: dataset generation → contiguity →
+//! constraints → FaCT → validation, plus baseline and exact-solver
+//! cross-checks.
+
+use emp::prelude::*;
+use emp_core::constraint::{Constraint, ConstraintSet};
+use emp_core::FactConfig;
+
+fn default_query() -> ConstraintSet {
+    parse_constraints(
+        "MIN(POP16UP) <= 3000 AND AVG(EMPLOYED) IN [1500, 3500] AND SUM(TOTALPOP) >= 20k",
+    )
+    .expect("valid query")
+}
+
+#[test]
+fn end_to_end_default_query_on_synthetic_dataset() {
+    let dataset = emp::data::build_sized("it-default", 500);
+    let instance = dataset.to_instance().unwrap();
+    let query = default_query();
+    let report = solve(&instance, &query, &FactConfig::seeded(1)).unwrap();
+    assert!(report.p() > 10, "p = {}", report.p());
+    validate_solution(&instance, &query, &report.solution).unwrap();
+}
+
+#[test]
+fn all_constraint_families_together() {
+    let dataset = emp::data::build_sized("it-families", 400);
+    let instance = dataset.to_instance().unwrap();
+    let query = ConstraintSet::new()
+        .with(Constraint::min("POP16UP", f64::NEG_INFINITY, 3500.0).unwrap())
+        .with(Constraint::max("EMPLOYED", 800.0, f64::INFINITY).unwrap())
+        .with(Constraint::avg("EMPLOYED", 1200.0, 3800.0).unwrap())
+        .with(Constraint::sum("TOTALPOP", 15_000.0, 200_000.0).unwrap())
+        .with(Constraint::count(2.0, 40.0).unwrap());
+    let report = solve(&instance, &query, &FactConfig::seeded(2)).unwrap();
+    assert!(report.p() >= 1);
+    validate_solution(&instance, &query, &report.solution).unwrap();
+}
+
+#[test]
+fn every_single_constraint_subset_is_handled() {
+    // §V-D: FaCT must handle any subset of constraint types.
+    let dataset = emp::data::build_sized("it-subsets", 200);
+    let instance = dataset.to_instance().unwrap();
+    let all: Vec<Constraint> = vec![
+        Constraint::min("POP16UP", f64::NEG_INFINITY, 4000.0).unwrap(),
+        Constraint::max("EMPLOYED", 1000.0, f64::INFINITY).unwrap(),
+        Constraint::avg("EMPLOYED", 1000.0, 4000.0).unwrap(),
+        Constraint::sum("TOTALPOP", 10_000.0, f64::INFINITY).unwrap(),
+        Constraint::count(1.0, 50.0).unwrap(),
+    ];
+    for mask in 0u32..32 {
+        let subset: Vec<Constraint> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let query = ConstraintSet::from_constraints(subset);
+        let report = solve(&instance, &query, &FactConfig::seeded(mask as u64))
+            .unwrap_or_else(|e| panic!("mask {mask:05b}: {e}"));
+        validate_solution(&instance, &query, &report.solution)
+            .unwrap_or_else(|p| panic!("mask {mask:05b}: {p:?}"));
+    }
+}
+
+#[test]
+fn fact_beats_or_matches_mp_expressiveness() {
+    // On the shared single-SUM query, both produce valid solutions with
+    // comparable p.
+    let dataset = emp::data::build_sized("it-mp", 400);
+    let instance = dataset.to_instance().unwrap();
+    let threshold = 25_000.0;
+
+    let mp = solve_mp(&instance, "TOTALPOP", threshold, &MpConfig::seeded(3)).unwrap();
+    let query = ConstraintSet::new()
+        .with(Constraint::sum("TOTALPOP", threshold, f64::INFINITY).unwrap());
+    let fact = solve(&instance, &query, &FactConfig::seeded(3)).unwrap();
+
+    validate_solution(&instance, &query, &mp.solution).unwrap();
+    validate_solution(&instance, &query, &fact.solution).unwrap();
+    let (a, b) = (mp.p() as f64, fact.p() as f64);
+    assert!(
+        (a - b).abs() <= 0.35 * a.max(b),
+        "MP p = {a}, FaCT p = {b} — expected comparable values"
+    );
+}
+
+#[test]
+fn exact_solver_confirms_fact_near_optimality() {
+    let dataset = emp::data::build_sized("it-exact", 12);
+    let instance = dataset.to_instance().unwrap();
+    let total: f64 = instance.attributes().sum(0);
+    let query = ConstraintSet::new()
+        .with(Constraint::sum("TOTALPOP", total / 4.0, f64::INFINITY).unwrap());
+
+    let exact = exact_solve(&instance, &query, &ExactConfig::default()).unwrap();
+    assert!(exact.complete);
+    let fact = solve(&instance, &query, &FactConfig::seeded(4)).unwrap();
+    assert!(fact.p() <= exact.solution.p(), "heuristic cannot beat optimum");
+    assert!(
+        fact.p() + 1 >= exact.solution.p(),
+        "FaCT p = {} far from optimal {}",
+        fact.p(),
+        exact.solution.p()
+    );
+}
+
+#[test]
+fn geojson_pipeline_to_solution() {
+    // Dataset -> GeoJSON -> reload -> solve: the I/O path used by GIS users.
+    let dataset = emp::data::build_sized("it-geojson", 150);
+    let text = dataset.to_geojson();
+    let reloaded = Dataset::from_geojson("reloaded", &text).unwrap();
+    assert_eq!(reloaded.graph, dataset.graph);
+    let instance = reloaded.to_instance().unwrap();
+    let query = default_query();
+    let report = solve(&instance, &query, &FactConfig::seeded(5)).unwrap();
+    validate_solution(&instance, &query, &report.solution).unwrap();
+}
+
+#[test]
+fn multi_component_city_is_partitioned_per_component() {
+    let spec = emp::data::TessellationSpec {
+        n: 240,
+        row_width: 16,
+        islands: 3,
+        jitter: 0.15,
+        seed: 6,
+    };
+    let dataset = Dataset::generate("it-islands", &spec);
+    assert_eq!(emp::graph::connected_components(&dataset.graph).count(), 3);
+    let instance = dataset.to_instance().unwrap();
+    let query = ConstraintSet::new()
+        .with(Constraint::sum("TOTALPOP", 20_000.0, f64::INFINITY).unwrap());
+    let report = solve(&instance, &query, &FactConfig::seeded(6)).unwrap();
+    assert!(report.p() >= 3, "each island should host regions, p = {}", report.p());
+    validate_solution(&instance, &query, &report.solution).unwrap();
+}
+
+#[test]
+fn infeasible_queries_are_rejected_with_reasons() {
+    let dataset = emp::data::build_sized("it-infeasible", 100);
+    let instance = dataset.to_instance().unwrap();
+    let query = ConstraintSet::new()
+        .with(Constraint::min("POP16UP", 1e9, f64::INFINITY).unwrap());
+    match solve(&instance, &query, &FactConfig::default()) {
+        Err(emp::core::EmpError::Infeasible { reasons }) => {
+            assert!(reasons.iter().any(|r| r.contains("MIN")));
+        }
+        other => panic!("expected infeasibility, got {other:?}"),
+    }
+}
+
+#[test]
+fn paper_defaults_scale_shape_holds() {
+    // p decreases as the SUM lower bound grows (Table IV trend), on a
+    // mid-size dataset.
+    let dataset = emp::data::build_sized("it-shape", 600);
+    let instance = dataset.to_instance().unwrap();
+    let mut last_p = usize::MAX;
+    for threshold in [5_000.0, 20_000.0, 80_000.0] {
+        let query = ConstraintSet::new()
+            .with(Constraint::sum("TOTALPOP", threshold, f64::INFINITY).unwrap());
+        let report = solve(&instance, &query, &FactConfig::seeded(7)).unwrap();
+        assert!(report.p() <= last_p, "p should fall as threshold rises");
+        last_p = report.p();
+    }
+}
+
+#[test]
+fn p_upper_bound_is_respected_end_to_end() {
+    let dataset = emp::data::build_sized("it-bound", 300);
+    let instance = dataset.to_instance().unwrap();
+    let query = default_query();
+    let bound = p_upper_bound(&instance, &query).unwrap();
+    let report = solve(&instance, &query, &FactConfig::seeded(8)).unwrap();
+    assert!(report.p() <= bound, "p = {} exceeds bound {bound}", report.p());
+}
+
+#[test]
+fn wkt_and_geojson_agree_on_geometry() {
+    use emp::geo::wkt::{parse_wkt, polygon_to_wkt, WktGeometry};
+    let dataset = emp::data::build_sized("it-wkt", 40);
+    for area in &dataset.areas {
+        for poly in area.polygons() {
+            let wkt = polygon_to_wkt(poly);
+            match parse_wkt(&wkt).unwrap() {
+                WktGeometry::Polygon(back) => {
+                    assert!((back.area() - poly.area()).abs() < 1e-9);
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+}

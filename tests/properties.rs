@@ -1,0 +1,205 @@
+//! Property-based tests over the core invariants (proptest).
+
+use emp_core::constraint::{Aggregate, Constraint, ConstraintSet};
+use emp_core::heterogeneity::DissimStat;
+use emp_core::prelude::*;
+use emp_core::value::Multiset;
+use emp_core::FactConfig;
+use emp_graph::ContiguityGraph;
+use proptest::prelude::*;
+
+/// Brute-force pairwise |d_i - d_j| oracle.
+fn brute_pairwise(values: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..values.len() {
+        for j in (i + 1)..values.len() {
+            acc += (values[i] - values[j]).abs();
+        }
+    }
+    acc
+}
+
+/// Builds a lattice instance from generated attribute values.
+fn instance_from(w: usize, h: usize, pop: Vec<f64>, emp: Vec<f64>) -> EmpInstance {
+    let graph = ContiguityGraph::lattice(w, h);
+    let mut attrs = AttributeTable::new(w * h);
+    attrs.push_column("POP", pop).unwrap();
+    attrs.push_column("EMP", emp).unwrap();
+    EmpInstance::new(graph, attrs, "POP").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every FaCT solution on a random instance with a random constraint
+    /// subset is a valid EMP solution (disjoint, contiguous, feasible).
+    #[test]
+    fn fact_solutions_are_always_valid(
+        w in 2usize..7,
+        h in 2usize..7,
+        seed in 0u64..1000,
+        pop_scale in 10.0f64..1000.0,
+        use_min in any::<bool>(),
+        use_max in any::<bool>(),
+        use_avg in any::<bool>(),
+        use_sum in any::<bool>(),
+        use_count in any::<bool>(),
+    ) {
+        let n = w * h;
+        // Deterministic pseudo-random attributes from the seed.
+        let pop: Vec<f64> = (0..n)
+            .map(|i| ((i as u64 * 2654435761 + seed) % 997) as f64 / 997.0 * pop_scale + 1.0)
+            .collect();
+        let emp: Vec<f64> = (0..n)
+            .map(|i| ((i as u64 * 40503 + seed * 7) % 883) as f64 / 883.0 * pop_scale * 0.5 + 1.0)
+            .collect();
+        let instance = instance_from(w, h, pop.clone(), emp);
+
+        let mut set = ConstraintSet::new();
+        if use_min {
+            set.push(Constraint::min("POP", f64::NEG_INFINITY, pop_scale * 0.8).unwrap());
+        }
+        if use_max {
+            set.push(Constraint::max("EMP", pop_scale * 0.05, f64::INFINITY).unwrap());
+        }
+        if use_avg {
+            set.push(Constraint::avg("POP", pop_scale * 0.2, pop_scale * 0.9).unwrap());
+        }
+        if use_sum {
+            set.push(Constraint::sum("POP", pop_scale, f64::INFINITY).unwrap());
+        }
+        if use_count {
+            set.push(Constraint::count(1.0, (n / 2).max(2) as f64).unwrap());
+        }
+
+        match solve(&instance, &set, &FactConfig::seeded(seed)) {
+            Ok(report) => {
+                prop_assert!(validate_solution(&instance, &set, &report.solution).is_ok());
+                prop_assert!(report.solution.heterogeneity <= report.heterogeneity_before + 1e-9);
+            }
+            Err(EmpError::Infeasible { .. }) => {} // legitimately infeasible
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error: {other}"))),
+        }
+    }
+
+    /// The incremental dissimilarity statistic matches the brute-force sum
+    /// under arbitrary insert/remove sequences.
+    #[test]
+    fn dissim_stat_matches_bruteforce(ops in prop::collection::vec((any::<bool>(), 0.0f64..100.0), 1..60)) {
+        let mut stat = DissimStat::new();
+        let mut values: Vec<f64> = Vec::new();
+        for (insert, v) in ops {
+            if insert || values.is_empty() {
+                stat.insert(v);
+                values.push(v);
+            } else {
+                let v = values.pop().unwrap();
+                stat.remove(v);
+            }
+            let expected = brute_pairwise(&values);
+            prop_assert!((stat.pairwise() - expected).abs() < 1e-6 * expected.max(1.0));
+        }
+    }
+
+    /// Multiset min/max with hypothetical removal match a sorted-vec oracle.
+    #[test]
+    fn multiset_matches_oracle(values in prop::collection::vec(0.0f64..50.0, 1..40)) {
+        let mut ms = Multiset::new();
+        for &v in &values {
+            ms.insert(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(ms.min(), sorted.first().copied());
+        prop_assert_eq!(ms.max(), sorted.last().copied());
+        // Hypothetical removal of each distinct value.
+        for &v in &values {
+            let mut rest = sorted.clone();
+            let idx = rest.iter().position(|&x| x == v).unwrap();
+            rest.remove(idx);
+            prop_assert_eq!(ms.min_excluding(v), rest.first().copied());
+            prop_assert_eq!(ms.max_excluding(v), rest.last().copied());
+        }
+    }
+
+    /// Constraint display -> parse is the identity.
+    #[test]
+    fn constraint_display_parse_roundtrip(
+        agg in 0usize..5,
+        low in prop::option::of(-1000.0f64..1000.0),
+        len in 0.0f64..500.0,
+    ) {
+        let aggregate = [Aggregate::Min, Aggregate::Max, Aggregate::Avg, Aggregate::Sum, Aggregate::Count][agg];
+        let low_v = low.unwrap_or(f64::NEG_INFINITY);
+        let high_v = if low.is_some() { low_v + len } else { f64::INFINITY };
+        // Skip the fully unbounded case (printed as "unbounded", not parseable).
+        prop_assume!(low.is_some() || high_v.is_finite());
+        let c = Constraint::new(aggregate, "ATTR", low_v, high_v).unwrap();
+        let text = c.to_string();
+        let back = parse_constraint(&text).unwrap();
+        prop_assert_eq!(back.aggregate, c.aggregate);
+        prop_assert!((back.low - c.low).abs() < 1e-6 || back.low == c.low);
+        prop_assert!((back.high - c.high).abs() < 1e-6 || back.high == c.high);
+    }
+
+    /// Feasibility filtering removes exactly the areas outside extrema
+    /// bounds (paper §V-A cases MIN(b) / MAX(b)).
+    #[test]
+    fn feasibility_filters_exactly_out_of_bounds_areas(
+        values in prop::collection::vec(0.0f64..100.0, 4..40),
+        low in 0.0f64..40.0,
+    ) {
+        let n = values.len();
+        let high = low + 30.0;
+        prop_assume!(values.iter().any(|&v| v >= low && v <= high));
+        let graph = ContiguityGraph::lattice(n, 1);
+        let mut attrs = AttributeTable::new(n);
+        attrs.push_column("S", values.clone()).unwrap();
+        let instance = EmpInstance::new(graph, attrs, "S").unwrap();
+        let set = ConstraintSet::new().with(Constraint::min("S", low, high).unwrap());
+        let engine = emp_core::engine::ConstraintEngine::compile(&instance, &set).unwrap();
+        let report = emp_core::feasibility::feasibility_phase(&engine);
+        let expected: Vec<u32> = (0..n as u32)
+            .filter(|&a| values[a as usize] < low)
+            .collect();
+        prop_assert_eq!(report.invalid_areas, expected);
+        // Seeds are exactly the in-bounds areas.
+        let expected_seeds: Vec<u32> = (0..n as u32)
+            .filter(|&a| values[a as usize] >= low && values[a as usize] <= high)
+            .collect();
+        prop_assert_eq!(report.seeds, expected_seeds);
+    }
+
+    /// Merging two regions that satisfy an AVG constraint yields a region
+    /// that satisfies it (the convexity property Substep 2.3 relies on).
+    #[test]
+    fn avg_convexity_under_merge(
+        a in prop::collection::vec(10.0f64..90.0, 1..10),
+        b in prop::collection::vec(10.0f64..90.0, 1..10),
+    ) {
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (lo, hi) = (avg(&a).min(avg(&b)), avg(&a).max(avg(&b)));
+        let mut merged = a.clone();
+        merged.extend_from_slice(&b);
+        let m = avg(&merged);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    /// Tabu search preserves p and never worsens heterogeneity.
+    #[test]
+    fn tabu_preserves_p_and_improves(seed in 0u64..200) {
+        let n = 36;
+        let pop: Vec<f64> = (0..n).map(|i| ((i as u64 * 131 + seed) % 97) as f64 + 1.0).collect();
+        let emp: Vec<f64> = (0..n).map(|i| ((i as u64 * 37 + seed) % 53) as f64 + 1.0).collect();
+        let instance = instance_from(6, 6, pop, emp);
+        let set = ConstraintSet::new().with(Constraint::count(2.0, 12.0).unwrap());
+
+        let no_ls = solve(&instance, &set, &FactConfig {
+            local_search: false,
+            ..FactConfig::seeded(seed)
+        }).unwrap();
+        let with_ls = solve(&instance, &set, &FactConfig::seeded(seed)).unwrap();
+        prop_assert_eq!(no_ls.p(), with_ls.p());
+        prop_assert!(with_ls.solution.heterogeneity <= no_ls.solution.heterogeneity + 1e-9);
+    }
+}
