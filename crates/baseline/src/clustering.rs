@@ -298,7 +298,9 @@ mod tests {
         let n = 36;
         let graph = ContiguityGraph::lattice(6, 6);
         let mut attrs = AttributeTable::new(n);
-        let vals: Vec<f64> = (0..n).map(|i| if i % 6 < 3 { 10.0 } else { 1000.0 }).collect();
+        let vals: Vec<f64> = (0..n)
+            .map(|i| if i % 6 < 3 { 10.0 } else { 1000.0 })
+            .collect();
         attrs.push_column("POP", vals.clone()).unwrap();
         let instance = EmpInstance::new(graph, attrs, "POP").unwrap();
         let features: Vec<Vec<f64>> = (0..n).map(|i| vec![vals[i]]).collect();

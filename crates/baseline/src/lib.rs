@@ -32,6 +32,8 @@ pub mod clustering;
 pub mod mp_regions;
 pub mod skater;
 
-pub use clustering::{solve_clustering, solve_clustering_spatial, ClusteringConfig, ClusteringReport};
+pub use clustering::{
+    solve_clustering, solve_clustering_spatial, ClusteringConfig, ClusteringReport,
+};
 pub use mp_regions::{solve_mp, MpConfig, MpReport};
 pub use skater::{solve_skater, SkaterConfig, SkaterReport};

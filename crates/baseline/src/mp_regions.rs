@@ -46,7 +46,10 @@ impl Default for MpConfig {
 impl MpConfig {
     /// A config with a specific seed.
     pub fn seeded(seed: u64) -> Self {
-        MpConfig { seed, ..Default::default() }
+        MpConfig {
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -82,10 +85,13 @@ pub fn solve_mp(
 ) -> Result<MpReport, EmpError> {
     let constraints = ConstraintSet::new().with(Constraint::sum(attr, threshold, f64::INFINITY)?);
     let engine = ConstraintEngine::compile(instance, &constraints)?;
-    let col = instance
-        .attributes()
-        .column_index(attr)
-        .ok_or_else(|| EmpError::UnknownAttribute { name: attr.to_string() })?;
+    let col =
+        instance
+            .attributes()
+            .column_index(attr)
+            .ok_or_else(|| EmpError::UnknownAttribute {
+                name: attr.to_string(),
+            })?;
 
     // Feasibility (the classic formulation's only check).
     let total: f64 = instance.attributes().sum(col);
@@ -270,8 +276,7 @@ mod tests {
         let report = solve_mp(&inst, "POP", 250.0, &MpConfig::seeded(1)).unwrap();
         assert!(report.p() >= 10, "p = {}", report.p());
         assert!(report.solution.unassigned.is_empty());
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("POP", 250.0, f64::INFINITY).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 250.0, f64::INFINITY).unwrap());
         validate_solution(&inst, &set, &report.solution).unwrap();
     }
 
@@ -324,8 +329,7 @@ mod tests {
     fn solution_is_valid_partition() {
         let inst = random_instance(9, 13);
         let report = solve_mp(&inst, "POP", 700.0, &MpConfig::seeded(7)).unwrap();
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("POP", 700.0, f64::INFINITY).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 700.0, f64::INFINITY).unwrap());
         validate_solution(&inst, &set, &report.solution).unwrap();
     }
 }

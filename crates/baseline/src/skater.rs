@@ -99,8 +99,7 @@ pub fn solve_skater(instance: &EmpInstance, config: &SkaterConfig) -> SkaterRepo
                             .copied()
                             .filter(|m| side.binary_search(m).is_err())
                             .collect();
-                        let reduction =
-                            before - region_h(dissim, &side) - region_h(dissim, &other);
+                        let reduction = before - region_h(dissim, &side) - region_h(dissim, &other);
                         if best.is_none_or(|(_, _, _, r)| reduction > r) {
                             best = Some((ri, a, b, reduction));
                         }
@@ -232,9 +231,17 @@ mod tests {
     fn splits_along_dissimilarity_boundary() {
         // Left half d=0, right half d=100 on a 6x4 lattice: the first cut
         // should separate the halves exactly.
-        let dissim: Vec<f64> = (0..24).map(|i| if i % 6 < 3 { 0.0 } else { 100.0 }).collect();
+        let dissim: Vec<f64> = (0..24)
+            .map(|i| if i % 6 < 3 { 0.0 } else { 100.0 })
+            .collect();
         let inst = instance(dissim, 6, 4);
-        let report = solve_skater(&inst, &SkaterConfig { k: 2, min_region_size: 1 });
+        let report = solve_skater(
+            &inst,
+            &SkaterConfig {
+                k: 2,
+                min_region_size: 1,
+            },
+        );
         assert_eq!(report.solution.p(), 2);
         assert_eq!(report.splits, 1);
         assert_eq!(report.solution.heterogeneity, 0.0, "perfect split");
@@ -249,7 +256,13 @@ mod tests {
         let dissim: Vec<f64> = (0..36).map(|i| ((i * 7) % 23) as f64).collect();
         let inst = instance(dissim, 6, 6);
         for k in [1usize, 3, 6, 12] {
-            let report = solve_skater(&inst, &SkaterConfig { k, min_region_size: 1 });
+            let report = solve_skater(
+                &inst,
+                &SkaterConfig {
+                    k,
+                    min_region_size: 1,
+                },
+            );
             assert_eq!(report.solution.p(), k, "k = {k}");
             validate_solution(&inst, &ConstraintSet::new(), &report.solution).unwrap();
         }
@@ -259,7 +272,13 @@ mod tests {
     fn min_region_size_limits_splitting() {
         let dissim: Vec<f64> = (0..16).map(|i| i as f64).collect();
         let inst = instance(dissim, 4, 4);
-        let report = solve_skater(&inst, &SkaterConfig { k: 16, min_region_size: 4 });
+        let report = solve_skater(
+            &inst,
+            &SkaterConfig {
+                k: 16,
+                min_region_size: 4,
+            },
+        );
         // 16 areas / min 4 per region -> at most 4 regions.
         assert!(report.solution.p() <= 4);
         for members in &report.solution.regions {
@@ -273,7 +292,13 @@ mod tests {
         let mut attrs = AttributeTable::new(6);
         attrs.push_column("D", vec![1.0; 6]).unwrap();
         let inst = EmpInstance::new(graph, attrs, "D").unwrap();
-        let report = solve_skater(&inst, &SkaterConfig { k: 2, min_region_size: 1 });
+        let report = solve_skater(
+            &inst,
+            &SkaterConfig {
+                k: 2,
+                min_region_size: 1,
+            },
+        );
         assert_eq!(report.solution.p(), 2);
         assert_eq!(report.splits, 0, "components already satisfy k");
     }
@@ -284,7 +309,13 @@ mod tests {
         let inst = instance(dissim, 5, 5);
         let mut last = f64::INFINITY;
         for k in [1usize, 2, 4, 8] {
-            let report = solve_skater(&inst, &SkaterConfig { k, min_region_size: 1 });
+            let report = solve_skater(
+                &inst,
+                &SkaterConfig {
+                    k,
+                    min_region_size: 1,
+                },
+            );
             assert!(report.solution.heterogeneity <= last + 1e-9);
             last = report.solution.heterogeneity;
         }

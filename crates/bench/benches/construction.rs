@@ -23,13 +23,9 @@ fn bench_construction(c: &mut Criterion) {
         let instance = dataset.to_instance().unwrap();
         for combo in [Combo::M, Combo::Mas] {
             let set = combo.build(None, None, None);
-            group.bench_with_input(
-                BenchmarkId::new(combo.label(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| black_box(solve(&instance, &set, &config()).unwrap().p()));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(combo.label(), n), &n, |b, _| {
+                b.iter(|| black_box(solve(&instance, &set, &config()).unwrap().p()));
+            });
         }
         // The AVG 3k±1k bottleneck (Figure 16).
         let hard = Combo::Mas.build(None, Some(avg_range(2000.0, 4000.0)), None);

@@ -1,31 +1,145 @@
-//! Local-search bench: tabu iterations per second on a constructed 2k-ish
+//! Local-search bench: tabu iterations per second on a constructed 1000-area
 //! partition (the phase dominating FaCT's total runtime in Figures 5-16).
+//!
+//! Benches the incremental neighborhood (boundary-area set + cached
+//! articulation points, `FactConfig::incremental_tabu = true`) against the
+//! full-scan + BFS-per-candidate reference path, and emits a
+//! `BENCH_tabu.json` artifact at the workspace root with before/after
+//! numbers plus the heterogeneity trajectory.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use emp_bench::presets::Combo;
-use emp_core::{solve, FactConfig};
+use emp_core::engine::ConstraintEngine;
+use emp_core::partition::Partition;
+use emp_core::tabu::{tabu_search, tabu_search_traced, TabuConfig, TabuStats};
+use emp_core::{ConstraintSet, EmpInstance, FactConfig};
+use std::time::Instant;
+
+const AREAS: usize = 1000;
+const BUDGETS: [usize; 2] = [50, 200];
+
+/// Runs feasibility + construction only, then rebuilds the constructed
+/// partition so the tabu phase can be benched in isolation.
+fn constructed_partition(
+    engine: &ConstraintEngine<'_>,
+    instance: &EmpInstance,
+    set: &ConstraintSet,
+) -> Partition {
+    let config = FactConfig {
+        construction_iterations: 1,
+        local_search: false,
+        seed: 3,
+        ..FactConfig::default()
+    };
+    let report = emp_core::solve(instance, set, &config).expect("feasible");
+    let mut partition = Partition::new(instance.len());
+    for members in &report.solution.regions {
+        partition.create_region(engine, members);
+    }
+    partition
+}
+
+fn tabu_config(budget: usize, incremental: bool) -> TabuConfig {
+    TabuConfig {
+        max_no_improve: budget,
+        incremental,
+        ..TabuConfig::for_instance(AREAS)
+    }
+}
+
+/// Best-of-3 timed run outside criterion, for the JSON artifact. The search
+/// is deterministic, so every repeat returns identical stats; the minimum
+/// wall time is the least noise-contaminated measurement.
+fn timed_run(
+    engine: &ConstraintEngine<'_>,
+    base: &Partition,
+    config: &TabuConfig,
+    trace: Option<&mut Vec<f64>>,
+) -> (TabuStats, f64) {
+    let mut partition = base.clone();
+    let start = Instant::now();
+    let stats = tabu_search_traced(engine, &mut partition, config, trace);
+    let mut wall_s = start.elapsed().as_secs_f64();
+    for _ in 0..2 {
+        let mut repeat = base.clone();
+        let start = Instant::now();
+        let again = tabu_search_traced(engine, &mut repeat, config, None);
+        wall_s = wall_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(again.best, stats.best, "tabu search must be deterministic");
+    }
+    (stats, wall_s)
+}
+
+fn mode_json(stats: &TabuStats, wall_s: f64) -> serde_json::Value {
+    serde_json::json!({
+        "wall_s": wall_s,
+        "iterations": stats.iterations,
+        "moves": stats.moves,
+        "iters_per_sec": stats.iterations as f64 / wall_s.max(1e-12),
+        "initial_heterogeneity": stats.initial,
+        "best_heterogeneity": stats.best,
+    })
+}
+
+/// Emits `BENCH_tabu.json` at the workspace root: per-budget wall times for
+/// both neighborhood implementations, the speedup, and the (incremental)
+/// heterogeneity trajectory for the largest budget.
+fn emit_artifact(engine: &ConstraintEngine<'_>, base: &Partition) {
+    let mut budgets = Vec::new();
+    let mut trajectory = Vec::new();
+    for &budget in &BUDGETS {
+        let mut trace = Vec::new();
+        let (fast, fast_s) = timed_run(engine, base, &tabu_config(budget, true), Some(&mut trace));
+        let (slow, slow_s) = timed_run(engine, base, &tabu_config(budget, false), None);
+        assert_eq!(
+            fast.best, slow.best,
+            "ablation flag must not change the search outcome"
+        );
+        budgets.push(serde_json::json!({
+            "max_no_improve": budget,
+            "incremental": mode_json(&fast, fast_s),
+            "full_scan": mode_json(&slow, slow_s),
+            "speedup": slow_s / fast_s.max(1e-12),
+            "identical_best": fast.best == slow.best,
+        }));
+        trajectory = trace;
+    }
+    let artifact = serde_json::json!({
+        "bench": "tabu",
+        "dataset": format!("tabu-bench ({AREAS} areas)"),
+        "combo": "MAS",
+        "budgets": budgets,
+        "trajectory": trajectory,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tabu.json");
+    std::fs::write(path, serde_json::to_string_pretty(&artifact).unwrap())
+        .expect("write BENCH_tabu.json");
+    eprintln!("wrote {path}");
+}
 
 fn bench_tabu(c: &mut Criterion) {
-    let dataset = emp_data::build_sized("tabu-bench", 1000);
+    let dataset = emp_data::build_sized("tabu-bench", AREAS);
     let instance = dataset.to_instance().unwrap();
     let set = Combo::Mas.build(None, None, None);
+    let engine = ConstraintEngine::compile(&instance, &set).unwrap();
+    let base = constructed_partition(&engine, &instance, &set);
 
     let mut group = c.benchmark_group("tabu");
     group.sample_size(10);
-    for &budget in &[50usize, 200] {
-        group.bench_function(format!("no_improve_{budget}"), |b| {
-            b.iter(|| {
-                let config = FactConfig {
-                    construction_iterations: 1,
-                    max_no_improve: Some(budget),
-                    seed: 3,
-                    ..FactConfig::default()
-                };
-                black_box(solve(&instance, &set, &config).unwrap().improvement())
+    for &budget in &BUDGETS {
+        for (name, incremental) in [("incremental", true), ("full_scan", false)] {
+            group.bench_function(format!("{name}_no_improve_{budget}"), |b| {
+                let config = tabu_config(budget, incremental);
+                b.iter(|| {
+                    let mut partition = base.clone();
+                    black_box(tabu_search(&engine, &mut partition, &config).best)
+                });
             });
-        });
+        }
     }
     group.finish();
+
+    emit_artifact(&engine, &base);
 }
 
 criterion_group!(benches, bench_tabu);

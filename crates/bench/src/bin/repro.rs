@@ -30,10 +30,13 @@ fn main() {
         match arg.as_str() {
             "--fast" => fast = true,
             "--dataset" => {
-                dataset = args.next().unwrap_or_else(|| usage("--dataset needs a value"));
+                dataset = args
+                    .next()
+                    .unwrap_or_else(|| usage("--dataset needs a value"));
             }
             "--out" => {
-                out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a value")));
+                out_dir =
+                    PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a value")));
             }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag '{other}'")),
@@ -44,7 +47,11 @@ fn main() {
         wanted = registry().iter().map(|e| e.name.to_string()).collect();
     }
 
-    let mut ctx = if fast { ExpContext::fast() } else { ExpContext::new() };
+    let mut ctx = if fast {
+        ExpContext::fast()
+    } else {
+        ExpContext::new()
+    };
     ctx.dataset = dataset;
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
@@ -80,8 +87,8 @@ fn main() {
 }
 
 fn write_file(path: &PathBuf, content: &str) {
-    let mut f = std::fs::File::create(path)
-        .unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+    let mut f =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
     f.write_all(content.as_bytes())
         .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
 }

@@ -1,6 +1,6 @@
 //! Ablations for the design choices called out in DESIGN.md §4:
-//! the AVG merge limit, construction iterations, extrema-guided seeding, and
-//! tabu tenure.
+//! the AVG merge limit, construction iterations, extrema-guided seeding,
+//! tabu tenure, and the incremental tabu neighborhood.
 
 use super::ExpContext;
 use crate::presets::{avg_range, Combo};
@@ -21,6 +21,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         construction_iterations(ctx),
         seeding(ctx),
         tabu_tenure(ctx),
+        tabu_neighborhood(ctx),
     ]
 }
 
@@ -152,6 +153,37 @@ fn tabu_tenure(ctx: &ExpContext) -> Table {
     table
 }
 
+/// Ablation 5: incremental tabu neighborhood (boundary-area set + cached
+/// articulation points, DESIGN.md §4.2) vs the full-scan + BFS-per-candidate
+/// reference path. Both trace identical move sequences — only the wall time
+/// may differ.
+fn tabu_neighborhood(ctx: &ExpContext) -> Table {
+    let dataset = ctx.default_dataset();
+    let instance = dataset.to_instance().expect("instance");
+    let set = Combo::Mas.build(None, None, None);
+    let mut table = Table::new(
+        "Ablation — tabu neighborhood (incremental vs full-scan/BFS)",
+        &["neighborhood", "moves", "improvement_%", "tabu_s"],
+    );
+    for (name, incremental) in [("incremental", true), ("full-scan + BFS", false)] {
+        let config = emp_core::FactConfig {
+            incremental_tabu: incremental,
+            construction_iterations: 1,
+            max_no_improve: Some(if ctx.fast { 200 } else { 1000 }),
+            seed: ctx.seed,
+            ..Default::default()
+        };
+        let report = emp_core::solve(&instance, &set, &config).expect("feasible");
+        table.push_row(vec![
+            name.to_string(),
+            report.tabu.moves.to_string(),
+            fmt_f((report.improvement() * 1000.0).round() / 10.0),
+            fmt_secs(report.timings.local_search),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,12 +192,17 @@ mod tests {
     fn ablations_produce_tables() {
         let ctx = ExpContext::fast();
         let tables = run(&ctx);
-        assert_eq!(tables.len(), 4);
+        assert_eq!(tables.len(), 5);
         // Merge limit: higher limits never reduce assignment coverage by
         // much — the 0-limit row should have the most unassigned areas.
         let ua = |t: &Table, i: usize| t.rows[i][2].parse::<i64>().unwrap();
         let t0 = &tables[0];
-        assert!(ua(t0, 0) >= ua(t0, 4), "limit 0 {} vs 10 {}", ua(t0, 0), ua(t0, 4));
+        assert!(
+            ua(t0, 0) >= ua(t0, 4),
+            "limit 0 {} vs 10 {}",
+            ua(t0, 0),
+            ua(t0, 4)
+        );
         // Iterations: p never decreases with more iterations.
         let t1 = &tables[1];
         let p = |i: usize| t1.rows[i][1].parse::<i64>().unwrap();
@@ -177,5 +214,11 @@ mod tests {
         assert!(sat_paper >= sat_random);
         // Tenure table parses.
         assert_eq!(tables[3].rows.len(), 5);
+        // Neighborhood ablation: the incremental and full-scan paths must
+        // apply the same number of moves and reach the same improvement.
+        let t4 = &tables[4];
+        assert_eq!(t4.rows.len(), 2);
+        assert_eq!(t4.rows[0][1], t4.rows[1][1], "move counts diverged");
+        assert_eq!(t4.rows[0][2], t4.rows[1][2], "improvements diverged");
     }
 }

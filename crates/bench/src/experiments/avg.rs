@@ -46,7 +46,14 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     // Figure 9: fixed length 2k, midpoint 1k..4.5k step 0.5k; AVG only.
     let mut fig9 = Table::new(
         "Figure 9 — AVG with fixed range length 2k, varying midpoint",
-        &["midpoint", "p", "unassigned", "construction_s", "tabu_s", "improvement_%"],
+        &[
+            "midpoint",
+            "p",
+            "unassigned",
+            "construction_s",
+            "tabu_s",
+            "improvement_%",
+        ],
     );
     let opts = ctx.opts(true, n);
     let mut mid = 1000.0;
@@ -74,7 +81,14 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     );
     let mut fig11 = Table::new(
         "Figure 11 — runtime for AVG with fixed midpoint 3k, varying range length",
-        &["combo", "range", "construction_s", "tabu_s", "total_s", "improvement_%"],
+        &[
+            "combo",
+            "range",
+            "construction_s",
+            "tabu_s",
+            "total_s",
+            "improvement_%",
+        ],
     );
     for combo in combos {
         for &len in &lengths {
@@ -119,7 +133,7 @@ mod tests {
             .map(|r| r[1].parse::<usize>().unwrap())
             .sum();
         assert_eq!(total, 400); // fast dataset size
-        // Figure 9: 8 midpoints.
+                                // Figure 9: 8 midpoints.
         assert_eq!(tables[1].rows.len(), 8);
         // Paper shape: easy midpoints (2k, 2.5k) assign (nearly) everything;
         // extreme midpoints (>= 4k) leave most areas unassigned.

@@ -90,7 +90,12 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             ..ClusteringConfig::default()
         },
     );
-    push_row(&mut table, "k-means + contiguity split", &engine, &clustering.solution);
+    push_row(
+        &mut table,
+        "k-means + contiguity split",
+        &engine,
+        &clustering.solution,
+    );
 
     // SKATER-style tree partition, same k.
     let skater = emp_baseline::solve_skater(
@@ -100,7 +105,12 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             min_region_size: 1,
         },
     );
-    push_row(&mut table, "SKATER tree partition", &engine, &skater.solution);
+    push_row(
+        &mut table,
+        "SKATER tree partition",
+        &engine,
+        &skater.solution,
+    );
 
     vec![table]
 }

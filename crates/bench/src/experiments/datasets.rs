@@ -9,7 +9,14 @@ use emp_graph::connected_components;
 pub fn run(ctx: &ExpContext) -> Vec<Table> {
     let mut inventory = Table::new(
         "Table I — evaluation datasets (synthetic substitutes, exact paper sizes)",
-        &["name", "areas", "edges", "mean degree", "components", "denotes"],
+        &[
+            "name",
+            "areas",
+            "edges",
+            "mean degree",
+            "components",
+            "denotes",
+        ],
     );
     let names: Vec<&str> = if ctx.fast {
         vec!["1k", "2k"]

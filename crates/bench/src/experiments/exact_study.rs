@@ -87,7 +87,11 @@ mod tests {
         assert_eq!(t.rows.len(), 3);
         let nodes = |i: usize| t.rows[i][1].parse::<u64>().unwrap();
         // Node counts explode with n (9 -> 16 -> 25 areas).
-        assert!(nodes(0) < nodes(1) && nodes(1) < nodes(2), "{:?}", (nodes(0), nodes(1), nodes(2)));
+        assert!(
+            nodes(0) < nodes(1) && nodes(1) < nodes(2),
+            "{:?}",
+            (nodes(0), nodes(1), nodes(2))
+        );
         // Where the exact search completed, FaCT is close to optimal.
         for row in &t.rows {
             if row[3] == "true" {

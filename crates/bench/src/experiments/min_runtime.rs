@@ -59,16 +59,19 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     vec![fig5, fig6, fig7a, fig7b]
 }
 
-fn sweep(
-    ctx: &ExpContext,
-    instance: &EmpInstance,
-    title: &str,
-    ranges: &[(f64, f64)],
-) -> Table {
+fn sweep(ctx: &ExpContext, instance: &EmpInstance, title: &str, ranges: &[(f64, f64)]) -> Table {
     let opts = ctx.opts(true, instance.len());
     let mut table = Table::new(
         title,
-        &["combo", "range", "construction_s", "tabu_s", "total_s", "p", "improvement_%"],
+        &[
+            "combo",
+            "range",
+            "construction_s",
+            "tabu_s",
+            "total_s",
+            "p",
+            "improvement_%",
+        ],
     );
     for combo in COMBOS {
         for &(l, u) in ranges {

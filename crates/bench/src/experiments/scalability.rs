@@ -64,7 +64,13 @@ fn sweep(
     let mut table = Table::new(
         title,
         &[
-            "dataset", "areas", "combo", "construction_s", "tabu_s", "total_s", "p",
+            "dataset",
+            "areas",
+            "combo",
+            "construction_s",
+            "tabu_s",
+            "total_s",
+            "p",
             "unassigned_%",
         ],
     );
@@ -102,11 +108,7 @@ mod tests {
         assert_eq!(tables[0].rows.len(), 12);
         // Construction time grows with dataset size for the M combo
         // (allowing timer noise at tiny sizes via a generous factor).
-        let m_rows: Vec<&Vec<String>> = tables[0]
-            .rows
-            .iter()
-            .filter(|r| r[2] == "M")
-            .collect();
+        let m_rows: Vec<&Vec<String>> = tables[0].rows.iter().filter(|r| r[2] == "M").collect();
         let first: f64 = m_rows.first().unwrap()[3].parse().unwrap();
         let last: f64 = m_rows.last().unwrap()[3].parse().unwrap();
         assert!(last >= first * 0.5, "construction should not shrink wildly");

@@ -18,7 +18,15 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     let open_ranges = [1000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0];
     let mut fig12 = Table::new(
         "Figure 12 — runtime for SUM with u = inf (seconds)",
-        &["method", "l", "construction_s", "tabu_s", "total_s", "p", "improvement_%"],
+        &[
+            "method",
+            "l",
+            "construction_s",
+            "tabu_s",
+            "total_s",
+            "p",
+            "improvement_%",
+        ],
     );
     for &l in &open_ranges {
         let m = run_mp(&instance, l, &opts);
@@ -49,10 +57,22 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     }
 
     // Figure 13: bounded ranges around midpoint 20k with changing length.
-    let bounded = [(15_000.0, 25_000.0), (10_000.0, 30_000.0), (5_000.0, 35_000.0)];
+    let bounded = [
+        (15_000.0, 25_000.0),
+        (10_000.0, 30_000.0),
+        (5_000.0, 35_000.0),
+    ];
     let mut fig13 = Table::new(
         "Figure 13 — runtime for SUM with a changing range length (seconds)",
-        &["combo", "range", "construction_s", "tabu_s", "total_s", "p", "unassigned_%"],
+        &[
+            "combo",
+            "range",
+            "construction_s",
+            "tabu_s",
+            "total_s",
+            "p",
+            "unassigned_%",
+        ],
     );
     let n = instance.len() as f64;
     for combo in COMBOS {

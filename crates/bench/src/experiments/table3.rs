@@ -63,7 +63,10 @@ mod tests {
         assert_eq!(t.rows.len(), 4);
         let p = |row: usize, col: usize| -> i64 { t.rows[row][col + 1].parse().unwrap() };
         // Columns 0..3 are u = 2k, 3.5k, 5k with l = -inf.
-        assert!(p(0, 0) <= p(0, 1) && p(0, 1) <= p(0, 2), "p(M) grows with u");
+        assert!(
+            p(0, 0) <= p(0, 1) && p(0, 1) <= p(0, 2),
+            "p(M) grows with u"
+        );
         for col in 0..14 {
             // p(M) equals the seed count, an upper bound for every combo.
             assert!(p(0, col) >= p(2, col), "M >= MA at col {col}");
@@ -71,7 +74,10 @@ mod tests {
             assert!(p(0, col) >= p(3, col), "M >= MAS at col {col}");
         }
         // u = inf columns (3..6): p decreases as l grows.
-        assert!(p(0, 3) >= p(0, 4) && p(0, 4) >= p(0, 5), "p(M) falls with l");
+        assert!(
+            p(0, 3) >= p(0, 4) && p(0, 4) >= p(0, 5),
+            "p(M) falls with l"
+        );
         // Bounded ranges with growing length (6..10): p grows.
         assert!(p(0, 6) <= p(0, 9), "longer range, more seeds");
     }

@@ -201,7 +201,11 @@ mod tests {
     fn p_only_skips_tabu() {
         let d = emp_data::build_sized("t", 120);
         let inst = d.to_instance().unwrap();
-        let m = run_fact(&inst, &Combo::M.build(None, None, None), &RunOptions::p_only());
+        let m = run_fact(
+            &inst,
+            &Combo::M.build(None, None, None),
+            &RunOptions::p_only(),
+        );
         assert!(m.tabu_s < 1e-3, "skipped tabu should be ~instant");
         assert_eq!(m.improvement, 0.0);
     }
@@ -210,7 +214,11 @@ mod tests {
     fn infeasible_yields_default() {
         let d = emp_data::build_sized("t", 50);
         let inst = d.to_instance().unwrap();
-        let set = Combo::S.build(None, None, Some(crate::presets::sum_range(1e15, f64::INFINITY)));
+        let set = Combo::S.build(
+            None,
+            None,
+            Some(crate::presets::sum_range(1e15, f64::INFINITY)),
+        );
         let m = run_fact(&inst, &set, &RunOptions::p_only());
         assert_eq!(m.p, 0);
     }

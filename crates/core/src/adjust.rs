@@ -135,8 +135,8 @@ fn pull_swaps<R: Rng>(
             // A donor must not be emptied out entirely.
             let donor_alive = partition.is_live(donor);
             let recv = &partition.region(id).agg;
-            let recv_ok = non_counting_ok(engine, recv)
-                && counting_upper_ok(engine, recv, counting);
+            let recv_ok =
+                non_counting_ok(engine, recv) && counting_upper_ok(engine, recv, counting);
             if donor_ok && donor_alive && recv_ok {
                 swapped[a as usize] = true;
                 moved = true;
@@ -184,8 +184,8 @@ fn push_swaps<R: Rng>(
             for recv in receivers {
                 partition.move_area(engine, a, recv);
                 let recv_ok = engine.satisfies_all(&partition.region(recv).agg);
-                let donor_ok = partition.is_live(id)
-                    && non_counting_ok(engine, &partition.region(id).agg);
+                let donor_ok =
+                    partition.is_live(id) && non_counting_ok(engine, &partition.region(id).agg);
                 if recv_ok && donor_ok {
                     swapped[a as usize] = true;
                     moved = true;
@@ -202,11 +202,7 @@ fn push_swaps<R: Rng>(
 
 /// Merges regions below counting lower bounds with neighbor regions, as long
 /// as the merged region would not break counting upper bounds.
-fn merge_underfilled(
-    engine: &ConstraintEngine<'_>,
-    partition: &mut Partition,
-    counting: &[usize],
-) {
+fn merge_underfilled(engine: &ConstraintEngine<'_>, partition: &mut Partition, counting: &[usize]) {
     loop {
         let mut progressed = false;
         let ids: Vec<RegionId> = partition.region_ids().collect();
@@ -222,8 +218,7 @@ fn merge_underfilled(
                     .iter()
                     .copied()
                     .find(|&ci| {
-                        engine.value(&partition.region(id).agg, ci)
-                            < engine.constraints()[ci].low
+                        engine.value(&partition.region(id).agg, ci) < engine.constraints()[ci].low
                     })
                     .expect("a lower bound is violated");
                 let nbrs = partition.neighbor_regions(engine, id);
@@ -294,8 +289,8 @@ fn shed_overfilled(
                 continue;
             }
             partition.remove_from_region(engine, a);
-            let still_ok = partition.is_live(id)
-                && non_counting_ok(engine, &partition.region(id).agg);
+            let still_ok =
+                partition.is_live(id) && non_counting_ok(engine, &partition.region(id).agg);
             if still_ok {
                 removed = true;
                 break;
@@ -378,8 +373,7 @@ mod tests {
         let mut attrs = AttributeTable::new(4);
         attrs.push_column("s", vec![1.0; 4]).unwrap();
         let inst = EmpInstance::new(graph, attrs, "s").unwrap();
-        let set =
-            ConstraintSet::new().with(Constraint::sum("s", 2.0, f64::INFINITY).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("s", 2.0, f64::INFINITY).unwrap());
         let eng = ConstraintEngine::compile(&inst, &set).unwrap();
         let mut part = Partition::new(4);
         for a in 0..4 {
@@ -392,7 +386,10 @@ mod tests {
             assert!(eng.satisfies_all(&part.region(id).agg));
             // Contiguity preserved.
             let members = &part.region(id).members;
-            assert!(emp_graph::subgraph::is_connected_subset(inst.graph(), members));
+            assert!(emp_graph::subgraph::is_connected_subset(
+                inst.graph(),
+                members
+            ));
         }
         assert!(part.unassigned().is_empty());
     }
@@ -427,8 +424,7 @@ mod tests {
         let mut attrs = AttributeTable::new(2);
         attrs.push_column("s", vec![1.0, 1.0]).unwrap();
         let inst = EmpInstance::new(graph, attrs, "s").unwrap();
-        let set =
-            ConstraintSet::new().with(Constraint::sum("s", 100.0, f64::INFINITY).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("s", 100.0, f64::INFINITY).unwrap());
         let eng = ConstraintEngine::compile(&inst, &set).unwrap();
         let mut part = Partition::new(2);
         part.create_region(&eng, &[0]);

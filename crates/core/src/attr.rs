@@ -47,7 +47,11 @@ impl AttributeTable {
 
     /// Adds a column. The name must be unique, the length must match the row
     /// count, and every value must be finite and non-negative.
-    pub fn push_column(&mut self, name: impl Into<String>, values: Vec<f64>) -> Result<(), EmpError> {
+    pub fn push_column(
+        &mut self,
+        name: impl Into<String>,
+        values: Vec<f64>,
+    ) -> Result<(), EmpError> {
         let name = name.into();
         if self.index.contains_key(&name) {
             return Err(EmpError::DuplicateAttribute { name });
@@ -104,7 +108,10 @@ impl AttributeTable {
 
     /// Minimum of a column.
     pub fn min(&self, col: usize) -> f64 {
-        self.columns[col].iter().copied().fold(f64::INFINITY, f64::min)
+        self.columns[col]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum of a column.

@@ -89,7 +89,12 @@ impl Constraint {
         low: f64,
         high: f64,
     ) -> Result<Self, EmpError> {
-        if low.is_nan() || high.is_nan() || low > high || (low == f64::NEG_INFINITY && high == f64::NEG_INFINITY) || (low == f64::INFINITY) {
+        if low.is_nan()
+            || high.is_nan()
+            || low > high
+            || (low == f64::NEG_INFINITY && high == f64::NEG_INFINITY)
+            || (low == f64::INFINITY)
+        {
             return Err(EmpError::InvalidRange { low, high });
         }
         Ok(Constraint {

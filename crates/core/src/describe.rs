@@ -64,8 +64,11 @@ pub fn describe(
     solution: &Solution,
 ) -> Result<SolutionReport, EmpError> {
     let engine = ConstraintEngine::compile(instance, constraints)?;
-    let constraint_labels: Vec<String> =
-        constraints.constraints().iter().map(|c| c.to_string()).collect();
+    let constraint_labels: Vec<String> = constraints
+        .constraints()
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
 
     let mut regions = Vec::with_capacity(solution.regions.len());
     for (ri, members) in solution.regions.iter().enumerate() {
@@ -75,8 +78,16 @@ pub fn describe(
         for (ci, c) in engine.constraints().iter().enumerate() {
             let v = engine.value(&agg, ci);
             values.push(v);
-            let lower_slack = if c.low.is_finite() { v - c.low } else { f64::INFINITY };
-            let upper_slack = if c.high.is_finite() { c.high - v } else { f64::INFINITY };
+            let lower_slack = if c.low.is_finite() {
+                v - c.low
+            } else {
+                f64::INFINITY
+            };
+            let upper_slack = if c.high.is_finite() {
+                c.high - v
+            } else {
+                f64::INFINITY
+            };
             slack.push(lower_slack.min(upper_slack));
         }
         regions.push(RegionStats {

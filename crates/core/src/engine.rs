@@ -106,39 +106,40 @@ impl<'a> ConstraintEngine<'a> {
         sum_cols: &mut Vec<usize>,
         extrema_cols: &mut Vec<usize>,
     ) -> Result<CompiledConstraint, EmpError> {
-        let (col, slot) = match c.aggregate {
-            Aggregate::Count => (usize::MAX, usize::MAX),
-            Aggregate::Avg | Aggregate::Sum => {
-                let col = attrs
-                    .column_index(&c.attribute)
-                    .ok_or_else(|| EmpError::UnknownAttribute {
-                        name: c.attribute.clone(),
+        let (col, slot) =
+            match c.aggregate {
+                Aggregate::Count => (usize::MAX, usize::MAX),
+                Aggregate::Avg | Aggregate::Sum => {
+                    let col = attrs.column_index(&c.attribute).ok_or_else(|| {
+                        EmpError::UnknownAttribute {
+                            name: c.attribute.clone(),
+                        }
                     })?;
-                let slot = match sum_cols.iter().position(|&x| x == col) {
-                    Some(s) => s,
-                    None => {
-                        sum_cols.push(col);
-                        sum_cols.len() - 1
-                    }
-                };
-                (col, slot)
-            }
-            Aggregate::Min | Aggregate::Max => {
-                let col = attrs
-                    .column_index(&c.attribute)
-                    .ok_or_else(|| EmpError::UnknownAttribute {
-                        name: c.attribute.clone(),
+                    let slot = match sum_cols.iter().position(|&x| x == col) {
+                        Some(s) => s,
+                        None => {
+                            sum_cols.push(col);
+                            sum_cols.len() - 1
+                        }
+                    };
+                    (col, slot)
+                }
+                Aggregate::Min | Aggregate::Max => {
+                    let col = attrs.column_index(&c.attribute).ok_or_else(|| {
+                        EmpError::UnknownAttribute {
+                            name: c.attribute.clone(),
+                        }
                     })?;
-                let slot = match extrema_cols.iter().position(|&x| x == col) {
-                    Some(s) => s,
-                    None => {
-                        extrema_cols.push(col);
-                        extrema_cols.len() - 1
-                    }
-                };
-                (col, slot)
-            }
-        };
+                    let slot = match extrema_cols.iter().position(|&x| x == col) {
+                        Some(s) => s,
+                        None => {
+                            extrema_cols.push(col);
+                            extrema_cols.len() - 1
+                        }
+                    };
+                    (col, slot)
+                }
+            };
         Ok(CompiledConstraint {
             aggregate: c.aggregate,
             col,
@@ -287,7 +288,9 @@ mod tests {
         attrs
             .push_column("POP", vec![10.0, 20.0, 30.0, 40.0, 50.0])
             .unwrap();
-        attrs.push_column("EMP", vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        attrs
+            .push_column("EMP", vec![1.0, 2.0, 3.0, 4.0, 5.0])
+            .unwrap();
         EmpInstance::new(graph, attrs, "POP").unwrap()
     }
 

@@ -64,7 +64,11 @@ impl fmt::Display for EmpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EmpError::DuplicateAttribute { name } => write!(f, "duplicate attribute '{name}'"),
-            EmpError::ColumnLengthMismatch { name, expected, actual } => write!(
+            EmpError::ColumnLengthMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "column '{name}' has {actual} values, expected {expected}"
             ),
@@ -101,9 +105,12 @@ mod tests {
         assert!(EmpError::UnknownAttribute { name: "X".into() }
             .to_string()
             .contains("unknown attribute"));
-        assert!(EmpError::InvalidRange { low: 5.0, high: 1.0 }
-            .to_string()
-            .contains("[5, 1]"));
+        assert!(EmpError::InvalidRange {
+            low: 5.0,
+            high: 1.0
+        }
+        .to_string()
+        .contains("[5, 1]"));
         let e = EmpError::Infeasible {
             reasons: vec!["a".into(), "b".into()],
         };

@@ -123,8 +123,7 @@ pub fn feasibility_phase(engine: &ConstraintEngine<'_>) -> FeasibilityReport {
                     }
                 } else {
                     // Areas below the lower bound poison any region's MIN.
-                    let removed =
-                        mark_invalid(engine, ci, &mut invalid, |v| v < c.low);
+                    let removed = mark_invalid(engine, ci, &mut invalid, |v| v < c.low);
                     if removed > 0 {
                         Verdict::RequiresFiltering { removed }
                     } else {
@@ -143,8 +142,7 @@ pub fn feasibility_phase(engine: &ConstraintEngine<'_>) -> FeasibilityReport {
                     }
                 } else {
                     // Areas above the upper bound poison any region's MAX.
-                    let removed =
-                        mark_invalid(engine, ci, &mut invalid, |v| v > c.high);
+                    let removed = mark_invalid(engine, ci, &mut invalid, |v| v > c.high);
                     if removed > 0 {
                         Verdict::RequiresFiltering { removed }
                     } else {
@@ -170,8 +168,7 @@ pub fn feasibility_phase(engine: &ConstraintEngine<'_>) -> FeasibilityReport {
                         ),
                     }
                 } else {
-                    let removed =
-                        mark_invalid(engine, ci, &mut invalid, |v| v > c.high);
+                    let removed = mark_invalid(engine, ci, &mut invalid, |v| v > c.high);
                     if removed > 0 {
                         Verdict::RequiresFiltering { removed }
                     } else {
@@ -337,8 +334,7 @@ mod tests {
         assert_eq!(report.infeasible_reasons().len(), 1);
 
         // MIN(s) over all areas is 1 > high 0.5.
-        let set = ConstraintSet::new()
-            .with(Constraint::min("s", f64::NEG_INFINITY, 0.5).unwrap());
+        let set = ConstraintSet::new().with(Constraint::min("s", f64::NEG_INFINITY, 0.5).unwrap());
         let eng = ConstraintEngine::compile(&inst, &set).unwrap();
         assert!(feasibility_phase(&eng).is_infeasible());
     }
@@ -347,8 +343,7 @@ mod tests {
     fn max_hard_infeasibility_and_filtering() {
         let inst = paper_instance();
         // Every area is above 0.5 -> gmin > high.
-        let set = ConstraintSet::new()
-            .with(Constraint::max("s", f64::NEG_INFINITY, 0.5).unwrap());
+        let set = ConstraintSet::new().with(Constraint::max("s", f64::NEG_INFINITY, 0.5).unwrap());
         let eng = ConstraintEngine::compile(&inst, &set).unwrap();
         assert!(feasibility_phase(&eng).is_infeasible());
 
@@ -364,15 +359,13 @@ mod tests {
     #[test]
     fn sum_infeasibilities() {
         let inst = paper_instance(); // total 45, min 1
-        // Lower bound above total.
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("s", 100.0, f64::INFINITY).unwrap());
+                                     // Lower bound above total.
+        let set = ConstraintSet::new().with(Constraint::sum("s", 100.0, f64::INFINITY).unwrap());
         let eng = ConstraintEngine::compile(&inst, &set).unwrap();
         assert!(feasibility_phase(&eng).is_infeasible());
 
         // Upper bound below every single area.
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("s", f64::NEG_INFINITY, 0.5).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("s", f64::NEG_INFINITY, 0.5).unwrap());
         let eng = ConstraintEngine::compile(&inst, &set).unwrap();
         assert!(feasibility_phase(&eng).is_infeasible());
 
@@ -403,8 +396,7 @@ mod tests {
     #[test]
     fn no_extrema_means_all_valid_areas_are_seeds() {
         let inst = paper_instance();
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("s", 0.0, 7.0).unwrap()); // filters a8, a9
+        let set = ConstraintSet::new().with(Constraint::sum("s", 0.0, 7.0).unwrap()); // filters a8, a9
         let eng = ConstraintEngine::compile(&inst, &set).unwrap();
         let report = feasibility_phase(&eng);
         assert_eq!(report.seeds, vec![0, 1, 2, 3, 4, 5, 6]);

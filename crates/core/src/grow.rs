@@ -175,9 +175,7 @@ fn merge_areas_algorithm1(
             let mut candidate = None;
             'search: for &m in &temp {
                 for &nb in graph.neighbors(m) {
-                    if !eligible[nb as usize]
-                        || !partition.is_unassigned(nb)
-                        || temp.contains(&nb)
+                    if !eligible[nb as usize] || !partition.is_unassigned(nb) || temp.contains(&nb)
                     {
                         continue;
                     }
@@ -383,11 +381,7 @@ mod tests {
         EmpInstance::new(graph, attrs, "s").unwrap()
     }
 
-    fn run_growth(
-        inst: &EmpInstance,
-        set: &ConstraintSet,
-        seed: u64,
-    ) -> (Partition, Vec<bool>) {
+    fn run_growth(inst: &EmpInstance, set: &ConstraintSet, seed: u64) -> (Partition, Vec<bool>) {
         let engine = ConstraintEngine::compile(inst, set).unwrap();
         let report = feasibility_phase(&engine);
         assert!(!report.is_infeasible());
@@ -499,9 +493,7 @@ mod tests {
         // has two high neighbors, so Algorithm 1 always finds two regions.
         let graph = ContiguityGraph::lattice(2, 2);
         let mut attrs = AttributeTable::new(4);
-        attrs
-            .push_column("s", vec![1.0, 9.0, 9.0, 1.0])
-            .unwrap();
+        attrs.push_column("s", vec![1.0, 9.0, 9.0, 1.0]).unwrap();
         let inst = EmpInstance::new(graph, attrs, "s").unwrap();
         let set = ConstraintSet::new().with(Constraint::avg("s", 4.5, 5.5).unwrap());
         for seed in 0..8u64 {
@@ -556,7 +548,14 @@ mod tests {
             let eligible = vec![true; 3];
             let mut rng = StdRng::seed_from_u64(5);
             let mut part = Partition::new(3);
-            region_growing(&engine, &mut part, &report.seeds, &eligible, merge_limit, &mut rng);
+            region_growing(
+                &engine,
+                &mut part,
+                &report.seeds,
+                &eligible,
+                merge_limit,
+                &mut rng,
+            );
             if expect_assigned {
                 assert!(part.unassigned().is_empty(), "merge_limit {merge_limit}");
                 assert_eq!(part.p(), 1);

@@ -61,7 +61,7 @@ impl DissimStat {
 
     /// Change of the pairwise sum if `x` (which must be present) were removed.
     pub fn remove_delta(&self, x: f64) -> f64 {
-        -(self.insert_delta(x) /* |x-x| contributes 0 */)
+        -(self.insert_delta(x)/* |x-x| contributes 0 */)
     }
 
     /// Inserts `x`, returning the pairwise-sum delta.
@@ -95,11 +95,7 @@ impl DissimStat {
         // be possible; regions merge rarely, so the simple O(k*k) loop is
         // only used when both sides are small — otherwise rebuild.
         let cross: f64 = if other.len().saturating_mul(self.len()) <= 4096 {
-            other
-                .sorted
-                .iter()
-                .map(|&x| self.insert_delta(x))
-                .sum()
+            other.sorted.iter().map(|&x| self.insert_delta(x)).sum()
         } else {
             cross_pairwise_sorted(&self.sorted, &other.sorted)
         };
@@ -193,13 +189,19 @@ mod tests {
         for x in [5.0, 2.0, 8.0, 2.0, 7.0] {
             s.insert(x);
             vals.push(x);
-            assert!((s.pairwise() - brute(&vals)).abs() < 1e-9, "after insert {x}");
+            assert!(
+                (s.pairwise() - brute(&vals)).abs() < 1e-9,
+                "after insert {x}"
+            );
         }
         for x in [2.0, 8.0, 5.0] {
             s.remove(x);
             let idx = vals.iter().position(|&v| v == x).unwrap();
             vals.remove(idx);
-            assert!((s.pairwise() - brute(&vals)).abs() < 1e-9, "after remove {x}");
+            assert!(
+                (s.pairwise() - brute(&vals)).abs() < 1e-9,
+                "after remove {x}"
+            );
         }
         assert_eq!(s.len(), 2);
     }

@@ -24,11 +24,11 @@ impl EmpInstance {
         attributes: AttributeTable,
         dissimilarity_attr: &str,
     ) -> Result<Self, EmpError> {
-        let col = attributes
-            .column_index(dissimilarity_attr)
-            .ok_or_else(|| EmpError::UnknownAttribute {
+        let col = attributes.column_index(dissimilarity_attr).ok_or_else(|| {
+            EmpError::UnknownAttribute {
                 name: dissimilarity_attr.to_string(),
-            })?;
+            }
+        })?;
         let dissimilarity = attributes.column(col).to_vec();
         Self::from_parts(graph, attributes, dissimilarity)
     }
@@ -172,7 +172,10 @@ mod tests {
         let mut attrs = AttributeTable::new(4);
         attrs.push_column("POP", vec![0.0; 4]).unwrap();
         let err = EmpInstance::from_parts(graph, attrs, vec![0.0, f64::NAN, 0.0, 0.0]);
-        assert!(matches!(err, Err(EmpError::InvalidAttributeValue { row: 1, .. })));
+        assert!(matches!(
+            err,
+            Err(EmpError::InvalidAttributeValue { row: 1, .. })
+        ));
     }
 
     #[test]

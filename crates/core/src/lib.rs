@@ -73,7 +73,7 @@ pub use objective::{Channel, ObjectiveSpec};
 pub use parse::{parse_constraint, parse_constraints};
 pub use solution::Solution;
 pub use solver::{solve, FactConfig, PhaseTimings, SolveReport};
-pub use tabu::{TabuConfig, TabuStats};
+pub use tabu::{tabu_search, tabu_search_traced, Move, NeighborhoodState, TabuConfig, TabuStats};
 pub use validate::{p_upper_bound, validate_solution};
 
 /// Common imports for EMP users.

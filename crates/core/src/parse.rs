@@ -384,10 +384,7 @@ mod tests {
 
     #[test]
     fn between_and_inside_conjunction() {
-        let set = parse_constraints(
-            "COUNT(*) BETWEEN 2 AND 12 AND SUM(POP) >= 100",
-        )
-        .unwrap();
+        let set = parse_constraints("COUNT(*) BETWEEN 2 AND 12 AND SUM(POP) >= 100").unwrap();
         assert_eq!(set.len(), 2);
         assert_eq!(set.constraints()[0].high, 12.0);
     }

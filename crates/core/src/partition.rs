@@ -27,6 +27,9 @@ pub struct RegionData {
 pub struct Partition {
     assignment: Vec<Option<RegionId>>,
     regions: Vec<Option<RegionData>>,
+    /// Tombstone slots available for reuse, popped LIFO by
+    /// [`Partition::create_region`] (O(1) instead of a linear slot scan).
+    free_slots: Vec<RegionId>,
     live: usize,
 }
 
@@ -36,6 +39,7 @@ impl Partition {
         Partition {
             assignment: vec![None; n],
             regions: Vec::new(),
+            free_slots: Vec::new(),
             live: 0,
         }
     }
@@ -176,11 +180,12 @@ impl Partition {
             agg: engine.compute_fresh(areas),
             dissim,
         };
-        // Reuse a tombstone slot if present.
-        let id = match self.regions.iter().position(|r| r.is_none()) {
+        // Reuse a tombstone slot if present (LIFO free list, O(1)).
+        let id = match self.free_slots.pop() {
             Some(slot) => {
-                self.regions[slot] = Some(data);
-                slot as RegionId
+                debug_assert!(self.regions[slot as usize].is_none(), "free slot is live");
+                self.regions[slot as usize] = Some(data);
+                slot
             }
             None => {
                 self.regions.push(Some(data));
@@ -188,7 +193,10 @@ impl Partition {
             }
         };
         for &a in areas {
-            debug_assert!(self.assignment[a as usize].is_none(), "area {a} already assigned");
+            debug_assert!(
+                self.assignment[a as usize].is_none(),
+                "area {a} already assigned"
+            );
             self.assignment[a as usize] = Some(id);
         }
         self.live += 1;
@@ -227,6 +235,7 @@ impl Partition {
         self.assignment[area as usize] = None;
         if region.members.is_empty() {
             self.regions[id as usize] = None;
+            self.free_slots.push(id);
             self.live -= 1;
         }
     }
@@ -241,8 +250,11 @@ impl Partition {
     pub fn merge_regions(&mut self, _engine: &ConstraintEngine<'_>, dst: RegionId, src: RegionId) {
         debug_assert_ne!(dst, src);
         let src_data = self.regions[src as usize].take().expect("live src region");
+        self.free_slots.push(src);
         self.live -= 1;
-        let dst_data = self.regions[dst as usize].as_mut().expect("live dst region");
+        let dst_data = self.regions[dst as usize]
+            .as_mut()
+            .expect("live dst region");
         for &a in &src_data.members {
             self.assignment[a as usize] = Some(dst);
         }
@@ -265,6 +277,7 @@ impl Partition {
     /// Dissolves a region, unassigning all members.
     pub fn dissolve_region(&mut self, id: RegionId) {
         let data = self.regions[id as usize].take().expect("live region");
+        self.free_slots.push(id);
         for a in data.members {
             self.assignment[a as usize] = None;
         }
@@ -273,8 +286,22 @@ impl Partition {
 
     /// Ids of live regions adjacent to `id` (sharing a graph edge).
     pub fn neighbor_regions(&self, engine: &ConstraintEngine<'_>, id: RegionId) -> Vec<RegionId> {
-        let graph = engine.instance().graph();
         let mut out = Vec::new();
+        self.neighbor_regions_into(engine, id, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Partition::neighbor_regions`]: writes the
+    /// sorted, deduplicated neighbor ids into a caller-provided buffer
+    /// (cleared first). Hot paths call this in a loop with one scratch `Vec`.
+    pub fn neighbor_regions_into(
+        &self,
+        engine: &ConstraintEngine<'_>,
+        id: RegionId,
+        out: &mut Vec<RegionId>,
+    ) {
+        out.clear();
+        let graph = engine.instance().graph();
         for &a in &self.region(id).members {
             for &nb in graph.neighbors(a) {
                 if let Some(other) = self.assignment[nb as usize] {
@@ -286,7 +313,6 @@ impl Partition {
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Ids of live regions adjacent to an (unassigned) area.
@@ -295,16 +321,30 @@ impl Partition {
         engine: &ConstraintEngine<'_>,
         area: u32,
     ) -> Vec<RegionId> {
-        let mut out: Vec<RegionId> = engine
-            .instance()
-            .graph()
-            .neighbors(area)
-            .iter()
-            .filter_map(|&nb| self.assignment[nb as usize])
-            .collect();
+        let mut out = Vec::new();
+        self.regions_adjacent_to_area_into(engine, area, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Partition::regions_adjacent_to_area`]
+    /// (same contract as [`Partition::neighbor_regions_into`]).
+    pub fn regions_adjacent_to_area_into(
+        &self,
+        engine: &ConstraintEngine<'_>,
+        area: u32,
+        out: &mut Vec<RegionId>,
+    ) {
+        out.clear();
+        out.extend(
+            engine
+                .instance()
+                .graph()
+                .neighbors(area)
+                .iter()
+                .filter_map(|&nb| self.assignment[nb as usize]),
+        );
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Whether removing `area` keeps its region connected (and non-empty).
@@ -335,6 +375,14 @@ impl Partition {
     /// Raw assignment slice.
     pub fn assignment(&self) -> &[Option<RegionId>] {
         &self.assignment
+    }
+
+    /// Number of region slots ever allocated (live regions plus tombstones);
+    /// every live [`RegionId`] is `< region_slots()`. Used to size
+    /// per-region side tables (e.g. the tabu articulation cache).
+    #[inline]
+    pub fn region_slots(&self) -> usize {
+        self.regions.len()
     }
 
     /// Rebuilds a partition from an assignment snapshot (region ids need not
@@ -419,6 +467,47 @@ mod tests {
         // Slot is reused.
         let r2 = part.create_region(&eng, &[5]);
         assert_eq!(r2, r);
+    }
+
+    #[test]
+    fn free_slots_are_reused_lifo() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        let a = part.create_region(&eng, &[0]);
+        let b = part.create_region(&eng, &[1]);
+        let c = part.create_region(&eng, &[2, 5]);
+        // Tombstone a (dissolve) then b (last-member removal): LIFO reuse.
+        part.dissolve_region(a);
+        part.remove_from_region(&eng, 1);
+        assert_eq!(part.create_region(&eng, &[3]), b);
+        assert_eq!(part.create_region(&eng, &[4]), a);
+        // Merging frees the source slot for the next create.
+        part.merge_regions(&eng, c, b);
+        assert_eq!(part.create_region(&eng, &[6]), b);
+        assert_eq!(part.region_slots(), 3);
+        // Fresh slots are appended once the free list is empty.
+        assert_eq!(part.create_region(&eng, &[7]), 3);
+        assert_eq!(part.region_slots(), 4);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_queries() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        let top = part.create_region(&eng, &[0, 1, 2]);
+        let mid = part.create_region(&eng, &[3, 4, 5]);
+        let mut buf = Vec::new();
+        part.neighbor_regions_into(&eng, top, &mut buf);
+        assert_eq!(buf, part.neighbor_regions(&eng, top));
+        part.neighbor_regions_into(&eng, mid, &mut buf);
+        assert_eq!(buf, part.neighbor_regions(&eng, mid));
+        part.regions_adjacent_to_area_into(&eng, 7, &mut buf);
+        assert_eq!(buf, part.regions_adjacent_to_area(&eng, 7));
+        // Buffer is cleared between calls, not appended to.
+        part.regions_adjacent_to_area_into(&eng, 8, &mut buf);
+        assert_eq!(buf, vec![mid]);
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct FactConfig {
     pub max_tabu_iterations: Option<usize>,
     /// Whether to run the local search phase at all.
     pub local_search: bool,
+    /// Use the incremental tabu neighborhood (boundary-area set + cached
+    /// per-region articulation points). `false` falls back to the full-scan
+    /// + BFS-per-candidate reference path — same moves, slower; kept as the
+    /// DESIGN.md §4.2 ablation baseline.
+    pub incremental_tabu: bool,
     /// RNG seed (construction iteration `i` uses `seed + i`).
     pub seed: u64,
     /// Run construction iterations on scoped threads (paper §VIII future
@@ -49,6 +54,7 @@ impl Default for FactConfig {
             max_no_improve: None,
             max_tabu_iterations: None,
             local_search: true,
+            incremental_tabu: true,
             seed: 0xE5_1D,
             parallel: false,
         }
@@ -157,6 +163,7 @@ pub fn solve(
         let mut tabu_cfg = TabuConfig {
             tenure: config.tabu_tenure,
             max_no_improve: config.max_no_improve.unwrap_or(instance.len()),
+            incremental: config.incremental_tabu,
             ..TabuConfig::for_instance(instance.len())
         };
         if let Some(cap) = config.max_tabu_iterations {
@@ -212,8 +219,15 @@ fn construct_once(
 fn better(engine: &ConstraintEngine<'_>, a: &Partition, b: &Partition) -> bool {
     let ua = a.unassigned().len();
     let ub = b.unassigned().len();
-    (a.p(), std::cmp::Reverse(ua), std::cmp::Reverse(OrdKey(a.heterogeneity_with(engine))))
-        > (b.p(), std::cmp::Reverse(ub), std::cmp::Reverse(OrdKey(b.heterogeneity_with(engine))))
+    (
+        a.p(),
+        std::cmp::Reverse(ua),
+        std::cmp::Reverse(OrdKey(a.heterogeneity_with(engine))),
+    ) > (
+        b.p(),
+        std::cmp::Reverse(ub),
+        std::cmp::Reverse(OrdKey(b.heterogeneity_with(engine))),
+    )
 }
 
 #[derive(PartialEq, PartialOrd)]
@@ -343,6 +357,26 @@ mod tests {
     }
 
     #[test]
+    fn incremental_tabu_matches_reference_path() {
+        // The ablation flag changes the neighborhood's cost, not its choice:
+        // both paths must trace identical move sequences for a fixed seed.
+        let inst = grid_instance(9);
+        let fast = solve(&inst, &default_constraints(), &FactConfig::seeded(5)).unwrap();
+        let slow = solve(
+            &inst,
+            &default_constraints(),
+            &FactConfig {
+                incremental_tabu: false,
+                ..FactConfig::seeded(5)
+            },
+        )
+        .unwrap();
+        assert_eq!(fast.solution, slow.solution);
+        assert_eq!(fast.tabu.moves, slow.tabu.moves);
+        assert_eq!(fast.tabu.best, slow.tabu.best);
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let inst = grid_instance(4);
         let a = solve(&inst, &default_constraints(), &FactConfig::seeded(9)).unwrap();
@@ -381,8 +415,7 @@ mod tests {
     #[test]
     fn infeasible_instances_error_out() {
         let inst = grid_instance(6);
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("POP", 1e12, f64::INFINITY).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 1e12, f64::INFINITY).unwrap());
         match solve(&inst, &set, &FactConfig::default()) {
             Err(EmpError::Infeasible { reasons }) => assert!(!reasons.is_empty()),
             other => panic!("expected infeasibility, got {other:?}"),
@@ -392,8 +425,8 @@ mod tests {
     #[test]
     fn unknown_attribute_errors_out() {
         let inst = grid_instance(7);
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("MISSING", 0.0, f64::INFINITY).unwrap());
+        let set =
+            ConstraintSet::new().with(Constraint::sum("MISSING", 0.0, f64::INFINITY).unwrap());
         assert!(matches!(
             solve(&inst, &set, &FactConfig::default()),
             Err(EmpError::UnknownAttribute { .. })
@@ -450,8 +483,7 @@ mod tests {
             .push_column("POP", (0..18).map(|i| 100.0 + i as f64).collect())
             .unwrap();
         let inst = EmpInstance::new(graph, attrs, "POP").unwrap();
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("POP", 200.0, f64::INFINITY).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 200.0, f64::INFINITY).unwrap());
         let report = solve(&inst, &set, &FactConfig::seeded(2)).unwrap();
         assert!(report.p() >= 2, "each component should host regions");
         validate_solution(&inst, &set, &report.solution).unwrap();

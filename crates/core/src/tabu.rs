@@ -8,11 +8,45 @@
 //! are still taken when they beat the best solution found so far
 //! (aspiration). The search stops after `max_no_improve` consecutive
 //! iterations without improving the best heterogeneity.
+//!
+//! # Incremental neighborhood
+//!
+//! This phase dominates FaCT's total runtime at scale (paper Figures 5–16),
+//! so the neighborhood is maintained *incrementally* across iterations
+//! instead of being rebuilt from scratch:
+//!
+//! * a **boundary-area set** ([`BoundarySet`]) tracks exactly the areas with
+//!   at least one neighbor in a different region — the only possible move
+//!   candidates — and is updated in O(deg²) after each applied move (only
+//!   the moved area and its graph neighbors can change status);
+//! * **per-region articulation points** are cached
+//!   ([`NeighborhoodState`]), turning the per-candidate "does the donor stay
+//!   connected?" BFS into an O(log k) sorted-set lookup; only the donor and
+//!   receiver regions of the last applied move are invalidated;
+//! * the current heterogeneity is tracked **incrementally** from move deltas
+//!   (resynced against a fresh recomputation every
+//!   [`RESYNC_INTERVAL`] iterations to bound float drift);
+//! * tabu tests are **O(1)** via an expiry-stamp table ([`TabuTable`])
+//!   instead of a linear scan over a tenure-length list.
+//!
+//! The pre-incremental full-scan/BFS implementation is kept as
+//! [`select_move_reference`] — both the equivalence tests and the
+//! DESIGN.md §4.2 ablation (gated by [`TabuConfig::incremental`], plumbed
+//! from `FactConfig::incremental_tabu`) rely on it. Both implementations
+//! select moves under the same strict total order (ΔH, then area id, then
+//! destination id), so for a fixed seed they apply identical move sequences
+//! and reach identical final heterogeneity.
 
 use crate::constraint::Aggregate;
 use crate::engine::{ConstraintEngine, RegionAgg};
 use crate::partition::{Partition, RegionId};
-use std::collections::VecDeque;
+use emp_graph::articulation::{articulation_points_into, ArticulationScratch};
+use std::collections::HashMap;
+
+/// The incrementally-tracked heterogeneity is resynced against a fresh
+/// [`Partition::heterogeneity_with`] every this many iterations; a debug
+/// assertion bounds the accumulated float drift at 1e-6 (relative).
+pub const RESYNC_INTERVAL: usize = 256;
 
 /// Tabu search parameters (paper defaults: tenure 10, `max_no_improve = n`).
 #[derive(Clone, Copy, Debug)]
@@ -24,6 +58,11 @@ pub struct TabuConfig {
     /// Hard iteration cap (safety net; the paper observes improving moves
     /// cluster early, so this is rarely reached).
     pub max_iterations: usize,
+    /// Use the incremental neighborhood (boundary set + cached articulation
+    /// points). `false` selects the full-scan + BFS-per-candidate reference
+    /// path — the DESIGN.md §4.2 ablation baseline. Move selection is
+    /// identical either way; only the cost differs.
+    pub incremental: bool,
 }
 
 impl TabuConfig {
@@ -33,6 +72,7 @@ impl TabuConfig {
             tenure: 10,
             max_no_improve: n,
             max_iterations: 20 * n.max(50),
+            incremental: true,
         }
     }
 }
@@ -64,11 +104,362 @@ impl TabuStats {
 
 /// A candidate relocation of `area` from region `from` to region `to`.
 #[derive(Clone, Copy, PartialEq, Debug)]
-struct Move {
-    area: u32,
-    from: RegionId,
-    to: RegionId,
-    delta: f64,
+pub struct Move {
+    /// The relocated area.
+    pub area: u32,
+    /// Donor region.
+    pub from: RegionId,
+    /// Receiver region.
+    pub to: RegionId,
+    /// Objective change of applying the move (negative improves).
+    pub delta: f64,
+}
+
+/// Whether candidate `(delta, area, to)` beats the incumbent under the
+/// strict total order ΔH, then area id, then destination id. The order makes
+/// move selection independent of candidate enumeration order, which is what
+/// lets the incremental and reference neighborhoods trace identical
+/// move sequences.
+#[inline]
+fn beats(delta: f64, area: u32, to: RegionId, incumbent: &Option<Move>) -> bool {
+    match incumbent {
+        None => true,
+        Some(b) => match delta.partial_cmp(&b.delta) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Equal) => (area, to) < (b.area, b.to),
+            _ => false,
+        },
+    }
+}
+
+/// O(1) tabu tests via expiry stamps: forbidding `(area, region)` after the
+/// `m`-th applied move stores the stamp `m + tenure`; the pair stays tabu
+/// while fewer than `tenure` further moves have been applied. Semantically
+/// identical to the classic tenure-length FIFO list (later re-forbids simply
+/// overwrite with a larger stamp), but a test costs one hash probe instead
+/// of an O(tenure) scan.
+#[derive(Clone, Debug, Default)]
+pub struct TabuTable {
+    expiry: HashMap<u64, usize>,
+    tenure: usize,
+}
+
+impl TabuTable {
+    /// An empty table with the given tenure.
+    pub fn new(tenure: usize) -> Self {
+        TabuTable {
+            expiry: HashMap::new(),
+            tenure,
+        }
+    }
+
+    #[inline]
+    fn key(area: u32, region: RegionId) -> u64 {
+        (u64::from(area) << 32) | u64::from(region)
+    }
+
+    /// Forbids moving `area` into `region`; `moves_done` is the number of
+    /// moves applied so far *including* the one that triggered the ban.
+    pub fn forbid(&mut self, area: u32, region: RegionId, moves_done: usize) {
+        if self.tenure == 0 {
+            return;
+        }
+        self.expiry
+            .insert(Self::key(area, region), moves_done + self.tenure);
+    }
+
+    /// Whether moving `area` into `region` is currently tabu.
+    #[inline]
+    pub fn is_tabu(&self, area: u32, region: RegionId, moves_done: usize) -> bool {
+        self.expiry
+            .get(&Self::key(area, region))
+            .is_some_and(|&exp| moves_done < exp)
+    }
+}
+
+/// The set of areas with at least one neighbor assigned to a different
+/// region — exactly the possible move candidates. Dense index + membership
+/// list for O(1) insert/remove/test and cache-friendly iteration.
+#[derive(Clone, Debug)]
+pub struct BoundarySet {
+    list: Vec<u32>,
+    /// Position of each area in `list`; `u32::MAX` = absent.
+    pos: Vec<u32>,
+}
+
+impl BoundarySet {
+    fn new(n: usize) -> Self {
+        BoundarySet {
+            list: Vec::new(),
+            pos: vec![u32::MAX; n],
+        }
+    }
+
+    /// Whether `area` is currently a boundary area.
+    #[inline]
+    pub fn contains(&self, area: u32) -> bool {
+        self.pos[area as usize] != u32::MAX
+    }
+
+    /// The boundary areas, in insertion (unspecified) order.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.list
+    }
+
+    fn insert(&mut self, area: u32) {
+        if !self.contains(area) {
+            self.pos[area as usize] = self.list.len() as u32;
+            self.list.push(area);
+        }
+    }
+
+    fn remove(&mut self, area: u32) {
+        let p = self.pos[area as usize];
+        if p == u32::MAX {
+            return;
+        }
+        self.list.swap_remove(p as usize);
+        if let Some(&moved) = self.list.get(p as usize) {
+            self.pos[moved as usize] = p;
+        }
+        self.pos[area as usize] = u32::MAX;
+    }
+}
+
+/// Whether `area` has at least one neighbor assigned to a different region.
+fn is_boundary(engine: &ConstraintEngine<'_>, partition: &Partition, area: u32) -> bool {
+    let Some(r) = partition.region_of(area) else {
+        return false;
+    };
+    engine
+        .instance()
+        .graph()
+        .neighbors(area)
+        .iter()
+        .any(|&nb| partition.region_of(nb).is_some_and(|o| o != r))
+}
+
+/// Incrementally-maintained neighborhood of the tabu search: the boundary
+/// set plus a lazily-computed, per-region articulation-point cache.
+///
+/// Invariants (checked by [`NeighborhoodState::assert_consistent`]):
+/// * `boundary` holds exactly the assigned areas with a neighbor in another
+///   region;
+/// * every *computed* articulation cache entry equals
+///   `emp_graph::articulation::articulation_points` of that region's current
+///   members (entries for the donor/receiver of each applied move are
+///   invalidated and recomputed on next use).
+pub struct NeighborhoodState {
+    boundary: BoundarySet,
+    /// Sorted articulation points per region slot; `None` = stale or never
+    /// computed.
+    arts: Vec<Option<Vec<u32>>>,
+    /// Recycled buffers for invalidated cache entries.
+    spare: Vec<Vec<u32>>,
+    scratch: ArticulationScratch,
+    /// Scratch for candidate destination regions.
+    dests: Vec<RegionId>,
+}
+
+impl NeighborhoodState {
+    /// Builds the boundary set from scratch; articulation caches start cold
+    /// and fill lazily.
+    pub fn new(engine: &ConstraintEngine<'_>, partition: &Partition) -> Self {
+        let n = partition.len();
+        let mut boundary = BoundarySet::new(n);
+        for area in 0..n as u32 {
+            if is_boundary(engine, partition, area) {
+                boundary.insert(area);
+            }
+        }
+        NeighborhoodState {
+            boundary,
+            arts: Vec::new(),
+            spare: Vec::new(),
+            scratch: ArticulationScratch::default(),
+            dests: Vec::new(),
+        }
+    }
+
+    /// The current boundary set (test/diagnostic access).
+    pub fn boundary(&self) -> &BoundarySet {
+        &self.boundary
+    }
+
+    /// Updates the caches after `partition.move_area(mv.area, mv.to)` has
+    /// been applied. Boundary status can only change for the moved area and
+    /// its graph neighbors (status is a function of the area's own region
+    /// and its neighbors' regions, and only `mv.area`'s region changed);
+    /// only the donor and receiver articulation caches are invalidated.
+    pub fn on_move_applied(
+        &mut self,
+        engine: &ConstraintEngine<'_>,
+        partition: &Partition,
+        mv: Move,
+    ) {
+        self.refresh_boundary_status(engine, partition, mv.area);
+        let graph = engine.instance().graph();
+        for i in 0..graph.neighbors(mv.area).len() {
+            let nb = graph.neighbors(mv.area)[i];
+            self.refresh_boundary_status(engine, partition, nb);
+        }
+        self.invalidate_region(mv.from);
+        self.invalidate_region(mv.to);
+    }
+
+    fn refresh_boundary_status(
+        &mut self,
+        engine: &ConstraintEngine<'_>,
+        partition: &Partition,
+        area: u32,
+    ) {
+        if is_boundary(engine, partition, area) {
+            self.boundary.insert(area);
+        } else {
+            self.boundary.remove(area);
+        }
+    }
+
+    fn invalidate_region(&mut self, id: RegionId) {
+        if let Some(slot) = self.arts.get_mut(id as usize) {
+            if let Some(buf) = slot.take() {
+                self.spare.push(buf);
+            }
+        }
+    }
+
+    /// The (cached) sorted articulation points of region `id`, recomputing
+    /// on a cold or invalidated entry.
+    pub fn articulation_points(
+        &mut self,
+        engine: &ConstraintEngine<'_>,
+        partition: &Partition,
+        id: RegionId,
+    ) -> &[u32] {
+        if self.arts.len() <= id as usize {
+            self.arts
+                .resize_with(partition.region_slots().max(id as usize + 1), || None);
+        }
+        let slot = &mut self.arts[id as usize];
+        if slot.is_none() {
+            let mut buf = self.spare.pop().unwrap_or_default();
+            articulation_points_into(
+                engine.instance().graph(),
+                &partition.region(id).members,
+                &mut self.scratch,
+                &mut buf,
+            );
+            *slot = Some(buf);
+        }
+        self.arts[id as usize].as_deref().expect("just computed")
+    }
+
+    /// O(log k) contiguity-safe test: removing `area` keeps region `id`
+    /// connected iff `area` is not one of its articulation points (callers
+    /// ensure the region keeps at least one member).
+    fn removal_safe(
+        &mut self,
+        engine: &ConstraintEngine<'_>,
+        partition: &Partition,
+        area: u32,
+        id: RegionId,
+    ) -> bool {
+        self.articulation_points(engine, partition, id)
+            .binary_search(&area)
+            .is_err()
+    }
+
+    /// Picks the best admissible move from the boundary set (lowest ΔH,
+    /// ties broken by area then destination id), skipping tabu moves unless
+    /// they aspire to beat `best_h`. Equivalent to
+    /// [`select_move_reference`] by construction.
+    pub fn select_move(
+        &mut self,
+        engine: &ConstraintEngine<'_>,
+        partition: &Partition,
+        tabu: &TabuTable,
+        moves_done: usize,
+        current_h: f64,
+        best_h: f64,
+    ) -> Option<Move> {
+        let graph = engine.instance().graph();
+        let mut best: Option<Move> = None;
+        for i in 0..self.boundary.list.len() {
+            let area = self.boundary.list[i];
+            let from = partition
+                .region_of(area)
+                .expect("boundary areas are assigned");
+            if partition.region(from).members.len() <= 1 {
+                continue; // p must not change
+            }
+            // Cheap per-area filters first: one O(log k) cached articulation
+            // lookup plus the destination-independent donor-side constraint
+            // check rule out the whole area before any per-destination work
+            // (with tight SUM/COUNT lower bounds most donors sit at the
+            // floor, so this skips the O(|region|) delta computations that
+            // dominate the scan).
+            if !self.removal_safe(engine, partition, area, from)
+                || !donor_keeps_constraints(engine, partition, area, from)
+            {
+                continue;
+            }
+            let mut dests = std::mem::take(&mut self.dests);
+            dests.clear();
+            dests.extend(
+                graph
+                    .neighbors(area)
+                    .iter()
+                    .filter_map(|&nb| partition.region_of(nb))
+                    .filter(|&r| r != from),
+            );
+            dests.sort_unstable();
+            dests.dedup();
+            for &to in &dests {
+                if !receiver_keeps_constraints(engine, partition, area, to) {
+                    continue;
+                }
+                let delta = partition.move_objective_delta(engine, area, from, to);
+                if !beats(delta, area, to, &best) {
+                    continue; // cannot beat the incumbent; skip checks
+                }
+                let aspires = current_h + delta < best_h - 1e-9;
+                if tabu.is_tabu(area, to, moves_done) && !aspires {
+                    continue;
+                }
+                best = Some(Move {
+                    area,
+                    from,
+                    to,
+                    delta,
+                });
+            }
+            self.dests = dests;
+        }
+        best
+    }
+
+    /// Panics unless the boundary set and every *computed* articulation
+    /// cache entry match a from-scratch recomputation (test oracle).
+    pub fn assert_consistent(&self, engine: &ConstraintEngine<'_>, partition: &Partition) {
+        for area in 0..partition.len() as u32 {
+            assert_eq!(
+                self.boundary.contains(area),
+                is_boundary(engine, partition, area),
+                "boundary status of area {area} is stale"
+            );
+        }
+        let graph = engine.instance().graph();
+        for id in partition.region_ids() {
+            if let Some(Some(cached)) = self.arts.get(id as usize) {
+                let fresh = emp_graph::articulation::articulation_points(
+                    graph,
+                    &partition.region(id).members,
+                );
+                assert_eq!(*cached, fresh, "articulation cache of region {id} is stale");
+            }
+        }
+    }
 }
 
 /// Runs tabu search in place; the partition ends at the best found solution.
@@ -77,7 +468,20 @@ pub fn tabu_search(
     partition: &mut Partition,
     config: &TabuConfig,
 ) -> TabuStats {
+    tabu_search_traced(engine, partition, config, None)
+}
+
+/// [`tabu_search`] that additionally records the heterogeneity trajectory
+/// (the objective after every applied move, preceded by the initial value)
+/// into `trace` — used by the bench harness to emit `BENCH_tabu.json`.
+pub fn tabu_search_traced(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    config: &TabuConfig,
+    mut trace: Option<&mut Vec<f64>>,
+) -> TabuStats {
     let initial = partition.heterogeneity_with(engine);
+    let mut current_h = initial;
     let mut best_h = initial;
     let mut best_assignment: Vec<Option<RegionId>> = partition.assignment().to_vec();
     let mut stats = TabuStats {
@@ -85,26 +489,47 @@ pub fn tabu_search(
         best: initial,
         ..Default::default()
     };
-    // Tabu entries forbid moving `area` back into region `to`.
-    let mut tabu: VecDeque<(u32, RegionId)> = VecDeque::with_capacity(config.tenure + 1);
+    let mut tabu = TabuTable::new(config.tenure);
     let mut no_improve = 0usize;
+    let mut state = config
+        .incremental
+        .then(|| NeighborhoodState::new(engine, partition));
+    if let Some(t) = trace.as_deref_mut() {
+        t.push(initial);
+    }
 
     while no_improve < config.max_no_improve && stats.iterations < config.max_iterations {
         stats.iterations += 1;
-        let current_h = partition.heterogeneity_with(engine);
-        let Some(mv) = select_move(engine, partition, &tabu, current_h, best_h) else {
+        let mv = match state.as_mut() {
+            Some(s) => s.select_move(engine, partition, &tabu, stats.moves, current_h, best_h),
+            None => select_move_reference(engine, partition, &tabu, stats.moves, current_h, best_h),
+        };
+        let Some(mv) = mv else {
             break; // no admissible move at all
         };
         partition.move_area(engine, mv.area, mv.to);
+        if let Some(s) = state.as_mut() {
+            s.on_move_applied(engine, partition, mv);
+        }
         stats.moves += 1;
         // Forbid the reverse move.
-        tabu.push_back((mv.area, mv.from));
-        while tabu.len() > config.tenure {
-            tabu.pop_front();
+        tabu.forbid(mv.area, mv.from, stats.moves);
+        current_h += mv.delta;
+        if stats.iterations % RESYNC_INTERVAL == 0 {
+            // Resync the accumulated objective; drift must stay tiny.
+            let fresh = partition.heterogeneity_with(engine);
+            debug_assert!(
+                (fresh - current_h).abs() <= 1e-6 * fresh.abs().max(1.0),
+                "objective drift {} exceeds 1e-6 (incremental {current_h}, fresh {fresh})",
+                (fresh - current_h).abs(),
+            );
+            current_h = fresh;
         }
-        let new_h = current_h + mv.delta;
-        if new_h < best_h - 1e-9 {
-            best_h = new_h;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(current_h);
+        }
+        if current_h < best_h - 1e-9 {
+            best_h = current_h;
             best_assignment = partition.assignment().to_vec();
             no_improve = 0;
         } else {
@@ -120,12 +545,17 @@ pub fn tabu_search(
     stats
 }
 
-/// Picks the best admissible move (lowest ΔH), skipping tabu moves unless
-/// they aspire to beat `best_h`.
-fn select_move(
+/// Reference neighborhood: scans every region × every member and answers
+/// connectivity with a BFS per candidate area. Kept as the equivalence
+/// oracle for the incremental path and as the DESIGN.md §4.2 ablation
+/// baseline (`FactConfig::incremental_tabu = false`). Uses the same strict
+/// move order as [`NeighborhoodState::select_move`], so both paths pick the
+/// same move from the same partition state.
+pub fn select_move_reference(
     engine: &ConstraintEngine<'_>,
     partition: &Partition,
-    tabu: &VecDeque<(u32, RegionId)>,
+    tabu: &TabuTable,
+    moves_done: usize,
     current_h: f64,
     best_h: f64,
 ) -> Option<Move> {
@@ -156,15 +586,12 @@ fn select_move(
 
             for to in dests {
                 let delta = partition.move_objective_delta(engine, area, from, to);
-                let is_tabu = tabu.iter().any(|&(a, r)| a == area && r == to);
                 let aspires = current_h + delta < best_h - 1e-9;
-                if is_tabu && !aspires {
+                if tabu.is_tabu(area, to, moves_done) && !aspires {
                     continue;
                 }
-                if let Some(b) = &best {
-                    if delta >= b.delta {
-                        continue; // cannot beat the incumbent; skip checks
-                    }
+                if !beats(delta, area, to, &best) {
+                    continue; // cannot beat the incumbent; skip checks
                 }
                 // Feasibility: donor keeps constraints after removal,
                 // receiver keeps them after addition.
@@ -179,7 +606,12 @@ fn select_move(
                 if !connectivity_ok {
                     break;
                 }
-                best = Some(Move { area, from, to, delta });
+                best = Some(Move {
+                    area,
+                    from,
+                    to,
+                    delta,
+                });
             }
         }
     }
@@ -195,19 +627,41 @@ fn move_keeps_constraints(
     from: RegionId,
     to: RegionId,
 ) -> bool {
+    donor_keeps_constraints(engine, partition, area, from)
+        && receiver_keeps_constraints(engine, partition, area, to)
+}
+
+/// Destination-independent half of [`move_keeps_constraints`]: would the
+/// donor region still satisfy every constraint after losing `area`?
+fn donor_keeps_constraints(
+    engine: &ConstraintEngine<'_>,
+    partition: &Partition,
+    area: u32,
+    from: RegionId,
+) -> bool {
     let donor = &partition.region(from).agg;
-    let recv = &partition.region(to).agg;
     for (ci, c) in engine.constraints().iter().enumerate() {
         let v = engine.area_value(ci, area);
-        // Donor after removal.
-        let donor_val = hypothetical_after_removal(engine, donor, ci, v);
-        match donor_val {
+        match hypothetical_after_removal(engine, donor, ci, v) {
             Some(val) if c.contains(val) => {}
             _ => return false,
         }
-        // Receiver after addition.
-        let recv_val = hypothetical_after_addition(engine, recv, ci, v);
-        if !c.contains(recv_val) {
+    }
+    true
+}
+
+/// Would the receiver region still satisfy every constraint after gaining
+/// `area`?
+fn receiver_keeps_constraints(
+    engine: &ConstraintEngine<'_>,
+    partition: &Partition,
+    area: u32,
+    to: RegionId,
+) -> bool {
+    let recv = &partition.region(to).agg;
+    for (ci, c) in engine.constraints().iter().enumerate() {
+        let v = engine.area_value(ci, area);
+        if !c.contains(hypothetical_after_addition(engine, recv, ci, v)) {
             return false;
         }
     }
@@ -273,8 +727,7 @@ mod tests {
     #[test]
     fn improves_bad_partition_to_optimum() {
         let inst = line_instance();
-        let set = ConstraintSet::new()
-            .with(Constraint::count(1.0, 3.0).unwrap());
+        let set = ConstraintSet::new().with(Constraint::count(1.0, 3.0).unwrap());
         let eng = ConstraintEngine::compile(&inst, &set).unwrap();
         let mut part = Partition::new(4);
         // Suboptimal split {0} | {1,2,3}: H = 0 + (10 + 10 + 0) = 20.
@@ -290,6 +743,23 @@ mod tests {
         assert_eq!(part.p(), 2);
         assert!(stats.best <= stats.initial);
         assert!((stats.improvement() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_path_reaches_same_optimum() {
+        let inst = line_instance();
+        let set = ConstraintSet::new().with(Constraint::count(1.0, 3.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let cfg = TabuConfig {
+            incremental: false,
+            ..TabuConfig::for_instance(4)
+        };
+        let mut part = Partition::new(4);
+        part.create_region(&eng, &[0]);
+        part.create_region(&eng, &[1, 2, 3]);
+        let stats = tabu_search(&eng, &mut part, &cfg);
+        assert!((stats.best - 0.0).abs() < 1e-9);
+        assert_eq!(part.p(), 2);
     }
 
     #[test]
@@ -309,8 +779,7 @@ mod tests {
     fn moves_respect_constraints() {
         // SUM >= 2 with unit weights: no region may shrink below 2 areas.
         let inst = line_instance();
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("POP", 2.0, f64::INFINITY).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 2.0, f64::INFINITY).unwrap());
         let eng = ConstraintEngine::compile(&inst, &set).unwrap();
         let mut part = Partition::new(4);
         part.create_region(&eng, &[0, 1]);
@@ -341,7 +810,10 @@ mod tests {
         part.create_region(&eng, &[6, 7, 8]);
         tabu_search(&eng, &mut part, &TabuConfig::for_instance(9));
         for members in part.extract_regions() {
-            assert!(emp_graph::subgraph::is_connected_subset(inst.graph(), &members));
+            assert!(emp_graph::subgraph::is_connected_subset(
+                inst.graph(),
+                &members
+            ));
         }
     }
 
@@ -430,8 +902,16 @@ mod tests {
         let d: Vec<f64> = (0..9).map(|i| (i * i % 7) as f64).collect();
         let xs: Vec<f64> = (0..9).map(|i| (i % 3) as f64).collect();
         let spec = ObjectiveSpec::from_channels(vec![
-            Channel { name: "dissim".into(), values: d.clone(), weight: 1.0 },
-            Channel { name: "x".into(), values: xs, weight: 0.5 },
+            Channel {
+                name: "dissim".into(),
+                values: d.clone(),
+                weight: 1.0,
+            },
+            Channel {
+                name: "x".into(),
+                values: xs,
+                weight: 0.5,
+            },
         ])
         .unwrap();
         let inst = EmpInstance::new(graph, attrs, "POP")
@@ -460,5 +940,139 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.improvement(), 0.0);
+    }
+
+    #[test]
+    fn tabu_table_matches_fifo_semantics() {
+        // Classic FIFO list of tenure 2, replayed against the stamp table.
+        let mut t = TabuTable::new(2);
+        t.forbid(7, 1, 1); // entry from move 1: active while moves_done < 3
+        assert!(t.is_tabu(7, 1, 1));
+        assert!(t.is_tabu(7, 1, 2));
+        assert!(!t.is_tabu(7, 1, 3));
+        assert!(!t.is_tabu(7, 2, 1)); // other destination never forbidden
+                                      // Re-forbidding refreshes the stamp (same as a later FIFO push).
+        t.forbid(7, 1, 4);
+        assert!(t.is_tabu(7, 1, 5));
+        assert!(!t.is_tabu(7, 1, 6));
+        // Tenure 0 never forbids.
+        let mut z = TabuTable::new(0);
+        z.forbid(1, 1, 1);
+        assert!(!z.is_tabu(1, 1, 1));
+    }
+
+    #[test]
+    fn boundary_set_insert_remove() {
+        let mut b = BoundarySet::new(5);
+        b.insert(3);
+        b.insert(1);
+        b.insert(3); // idempotent
+        assert!(b.contains(3) && b.contains(1) && !b.contains(0));
+        assert_eq!(b.as_slice().len(), 2);
+        b.remove(3);
+        assert!(!b.contains(3));
+        b.remove(3); // idempotent
+        assert_eq!(b.as_slice(), &[1]);
+        b.remove(1);
+        assert!(b.as_slice().is_empty());
+    }
+
+    #[test]
+    fn neighborhood_state_tracks_moves() {
+        // 3x3 lattice, three rows; move 5 into the top region and check the
+        // caches stay consistent with from-scratch recomputation.
+        let graph = ContiguityGraph::lattice(3, 3);
+        let mut attrs = AttributeTable::new(9);
+        attrs.push_column("POP", vec![1.0; 9]).unwrap();
+        attrs
+            .push_column("D", (0..9).map(|i| i as f64).collect())
+            .unwrap();
+        let inst = EmpInstance::new(graph, attrs, "D").unwrap();
+        let set = ConstraintSet::new();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        let top = part.create_region(&eng, &[0, 1, 2]);
+        let mid = part.create_region(&eng, &[3, 4, 5]);
+        let _bot = part.create_region(&eng, &[6, 7, 8]);
+        let mut state = NeighborhoodState::new(&eng, &part);
+        state.assert_consistent(&eng, &part);
+        // Every area touches a foreign region on this 3-stripe partition.
+        assert_eq!(state.boundary().as_slice().len(), 9);
+        // Warm the articulation caches, then apply a move.
+        assert_eq!(state.articulation_points(&eng, &part, mid), &[4]);
+        let mv = Move {
+            area: 5,
+            from: mid,
+            to: top,
+            delta: 0.0,
+        };
+        part.move_area(&eng, 5, top);
+        state.on_move_applied(&eng, &part, mv);
+        state.assert_consistent(&eng, &part);
+        // Mid is now a 2-member path {3,4}: no articulation points.
+        assert!(state.articulation_points(&eng, &part, mid).is_empty());
+        // Top is now the path 0-1-2-5: 1 and 2 are cut vertices.
+        assert_eq!(state.articulation_points(&eng, &part, top), &[1, 2]);
+    }
+
+    #[test]
+    fn incremental_and_reference_agree_step_by_step() {
+        // Drive a full search manually, asserting at every iteration that
+        // the incremental neighborhood picks the same move as the
+        // full-scan/BFS reference from the same state.
+        let graph = ContiguityGraph::lattice(4, 4);
+        let mut attrs = AttributeTable::new(16);
+        attrs.push_column("POP", vec![1.0; 16]).unwrap();
+        attrs
+            .push_column("D", (0..16).map(|i| ((i * 7) % 5) as f64).collect())
+            .unwrap();
+        let inst = EmpInstance::new(graph, attrs, "D").unwrap();
+        let set = ConstraintSet::new().with(Constraint::count(1.0, 10.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(16);
+        part.create_region(&eng, &[0, 1, 2, 3]);
+        part.create_region(&eng, &[4, 5, 6, 7]);
+        part.create_region(&eng, &[8, 9, 10, 11]);
+        part.create_region(&eng, &[12, 13, 14, 15]);
+
+        let mut state = NeighborhoodState::new(&eng, &part);
+        let mut tabu = TabuTable::new(10);
+        let mut current_h = part.heterogeneity_with(&eng);
+        let best_h = current_h;
+        let mut moves = 0usize;
+        for _ in 0..40 {
+            let inc = state.select_move(&eng, &part, &tabu, moves, current_h, best_h);
+            let reference = select_move_reference(&eng, &part, &tabu, moves, current_h, best_h);
+            assert_eq!(inc, reference, "divergent move at step {moves}");
+            let Some(mv) = inc else { break };
+            part.move_area(&eng, mv.area, mv.to);
+            state.on_move_applied(&eng, &part, mv);
+            state.assert_consistent(&eng, &part);
+            moves += 1;
+            tabu.forbid(mv.area, mv.from, moves);
+            current_h += mv.delta;
+        }
+        assert!(moves > 0, "search should find at least one move");
+    }
+
+    #[test]
+    fn traced_search_records_trajectory() {
+        let inst = line_instance();
+        let set = ConstraintSet::new().with(Constraint::count(1.0, 3.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(4);
+        part.create_region(&eng, &[0]);
+        part.create_region(&eng, &[1, 2, 3]);
+        let mut trace = Vec::new();
+        let stats = tabu_search_traced(
+            &eng,
+            &mut part,
+            &TabuConfig::for_instance(4),
+            Some(&mut trace),
+        );
+        assert_eq!(trace.len(), stats.moves + 1);
+        assert!((trace[0] - stats.initial).abs() < 1e-9);
+        let min = trace.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!((min - stats.best).abs() < 1e-9);
     }
 }

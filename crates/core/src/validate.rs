@@ -127,9 +127,8 @@ pub fn validate_or_error(
     constraints: &ConstraintSet,
     solution: &Solution,
 ) -> Result<(), EmpError> {
-    validate_solution(instance, constraints, solution).map_err(|reasons| EmpError::Infeasible {
-        reasons,
-    })
+    validate_solution(instance, constraints, solution)
+        .map_err(|reasons| EmpError::Infeasible { reasons })
 }
 
 /// Theoretical upper bound on `p` implied by the constraints (paper §V-B):
@@ -179,7 +178,9 @@ mod tests {
     fn inst() -> EmpInstance {
         let graph = ContiguityGraph::lattice(4, 1);
         let mut attrs = AttributeTable::new(4);
-        attrs.push_column("POP", vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        attrs
+            .push_column("POP", vec![10.0, 20.0, 30.0, 40.0])
+            .unwrap();
         EmpInstance::new(graph, attrs, "POP").unwrap()
     }
 
@@ -194,16 +195,14 @@ mod tests {
 
     #[test]
     fn accepts_valid_solution() {
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("POP", 30.0, f64::INFINITY).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 30.0, f64::INFINITY).unwrap());
         validate_solution(&inst(), &set, &good_solution()).unwrap();
         validate_or_error(&inst(), &set, &good_solution()).unwrap();
     }
 
     #[test]
     fn detects_constraint_violation() {
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("POP", 50.0, f64::INFINITY).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 50.0, f64::INFINITY).unwrap());
         let errs = validate_solution(&inst(), &set, &good_solution()).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("violates constraint")));
     }
@@ -230,7 +229,9 @@ mod tests {
         };
         let errs = validate_solution(&inst(), &ConstraintSet::new(), &sol).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("more than one region")));
-        assert!(errs.iter().any(|e| e.contains("neither in a region nor in U_0")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("neither in a region nor in U_0")));
     }
 
     #[test]
@@ -259,8 +260,7 @@ mod tests {
     #[test]
     fn upper_bound_from_sum_and_count() {
         // Total POP = 100, SUM >= 40 -> at most 2 regions.
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("POP", 40.0, f64::INFINITY).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 40.0, f64::INFINITY).unwrap());
         assert_eq!(p_upper_bound(&inst(), &set).unwrap(), 2);
         // COUNT >= 3 over 4 areas -> at most 1 region.
         let set = ConstraintSet::new().with(Constraint::count(3.0, f64::INFINITY).unwrap());

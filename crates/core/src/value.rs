@@ -25,7 +25,9 @@ impl Ord for OrdF64 {
     #[inline]
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         debug_assert!(!self.0.is_nan() && !other.0.is_nan());
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 

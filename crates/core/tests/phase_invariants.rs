@@ -24,10 +24,14 @@ fn build_instance(w: usize, h: usize, seed: u64, scale: f64) -> EmpInstance {
     let graph = ContiguityGraph::lattice(w, h);
     let mut attrs = AttributeTable::new(n);
     let s: Vec<f64> = (0..n)
-        .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f64 / 1000.0 * scale)
+        .map(|i| {
+            ((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f64 / 1000.0 * scale
+        })
         .collect();
     let t: Vec<f64> = (0..n)
-        .map(|i| ((i as u64).wrapping_mul(97003).wrapping_add(seed * 31) % 1000) as f64 / 1000.0 * scale)
+        .map(|i| {
+            ((i as u64).wrapping_mul(97003).wrapping_add(seed * 31) % 1000) as f64 / 1000.0 * scale
+        })
         .collect();
     attrs.push_column("S", s).unwrap();
     attrs.push_column("T", t).unwrap();

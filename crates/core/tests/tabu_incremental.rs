@@ -1,0 +1,139 @@
+//! Property tests: the incremental tabu neighborhood (boundary set + cached
+//! articulation points + O(1) tabu table) is *equivalent* to the naive
+//! full-scan/BFS reference implementation, and its caches stay consistent
+//! with from-scratch recomputation across bursts of applied moves.
+
+use emp_core::engine::ConstraintEngine;
+use emp_core::partition::Partition;
+use emp_core::tabu::{
+    select_move_reference, tabu_search, NeighborhoodState, TabuConfig, TabuTable,
+};
+use emp_core::{AttributeTable, Constraint, ConstraintSet, EmpInstance};
+use emp_graph::ContiguityGraph;
+use proptest::prelude::*;
+
+/// A seeded lattice instance: `w × h` grid, POP ≡ 1, dissimilarity values
+/// drawn by proptest.
+fn lattice_instance(w: usize, h: usize, d: &[f64]) -> EmpInstance {
+    let graph = ContiguityGraph::lattice(w, h);
+    let mut attrs = AttributeTable::new(w * h);
+    attrs.push_column("POP", vec![1.0; w * h]).unwrap();
+    attrs.push_column("D", d[..w * h].to_vec()).unwrap();
+    EmpInstance::new(graph, attrs, "D").unwrap()
+}
+
+/// Slices the lattice into horizontal stripes of the given row heights —
+/// always spatially contiguous, so it is a valid initial partition.
+fn stripe_partition(engine: &ConstraintEngine<'_>, w: usize, heights: &[usize]) -> Partition {
+    let n: usize = heights.iter().sum::<usize>() * w;
+    let mut part = Partition::new(n);
+    let mut row = 0usize;
+    for &rows in heights {
+        let members: Vec<u32> = (row * w..(row + rows) * w).map(|a| a as u32).collect();
+        part.create_region(engine, &members);
+        row += rows;
+    }
+    part
+}
+
+/// Stripe row heights (each 1–2 rows, 2–4 stripes): the lattice height is
+/// their sum, so every generated case is a valid multi-region partition.
+fn stripe_heights() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=2, 2..=4)
+}
+
+/// Random constraint combo over the lattice attributes. All bounds are wide
+/// enough that some moves stay admissible, narrow enough that the
+/// constraint filter actually rejects candidates (POP ≡ 1, so SUM(POP) and
+/// COUNT both equal the region size).
+fn constraint_combo() -> impl Strategy<Value = ConstraintSet> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), 2.0f64..4.0).prop_map(
+        |(use_count, use_sum, use_minmax, low)| {
+            let mut set = ConstraintSet::new();
+            if use_count {
+                set.push(Constraint::count(low.floor(), 40.0).unwrap());
+            }
+            if use_sum {
+                set.push(Constraint::sum("POP", low.floor(), f64::INFINITY).unwrap());
+            }
+            if use_minmax {
+                set.push(Constraint::min("D", f64::NEG_INFINITY, f64::INFINITY).unwrap());
+                set.push(Constraint::max("D", 0.0, f64::INFINITY).unwrap());
+            }
+            set
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full-search equivalence: the incremental and reference neighborhoods
+    /// trace identical move sequences and reach identical final partitions.
+    #[test]
+    fn incremental_search_equals_reference(
+        w in 3usize..=6,
+        heights in stripe_heights(),
+        d in prop::collection::vec(0.0f64..10.0, 48),
+        set in constraint_combo(),
+        tenure in 0usize..=12,
+    ) {
+        let h: usize = heights.iter().sum();
+        let inst = lattice_instance(w, h, &d);
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let base = stripe_partition(&eng, w, &heights);
+
+        let cfg = |incremental| TabuConfig {
+            tenure,
+            max_no_improve: w * h,
+            max_iterations: 150,
+            incremental,
+        };
+        let mut fast = base.clone();
+        let mut slow = base;
+        let fs = tabu_search(&eng, &mut fast, &cfg(true));
+        let ss = tabu_search(&eng, &mut slow, &cfg(false));
+        prop_assert_eq!(fs.moves, ss.moves);
+        prop_assert_eq!(fs.iterations, ss.iterations);
+        prop_assert_eq!(fs.best, ss.best);
+        prop_assert_eq!(fast.assignment(), slow.assignment());
+    }
+
+    /// Step-level equivalence and cache consistency: after every applied
+    /// move of a burst, the incremental `select_move` picks exactly the
+    /// reference's move (same delta, same area, same destination), and the
+    /// boundary/articulation caches match a from-scratch recomputation.
+    #[test]
+    fn select_move_and_caches_track_reference(
+        w in 3usize..=6,
+        heights in stripe_heights(),
+        d in prop::collection::vec(0.0f64..10.0, 48),
+        set in constraint_combo(),
+        tenure in 0usize..=10,
+    ) {
+        let h: usize = heights.iter().sum();
+        let inst = lattice_instance(w, h, &d);
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = stripe_partition(&eng, w, &heights);
+
+        let mut state = NeighborhoodState::new(&eng, &part);
+        state.assert_consistent(&eng, &part);
+        let mut tabu = TabuTable::new(tenure);
+        let mut current_h = part.heterogeneity_with(&eng);
+        let best_h = current_h;
+        let mut moves = 0usize;
+        for _ in 0..60 {
+            let inc = state.select_move(&eng, &part, &tabu, moves, current_h, best_h);
+            let reference =
+                select_move_reference(&eng, &part, &tabu, moves, current_h, best_h);
+            prop_assert_eq!(inc, reference, "divergence after {} moves", moves);
+            let Some(mv) = inc else { break };
+            part.move_area(&eng, mv.area, mv.to);
+            state.on_move_applied(&eng, &part, mv);
+            state.assert_consistent(&eng, &part);
+            moves += 1;
+            tabu.forbid(mv.area, mv.from, moves);
+            current_h += mv.delta;
+        }
+    }
+}

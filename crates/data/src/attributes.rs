@@ -73,10 +73,16 @@ pub fn census_attributes(graph: &ContiguityGraph, seed: u64) -> AttributeTable {
         .collect();
 
     let mut table = AttributeTable::new(n);
-    table.push_column("TOTALPOP", totalpop).expect("fresh column");
+    table
+        .push_column("TOTALPOP", totalpop)
+        .expect("fresh column");
     table.push_column("POP16UP", pop16up).expect("fresh column");
-    table.push_column("EMPLOYED", employed).expect("fresh column");
-    table.push_column("HOUSEHOLDS", households).expect("fresh column");
+    table
+        .push_column("EMPLOYED", employed)
+        .expect("fresh column");
+    table
+        .push_column("HOUSEHOLDS", households)
+        .expect("fresh column");
     table
 }
 
@@ -198,7 +204,10 @@ mod tests {
         let emp = t.column_by_name("EMPLOYED").unwrap();
         assert!(ecdf(emp, 4000.0) > 0.95);
         let below_2000 = ecdf(emp, 2000.0);
-        assert!((0.45..=0.75).contains(&below_2000), "P(<=2000) = {below_2000}");
+        assert!(
+            (0.45..=0.75).contains(&below_2000),
+            "P(<=2000) = {below_2000}"
+        );
         let max = emp.iter().copied().fold(0.0f64, f64::max);
         assert!(max > 3500.0, "max = {max}");
         // Positive skew: mean > median.

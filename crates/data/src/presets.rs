@@ -22,15 +22,51 @@ pub struct Preset {
 
 /// All nine evaluation datasets (paper §VII-A and Table I).
 pub const PRESETS: [Preset; 9] = [
-    Preset { name: "1k", areas: 1012, description: "Los Angeles City" },
-    Preset { name: "2k", areas: 2344, description: "Los Angeles County (default dataset)" },
-    Preset { name: "4k", areas: 3947, description: "Southern California (SCAG)" },
-    Preset { name: "8k", areas: 8049, description: "State of California" },
-    Preset { name: "10k", areas: 10255, description: "CA, NV, AZ" },
-    Preset { name: "20k", areas: 20570, description: "10k + OR, WA, ID, UT, MT, WY, CO, NM, OK, NE, SD, ND" },
-    Preset { name: "30k", areas: 29887, description: "20k + TX, LA, AR, MO, IA" },
-    Preset { name: "40k", areas: 40214, description: "30k + MN, MS, AL, TN, KY, IL, WI" },
-    Preset { name: "50k", areas: 49943, description: "40k + GA, IN, MI, OH, WV" },
+    Preset {
+        name: "1k",
+        areas: 1012,
+        description: "Los Angeles City",
+    },
+    Preset {
+        name: "2k",
+        areas: 2344,
+        description: "Los Angeles County (default dataset)",
+    },
+    Preset {
+        name: "4k",
+        areas: 3947,
+        description: "Southern California (SCAG)",
+    },
+    Preset {
+        name: "8k",
+        areas: 8049,
+        description: "State of California",
+    },
+    Preset {
+        name: "10k",
+        areas: 10255,
+        description: "CA, NV, AZ",
+    },
+    Preset {
+        name: "20k",
+        areas: 20570,
+        description: "10k + OR, WA, ID, UT, MT, WY, CO, NM, OK, NE, SD, ND",
+    },
+    Preset {
+        name: "30k",
+        areas: 29887,
+        description: "20k + TX, LA, AR, MO, IA",
+    },
+    Preset {
+        name: "40k",
+        areas: 40214,
+        description: "30k + MN, MS, AL, TN, KY, IL, WI",
+    },
+    Preset {
+        name: "50k",
+        areas: 49943,
+        description: "40k + GA, IN, MI, OH, WV",
+    },
 ];
 
 /// The paper's default evaluation dataset.

@@ -158,7 +158,10 @@ mod tests {
             jitter: 0.0,
             seed: 3,
         };
-        let wavy = TessellationSpec { jitter: 0.22, ..flat.clone() };
+        let wavy = TessellationSpec {
+            jitter: 0.22,
+            ..flat.clone()
+        };
         let g_flat = graph_of(&generate(&flat));
         let g_wavy = graph_of(&generate(&wavy));
         assert_eq!(g_flat, g_wavy, "jitter must not change adjacency");

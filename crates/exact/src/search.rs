@@ -119,10 +119,8 @@ pub fn exact_solve(
     let complete = search(&mut ctx, full, &mut regions, 0.0, 0);
 
     let best_regions = ctx.best_regions.clone().unwrap_or_default();
-    let mut region_lists: Vec<Vec<u32>> = best_regions
-        .iter()
-        .map(|&mask| mask_to_vec(mask))
-        .collect();
+    let mut region_lists: Vec<Vec<u32>> =
+        best_regions.iter().map(|&mask| mask_to_vec(mask)).collect();
     region_lists.sort_by_key(|m| m[0]);
     let mut assignment = vec![None; n];
     for (ri, members) in region_lists.iter().enumerate() {
@@ -205,7 +203,13 @@ impl Ctx<'_, '_> {
 }
 
 /// Returns `false` when the node budget ran out (result may be suboptimal).
-fn search(ctx: &mut Ctx<'_, '_>, remaining: u64, regions: &mut Vec<u64>, _h: f64, _depth: usize) -> bool {
+fn search(
+    ctx: &mut Ctx<'_, '_>,
+    remaining: u64,
+    regions: &mut Vec<u64>,
+    _h: f64,
+    _depth: usize,
+) -> bool {
     ctx.nodes += 1;
     if ctx.nodes > ctx.max_nodes {
         return false;
@@ -240,7 +244,13 @@ fn search(ctx: &mut Ctx<'_, '_>, remaining: u64, regions: &mut Vec<u64>, _h: f64
 
     // Branch (b): every connected feasible region containing the pivot.
     let mut subsets: Vec<u64> = Vec::new();
-    enumerate_connected(ctx, pivot_bit, pivot_bit, remaining & !pivot_bit, &mut subsets);
+    enumerate_connected(
+        ctx,
+        pivot_bit,
+        pivot_bit,
+        remaining & !pivot_bit,
+        &mut subsets,
+    );
     for mask in subsets {
         if ctx.region_feasible(mask) {
             regions.push(mask);
@@ -329,8 +339,7 @@ mod tests {
     fn sum_threshold_optimal_p() {
         // Path [3,3,3,3], SUM >= 6: optimal p = 2 ({0,1}, {2,3}).
         let inst = path_instance(&[3.0; 4]);
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("POP", 6.0, f64::INFINITY).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 6.0, f64::INFINITY).unwrap());
         let report = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
         assert!(report.complete);
         assert_eq!(report.solution.p(), 2);
@@ -390,8 +399,7 @@ mod tests {
     #[test]
     fn infeasible_everything_unassigned() {
         let inst = path_instance(&[1.0, 1.0]);
-        let set = ConstraintSet::new()
-            .with(Constraint::sum("POP", 100.0, f64::INFINITY).unwrap());
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 100.0, f64::INFINITY).unwrap());
         let report = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
         assert!(report.complete);
         assert_eq!(report.solution.p(), 0);
@@ -423,8 +431,8 @@ mod tests {
         let mut counts = Vec::new();
         for n in [4usize, 6, 8] {
             let inst = path_instance(&vec![1.0; n]);
-            let set = ConstraintSet::new()
-                .with(Constraint::sum("POP", 2.0, f64::INFINITY).unwrap());
+            let set =
+                ConstraintSet::new().with(Constraint::sum("POP", 2.0, f64::INFINITY).unwrap());
             let report = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
             assert!(report.complete);
             counts.push(report.nodes);

@@ -28,7 +28,12 @@ impl BBox {
     /// Creates a box from explicit bounds.
     #[inline]
     pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
-        BBox { min_x, min_y, max_x, max_y }
+        BBox {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
     }
 
     /// Box covering a single point.
@@ -114,7 +119,10 @@ impl BBox {
     /// Center point; meaningless for empty boxes.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new((self.min_x + self.max_x) * 0.5, (self.min_y + self.max_y) * 0.5)
+        Point::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
     }
 
     /// Returns the box expanded by `margin` on every side.

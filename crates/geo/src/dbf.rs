@@ -87,7 +87,12 @@ pub fn write_dbf(table: &DbfTable) -> Result<Vec<u8>, GeoError> {
     for row in 0..rows {
         out.put_u8(b' '); // not deleted
         for col in &table.columns {
-            let text = format!("{:>width$.prec$}", col[row], width = FIELD_WIDTH as usize, prec = FIELD_DECIMALS as usize);
+            let text = format!(
+                "{:>width$.prec$}",
+                col[row],
+                width = FIELD_WIDTH as usize,
+                prec = FIELD_DECIMALS as usize
+            );
             // Overflowing values would corrupt the fixed layout; reject.
             if text.len() != FIELD_WIDTH as usize {
                 return Err(err(format!("value {} too wide for field", col[row])));
@@ -165,7 +170,9 @@ pub fn read_dbf(data: &[u8]) -> Result<DbfTable, GeoError> {
     for row in 0..rows {
         let rec = &body[row * record_size..(row + 1) * record_size];
         if rec[0] == b'*' {
-            return Err(err(format!("record {row} is deleted; compact the file first")));
+            return Err(err(format!(
+                "record {row} is deleted; compact the file first"
+            )));
         }
         let mut offset = 1usize;
         let mut out_idx = 0usize;
@@ -212,7 +219,12 @@ mod tests {
         let back = read_dbf(&bytes).unwrap();
         assert_eq!(back.names, t.names);
         assert_eq!(back.rows(), 3);
-        for (a, b) in t.columns.iter().flatten().zip(back.columns.iter().flatten()) {
+        for (a, b) in t
+            .columns
+            .iter()
+            .flatten()
+            .zip(back.columns.iter().flatten())
+        {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
     }

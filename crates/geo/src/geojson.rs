@@ -29,7 +29,9 @@ pub fn read_feature_collection(text: &str) -> Result<Vec<AreaFeature>, GeoError>
     let doc: Value = serde_json::from_str(text).map_err(|e| GeoError::GeoJson {
         message: format!("invalid JSON: {e}"),
     })?;
-    let obj = doc.as_object().ok_or_else(|| err("root is not an object"))?;
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| err("root is not an object"))?;
     if obj.get("type").and_then(Value::as_str) != Some("FeatureCollection") {
         return Err(err("root type must be FeatureCollection"));
     }
@@ -46,8 +48,7 @@ pub fn read_feature_collection(text: &str) -> Result<Vec<AreaFeature>, GeoError>
         let geom = fo
             .get("geometry")
             .ok_or_else(|| err(&format!("feature {idx} has no geometry")))?;
-        let geometry = parse_geometry(geom)
-            .map_err(|e| err(&format!("feature {idx}: {e}")))?;
+        let geometry = parse_geometry(geom).map_err(|e| err(&format!("feature {idx}: {e}")))?;
         let mut properties = BTreeMap::new();
         if let Some(props) = fo.get("properties").and_then(Value::as_object) {
             for (k, v) in props {
@@ -56,7 +57,10 @@ pub fn read_feature_collection(text: &str) -> Result<Vec<AreaFeature>, GeoError>
                 }
             }
         }
-        out.push(AreaFeature { geometry, properties });
+        out.push(AreaFeature {
+            geometry,
+            properties,
+        });
     }
     Ok(out)
 }
@@ -89,7 +93,9 @@ fn err(message: &str) -> GeoError {
 }
 
 fn parse_position(v: &Value) -> Result<Point, GeoError> {
-    let arr = v.as_array().ok_or_else(|| err("position is not an array"))?;
+    let arr = v
+        .as_array()
+        .ok_or_else(|| err("position is not an array"))?;
     if arr.len() < 2 {
         return Err(err("position needs 2 coordinates"));
     }
@@ -100,22 +106,32 @@ fn parse_position(v: &Value) -> Result<Point, GeoError> {
 
 fn parse_ring(v: &Value) -> Result<Ring, GeoError> {
     let arr = v.as_array().ok_or_else(|| err("ring is not an array"))?;
-    let pts = arr.iter().map(parse_position).collect::<Result<Vec<_>, _>>()?;
+    let pts = arr
+        .iter()
+        .map(parse_position)
+        .collect::<Result<Vec<_>, _>>()?;
     Ring::new(pts)
 }
 
 fn parse_polygon_coords(v: &Value) -> Result<Polygon, GeoError> {
-    let rings = v.as_array().ok_or_else(|| err("polygon coords not an array"))?;
+    let rings = v
+        .as_array()
+        .ok_or_else(|| err("polygon coords not an array"))?;
     if rings.is_empty() {
         return Err(err("polygon needs an exterior ring"));
     }
     let exterior = parse_ring(&rings[0])?;
-    let holes = rings[1..].iter().map(parse_ring).collect::<Result<Vec<_>, _>>()?;
+    let holes = rings[1..]
+        .iter()
+        .map(parse_ring)
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(Polygon::with_holes(exterior, holes))
 }
 
 fn parse_geometry(v: &Value) -> Result<MultiPolygon, GeoError> {
-    let obj = v.as_object().ok_or_else(|| err("geometry is not an object"))?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| err("geometry is not an object"))?;
     let gtype = obj
         .get("type")
         .and_then(Value::as_str)
@@ -140,11 +156,7 @@ fn parse_geometry(v: &Value) -> Result<MultiPolygon, GeoError> {
 }
 
 fn ring_to_value(r: &Ring) -> Value {
-    let mut coords: Vec<Value> = r
-        .vertices()
-        .iter()
-        .map(|p| json!([p.x, p.y]))
-        .collect();
+    let mut coords: Vec<Value> = r.vertices().iter().map(|p| json!([p.x, p.y])).collect();
     // GeoJSON rings repeat the first position.
     let first = r.vertices()[0];
     coords.push(json!([first.x, first.y]));

@@ -46,7 +46,11 @@ impl GridIndex {
                 }
             }
         }
-        GridIndex { cell, cells, bboxes }
+        GridIndex {
+            cell,
+            cells,
+            bboxes,
+        }
     }
 
     /// Number of indexed boxes.
@@ -175,7 +179,12 @@ mod tests {
         let mut bs = Vec::new();
         for y in 0..10 {
             for x in 0..10 {
-                bs.push(BBox::new(x as f64, y as f64, x as f64 + 1.0, y as f64 + 1.0));
+                bs.push(BBox::new(
+                    x as f64,
+                    y as f64,
+                    x as f64 + 1.0,
+                    y as f64 + 1.0,
+                ));
             }
         }
         let idx = GridIndex::build(bs.clone());

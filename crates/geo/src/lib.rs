@@ -33,8 +33,8 @@ pub mod grid;
 pub mod point;
 pub mod polygon;
 pub mod ring;
-pub mod shapefile;
 pub mod segment;
+pub mod shapefile;
 pub mod wkt;
 
 pub use bbox::BBox;

@@ -75,7 +75,11 @@ impl Point {
         self.x
             .partial_cmp(&other.x)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(self.y.partial_cmp(&other.y).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                self.y
+                    .partial_cmp(&other.y)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
     }
 }
 

@@ -229,15 +229,12 @@ mod tests {
 
     #[test]
     fn winding_is_normalized() {
-        let mut ext =
-            Ring::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]).unwrap();
+        let mut ext = Ring::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]).unwrap();
         ext.reverse(); // now CW
         let poly = Polygon::new(ext);
         assert!(poly.exterior().is_ccw());
-        let hole_ccw =
-            Ring::new(vec![p(1.0, 1.0), p(2.0, 1.0), p(2.0, 2.0), p(1.0, 2.0)]).unwrap();
-        let ext2 =
-            Ring::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]).unwrap();
+        let hole_ccw = Ring::new(vec![p(1.0, 1.0), p(2.0, 1.0), p(2.0, 2.0), p(1.0, 2.0)]).unwrap();
+        let ext2 = Ring::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]).unwrap();
         let poly2 = Polygon::with_holes(ext2, vec![hole_ccw]);
         assert!(!poly2.holes()[0].is_ccw());
     }

@@ -110,10 +110,7 @@ impl Ring {
         if a.abs() < 1e-300 {
             // Degenerate (zero-area) ring: fall back to the vertex mean.
             let inv = 1.0 / n as f64;
-            let sum = self
-                .vertices
-                .iter()
-                .fold(Point::ORIGIN, |acc, &p| acc + p);
+            let sum = self.vertices.iter().fold(Point::ORIGIN, |acc, &p| acc + p);
             return sum * inv;
         }
         Point::new(cx / (3.0 * a), cy / (3.0 * a))
@@ -275,8 +272,7 @@ mod tests {
     fn simplicity() {
         assert!(unit_square().is_simple());
         // Bow-tie: self-intersecting.
-        let bowtie =
-            Ring::new(vec![p(0.0, 0.0), p(1.0, 1.0), p(1.0, 0.0), p(0.0, 1.0)]).unwrap();
+        let bowtie = Ring::new(vec![p(0.0, 0.0), p(1.0, 1.0), p(1.0, 0.0), p(0.0, 1.0)]).unwrap();
         assert!(!bowtie.is_simple());
     }
 

@@ -56,7 +56,9 @@ pub fn read_shp(data: &[u8]) -> Result<Vec<MultiPolygon>, GeoError> {
     }
     let shape_type = header.get_i32_le();
     if shape_type != SHAPE_POLYGON {
-        return Err(err(format!("unsupported shape type {shape_type} (want Polygon = 5)")));
+        return Err(err(format!(
+            "unsupported shape type {shape_type} (want Polygon = 5)"
+        )));
     }
 
     let mut body = &data[100..];
@@ -78,10 +80,16 @@ pub fn read_shp(data: &[u8]) -> Result<Vec<MultiPolygon>, GeoError> {
         let stype = content.get_i32_le();
         match stype {
             SHAPE_NULL => {
-                return Err(err(format!("record {recno} is a null shape; EMP areas need geometry")));
+                return Err(err(format!(
+                    "record {recno} is a null shape; EMP areas need geometry"
+                )));
             }
             SHAPE_POLYGON => shapes.push(read_polygon_record(&mut content, recno)?),
-            other => return Err(err(format!("record {recno}: unsupported shape type {other}"))),
+            other => {
+                return Err(err(format!(
+                    "record {recno}: unsupported shape type {other}"
+                )))
+            }
         }
     }
     if body.has_remaining() {
@@ -119,7 +127,9 @@ fn read_polygon_record(content: &mut &[u8], recno: i32) -> Result<MultiPolygon, 
     for (i, &start) in part_starts.iter().enumerate() {
         let end = part_starts.get(i + 1).copied().unwrap_or(num_points);
         if start >= end || end > num_points {
-            return Err(err(format!("record {recno}: bad part bounds {start}..{end}")));
+            return Err(err(format!(
+                "record {recno}: bad part bounds {start}..{end}"
+            )));
         }
         // ESRI rings repeat the first point; Ring::new normalizes that.
         rings.push(Ring::new(points[start..end].to_vec())?);
@@ -150,7 +160,9 @@ fn assemble_polygons(rings: Vec<Ring>, recno: i32) -> Result<MultiPolygon, GeoEr
                 continue 'hole;
             }
         }
-        return Err(err(format!("record {recno}: hole not contained in any outer ring")));
+        return Err(err(format!(
+            "record {recno}: hole not contained in any outer ring"
+        )));
     }
     MultiPolygon::new(
         outers
@@ -170,8 +182,7 @@ pub fn write_shp(shapes: &[MultiPolygon]) -> (Vec<u8>, Vec<u8>) {
         records.push(polygon_record_content(mp));
     }
 
-    let total_len: usize =
-        100 + records.iter().map(|r| 8 + r.len()).sum::<usize>();
+    let total_len: usize = 100 + records.iter().map(|r| 8 + r.len()).sum::<usize>();
     let mut shp = Vec::with_capacity(total_len);
     write_header(&mut shp, total_len, &global_bbox);
     let mut shx = Vec::with_capacity(100 + records.len() * 8);
@@ -295,10 +306,7 @@ mod tests {
         for (a, b) in original.iter().zip(&back) {
             assert!((a.area() - b.area()).abs() < 1e-9, "area mismatch");
             assert_eq!(a.polygons().len(), b.polygons().len());
-            assert_eq!(
-                a.polygons()[0].holes().len(),
-                b.polygons()[0].holes().len()
-            );
+            assert_eq!(a.polygons()[0].holes().len(), b.polygons()[0].holes().len());
         }
         // Hole survived: the holed shape has area 16 - 1 = 15.
         assert!((back[1].area() - 15.0).abs() < 1e-9);
@@ -322,10 +330,7 @@ mod tests {
         for _ in 0..points {
             pts.push(Point::new(c.get_f64_le(), c.get_f64_le()));
         }
-        let shoelace: f64 = pts
-            .windows(2)
-            .map(|w| w[0].cross(w[1]))
-            .sum();
+        let shoelace: f64 = pts.windows(2).map(|w| w[0].cross(w[1])).sum();
         assert!(shoelace < 0.0, "outer ring must be clockwise");
     }
 

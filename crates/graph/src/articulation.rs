@@ -8,31 +8,77 @@
 
 use crate::graph::ContiguityGraph;
 
+/// Reusable buffers for [`articulation_points_into`].
+///
+/// The local-search phase recomputes articulation points for the two regions
+/// touched by every applied move; reusing one scratch across those calls
+/// avoids six heap allocations per recomputation.
+#[derive(Clone, Debug, Default)]
+pub struct ArticulationScratch {
+    sorted: Vec<u32>,
+    disc: Vec<u32>,
+    low: Vec<u32>,
+    parent: Vec<u32>,
+    is_art: Vec<bool>,
+    stack: Vec<(u32, usize)>,
+}
+
 /// Computes the articulation points of the subgraph induced by `members`,
 /// returned as a sorted vertex list.
 ///
 /// If the induced subgraph is disconnected, articulation points of each
 /// component are returned. Vertices in `members` must be distinct.
 pub fn articulation_points(graph: &ContiguityGraph, members: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    articulation_points_into(
+        graph,
+        members,
+        &mut ArticulationScratch::default(),
+        &mut out,
+    );
+    out
+}
+
+/// Allocation-free variant of [`articulation_points`]: writes the sorted
+/// articulation points into `out` (cleared first), reusing `scratch` for all
+/// internal DFS state.
+pub fn articulation_points_into(
+    graph: &ContiguityGraph,
+    members: &[u32],
+    scratch: &mut ArticulationScratch,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
     let k = members.len();
     if k <= 2 {
         // Removing a vertex of a 1- or 2-vertex region never disconnects the
         // remainder (it becomes empty or a singleton).
-        return Vec::new();
+        return;
     }
-    let mut sorted = members.to_vec();
-    sorted.sort_unstable();
+    scratch.sorted.clear();
+    scratch.sorted.extend_from_slice(members);
+    scratch.sorted.sort_unstable();
+    let sorted = &scratch.sorted;
 
     // Iterative Tarjan lowlink over local indices.
     const NIL: u32 = u32::MAX;
-    let mut disc = vec![NIL; k];
-    let mut low = vec![0u32; k];
-    let mut parent = vec![NIL; k];
-    let mut is_art = vec![false; k];
+    scratch.disc.clear();
+    scratch.disc.resize(k, NIL);
+    scratch.low.clear();
+    scratch.low.resize(k, 0);
+    scratch.parent.clear();
+    scratch.parent.resize(k, NIL);
+    scratch.is_art.clear();
+    scratch.is_art.resize(k, false);
+    let disc = &mut scratch.disc;
+    let low = &mut scratch.low;
+    let parent = &mut scratch.parent;
+    let is_art = &mut scratch.is_art;
     let mut timer = 0u32;
 
     // Explicit DFS stack: (node, neighbor cursor).
-    let mut stack: Vec<(u32, usize)> = Vec::with_capacity(k);
+    let stack = &mut scratch.stack;
+    stack.clear();
 
     for root in 0..k as u32 {
         if disc[root as usize] != NIL {
@@ -80,11 +126,12 @@ pub fn articulation_points(graph: &ContiguityGraph, members: &[u32]) -> Vec<u32>
         }
     }
 
-    sorted
-        .iter()
-        .zip(is_art.iter())
-        .filter_map(|(&v, &a)| a.then_some(v))
-        .collect()
+    out.extend(
+        sorted
+            .iter()
+            .zip(is_art.iter())
+            .filter_map(|(&v, &a)| a.then_some(v)),
+    );
 }
 
 /// Convenience: the members of a region that are *safe to remove* without
@@ -147,8 +194,8 @@ mod tests {
         let regions: Vec<Vec<u32>> = vec![
             vec![0, 1, 2, 7, 12, 11, 10],      // snake
             vec![6, 7, 8, 11, 13, 16, 17, 18], // ring around 12
-            (0..25).collect(),                  // everything
-            vec![0, 5, 10, 15, 20, 21, 22],     // L
+            (0..25).collect(),                 // everything
+            vec![0, 5, 10, 15, 20, 21, 22],    // L
         ];
         for region in regions {
             let arts = articulation_points(&g, &region);
@@ -165,9 +212,26 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_computation() {
+        let g = ContiguityGraph::lattice(5, 5);
+        let regions: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2, 7, 12, 11, 10],
+            (0..25).collect(),
+            vec![3, 4],
+            vec![0, 5, 10, 15, 20, 21, 22],
+        ];
+        let mut scratch = ArticulationScratch::default();
+        let mut out = Vec::new();
+        for region in &regions {
+            articulation_points_into(&g, region, &mut scratch, &mut out);
+            assert_eq!(out, articulation_points(&g, region), "region {region:?}");
+        }
+    }
+
+    #[test]
     fn disconnected_subset_components_handled() {
         let g = ContiguityGraph::lattice(5, 1); // path 0-1-2-3-4
-        // Two components: {0,1,2} and {4}.
+                                                // Two components: {0,1,2} and {4}.
         let arts = articulation_points(&g, &[0, 1, 2, 4]);
         assert_eq!(arts, vec![1]);
     }

@@ -134,7 +134,10 @@ impl ContiguityGraph {
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.adjacency.iter().enumerate().flat_map(|(i, list)| {
             let i = i as u32;
-            list.iter().copied().filter(move |&j| i < j).map(move |j| (i, j))
+            list.iter()
+                .copied()
+                .filter(move |&j| i < j)
+                .map(move |j| (i, j))
         })
     }
 }

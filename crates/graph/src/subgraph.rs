@@ -44,11 +44,7 @@ pub fn is_connected_subset(graph: &ContiguityGraph, members: &[u32]) -> bool {
 ///
 /// Returns `false` when the region would become empty — by convention a
 /// region must keep at least one area, so removing the last area is invalid.
-pub fn is_connected_after_removal(
-    graph: &ContiguityGraph,
-    members: &[u32],
-    removed: u32,
-) -> bool {
+pub fn is_connected_after_removal(graph: &ContiguityGraph, members: &[u32], removed: u32) -> bool {
     debug_assert!(members.contains(&removed));
     if members.len() == 1 {
         return false;
@@ -123,7 +119,7 @@ mod tests {
         let region = [0u32, 3, 6];
         let b = boundary_areas(&g, &region, |v| !region.contains(&v));
         assert_eq!(b, vec![0, 3, 6]); // every member touches the middle column
-        // Region = whole lattice: no boundary against an empty outside.
+                                      // Region = whole lattice: no boundary against an empty outside.
         let all: Vec<u32> = (0..9).collect();
         let b = boundary_areas(&g, &all, |_| false);
         assert!(b.is_empty());

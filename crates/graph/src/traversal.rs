@@ -19,7 +19,11 @@ impl<'g> Bfs<'g> {
             visited[start as usize] = true;
             queue.push_back(start);
         }
-        Bfs { graph, queue, visited }
+        Bfs {
+            graph,
+            queue,
+            visited,
+        }
     }
 }
 
