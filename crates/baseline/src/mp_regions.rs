@@ -7,7 +7,8 @@ use emp_core::instance::EmpInstance;
 use emp_core::partition::Partition;
 use emp_core::solution::Solution;
 use emp_core::solver::PhaseTimings;
-use emp_core::tabu::{tabu_search, TabuConfig, TabuStats};
+use emp_core::tabu::{tabu_search_observed, TabuConfig, TabuStats};
+use emp_obs::{CounterKind, Counters, Recorder, TrajectorySummary};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -53,8 +54,8 @@ impl MpConfig {
     }
 }
 
-/// Solver output: solution plus timing and tabu statistics, shaped like
-/// FaCT's report for side-by-side evaluation.
+/// Solver output: solution plus timing, tabu statistics, and telemetry,
+/// shaped like FaCT's report for side-by-side evaluation.
 #[derive(Clone, Debug)]
 pub struct MpReport {
     /// The final partition.
@@ -65,12 +66,24 @@ pub struct MpReport {
     pub tabu: TabuStats,
     /// Phase timings (feasibility slot unused; kept for symmetry).
     pub timings: PhaseTimings,
+    /// Telemetry counters accumulated during this solve.
+    pub counters: Counters,
+    /// Local-search objective trajectory summary (empty when tabu was
+    /// skipped).
+    pub trajectory: TrajectorySummary,
 }
 
 impl MpReport {
     /// Number of regions.
     pub fn p(&self) -> usize {
         self.solution.p()
+    }
+
+    /// Relative heterogeneity improvement from the local search; `None` when
+    /// the search never ran or the initial objective was zero/non-finite
+    /// (same convention as FaCT's `SolveReport::improvement`).
+    pub fn improvement(&self) -> Option<f64> {
+        self.trajectory.improvement()
     }
 }
 
@@ -82,6 +95,19 @@ pub fn solve_mp(
     attr: &str,
     threshold: f64,
     config: &MpConfig,
+) -> Result<MpReport, EmpError> {
+    solve_mp_observed(instance, attr, threshold, config, &mut Recorder::noop())
+}
+
+/// [`solve_mp`] reporting telemetry through `rec`: a `solve` span wrapping
+/// one `mp_construct` span per construction iteration and a `tabu` span with
+/// the per-move objective trajectory.
+pub fn solve_mp_observed(
+    instance: &EmpInstance,
+    attr: &str,
+    threshold: f64,
+    config: &MpConfig,
+    rec: &mut Recorder,
 ) -> Result<MpReport, EmpError> {
     let constraints = ConstraintSet::new().with(Constraint::sum(attr, threshold, f64::INFINITY)?);
     let engine = ConstraintEngine::compile(instance, &constraints)?;
@@ -103,11 +129,15 @@ pub fn solve_mp(
         });
     }
 
+    let counters_at_entry = rec.counters_snapshot();
+    rec.span_begin("solve", None);
     let t0 = Instant::now();
     let mut best: Option<Partition> = None;
     for i in 0..config.construction_iterations.max(1) {
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
-        let cand = construct(&engine, instance, col, threshold, &mut rng);
+        rec.span_begin("mp_construct", Some(i as u64));
+        let cand = construct(&engine, instance, col, threshold, &mut rng, rec.counters());
+        rec.span_end();
         let replace = match &best {
             None => true,
             Some(b) => {
@@ -133,7 +163,10 @@ pub fn solve_mp(
         if let Some(cap) = config.max_tabu_iterations {
             cfg.max_iterations = cap;
         }
-        tabu_search(&engine, &mut partition, &cfg)
+        rec.span_begin("tabu", None);
+        let stats = tabu_search_observed(&engine, &mut partition, &cfg, rec);
+        rec.span_end();
+        stats
     } else {
         TabuStats {
             initial: heterogeneity_before,
@@ -142,6 +175,10 @@ pub fn solve_mp(
         }
     };
     let local_search = t1.elapsed().as_secs_f64();
+
+    rec.span_end(); // close "solve"
+    let counters = rec.counters_snapshot().delta_since(&counters_at_entry);
+    let trajectory = rec.take_trajectory();
 
     Ok(MpReport {
         solution: Solution::from_partition(&engine, &partition),
@@ -152,6 +189,8 @@ pub fn solve_mp(
             construction,
             local_search,
         },
+        counters,
+        trajectory,
     })
 }
 
@@ -162,6 +201,7 @@ fn construct(
     col: usize,
     threshold: f64,
     rng: &mut StdRng,
+    counters: &mut Counters,
 ) -> Partition {
     let n = instance.len();
     let graph = instance.graph();
@@ -207,6 +247,7 @@ fn construct(
         if sum >= threshold {
             // Commit: mark members assigned.
             partition.create_region(engine, &members);
+            counters.inc(CounterKind::RegionsCreated);
         }
         // Failed growth leaves the areas unassigned (enclaves).
     }
@@ -331,5 +372,25 @@ mod tests {
         let report = solve_mp(&inst, "POP", 700.0, &MpConfig::seeded(7)).unwrap();
         let set = ConstraintSet::new().with(Constraint::sum("POP", 700.0, f64::INFINITY).unwrap());
         validate_solution(&inst, &set, &report.solution).unwrap();
+    }
+
+    #[test]
+    fn observed_solve_reports_spans_and_counters() {
+        let inst = random_instance(8, 17);
+        let sink = emp_obs::InMemorySink::new();
+        let handle = sink.handle();
+        let mut rec = Recorder::with_sink(Box::new(sink));
+        let report =
+            solve_mp_observed(&inst, "POP", 800.0, &MpConfig::seeded(8), &mut rec).unwrap();
+        rec.finish();
+        assert!(report.counters.get(CounterKind::RegionsCreated) >= report.p() as u64);
+        assert_eq!(
+            report.tabu.moves as u64,
+            report.counters.get(CounterKind::TabuMovesApplied)
+        );
+        let data = handle.lock().unwrap();
+        assert!(data.spans.iter().any(|s| s.name == "mp_construct"));
+        assert!(data.spans.iter().any(|s| s.name == "tabu"));
+        assert_eq!(report.trajectory.points(), data.trajectory.len() as u64);
     }
 }

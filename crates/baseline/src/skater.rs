@@ -15,6 +15,7 @@ use emp_core::heterogeneity::{total_heterogeneity, DissimStat};
 use emp_core::instance::EmpInstance;
 use emp_core::solution::Solution;
 use emp_graph::connected_components;
+use emp_obs::{CounterKind, Recorder};
 
 /// Tree-partition parameters.
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +47,16 @@ pub struct SkaterReport {
 /// Runs the SKATER-style baseline. Multi-component graphs get a spanning
 /// forest: each component starts as one region.
 pub fn solve_skater(instance: &EmpInstance, config: &SkaterConfig) -> SkaterReport {
+    solve_skater_observed(instance, config, &mut Recorder::noop())
+}
+
+/// [`solve_skater`] reporting telemetry through `rec`: `mst` and `split`
+/// spans plus a `skater_splits` note with the number of cuts performed.
+pub fn solve_skater_observed(
+    instance: &EmpInstance,
+    config: &SkaterConfig,
+    rec: &mut Recorder,
+) -> SkaterReport {
     let n = instance.len();
     let graph = instance.graph();
     let dissim = instance.dissimilarity();
@@ -53,6 +64,7 @@ pub fn solve_skater(instance: &EmpInstance, config: &SkaterConfig) -> SkaterRepo
     assert!(config.min_region_size >= 1);
 
     // Phase 1: MST/forest via Kruskal over |d_i - d_j| weights.
+    rec.span_begin("mst", None);
     let mut edges: Vec<(f64, u32, u32)> = graph
         .edges()
         .map(|(i, j)| ((dissim[i as usize] - dissim[j as usize]).abs(), i, j))
@@ -67,13 +79,17 @@ pub fn solve_skater(instance: &EmpInstance, config: &SkaterConfig) -> SkaterRepo
             tree[j as usize].push(i);
         }
     }
+    rec.span_end();
 
     // Initial regions: the connected components (each spanned by its tree).
     let comps = connected_components(graph);
     let mut regions: Vec<Vec<u32>> = comps.members.clone();
+    rec.counters()
+        .add(CounterKind::RegionsCreated, regions.len() as u64);
     let mut splits = 0usize;
 
     // Phase 2: greedy best-cut splitting until k regions.
+    rec.span_begin("split", None);
     while regions.len() < config.k {
         let mut best: Option<(usize, u32, u32, f64)> = None; // (region, a, b, reduction)
         for (ri, members) in regions.iter().enumerate() {
@@ -121,7 +137,10 @@ pub fn solve_skater(instance: &EmpInstance, config: &SkaterConfig) -> SkaterRepo
         regions.push(side);
         regions.push(other);
         splits += 1;
+        rec.counters().inc(CounterKind::RegionsCreated);
     }
+    rec.span_end();
+    rec.note("skater_splits", splits as f64);
 
     regions.iter_mut().for_each(|m| m.sort_unstable());
     regions.sort_by_key(|m| m[0]);

@@ -5,14 +5,17 @@
 //! articulation points, `FactConfig::incremental_tabu = true`) against the
 //! full-scan + BFS-per-candidate reference path, and emits a
 //! `BENCH_tabu.json` artifact at the workspace root with before/after
-//! numbers plus the heterogeneity trajectory.
+//! numbers, counter-derived rates (moves/s, articulation-cache hit rate),
+//! and the heterogeneity trajectory — both captured through the emp-obs
+//! telemetry channel instead of bespoke plumbing.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use emp_bench::presets::Combo;
 use emp_core::engine::ConstraintEngine;
 use emp_core::partition::Partition;
-use emp_core::tabu::{tabu_search, tabu_search_traced, TabuConfig, TabuStats};
+use emp_core::tabu::{tabu_search, tabu_search_observed, TabuConfig, TabuStats};
 use emp_core::{ConstraintSet, EmpInstance, FactConfig};
+use emp_obs::{CounterKind, Counters, InMemorySink, Recorder};
 use std::time::Instant;
 
 const AREAS: usize = 1000;
@@ -47,66 +50,93 @@ fn tabu_config(budget: usize, incremental: bool) -> TabuConfig {
     }
 }
 
-/// Best-of-3 timed run outside criterion, for the JSON artifact. The search
-/// is deterministic, so every repeat returns identical stats; the minimum
-/// wall time is the least noise-contaminated measurement.
+/// One observed run (counters + trajectory through an in-memory sink) plus a
+/// best-of-3 wall time measured with the no-op recorder, for the JSON
+/// artifact. The search is deterministic, so every repeat returns identical
+/// stats; the minimum wall time is the least noise-contaminated measurement.
 fn timed_run(
     engine: &ConstraintEngine<'_>,
     base: &Partition,
     config: &TabuConfig,
-    trace: Option<&mut Vec<f64>>,
-) -> (TabuStats, f64) {
+) -> (TabuStats, f64, Counters, Vec<f64>) {
+    let sink = InMemorySink::new();
+    let handle = sink.handle();
+    let mut rec = Recorder::with_sink(Box::new(sink));
     let mut partition = base.clone();
-    let start = Instant::now();
-    let stats = tabu_search_traced(engine, &mut partition, config, trace);
-    let mut wall_s = start.elapsed().as_secs_f64();
-    for _ in 0..2 {
+    let stats = tabu_search_observed(engine, &mut partition, config, &mut rec);
+    let counters = rec.counters_snapshot();
+    rec.finish();
+    let trajectory: Vec<f64> = handle
+        .lock()
+        .expect("trace handle")
+        .trajectory
+        .iter()
+        .map(|&(_, h)| h)
+        .collect();
+
+    let mut wall_s = f64::INFINITY;
+    for _ in 0..3 {
         let mut repeat = base.clone();
+        let mut noop = Recorder::noop();
         let start = Instant::now();
-        let again = tabu_search_traced(engine, &mut repeat, config, None);
+        let again = tabu_search_observed(engine, &mut repeat, config, &mut noop);
         wall_s = wall_s.min(start.elapsed().as_secs_f64());
         assert_eq!(again.best, stats.best, "tabu search must be deterministic");
     }
-    (stats, wall_s)
+    (stats, wall_s, counters, trajectory)
 }
 
-fn mode_json(stats: &TabuStats, wall_s: f64) -> serde_json::Value {
+fn mode_json(stats: &TabuStats, wall_s: f64, counters: &Counters) -> serde_json::Value {
+    let iters_per_sec = stats.iterations as f64 / wall_s.max(1e-12);
+    let moves_evaluated = counters.get(CounterKind::TabuMovesEvaluated);
+    let moves_applied = counters.get(CounterKind::TabuMovesApplied);
+    let moves_per_sec = moves_applied as f64 / wall_s.max(1e-12);
+    let cache_hit_rate = counters.articulation_hit_rate();
+    let bfs_fallbacks = counters.get(CounterKind::BfsFallbacks);
     serde_json::json!({
         "wall_s": wall_s,
         "iterations": stats.iterations,
         "moves": stats.moves,
-        "iters_per_sec": stats.iterations as f64 / wall_s.max(1e-12),
+        "iters_per_sec": iters_per_sec,
+        "moves_per_sec": moves_per_sec,
+        "moves_evaluated": moves_evaluated,
+        "articulation_cache_hit_rate": cache_hit_rate,
+        "bfs_fallbacks": bfs_fallbacks,
         "initial_heterogeneity": stats.initial,
         "best_heterogeneity": stats.best,
     })
 }
 
-/// Emits `BENCH_tabu.json` at the workspace root: per-budget wall times for
-/// both neighborhood implementations, the speedup, and the (incremental)
-/// heterogeneity trajectory for the largest budget.
+/// Emits `BENCH_tabu.json` at the workspace root: per-budget wall times and
+/// telemetry counters for both neighborhood implementations, the speedup,
+/// and the (incremental) heterogeneity trajectory for the largest budget.
 fn emit_artifact(engine: &ConstraintEngine<'_>, base: &Partition) {
     let mut budgets = Vec::new();
     let mut trajectory = Vec::new();
     for &budget in &BUDGETS {
-        let mut trace = Vec::new();
-        let (fast, fast_s) = timed_run(engine, base, &tabu_config(budget, true), Some(&mut trace));
-        let (slow, slow_s) = timed_run(engine, base, &tabu_config(budget, false), None);
+        let (fast, fast_s, fast_c, trace) = timed_run(engine, base, &tabu_config(budget, true));
+        let (slow, slow_s, slow_c, _) = timed_run(engine, base, &tabu_config(budget, false));
         assert_eq!(
             fast.best, slow.best,
             "ablation flag must not change the search outcome"
         );
+        let incremental = mode_json(&fast, fast_s, &fast_c);
+        let full_scan = mode_json(&slow, slow_s, &slow_c);
+        let speedup = slow_s / fast_s.max(1e-12);
+        let identical_best = fast.best == slow.best;
         budgets.push(serde_json::json!({
             "max_no_improve": budget,
-            "incremental": mode_json(&fast, fast_s),
-            "full_scan": mode_json(&slow, slow_s),
-            "speedup": slow_s / fast_s.max(1e-12),
-            "identical_best": fast.best == slow.best,
+            "incremental": incremental,
+            "full_scan": full_scan,
+            "speedup": speedup,
+            "identical_best": identical_best,
         }));
         trajectory = trace;
     }
+    let dataset = format!("tabu-bench ({AREAS} areas)");
     let artifact = serde_json::json!({
         "bench": "tabu",
-        "dataset": format!("tabu-bench ({AREAS} areas)"),
+        "dataset": dataset,
         "combo": "MAS",
         "budgets": budgets,
         "trajectory": trajectory,

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--fast] [--dataset NAME] [--out DIR] [EXPERIMENT...]
+//! repro [--fast] [--dataset NAME] [--out DIR] [--trace DIR] [EXPERIMENT...]
 //!
 //!   EXPERIMENT   one or more of: datasets table3 table4 min-runtime avg
 //!                sum-runtime scalability exact ablations all (default: all)
@@ -9,12 +9,15 @@
 //!   --dataset    default dataset preset for single-dataset experiments
 //!                (default: 2k, the paper's default)
 //!   --out DIR    output directory (default: results/)
+//!   --trace DIR  also stream solver telemetry: one `<experiment>.jsonl`
+//!                event trace per experiment (see EXPERIMENTS.md)
 //! ```
 //!
 //! Each experiment prints its tables and writes `<name>.md` / `<name>.csv`
 //! into the output directory.
 
 use emp_bench::experiments::{registry, ExpContext};
+use emp_obs::{JsonlWriter, SharedSink};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -24,6 +27,7 @@ fn main() {
     let mut fast = false;
     let mut dataset = "2k".to_string();
     let mut out_dir = PathBuf::from("results");
+    let mut trace_dir: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     while let Some(arg) = args.next() {
@@ -37,6 +41,12 @@ fn main() {
             "--out" => {
                 out_dir =
                     PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a value")));
+            }
+            "--trace" => {
+                trace_dir = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--trace needs a directory")),
+                ));
             }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag '{other}'")),
@@ -54,6 +64,9 @@ fn main() {
     };
     ctx.dataset = dataset;
     std::fs::create_dir_all(&out_dir).expect("create output directory");
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir).expect("create trace directory");
+    }
 
     let reg = registry();
     let mut index = String::from("# EMP reproduction results\n\n");
@@ -62,9 +75,23 @@ fn main() {
             usage(&format!("unknown experiment '{name}'"));
         };
         eprintln!(">> running {} (covers {})", exp.name, exp.covers);
+        // One JSONL event trace per experiment; the SharedSink serializes
+        // the sequential solves of the experiment into one file.
+        let trace_sink = trace_dir.as_ref().map(|dir| {
+            let path = dir.join(format!("{}.jsonl", exp.name));
+            let writer = JsonlWriter::create(&path)
+                .unwrap_or_else(|e| panic!("create trace {}: {e}", path.display()));
+            SharedSink::new(Box::new(writer))
+        });
+        ctx.trace = trace_sink.clone();
         let t0 = Instant::now();
         let tables = (exp.run)(&ctx);
         let elapsed = t0.elapsed().as_secs_f64();
+        if let Some(mut sink) = trace_sink {
+            use emp_obs::EventSink as _;
+            sink.flush();
+        }
+        ctx.trace = None;
         eprintln!("   done in {elapsed:.1}s ({} tables)", tables.len());
 
         let mut md = format!("# {} — covers {}\n\n", exp.name, exp.covers);
@@ -98,7 +125,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--fast] [--dataset NAME] [--out DIR] [EXPERIMENT...]\n\
+        "usage: repro [--fast] [--dataset NAME] [--out DIR] [--trace DIR] [EXPERIMENT...]\n\
          experiments: {} all",
         registry()
             .iter()

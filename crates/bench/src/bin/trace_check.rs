@@ -1,0 +1,86 @@
+//! `trace_check` — CI smoke check for the JSONL telemetry channel.
+//!
+//! Runs a traced 200-area FaCT solve writing a JSONL event trace to a
+//! temporary file, then verifies that
+//!
+//! 1. every emitted line parses as JSON with a known `type`,
+//! 2. exactly one depth-0 `solve` span exists and its counters match the
+//!    [`Measurement`](emp_bench::Measurement) the harness reported,
+//! 3. the trajectory starts at iteration 0 and has one point per applied
+//!    move plus the initial one.
+//!
+//! Exits non-zero (panics) on any violation, so CI fails loudly.
+
+use emp_bench::presets::Combo;
+use emp_bench::runner::{run_fact, RunOptions};
+use emp_obs::{CounterKind, JsonlWriter, SharedSink};
+use serde_json::Value;
+
+fn main() {
+    let dataset = emp_data::build_sized("trace-check", 200);
+    let instance = dataset.to_instance().expect("instance");
+    let set = Combo::Mas.build(None, None, None);
+
+    let path = std::env::temp_dir().join(format!("emp_trace_check_{}.jsonl", std::process::id()));
+    let writer = JsonlWriter::create(&path).expect("create trace file");
+    let opts = RunOptions {
+        max_no_improve: Some(100),
+        trace: Some(SharedSink::new(Box::new(writer))),
+        ..RunOptions::default()
+    };
+    let m = run_fact(&instance, &set, &opts);
+    assert!(m.p > 0, "seeded instance must be feasible");
+
+    let content = std::fs::read_to_string(&path).expect("read trace file");
+    let _ = std::fs::remove_file(&path);
+    assert!(!content.is_empty(), "trace file must not be empty");
+
+    let mut root_spans = 0usize;
+    let mut root_applied = 0u64;
+    let mut trajectory_points = 0usize;
+    let mut first_iteration: Option<u64> = None;
+    for (lineno, line) in content.lines().enumerate() {
+        let v: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line {} is not JSON: {e}\n{line}", lineno + 1));
+        match v["type"].as_str() {
+            Some("span") => {
+                assert!(v["name"].is_string(), "span without name: {line}");
+                assert!(v["wall_s"].is_number(), "span without wall_s: {line}");
+                if v["depth"].as_u64() == Some(0) {
+                    root_spans += 1;
+                    assert_eq!(v["name"].as_str(), Some("solve"));
+                    root_applied = v["counters"]["tabu_moves_applied"].as_u64().unwrap_or(0);
+                }
+            }
+            Some("trajectory") => {
+                if first_iteration.is_none() {
+                    first_iteration = v["iteration"].as_u64();
+                }
+                trajectory_points += 1;
+            }
+            Some("note") => {
+                assert!(v["key"].is_string(), "note without key: {line}");
+            }
+            other => panic!("line {}: unknown event type {other:?}", lineno + 1),
+        }
+    }
+
+    assert_eq!(root_spans, 1, "exactly one root solve span");
+    let applied = m.counters.get(CounterKind::TabuMovesApplied);
+    assert_eq!(
+        root_applied, applied,
+        "root-span counters must match the Measurement"
+    );
+    assert_eq!(first_iteration, Some(0), "trajectory starts at iteration 0");
+    assert_eq!(
+        trajectory_points as u64,
+        applied + 1,
+        "one trajectory point per applied move plus the initial objective"
+    );
+
+    println!(
+        "trace_check OK: {} lines, {applied} moves, p = {}",
+        content.lines().count(),
+        m.p
+    );
+}

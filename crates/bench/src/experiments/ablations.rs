@@ -1,15 +1,17 @@
 //! Ablations for the design choices called out in DESIGN.md §4:
 //! the AVG merge limit, construction iterations, extrema-guided seeding,
-//! tabu tenure, and the incremental tabu neighborhood.
+//! tabu tenure, and the incremental tabu neighborhood — plus a telemetry
+//! summary table built from the emp-obs span/counter stream (DESIGN.md §6).
 
 use super::ExpContext;
 use crate::presets::{avg_range, Combo};
 use crate::runner::{run_fact, RunOptions};
-use crate::table::{fmt_f, fmt_secs, Table};
+use crate::table::{fmt_f, fmt_improvement, fmt_secs, Table};
 use emp_core::engine::ConstraintEngine;
 use emp_core::feasibility::feasibility_phase;
 use emp_core::grow::region_growing;
 use emp_core::partition::Partition;
+use emp_obs::{CounterKind, InMemorySink, SharedSink};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -22,6 +24,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         seeding(ctx),
         tabu_tenure(ctx),
         tabu_neighborhood(ctx),
+        telemetry(ctx),
     ]
 }
 
@@ -66,9 +69,9 @@ fn construction_iterations(ctx: &ExpContext) -> Table {
         let opts = RunOptions {
             construction_iterations: iters,
             local_search: false,
-            seed: ctx.seed,
             max_no_improve: Some(0),
             max_tabu_iterations: None,
+            ..ctx.opts(false, instance.len())
         };
         let m = run_fact(&instance, &set, &opts);
         table.push_row(vec![
@@ -146,7 +149,7 @@ fn tabu_tenure(ctx: &ExpContext) -> Table {
         let report = emp_core::solve(&instance, &set, &config).expect("feasible");
         table.push_row(vec![
             tenure.to_string(),
-            fmt_f((report.improvement() * 1000.0).round() / 10.0),
+            fmt_improvement(report.improvement()),
             fmt_secs(report.timings.local_search),
         ]);
     }
@@ -177,10 +180,100 @@ fn tabu_neighborhood(ctx: &ExpContext) -> Table {
         table.push_row(vec![
             name.to_string(),
             report.tabu.moves.to_string(),
-            fmt_f((report.improvement() * 1000.0).round() / 10.0),
+            fmt_improvement(report.improvement()),
             fmt_secs(report.timings.local_search),
         ]);
     }
+    table
+}
+
+/// Telemetry summary: one traced MAS solve, reported as per-phase wall time
+/// (from depth-1 spans of the event stream) plus counter totals and the
+/// derived rates ([`Measurement::moves_per_sec`](crate::runner::Measurement)
+/// and the articulation-cache hit rate).
+fn telemetry(ctx: &ExpContext) -> Table {
+    let dataset = ctx.default_dataset();
+    let instance = dataset.to_instance().expect("instance");
+    let set = Combo::Mas.build(None, None, None);
+    let sink = InMemorySink::new();
+    let handle = sink.handle();
+    let opts = RunOptions {
+        trace: Some(SharedSink::new(Box::new(sink))),
+        ..ctx.opts(true, instance.len())
+    };
+    let m = run_fact(&instance, &set, &opts);
+    let trace = handle.lock().expect("trace handle");
+
+    let mut table = Table::new(
+        "Telemetry — per-phase wall time and counter totals (MAS combo)",
+        &["metric", "value"],
+    );
+    for (name, label) in [
+        ("feasibility", "feasibility_s"),
+        ("construct_iter", "construction_s"),
+        ("grow", "grow_s"),
+        ("adjust", "adjust_s"),
+        ("tabu", "tabu_s"),
+    ] {
+        table.push_row(vec![label.to_string(), fmt_secs(trace.wall_of(name))]);
+    }
+    let count = |k: CounterKind| m.counters.get(k).to_string();
+    table.push_row(vec![
+        "moves_evaluated".into(),
+        count(CounterKind::TabuMovesEvaluated),
+    ]);
+    table.push_row(vec![
+        "moves_applied".into(),
+        count(CounterKind::TabuMovesApplied),
+    ]);
+    table.push_row(vec![
+        "rejected_tabu".into(),
+        count(CounterKind::TabuRejectedTabu),
+    ]);
+    table.push_row(vec![
+        "rejected_infeasible".into(),
+        count(CounterKind::TabuRejectedInfeasible),
+    ]);
+    table.push_row(vec![
+        "regions_created".into(),
+        count(CounterKind::RegionsCreated),
+    ]);
+    table.push_row(vec![
+        "regions_merged".into(),
+        count(CounterKind::RegionsMerged),
+    ]);
+    table.push_row(vec![
+        "bfs_fallbacks".into(),
+        count(CounterKind::BfsFallbacks),
+    ]);
+    table.push_row(vec![
+        "constraint_checks".into(),
+        [
+            CounterKind::ChecksMin,
+            CounterKind::ChecksMax,
+            CounterKind::ChecksAvg,
+            CounterKind::ChecksSum,
+            CounterKind::ChecksCount,
+        ]
+        .iter()
+        .map(|&k| m.counters.get(k))
+        .sum::<u64>()
+        .to_string(),
+    ]);
+    table.push_row(vec![
+        "moves_per_sec".into(),
+        match m.moves_per_sec() {
+            Some(r) => fmt_f(r.round()),
+            None => "n/a".into(),
+        },
+    ]);
+    table.push_row(vec![
+        "cache_hit_rate_%".into(),
+        match m.cache_hit_rate() {
+            Some(r) => fmt_f((r * 1000.0).round() / 10.0),
+            None => "n/a".into(),
+        },
+    ]);
     table
 }
 
@@ -192,7 +285,7 @@ mod tests {
     fn ablations_produce_tables() {
         let ctx = ExpContext::fast();
         let tables = run(&ctx);
-        assert_eq!(tables.len(), 5);
+        assert_eq!(tables.len(), 6);
         // Merge limit: higher limits never reduce assignment coverage by
         // much — the 0-limit row should have the most unassigned areas.
         let ua = |t: &Table, i: usize| t.rows[i][2].parse::<i64>().unwrap();
@@ -220,5 +313,20 @@ mod tests {
         assert_eq!(t4.rows.len(), 2);
         assert_eq!(t4.rows[0][1], t4.rows[1][1], "move counts diverged");
         assert_eq!(t4.rows[0][2], t4.rows[1][2], "improvements diverged");
+        // Telemetry: phase walls parse and the move counters are consistent
+        // (applied <= evaluated; construction happened at all).
+        let t5 = &tables[5];
+        let cell = |label: &str| -> f64 {
+            t5.rows
+                .iter()
+                .find(|r| r[0] == label)
+                .unwrap_or_else(|| panic!("missing telemetry row '{label}'"))[1]
+                .parse()
+                .unwrap_or_else(|_| panic!("unparseable telemetry row '{label}'"))
+        };
+        assert!(cell("construction_s") >= cell("grow_s"));
+        assert!(cell("moves_applied") <= cell("moves_evaluated"));
+        assert!(cell("regions_created") > 0.0);
+        assert!(cell("constraint_checks") > 0.0);
     }
 }

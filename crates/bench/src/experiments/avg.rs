@@ -9,7 +9,7 @@
 use super::ExpContext;
 use crate::presets::{avg_range, Combo};
 use crate::runner::run_fact;
-use crate::table::{fmt_f, fmt_secs, Table};
+use crate::table::{fmt_f, fmt_improvement, fmt_secs, Table};
 use emp_data::attributes::ecdf;
 
 /// Runs the AVG study.
@@ -66,7 +66,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             m.unassigned.to_string(),
             fmt_secs(m.construction_s),
             fmt_secs(m.tabu_s),
-            fmt_f((m.improvement * 1000.0).round() / 10.0),
+            fmt_improvement(m.improvement),
         ]);
         mid += 500.0;
     }
@@ -108,7 +108,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
                 fmt_secs(m.construction_s),
                 fmt_secs(m.tabu_s),
                 fmt_secs(m.total_s()),
-                fmt_f((m.improvement * 1000.0).round() / 10.0),
+                fmt_improvement(m.improvement),
             ]);
         }
     }

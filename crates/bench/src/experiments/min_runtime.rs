@@ -4,7 +4,7 @@
 use super::ExpContext;
 use crate::presets::{min_range, Combo};
 use crate::runner::run_fact;
-use crate::table::{fmt_bound, fmt_f, fmt_secs, Table};
+use crate::table::{fmt_bound, fmt_improvement, fmt_secs, Table};
 use emp_core::instance::EmpInstance;
 
 const COMBOS: [Combo; 4] = [Combo::M, Combo::Ms, Combo::Ma, Combo::Mas];
@@ -84,7 +84,7 @@ fn sweep(ctx: &ExpContext, instance: &EmpInstance, title: &str, ranges: &[(f64, 
                 fmt_secs(m.tabu_s),
                 fmt_secs(m.total_s()),
                 m.p.to_string(),
-                fmt_f((m.improvement * 1000.0).round() / 10.0),
+                fmt_improvement(m.improvement),
             ]);
         }
     }

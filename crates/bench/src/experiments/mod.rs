@@ -18,6 +18,7 @@ pub mod table4;
 use crate::runner::{DatasetCache, RunOptions};
 use crate::table::Table;
 use emp_data::Dataset;
+use emp_obs::SharedSink;
 
 /// Shared context: dataset cache plus run-mode switches.
 pub struct ExpContext {
@@ -29,6 +30,8 @@ pub struct ExpContext {
     pub fast: bool,
     /// Base solver seed.
     pub seed: u64,
+    /// Event sink every run streams telemetry into (`repro --trace`).
+    pub trace: Option<SharedSink>,
 }
 
 impl ExpContext {
@@ -39,6 +42,7 @@ impl ExpContext {
             dataset: "2k".to_string(),
             fast: false,
             seed: 20_22,
+            trace: None,
         }
     }
 
@@ -87,6 +91,7 @@ impl ExpContext {
             local_search,
             max_no_improve,
             max_tabu_iterations,
+            trace: self.trace.clone(),
         }
     }
 

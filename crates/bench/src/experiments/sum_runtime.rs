@@ -4,7 +4,7 @@
 use super::ExpContext;
 use crate::presets::{sum_range, Combo};
 use crate::runner::{run_fact, run_mp};
-use crate::table::{fmt_bound, fmt_f, fmt_secs, Table};
+use crate::table::{fmt_bound, fmt_f, fmt_improvement, fmt_secs, Table};
 
 const COMBOS: [Combo; 4] = [Combo::S, Combo::Ms, Combo::As, Combo::Mas];
 
@@ -37,7 +37,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             fmt_secs(m.tabu_s),
             fmt_secs(m.total_s()),
             m.p.to_string(),
-            fmt_f((m.improvement * 1000.0).round() / 10.0),
+            fmt_improvement(m.improvement),
         ]);
     }
     for combo in COMBOS {
@@ -51,7 +51,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
                 fmt_secs(m.tabu_s),
                 fmt_secs(m.total_s()),
                 m.p.to_string(),
-                fmt_f((m.improvement * 1000.0).round() / 10.0),
+                fmt_improvement(m.improvement),
             ]);
         }
     }

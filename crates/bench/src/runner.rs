@@ -1,10 +1,11 @@
 //! Shared experiment runner: solve instances, collect measurement rows.
 
-use emp_baseline::{solve_mp, MpConfig};
+use emp_baseline::{solve_mp_observed, MpConfig};
 use emp_core::constraint::ConstraintSet;
 use emp_core::instance::EmpInstance;
-use emp_core::solver::{solve, FactConfig};
+use emp_core::solver::{solve_observed, FactConfig};
 use emp_data::Dataset;
+use emp_obs::{CounterKind, Counters, Recorder, SharedSink};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -19,16 +20,31 @@ pub struct Measurement {
     pub construction_s: f64,
     /// Local-search seconds.
     pub tabu_s: f64,
-    /// Heterogeneity improvement ratio from the local search.
-    pub improvement: f64,
+    /// Heterogeneity improvement ratio from the local search; `None` when
+    /// the search never ran or the initial objective was zero/non-finite
+    /// (rendered `n/a`, see DESIGN.md §6).
+    pub improvement: Option<f64>,
     /// Final heterogeneity.
     pub heterogeneity: f64,
+    /// Telemetry counters of the run.
+    pub counters: Counters,
 }
 
 impl Measurement {
     /// Total runtime.
     pub fn total_s(&self) -> f64 {
         self.construction_s + self.tabu_s
+    }
+
+    /// Tabu moves applied per local-search second, when both are nonzero.
+    pub fn moves_per_sec(&self) -> Option<f64> {
+        let moves = self.counters.get(CounterKind::TabuMovesApplied);
+        (moves > 0 && self.tabu_s > 0.0).then(|| moves as f64 / self.tabu_s)
+    }
+
+    /// Articulation-cache hit rate, when the cache was queried.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        self.counters.articulation_hit_rate()
     }
 }
 
@@ -47,6 +63,9 @@ pub struct RunOptions {
     pub max_no_improve: Option<usize>,
     /// Hard cap on total tabu iterations (`None` = `20 n`).
     pub max_tabu_iterations: Option<usize>,
+    /// Event sink the solvers stream span/trajectory events into (`None` =
+    /// counters only, no event overhead).
+    pub trace: Option<SharedSink>,
 }
 
 impl Default for RunOptions {
@@ -57,6 +76,7 @@ impl Default for RunOptions {
             local_search: true,
             max_no_improve: None,
             max_tabu_iterations: None,
+            trace: None,
         }
     }
 }
@@ -74,6 +94,15 @@ impl RunOptions {
     pub fn effective_no_improve(&self, n: usize) -> usize {
         self.max_no_improve.unwrap_or(n)
     }
+
+    /// A recorder for one run: traced when a sink is configured, noop
+    /// otherwise.
+    pub fn recorder(&self) -> Recorder {
+        match &self.trace {
+            Some(sink) => Recorder::with_sink(Box::new(sink.clone())),
+            None => Recorder::noop(),
+        }
+    }
 }
 
 /// Runs FaCT and converts the report into a [`Measurement`].
@@ -90,7 +119,8 @@ pub fn run_fact(
         seed: opts.seed,
         ..FactConfig::default()
     };
-    match solve(instance, constraints, &config) {
+    let mut rec = opts.recorder();
+    let m = match solve_observed(instance, constraints, &config, &mut rec) {
         Ok(report) => Measurement {
             p: report.p(),
             unassigned: report.solution.unassigned.len(),
@@ -98,11 +128,14 @@ pub fn run_fact(
             tabu_s: report.timings.local_search,
             improvement: report.improvement(),
             heterogeneity: report.solution.heterogeneity,
+            counters: report.counters,
         },
         // Infeasible query: report zeros (the paper reports such cells as
         // empty / p = 0).
         Err(_) => Measurement::default(),
-    }
+    };
+    rec.finish();
+    m
 }
 
 /// Runs the MP-regions baseline with a single `SUM(TOTALPOP) >= threshold`.
@@ -115,17 +148,21 @@ pub fn run_mp(instance: &EmpInstance, threshold: f64, opts: &RunOptions) -> Meas
         seed: opts.seed,
         ..MpConfig::default()
     };
-    match solve_mp(instance, "TOTALPOP", threshold, &config) {
+    let mut rec = opts.recorder();
+    let m = match solve_mp_observed(instance, "TOTALPOP", threshold, &config, &mut rec) {
         Ok(report) => Measurement {
             p: report.p(),
             unassigned: report.solution.unassigned.len(),
             construction_s: report.timings.construction,
             tabu_s: report.timings.local_search,
-            improvement: report.tabu.improvement(),
+            improvement: report.improvement(),
             heterogeneity: report.solution.heterogeneity,
+            counters: report.counters,
         },
         Err(_) => Measurement::default(),
-    }
+    };
+    rec.finish();
+    m
 }
 
 /// A process-wide dataset cache: experiments share the (deterministic)
@@ -193,8 +230,10 @@ mod tests {
         let m = run_fact(&inst, &set, &opts);
         assert!(m.p > 0);
         assert!(m.total_s() > 0.0);
+        assert!(m.counters.get(CounterKind::RegionsCreated) > 0);
         let b = run_mp(&inst, 20_000.0, &opts);
         assert!(b.p > 0);
+        assert!(b.counters.get(CounterKind::RegionsCreated) > 0);
     }
 
     #[test]
@@ -207,7 +246,7 @@ mod tests {
             &RunOptions::p_only(),
         );
         assert!(m.tabu_s < 1e-3, "skipped tabu should be ~instant");
-        assert_eq!(m.improvement, 0.0);
+        assert_eq!(m.improvement, None, "no local search -> improvement n/a");
     }
 
     #[test]

@@ -75,6 +75,15 @@ pub fn fmt_secs(v: f64) -> String {
     format!("{v:.3}")
 }
 
+/// Formats a local-search improvement ratio as a percentage with one
+/// decimal; `None` (search skipped or undefined ratio) renders `n/a`.
+pub fn fmt_improvement(v: Option<f64>) -> String {
+    match v {
+        Some(r) => fmt_f((r * 1000.0).round() / 10.0),
+        None => "n/a".to_string(),
+    }
+}
+
 /// Formats a bound that may be infinite, in the paper's style (`-inf`, `5k`).
 pub fn fmt_bound(v: f64) -> String {
     if v == f64::NEG_INFINITY {
@@ -118,6 +127,13 @@ mod tests {
         assert_eq!(fmt_f(1.23456), "1.235");
         assert_eq!(fmt_f(2.5), "2.5");
         assert_eq!(fmt_secs(1.23456), "1.235");
+    }
+
+    #[test]
+    fn improvement_formatting() {
+        assert_eq!(fmt_improvement(Some(0.1234)), "12.3");
+        assert_eq!(fmt_improvement(Some(0.0)), "0");
+        assert_eq!(fmt_improvement(None), "n/a");
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! End-to-end telemetry invariants: a seeded 200-area FaCT solve streamed
+//! into an in-memory sink must produce a consistent span tree, counter
+//! totals, and local-search trajectory (ISSUE: observability acceptance).
+
+use emp_bench::presets::Combo;
+use emp_bench::runner::{run_fact, RunOptions};
+use emp_obs::{CounterKind, InMemorySink, SharedSink};
+
+#[test]
+fn traced_solve_satisfies_telemetry_invariants() {
+    let dataset = emp_data::build_sized("telemetry-it", 200);
+    let instance = dataset.to_instance().expect("instance");
+    let set = Combo::Mas.build(None, None, None);
+    let sink = InMemorySink::new();
+    let handle = sink.handle();
+    let opts = RunOptions {
+        max_no_improve: Some(100),
+        trace: Some(SharedSink::new(Box::new(sink))),
+        ..RunOptions::default()
+    };
+    let m = run_fact(&instance, &set, &opts);
+    assert!(m.p > 0, "seeded instance must be feasible");
+
+    let trace = handle.lock().expect("trace handle");
+
+    // Exactly one root span, named "solve", and it is the last to close.
+    let roots: Vec<_> = trace.spans.iter().filter(|s| s.depth == 0).collect();
+    assert_eq!(roots.len(), 1, "one root span");
+    assert_eq!(roots[0].name, "solve");
+    assert_eq!(trace.spans.last().expect("spans recorded").name, "solve");
+
+    // The phase spans of the FaCT pipeline all appear.
+    for phase in ["feasibility", "construct_iter", "grow", "adjust", "tabu"] {
+        assert!(
+            trace.spans.iter().any(|s| s.name == phase),
+            "missing span '{phase}'"
+        );
+    }
+
+    // Counter consistency, on the per-run totals the Measurement carries.
+    let c = &m.counters;
+    assert!(
+        c.get(CounterKind::TabuMovesApplied) <= c.get(CounterKind::TabuMovesEvaluated),
+        "applied moves exceed evaluated candidates"
+    );
+    assert_eq!(
+        c.get(CounterKind::ArticulationCacheHits) + c.get(CounterKind::ArticulationCacheMisses),
+        c.get(CounterKind::ArticulationQueries),
+        "hits + misses must equal queries"
+    );
+    assert!(c.get(CounterKind::RegionsCreated) > 0);
+
+    // The root span saw at least the whole run's tabu activity.
+    assert_eq!(
+        roots[0].counters.get(CounterKind::TabuMovesApplied),
+        c.get(CounterKind::TabuMovesApplied)
+    );
+
+    // Trajectory: starts at the pre-search objective, running minimum is
+    // non-increasing (accepted improving moves only lower the best), and the
+    // final best matches the improvement the Measurement reports.
+    assert!(
+        !trace.trajectory.is_empty(),
+        "tabu ran, trajectory recorded"
+    );
+    assert_eq!(trace.trajectory[0].0, 0, "first point is iteration 0");
+    let initial = trace.trajectory[0].1;
+    let mut running_min = f64::INFINITY;
+    let mut mins = Vec::with_capacity(trace.trajectory.len());
+    for &(_, h) in &trace.trajectory {
+        running_min = running_min.min(h);
+        mins.push(running_min);
+    }
+    assert!(
+        mins.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+        "running minimum must be non-increasing"
+    );
+    let best = *mins.last().unwrap();
+    match m.improvement {
+        Some(r) => {
+            assert!(initial > 0.0);
+            assert!(
+                (r - (initial - best) / initial).abs() < 1e-9,
+                "improvement must be derivable from the trajectory"
+            );
+        }
+        None => panic!("local search ran on a nonzero objective"),
+    }
+
+    // Derived rates are available whenever their inputs are nonzero.
+    if c.get(CounterKind::TabuMovesApplied) > 0 && m.tabu_s > 0.0 {
+        assert!(m.moves_per_sec().unwrap() > 0.0);
+    }
+    if c.get(CounterKind::ArticulationQueries) > 0 {
+        let rate = m.cache_hit_rate().unwrap();
+        assert!((0.0..=1.0).contains(&rate));
+    }
+}

@@ -7,19 +7,27 @@
 //! that remain infeasible are dissolved.
 
 use crate::constraint::Aggregate;
-use crate::engine::{ConstraintEngine, RegionAgg};
+use crate::engine::{check_counter, ConstraintEngine, RegionAgg};
 use crate::partition::{Partition, RegionId};
+use emp_obs::{CounterKind, Counters};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Whether all MIN/MAX/AVG constraints hold.
-fn non_counting_ok(engine: &ConstraintEngine<'_>, agg: &RegionAgg) -> bool {
+fn non_counting_ok(
+    engine: &ConstraintEngine<'_>,
+    agg: &RegionAgg,
+    counters: &mut Counters,
+) -> bool {
     engine
         .indices_of(Aggregate::Min)
         .iter()
         .chain(engine.indices_of(Aggregate::Max))
         .chain(engine.indices_of(Aggregate::Avg))
-        .all(|&ci| engine.satisfied(agg, ci))
+        .all(|&ci| {
+            counters.inc(check_counter(engine.constraints()[ci].aggregate));
+            engine.satisfied(agg, ci)
+        })
 }
 
 fn counting_indices(engine: &ConstraintEngine<'_>) -> Vec<usize> {
@@ -29,6 +37,17 @@ fn counting_indices(engine: &ConstraintEngine<'_>) -> Vec<usize> {
         .chain(engine.indices_of(Aggregate::Count))
         .copied()
         .collect()
+}
+
+/// Charges one counting-aggregate check per constraint in `counting`.
+fn charge_counting_checks(
+    engine: &ConstraintEngine<'_>,
+    counting: &[usize],
+    counters: &mut Counters,
+) {
+    for &ci in counting {
+        counters.inc(check_counter(engine.constraints()[ci].aggregate));
+    }
 }
 
 /// Whether every counting constraint's *upper* bound holds.
@@ -52,6 +71,18 @@ pub fn monotonic_adjustments<R: Rng>(
     partition: &mut Partition,
     rng: &mut R,
 ) {
+    monotonic_adjustments_counted(engine, partition, rng, &mut Counters::new());
+}
+
+/// [`monotonic_adjustments`] accumulating telemetry counters (connectivity
+/// BFS probes, constraint checks by aggregate kind, region lifecycle) into
+/// `counters`.
+pub fn monotonic_adjustments_counted<R: Rng>(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    rng: &mut R,
+    counters: &mut Counters,
+) {
     let counting = counting_indices(engine);
     if counting.is_empty() {
         return;
@@ -65,28 +96,47 @@ pub fn monotonic_adjustments<R: Rng>(
         if !partition.is_live(id) {
             continue;
         }
-        pull_swaps(engine, partition, id, &counting, &mut swapped, rng);
+        pull_swaps(
+            engine,
+            partition,
+            id,
+            &counting,
+            &mut swapped,
+            rng,
+            counters,
+        );
         if partition.is_live(id) {
-            push_swaps(engine, partition, id, &counting, &mut swapped, rng);
+            push_swaps(
+                engine,
+                partition,
+                id,
+                &counting,
+                &mut swapped,
+                rng,
+                counters,
+            );
         }
     }
 
     // Pass 2: merge regions still below lower bounds.
-    merge_underfilled(engine, partition, &counting);
+    merge_underfilled(engine, partition, &counting, counters);
 
     // Pass 3: shed areas from regions still above upper bounds.
     let ids: Vec<RegionId> = partition.region_ids().collect();
     for id in ids {
         if partition.is_live(id) {
-            shed_overfilled(engine, partition, id, &counting);
+            shed_overfilled(engine, partition, id, &counting, counters);
         }
     }
 
     // Pass 4: dissolve regions that remain infeasible.
     let ids: Vec<RegionId> = partition.region_ids().collect();
     for id in ids {
-        if partition.is_live(id) && !engine.satisfies_all(&partition.region(id).agg) {
+        if partition.is_live(id)
+            && !engine.satisfies_all_counted(&partition.region(id).agg, counters)
+        {
             partition.dissolve_region(id);
+            counters.inc(CounterKind::RegionsFreed);
         }
     }
 }
@@ -99,9 +149,11 @@ fn pull_swaps<R: Rng>(
     counting: &[usize],
     swapped: &mut [bool],
     rng: &mut R,
+    counters: &mut Counters,
 ) {
     let graph = engine.instance().graph();
     loop {
+        charge_counting_checks(engine, counting, counters);
         if counting_lower_ok(engine, &partition.region(id).agg, counting) {
             return;
         }
@@ -124,19 +176,20 @@ fn pull_swaps<R: Rng>(
         for a in candidates {
             let donor = partition.region_of(a).expect("candidate is assigned");
             // Donor must stay a single connected component...
+            counters.inc(CounterKind::BfsFallbacks);
             if !partition.removal_keeps_connected(engine, a) {
                 continue;
             }
             partition.move_area(engine, a, id);
             // ...and keep satisfying every constraint; the receiver must keep
             // its non-counting constraints and counting upper bounds.
-            let donor_ok =
-                !partition.is_live(donor) || engine.satisfies_all(&partition.region(donor).agg);
+            let donor_ok = !partition.is_live(donor)
+                || engine.satisfies_all_counted(&partition.region(donor).agg, counters);
             // A donor must not be emptied out entirely.
             let donor_alive = partition.is_live(donor);
-            let recv = &partition.region(id).agg;
-            let recv_ok =
-                non_counting_ok(engine, recv) && counting_upper_ok(engine, recv, counting);
+            charge_counting_checks(engine, counting, counters);
+            let recv_ok = non_counting_ok(engine, &partition.region(id).agg, counters)
+                && counting_upper_ok(engine, &partition.region(id).agg, counting);
             if donor_ok && donor_alive && recv_ok {
                 swapped[a as usize] = true;
                 moved = true;
@@ -159,9 +212,11 @@ fn push_swaps<R: Rng>(
     counting: &[usize],
     swapped: &mut [bool],
     rng: &mut R,
+    counters: &mut Counters,
 ) {
     let graph = engine.instance().graph();
     loop {
+        charge_counting_checks(engine, counting, counters);
         if counting_upper_ok(engine, &partition.region(id).agg, counting) {
             return;
         }
@@ -169,7 +224,11 @@ fn push_swaps<R: Rng>(
         members.shuffle(rng);
         let mut moved = false;
         'outer: for a in members {
-            if swapped[a as usize] || !partition.removal_keeps_connected(engine, a) {
+            if swapped[a as usize] {
+                continue;
+            }
+            counters.inc(CounterKind::BfsFallbacks);
+            if !partition.removal_keeps_connected(engine, a) {
                 continue;
             }
             let mut receivers: Vec<RegionId> = graph
@@ -183,9 +242,9 @@ fn push_swaps<R: Rng>(
             receivers.shuffle(rng);
             for recv in receivers {
                 partition.move_area(engine, a, recv);
-                let recv_ok = engine.satisfies_all(&partition.region(recv).agg);
-                let donor_ok =
-                    partition.is_live(id) && non_counting_ok(engine, &partition.region(id).agg);
+                let recv_ok = engine.satisfies_all_counted(&partition.region(recv).agg, counters);
+                let donor_ok = partition.is_live(id)
+                    && non_counting_ok(engine, &partition.region(id).agg, counters);
                 if recv_ok && donor_ok {
                     swapped[a as usize] = true;
                     moved = true;
@@ -202,7 +261,12 @@ fn push_swaps<R: Rng>(
 
 /// Merges regions below counting lower bounds with neighbor regions, as long
 /// as the merged region would not break counting upper bounds.
-fn merge_underfilled(engine: &ConstraintEngine<'_>, partition: &mut Partition, counting: &[usize]) {
+fn merge_underfilled(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    counting: &[usize],
+    counters: &mut Counters,
+) {
     loop {
         let mut progressed = false;
         let ids: Vec<RegionId> = partition.region_ids().collect();
@@ -210,9 +274,10 @@ fn merge_underfilled(engine: &ConstraintEngine<'_>, partition: &mut Partition, c
             if !partition.is_live(id) {
                 continue;
             }
-            while partition.is_live(id)
-                && !counting_lower_ok(engine, &partition.region(id).agg, counting)
-            {
+            while partition.is_live(id) && {
+                charge_counting_checks(engine, counting, counters);
+                !counting_lower_ok(engine, &partition.region(id).agg, counting)
+            } {
                 // The most violated counting constraint drives the choice.
                 let driver = counting
                     .iter()
@@ -242,6 +307,7 @@ fn merge_underfilled(engine: &ConstraintEngine<'_>, partition: &mut Partition, c
                 match mergeable {
                     Some(r) => {
                         partition.merge_regions(engine, id, r);
+                        counters.inc(CounterKind::RegionsMerged);
                         progressed = true;
                     }
                     None => break,
@@ -261,8 +327,10 @@ fn shed_overfilled(
     partition: &mut Partition,
     id: RegionId,
     counting: &[usize],
+    counters: &mut Counters,
 ) {
     loop {
+        charge_counting_checks(engine, counting, counters);
         if counting_upper_ok(engine, &partition.region(id).agg, counting) {
             return;
         }
@@ -285,12 +353,13 @@ fn shed_overfilled(
         });
         let mut removed = false;
         for a in members {
+            counters.inc(CounterKind::BfsFallbacks);
             if !partition.removal_keeps_connected(engine, a) {
                 continue;
             }
             partition.remove_from_region(engine, a);
-            let still_ok =
-                partition.is_live(id) && non_counting_ok(engine, &partition.region(id).agg);
+            let still_ok = partition.is_live(id)
+                && non_counting_ok(engine, &partition.region(id).agg, counters);
             if still_ok {
                 removed = true;
                 break;

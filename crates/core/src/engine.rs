@@ -19,6 +19,18 @@ use crate::constraint::{Aggregate, Constraint, ConstraintSet};
 use crate::error::EmpError;
 use crate::instance::EmpInstance;
 use crate::value::Multiset;
+use emp_obs::{CounterKind, Counters};
+
+/// The telemetry counter tracking checks of this aggregate kind.
+pub(crate) fn check_counter(agg: Aggregate) -> CounterKind {
+    match agg {
+        Aggregate::Min => CounterKind::ChecksMin,
+        Aggregate::Max => CounterKind::ChecksMax,
+        Aggregate::Avg => CounterKind::ChecksAvg,
+        Aggregate::Sum => CounterKind::ChecksSum,
+        Aggregate::Count => CounterKind::ChecksCount,
+    }
+}
 
 /// A constraint resolved against the attribute table.
 #[derive(Clone, Debug)]
@@ -266,6 +278,21 @@ impl<'a> ConstraintEngine<'a> {
     /// Whether every constraint is satisfied.
     pub fn satisfies_all(&self, agg: &RegionAgg) -> bool {
         (0..self.constraints.len()).all(|ci| self.satisfied(agg, ci))
+    }
+
+    /// [`ConstraintEngine::satisfied`], also bumping the per-aggregate
+    /// check counter (telemetry).
+    #[inline]
+    pub fn satisfied_counted(&self, agg: &RegionAgg, ci: usize, counters: &mut Counters) -> bool {
+        counters.inc(check_counter(self.constraints[ci].aggregate));
+        self.satisfied(agg, ci)
+    }
+
+    /// [`ConstraintEngine::satisfies_all`] with per-aggregate check
+    /// counting. Short-circuits like the uncounted variant, so only the
+    /// checks actually performed are counted.
+    pub fn satisfies_all_counted(&self, agg: &RegionAgg, counters: &mut Counters) -> bool {
+        (0..self.constraints.len()).all(|ci| self.satisfied_counted(agg, ci, counters))
     }
 
     /// Indices of the violated constraints.

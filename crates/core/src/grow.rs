@@ -19,10 +19,20 @@
 //! only AVG needs re-validation during growth.
 
 use crate::constraint::Aggregate;
-use crate::engine::{ConstraintEngine, RegionAgg};
+use crate::engine::{check_counter, ConstraintEngine, RegionAgg};
 use crate::partition::{Partition, RegionId};
+use emp_obs::{CounterKind, Counters};
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// Charges one `ChecksAvg` per AVG constraint about to be evaluated.
+#[inline]
+fn charge_avg_checks(engine: &ConstraintEngine<'_>, counters: &mut Counters) {
+    counters.add(
+        CounterKind::ChecksAvg,
+        engine.indices_of(Aggregate::Avg).len() as u64,
+    );
+}
 
 /// How an area's AVG-attribute value relates to the AVG constraints.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -112,9 +122,31 @@ pub fn region_growing<R: Rng>(
     merge_limit: usize,
     rng: &mut R,
 ) {
-    substep_21_initialize(engine, partition, seeds, eligible, rng);
-    substep_22_assign(engine, partition, eligible, merge_limit, rng);
-    substep_23_combine(engine, partition);
+    region_growing_counted(
+        engine,
+        partition,
+        seeds,
+        eligible,
+        merge_limit,
+        rng,
+        &mut Counters::new(),
+    );
+}
+
+/// [`region_growing`] accumulating telemetry counters (region lifecycle,
+/// merge trials, AVG constraint checks) into `counters`.
+pub fn region_growing_counted<R: Rng>(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    seeds: &[u32],
+    eligible: &[bool],
+    merge_limit: usize,
+    rng: &mut R,
+    counters: &mut Counters,
+) {
+    substep_21_counted(engine, partition, seeds, eligible, rng, counters);
+    substep_22_counted(engine, partition, eligible, merge_limit, rng, counters);
+    substep_23_counted(engine, partition, counters);
 }
 
 /// Substep 2.1: initialize regions from seeds.
@@ -125,10 +157,29 @@ pub fn substep_21_initialize<R: Rng>(
     eligible: &[bool],
     rng: &mut R,
 ) {
+    substep_21_counted(
+        engine,
+        partition,
+        seeds,
+        eligible,
+        rng,
+        &mut Counters::new(),
+    );
+}
+
+fn substep_21_counted<R: Rng>(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    seeds: &[u32],
+    eligible: &[bool],
+    rng: &mut R,
+    counters: &mut Counters,
+) {
     let mut in_range = Vec::new();
     let mut extremes = Vec::new();
     for &s in seeds {
         debug_assert!(eligible[s as usize]);
+        charge_avg_checks(engine, counters);
         match classify_area(engine, s) {
             AvgClass::InRange => in_range.push(s),
             AvgClass::Low | AvgClass::High => extremes.push(s),
@@ -139,12 +190,13 @@ pub fn substep_21_initialize<R: Rng>(
     for s in in_range {
         if partition.is_unassigned(s) {
             partition.create_region(engine, &[s]);
+            counters.inc(CounterKind::RegionsCreated);
         }
     }
     // Algorithm 1: merge out-of-range seeds with neighbors until the AVG
     // constraints hold, or revert.
     extremes.shuffle(rng);
-    merge_areas_algorithm1(engine, partition, &extremes, eligible);
+    merge_areas_algorithm1(engine, partition, &extremes, eligible, counters);
 }
 
 /// Algorithm 1 (paper): grow a temporary region from each out-of-range area,
@@ -155,6 +207,7 @@ fn merge_areas_algorithm1(
     partition: &mut Partition,
     areas: &[u32],
     eligible: &[bool],
+    counters: &mut Counters,
 ) {
     let graph = engine.instance().graph();
     for &start in areas {
@@ -164,6 +217,7 @@ fn merge_areas_algorithm1(
         let mut temp = vec![start];
         let mut agg = engine.compute_fresh(&[start]);
         let committed = loop {
+            charge_avg_checks(engine, counters);
             if avg_satisfied(engine, &agg) {
                 break true;
             }
@@ -201,6 +255,7 @@ fn merge_areas_algorithm1(
         };
         if committed {
             partition.create_region(engine, &temp);
+            counters.inc(CounterKind::RegionsCreated);
         }
     }
 }
@@ -212,6 +267,24 @@ pub fn substep_22_assign<R: Rng>(
     eligible: &[bool],
     merge_limit: usize,
     rng: &mut R,
+) {
+    substep_22_counted(
+        engine,
+        partition,
+        eligible,
+        merge_limit,
+        rng,
+        &mut Counters::new(),
+    );
+}
+
+fn substep_22_counted<R: Rng>(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    eligible: &[bool],
+    merge_limit: usize,
+    rng: &mut R,
+    counters: &mut Counters,
 ) {
     // Round 1: direct attachment, repeated until fixpoint — assigning an
     // area may unlock its neighbors (paper §VII-B2).
@@ -232,6 +305,7 @@ pub fn substep_22_assign<R: Rng>(
                 continue;
             }
             nbr_regions.shuffle(rng);
+            charge_avg_checks(engine, counters);
             match classify_area(engine, a) {
                 AvgClass::InRange => {
                     // Safe for AVG by convexity of the range.
@@ -239,10 +313,10 @@ pub fn substep_22_assign<R: Rng>(
                     changed = true;
                 }
                 AvgClass::Low | AvgClass::High => {
-                    if let Some(&r) = nbr_regions
-                        .iter()
-                        .find(|&&r| add_preserves_avg(engine, &partition.region(r).agg, a))
-                    {
+                    if let Some(&r) = nbr_regions.iter().find(|&&r| {
+                        charge_avg_checks(engine, counters);
+                        add_preserves_avg(engine, &partition.region(r).agg, a)
+                    }) {
                         partition.add_to_region(engine, r, a);
                         changed = true;
                     }
@@ -278,9 +352,11 @@ pub fn substep_22_assign<R: Rng>(
                     break 'outer;
                 }
                 trials += 1;
+                counters.inc(CounterKind::MergeTrials);
                 if !partition.is_live(r) || !partition.is_live(r2) || r == r2 {
                     continue;
                 }
+                charge_avg_checks(engine, counters);
                 if merged_satisfies_avg(
                     engine,
                     &partition.region(r).agg,
@@ -288,6 +364,7 @@ pub fn substep_22_assign<R: Rng>(
                     a,
                 ) {
                     partition.merge_regions(engine, r, r2);
+                    counters.inc(CounterKind::RegionsMerged);
                     partition.add_to_region(engine, r, a);
                     break 'outer;
                 }
@@ -302,6 +379,14 @@ pub fn substep_22_assign<R: Rng>(
 /// and a neighbor that satisfies a violated extrema constraint donates a
 /// witness area, so the merged region satisfies it too.
 pub fn substep_23_combine(engine: &ConstraintEngine<'_>, partition: &mut Partition) {
+    substep_23_counted(engine, partition, &mut Counters::new());
+}
+
+fn substep_23_counted(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    counters: &mut Counters,
+) {
     let extrema: Vec<usize> = engine
         .indices_of(Aggregate::Min)
         .iter()
@@ -321,7 +406,10 @@ pub fn substep_23_combine(engine: &ConstraintEngine<'_>, partition: &mut Partiti
             let violated: Vec<usize> = extrema
                 .iter()
                 .copied()
-                .filter(|&ci| !engine.satisfied(&partition.region(id).agg, ci))
+                .filter(|&ci| {
+                    counters.inc(check_counter(engine.constraints()[ci].aggregate));
+                    !engine.satisfied(&partition.region(id).agg, ci)
+                })
                 .collect();
             if violated.is_empty() {
                 continue;
@@ -343,11 +431,13 @@ pub fn substep_23_combine(engine: &ConstraintEngine<'_>, partition: &mut Partiti
             match partial_fix.or_else(|| nbrs.first().copied()) {
                 Some(r) => {
                     partition.merge_regions(engine, id, r);
+                    counters.inc(CounterKind::RegionsMerged);
                     progressed = true;
                 }
                 None => {
                     // Isolated region that cannot be fixed.
                     partition.dissolve_region(id);
+                    counters.inc(CounterKind::RegionsFreed);
                     progressed = true;
                 }
             }
@@ -528,6 +618,32 @@ mod tests {
             assert!(eng.satisfied(&part.region(id).agg, 0), "MIN violated");
             assert!(eng.satisfied(&part.region(id).agg, 1), "MAX violated");
         }
+    }
+
+    #[test]
+    fn counted_growth_accounts_region_lifecycle() {
+        // No constraints: every area becomes a singleton region and nothing
+        // merges, so the lifecycle counters are exact.
+        let inst = paper_instance();
+        let set = ConstraintSet::new();
+        let engine = ConstraintEngine::compile(&inst, &set).unwrap();
+        let report = feasibility_phase(&engine);
+        let eligible = vec![true; 9];
+        let mut part = Partition::new(9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Counters::new();
+        region_growing_counted(
+            &engine,
+            &mut part,
+            &report.seeds,
+            &eligible,
+            3,
+            &mut rng,
+            &mut c,
+        );
+        assert_eq!(c.get(CounterKind::RegionsCreated) as usize, part.p());
+        assert_eq!(c.get(CounterKind::RegionsMerged), 0);
+        assert_eq!(c.get(CounterKind::RegionsFreed), 0);
     }
 
     #[test]

@@ -72,8 +72,8 @@ pub use instance::EmpInstance;
 pub use objective::{Channel, ObjectiveSpec};
 pub use parse::{parse_constraint, parse_constraints};
 pub use solution::Solution;
-pub use solver::{solve, FactConfig, PhaseTimings, SolveReport};
-pub use tabu::{tabu_search, tabu_search_traced, Move, NeighborhoodState, TabuConfig, TabuStats};
+pub use solver::{solve, solve_observed, FactConfig, PhaseTimings, SolveReport};
+pub use tabu::{tabu_search, tabu_search_observed, Move, NeighborhoodState, TabuConfig, TabuStats};
 pub use validate::{p_upper_bound, validate_solution};
 
 /// Common imports for EMP users.

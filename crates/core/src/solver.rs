@@ -1,16 +1,17 @@
 //! The FaCT solver: orchestrates the feasibility, construction, and local
 //! search phases (paper §V).
 
-use crate::adjust::monotonic_adjustments;
+use crate::adjust::monotonic_adjustments_counted;
 use crate::constraint::ConstraintSet;
 use crate::engine::ConstraintEngine;
 use crate::error::EmpError;
 use crate::feasibility::{feasibility_phase, FeasibilityReport};
-use crate::grow::region_growing;
+use crate::grow::region_growing_counted;
 use crate::instance::EmpInstance;
 use crate::partition::Partition;
 use crate::solution::Solution;
-use crate::tabu::{tabu_search, TabuConfig, TabuStats};
+use crate::tabu::{tabu_search_observed, TabuConfig, TabuStats};
+use emp_obs::{Counters, Recorder, TrajectorySummary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -91,7 +92,8 @@ impl PhaseTimings {
 
 /// Everything FaCT reports back: the solution, the feasibility analysis
 /// (which the paper surfaces to let users tune data or query), per-phase
-/// timings, and local-search statistics.
+/// timings, local-search statistics, and the telemetry counters accumulated
+/// by this solve.
 #[derive(Clone, Debug)]
 pub struct SolveReport {
     /// The final solution.
@@ -104,6 +106,12 @@ pub struct SolveReport {
     pub tabu: TabuStats,
     /// Phase timings.
     pub timings: PhaseTimings,
+    /// Telemetry counters accumulated during this solve (this solve only,
+    /// even when the recorder is reused).
+    pub counters: Counters,
+    /// Local-search objective trajectory summary (empty when the local
+    /// search was skipped).
+    pub trajectory: TrajectorySummary,
 }
 
 impl SolveReport {
@@ -112,9 +120,12 @@ impl SolveReport {
         self.solution.p()
     }
 
-    /// Relative heterogeneity improvement achieved by the local search.
-    pub fn improvement(&self) -> f64 {
-        self.tabu.improvement()
+    /// Relative heterogeneity improvement achieved by the local search,
+    /// derived from the telemetry trajectory. `None` when the local search
+    /// never ran or the initial objective was zero/non-finite (see
+    /// `DESIGN.md` §6); render as `n/a`, never a fake `0`.
+    pub fn improvement(&self) -> Option<f64> {
+        self.trajectory.improvement()
     }
 }
 
@@ -128,13 +139,34 @@ pub fn solve(
     constraints: &ConstraintSet,
     config: &FactConfig,
 ) -> Result<SolveReport, EmpError> {
+    solve_observed(instance, constraints, config, &mut Recorder::noop())
+}
+
+/// [`solve`] reporting telemetry through `rec`: a `solve` span wrapping
+/// `feasibility`, one `construct_iter` span per construction iteration (with
+/// nested `grow`/`adjust` spans on the serial path), and a `tabu` span with
+/// `resync` children plus the per-move objective trajectory.
+///
+/// With a parallel construction phase each worker owns a private noop
+/// recorder; the parent folds the per-thread counters in at join time as
+/// external `construct_iter` spans, so the hot path takes no locks (the
+/// nested `grow`/`adjust` breakdown is not available in parallel mode).
+pub fn solve_observed(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    config: &FactConfig,
+    rec: &mut Recorder,
+) -> Result<SolveReport, EmpError> {
     let engine = ConstraintEngine::compile(instance, constraints)?;
+    let counters_at_entry = rec.counters_snapshot();
+    rec.span_begin("solve", None);
 
     // Phase 1: feasibility.
-    let t0 = Instant::now();
+    rec.span_begin("feasibility", None);
     let feasibility = feasibility_phase(&engine);
-    let feasibility_time = t0.elapsed().as_secs_f64();
+    let feasibility_time = rec.span_end();
     if feasibility.is_infeasible() {
+        rec.span_end(); // close "solve"
         return Err(EmpError::Infeasible {
             reasons: feasibility.infeasible_reasons(),
         });
@@ -149,9 +181,9 @@ pub fn solve(
     let t1 = Instant::now();
     let iterations = config.construction_iterations.max(1);
     let best = if config.parallel && iterations > 1 {
-        construct_parallel(&engine, &feasibility, &eligible, config, iterations)
+        construct_parallel(&engine, &feasibility, &eligible, config, iterations, rec)
     } else {
-        construct_serial(&engine, &feasibility, &eligible, config, iterations)
+        construct_serial(&engine, &feasibility, &eligible, config, iterations, rec)
     };
     let mut partition = best.expect("at least one construction iteration");
     let construction_time = t1.elapsed().as_secs_f64();
@@ -169,7 +201,10 @@ pub fn solve(
         if let Some(cap) = config.max_tabu_iterations {
             tabu_cfg.max_iterations = cap;
         }
-        tabu_search(&engine, &mut partition, &tabu_cfg)
+        rec.span_begin("tabu", None);
+        let stats = tabu_search_observed(&engine, &mut partition, &tabu_cfg, rec);
+        rec.span_end();
+        stats
     } else {
         TabuStats {
             initial: heterogeneity_before,
@@ -178,6 +213,10 @@ pub fn solve(
         }
     };
     let local_search_time = t2.elapsed().as_secs_f64();
+
+    rec.span_end(); // close "solve"
+    let counters = rec.counters_snapshot().delta_since(&counters_at_entry);
+    let trajectory = rec.take_trajectory();
 
     Ok(SolveReport {
         solution: Solution::from_partition(&engine, &partition),
@@ -189,28 +228,38 @@ pub fn solve(
             construction: construction_time,
             local_search: local_search_time,
         },
+        counters,
+        trajectory,
     })
 }
 
 /// One construction iteration: region growing then monotonic adjustments.
+/// The caller wraps it in a `construct_iter` span; the nested `grow` /
+/// `adjust` spans live here.
 fn construct_once(
     engine: &ConstraintEngine<'_>,
     feasibility: &FeasibilityReport,
     eligible: &[bool],
     merge_limit: usize,
     seed: u64,
+    rec: &mut Recorder,
 ) -> Partition {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut partition = Partition::new(engine.instance().len());
-    region_growing(
+    rec.span_begin("grow", None);
+    region_growing_counted(
         engine,
         &mut partition,
         &feasibility.seeds,
         eligible,
         merge_limit,
         &mut rng,
+        rec.counters(),
     );
-    monotonic_adjustments(engine, &mut partition, &mut rng);
+    rec.span_end();
+    rec.span_begin("adjust", None);
+    monotonic_adjustments_counted(engine, &mut partition, &mut rng, rec.counters());
+    rec.span_end();
     partition
 }
 
@@ -246,16 +295,20 @@ fn construct_serial(
     eligible: &[bool],
     config: &FactConfig,
     iterations: usize,
+    rec: &mut Recorder,
 ) -> Option<Partition> {
     let mut best: Option<Partition> = None;
     for i in 0..iterations {
+        rec.span_begin("construct_iter", Some(i as u64));
         let cand = construct_once(
             engine,
             feasibility,
             eligible,
             config.merge_limit,
             config.seed.wrapping_add(i as u64),
+            rec,
         );
+        rec.span_end();
         if best.as_ref().is_none_or(|b| better(engine, &cand, b)) {
             best = Some(cand);
         }
@@ -269,14 +322,28 @@ fn construct_parallel(
     eligible: &[bool],
     config: &FactConfig,
     iterations: usize,
+    rec: &mut Recorder,
 ) -> Option<Partition> {
+    // Each worker owns a private noop recorder; counters are merged after
+    // the join (no atomics, no contention on the hot path). The nested
+    // grow/adjust spans are intentionally dropped in parallel mode.
     let results = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..iterations)
             .map(|i| {
                 let seed = config.seed.wrapping_add(i as u64);
                 let merge_limit = config.merge_limit;
                 scope.spawn(move |_| {
-                    construct_once(engine, feasibility, eligible, merge_limit, seed)
+                    let mut worker = Recorder::noop();
+                    let t = Instant::now();
+                    let cand = construct_once(
+                        engine,
+                        feasibility,
+                        eligible,
+                        merge_limit,
+                        seed,
+                        &mut worker,
+                    );
+                    (cand, worker.counters_snapshot(), t.elapsed().as_secs_f64())
                 })
             })
             .collect();
@@ -287,7 +354,8 @@ fn construct_parallel(
     })
     .expect("crossbeam scope");
     let mut best: Option<Partition> = None;
-    for cand in results {
+    for (i, (cand, counters, wall_s)) in results.into_iter().enumerate() {
+        rec.record_external_span("construct_iter", Some(i as u64), wall_s, &counters);
         if best.as_ref().is_none_or(|b| better(engine, &cand, b)) {
             best = Some(cand);
         }
@@ -341,7 +409,12 @@ mod tests {
         let inst = grid_instance(2);
         let report = solve(&inst, &default_constraints(), &FactConfig::seeded(3)).unwrap();
         assert!(report.solution.heterogeneity <= report.heterogeneity_before + 1e-9);
-        assert!(report.improvement() >= 0.0);
+        assert!(
+            report
+                .improvement()
+                .expect("tabu ran on a nonzero objective")
+                >= 0.0
+        );
     }
 
     #[test]
@@ -487,5 +560,81 @@ mod tests {
         let report = solve(&inst, &set, &FactConfig::seeded(2)).unwrap();
         assert!(report.p() >= 2, "each component should host regions");
         validate_solution(&inst, &set, &report.solution).unwrap();
+    }
+
+    #[test]
+    fn skipped_local_search_has_undefined_improvement() {
+        let inst = grid_instance(10);
+        let cfg = FactConfig {
+            local_search: false,
+            ..FactConfig::seeded(4)
+        };
+        let report = solve(&inst, &default_constraints(), &cfg).unwrap();
+        assert_eq!(report.trajectory.points(), 0);
+        assert_eq!(report.improvement(), None);
+    }
+
+    #[test]
+    fn observed_solve_emits_phase_spans_and_counters() {
+        use emp_obs::{CounterKind, InMemorySink};
+
+        let inst = grid_instance(11);
+        let sink = InMemorySink::new();
+        let handle = sink.handle();
+        let mut rec = Recorder::with_sink(Box::new(sink));
+        let report = solve_observed(
+            &inst,
+            &default_constraints(),
+            &FactConfig::seeded(7),
+            &mut rec,
+        )
+        .unwrap();
+        rec.finish();
+
+        let data = handle.lock().unwrap();
+        let roots: Vec<&str> = data
+            .spans
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(roots, ["solve"], "exactly one root span");
+        for name in ["feasibility", "construct_iter", "grow", "adjust", "tabu"] {
+            assert!(
+                data.spans.iter().any(|s| s.name == name),
+                "missing span {name}"
+            );
+        }
+        // The root span carries the whole solve's counters.
+        let solve_span = data.spans.iter().find(|s| s.name == "solve").unwrap();
+        assert_eq!(
+            solve_span.counters.get(CounterKind::TabuMovesApplied),
+            report.counters.get(CounterKind::TabuMovesApplied)
+        );
+        assert!(report.counters.get(CounterKind::RegionsCreated) > 0);
+        assert_eq!(
+            report.counters.get(CounterKind::ArticulationCacheHits)
+                + report.counters.get(CounterKind::ArticulationCacheMisses),
+            report.counters.get(CounterKind::ArticulationQueries)
+        );
+        // The trajectory in the report matches the sink's buffered points.
+        assert_eq!(report.trajectory.points(), data.trajectory.len() as u64);
+    }
+
+    #[test]
+    fn parallel_observed_solve_merges_worker_counters() {
+        use emp_obs::CounterKind;
+
+        let inst = grid_instance(12);
+        let cfg = FactConfig {
+            construction_iterations: 3,
+            parallel: true,
+            ..FactConfig::seeded(8)
+        };
+        let mut rec = Recorder::noop();
+        let report = solve_observed(&inst, &default_constraints(), &cfg, &mut rec).unwrap();
+        // Region creations happen on worker threads; the merged counters
+        // must still see them.
+        assert!(report.counters.get(CounterKind::RegionsCreated) > 0);
     }
 }

@@ -41,6 +41,7 @@ use crate::constraint::Aggregate;
 use crate::engine::{ConstraintEngine, RegionAgg};
 use crate::partition::{Partition, RegionId};
 use emp_graph::articulation::{articulation_points_into, ArticulationScratch};
+use emp_obs::{CounterKind, Counters, Recorder};
 use std::collections::HashMap;
 
 /// The incrementally-tracked heterogeneity is resynced against a fresh
@@ -91,14 +92,16 @@ pub struct TabuStats {
 }
 
 impl TabuStats {
-    /// Relative improvement `(initial - best) / initial` (0 when `initial`
-    /// is 0).
-    pub fn improvement(&self) -> f64 {
-        if self.initial > 0.0 {
-            (self.initial - self.best) / self.initial
-        } else {
-            0.0
-        }
+    /// Relative improvement `(initial - best) / initial`.
+    ///
+    /// `None` when the initial heterogeneity is zero or non-finite — the
+    /// ratio is undefined there (e.g. a perfectly homogeneous construction)
+    /// and callers render it as `n/a` instead of a fake `0`. The
+    /// solve-level convention (which additionally distinguishes "tabu never
+    /// ran") is documented in `DESIGN.md` §6.
+    pub fn improvement(&self) -> Option<f64> {
+        (self.initial.is_finite() && self.initial > 0.0)
+            .then(|| (self.initial - self.best) / self.initial)
     }
 }
 
@@ -260,6 +263,9 @@ pub struct NeighborhoodState {
     scratch: ArticulationScratch,
     /// Scratch for candidate destination regions.
     dests: Vec<RegionId>,
+    /// Telemetry accumulated by this neighborhood (cache traffic, move
+    /// evaluation accounting); merged into the search's recorder at the end.
+    counters: Counters,
 }
 
 impl NeighborhoodState {
@@ -273,18 +279,26 @@ impl NeighborhoodState {
                 boundary.insert(area);
             }
         }
+        let mut counters = Counters::new();
+        counters.record_max(CounterKind::BoundaryAreasPeak, boundary.list.len() as u64);
         NeighborhoodState {
             boundary,
             arts: Vec::new(),
             spare: Vec::new(),
             scratch: ArticulationScratch::default(),
             dests: Vec::new(),
+            counters,
         }
     }
 
     /// The current boundary set (test/diagnostic access).
     pub fn boundary(&self) -> &BoundarySet {
         &self.boundary
+    }
+
+    /// The telemetry accumulated so far (cache traffic, move accounting).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
     }
 
     /// Updates the caches after `partition.move_area(mv.area, mv.to)` has
@@ -306,6 +320,10 @@ impl NeighborhoodState {
         }
         self.invalidate_region(mv.from);
         self.invalidate_region(mv.to);
+        self.counters.record_max(
+            CounterKind::BoundaryAreasPeak,
+            self.boundary.list.len() as u64,
+        );
     }
 
     fn refresh_boundary_status(
@@ -325,6 +343,8 @@ impl NeighborhoodState {
         if let Some(slot) = self.arts.get_mut(id as usize) {
             if let Some(buf) = slot.take() {
                 self.spare.push(buf);
+                self.counters
+                    .inc(CounterKind::ArticulationCacheInvalidations);
             }
         }
     }
@@ -341,8 +361,10 @@ impl NeighborhoodState {
             self.arts
                 .resize_with(partition.region_slots().max(id as usize + 1), || None);
         }
+        self.counters.inc(CounterKind::ArticulationQueries);
         let slot = &mut self.arts[id as usize];
         if slot.is_none() {
+            self.counters.inc(CounterKind::ArticulationCacheMisses);
             let mut buf = self.spare.pop().unwrap_or_default();
             articulation_points_into(
                 engine.instance().graph(),
@@ -351,6 +373,8 @@ impl NeighborhoodState {
                 &mut buf,
             );
             *slot = Some(buf);
+        } else {
+            self.counters.inc(CounterKind::ArticulationCacheHits);
         }
         self.arts[id as usize].as_deref().expect("just computed")
     }
@@ -399,9 +423,12 @@ impl NeighborhoodState {
             // (with tight SUM/COUNT lower bounds most donors sit at the
             // floor, so this skips the O(|region|) delta computations that
             // dominate the scan).
-            if !self.removal_safe(engine, partition, area, from)
-                || !donor_keeps_constraints(engine, partition, area, from)
-            {
+            if !self.removal_safe(engine, partition, area, from) {
+                self.counters.inc(CounterKind::TabuRejectedInfeasible);
+                continue;
+            }
+            if !donor_keeps_constraints(engine, partition, area, from, &mut self.counters) {
+                self.counters.inc(CounterKind::TabuRejectedInfeasible);
                 continue;
             }
             let mut dests = std::mem::take(&mut self.dests);
@@ -416,7 +443,9 @@ impl NeighborhoodState {
             dests.sort_unstable();
             dests.dedup();
             for &to in &dests {
-                if !receiver_keeps_constraints(engine, partition, area, to) {
+                self.counters.inc(CounterKind::TabuMovesEvaluated);
+                if !receiver_keeps_constraints(engine, partition, area, to, &mut self.counters) {
+                    self.counters.inc(CounterKind::TabuRejectedInfeasible);
                     continue;
                 }
                 let delta = partition.move_objective_delta(engine, area, from, to);
@@ -425,6 +454,7 @@ impl NeighborhoodState {
                 }
                 let aspires = current_h + delta < best_h - 1e-9;
                 if tabu.is_tabu(area, to, moves_done) && !aspires {
+                    self.counters.inc(CounterKind::TabuRejectedTabu);
                     continue;
                 }
                 best = Some(Move {
@@ -468,17 +498,37 @@ pub fn tabu_search(
     partition: &mut Partition,
     config: &TabuConfig,
 ) -> TabuStats {
-    tabu_search_traced(engine, partition, config, None)
+    tabu_search_observed(engine, partition, config, &mut Recorder::noop())
 }
 
-/// [`tabu_search`] that additionally records the heterogeneity trajectory
-/// (the objective after every applied move, preceded by the initial value)
-/// into `trace` — used by the bench harness to emit `BENCH_tabu.json`.
-pub fn tabu_search_traced(
+/// Debug-build drift check: the incrementally-accumulated objective must
+/// stay within 1e-6 (relative) of a fresh recomputation. Invoked at every
+/// telemetry span close inside the search (each `resync` span and the final
+/// close), not just on the [`RESYNC_INTERVAL`] boundary.
+#[cfg(debug_assertions)]
+fn debug_check_drift(engine: &ConstraintEngine<'_>, partition: &Partition, current_h: f64) {
+    let fresh = partition.heterogeneity_with(engine);
+    debug_assert!(
+        (fresh - current_h).abs() <= 1e-6 * fresh.abs().max(1.0),
+        "objective drift {} exceeds 1e-6 (incremental {current_h}, fresh {fresh})",
+        (fresh - current_h).abs(),
+    );
+}
+
+#[cfg(not(debug_assertions))]
+#[inline]
+fn debug_check_drift(_: &ConstraintEngine<'_>, _: &Partition, _: f64) {}
+
+/// [`tabu_search`] reporting telemetry through `rec`: the per-move
+/// heterogeneity **trajectory** (the objective after every applied move,
+/// preceded by the initial value), a `resync` span per objective resync, and
+/// the neighborhood counters (move accounting, articulation cache traffic,
+/// boundary-set watermark). The caller owns the enclosing `"tabu"` span.
+pub fn tabu_search_observed(
     engine: &ConstraintEngine<'_>,
     partition: &mut Partition,
     config: &TabuConfig,
-    mut trace: Option<&mut Vec<f64>>,
+    rec: &mut Recorder,
 ) -> TabuStats {
     let initial = partition.heterogeneity_with(engine);
     let mut current_h = initial;
@@ -494,15 +544,21 @@ pub fn tabu_search_traced(
     let mut state = config
         .incremental
         .then(|| NeighborhoodState::new(engine, partition));
-    if let Some(t) = trace.as_deref_mut() {
-        t.push(initial);
-    }
+    rec.trajectory_point(0, initial);
 
     while no_improve < config.max_no_improve && stats.iterations < config.max_iterations {
         stats.iterations += 1;
         let mv = match state.as_mut() {
             Some(s) => s.select_move(engine, partition, &tabu, stats.moves, current_h, best_h),
-            None => select_move_reference(engine, partition, &tabu, stats.moves, current_h, best_h),
+            None => select_move_reference(
+                engine,
+                partition,
+                &tabu,
+                stats.moves,
+                current_h,
+                best_h,
+                rec.counters(),
+            ),
         };
         let Some(mv) = mv else {
             break; // no admissible move at all
@@ -512,22 +568,19 @@ pub fn tabu_search_traced(
             s.on_move_applied(engine, partition, mv);
         }
         stats.moves += 1;
+        rec.counters().inc(CounterKind::TabuMovesApplied);
         // Forbid the reverse move.
         tabu.forbid(mv.area, mv.from, stats.moves);
         current_h += mv.delta;
         if stats.iterations % RESYNC_INTERVAL == 0 {
             // Resync the accumulated objective; drift must stay tiny.
-            let fresh = partition.heterogeneity_with(engine);
-            debug_assert!(
-                (fresh - current_h).abs() <= 1e-6 * fresh.abs().max(1.0),
-                "objective drift {} exceeds 1e-6 (incremental {current_h}, fresh {fresh})",
-                (fresh - current_h).abs(),
-            );
-            current_h = fresh;
+            rec.span_begin("resync", Some((stats.iterations / RESYNC_INTERVAL) as u64));
+            rec.counters().inc(CounterKind::ObjectiveResyncs);
+            debug_check_drift(engine, partition, current_h);
+            current_h = partition.heterogeneity_with(engine);
+            rec.span_end();
         }
-        if let Some(t) = trace.as_deref_mut() {
-            t.push(current_h);
-        }
+        rec.trajectory_point(stats.moves as u64, current_h);
         if current_h < best_h - 1e-9 {
             best_h = current_h;
             best_assignment = partition.assignment().to_vec();
@@ -535,6 +588,13 @@ pub fn tabu_search_traced(
         } else {
             no_improve += 1;
         }
+    }
+
+    // The enclosing span is about to close: verify the incremental objective
+    // one last time, wherever the iteration count stopped.
+    debug_check_drift(engine, partition, current_h);
+    if let Some(s) = state.as_ref() {
+        rec.merge_counters(s.counters());
     }
 
     // Return the best partition encountered.
@@ -558,6 +618,7 @@ pub fn select_move_reference(
     moves_done: usize,
     current_h: f64,
     best_h: f64,
+    counters: &mut Counters,
 ) -> Option<Move> {
     let graph = engine.instance().graph();
     let mut best: Option<Move> = None;
@@ -585,9 +646,11 @@ pub fn select_move_reference(
             let mut connectivity_ok = false;
 
             for to in dests {
+                counters.inc(CounterKind::TabuMovesEvaluated);
                 let delta = partition.move_objective_delta(engine, area, from, to);
                 let aspires = current_h + delta < best_h - 1e-9;
                 if tabu.is_tabu(area, to, moves_done) && !aspires {
+                    counters.inc(CounterKind::TabuRejectedTabu);
                     continue;
                 }
                 if !beats(delta, area, to, &best) {
@@ -595,15 +658,18 @@ pub fn select_move_reference(
                 }
                 // Feasibility: donor keeps constraints after removal,
                 // receiver keeps them after addition.
-                if !move_keeps_constraints(engine, partition, area, from, to) {
+                if !move_keeps_constraints(engine, partition, area, from, to, counters) {
+                    counters.inc(CounterKind::TabuRejectedInfeasible);
                     continue;
                 }
                 // Connectivity last (most expensive), computed once per area.
                 if !connectivity_checked {
+                    counters.inc(CounterKind::BfsFallbacks);
                     connectivity_ok = partition.removal_keeps_connected(engine, area);
                     connectivity_checked = true;
                 }
                 if !connectivity_ok {
+                    counters.inc(CounterKind::TabuRejectedInfeasible);
                     break;
                 }
                 best = Some(Move {
@@ -626,9 +692,10 @@ fn move_keeps_constraints(
     area: u32,
     from: RegionId,
     to: RegionId,
+    counters: &mut Counters,
 ) -> bool {
-    donor_keeps_constraints(engine, partition, area, from)
-        && receiver_keeps_constraints(engine, partition, area, to)
+    donor_keeps_constraints(engine, partition, area, from, counters)
+        && receiver_keeps_constraints(engine, partition, area, to, counters)
 }
 
 /// Destination-independent half of [`move_keeps_constraints`]: would the
@@ -638,9 +705,11 @@ fn donor_keeps_constraints(
     partition: &Partition,
     area: u32,
     from: RegionId,
+    counters: &mut Counters,
 ) -> bool {
     let donor = &partition.region(from).agg;
     for (ci, c) in engine.constraints().iter().enumerate() {
+        counters.inc(crate::engine::check_counter(c.aggregate));
         let v = engine.area_value(ci, area);
         match hypothetical_after_removal(engine, donor, ci, v) {
             Some(val) if c.contains(val) => {}
@@ -657,9 +726,11 @@ fn receiver_keeps_constraints(
     partition: &Partition,
     area: u32,
     to: RegionId,
+    counters: &mut Counters,
 ) -> bool {
     let recv = &partition.region(to).agg;
     for (ci, c) in engine.constraints().iter().enumerate() {
+        counters.inc(crate::engine::check_counter(c.aggregate));
         let v = engine.area_value(ci, area);
         if !c.contains(hypothetical_after_addition(engine, recv, ci, v)) {
             return false;
@@ -742,7 +813,7 @@ mod tests {
         );
         assert_eq!(part.p(), 2);
         assert!(stats.best <= stats.initial);
-        assert!((stats.improvement() - 1.0).abs() < 1e-9);
+        assert!((stats.improvement().unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -934,12 +1005,20 @@ mod tests {
 
     #[test]
     fn stats_improvement_handles_zero_initial() {
+        // A zero (or non-finite) starting objective makes the relative
+        // improvement undefined; the convention is `None`, rendered "n/a".
         let s = TabuStats {
             initial: 0.0,
             best: 0.0,
             ..Default::default()
         };
-        assert_eq!(s.improvement(), 0.0);
+        assert_eq!(s.improvement(), None);
+        let nan = TabuStats {
+            initial: f64::NAN,
+            best: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(nan.improvement(), None);
     }
 
     #[test]
@@ -1042,7 +1121,16 @@ mod tests {
         let mut moves = 0usize;
         for _ in 0..40 {
             let inc = state.select_move(&eng, &part, &tabu, moves, current_h, best_h);
-            let reference = select_move_reference(&eng, &part, &tabu, moves, current_h, best_h);
+            let mut ref_counters = Counters::new();
+            let reference = select_move_reference(
+                &eng,
+                &part,
+                &tabu,
+                moves,
+                current_h,
+                best_h,
+                &mut ref_counters,
+            );
             assert_eq!(inc, reference, "divergent move at step {moves}");
             let Some(mv) = inc else { break };
             part.move_area(&eng, mv.area, mv.to);
@@ -1056,23 +1144,41 @@ mod tests {
     }
 
     #[test]
-    fn traced_search_records_trajectory() {
+    fn observed_search_records_trajectory_and_counters() {
         let inst = line_instance();
         let set = ConstraintSet::new().with(Constraint::count(1.0, 3.0).unwrap());
         let eng = ConstraintEngine::compile(&inst, &set).unwrap();
         let mut part = Partition::new(4);
         part.create_region(&eng, &[0]);
         part.create_region(&eng, &[1, 2, 3]);
-        let mut trace = Vec::new();
-        let stats = tabu_search_traced(
-            &eng,
-            &mut part,
-            &TabuConfig::for_instance(4),
-            Some(&mut trace),
-        );
+        let sink = emp_obs::InMemorySink::new();
+        let handle = sink.handle();
+        let mut rec = Recorder::with_sink(Box::new(sink));
+        rec.span_begin("tabu", None);
+        let stats = tabu_search_observed(&eng, &mut part, &TabuConfig::for_instance(4), &mut rec);
+        rec.span_end();
+        rec.finish();
+
+        let trace: Vec<f64> = {
+            let data = handle.lock().unwrap();
+            data.trajectory.iter().map(|&(_, h)| h).collect()
+        };
         assert_eq!(trace.len(), stats.moves + 1);
         assert!((trace[0] - stats.initial).abs() < 1e-9);
         let min = trace.iter().copied().fold(f64::INFINITY, f64::min);
         assert!((min - stats.best).abs() < 1e-9);
+        // The same summary is available without any sink buffering.
+        assert_eq!(rec.trajectory().points(), trace.len() as u64);
+        assert_eq!(rec.trajectory().best(), Some(stats.best));
+
+        // Counter invariants: every applied move was evaluated first, and
+        // the articulation cache answered exactly its queries.
+        let c = rec.counters_snapshot();
+        assert!(c.get(CounterKind::TabuMovesApplied) as usize == stats.moves);
+        assert!(c.get(CounterKind::TabuMovesApplied) <= c.get(CounterKind::TabuMovesEvaluated));
+        assert_eq!(
+            c.get(CounterKind::ArticulationCacheHits) + c.get(CounterKind::ArticulationCacheMisses),
+            c.get(CounterKind::ArticulationQueries)
+        );
     }
 }

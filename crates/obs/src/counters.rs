@@ -1,0 +1,258 @@
+//! Solver counters: a fixed, named set of monotone counters (plus a few
+//! high-watermark gauges) accumulated in plain `u64`s.
+//!
+//! Counters are *always* accumulated — an increment is one array add, cheap
+//! enough for the tabu hot loop — while span/trajectory *events* only flow
+//! when a real [`EventSink`](crate::EventSink) is attached. Per-thread
+//! accumulation is contention-free by construction: every worker owns its
+//! own [`Counters`] and the owners [`merge`](Counters::merge) at join time.
+
+/// Everything the solver counts. The glossary (what each counter means and
+/// which phase bumps it) lives in `DESIGN.md` §6.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum CounterKind {
+    /// Tabu candidate `(area, destination)` pairs examined.
+    TabuMovesEvaluated = 0,
+    /// Tabu moves actually applied to the partition.
+    TabuMovesApplied,
+    /// Candidates skipped because they were tabu and did not aspire.
+    TabuRejectedTabu,
+    /// Candidates rejected by a constraint or contiguity check.
+    TabuRejectedInfeasible,
+    /// High-watermark of the boundary-area set during the search (gauge).
+    BoundaryAreasPeak,
+    /// Articulation-point queries answered (cache hits + misses).
+    ArticulationQueries,
+    /// Articulation queries served from the per-region cache.
+    ArticulationCacheHits,
+    /// Articulation queries that recomputed a cold/stale cache entry.
+    ArticulationCacheMisses,
+    /// Per-region articulation cache entries invalidated after moves.
+    ArticulationCacheInvalidations,
+    /// Per-candidate connectivity BFS runs (reference path and adjustments).
+    BfsFallbacks,
+    /// Constraint checks against a MIN aggregate.
+    ChecksMin,
+    /// Constraint checks against a MAX aggregate.
+    ChecksMax,
+    /// Constraint checks against an AVG aggregate.
+    ChecksAvg,
+    /// Constraint checks against a SUM aggregate.
+    ChecksSum,
+    /// Constraint checks against a COUNT aggregate.
+    ChecksCount,
+    /// Regions created (construction, merges of seed groups, baselines).
+    RegionsCreated,
+    /// Regions freed (dissolved back into the unassigned set).
+    RegionsFreed,
+    /// Region pairs merged into one.
+    RegionsMerged,
+    /// Merge trials attempted in construction Substep 2.2 round 2.
+    MergeTrials,
+    /// Incremental-objective resyncs against a fresh recomputation.
+    ObjectiveResyncs,
+}
+
+/// Number of counter kinds (the length of [`Counters`]' backing array).
+pub const COUNTER_KINDS: usize = 20;
+
+impl CounterKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [CounterKind; COUNTER_KINDS] = [
+        CounterKind::TabuMovesEvaluated,
+        CounterKind::TabuMovesApplied,
+        CounterKind::TabuRejectedTabu,
+        CounterKind::TabuRejectedInfeasible,
+        CounterKind::BoundaryAreasPeak,
+        CounterKind::ArticulationQueries,
+        CounterKind::ArticulationCacheHits,
+        CounterKind::ArticulationCacheMisses,
+        CounterKind::ArticulationCacheInvalidations,
+        CounterKind::BfsFallbacks,
+        CounterKind::ChecksMin,
+        CounterKind::ChecksMax,
+        CounterKind::ChecksAvg,
+        CounterKind::ChecksSum,
+        CounterKind::ChecksCount,
+        CounterKind::RegionsCreated,
+        CounterKind::RegionsFreed,
+        CounterKind::RegionsMerged,
+        CounterKind::MergeTrials,
+        CounterKind::ObjectiveResyncs,
+    ];
+
+    /// Stable snake_case name used in JSONL traces and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKind::TabuMovesEvaluated => "tabu_moves_evaluated",
+            CounterKind::TabuMovesApplied => "tabu_moves_applied",
+            CounterKind::TabuRejectedTabu => "tabu_rejected_tabu",
+            CounterKind::TabuRejectedInfeasible => "tabu_rejected_infeasible",
+            CounterKind::BoundaryAreasPeak => "boundary_areas_peak",
+            CounterKind::ArticulationQueries => "articulation_queries",
+            CounterKind::ArticulationCacheHits => "articulation_cache_hits",
+            CounterKind::ArticulationCacheMisses => "articulation_cache_misses",
+            CounterKind::ArticulationCacheInvalidations => "articulation_cache_invalidations",
+            CounterKind::BfsFallbacks => "bfs_fallbacks",
+            CounterKind::ChecksMin => "checks_min",
+            CounterKind::ChecksMax => "checks_max",
+            CounterKind::ChecksAvg => "checks_avg",
+            CounterKind::ChecksSum => "checks_sum",
+            CounterKind::ChecksCount => "checks_count",
+            CounterKind::RegionsCreated => "regions_created",
+            CounterKind::RegionsFreed => "regions_freed",
+            CounterKind::RegionsMerged => "regions_merged",
+            CounterKind::MergeTrials => "merge_trials",
+            CounterKind::ObjectiveResyncs => "objective_resyncs",
+        }
+    }
+
+    /// Gauges hold a high-watermark rather than a monotone count; deltas and
+    /// merges take the max instead of adding/subtracting.
+    pub fn is_gauge(self) -> bool {
+        matches!(self, CounterKind::BoundaryAreasPeak)
+    }
+}
+
+/// A snapshot-able bundle of all solver counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Counters {
+    vals: [u64; COUNTER_KINDS],
+}
+
+impl Counters {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Increments `kind` by one.
+    #[inline]
+    pub fn inc(&mut self, kind: CounterKind) {
+        self.vals[kind as usize] += 1;
+    }
+
+    /// Adds `n` to `kind`.
+    #[inline]
+    pub fn add(&mut self, kind: CounterKind, n: u64) {
+        self.vals[kind as usize] += n;
+    }
+
+    /// Raises the gauge `kind` to at least `v`.
+    #[inline]
+    pub fn record_max(&mut self, kind: CounterKind, v: u64) {
+        let slot = &mut self.vals[kind as usize];
+        *slot = (*slot).max(v);
+    }
+
+    /// Current value of `kind`.
+    #[inline]
+    pub fn get(&self, kind: CounterKind) -> u64 {
+        self.vals[kind as usize]
+    }
+
+    /// Folds `other` in: counts add, gauges take the max. This is the
+    /// join-time merge for per-thread accumulators.
+    pub fn merge(&mut self, other: &Counters) {
+        for kind in CounterKind::ALL {
+            let i = kind as usize;
+            if kind.is_gauge() {
+                self.vals[i] = self.vals[i].max(other.vals[i]);
+            } else {
+                self.vals[i] += other.vals[i];
+            }
+        }
+    }
+
+    /// What happened since `earlier` (a prior snapshot of `self`): counts
+    /// subtract, gauges report their current watermark.
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        let mut out = Counters::new();
+        for kind in CounterKind::ALL {
+            let i = kind as usize;
+            out.vals[i] = if kind.is_gauge() {
+                self.vals[i]
+            } else {
+                self.vals[i].saturating_sub(earlier.vals[i])
+            };
+        }
+        out
+    }
+
+    /// `(kind, value)` pairs with non-zero values, in discriminant order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (CounterKind, u64)> + '_ {
+        CounterKind::ALL
+            .into_iter()
+            .filter_map(|k| (self.vals[k as usize] > 0).then_some((k, self.vals[k as usize])))
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_empty(&self) -> bool {
+        self.vals.iter().all(|&v| v == 0)
+    }
+
+    /// Articulation-cache hit rate (`hits / queries`), `None` before the
+    /// first query.
+    pub fn articulation_hit_rate(&self) -> Option<f64> {
+        let q = self.get(CounterKind::ArticulationQueries);
+        (q > 0).then(|| self.get(CounterKind::ArticulationCacheHits) as f64 / q as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_cover_all() {
+        let mut names: Vec<_> = CounterKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), COUNTER_KINDS);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COUNTER_KINDS);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_maxes_gauges() {
+        let mut a = Counters::new();
+        a.add(CounterKind::TabuMovesApplied, 3);
+        a.record_max(CounterKind::BoundaryAreasPeak, 10);
+        let mut b = Counters::new();
+        b.add(CounterKind::TabuMovesApplied, 4);
+        b.record_max(CounterKind::BoundaryAreasPeak, 7);
+        a.merge(&b);
+        assert_eq!(a.get(CounterKind::TabuMovesApplied), 7);
+        assert_eq!(a.get(CounterKind::BoundaryAreasPeak), 10);
+    }
+
+    #[test]
+    fn delta_subtracts_counts_keeps_gauges() {
+        let mut c = Counters::new();
+        c.add(CounterKind::ArticulationQueries, 5);
+        c.record_max(CounterKind::BoundaryAreasPeak, 9);
+        let snap = c;
+        c.add(CounterKind::ArticulationQueries, 2);
+        let d = c.delta_since(&snap);
+        assert_eq!(d.get(CounterKind::ArticulationQueries), 2);
+        assert_eq!(d.get(CounterKind::BoundaryAreasPeak), 9);
+    }
+
+    #[test]
+    fn nonzero_iteration_and_hit_rate() {
+        let mut c = Counters::new();
+        assert!(c.is_empty());
+        assert_eq!(c.articulation_hit_rate(), None);
+        c.add(CounterKind::ArticulationQueries, 4);
+        c.add(CounterKind::ArticulationCacheHits, 3);
+        assert_eq!(c.articulation_hit_rate(), Some(0.75));
+        let nz: Vec<_> = c.iter_nonzero().collect();
+        assert_eq!(
+            nz,
+            vec![
+                (CounterKind::ArticulationQueries, 4),
+                (CounterKind::ArticulationCacheHits, 3)
+            ]
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Streaming JSONL trace sink: one JSON object per line, hand-encoded so
+//! the crate stays dependency-free.
+//!
+//! Line shapes (see `EXPERIMENTS.md` for a reading guide):
+//!
+//! ```text
+//! {"type":"span","name":"tabu","index":null,"depth":1,"wall_s":0.12,"counters":{...}}
+//! {"type":"trajectory","iteration":17,"heterogeneity":1234.5}
+//! {"type":"note","key":"skater_splits","value":7}
+//! ```
+//!
+//! Only non-zero counters are emitted. Non-finite floats become `null` so
+//! every emitted line parses under any JSON reader.
+
+use crate::counters::Counters;
+use crate::sink::{EventSink, SpanInfo};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// An [`EventSink`] writing one JSON object per event to `W`.
+///
+/// The writer lives in an `Option` only so [`JsonlWriter::into_inner`] can
+/// move it out from under the flush-on-drop impl; it is always `Some` while
+/// the sink is alive.
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    out: Option<W>,
+}
+
+impl JsonlWriter<BufWriter<std::fs::File>> {
+    /// Creates (truncating) a JSONL trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlWriter {
+            out: Some(BufWriter::new(std::fs::File::create(path)?)),
+        })
+    }
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps an arbitrary writer (tests use a `Vec<u8>`).
+    pub fn new(out: W) -> Self {
+        JsonlWriter { out: Some(out) }
+    }
+
+    /// Consumes the sink, returning the writer (after a flush).
+    pub fn into_inner(mut self) -> W {
+        let mut out = self.out.take().expect("writer present until drop");
+        let _ = out.flush();
+        out
+    }
+
+    fn write_line(&mut self, line: &str) {
+        // Trace output is best-effort: an I/O error must never abort a solve.
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.write_all(b"\n");
+        }
+    }
+}
+
+impl<W: Write> EventSink for JsonlWriter<W> {
+    fn span_close(&mut self, span: &SpanInfo<'_>) {
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"type\":\"span\",\"name\":");
+        push_json_str(&mut line, span.name);
+        line.push_str(",\"index\":");
+        match span.index {
+            Some(i) => line.push_str(&i.to_string()),
+            None => line.push_str("null"),
+        }
+        line.push_str(",\"depth\":");
+        line.push_str(&span.depth.to_string());
+        line.push_str(",\"wall_s\":");
+        push_json_f64(&mut line, span.wall_s);
+        line.push_str(",\"counters\":");
+        push_counters(&mut line, span.counters);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn trajectory_point(&mut self, iteration: u64, heterogeneity: f64) {
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"type\":\"trajectory\",\"iteration\":");
+        line.push_str(&iteration.to_string());
+        line.push_str(",\"heterogeneity\":");
+        push_json_f64(&mut line, heterogeneity);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn note(&mut self, key: &str, value: f64) {
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"type\":\"note\",\"key\":");
+        push_json_str(&mut line, key);
+        line.push_str(",\"value\":");
+        push_json_f64(&mut line, value);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn flush(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlWriter<W> {
+    fn drop(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Appends `{"name":count,...}` for the non-zero counters.
+fn push_counters(out: &mut String, counters: &Counters) {
+    out.push('{');
+    let mut first = true;
+    for (kind, v) in counters.iter_nonzero() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_json_str(out, kind.name());
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+}
+
+/// Appends a JSON string literal with the mandatory escapes.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a float; non-finite values become `null` so the line stays
+/// parseable JSON.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+        // `Display` for f64 omits the fraction for integral values; that is
+        // still valid JSON, no fixup needed.
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CounterKind;
+
+    fn render<F: FnOnce(&mut JsonlWriter<Vec<u8>>)>(f: F) -> String {
+        let mut w = JsonlWriter::new(Vec::new());
+        f(&mut w);
+        String::from_utf8(w.into_inner()).unwrap()
+    }
+
+    #[test]
+    fn span_line_shape() {
+        let mut c = Counters::new();
+        c.add(CounterKind::TabuMovesEvaluated, 12);
+        c.inc(CounterKind::TabuMovesApplied);
+        let line = render(|w| {
+            w.span_close(&SpanInfo {
+                name: "tabu",
+                index: None,
+                depth: 1,
+                wall_s: 0.25,
+                counters: &c,
+            })
+        });
+        assert_eq!(
+            line,
+            "{\"type\":\"span\",\"name\":\"tabu\",\"index\":null,\"depth\":1,\
+             \"wall_s\":0.25,\"counters\":{\"tabu_moves_evaluated\":12,\
+             \"tabu_moves_applied\":1}}\n"
+        );
+    }
+
+    #[test]
+    fn trajectory_and_note_lines() {
+        let out = render(|w| {
+            w.trajectory_point(3, 42.5);
+            w.note("skater_splits", 7.0);
+        });
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"trajectory\",\"iteration\":3,\"heterogeneity\":42.5}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"note\",\"key\":\"skater_splits\",\"value\":7}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let out = render(|w| w.trajectory_point(0, f64::NAN));
+        assert!(out.contains("\"heterogeneity\":null"), "{out}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let out = render(|w| w.note("a\"b\\c\n", 1.0));
+        assert!(out.contains("\"a\\\"b\\\\c\\n\""), "{out}");
+    }
+}

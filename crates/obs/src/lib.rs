@@ -1,0 +1,42 @@
+//! # emp-obs — zero-dependency solver telemetry
+//!
+//! Instrumentation for the EMP solvers: hierarchical **spans** (wall time +
+//! nesting), always-on **counters** (tabu move accounting, articulation
+//! cache traffic, constraint checks by aggregate kind, region lifecycle),
+//! a per-iteration **trajectory channel** for the local search, and
+//! pluggable **event sinks**:
+//!
+//! * [`NoopSink`] — the production default; events are dropped before they
+//!   are built, counters still accumulate (a `u64` add each).
+//! * [`InMemorySink`] — buffers everything for tests and summary tables.
+//! * [`JsonlWriter`] — streams a structured JSONL trace (`repro --trace`).
+//!
+//! The façade is the [`Recorder`]: one per solve, or one per worker thread
+//! with counters merged at join time ([`Recorder::record_external_span`]),
+//! so parallel construction needs no atomics. Overhead budget and the
+//! counter glossary live in `DESIGN.md` §6.
+//!
+//! ```
+//! use emp_obs::{CounterKind, InMemorySink, Recorder};
+//!
+//! let sink = InMemorySink::new();
+//! let handle = sink.handle();
+//! let mut rec = Recorder::with_sink(Box::new(sink));
+//! rec.span_begin("solve", None);
+//! rec.counters().inc(CounterKind::RegionsCreated);
+//! rec.span_end();
+//! rec.finish();
+//! assert_eq!(handle.lock().unwrap().spans[0].name, "solve");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod jsonl;
+pub mod recorder;
+pub mod sink;
+
+pub use counters::{CounterKind, Counters, COUNTER_KINDS};
+pub use jsonl::JsonlWriter;
+pub use recorder::{Recorder, TrajectorySummary};
+pub use sink::{EventSink, InMemorySink, NoopSink, SharedSink, SpanInfo, SpanRecord, TraceData};

@@ -1,0 +1,320 @@
+//! The [`Recorder`]: one per solve (or per worker thread), owning the
+//! counter accumulator, the span stack, the trajectory summary, and the
+//! event sink.
+
+use crate::counters::Counters;
+use crate::sink::{EventSink, NoopSink, SpanInfo};
+use std::time::Instant;
+
+/// A running summary of the local-search objective trajectory, maintained
+/// even when the sink drops the per-point events. This is the single source
+/// of truth for the "how much did tabu improve" question.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrajectorySummary {
+    initial: f64,
+    best: f64,
+    points: u64,
+}
+
+impl TrajectorySummary {
+    /// Objective before the first move (the first recorded point), or `None`
+    /// if the search never ran.
+    pub fn initial(&self) -> Option<f64> {
+        (self.points > 0).then_some(self.initial)
+    }
+
+    /// Best objective seen, or `None` if the search never ran.
+    pub fn best(&self) -> Option<f64> {
+        (self.points > 0).then_some(self.best)
+    }
+
+    /// Number of recorded points.
+    pub fn points(&self) -> u64 {
+        self.points
+    }
+
+    /// Relative heterogeneity improvement `(initial - best) / initial`.
+    ///
+    /// Convention (see `DESIGN.md` §6): `None` when the local search never
+    /// ran (no trajectory points) or when the initial objective is zero or
+    /// non-finite, where the ratio is undefined; `Some(0.0)` when the search
+    /// ran but found nothing. Callers render `None` as `n/a`, never as a
+    /// fake `0`.
+    pub fn improvement(&self) -> Option<f64> {
+        if self.points == 0 || !self.initial.is_finite() || self.initial <= 0.0 {
+            return None;
+        }
+        Some((self.initial - self.best) / self.initial)
+    }
+
+    fn record(&mut self, h: f64) {
+        if self.points == 0 {
+            self.initial = h;
+            self.best = h;
+        } else if h < self.best {
+            self.best = h;
+        }
+        self.points += 1;
+    }
+}
+
+struct OpenSpan {
+    name: &'static str,
+    index: Option<u64>,
+    start: Instant,
+    snapshot: Counters,
+}
+
+/// Accumulates counters, tracks hierarchical spans, and forwards events to
+/// an [`EventSink`].
+///
+/// Counters are *always* accumulated (plain `u64` adds). Span and
+/// trajectory *events* are only materialized when the sink is enabled; with
+/// [`Recorder::noop`] a span costs two `Instant::now` calls and a counter
+/// snapshot — spans are coarse (per phase / per construction iteration), so
+/// this is far below the 2% overhead budget (`DESIGN.md` §6).
+///
+/// Worker threads each own a `Recorder` (usually a noop one); the parent
+/// merges their counters at join time via [`Recorder::record_external_span`]
+/// — no atomics, no contention.
+pub struct Recorder {
+    counters: Counters,
+    sink: Box<dyn EventSink + Send>,
+    enabled: bool,
+    stack: Vec<OpenSpan>,
+    trajectory: TrajectorySummary,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::noop()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled)
+            .field("open_spans", &self.stack.len())
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder with the given sink.
+    pub fn with_sink(sink: Box<dyn EventSink + Send>) -> Self {
+        let enabled = sink.enabled();
+        Recorder {
+            counters: Counters::new(),
+            sink,
+            enabled,
+            stack: Vec::new(),
+            trajectory: TrajectorySummary::default(),
+        }
+    }
+
+    /// The production default: counters only, events dropped.
+    pub fn noop() -> Self {
+        Recorder::with_sink(Box::new(NoopSink))
+    }
+
+    /// Whether the sink keeps events (counters accumulate regardless).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Mutable access to the counter accumulator, for hot loops.
+    #[inline]
+    pub fn counters(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// Read-only snapshot of the accumulated counters.
+    pub fn counters_snapshot(&self) -> Counters {
+        self.counters
+    }
+
+    /// Folds an external counter bundle in (counts add, gauges max).
+    pub fn merge_counters(&mut self, delta: &Counters) {
+        self.counters.merge(delta);
+    }
+
+    /// Opens a span. Must be balanced by [`Recorder::span_end`].
+    pub fn span_begin(&mut self, name: &'static str, index: Option<u64>) {
+        self.stack.push(OpenSpan {
+            name,
+            index,
+            start: Instant::now(),
+            snapshot: self.counters,
+        });
+    }
+
+    /// Closes the innermost open span, reporting it to the sink. Returns the
+    /// span's wall seconds (for callers that also keep their own timings).
+    pub fn span_end(&mut self) -> f64 {
+        let Some(span) = self.stack.pop() else {
+            debug_assert!(false, "span_end without matching span_begin");
+            return 0.0;
+        };
+        let wall_s = span.start.elapsed().as_secs_f64();
+        if self.enabled {
+            let delta = self.counters.delta_since(&span.snapshot);
+            self.sink.span_close(&SpanInfo {
+                name: span.name,
+                index: span.index,
+                depth: self.stack.len(),
+                wall_s,
+                counters: &delta,
+            });
+        }
+        wall_s
+    }
+
+    /// Number of currently open spans.
+    pub fn open_spans(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Reports a span that ran elsewhere (a joined worker thread) and folds
+    /// its counters in. The span is attributed one level below the current
+    /// nesting, as if it had been opened here.
+    pub fn record_external_span(
+        &mut self,
+        name: &'static str,
+        index: Option<u64>,
+        wall_s: f64,
+        delta: &Counters,
+    ) {
+        self.counters.merge(delta);
+        if self.enabled {
+            self.sink.span_close(&SpanInfo {
+                name,
+                index,
+                depth: self.stack.len(),
+                wall_s,
+                counters: delta,
+            });
+        }
+    }
+
+    /// Records a local-search objective point: updates the always-on
+    /// [`TrajectorySummary`] and forwards to the sink when enabled.
+    #[inline]
+    pub fn trajectory_point(&mut self, iteration: u64, heterogeneity: f64) {
+        self.trajectory.record(heterogeneity);
+        if self.enabled {
+            self.sink.trajectory_point(iteration, heterogeneity);
+        }
+    }
+
+    /// The trajectory summary so far.
+    pub fn trajectory(&self) -> TrajectorySummary {
+        self.trajectory
+    }
+
+    /// Returns the trajectory summary and resets it, so a recorder reused
+    /// across several solves attributes each search to the right report.
+    pub fn take_trajectory(&mut self) -> TrajectorySummary {
+        std::mem::take(&mut self.trajectory)
+    }
+
+    /// Emits a free-form named scalar to the sink.
+    pub fn note(&mut self, key: &str, value: f64) {
+        if self.enabled {
+            self.sink.note(key, value);
+        }
+    }
+
+    /// Flushes the sink.
+    pub fn finish(&mut self) {
+        debug_assert!(self.stack.is_empty(), "finish with open spans");
+        self.sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CounterKind;
+    use crate::sink::InMemorySink;
+
+    #[test]
+    fn spans_nest_and_attribute_counter_deltas() {
+        let sink = InMemorySink::new();
+        let handle = sink.handle();
+        let mut rec = Recorder::with_sink(Box::new(sink));
+        rec.span_begin("solve", None);
+        rec.counters().inc(CounterKind::RegionsCreated);
+        rec.span_begin("tabu", None);
+        rec.counters().add(CounterKind::TabuMovesApplied, 5);
+        rec.span_end();
+        rec.counters().inc(CounterKind::RegionsCreated);
+        rec.span_end();
+        rec.finish();
+
+        let data = handle.lock().unwrap();
+        assert_eq!(data.spans.len(), 2);
+        // Children close first.
+        assert_eq!(data.spans[0].name, "tabu");
+        assert_eq!(data.spans[0].depth, 1);
+        assert_eq!(data.spans[0].counters.get(CounterKind::TabuMovesApplied), 5);
+        assert_eq!(data.spans[0].counters.get(CounterKind::RegionsCreated), 0);
+        assert_eq!(data.spans[1].name, "solve");
+        assert_eq!(data.spans[1].depth, 0);
+        // The parent sees its own activity plus the child's.
+        assert_eq!(data.spans[1].counters.get(CounterKind::RegionsCreated), 2);
+        assert_eq!(data.spans[1].counters.get(CounterKind::TabuMovesApplied), 5);
+    }
+
+    #[test]
+    fn external_spans_merge_worker_counters() {
+        let mut rec = Recorder::noop();
+        let mut worker = Recorder::noop();
+        worker.counters().add(CounterKind::MergeTrials, 3);
+        worker
+            .counters()
+            .record_max(CounterKind::BoundaryAreasPeak, 40);
+        let delta = worker.counters_snapshot();
+        rec.counters()
+            .record_max(CounterKind::BoundaryAreasPeak, 25);
+        rec.record_external_span("construct_iter", Some(2), 0.1, &delta);
+        assert_eq!(rec.counters_snapshot().get(CounterKind::MergeTrials), 3);
+        assert_eq!(
+            rec.counters_snapshot().get(CounterKind::BoundaryAreasPeak),
+            40
+        );
+    }
+
+    #[test]
+    fn trajectory_summary_tracks_best_and_improvement() {
+        let mut rec = Recorder::noop();
+        assert_eq!(rec.trajectory().improvement(), None);
+        rec.trajectory_point(0, 100.0);
+        assert_eq!(rec.trajectory().improvement(), Some(0.0));
+        rec.trajectory_point(1, 80.0);
+        rec.trajectory_point(2, 90.0); // worsening move: best stays 80
+        let t = rec.trajectory();
+        assert_eq!(t.initial(), Some(100.0));
+        assert_eq!(t.best(), Some(80.0));
+        assert_eq!(t.points(), 3);
+        assert!((t.improvement().unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_initial_objective_has_undefined_improvement() {
+        let mut rec = Recorder::noop();
+        rec.trajectory_point(0, 0.0);
+        assert_eq!(rec.trajectory().improvement(), None);
+    }
+
+    #[test]
+    fn noop_recorder_still_counts() {
+        let mut rec = Recorder::noop();
+        assert!(!rec.is_enabled());
+        rec.span_begin("solve", None);
+        rec.counters().inc(CounterKind::BfsFallbacks);
+        rec.span_end();
+        assert_eq!(rec.counters_snapshot().get(CounterKind::BfsFallbacks), 1);
+    }
+}

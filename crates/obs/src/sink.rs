@@ -1,0 +1,251 @@
+//! Event sinks: where span closes, trajectory points, and notes go.
+//!
+//! The [`Recorder`](crate::Recorder) always accumulates [`Counters`]; the
+//! sink decides whether the *event stream* (spans, trajectory, notes) is
+//! kept. [`NoopSink`] drops everything (the production default),
+//! [`InMemorySink`] buffers for tests, and
+//! [`JsonlWriter`](crate::JsonlWriter) streams structured JSONL.
+
+use crate::counters::Counters;
+use std::sync::{Arc, Mutex};
+
+/// A closed span, as seen by a sink: name, optional index (e.g. the
+/// construction-iteration number), nesting depth (0 = root), wall time, and
+/// the counter activity that happened inside it.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanInfo<'a> {
+    /// Span name (`"solve"`, `"construct_iter"`, `"grow"`, `"tabu"`, ...).
+    pub name: &'a str,
+    /// Optional ordinal (construction iteration, resync number, ...).
+    pub index: Option<u64>,
+    /// Nesting depth at close time; the root span has depth 0.
+    pub depth: usize,
+    /// Wall-clock seconds spent inside the span.
+    pub wall_s: f64,
+    /// Counter deltas attributable to the span (gauges: final watermark).
+    pub counters: &'a Counters,
+}
+
+/// Receives telemetry events from a [`Recorder`](crate::Recorder).
+///
+/// All methods default to no-ops so sinks implement only what they keep.
+/// `enabled` lets the recorder skip event construction entirely for the
+/// no-op sink.
+pub trait EventSink {
+    /// Whether this sink keeps events at all. The recorder caches this once;
+    /// counters are accumulated regardless.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A span closed.
+    fn span_close(&mut self, span: &SpanInfo<'_>) {
+        let _ = span;
+    }
+
+    /// The local search recorded an objective value (after `iteration`
+    /// applied moves; iteration 0 is the pre-search objective).
+    fn trajectory_point(&mut self, iteration: u64, heterogeneity: f64) {
+        let _ = (iteration, heterogeneity);
+    }
+
+    /// A free-form named scalar (e.g. `"skater_splits"`).
+    fn note(&mut self, key: &str, value: f64) {
+        let _ = (key, value);
+    }
+
+    /// Flush buffered output, if any.
+    fn flush(&mut self) {}
+}
+
+/// The disabled sink: every event is dropped before it is built.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// An owned copy of a [`SpanInfo`], buffered by [`InMemorySink`].
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span name.
+    pub name: String,
+    /// Optional ordinal.
+    pub index: Option<u64>,
+    /// Nesting depth (0 = root).
+    pub depth: usize,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Counter deltas inside the span.
+    pub counters: Counters,
+}
+
+/// Everything an [`InMemorySink`] buffered, readable after the solve.
+#[derive(Clone, Debug, Default)]
+pub struct TraceData {
+    /// Closed spans, in close order (children before parents).
+    pub spans: Vec<SpanRecord>,
+    /// `(iteration, heterogeneity)` trajectory points, in record order.
+    pub trajectory: Vec<(u64, f64)>,
+    /// `(key, value)` notes, in record order.
+    pub notes: Vec<(String, f64)>,
+}
+
+impl TraceData {
+    /// Total wall seconds of all spans with the given name.
+    pub fn wall_of(&self, name: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.wall_s)
+            .sum()
+    }
+}
+
+/// A test sink buffering every event in memory. The buffer is shared: clone
+/// the handle before moving the sink into a recorder, then inspect it after
+/// the solve.
+#[derive(Clone, Debug, Default)]
+pub struct InMemorySink {
+    data: Arc<Mutex<TraceData>>,
+}
+
+impl InMemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handle onto the shared buffer; survives the sink being consumed.
+    pub fn handle(&self) -> Arc<Mutex<TraceData>> {
+        Arc::clone(&self.data)
+    }
+}
+
+impl EventSink for InMemorySink {
+    fn span_close(&mut self, span: &SpanInfo<'_>) {
+        self.data.lock().unwrap().spans.push(SpanRecord {
+            name: span.name.to_string(),
+            index: span.index,
+            depth: span.depth,
+            wall_s: span.wall_s,
+            counters: *span.counters,
+        });
+    }
+
+    fn trajectory_point(&mut self, iteration: u64, heterogeneity: f64) {
+        self.data
+            .lock()
+            .unwrap()
+            .trajectory
+            .push((iteration, heterogeneity));
+    }
+
+    fn note(&mut self, key: &str, value: f64) {
+        self.data
+            .lock()
+            .unwrap()
+            .notes
+            .push((key.to_string(), value));
+    }
+}
+
+/// A cloneable sink wrapper so one underlying sink (e.g. a
+/// [`JsonlWriter`](crate::JsonlWriter) for a whole experiment) can serve
+/// several sequential solves.
+#[derive(Clone)]
+pub struct SharedSink {
+    inner: Arc<Mutex<Box<dyn EventSink + Send>>>,
+}
+
+impl SharedSink {
+    /// Wraps a sink for shared use.
+    pub fn new(sink: Box<dyn EventSink + Send>) -> Self {
+        SharedSink {
+            inner: Arc::new(Mutex::new(sink)),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SharedSink(..)")
+    }
+}
+
+impl EventSink for SharedSink {
+    fn enabled(&self) -> bool {
+        self.inner.lock().unwrap().enabled()
+    }
+
+    fn span_close(&mut self, span: &SpanInfo<'_>) {
+        self.inner.lock().unwrap().span_close(span);
+    }
+
+    fn trajectory_point(&mut self, iteration: u64, heterogeneity: f64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .trajectory_point(iteration, heterogeneity);
+    }
+
+    fn note(&mut self, key: &str, value: f64) {
+        self.inner.lock().unwrap().note(key, value);
+    }
+
+    fn flush(&mut self) {
+        self.inner.lock().unwrap().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CounterKind;
+
+    #[test]
+    fn in_memory_buffers_all_event_types() {
+        let sink = InMemorySink::new();
+        let handle = sink.handle();
+        let mut sink = sink;
+        let mut c = Counters::new();
+        c.inc(CounterKind::TabuMovesApplied);
+        sink.span_close(&SpanInfo {
+            name: "tabu",
+            index: Some(1),
+            depth: 1,
+            wall_s: 0.5,
+            counters: &c,
+        });
+        sink.trajectory_point(0, 12.0);
+        sink.note("k", 3.0);
+        let data = handle.lock().unwrap();
+        assert_eq!(data.spans.len(), 1);
+        assert_eq!(data.spans[0].name, "tabu");
+        assert_eq!(data.spans[0].counters.get(CounterKind::TabuMovesApplied), 1);
+        assert_eq!(data.trajectory, vec![(0, 12.0)]);
+        assert_eq!(data.notes, vec![("k".to_string(), 3.0)]);
+        assert!((data.wall_of("tabu") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_sink_delegates() {
+        let mem = InMemorySink::new();
+        let handle = mem.handle();
+        let mut shared = SharedSink::new(Box::new(mem));
+        assert!(shared.enabled());
+        let mut clone = shared.clone();
+        clone.trajectory_point(1, 2.0);
+        shared.trajectory_point(2, 1.0);
+        shared.flush();
+        assert_eq!(handle.lock().unwrap().trajectory, vec![(1, 2.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        assert!(!NoopSink.enabled());
+    }
+}

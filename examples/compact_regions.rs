@@ -33,16 +33,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .to_vec();
 
     let objectives: Vec<(&str, ObjectiveSpec)> = vec![
-        ("heterogeneity (paper default)", ObjectiveSpec::heterogeneity(dissim.clone())),
-        ("spatial compactness", ObjectiveSpec::compactness(xs.clone(), ys.clone())?),
+        (
+            "heterogeneity (paper default)",
+            ObjectiveSpec::heterogeneity(dissim.clone()),
+        ),
+        (
+            "spatial compactness",
+            ObjectiveSpec::compactness(xs.clone(), ys.clone())?,
+        ),
         (
             "balanced (heterogeneity + compactness)",
             ObjectiveSpec::from_channels(vec![
-                Channel { name: "dissim".into(), values: dissim.clone(), weight: 1.0 },
+                Channel {
+                    name: "dissim".into(),
+                    values: dissim.clone(),
+                    weight: 1.0,
+                },
                 // Centroid units are cells; weight them up so both criteria
                 // matter at similar magnitudes.
-                Channel { name: "x".into(), values: xs.clone(), weight: 300.0 },
-                Channel { name: "y".into(), values: ys.clone(), weight: 300.0 },
+                Channel {
+                    name: "x".into(),
+                    values: xs.clone(),
+                    weight: 300.0,
+                },
+                Channel {
+                    name: "y".into(),
+                    values: ys.clone(),
+                    weight: 300.0,
+                },
             ])?,
         ),
     ];
@@ -51,8 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, spec) in objectives {
         let instance = dataset.to_instance()?.with_objective(spec)?;
         let report = solve(&instance, &constraints, &FactConfig::seeded(21))?;
-        validate_solution(&instance, &constraints, &report.solution)
-            .map_err(|p| p.join("; "))?;
+        validate_solution(&instance, &constraints, &report.solution).map_err(|p| p.join("; "))?;
 
         // Report the *paper's* heterogeneity for comparison regardless of
         // the optimized objective, plus a shape measure (mean region bbox

@@ -69,10 +69,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nregion | areas |  population |  avg income | transit");
     for (i, region) in report.solution.regions.iter().enumerate() {
         let pop: f64 = region.iter().map(|&a| attrs.value(pop_c, a as usize)).sum();
-        let inc: f64 = region.iter().map(|&a| attrs.value(inc_c, a as usize)).sum::<f64>()
+        let inc: f64 = region
+            .iter()
+            .map(|&a| attrs.value(inc_c, a as usize))
+            .sum::<f64>()
             / region.len() as f64;
         let tr: f64 = region.iter().map(|&a| attrs.value(tr_c, a as usize)).sum();
-        println!("{i:6} | {:5} | {pop:11.0} | {inc:11.0} | {tr:7.0}", region.len());
+        println!(
+            "{i:6} | {:5} | {pop:11.0} | {inc:11.0} | {tr:7.0}",
+            region.len()
+        );
         assert!(pop >= 200_000.0 && (3000.0..=5000.0).contains(&inc) && tr >= 10_000.0);
     }
 

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let city = Dataset::generate("patrol-city", &spec);
     let components = emp::graph::connected_components(&city.graph).count();
-    println!("city: {} beats in {components} disconnected clusters", city.len());
+    println!(
+        "city: {} beats in {components} disconnected clusters",
+        city.len()
+    );
 
     let n = city.len();
     let mut rng = StdRng::seed_from_u64(0x911);
@@ -36,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let calls: Vec<f64> = (0..n)
         .map(|_| {
             let base: f64 = rng.gen_range(20.0..120.0);
-            if rng.gen_bool(0.05) { base * rng.gen_range(3.0..6.0) } else { base }
+            if rng.gen_bool(0.05) {
+                base * rng.gen_range(3.0..6.0)
+            } else {
+                base
+            }
         })
         .collect();
     // Patrol workload score (response times, area, priorities).

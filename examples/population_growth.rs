@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dropout: Vec<f64> = (0..n)
         .map(|_| {
             let base: f64 = rng.gen_range(1.0..9.0);
-            if rng.gen_bool(0.08) { base + rng.gen_range(5.0..25.0) } else { base }
+            if rng.gen_bool(0.08) {
+                base + rng.gen_range(5.0..25.0)
+            } else {
+                base
+            }
         })
         .collect();
     // Mean age per area.
@@ -78,13 +82,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Show that each constraint family did its job on the first regions.
     let engine_check = |region: &Vec<u32>| -> (f64, f64, f64, f64) {
         let attrs = instance.attributes();
-        let g = |name: &str, a: u32| {
-            attrs.value(attrs.column_index(name).expect("column"), a as usize)
-        };
-        let min_pop = region.iter().map(|&a| g("POPULATION", a)).fold(f64::INFINITY, f64::min);
-        let max_drop = region.iter().map(|&a| g("DROPOUT", a)).fold(0.0f64, f64::max);
-        let avg_age =
-            region.iter().map(|&a| g("AGE", a)).sum::<f64>() / region.len() as f64;
+        let g =
+            |name: &str, a: u32| attrs.value(attrs.column_index(name).expect("column"), a as usize);
+        let min_pop = region
+            .iter()
+            .map(|&a| g("POPULATION", a))
+            .fold(f64::INFINITY, f64::min);
+        let max_drop = region
+            .iter()
+            .map(|&a| g("DROPOUT", a))
+            .fold(0.0f64, f64::max);
+        let avg_age = region.iter().map(|&a| g("AGE", a)).sum::<f64>() / region.len() as f64;
         let unemp: f64 = region.iter().map(|&a| g("UNEMPLOYED", a)).sum();
         (min_pop, max_drop, avg_age, unemp)
     };

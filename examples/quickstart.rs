@@ -52,8 +52,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let attrs = instance.attributes();
     let pop_col = attrs.column_index("TOTALPOP").expect("column exists");
     for (i, region) in report.solution.regions.iter().take(5).enumerate() {
-        let pop: f64 = region.iter().map(|&a| attrs.value(pop_col, a as usize)).sum();
-        println!("region {i}: {} areas, total population {:.0}", region.len(), pop);
+        let pop: f64 = region
+            .iter()
+            .map(|&a| attrs.value(pop_col, a as usize))
+            .sum();
+        println!(
+            "region {i}: {} areas, total population {:.0}",
+            region.len(),
+            pop
+        );
     }
 
     // 5. The validator re-checks everything from scratch (contiguity,

@@ -143,7 +143,9 @@ fn load_dataset(opts: &Options) -> Result<Dataset, Box<dyn std::error::Error>> {
             let dbf = std::fs::read(path.with_extension("dbf"))?;
             Ok(Dataset::from_shapefile(name, &shp, &dbf)?)
         }
-        other => Err(format!("unsupported input extension {other:?} (want .geojson or .shp)").into()),
+        other => {
+            Err(format!("unsupported input extension {other:?} (want .geojson or .shp)").into())
+        }
     }
 }
 
@@ -251,13 +253,16 @@ fn cmd_solve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     validate_solution(&instance, &constraints, &report.solution)
         .map_err(|problems| problems.join("; "))?;
 
+    let improved = match report.improvement() {
+        Some(r) => format!("{:.1}%", r * 100.0),
+        None => "n/a".to_string(),
+    };
     println!(
-        "p = {}, unassigned = {} ({:.1}%), heterogeneity {:.1} (tabu improved {:.1}%)",
+        "p = {}, unassigned = {} ({:.1}%), heterogeneity {:.1} (tabu improved {improved})",
         report.p(),
         report.solution.unassigned.len(),
         report.solution.unassigned_fraction() * 100.0,
         report.solution.heterogeneity,
-        report.improvement() * 100.0
     );
     println!(
         "times: feasibility {:.3}s, construction {:.3}s, local search {:.3}s",

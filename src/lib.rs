@@ -42,6 +42,7 @@ pub use emp_data as data;
 pub use emp_exact as exact;
 pub use emp_geo as geo;
 pub use emp_graph as graph;
+pub use emp_obs as obs;
 
 /// Convenient top-level re-exports for the common workflow.
 pub mod prelude {

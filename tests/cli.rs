@@ -32,7 +32,11 @@ fn generate_info_solve_geojson() {
         "--out",
         data.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(data.exists());
 
     let out = run(&["info", "--input", data.to_str().unwrap()]);
@@ -52,10 +56,17 @@ fn generate_info_solve_geojson() {
         "--out",
         labeled.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("p = "), "{text}");
-    assert!(text.contains("region | size"), "--stats table missing: {text}");
+    assert!(
+        text.contains("region | size"),
+        "--stats table missing: {text}"
+    );
     // The labeled output carries REGION properties.
     let labeled_text = std::fs::read_to_string(&labeled).unwrap();
     assert!(labeled_text.contains("\"REGION\""));
@@ -73,7 +84,11 @@ fn generate_and_solve_shapefile() {
         "--out",
         base.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for ext in ["shp", "shx", "dbf"] {
         assert!(base.with_extension(ext).exists(), "missing .{ext}");
     }
@@ -90,15 +105,25 @@ fn generate_and_solve_shapefile() {
         "SUM(TOTALPOP) >= 20k",
         "--no-local-search",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
 fn feasibility_reports_verdicts() {
     let data = tmp("cli_c.geojson");
-    assert!(run(&["generate", "--areas", "100", "--out", data.to_str().unwrap()])
-        .status
-        .success());
+    assert!(run(&[
+        "generate",
+        "--areas",
+        "100",
+        "--out",
+        data.to_str().unwrap()
+    ])
+    .status
+    .success());
     let out = run(&[
         "feasibility",
         "--input",

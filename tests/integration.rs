@@ -74,8 +74,8 @@ fn fact_beats_or_matches_mp_expressiveness() {
     let threshold = 25_000.0;
 
     let mp = solve_mp(&instance, "TOTALPOP", threshold, &MpConfig::seeded(3)).unwrap();
-    let query = ConstraintSet::new()
-        .with(Constraint::sum("TOTALPOP", threshold, f64::INFINITY).unwrap());
+    let query =
+        ConstraintSet::new().with(Constraint::sum("TOTALPOP", threshold, f64::INFINITY).unwrap());
     let fact = solve(&instance, &query, &FactConfig::seeded(3)).unwrap();
 
     validate_solution(&instance, &query, &mp.solution).unwrap();
@@ -92,13 +92,16 @@ fn exact_solver_confirms_fact_near_optimality() {
     let dataset = emp::data::build_sized("it-exact", 12);
     let instance = dataset.to_instance().unwrap();
     let total: f64 = instance.attributes().sum(0);
-    let query = ConstraintSet::new()
-        .with(Constraint::sum("TOTALPOP", total / 4.0, f64::INFINITY).unwrap());
+    let query =
+        ConstraintSet::new().with(Constraint::sum("TOTALPOP", total / 4.0, f64::INFINITY).unwrap());
 
     let exact = exact_solve(&instance, &query, &ExactConfig::default()).unwrap();
     assert!(exact.complete);
     let fact = solve(&instance, &query, &FactConfig::seeded(4)).unwrap();
-    assert!(fact.p() <= exact.solution.p(), "heuristic cannot beat optimum");
+    assert!(
+        fact.p() <= exact.solution.p(),
+        "heuristic cannot beat optimum"
+    );
     assert!(
         fact.p() + 1 >= exact.solution.p(),
         "FaCT p = {} far from optimal {}",
@@ -132,10 +135,14 @@ fn multi_component_city_is_partitioned_per_component() {
     let dataset = Dataset::generate("it-islands", &spec);
     assert_eq!(emp::graph::connected_components(&dataset.graph).count(), 3);
     let instance = dataset.to_instance().unwrap();
-    let query = ConstraintSet::new()
-        .with(Constraint::sum("TOTALPOP", 20_000.0, f64::INFINITY).unwrap());
+    let query =
+        ConstraintSet::new().with(Constraint::sum("TOTALPOP", 20_000.0, f64::INFINITY).unwrap());
     let report = solve(&instance, &query, &FactConfig::seeded(6)).unwrap();
-    assert!(report.p() >= 3, "each island should host regions, p = {}", report.p());
+    assert!(
+        report.p() >= 3,
+        "each island should host regions, p = {}",
+        report.p()
+    );
     validate_solution(&instance, &query, &report.solution).unwrap();
 }
 
@@ -143,8 +150,7 @@ fn multi_component_city_is_partitioned_per_component() {
 fn infeasible_queries_are_rejected_with_reasons() {
     let dataset = emp::data::build_sized("it-infeasible", 100);
     let instance = dataset.to_instance().unwrap();
-    let query = ConstraintSet::new()
-        .with(Constraint::min("POP16UP", 1e9, f64::INFINITY).unwrap());
+    let query = ConstraintSet::new().with(Constraint::min("POP16UP", 1e9, f64::INFINITY).unwrap());
     match solve(&instance, &query, &FactConfig::default()) {
         Err(emp::core::EmpError::Infeasible { reasons }) => {
             assert!(reasons.iter().any(|r| r.contains("MIN")));
@@ -176,7 +182,11 @@ fn p_upper_bound_is_respected_end_to_end() {
     let query = default_query();
     let bound = p_upper_bound(&instance, &query).unwrap();
     let report = solve(&instance, &query, &FactConfig::seeded(8)).unwrap();
-    assert!(report.p() <= bound, "p = {} exceeds bound {bound}", report.p());
+    assert!(
+        report.p() <= bound,
+        "p = {} exceeds bound {bound}",
+        report.p()
+    );
 }
 
 #[test]
