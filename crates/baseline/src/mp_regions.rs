@@ -87,6 +87,34 @@ impl MpReport {
     }
 }
 
+/// The classic max-p-regions feasibility check: the problem is solvable iff
+/// the attribute total reaches the threshold (one region containing every
+/// area then satisfies `SUM(attr) >= threshold`; note this assumes a
+/// connected map, the classic formulation's standing assumption). Returns
+/// the total on success so callers can reuse it.
+///
+/// Exposed separately so the differential oracle (`emp-oracle`) can
+/// cross-check FaCT's per-region feasibility phase against the classic
+/// formulation's verdict on sum-threshold-only constraint sets.
+pub fn mp_feasibility(instance: &EmpInstance, attr: &str, threshold: f64) -> Result<f64, EmpError> {
+    let col =
+        instance
+            .attributes()
+            .column_index(attr)
+            .ok_or_else(|| EmpError::UnknownAttribute {
+                name: attr.to_string(),
+            })?;
+    let total: f64 = instance.attributes().sum(col);
+    if total < threshold {
+        return Err(EmpError::Infeasible {
+            reasons: vec![format!(
+                "total {attr} = {total} is below the threshold {threshold}"
+            )],
+        });
+    }
+    Ok(total)
+}
+
 /// Solves the max-p-regions problem: maximize the number of regions where
 /// every region has `SUM(attr) >= threshold`, all areas assigned where
 /// possible, then minimize heterogeneity.
@@ -120,14 +148,7 @@ pub fn solve_mp_observed(
             })?;
 
     // Feasibility (the classic formulation's only check).
-    let total: f64 = instance.attributes().sum(col);
-    if total < threshold {
-        return Err(EmpError::Infeasible {
-            reasons: vec![format!(
-                "total {attr} = {total} is below the threshold {threshold}"
-            )],
-        });
-    }
+    mp_feasibility(instance, attr, threshold)?;
 
     let counters_at_entry = rec.counters_snapshot();
     rec.span_begin("solve", None);

@@ -1,0 +1,158 @@
+//! `fuzz_check` — CI smoke gate for the differential/metamorphic oracle.
+//!
+//! Two phases, both deterministic:
+//!
+//! 1. **Corpus replay** — every JSON repro under `results/corpus/` is
+//!    re-run through the full oracle (sorted file order), so previously
+//!    found bugs stay visible until fixed.
+//! 2. **Fresh sweep** — a contiguous seed range through
+//!    [`emp_oracle::fuzz_sweep`]: generate, FaCT-solve, validate, compare
+//!    against the exact `p*`, cross-check MP-regions, run all four
+//!    metamorphic relations. New failures are minimized and persisted into
+//!    the corpus directory (CI uploads it as an artifact on failure).
+//!
+//! Stdout is byte-stable across identical runs — the CI job runs the gate
+//! twice and diffs the output. Timing goes to stderr only.
+//!
+//! ```text
+//! fuzz_check [--seeds N] [--start S] [--exact-nodes N] [--corpus DIR]
+//!            [--min-compared N] [--budget-secs S] [--replay-only]
+//!            [--no-metamorphic] [--no-minimize]
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use emp_oracle::prelude::*;
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    exact_nodes: u64,
+    corpus: PathBuf,
+    min_compared: usize,
+    budget_secs: u64,
+    replay_only: bool,
+    metamorphic: bool,
+    minimize: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seeds: 320,
+            start: 0,
+            exact_nodes: 200_000,
+            corpus: PathBuf::from("results/corpus"),
+            min_compared: 200,
+            budget_secs: 0,
+            replay_only: false,
+            metamorphic: true,
+            minimize: true,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds").parse().expect("--seeds: u64"),
+            "--start" => args.start = value("--start").parse().expect("--start: u64"),
+            "--exact-nodes" => {
+                args.exact_nodes = value("--exact-nodes").parse().expect("--exact-nodes: u64")
+            }
+            "--corpus" => args.corpus = PathBuf::from(value("--corpus")),
+            "--min-compared" => {
+                args.min_compared = value("--min-compared")
+                    .parse()
+                    .expect("--min-compared: usize")
+            }
+            "--budget-secs" => {
+                args.budget_secs = value("--budget-secs").parse().expect("--budget-secs: u64")
+            }
+            "--replay-only" => args.replay_only = true,
+            "--no-metamorphic" => args.metamorphic = false,
+            "--no-minimize" => args.minimize = false,
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    args
+}
+
+fn print_violations(report: &FuzzReport) {
+    for case in &report.cases {
+        for v in &case.violations {
+            println!("VIOLATION {} {}: {}", case.name, v.kind, v.details);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let started = Instant::now();
+    let mut failed = false;
+
+    let options = FuzzOptions {
+        exact_nodes: args.exact_nodes,
+        metamorphic: args.metamorphic,
+        minimize: args.minimize,
+        corpus_dir: Some(args.corpus.clone()),
+        budget: (args.budget_secs > 0).then(|| std::time::Duration::from_secs(args.budget_secs)),
+    };
+
+    // Phase 1: replay the committed corpus (sorted order, no persistence).
+    let replay_options = FuzzOptions {
+        corpus_dir: None,
+        minimize: false,
+        ..options.clone()
+    };
+    match replay_corpus(&args.corpus, &replay_options) {
+        Ok(report) => {
+            print_violations(&report);
+            println!("{}", report.summary_line("replay"));
+            if report.violation_count() > 0 {
+                failed = true;
+            }
+        }
+        Err(e) => {
+            println!("replay: corpus unreadable: {e}");
+            failed = true;
+        }
+    }
+    eprintln!("replay took {:?}", started.elapsed());
+
+    // Phase 2: fresh seeded sweep.
+    if !args.replay_only {
+        let sweep_started = Instant::now();
+        let report = fuzz_sweep(args.start..args.start + args.seeds, &options);
+        print_violations(&report);
+        for path in &report.saved {
+            println!("SAVED {}", path.display());
+        }
+        println!("{}", report.summary_line("sweep"));
+        if report.violation_count() > 0 {
+            failed = true;
+        }
+        if report.compared() < args.min_compared && !report.truncated {
+            println!(
+                "FAIL: only {} exact comparisons (minimum {})",
+                report.compared(),
+                args.min_compared
+            );
+            failed = true;
+        }
+        eprintln!("sweep took {:?}", sweep_started.elapsed());
+    }
+
+    if failed {
+        println!("fuzz_check FAILED");
+        std::process::exit(1);
+    }
+    println!("fuzz_check OK");
+}

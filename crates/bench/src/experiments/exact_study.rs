@@ -47,8 +47,15 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         );
 
         let t0 = Instant::now();
-        let exact = exact_solve(&instance, &constraints, &ExactConfig { max_nodes: budget })
-            .expect("small instance");
+        let exact = exact_solve(
+            &instance,
+            &constraints,
+            &ExactConfig {
+                max_nodes: budget,
+                ..ExactConfig::default()
+            },
+        )
+        .expect("small instance");
         let exact_time = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();

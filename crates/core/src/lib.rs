@@ -74,7 +74,7 @@ pub use parse::{parse_constraint, parse_constraints};
 pub use solution::Solution;
 pub use solver::{solve, solve_observed, FactConfig, PhaseTimings, SolveReport};
 pub use tabu::{tabu_search, tabu_search_observed, Move, NeighborhoodState, TabuConfig, TabuStats};
-pub use validate::{p_upper_bound, validate_solution};
+pub use validate::{p_upper_bound, recompute_heterogeneity, solution_feasible, validate_solution};
 
 /// Common imports for EMP users.
 pub mod prelude {

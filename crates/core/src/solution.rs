@@ -1,6 +1,8 @@
 //! Final solver output types.
 
 use crate::engine::ConstraintEngine;
+use crate::error::EmpError;
+use crate::instance::EmpInstance;
 use crate::partition::Partition;
 
 /// The EMP output: `p` regions plus the unassigned set `U_0` (paper §III).
@@ -39,6 +41,62 @@ impl Solution {
         } else {
             self.unassigned.len() as f64 / self.assignment.len() as f64
         }
+    }
+
+    /// Rebuilds a full solution from bare region member lists.
+    ///
+    /// This is the reconstruction path for serialized solutions (the
+    /// `emp-oracle` corpus persists only the region structure): members are
+    /// sorted ascending, regions are ordered by their smallest member (the
+    /// same canonical form [`Solution::from_partition`] produces),
+    /// `assignment` / `unassigned` are derived, and the objective score is
+    /// recomputed fresh from the instance. Structural errors (out-of-range
+    /// areas, duplicates, empty regions) are rejected; contiguity and
+    /// constraint satisfaction are [`crate::validate::validate_solution`]'s
+    /// job.
+    pub fn from_regions(instance: &EmpInstance, regions: Vec<Vec<u32>>) -> Result<Self, EmpError> {
+        let n = instance.len();
+        let mut regions = regions;
+        let mut assignment: Vec<Option<u32>> = vec![None; n];
+        for members in &mut regions {
+            if members.is_empty() {
+                return Err(EmpError::Infeasible {
+                    reasons: vec!["empty region in region list".into()],
+                });
+            }
+            members.sort_unstable();
+            for &a in members.iter() {
+                if a as usize >= n {
+                    return Err(EmpError::Infeasible {
+                        reasons: vec![format!("area {a} out of range (n = {n})")],
+                    });
+                }
+                if assignment[a as usize].is_some() {
+                    return Err(EmpError::Infeasible {
+                        reasons: vec![format!("area {a} appears in more than one region")],
+                    });
+                }
+                assignment[a as usize] = Some(0); // placeholder, renumbered below
+            }
+        }
+        regions.sort_by_key(|m| m[0]);
+        for (ri, members) in regions.iter().enumerate() {
+            for &a in members {
+                assignment[a as usize] = Some(ri as u32);
+            }
+        }
+        let unassigned: Vec<u32> = assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(a, r)| r.is_none().then_some(a as u32))
+            .collect();
+        let heterogeneity = instance.objective().score(&regions);
+        Ok(Solution {
+            regions,
+            assignment,
+            unassigned,
+            heterogeneity,
+        })
     }
 
     /// Builds a solution snapshot from a working partition.
@@ -92,6 +150,31 @@ mod tests {
         assert_eq!(sol.heterogeneity, 1.0);
         assert_eq!(sol.paper_heterogeneity(), 2.0);
         assert_eq!(sol.unassigned_fraction(), 0.25);
+    }
+
+    #[test]
+    fn from_regions_reconstructs_canonical_form() {
+        let graph = ContiguityGraph::lattice(4, 1);
+        let mut attrs = AttributeTable::new(4);
+        attrs.push_column("D", vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let inst = EmpInstance::new(graph, attrs, "D").unwrap();
+        // Unsorted members, regions out of canonical order.
+        let sol = Solution::from_regions(&inst, vec![vec![3], vec![1, 0]]).unwrap();
+        assert_eq!(sol.regions, vec![vec![0, 1], vec![3]]);
+        assert_eq!(sol.assignment, vec![Some(0), Some(0), None, Some(1)]);
+        assert_eq!(sol.unassigned, vec![2]);
+        assert_eq!(sol.heterogeneity, 1.0);
+    }
+
+    #[test]
+    fn from_regions_rejects_malformed_input() {
+        let graph = ContiguityGraph::lattice(3, 1);
+        let mut attrs = AttributeTable::new(3);
+        attrs.push_column("D", vec![1.0; 3]).unwrap();
+        let inst = EmpInstance::new(graph, attrs, "D").unwrap();
+        assert!(Solution::from_regions(&inst, vec![vec![]]).is_err());
+        assert!(Solution::from_regions(&inst, vec![vec![7]]).is_err());
+        assert!(Solution::from_regions(&inst, vec![vec![0], vec![0]]).is_err());
     }
 
     #[test]

@@ -35,9 +35,9 @@ pub struct FactConfig {
     /// Whether to run the local search phase at all.
     pub local_search: bool,
     /// Use the incremental tabu neighborhood (boundary-area set + cached
-    /// per-region articulation points). `false` falls back to the full-scan
-    /// + BFS-per-candidate reference path — same moves, slower; kept as the
-    /// DESIGN.md §4.2 ablation baseline.
+    /// per-region articulation points). `false` falls back to the
+    /// full-scan + BFS-per-candidate reference path — same moves, slower;
+    /// kept as the DESIGN.md §4.2 ablation baseline.
     pub incremental_tabu: bool,
     /// RNG seed (construction iteration `i` uses `seed + i`).
     pub seed: u64,

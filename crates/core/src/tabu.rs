@@ -572,7 +572,7 @@ pub fn tabu_search_observed(
         // Forbid the reverse move.
         tabu.forbid(mv.area, mv.from, stats.moves);
         current_h += mv.delta;
-        if stats.iterations % RESYNC_INTERVAL == 0 {
+        if stats.iterations.is_multiple_of(RESYNC_INTERVAL) {
             // Resync the accumulated objective; drift must stay tiny.
             rec.span_begin("resync", Some((stats.iterations / RESYNC_INTERVAL) as u64));
             rec.counters().inc(CounterKind::ObjectiveResyncs);

@@ -121,6 +121,34 @@ pub fn validate_solution(
     }
 }
 
+/// Recomputes the solution's objective score (heterogeneity under the
+/// default objective) from scratch, independent of any incremental
+/// bookkeeping. The differential oracle compares this against the reported
+/// [`Solution::heterogeneity`].
+pub fn recompute_heterogeneity(instance: &EmpInstance, solution: &Solution) -> f64 {
+    instance.objective().score(&solution.regions)
+}
+
+/// Whether every region of `solution` satisfies every user-defined
+/// constraint, recomputed fresh. Structural properties (coverage,
+/// disjointness, contiguity) are [`validate_solution`]'s job; this is the
+/// cheap constraint-only probe the oracle uses on mapped metamorphic
+/// solutions.
+pub fn solution_feasible(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    solution: &Solution,
+) -> Result<bool, EmpError> {
+    let engine = ConstraintEngine::compile(instance, constraints)?;
+    for members in &solution.regions {
+        let agg = engine.compute_fresh(members);
+        if !engine.satisfies_all(&agg) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
 /// Convenience wrapper converting validation problems into an [`EmpError`].
 pub fn validate_or_error(
     instance: &EmpInstance,
@@ -248,6 +276,16 @@ mod tests {
         sol.assignment[0] = Some(1);
         let errs = validate_solution(&inst(), &ConstraintSet::new(), &sol).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("assignment[0]")));
+    }
+
+    #[test]
+    fn recompute_and_feasibility_hooks() {
+        let sol = good_solution();
+        assert_eq!(recompute_heterogeneity(&inst(), &sol), 20.0);
+        let loose = ConstraintSet::new().with(Constraint::sum("POP", 30.0, f64::INFINITY).unwrap());
+        assert!(solution_feasible(&inst(), &loose, &sol).unwrap());
+        let tight = ConstraintSet::new().with(Constraint::sum("POP", 50.0, f64::INFINITY).unwrap());
+        assert!(!solution_feasible(&inst(), &tight, &sol).unwrap());
     }
 
     #[test]

@@ -122,10 +122,11 @@ proptest! {
         let mut current_h = part.heterogeneity_with(&eng);
         let best_h = current_h;
         let mut moves = 0usize;
+        let mut ref_counters = emp_obs::Counters::new();
         for _ in 0..60 {
             let inc = state.select_move(&eng, &part, &tabu, moves, current_h, best_h);
             let reference =
-                select_move_reference(&eng, &part, &tabu, moves, current_h, best_h);
+                select_move_reference(&eng, &part, &tabu, moves, current_h, best_h, &mut ref_counters);
             prop_assert_eq!(inc, reference, "divergence after {} moves", moves);
             let Some(mv) = inc else { break };
             part.move_area(&eng, mv.area, mv.to);
@@ -134,6 +135,65 @@ proptest! {
             moves += 1;
             tabu.forbid(mv.area, mv.from, moves);
             current_h += mv.delta;
+        }
+    }
+
+    /// Cache freshness under *arbitrary* donation sequences, not just the
+    /// moves the tabu policy would pick: any contiguity-preserving donation
+    /// between adjacent regions must leave every warmed articulation cache
+    /// equal to a fresh Tarjan pass and the boundary set exact.
+    #[test]
+    fn caches_survive_random_donation_sequences(
+        w in 3usize..=6,
+        heights in stripe_heights(),
+        d in prop::collection::vec(0.0f64..10.0, 48),
+        picks in prop::collection::vec((any::<u32>(), any::<u32>()), 40),
+    ) {
+        let h: usize = heights.iter().sum();
+        let inst = lattice_instance(w, h, &d);
+        let set = ConstraintSet::new();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = stripe_partition(&eng, w, &heights);
+        let mut state = NeighborhoodState::new(&eng, &part);
+
+        for &(pick_area, pick_dest) in &picks {
+            // Warm every region's articulation cache, checking each against
+            // the from-scratch Tarjan answer as we go.
+            let ids: Vec<_> = part.region_ids().collect();
+            for &id in &ids {
+                let cached = state.articulation_points(&eng, &part, id).to_vec();
+                let fresh = emp_graph::articulation::articulation_points(
+                    inst.graph(),
+                    &part.region(id).members,
+                );
+                prop_assert_eq!(&cached, &fresh, "stale cache for region {}", id);
+            }
+
+            // Apply an arbitrary admissible donation: a boundary area of a
+            // multi-member region, moved to any adjacent region, provided
+            // the donor stays connected.
+            let boundary = state.boundary().as_slice().to_vec();
+            let candidate = (0..boundary.len()).map(|o| {
+                boundary[(pick_area as usize + o) % boundary.len()]
+            }).find_map(|area| {
+                let from = part.region_of(area)?;
+                if part.region(from).members.len() <= 1
+                    || !part.removal_keeps_connected(&eng, area)
+                {
+                    return None;
+                }
+                let dests = part.regions_adjacent_to_area(&eng, area);
+                if dests.is_empty() {
+                    return None;
+                }
+                let to = dests[pick_dest as usize % dests.len()];
+                (to != from).then_some((area, from, to))
+            });
+            let Some((area, from, to)) = candidate else { break };
+            let delta = part.move_objective_delta(&eng, area, from, to);
+            part.move_area(&eng, area, to);
+            state.on_move_applied(&eng, &part, emp_core::tabu::Move { area, from, to, delta });
+            state.assert_consistent(&eng, &part);
         }
     }
 }

@@ -86,6 +86,70 @@ pub fn census_attributes(graph: &ContiguityGraph, seed: u64) -> AttributeTable {
     table
 }
 
+/// Degenerate attribute layouts for the fuzz generator (`emp-oracle`):
+/// shapes real census data never takes but solvers must still survive.
+/// Every layout is finite and NaN-free; `Zeros`/`Spiky` keep values
+/// non-negative, matching the repo-wide contract that SUM pruning assumes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DegenerateKind {
+    /// Every area has the same value (zero pairwise dissimilarity,
+    /// AVG/MIN/MAX all collapse to one number).
+    Constant(f64),
+    /// All zeros: SUM lower bounds become unsatisfiable, heterogeneity is
+    /// exactly zero.
+    Zeros,
+    /// Two-level field: most areas at `low`, every `period`-th at `high`.
+    /// Stresses extrema witnesses and tight AVG windows.
+    TwoLevel {
+        /// Value of the common areas.
+        low: f64,
+        /// Value of the sparse spikes.
+        high: f64,
+        /// Spike spacing (`0` is treated as `1`).
+        period: usize,
+    },
+    /// Mostly-zero field with rare large spikes drawn deterministically
+    /// from `seed` — a caricature of heavy-tailed census fields.
+    Spiky,
+}
+
+/// Synthesizes the four paper attribute columns with a degenerate layout
+/// instead of the calibrated marginals. Deterministic in `seed`; all
+/// columns share the same layout so constraints on any of them hit the
+/// degenerate shape.
+pub fn degenerate_attributes(
+    graph: &ContiguityGraph,
+    seed: u64,
+    kind: DegenerateKind,
+) -> AttributeTable {
+    let n = graph.len();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDE6E);
+    let base: Vec<f64> = match kind {
+        DegenerateKind::Constant(v) => vec![v; n],
+        DegenerateKind::Zeros => vec![0.0; n],
+        DegenerateKind::TwoLevel { low, high, period } => {
+            let period = period.max(1);
+            (0..n)
+                .map(|i| if i % period == period - 1 { high } else { low })
+                .collect()
+        }
+        DegenerateKind::Spiky => (0..n)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.1 {
+                    1_000.0 + 9_000.0 * rng.gen::<f64>()
+                } else {
+                    0.0
+                }
+            })
+            .collect(),
+    };
+    let mut table = AttributeTable::new(n);
+    for name in ["TOTALPOP", "POP16UP", "EMPLOYED", "HOUSEHOLDS"] {
+        table.push_column(name, base.clone()).expect("fresh column");
+    }
+    table
+}
+
 fn sample<D: Distribution<f64>>(n: usize, rng: &mut StdRng, dist: &D) -> Vec<f64> {
     (0..n).map(|_| dist.sample(rng)).collect()
 }
@@ -245,6 +309,35 @@ mod tests {
         shuffled.shuffle(&mut StdRng::seed_from_u64(1));
         let i_shuffled = morans_i(&g, &shuffled);
         assert!(i_shuffled < i / 2.0, "shuffled I = {i_shuffled} vs {i}");
+    }
+
+    #[test]
+    fn degenerate_layouts_are_finite_and_deterministic() {
+        let g = grid_graph(6);
+        for kind in [
+            DegenerateKind::Constant(5.0),
+            DegenerateKind::Zeros,
+            DegenerateKind::TwoLevel {
+                low: 1.0,
+                high: 100.0,
+                period: 5,
+            },
+            DegenerateKind::Spiky,
+        ] {
+            let a = degenerate_attributes(&g, 9, kind);
+            let b = degenerate_attributes(&g, 9, kind);
+            assert_eq!(a, b, "{kind:?} must be deterministic");
+            assert_eq!(a.rows(), 36);
+            assert_eq!(a.columns(), 4);
+            for col in 0..a.columns() {
+                for row in 0..a.rows() {
+                    let v = a.value(col, row);
+                    assert!(v.is_finite() && v >= 0.0, "{kind:?} gave {v}");
+                }
+            }
+        }
+        let zeros = degenerate_attributes(&g, 1, DegenerateKind::Zeros);
+        assert_eq!(zeros.sum(0), 0.0);
     }
 
     #[test]

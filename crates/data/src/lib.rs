@@ -34,6 +34,7 @@ pub mod dataset;
 pub mod presets;
 pub mod tessellation;
 
+pub use attributes::{census_attributes, degenerate_attributes, DegenerateKind};
 pub use dataset::{Dataset, DISSIMILARITY_ATTR};
 pub use presets::{build_preset, build_sized, preset, Preset, DEFAULT_PRESET, PRESETS};
 pub use tessellation::TessellationSpec;

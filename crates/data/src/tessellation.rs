@@ -39,6 +39,17 @@ impl TessellationSpec {
             seed,
         }
     }
+
+    /// A near-square layout split into `islands` disconnected bands —
+    /// the multi-component case (offshore areas) that EMP supports and
+    /// classic MP-regions does not. Used by the fuzz generator to exercise
+    /// solvers on disconnected contiguity graphs.
+    pub fn islands(n: usize, islands: usize, seed: u64) -> Self {
+        TessellationSpec {
+            islands: islands.max(1),
+            ..Self::squareish(n, seed)
+        }
+    }
 }
 
 /// Generates the tessellation: one (multi-)polygon per area.

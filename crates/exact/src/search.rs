@@ -24,17 +24,42 @@ use emp_core::instance::EmpInstance;
 use emp_core::solution::Solution;
 
 /// Search limits and knobs.
+///
+/// The search itself is deterministic by construction — no RNG anywhere:
+/// the pivot is always the lowest-indexed undecided area, connected subsets
+/// are enumerated in fixed bit order, and ties are broken by the first
+/// incumbent found. Two runs with the same instance, constraints, and
+/// config produce byte-identical [`ExactReport`]s.
 #[derive(Clone, Copy, Debug)]
 pub struct ExactConfig {
     /// Abort after this many search nodes (the result is then a lower
     /// bound, flagged in [`ExactReport::complete`]).
     pub max_nodes: u64,
+    /// Optimize `p` only: prune branches that cannot *exceed* the incumbent
+    /// `p` (instead of only those that cannot reach it) and stop as soon as
+    /// the incumbent hits the theoretical `p` upper bound
+    /// ([`emp_core::validate::p_upper_bound`]). Much faster; the reported
+    /// `p` is still provably optimal, but the unassigned-count and
+    /// heterogeneity tie-breaks are no longer guaranteed. This is the mode
+    /// the differential oracle uses, where only `p*` matters.
+    pub p_only: bool,
 }
 
 impl Default for ExactConfig {
     fn default() -> Self {
         ExactConfig {
             max_nodes: 50_000_000,
+            p_only: false,
+        }
+    }
+}
+
+impl ExactConfig {
+    /// The differential-oracle preset: `p`-only pruning with a node budget.
+    pub fn p_only(max_nodes: u64) -> Self {
+        ExactConfig {
+            max_nodes,
+            p_only: true,
         }
     }
 }
@@ -46,7 +71,8 @@ pub struct ExactReport {
     pub solution: Solution,
     /// Whether the search space was fully explored.
     pub complete: bool,
-    /// Search nodes expanded (the blow-up measure for the MIP study).
+    /// Search effort: branch nodes expanded plus connected-subset
+    /// enumeration steps (the blow-up measure for the MIP study).
     pub nodes: u64,
 }
 
@@ -65,6 +91,12 @@ struct Ctx<'a, 'b> {
     best_h: f64,
     best_unassigned: usize,
     best_regions: Option<Vec<u64>>,
+    /// `p`-only mode: prune `p` ties, stop once `best_p == target_p`.
+    p_only: bool,
+    /// Theoretical `p` upper bound; reaching it proves optimality.
+    target_p: usize,
+    /// Set when the incumbent provably has optimal `p` (p-only mode).
+    done: bool,
 }
 
 /// Solves an EMP instance exactly. Errors on instances larger than
@@ -99,6 +131,11 @@ pub fn exact_solve(
         .map(|&ci| engine.constraints()[ci].low)
         .fold(1.0f64, f64::max);
 
+    let target_p = if config.p_only {
+        emp_core::validate::p_upper_bound(instance, constraints)?
+    } else {
+        usize::MAX
+    };
     let mut ctx = Ctx {
         engine: &engine,
         adjacency_masks,
@@ -110,6 +147,9 @@ pub fn exact_solve(
         best_h: f64::INFINITY,
         best_unassigned: usize::MAX,
         best_regions: None,
+        p_only: config.p_only,
+        target_p,
+        done: false,
     };
     // Baseline incumbent: everything unassigned (always valid in EMP).
     ctx.consider(&[], n);
@@ -169,6 +209,11 @@ impl Ctx<'_, '_> {
             self.best_unassigned = unassigned;
             self.best_regions = Some(regions.to_vec());
         }
+        if self.p_only && self.best_p >= self.target_p {
+            // The incumbent meets the theoretical upper bound: its `p` is
+            // provably optimal, no further search needed.
+            self.done = true;
+        }
     }
 
     fn region_h(&self, mask: u64) -> f64 {
@@ -210,6 +255,9 @@ fn search(
     _h: f64,
     _depth: usize,
 ) -> bool {
+    if ctx.done {
+        return true;
+    }
     ctx.nodes += 1;
     if ctx.nodes > ctx.max_nodes {
         return false;
@@ -221,10 +269,16 @@ fn search(
     // Bound: current p plus the most regions the remaining areas could form.
     let remaining_count = remaining.count_ones() as usize;
     let max_extra = (remaining_count as f64 / ctx.count_low).floor() as usize;
-    if regions.len() + max_extra < ctx.best_p {
-        // Cannot reach the incumbent's p even in the best case. (Ties are
-        // NOT pruned: they can still win on unassigned count or
-        // heterogeneity.)
+    let reachable = regions.len() + max_extra;
+    // In p-only mode ties ARE pruned (they cannot improve p); in the full
+    // lexicographic mode they are kept, since a tie can still win on
+    // unassigned count or heterogeneity.
+    let bound_cut = if ctx.p_only {
+        reachable <= ctx.best_p
+    } else {
+        reachable < ctx.best_p
+    };
+    if bound_cut {
         ctx.consider(regions, remaining_count);
         return true;
     }
@@ -243,8 +297,11 @@ fn search(
     }
 
     // Branch (b): every connected feasible region containing the pivot.
+    // Enumeration charges the node budget too: on loosely constrained
+    // instances the subset count is exponential in `n`, and an uncharged
+    // enumeration would run unbounded before the first search node.
     let mut subsets: Vec<u64> = Vec::new();
-    enumerate_connected(
+    complete &= enumerate_connected(
         ctx,
         pivot_bit,
         pivot_bit,
@@ -252,6 +309,9 @@ fn search(
         &mut subsets,
     );
     for mask in subsets {
+        if ctx.done {
+            break;
+        }
         if ctx.region_feasible(mask) {
             regions.push(mask);
             complete &= search(ctx, remaining & !mask, regions, _h, _depth + 1);
@@ -266,21 +326,27 @@ fn search(
 
 /// Enumerates all connected subsets of `current ∪ (subsets of candidates)`
 /// that contain the pivot, using the fixed-pivot expansion (each subset
-/// generated exactly once).
+/// generated exactly once). Every expansion step counts against the node
+/// budget; returns `false` when the budget ran out mid-enumeration (the
+/// collected prefix is still searched, but the result is incomplete).
 #[allow(clippy::only_used_in_recursion)]
 fn enumerate_connected(
-    ctx: &Ctx<'_, '_>,
+    ctx: &mut Ctx<'_, '_>,
     current: u64,
     _pivot_bit: u64,
     available: u64,
     out: &mut Vec<u64>,
-) {
+) -> bool {
+    ctx.nodes += 1;
+    if ctx.nodes > ctx.max_nodes {
+        return false;
+    }
     out.push(current);
     // Prune: if monotonic upper bounds are already violated, no superset of
     // `current` can be feasible.
     if !ctx.upper_bounds_ok(current) {
         out.pop();
-        return;
+        return true;
     }
     // Frontier of `current` within `available`.
     let mut frontier = 0u64;
@@ -295,19 +361,24 @@ fn enumerate_connected(
     // once a vertex is skipped it is banned for the whole subtree.
     let mut banned = 0u64;
     let mut f = frontier;
+    let mut complete = true;
     while f != 0 {
         let v = f.trailing_zeros() as usize;
         let v_bit = 1u64 << v;
         f &= f - 1;
-        enumerate_connected(
+        complete &= enumerate_connected(
             ctx,
             current | v_bit,
             _pivot_bit,
             available & !banned & !v_bit,
             out,
         );
+        if !complete {
+            break;
+        }
         banned |= v_bit;
     }
+    complete
 }
 
 #[cfg(test)]
@@ -407,9 +478,60 @@ mod tests {
     }
 
     #[test]
+    fn p_only_matches_full_search_p() {
+        // Same optimal p as the full lexicographic search, far fewer nodes.
+        let inst = path_instance(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 7.0, f64::INFINITY).unwrap());
+        let full = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
+        let fast = exact_solve(&inst, &set, &ExactConfig::p_only(50_000_000)).unwrap();
+        assert!(full.complete && fast.complete);
+        assert_eq!(fast.solution.p(), full.solution.p());
+        assert!(fast.nodes <= full.nodes, "{} > {}", fast.nodes, full.nodes);
+        validate_solution(&inst, &set, &fast.solution).unwrap();
+    }
+
+    #[test]
+    fn p_only_stops_at_upper_bound() {
+        // Uniform path, SUM >= 2 with unit values: p* = floor(n/2) equals
+        // the p upper bound, so the early stop fires almost immediately.
+        let inst = path_instance(&[1.0; 10]);
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 2.0, f64::INFINITY).unwrap());
+        let full = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
+        let fast = exact_solve(&inst, &set, &ExactConfig::p_only(50_000_000)).unwrap();
+        assert!(fast.complete);
+        assert_eq!(fast.solution.p(), 5);
+        assert_eq!(fast.solution.p(), full.solution.p());
+        assert!(fast.nodes < full.nodes, "{} vs {}", fast.nodes, full.nodes);
+    }
+
+    #[test]
+    fn p_only_handles_infeasible() {
+        let inst = path_instance(&[1.0, 1.0]);
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 100.0, f64::INFINITY).unwrap());
+        let report = exact_solve(&inst, &set, &ExactConfig::p_only(1000)).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.solution.p(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // No RNG anywhere in the search: byte-identical reports.
+        let inst = path_instance(&[2.0, 7.0, 1.0, 8.0, 2.0, 8.0]);
+        let set = ConstraintSet::new()
+            .with(Constraint::sum("POP", 5.0, f64::INFINITY).unwrap())
+            .with(Constraint::count(1.0, 3.0).unwrap());
+        let a = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
+        let b = exact_solve(&inst, &set, &ExactConfig::default()).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
     fn node_budget_truncates_search() {
         let inst = path_instance(&[1.0; 12]);
-        let cfg = ExactConfig { max_nodes: 10 };
+        let cfg = ExactConfig {
+            max_nodes: 10,
+            ..ExactConfig::default()
+        };
         let report = exact_solve(&inst, &ConstraintSet::new(), &cfg).unwrap();
         assert!(!report.complete);
         assert!(report.nodes >= 10);

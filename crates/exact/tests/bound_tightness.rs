@@ -1,0 +1,137 @@
+//! Tightness of the analytic `p` upper bound: across seeded instances and
+//! constraint combinations, `emp_core::validate::p_upper_bound` must never
+//! fall below the exact optimum `p*` — otherwise FaCT would prematurely
+//! stop growing regions and the `p_only` exact mode would "prove"
+//! optimality of a suboptimal incumbent.
+//!
+//! The exact searches here run with `p_only: false`, so they never consult
+//! `p_upper_bound` themselves: the two sides of each comparison are fully
+//! independent. Only completed searches count.
+
+use emp_core::attr::AttributeTable;
+use emp_core::constraint::{Constraint, ConstraintSet};
+use emp_core::instance::EmpInstance;
+use emp_core::validate::p_upper_bound;
+use emp_exact::{exact_solve, ExactConfig};
+use emp_graph::ContiguityGraph;
+
+/// SplitMix64 — the same seeded stream the oracle generator uses, inlined
+/// so this test depends only on the crates under test.
+fn mix(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn uniform(seed: &mut u64, lo: f64, hi: f64) -> f64 {
+    lo + (mix(seed) as f64 / u64::MAX as f64) * (hi - lo)
+}
+
+/// Seeded small instance: a `w × h` lattice (w·h ≤ 16 so the full exact
+/// search completes fast) with two random attribute columns.
+fn build_instance(seed: &mut u64) -> EmpInstance {
+    let w = 2 + (mix(seed) % 3) as usize; // 2..=4
+    let h = 2 + (mix(seed) % 3) as usize;
+    let n = w * h;
+    let graph = ContiguityGraph::lattice(w, h);
+    let mut attrs = AttributeTable::new(n);
+    let pop: Vec<f64> = (0..n).map(|_| uniform(seed, 1.0, 100.0)).collect();
+    let inc: Vec<f64> = (0..n).map(|_| uniform(seed, 0.0, 10.0)).collect();
+    attrs.push_column("POP", pop).unwrap();
+    attrs.push_column("INC", inc).unwrap();
+    EmpInstance::new(graph, attrs, "INC").unwrap()
+}
+
+/// Random constraint combo spanning every aggregate the bound reasons
+/// about. Bounds are drawn wide enough that most instances stay feasible
+/// but tight enough that the per-constraint bound terms all activate.
+fn build_constraints(seed: &mut u64) -> ConstraintSet {
+    let mut set = ConstraintSet::new();
+    let kinds = mix(seed);
+    if kinds & 1 != 0 {
+        set.push(Constraint::sum("POP", uniform(seed, 50.0, 250.0), f64::INFINITY).unwrap());
+    }
+    if kinds & 2 != 0 {
+        set.push(Constraint::count(uniform(seed, 1.0, 4.0).floor(), 16.0).unwrap());
+    }
+    if kinds & 4 != 0 {
+        set.push(Constraint::min("INC", f64::NEG_INFINITY, uniform(seed, 2.0, 10.0)).unwrap());
+    }
+    if kinds & 8 != 0 {
+        set.push(Constraint::max("INC", uniform(seed, 0.0, 8.0), f64::INFINITY).unwrap());
+    }
+    if kinds & 16 != 0 {
+        set.push(Constraint::avg("INC", 0.0, uniform(seed, 4.0, 12.0)).unwrap());
+    }
+    set
+}
+
+#[test]
+fn p_upper_bound_never_undercuts_exact_optimum() {
+    let mut compared = 0usize;
+    for case in 0..120u64 {
+        let mut seed = case.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(1);
+        let instance = build_instance(&mut seed);
+        let constraints = build_constraints(&mut seed);
+
+        let bound = p_upper_bound(&instance, &constraints).expect("bound must compile");
+        let config = ExactConfig {
+            max_nodes: 5_000_000,
+            p_only: false,
+        };
+        let report = exact_solve(&instance, &constraints, &config).expect("exact must run");
+        if !report.complete {
+            continue;
+        }
+        let p_star = report.solution.regions.len();
+        assert!(
+            bound >= p_star,
+            "case {case}: p_upper_bound = {bound} < exact p* = {p_star} \
+             (n = {}, constraints = {:?})",
+            instance.len(),
+            constraints,
+        );
+        compared += 1;
+    }
+    // The sweep must actually exercise the comparison, not skip everything
+    // via incomplete searches.
+    assert!(compared >= 100, "only {compared}/120 searches completed");
+}
+
+#[test]
+fn p_only_mode_agrees_with_full_search_on_p() {
+    // The p_only preset consults p_upper_bound for its early stop; if the
+    // bound were ever below p*, this mode would return a smaller p than the
+    // bound-free full search. Checking the two agree ties the bound's
+    // soundness to the solver that relies on it.
+    let mut compared = 0usize;
+    for case in 0..60u64 {
+        let mut seed = case.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(11);
+        let instance = build_instance(&mut seed);
+        let constraints = build_constraints(&mut seed);
+
+        let full = exact_solve(
+            &instance,
+            &constraints,
+            &ExactConfig {
+                max_nodes: 5_000_000,
+                p_only: false,
+            },
+        )
+        .expect("exact must run");
+        let fast = exact_solve(&instance, &constraints, &ExactConfig::p_only(5_000_000))
+            .expect("exact must run");
+        if !full.complete || !fast.complete {
+            continue;
+        }
+        assert_eq!(
+            full.solution.regions.len(),
+            fast.solution.regions.len(),
+            "case {case}: p_only found a different p than the full search"
+        );
+        compared += 1;
+    }
+    assert!(compared >= 50, "only {compared}/60 searches completed");
+}

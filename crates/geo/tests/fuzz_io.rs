@@ -94,6 +94,57 @@ proptest! {
     }
 
     #[test]
+    fn shp_dbf_roundtrip_preserves_coords_order_and_fields(
+        rects in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0, 0.1f64..10.0, 0.1f64..10.0), 1..20),
+    ) {
+        // Shapefile + DBF round-trip as a paired dataset: ring coordinates
+        // are stored as IEEE f64 (bit-exact), record order must be
+        // preserved, and integer field values survive the fixed-precision
+        // numeric text encoding exactly.
+        let shapes: Vec<MultiPolygon> = rects
+            .iter()
+            .map(|&(x, y, w, h)| Polygon::rect(x, y, x + w, y + h).into())
+            .collect();
+        let (shp, _) = write_shp(&shapes);
+        let back = read_shp(&shp).unwrap();
+        prop_assert_eq!(back.len(), shapes.len());
+        // Winding may be normalized to the ESRI convention on write, so
+        // compare bit-exact vertex sets and bboxes rather than vertex order.
+        let ring_key = |r: &Ring| {
+            let mut v: Vec<(u64, u64)> =
+                r.vertices().iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+            v.sort_unstable();
+            v
+        };
+        for (orig, rt) in shapes.iter().zip(&back) {
+            let (a, b) = (orig.bbox(), rt.bbox());
+            prop_assert_eq!(
+                (a.min_x, a.min_y, a.max_x, a.max_y),
+                (b.min_x, b.min_y, b.max_x, b.max_y)
+            );
+            prop_assert_eq!(orig.polygons().len(), rt.polygons().len());
+            for (po, pr) in orig.polygons().iter().zip(rt.polygons()) {
+                prop_assert_eq!(ring_key(po.exterior()), ring_key(pr.exterior()));
+                prop_assert_eq!(po.holes().len(), pr.holes().len());
+            }
+        }
+        // Parallel attribute table: IDX pins record order, POP holds
+        // integers that must round-trip exactly through the text encoding.
+        let idx: Vec<f64> = (0..shapes.len()).map(|i| i as f64).collect();
+        let pop: Vec<f64> = rects.iter().map(|r| (r.0 * 1e6).trunc()).collect();
+        let table = DbfTable {
+            names: vec!["IDX".into(), "POP".into()],
+            columns: vec![idx.clone(), pop.clone()],
+        };
+        let bytes = write_dbf(&table).unwrap();
+        let dbf = read_dbf(&bytes).unwrap();
+        prop_assert_eq!(dbf.names, table.names);
+        prop_assert_eq!(dbf.rows(), shapes.len());
+        prop_assert_eq!(dbf.columns[0].clone(), idx);
+        prop_assert_eq!(dbf.columns[1].clone(), pop);
+    }
+
+    #[test]
     fn ring_area_is_invariant_under_rotation(
         pts in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..12),
         shift in 0usize..12,

@@ -1,0 +1,150 @@
+//! Property tests of articulation-point computation under *evolving* member
+//! sets — the access pattern of the incremental tabu neighborhood, which
+//! reuses one `ArticulationScratch` across a whole search and recomputes a
+//! region's articulation points after every donation/removal.
+//!
+//! The single-shot Tarjan-vs-BFS-oracle test lives in `graph_properties.rs`;
+//! here the member set mutates step by step (removals of safe vertices,
+//! additions of frontier vertices) and after every mutation the
+//! scratch-reusing path must agree with both the allocating path and the
+//! BFS oracle. Any state leaking between `articulation_points_into` calls
+//! would surface as a divergence mid-sequence.
+
+use emp_graph::articulation::{
+    articulation_points, articulation_points_into, removable_areas, ArticulationScratch,
+};
+use emp_graph::subgraph::{frontier, is_connected_after_removal, is_connected_subset};
+use emp_graph::ContiguityGraph;
+use proptest::prelude::*;
+
+/// Random connected seed region: BFS ball around a start vertex.
+fn region_around(graph: &ContiguityGraph, start: u32, size: usize) -> Vec<u32> {
+    let mut members = vec![start];
+    let mut i = 0;
+    while members.len() < size && i < members.len() {
+        let v = members[i];
+        for &w in graph.neighbors(v) {
+            if !members.contains(&w) && members.len() < size {
+                members.push(w);
+            }
+        }
+        i += 1;
+    }
+    members
+}
+
+/// BFS oracle: `v` is an articulation point of a connected member set iff
+/// removing it disconnects the rest.
+fn oracle_articulations(graph: &ContiguityGraph, members: &[u32]) -> Vec<u32> {
+    if members.len() <= 1 {
+        return Vec::new();
+    }
+    let mut arts: Vec<u32> = members
+        .iter()
+        .copied()
+        .filter(|&v| !is_connected_after_removal(graph, members, v))
+        .collect();
+    arts.sort_unstable();
+    arts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scratch_reuse_stays_fresh_across_mutation_sequences(
+        w in 3usize..8,
+        h in 3usize..8,
+        start in 0usize..64,
+        size in 2usize..24,
+        ops in prop::collection::vec((any::<bool>(), any::<u32>()), 30),
+    ) {
+        let graph = ContiguityGraph::lattice(w, h);
+        let start = (start % (w * h)) as u32;
+        let mut members = region_around(&graph, start, size.min(w * h));
+        let mut scratch = ArticulationScratch::default();
+        let mut reused = Vec::new();
+
+        for &(grow, pick) in &ops {
+            // Check all three computations agree on the current set.
+            articulation_points_into(&graph, &members, &mut scratch, &mut reused);
+            let fresh = articulation_points(&graph, &members);
+            prop_assert_eq!(&reused, &fresh, "scratch reuse diverged on {:?}", members);
+            prop_assert_eq!(&fresh, &oracle_articulations(&graph, &members));
+            let removable = removable_areas(&graph, &members);
+            for &v in &removable {
+                prop_assert!(is_connected_after_removal(&graph, &members, v));
+            }
+            prop_assert_eq!(removable.len() + fresh.len(), if members.len() > 1 { members.len() } else { 0 });
+
+            // Mutate: add a frontier vertex or remove a safe member —
+            // exactly how regions evolve under tabu donations.
+            if grow {
+                let f = frontier(&graph, &members);
+                if f.is_empty() {
+                    continue;
+                }
+                members.push(f[pick as usize % f.len()]);
+            } else {
+                if removable.is_empty() {
+                    continue;
+                }
+                let victim = removable[pick as usize % removable.len()];
+                members.retain(|&v| v != victim);
+            }
+            prop_assert!(is_connected_subset(&graph, &members));
+        }
+    }
+
+    #[test]
+    fn articulation_of_multi_component_sets_is_per_component(
+        w in 3usize..7,
+        h in 3usize..7,
+        s1 in 0usize..49,
+        s2 in 0usize..49,
+        size in 1usize..8,
+    ) {
+        // The cache is also queried for regions that momentarily consist of
+        // multiple components (never created by the solver, but the function
+        // contract covers it): articulation points must be the union over
+        // components.
+        let graph = ContiguityGraph::lattice(w, h);
+        let n = w * h;
+        let a = region_around(&graph, (s1 % n) as u32, size);
+        let b = region_around(&graph, (s2 % n) as u32, size);
+        let mut union: Vec<u32> = a.iter().chain(&b).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        let got = articulation_points(&graph, &union);
+        // Oracle on the union: v is an articulation point iff removing it
+        // increases the number of connected components.
+        let base_count = component_count(&graph, &union);
+        for &v in &union {
+            let rest: Vec<u32> = union.iter().copied().filter(|&u| u != v).collect();
+            let split = component_count(&graph, &rest) > base_count;
+            let is_art = got.binary_search(&v).is_ok();
+            prop_assert_eq!(is_art, split, "vertex {} in {:?}", v, union);
+        }
+    }
+}
+
+/// Number of connected components of the induced subgraph.
+fn component_count(graph: &ContiguityGraph, members: &[u32]) -> usize {
+    let mut remaining: Vec<u32> = members.to_vec();
+    let mut count = 0;
+    while let Some(&seed) = remaining.first() {
+        count += 1;
+        let mut stack = vec![seed];
+        let mut comp = vec![seed];
+        while let Some(v) = stack.pop() {
+            for &nb in graph.neighbors(v) {
+                if remaining.contains(&nb) && !comp.contains(&nb) {
+                    comp.push(nb);
+                    stack.push(nb);
+                }
+            }
+        }
+        remaining.retain(|v| !comp.contains(v));
+    }
+    count
+}

@@ -1,0 +1,255 @@
+//! Differential oracles: FaCT vs the exact solver, FaCT vs MP-regions.
+//!
+//! The paper validates FaCT against a Gurobi MIP and the classic MP-regions
+//! heuristic (§VII); this module is the reproduction's version of that
+//! study, run continuously on seeded instances:
+//!
+//! * **Exact bound** — `emp-exact` in `p`-only mode gives the provably
+//!   optimal `p*`; any FaCT result with `p > p*` is a bug, as is FaCT
+//!   declaring hard infeasibility when `p* > 0`.
+//! * **Self-consistency** — every FaCT solution must pass
+//!   [`emp_core::validate::validate_solution`] (coverage, contiguity,
+//!   constraints, heterogeneity recompute).
+//! * **MP cross-check** — on single-component, sum-threshold-only cases the
+//!   classic MP-regions feasibility verdict must agree with FaCT's.
+
+use crate::generator::OracleCase;
+use emp_baseline::mp_feasibility;
+use emp_core::constraint::Aggregate;
+use emp_core::error::EmpError;
+use emp_core::solution::Solution;
+use emp_core::solver::solve;
+use emp_core::validate::{recompute_heterogeneity, validate_solution};
+use emp_exact::{exact_solve, ExactConfig};
+use emp_graph::connected_components;
+
+/// One oracle violation: a machine-readable kind plus human-readable
+/// details. Persisted into repro files.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Stable violation category (e.g. `p-exceeds-exact`).
+    pub kind: String,
+    /// What exactly went wrong.
+    pub details: String,
+}
+
+impl Violation {
+    /// Creates a violation.
+    pub fn new(kind: impl Into<String>, details: impl Into<String>) -> Self {
+        Violation {
+            kind: kind.into(),
+            details: details.into(),
+        }
+    }
+}
+
+/// Everything the differential pass learned about a case.
+#[derive(Clone, Debug, Default)]
+pub struct DiffOutcome {
+    /// FaCT's `p`; `None` when FaCT declared the case hard-infeasible.
+    pub p_fact: Option<usize>,
+    /// The exact optimal `p*`; `None` when the node budget truncated the
+    /// search (no comparison is made then).
+    pub p_exact: Option<usize>,
+    /// Nodes the exact search expanded.
+    pub exact_nodes: u64,
+    /// Whether the `p_fact <= p_exact` comparison actually happened.
+    pub compared: bool,
+    /// Whether the MP-regions feasibility cross-check applied to this case.
+    pub mp_checked: bool,
+    /// FaCT's solution, reused by the metamorphic relations.
+    pub fact_solution: Option<Solution>,
+    /// Oracle violations found.
+    pub violations: Vec<Violation>,
+}
+
+/// Runs the full differential pass on one case: FaCT solve + validation,
+/// exact `p*` comparison under `exact_nodes` budget, and the MP-regions
+/// feasibility cross-check where applicable.
+pub fn differential_check(case: &OracleCase, exact_nodes: u64) -> DiffOutcome {
+    let mut out = DiffOutcome::default();
+    let instance = match case.instance() {
+        Ok(i) => i,
+        Err(e) => {
+            out.violations
+                .push(Violation::new("instance-build", format!("{e}")));
+            return out;
+        }
+    };
+
+    // FaCT under test.
+    match solve(&instance, &case.constraints, &case.fact) {
+        Ok(report) => {
+            if let Err(problems) = validate_solution(&instance, &case.constraints, &report.solution)
+            {
+                for p in problems {
+                    out.violations.push(Violation::new("validate", p));
+                }
+            }
+            let fresh = recompute_heterogeneity(&instance, &report.solution);
+            let tol = 1e-6 * fresh.abs().max(1.0);
+            if (fresh - report.solution.heterogeneity).abs() > tol {
+                out.violations.push(Violation::new(
+                    "heterogeneity-recompute",
+                    format!(
+                        "reported {} vs fresh {fresh}",
+                        report.solution.heterogeneity
+                    ),
+                ));
+            }
+            out.p_fact = Some(report.p());
+            out.fact_solution = Some(report.solution);
+        }
+        Err(EmpError::Infeasible { .. }) => out.p_fact = None,
+        Err(e) => {
+            out.violations
+                .push(Violation::new("fact-error", format!("{e}")));
+            return out;
+        }
+    }
+
+    // Exact ground truth (p-only mode: only p* matters here).
+    match exact_solve(
+        &instance,
+        &case.constraints,
+        &ExactConfig::p_only(exact_nodes),
+    ) {
+        Ok(report) => {
+            out.exact_nodes = report.nodes;
+            if report.complete {
+                let p_star = report.solution.p();
+                out.p_exact = Some(p_star);
+                if let Some(p_fact) = out.p_fact {
+                    out.compared = true;
+                    if p_fact > p_star {
+                        out.violations.push(Violation::new(
+                            "p-exceeds-exact",
+                            format!("FaCT p = {p_fact} > exact p* = {p_star}"),
+                        ));
+                    }
+                } else {
+                    out.compared = true;
+                    if p_star > 0 {
+                        out.violations.push(Violation::new(
+                            "false-infeasible",
+                            format!("FaCT declared infeasible but exact p* = {p_star}"),
+                        ));
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            // Oversized instances are a generator bug, not a solver bug.
+            out.violations
+                .push(Violation::new("exact-error", format!("{e}")));
+        }
+    }
+
+    // MP-regions cross-check: classic max-p feasibility (total >= threshold)
+    // is only a valid oracle on connected maps with a single
+    // sum-lower-bound constraint and non-negative attributes.
+    if let [c] = case.constraints.constraints() {
+        let single_sum = c.aggregate == Aggregate::Sum && c.has_lower() && !c.has_upper();
+        if single_sum {
+            if let Ok(graph) = case.graph() {
+                let connected = connected_components(&graph).count() == 1;
+                let non_negative = case
+                    .attr_columns
+                    .iter()
+                    .all(|col| col.iter().all(|&v| v >= 0.0));
+                if connected && non_negative {
+                    out.mp_checked = true;
+                    match mp_feasibility(&instance, &c.attribute, c.low) {
+                        Ok(_) => {
+                            // Total reaches the threshold: the whole map is
+                            // one valid region, so FaCT must not declare
+                            // hard infeasibility.
+                            if out.p_fact.is_none() {
+                                out.violations.push(Violation::new(
+                                    "mp-disagree",
+                                    "MP-regions feasible but FaCT declared infeasible".to_string(),
+                                ));
+                            }
+                            if out.p_exact == Some(0) {
+                                out.violations.push(Violation::new(
+                                    "mp-disagree-exact",
+                                    "MP-regions feasible but exact p* = 0".to_string(),
+                                ));
+                            }
+                        }
+                        Err(EmpError::Infeasible { .. }) => {
+                            // Total below threshold with non-negative values:
+                            // no subset can reach the sum, so any p >= 1
+                            // from FaCT or the exact solver is a bug.
+                            if matches!(out.p_fact, Some(p) if p >= 1) {
+                                out.violations.push(Violation::new(
+                                    "mp-disagree",
+                                    format!(
+                                        "MP-regions infeasible but FaCT found p = {}",
+                                        out.p_fact.unwrap()
+                                    ),
+                                ));
+                            }
+                            if matches!(out.p_exact, Some(p) if p >= 1) {
+                                out.violations.push(Violation::new(
+                                    "mp-disagree-exact",
+                                    format!(
+                                        "MP-regions infeasible but exact p* = {}",
+                                        out.p_exact.unwrap()
+                                    ),
+                                ));
+                            }
+                        }
+                        Err(e) => out
+                            .violations
+                            .push(Violation::new("mp-error", format!("{e}"))),
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_case;
+
+    #[test]
+    fn differential_on_seed_battery_is_clean() {
+        let mut compared = 0;
+        for seed in 0..30u64 {
+            let case = generate_case(seed);
+            let out = differential_check(&case, 200_000);
+            assert!(
+                out.violations.is_empty(),
+                "case {} violations: {:?}",
+                case.name,
+                out.violations
+            );
+            if out.compared {
+                compared += 1;
+            }
+        }
+        assert!(
+            compared >= 15,
+            "only {compared} exact comparisons completed"
+        );
+    }
+
+    #[test]
+    fn mp_cross_check_applies_to_sum_only_cases() {
+        let mut checked = 0;
+        for seed in 0..120u64 {
+            let case = generate_case(seed);
+            let out = differential_check(&case, 100_000);
+            assert!(out.violations.is_empty(), "{:?}", out.violations);
+            if out.mp_checked {
+                checked += 1;
+            }
+        }
+        assert!(checked >= 3, "only {checked} MP cross-checks applied");
+    }
+}

@@ -1,0 +1,394 @@
+//! Seeded instance generator for the fuzz harness.
+//!
+//! Every case is a pure function of its seed: graph shape (paths, cycles,
+//! lattices, multi-component layouts, tessellation islands, random connected
+//! graphs), attribute layout (calibrated census fields or the degenerate
+//! layouts from `emp-data`), enriched-constraint combination (all five
+//! aggregates, tight and infeasible bounds), and FaCT configuration are all
+//! drawn from one internal SplitMix64 stream — no external RNG crate, so
+//! the corpus replays identically everywhere.
+
+use emp_core::attr::AttributeTable;
+use emp_core::constraint::{Constraint, ConstraintSet};
+use emp_core::error::EmpError;
+use emp_core::instance::EmpInstance;
+use emp_core::solver::FactConfig;
+use emp_data::TessellationSpec;
+use emp_data::{census_attributes, degenerate_attributes, Dataset, DegenerateKind};
+use emp_graph::ContiguityGraph;
+
+/// Deterministic 64-bit PRNG (SplitMix64). Small, fast, and dependency-free
+/// so repro files replay identically regardless of `rand` versions.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as usize
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// A self-contained fuzz case: raw instance parts (kept separate from the
+/// compiled [`EmpInstance`] so the case serializes to a JSON repro file
+/// without any derive machinery), the constraint set, and the exact FaCT
+/// configuration to replay.
+#[derive(Clone, Debug)]
+pub struct OracleCase {
+    /// Stable case name (`case-<seed in hex>`, `-min` suffix after
+    /// minimization).
+    pub name: String,
+    /// Generator seed this case was derived from.
+    pub seed: u64,
+    /// Number of areas.
+    pub n: usize,
+    /// Contiguity edges (undirected, deduplicated).
+    pub edges: Vec<(u32, u32)>,
+    /// Attribute column names, in table order.
+    pub attr_names: Vec<String>,
+    /// Attribute columns, parallel to `attr_names`.
+    pub attr_columns: Vec<Vec<f64>>,
+    /// Name of the dissimilarity attribute.
+    pub dissim_attr: String,
+    /// The enriched constraint set under test.
+    pub constraints: ConstraintSet,
+    /// FaCT configuration (seed included) for the solve under test.
+    pub fact: FactConfig,
+}
+
+impl OracleCase {
+    /// Builds the contiguity graph.
+    pub fn graph(&self) -> Result<ContiguityGraph, EmpError> {
+        ContiguityGraph::from_edges(self.n, &self.edges).map_err(|e| EmpError::Infeasible {
+            reasons: vec![format!("bad contiguity graph: {e:?}")],
+        })
+    }
+
+    /// Compiles the case into a solvable instance.
+    pub fn instance(&self) -> Result<EmpInstance, EmpError> {
+        let graph = self.graph()?;
+        let mut attrs = AttributeTable::new(self.n);
+        for (name, col) in self.attr_names.iter().zip(&self.attr_columns) {
+            attrs.push_column(name, col.clone())?;
+        }
+        EmpInstance::new(graph, attrs, &self.dissim_attr)
+    }
+}
+
+/// Generates the fuzz case for `seed`. Deterministic: the same seed always
+/// yields byte-identical cases.
+pub fn generate_case(seed: u64) -> OracleCase {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(1));
+
+    // Differential-friendly sizes most of the time, larger FaCT-only
+    // instances (the exact solver's node budget will truncate) sometimes.
+    let n_target = if rng.chance(0.7) {
+        rng.range(6, 14)
+    } else {
+        rng.range(15, 40)
+    };
+
+    let (graph, attrs) = build_graph_and_attributes(&mut rng, n_target, seed);
+    let n = graph.len();
+    let edges: Vec<(u32, u32)> = graph.edges().collect();
+    let attr_names: Vec<String> = attrs.names().to_vec();
+    let attr_columns: Vec<Vec<f64>> = (0..attrs.columns())
+        .map(|c| attrs.column(c).to_vec())
+        .collect();
+
+    let constraints = build_constraints(&mut rng, &attrs);
+
+    let fact = FactConfig {
+        construction_iterations: rng.range(1, 3),
+        incremental_tabu: rng.chance(0.5),
+        local_search: rng.chance(0.85),
+        max_tabu_iterations: Some(200),
+        parallel: false,
+        ..FactConfig::seeded(seed ^ 0xFAC7)
+    };
+
+    OracleCase {
+        name: format!("case-{seed:08x}"),
+        seed,
+        n,
+        edges,
+        attr_names,
+        attr_columns,
+        dissim_attr: emp_data::DISSIMILARITY_ATTR.to_string(),
+        constraints,
+        fact,
+    }
+}
+
+/// Picks a graph shape and matching attribute table. The actual area count
+/// may deviate slightly from `n_target` (lattice rounding).
+fn build_graph_and_attributes(
+    rng: &mut SplitMix64,
+    n_target: usize,
+    seed: u64,
+) -> (ContiguityGraph, AttributeTable) {
+    // Tessellation path: exercises the emp-data pipeline end to end,
+    // including multi-component island layouts.
+    if rng.chance(0.15) {
+        let n = n_target.min(24).max(6);
+        let islands = if rng.chance(0.4) { rng.range(2, 3) } else { 1 };
+        let ds = Dataset::generate("fuzz", &TessellationSpec::islands(n, islands, seed));
+        return (ds.graph, ds.attributes);
+    }
+
+    let shape = rng.range(0, 4);
+    let graph = match shape {
+        // Path.
+        0 => ContiguityGraph::lattice(n_target, 1),
+        // Lattice.
+        1 => {
+            let w = rng.range(2, 5);
+            let h = (n_target / w).max(2);
+            ContiguityGraph::lattice(w, h)
+        }
+        // Two disconnected components: a lattice and a path.
+        2 => {
+            let w = rng.range(2, 3);
+            let h = (n_target / (2 * w)).max(2);
+            let first = w * h;
+            let second = (n_target - first.min(n_target)).max(2);
+            let n = first + second;
+            let mut edges = Vec::new();
+            for y in 0..h {
+                for x in 0..w {
+                    let v = (y * w + x) as u32;
+                    if x + 1 < w {
+                        edges.push((v, v + 1));
+                    }
+                    if y + 1 < h {
+                        edges.push((v, v + w as u32));
+                    }
+                }
+            }
+            for i in 0..second - 1 {
+                edges.push(((first + i) as u32, (first + i + 1) as u32));
+            }
+            ContiguityGraph::from_edges(n, &edges).expect("valid multi-component graph")
+        }
+        // Lattice plus isolated areas (degree-0 vertices must go to U_0
+        // unless a region can be a singleton).
+        3 => {
+            let isolated = rng.range(1, 2);
+            let w = rng.range(2, 4);
+            let h = ((n_target - isolated) / w).max(2);
+            let base = ContiguityGraph::lattice(w, h);
+            let edges: Vec<(u32, u32)> = base.edges().collect();
+            ContiguityGraph::from_edges(w * h + isolated, &edges).expect("valid padded graph")
+        }
+        // Random connected graph: spanning tree plus extra edges.
+        _ => {
+            let n = n_target;
+            let mut edges = Vec::new();
+            for i in 1..n {
+                let parent = rng.range(0, i - 1) as u32;
+                edges.push((parent, i as u32));
+            }
+            for _ in 0..n / 3 {
+                let a = rng.range(0, n - 1) as u32;
+                let b = rng.range(0, n - 1) as u32;
+                if a != b {
+                    edges.push((a.min(b), a.max(b)));
+                }
+            }
+            ContiguityGraph::from_edges(n, &edges).expect("valid random graph")
+        }
+    };
+
+    let attrs = match rng.range(0, 5) {
+        0 | 1 => census_attributes(&graph, seed),
+        2 => degenerate_attributes(&graph, seed, DegenerateKind::Constant(100.0)),
+        3 => degenerate_attributes(&graph, seed, DegenerateKind::Zeros),
+        4 => degenerate_attributes(
+            &graph,
+            seed,
+            DegenerateKind::TwoLevel {
+                low: 1.0,
+                high: 500.0,
+                period: rng.range(2, 6),
+            },
+        ),
+        _ => degenerate_attributes(&graph, seed, DegenerateKind::Spiky),
+    };
+    (graph, attrs)
+}
+
+/// Sorted copy of a column for percentile picks.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Draws a constraint combination: 1–3 constraints over the five aggregate
+/// families, mixing loose, tight, and deliberately infeasible bounds.
+/// ~15% of cases instead use a single `SUM >= threshold` so the MP-regions
+/// cross-check applies.
+fn build_constraints(rng: &mut SplitMix64, attrs: &AttributeTable) -> ConstraintSet {
+    let names = attrs.names().to_vec();
+    let pick_attr = |rng: &mut SplitMix64| names[rng.range(0, names.len() - 1)].clone();
+
+    // MP-comparable subset: one sum-threshold constraint.
+    if rng.chance(0.15) {
+        let attr = pick_attr(rng);
+        let col = attrs.column_by_name(&attr).expect("attr exists");
+        let total: f64 = col.iter().sum();
+        let frac = [0.1, 0.3, 0.6, 1.5][rng.range(0, 3)];
+        let low = (total * frac).max(1.0);
+        let c = Constraint::sum(attr, low, f64::INFINITY).expect("valid sum range");
+        return ConstraintSet::new().with(c);
+    }
+
+    let count = rng.range(1, 3);
+    let mut set = ConstraintSet::new();
+    for _ in 0..count {
+        let attr = pick_attr(rng);
+        let col = attrs.column_by_name(&attr).expect("attr exists");
+        let mut sorted = col.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite attributes"));
+        let total: f64 = col.iter().sum();
+        let n = col.len() as f64;
+
+        let c = match rng.range(0, 4) {
+            // SUM: loose / tight window / infeasible lower bound.
+            0 => {
+                let frac = [0.1, 0.25, 0.5, 1.5][rng.range(0, 3)];
+                let low = (total * frac).max(1.0);
+                let high = match rng.range(0, 2) {
+                    0 => f64::INFINITY,
+                    1 => low * 2.5,
+                    _ => low * 1.2, // tight window
+                };
+                Constraint::sum(attr, low, high.max(low))
+            }
+            // COUNT: exact counts are the tightest form.
+            1 => {
+                let low = rng.range(1, 3) as f64;
+                let high = match rng.range(0, 2) {
+                    0 => f64::INFINITY,
+                    1 => low, // COUNT == low exactly
+                    _ => low + 2.0,
+                };
+                Constraint::count(low, high)
+            }
+            // MIN: lower bounds force low-valued areas into U_0.
+            2 => match rng.range(0, 2) {
+                0 => Constraint::min(attr, percentile(&sorted, 0.2), f64::INFINITY),
+                1 => Constraint::min(attr, f64::NEG_INFINITY, percentile(&sorted, 0.8)),
+                _ => Constraint::min(attr, percentile(&sorted, 0.1), percentile(&sorted, 0.9)),
+            },
+            // MAX: upper bounds exclude high-valued areas.
+            3 => match rng.range(0, 2) {
+                0 => Constraint::max(attr, percentile(&sorted, 0.6), f64::INFINITY),
+                1 => Constraint::max(attr, f64::NEG_INFINITY, percentile(&sorted, 0.95)),
+                _ => {
+                    // Infeasible: MAX must exceed the largest value present.
+                    let top = percentile(&sorted, 1.0);
+                    Constraint::max(attr, top + 1.0, f64::INFINITY)
+                }
+            },
+            // AVG: windows, sometimes impossibly above the maximum.
+            _ => match rng.range(0, 2) {
+                0 => Constraint::avg(attr, percentile(&sorted, 0.3), percentile(&sorted, 0.7)),
+                1 => Constraint::avg(attr, percentile(&sorted, 0.45), percentile(&sorted, 0.55)),
+                _ => {
+                    let top = percentile(&sorted, 1.0).max(total / n);
+                    Constraint::avg(attr, top + 1.0, top + 2.0)
+                }
+            },
+        };
+        match c {
+            Ok(c) => set.push(c),
+            // Degenerate columns can produce inverted percentile ranges
+            // (all-equal values); skip those draws.
+            Err(_) => continue,
+        }
+    }
+    if set.is_empty() {
+        // Ensure at least one constraint so the case is never trivial.
+        set.push(Constraint::count(1.0, f64::INFINITY).expect("valid count range"));
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let a = generate_case(seed);
+            let b = generate_case(seed);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            assert!(a.n >= 6 && a.n <= 42, "n = {}", a.n);
+            assert!(!a.constraints.is_empty());
+            a.instance().expect("generated case compiles");
+        }
+    }
+
+    #[test]
+    fn seeds_cover_shapes_and_constraint_families() {
+        let mut multi_component = 0;
+        let mut families = std::collections::HashSet::new();
+        for seed in 0..200u64 {
+            let case = generate_case(seed);
+            let graph = case.graph().unwrap();
+            if emp_graph::connected_components(&graph).count() > 1 {
+                multi_component += 1;
+            }
+            for c in case.constraints.constraints() {
+                families.insert(c.aggregate);
+            }
+        }
+        assert!(
+            multi_component >= 5,
+            "only {multi_component} multi-component cases"
+        );
+        assert_eq!(families.len(), 5, "families seen: {families:?}");
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        let mut rng = SplitMix64::new(7);
+        let a = rng.next_u64();
+        let mut rng2 = SplitMix64::new(7);
+        assert_eq!(a, rng2.next_u64());
+        for _ in 0..100 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            let r = rng.range(3, 9);
+            assert!((3..=9).contains(&r));
+        }
+    }
+}

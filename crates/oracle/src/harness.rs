@@ -1,0 +1,278 @@
+//! Fuzz harness: generate → solve → differential check → metamorphic
+//! relations, with corpus persistence for anything that fails.
+//!
+//! Everything here is deterministic given the seed range and options: the
+//! generator has no global RNG, the solvers are seeded, and corpus replay
+//! walks files in sorted name order. Two consecutive runs with the same
+//! inputs produce identical reports (timing lives outside the report).
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::differential::{differential_check, Violation};
+use crate::generator::{generate_case, OracleCase};
+use crate::metamorphic::{check_relation, Relation};
+use crate::minimize::{minimize, MinimizeOptions};
+use crate::repro::{load_corpus, save_case};
+
+/// Harness tuning.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Node budget for the exact reference solver.
+    pub exact_nodes: u64,
+    /// Run the four metamorphic relations on each case.
+    pub metamorphic: bool,
+    /// Minimize failing cases before persisting them.
+    pub minimize: bool,
+    /// Where to persist failing cases (`None` = don't persist).
+    pub corpus_dir: Option<PathBuf>,
+    /// Wall-clock budget for a sweep (`None` = run every seed). When the
+    /// budget trips, the sweep stops after the current case and the report
+    /// notes the truncation — truncated runs are not byte-comparable.
+    pub budget: Option<Duration>,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            exact_nodes: 200_000,
+            metamorphic: true,
+            minimize: true,
+            corpus_dir: None,
+            budget: None,
+        }
+    }
+}
+
+/// What one case produced.
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    /// Case name (repro file stem).
+    pub name: String,
+    /// Generator seed (`0` for corpus files replayed from disk — the file
+    /// carries its own seed, echoed here).
+    pub seed: u64,
+    /// FaCT's `p`, `None` when hard-infeasible.
+    pub p_fact: Option<usize>,
+    /// Exact `p*` when the search completed.
+    pub p_exact: Option<usize>,
+    /// Whether the FaCT-vs-exact comparison happened.
+    pub compared: bool,
+    /// Whether the MP-regions cross-check applied.
+    pub mp_checked: bool,
+    /// Every violation from the differential pass and all relations.
+    pub violations: Vec<Violation>,
+}
+
+/// Aggregate outcome of a sweep or replay.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Per-case reports, in execution order.
+    pub cases: Vec<CaseReport>,
+    /// Repro files written this run.
+    pub saved: Vec<PathBuf>,
+    /// Whether a wall-clock budget truncated the sweep.
+    pub truncated: bool,
+}
+
+impl FuzzReport {
+    /// Cases where the exact comparison completed.
+    pub fn compared(&self) -> usize {
+        self.cases.iter().filter(|c| c.compared).count()
+    }
+
+    /// Cases where the MP cross-check applied.
+    pub fn mp_checked(&self) -> usize {
+        self.cases.iter().filter(|c| c.mp_checked).count()
+    }
+
+    /// Total violations across all cases.
+    pub fn violation_count(&self) -> usize {
+        self.cases.iter().map(|c| c.violations.len()).sum()
+    }
+
+    /// One-line machine-grepable summary (stable across identical runs).
+    pub fn summary_line(&self, label: &str) -> String {
+        format!(
+            "{label}: cases={} compared={} mp_checked={} violations={} saved={}{}",
+            self.cases.len(),
+            self.compared(),
+            self.mp_checked(),
+            self.violation_count(),
+            self.saved.len(),
+            if self.truncated { " truncated=yes" } else { "" },
+        )
+    }
+}
+
+/// Runs the differential pass and (optionally) all metamorphic relations
+/// on one case.
+pub fn run_case(case: &OracleCase, options: &FuzzOptions) -> CaseReport {
+    let outcome = differential_check(case, options.exact_nodes);
+    let mut violations = outcome.violations.clone();
+    if options.metamorphic {
+        for relation in Relation::ALL {
+            violations.extend(check_relation(
+                case,
+                outcome.fact_solution.as_ref(),
+                relation,
+            ));
+        }
+    }
+    CaseReport {
+        name: case.name.clone(),
+        seed: case.seed,
+        p_fact: outcome.p_fact,
+        p_exact: outcome.p_exact,
+        compared: outcome.compared,
+        mp_checked: outcome.mp_checked,
+        violations,
+    }
+}
+
+/// Re-checks a case and reports whether it still fails — the minimizer's
+/// predicate. Metamorphic relations are included so relation-only failures
+/// minimize too.
+fn case_fails(case: &OracleCase, options: &FuzzOptions) -> bool {
+    !run_case(case, options).violations.is_empty()
+}
+
+/// Persists a failing case (after optional minimization). Returns the repro
+/// path, or `None` when no corpus directory is configured.
+fn persist_failure(
+    case: &OracleCase,
+    violations: &[Violation],
+    options: &FuzzOptions,
+) -> Option<PathBuf> {
+    let dir = options.corpus_dir.as_deref()?;
+    let mut to_save = case.clone();
+    if options.minimize {
+        let (min, _probes) = minimize(
+            case,
+            &|candidate| case_fails(candidate, options),
+            MinimizeOptions::default(),
+        );
+        // Guard against a flaky predicate: only keep the minimized form if
+        // it still fails on a final re-check.
+        if case_fails(&min, options) {
+            to_save = min;
+        }
+    }
+    let recheck = run_case(&to_save, options);
+    let saved_violations = if recheck.violations.is_empty() {
+        violations
+    } else {
+        &recheck.violations
+    };
+    save_case(dir, &to_save, saved_violations).ok()
+}
+
+/// Sweeps `seeds` through the full oracle. Failing cases are minimized and
+/// persisted into the corpus directory when one is configured.
+pub fn fuzz_sweep<I: IntoIterator<Item = u64>>(seeds: I, options: &FuzzOptions) -> FuzzReport {
+    let started = Instant::now();
+    let mut report = FuzzReport::default();
+    for seed in seeds {
+        if let Some(budget) = options.budget {
+            if started.elapsed() > budget {
+                report.truncated = true;
+                break;
+            }
+        }
+        let case = generate_case(seed);
+        let case_report = run_case(&case, options);
+        if !case_report.violations.is_empty() {
+            if let Some(path) = persist_failure(&case, &case_report.violations, options) {
+                report.saved.push(path);
+            }
+        }
+        report.cases.push(case_report);
+    }
+    report
+}
+
+/// Replays every repro in `dir` (sorted by file name). Corpus cases are
+/// expected to keep failing until the underlying bug is fixed, at which
+/// point the file is deleted by hand; replay itself only reports.
+pub fn replay_corpus(dir: &Path, options: &FuzzOptions) -> Result<FuzzReport, String> {
+    let mut report = FuzzReport::default();
+    for (_path, case) in load_corpus(dir)? {
+        report.cases.push(run_case(&case, options));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_options() -> FuzzOptions {
+        FuzzOptions {
+            exact_nodes: 100_000,
+            metamorphic: true,
+            minimize: false,
+            corpus_dir: None,
+            budget: None,
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_clean() {
+        let options = quick_options();
+        let a = fuzz_sweep(0..20u64, &options);
+        let b = fuzz_sweep(0..20u64, &options);
+        assert_eq!(a.violation_count(), 0, "violations: {:#?}", a.cases);
+        assert_eq!(format!("{:?}", a.cases), format!("{:?}", b.cases));
+        assert_eq!(a.summary_line("sweep"), b.summary_line("sweep"));
+        assert!(a.compared() >= 10, "only {} compared", a.compared());
+    }
+
+    #[test]
+    fn failing_cases_are_persisted_and_replayable() {
+        // Sabotage the oracle by shrinking the exact node budget to zero
+        // nodes... that truncates rather than fails, so instead persist a
+        // hand-made failure: replay machinery is what's under test.
+        let dir = std::env::temp_dir().join("emp-oracle-harness-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let case = generate_case(2);
+        save_case(
+            &dir,
+            &case,
+            &[Violation::new("synthetic", "planted for replay test")],
+        )
+        .unwrap();
+        let options = quick_options();
+        let replayed = replay_corpus(&dir, &options).unwrap();
+        assert_eq!(replayed.cases.len(), 1);
+        assert_eq!(replayed.cases[0].name, case.name);
+        // The planted case is not a real bug, so replay finds no violations.
+        assert_eq!(replayed.violation_count(), 0);
+        let again = replay_corpus(&dir, &options).unwrap();
+        assert_eq!(
+            format!("{:?}", replayed.cases),
+            format!("{:?}", again.cases)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_corpus_directory_is_empty_not_error() {
+        let report = replay_corpus(
+            Path::new("/nonexistent/emp-oracle-nowhere"),
+            &quick_options(),
+        )
+        .unwrap();
+        assert!(report.cases.is_empty());
+    }
+
+    #[test]
+    fn budget_truncation_is_flagged() {
+        let options = FuzzOptions {
+            budget: Some(Duration::from_secs(0)),
+            ..quick_options()
+        };
+        let report = fuzz_sweep(0..50u64, &options);
+        assert!(report.truncated);
+        assert!(report.cases.len() < 50);
+    }
+}

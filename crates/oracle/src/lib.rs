@@ -1,0 +1,56 @@
+//! # emp-oracle — differential & metamorphic testing oracle for EMP
+//!
+//! The FaCT heuristic has no ground truth on real data, which makes its
+//! bugs quiet: a wrong `p`, a stale heterogeneity, a constraint violation
+//! that validation tolerance happens to hide. This crate turns the rest of
+//! the workspace into an oracle for itself:
+//!
+//! * [`generator`] — seeded, dependency-free instance generation covering
+//!   all five aggregate families, tight/infeasible bounds, multi-component
+//!   maps, and degenerate attribute layouts;
+//! * [`differential`] — FaCT vs the exact branch-and-bound (`p ≤ p*`,
+//!   no false infeasibility) and vs classic MP-regions feasibility on the
+//!   sum-threshold subset, plus full solution validation;
+//! * [`metamorphic`] — four relations (area permutation, power-of-two
+//!   attribute scaling, region relabeling, appended dummy component) whose
+//!   transformed solutions must stay valid with predictable objectives;
+//! * [`harness`] — the generate→solve→check loop with corpus persistence;
+//! * [`repro`] — lossless JSON repro files under `results/corpus/`;
+//! * [`minimize`] — greedy shrinking of failing cases.
+//!
+//! The `fuzz_check` binary in `emp-bench` drives [`harness`] in CI: replay
+//! the committed corpus, then a fresh seeded sweep, both deterministic.
+//!
+//! ```
+//! use emp_oracle::prelude::*;
+//!
+//! let case = generate_case(42);
+//! let outcome = differential_check(&case, 200_000);
+//! assert!(outcome.violations.is_empty());
+//! ```
+
+pub mod differential;
+pub mod generator;
+pub mod harness;
+pub mod metamorphic;
+pub mod minimize;
+pub mod repro;
+
+pub use differential::{differential_check, DiffOutcome, Violation};
+pub use generator::{generate_case, OracleCase, SplitMix64};
+pub use harness::{fuzz_sweep, replay_corpus, run_case, CaseReport, FuzzOptions, FuzzReport};
+pub use metamorphic::{check_relation, Relation};
+pub use minimize::{minimize, MinimizeOptions};
+pub use repro::{case_from_json, case_to_json, load_case, load_corpus, save_case};
+
+/// Convenient glob import for tests and binaries.
+pub mod prelude {
+    pub use crate::differential::{differential_check, DiffOutcome, Violation};
+    pub use crate::generator::{generate_case, OracleCase, SplitMix64};
+    pub use crate::harness::{
+        fuzz_sweep, replay_corpus, run_case, CaseReport, FuzzOptions, FuzzReport,
+    };
+    pub use crate::metamorphic::{check_relation, Relation};
+    pub use crate::minimize::{minimize, MinimizeOptions};
+    pub use crate::repro::{load_case, load_corpus, save_case};
+}

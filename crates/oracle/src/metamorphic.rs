@@ -1,0 +1,444 @@
+//! Metamorphic relations: instance transformations with known effects.
+//!
+//! A heuristic has no single "expected output", but transformed inputs have
+//! provable relations to the original. Each relation here is an *instance
+//! transformer* plus a *solution mapper*: the mapped base solution must
+//! remain valid (and keep its `p`, feasibility, and — suitably transformed —
+//! heterogeneity) on the transformed instance.
+//!
+//! | relation | transformer | mapper | invariant |
+//! |---|---|---|---|
+//! | `PermuteAreas` | relabel area ids by a random permutation | map region members through the permutation | validity, `p`, heterogeneity; hard infeasibility is preserved |
+//! | `ScaleAttributes` | multiply all columns and non-COUNT bounds by a positive power of two | same regions | validity, `p`, unassigned count, `h' = k·h`; identical regions when local search is off (tabu uses absolute `1e-9` epsilons that are not scale-invariant) |
+//! | `RelabelRegions` | none | rotate region order, rebuild `assignment` | validity, `p`, heterogeneity |
+//! | `AppendDummyComponent` | add a disconnected 3-area path with zero attributes | same regions, dummies in `U_0` | validity, `p`, heterogeneity |
+//!
+//! Scaling by *powers of two* makes float comparisons exact: every
+//! aggregate (SUM, MIN, MAX, AVG) and every pairwise dissimilarity scales
+//! without rounding, so scale-equivariance checks need no tolerance.
+
+use crate::differential::Violation;
+use crate::generator::{OracleCase, SplitMix64};
+use emp_core::constraint::{Aggregate, Constraint, ConstraintSet};
+use emp_core::error::EmpError;
+use emp_core::solution::Solution;
+use emp_core::solver::solve;
+use emp_core::validate::validate_solution;
+
+/// The supported metamorphic relations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// Random area-id relabeling.
+    PermuteAreas,
+    /// Positive power-of-two attribute (and bound) scaling.
+    ScaleAttributes,
+    /// Region-order rotation (no instance change).
+    RelabelRegions,
+    /// Append a disconnected zero-attribute dummy component.
+    AppendDummyComponent,
+}
+
+impl Relation {
+    /// Every relation, in check order.
+    pub const ALL: [Relation; 4] = [
+        Relation::PermuteAreas,
+        Relation::ScaleAttributes,
+        Relation::RelabelRegions,
+        Relation::AppendDummyComponent,
+    ];
+
+    /// Stable name used in violation kinds and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Relation::PermuteAreas => "permute-areas",
+            Relation::ScaleAttributes => "scale-attributes",
+            Relation::RelabelRegions => "relabel-regions",
+            Relation::AppendDummyComponent => "append-dummy-component",
+        }
+    }
+}
+
+/// Checks one relation against a case. `base` is FaCT's solution on the
+/// untransformed case (`None` when FaCT declared it hard-infeasible).
+/// Returns all violations found (empty = relation holds).
+pub fn check_relation(
+    case: &OracleCase,
+    base: Option<&Solution>,
+    relation: Relation,
+) -> Vec<Violation> {
+    match relation {
+        Relation::PermuteAreas => check_permute(case, base),
+        Relation::ScaleAttributes => check_scale(case, base),
+        Relation::RelabelRegions => check_relabel(case, base),
+        Relation::AppendDummyComponent => check_dummy(case, base),
+    }
+}
+
+fn violation(relation: Relation, details: impl Into<String>) -> Violation {
+    Violation::new(format!("metamorphic-{}", relation.name()), details)
+}
+
+/// Relative heterogeneity agreement (permutations reorder float summation).
+fn h_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+fn check_permute(case: &OracleCase, base: Option<&Solution>) -> Vec<Violation> {
+    let rel = Relation::PermuteAreas;
+    let mut rng = SplitMix64::new(case.seed ^ 0x9E12_57AE);
+    let n = case.n;
+    // Fisher–Yates permutation: perm[old] = new.
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.range(0, i));
+    }
+
+    let mut permuted = case.clone();
+    permuted.name = format!("{}-perm", case.name);
+    permuted.edges = case
+        .edges
+        .iter()
+        .map(|&(a, b)| (perm[a as usize], perm[b as usize]))
+        .collect();
+    for (new_col, old_col) in permuted.attr_columns.iter_mut().zip(&case.attr_columns) {
+        for (old_idx, &v) in old_col.iter().enumerate() {
+            new_col[perm[old_idx] as usize] = v;
+        }
+    }
+
+    let instance = match permuted.instance() {
+        Ok(i) => i,
+        Err(e) => {
+            return vec![violation(
+                rel,
+                format!("permuted instance failed to build: {e}"),
+            )]
+        }
+    };
+
+    let Some(base) = base else {
+        // Hard infeasibility is a property of the multiset of attribute
+        // values and the component structure; a relabeling preserves both.
+        return match solve(&instance, &case.constraints, &case.fact) {
+            Err(EmpError::Infeasible { .. }) => vec![],
+            Ok(r) => vec![violation(
+                rel,
+                format!(
+                    "base was infeasible but permuted instance solved with p = {}",
+                    r.p()
+                ),
+            )],
+            Err(e) => vec![violation(rel, format!("permuted solve error: {e}"))],
+        };
+    };
+
+    let mapped_regions: Vec<Vec<u32>> = base
+        .regions
+        .iter()
+        .map(|members| members.iter().map(|&a| perm[a as usize]).collect())
+        .collect();
+    let mapped = match Solution::from_regions(&instance, mapped_regions) {
+        Ok(s) => s,
+        Err(e) => return vec![violation(rel, format!("mapped solution invalid: {e}"))],
+    };
+    let mut out = Vec::new();
+    if mapped.p() != base.p() {
+        out.push(violation(
+            rel,
+            format!("p changed: {} -> {}", base.p(), mapped.p()),
+        ));
+    }
+    if !h_close(mapped.heterogeneity, base.heterogeneity) {
+        out.push(violation(
+            rel,
+            format!(
+                "heterogeneity changed: {} -> {}",
+                base.heterogeneity, mapped.heterogeneity
+            ),
+        ));
+    }
+    if let Err(problems) = validate_solution(&instance, &case.constraints, &mapped) {
+        for p in problems {
+            out.push(violation(rel, format!("mapped solution: {p}")));
+        }
+    }
+    out
+}
+
+/// Scales every non-COUNT constraint bound by `k` (`±∞` scales to itself).
+fn scale_constraints(set: &ConstraintSet, k: f64) -> Result<ConstraintSet, EmpError> {
+    let mut out = ConstraintSet::new();
+    for c in set.constraints() {
+        if c.aggregate == Aggregate::Count {
+            out.push(c.clone());
+        } else {
+            out.push(Constraint::new(
+                c.aggregate,
+                c.attribute.clone(),
+                c.low * k,
+                c.high * k,
+            )?);
+        }
+    }
+    Ok(out)
+}
+
+fn check_scale(case: &OracleCase, base: Option<&Solution>) -> Vec<Violation> {
+    let rel = Relation::ScaleAttributes;
+    let mut rng = SplitMix64::new(case.seed ^ 0x5CA1_EAB1);
+    let k = [0.25, 0.5, 2.0, 4.0][rng.range(0, 3)];
+
+    let mut scaled = case.clone();
+    scaled.name = format!("{}-scale", case.name);
+    for col in &mut scaled.attr_columns {
+        for v in col.iter_mut() {
+            *v *= k;
+        }
+    }
+    scaled.constraints = match scale_constraints(&case.constraints, k) {
+        Ok(s) => s,
+        Err(e) => return vec![violation(rel, format!("scaled constraints invalid: {e}"))],
+    };
+
+    let instance = match scaled.instance() {
+        Ok(i) => i,
+        Err(e) => {
+            return vec![violation(
+                rel,
+                format!("scaled instance failed to build: {e}"),
+            )]
+        }
+    };
+
+    let mut out = Vec::new();
+
+    // Mapped-solution direction: the base regions must stay valid with
+    // exactly k-scaled heterogeneity (power-of-two scaling is lossless).
+    // The baseline is a *fresh* recompute on the original instance: the
+    // solver's reported value is incrementally maintained and can differ
+    // in the last ulp, which exact equality would flag as a fake bug.
+    if let Some(base) = base {
+        let base_fresh = match case.instance() {
+            Ok(original) => emp_core::recompute_heterogeneity(&original, base),
+            Err(e) => {
+                return vec![violation(
+                    rel,
+                    format!("base instance failed to build: {e}"),
+                )]
+            }
+        };
+        match Solution::from_regions(&instance, base.regions.clone()) {
+            Ok(mapped) => {
+                if mapped.heterogeneity != k * base_fresh {
+                    out.push(violation(
+                        rel,
+                        format!(
+                            "heterogeneity not scale-equivariant: {base_fresh} * {k} != {}",
+                            mapped.heterogeneity
+                        ),
+                    ));
+                }
+                if let Err(problems) = validate_solution(&instance, &scaled.constraints, &mapped) {
+                    for p in problems {
+                        out.push(violation(rel, format!("mapped solution: {p}")));
+                    }
+                }
+            }
+            Err(e) => out.push(violation(rel, format!("mapped solution invalid: {e}"))),
+        }
+    }
+
+    // Re-solve direction: every solver decision compares quantities that
+    // scale exactly by the power of two, so p, feasibility, and unassigned
+    // count must be preserved. The tabu phase uses absolute 1e-9 epsilons
+    // (aspiration/acceptance) that are not scale-invariant, so identical
+    // region structure is asserted only when local search is off.
+    match (solve(&instance, &scaled.constraints, &case.fact), base) {
+        (Ok(rescaled), Some(base)) => {
+            if rescaled.p() != base.p() {
+                out.push(violation(
+                    rel,
+                    format!("re-solve p changed: {} -> {}", base.p(), rescaled.p()),
+                ));
+            }
+            if rescaled.solution.unassigned.len() != base.unassigned.len() {
+                out.push(violation(
+                    rel,
+                    format!(
+                        "re-solve unassigned changed: {} -> {}",
+                        base.unassigned.len(),
+                        rescaled.solution.unassigned.len()
+                    ),
+                ));
+            }
+            if !case.fact.local_search && rescaled.solution.regions != base.regions {
+                out.push(violation(
+                    rel,
+                    "re-solve regions diverged without local search",
+                ));
+            }
+        }
+        (Err(EmpError::Infeasible { .. }), None) => {}
+        (Ok(r), None) => out.push(violation(
+            rel,
+            format!(
+                "base was infeasible but scaled instance solved with p = {}",
+                r.p()
+            ),
+        )),
+        (Err(e), Some(_)) => out.push(violation(rel, format!("scaled solve failed: {e}"))),
+        (Err(e), None) => out.push(violation(rel, format!("scaled solve error: {e}"))),
+    }
+    out
+}
+
+fn check_relabel(case: &OracleCase, base: Option<&Solution>) -> Vec<Violation> {
+    let rel = Relation::RelabelRegions;
+    let Some(base) = base else { return vec![] };
+    if base.p() < 2 {
+        return vec![];
+    }
+    let instance = match case.instance() {
+        Ok(i) => i,
+        Err(e) => return vec![violation(rel, format!("instance failed to build: {e}"))],
+    };
+    // Rotate region order by one; the output contract does not require
+    // canonical region numbering, only internal consistency.
+    let mut regions = base.regions.clone();
+    regions.rotate_left(1);
+    let mut assignment = vec![None; case.n];
+    for (ri, members) in regions.iter().enumerate() {
+        for &a in members {
+            assignment[a as usize] = Some(ri as u32);
+        }
+    }
+    let rotated = Solution {
+        regions,
+        assignment,
+        unassigned: base.unassigned.clone(),
+        heterogeneity: base.heterogeneity,
+    };
+    match validate_solution(&instance, &case.constraints, &rotated) {
+        Ok(()) => vec![],
+        Err(problems) => problems
+            .into_iter()
+            .map(|p| violation(rel, format!("rotated solution: {p}")))
+            .collect(),
+    }
+}
+
+fn check_dummy(case: &OracleCase, base: Option<&Solution>) -> Vec<Violation> {
+    let rel = Relation::AppendDummyComponent;
+    let Some(base) = base else { return vec![] };
+
+    let mut extended = case.clone();
+    extended.name = format!("{}-dummy", case.name);
+    let n = case.n as u32;
+    extended.n = case.n + 3;
+    extended.edges.push((n, n + 1));
+    extended.edges.push((n + 1, n + 2));
+    for col in &mut extended.attr_columns {
+        col.extend([0.0, 0.0, 0.0]);
+    }
+
+    let instance = match extended.instance() {
+        Ok(i) => i,
+        Err(e) => {
+            return vec![violation(
+                rel,
+                format!("extended instance failed to build: {e}"),
+            )]
+        }
+    };
+
+    // The base regions with all dummies in U_0: p and heterogeneity must be
+    // untouched (U_0 contributes nothing to the objective). Compare against
+    // a fresh recompute — the solver's reported value is incrementally
+    // maintained and can differ in the last ulp.
+    let base_fresh = match case.instance() {
+        Ok(original) => emp_core::recompute_heterogeneity(&original, base),
+        Err(e) => {
+            return vec![violation(
+                rel,
+                format!("base instance failed to build: {e}"),
+            )]
+        }
+    };
+    let mapped = match Solution::from_regions(&instance, base.regions.clone()) {
+        Ok(s) => s,
+        Err(e) => return vec![violation(rel, format!("mapped solution invalid: {e}"))],
+    };
+    let mut out = Vec::new();
+    if mapped.p() != base.p() {
+        out.push(violation(
+            rel,
+            format!("p changed: {} -> {}", base.p(), mapped.p()),
+        ));
+    }
+    if mapped.heterogeneity != base_fresh {
+        out.push(violation(
+            rel,
+            format!(
+                "heterogeneity changed: {base_fresh} -> {}",
+                mapped.heterogeneity
+            ),
+        ));
+    }
+    if mapped.unassigned.len() != base.unassigned.len() + 3 {
+        out.push(violation(
+            rel,
+            format!(
+                "expected exactly 3 extra unassigned, got {}",
+                mapped.unassigned.len()
+            ),
+        ));
+    }
+    if let Err(problems) = validate_solution(&instance, &case.constraints, &mapped) {
+        for p in problems {
+            out.push(violation(rel, format!("mapped solution: {p}")));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differential::differential_check;
+    use crate::generator::generate_case;
+
+    #[test]
+    fn relations_hold_on_seed_battery() {
+        for seed in 0..25u64 {
+            let case = generate_case(seed);
+            let out = differential_check(&case, 100_000);
+            assert!(
+                out.violations.is_empty(),
+                "differential: {:?}",
+                out.violations
+            );
+            for relation in Relation::ALL {
+                let v = check_relation(&case, out.fact_solution.as_ref(), relation);
+                assert!(
+                    v.is_empty(),
+                    "case {} relation {relation:?}: {v:?}",
+                    case.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relation_names_are_stable() {
+        let names: Vec<&str> = Relation::ALL.iter().map(|r| r.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "permute-areas",
+                "scale-attributes",
+                "relabel-regions",
+                "append-dummy-component"
+            ]
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Greedy repro minimizer.
+//!
+//! Given a failing case and a "does it still fail?" predicate, repeatedly
+//! tries single removals — first whole constraints, then individual areas —
+//! keeping any removal that preserves the failure. The result is a local
+//! minimum: no single constraint or area can be dropped without losing the
+//! bug. A probe cap bounds total solver invocations, so minimization never
+//! dominates a fuzz run.
+
+use crate::generator::OracleCase;
+
+/// Minimizer tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct MinimizeOptions {
+    /// Maximum number of candidate probes (each probe re-runs the oracle).
+    pub max_probes: usize,
+}
+
+impl Default for MinimizeOptions {
+    fn default() -> Self {
+        MinimizeOptions { max_probes: 200 }
+    }
+}
+
+/// Removes constraint `idx` from a copy of `case`.
+fn without_constraint(case: &OracleCase, idx: usize) -> OracleCase {
+    let mut out = case.clone();
+    let kept: Vec<_> = case
+        .constraints
+        .constraints()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != idx)
+        .map(|(_, c)| c.clone())
+        .collect();
+    out.constraints = emp_core::constraint::ConstraintSet::from_constraints(kept);
+    out
+}
+
+/// Removes area `area` from a copy of `case`, compacting ids above it.
+fn without_area(case: &OracleCase, area: u32) -> OracleCase {
+    let mut out = case.clone();
+    out.n = case.n - 1;
+    out.edges = case
+        .edges
+        .iter()
+        .filter(|&&(a, b)| a != area && b != area)
+        .map(|&(a, b)| {
+            let shift = |v: u32| if v > area { v - 1 } else { v };
+            (shift(a), shift(b))
+        })
+        .collect();
+    for col in &mut out.attr_columns {
+        col.remove(area as usize);
+    }
+    out
+}
+
+/// Greedily shrinks `case` while `still_fails` holds. Returns the minimized
+/// case (renamed `<name>-min` when anything was removed) and the number of
+/// probes spent.
+pub fn minimize(
+    case: &OracleCase,
+    still_fails: &dyn Fn(&OracleCase) -> bool,
+    options: MinimizeOptions,
+) -> (OracleCase, usize) {
+    let mut current = case.clone();
+    let mut probes = 0usize;
+    let mut shrunk = false;
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: drop whole constraints (cheapest big win; keep >= 1 so the
+        // case stays a meaningful regionalization problem).
+        let mut ci = 0;
+        while current.constraints.len() > 1 && ci < current.constraints.len() {
+            if probes >= options.max_probes {
+                break;
+            }
+            let candidate = without_constraint(&current, ci);
+            probes += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                improved = true;
+                shrunk = true;
+                // Same index now names the next constraint.
+            } else {
+                ci += 1;
+            }
+        }
+
+        // Pass 2: drop areas, highest id first (cheaper reindexing churn).
+        let mut area = current.n as u32;
+        while area > 0 && current.n > 2 {
+            area -= 1;
+            if probes >= options.max_probes {
+                break;
+            }
+            let candidate = without_area(&current, area);
+            if candidate.instance().is_err() {
+                continue;
+            }
+            probes += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                improved = true;
+                shrunk = true;
+            }
+        }
+
+        if !improved || probes >= options.max_probes {
+            break;
+        }
+    }
+
+    if shrunk && !current.name.ends_with("-min") {
+        current.name = format!("{}-min", current.name);
+    }
+    (current, probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_case;
+
+    #[test]
+    fn minimizer_shrinks_against_a_synthetic_predicate() {
+        // Pretend the "bug" is: a SUM constraint exists and n >= 5. The
+        // minimizer should strip everything else down to that core.
+        let case = generate_case(5);
+        let fails = |c: &OracleCase| {
+            c.n >= 5
+                && c.constraints
+                    .constraints()
+                    .iter()
+                    .any(|k| k.aggregate == emp_core::constraint::Aggregate::Sum)
+        };
+        if !fails(&case) {
+            return; // seed does not exhibit the synthetic bug; nothing to test
+        }
+        let (min, probes) = minimize(&case, &fails, MinimizeOptions::default());
+        assert!(fails(&min), "minimization lost the failure");
+        assert!(min.n <= case.n);
+        assert!(min.constraints.len() <= case.constraints.len());
+        assert!(probes <= MinimizeOptions::default().max_probes);
+        assert_eq!(min.n, 5, "area pass should reach the floor");
+        min.instance().expect("minimized case still compiles");
+    }
+
+    #[test]
+    fn probe_cap_is_respected() {
+        let case = generate_case(9);
+        let mut count = 0usize;
+        let counter = std::cell::Cell::new(0usize);
+        let fails = |_: &OracleCase| {
+            counter.set(counter.get() + 1);
+            true // always fails: worst case for probe volume
+        };
+        let (_, probes) = minimize(&case, &fails, MinimizeOptions { max_probes: 7 });
+        count += counter.get();
+        assert!(probes <= 7, "probes = {probes}");
+        assert_eq!(count, probes);
+    }
+}

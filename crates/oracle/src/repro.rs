@@ -1,0 +1,364 @@
+//! JSON repro files: persisting failing cases and replaying the corpus.
+//!
+//! Repro files are hand-rolled `serde_json::Value` trees (the workspace has
+//! no derive machinery). Two encoding rules keep them lossless:
+//!
+//! * seeds are decimal **strings** — a JSON number is an `f64` and loses
+//!   precision past 2⁵³;
+//! * infinite constraint bounds are the strings `"inf"` / `"-inf"` — JSON
+//!   has no infinity literal, and `serde_json` silently turns non-finite
+//!   numbers into `null`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::differential::Violation;
+use crate::generator::OracleCase;
+use emp_core::constraint::{Aggregate, Constraint, ConstraintSet};
+use emp_core::solver::FactConfig;
+use serde_json::{Map, Value};
+
+/// Repro file format version, bumped on incompatible layout changes.
+pub const FORMAT_VERSION: f64 = 1.0;
+
+fn bound_to_value(x: f64) -> Value {
+    if x == f64::INFINITY {
+        Value::from("inf")
+    } else if x == f64::NEG_INFINITY {
+        Value::from("-inf")
+    } else {
+        Value::from(x)
+    }
+}
+
+fn bound_from_value(v: &Value) -> Result<f64, String> {
+    match v.as_str() {
+        Some("inf") => Ok(f64::INFINITY),
+        Some("-inf") => Ok(f64::NEG_INFINITY),
+        Some(other) => Err(format!("unknown bound token {other:?}")),
+        None => v
+            .as_f64()
+            .ok_or_else(|| format!("bound is not a number: {v:?}")),
+    }
+}
+
+fn aggregate_from_name(name: &str) -> Result<Aggregate, String> {
+    match name {
+        "MIN" => Ok(Aggregate::Min),
+        "MAX" => Ok(Aggregate::Max),
+        "AVG" => Ok(Aggregate::Avg),
+        "SUM" => Ok(Aggregate::Sum),
+        "COUNT" => Ok(Aggregate::Count),
+        other => Err(format!("unknown aggregate {other:?}")),
+    }
+}
+
+/// Serializes a case (plus the violations that made it worth keeping) into
+/// a JSON value.
+pub fn case_to_json(case: &OracleCase, violations: &[Violation]) -> Value {
+    let mut root = Map::new();
+    root.insert("format".to_string(), Value::from(FORMAT_VERSION));
+    root.insert("name".to_string(), Value::from(case.name.clone()));
+    root.insert("seed".to_string(), Value::from(case.seed.to_string()));
+    root.insert("n".to_string(), Value::from(case.n));
+    root.insert(
+        "edges".to_string(),
+        Value::from(
+            case.edges
+                .iter()
+                .map(|&(a, b)| Value::from(vec![Value::from(a as usize), Value::from(b as usize)]))
+                .collect::<Vec<Value>>(),
+        ),
+    );
+    root.insert(
+        "attr_names".to_string(),
+        Value::from(
+            case.attr_names
+                .iter()
+                .map(|s| Value::from(s.clone()))
+                .collect::<Vec<Value>>(),
+        ),
+    );
+    root.insert(
+        "attr_columns".to_string(),
+        Value::from(
+            case.attr_columns
+                .iter()
+                .map(|col| Value::from(col.iter().map(|&v| Value::from(v)).collect::<Vec<Value>>()))
+                .collect::<Vec<Value>>(),
+        ),
+    );
+    root.insert(
+        "dissim_attr".to_string(),
+        Value::from(case.dissim_attr.clone()),
+    );
+    root.insert(
+        "constraints".to_string(),
+        Value::from(
+            case.constraints
+                .constraints()
+                .iter()
+                .map(|c| {
+                    let mut m = Map::new();
+                    m.insert("aggregate".to_string(), Value::from(c.aggregate.keyword()));
+                    m.insert("attribute".to_string(), Value::from(c.attribute.clone()));
+                    m.insert("low".to_string(), bound_to_value(c.low));
+                    m.insert("high".to_string(), bound_to_value(c.high));
+                    Value::Object(m)
+                })
+                .collect::<Vec<Value>>(),
+        ),
+    );
+    let f = &case.fact;
+    let mut fact = Map::new();
+    fact.insert(
+        "construction_iterations".to_string(),
+        Value::from(f.construction_iterations),
+    );
+    fact.insert("merge_limit".to_string(), Value::from(f.merge_limit));
+    fact.insert("tabu_tenure".to_string(), Value::from(f.tabu_tenure));
+    fact.insert(
+        "max_no_improve".to_string(),
+        f.max_no_improve.map_or(Value::Null, Value::from),
+    );
+    fact.insert(
+        "max_tabu_iterations".to_string(),
+        f.max_tabu_iterations.map_or(Value::Null, Value::from),
+    );
+    fact.insert("local_search".to_string(), Value::Bool(f.local_search));
+    fact.insert(
+        "incremental_tabu".to_string(),
+        Value::Bool(f.incremental_tabu),
+    );
+    fact.insert("seed".to_string(), Value::from(f.seed.to_string()));
+    fact.insert("parallel".to_string(), Value::Bool(f.parallel));
+    root.insert("fact".to_string(), Value::Object(fact));
+    root.insert(
+        "violations".to_string(),
+        Value::from(
+            violations
+                .iter()
+                .map(|v| {
+                    let mut m = Map::new();
+                    m.insert("kind".to_string(), Value::from(v.kind.clone()));
+                    m.insert("details".to_string(), Value::from(v.details.clone()));
+                    Value::Object(m)
+                })
+                .collect::<Vec<Value>>(),
+        ),
+    );
+    Value::Object(root)
+}
+
+fn get<'a>(obj: &'a Map<String, Value>, key: &str) -> Result<&'a Value, String> {
+    obj.get(key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn as_usize(v: &Value, key: &str) -> Result<usize, String> {
+    v.as_f64()
+        .map(|f| f as usize)
+        .ok_or_else(|| format!("{key} is not a number"))
+}
+
+fn as_string(v: &Value, key: &str) -> Result<String, String> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{key} is not a string"))
+}
+
+fn as_seed(v: &Value, key: &str) -> Result<u64, String> {
+    as_string(v, key)?
+        .parse::<u64>()
+        .map_err(|e| format!("{key} is not a u64 string: {e}"))
+}
+
+fn as_bool(v: &Value, key: &str) -> Result<bool, String> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(format!("{key} is not a bool")),
+    }
+}
+
+fn as_opt_usize(v: &Value, key: &str) -> Result<Option<usize>, String> {
+    match v {
+        Value::Null => Ok(None),
+        other => as_usize(other, key).map(Some),
+    }
+}
+
+/// Deserializes a case from a JSON value (the `violations` key, if present,
+/// is ignored — a replay recomputes them).
+pub fn case_from_json(value: &Value) -> Result<OracleCase, String> {
+    let root = value.as_object().ok_or("repro root is not an object")?;
+
+    let edges = get(root, "edges")?
+        .as_array()
+        .ok_or("edges is not an array")?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or("edge is not a pair")?;
+            Ok((
+                as_usize(&pair[0], "edge")? as u32,
+                as_usize(&pair[1], "edge")? as u32,
+            ))
+        })
+        .collect::<Result<Vec<(u32, u32)>, String>>()?;
+
+    let attr_names = get(root, "attr_names")?
+        .as_array()
+        .ok_or("attr_names is not an array")?
+        .iter()
+        .map(|v| as_string(v, "attr_name"))
+        .collect::<Result<Vec<String>, String>>()?;
+
+    let attr_columns = get(root, "attr_columns")?
+        .as_array()
+        .ok_or("attr_columns is not an array")?
+        .iter()
+        .map(|col| {
+            col.as_array()
+                .ok_or_else(|| "attr column is not an array".to_string())?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| "attr value is not a number".to_string())
+                })
+                .collect::<Result<Vec<f64>, String>>()
+        })
+        .collect::<Result<Vec<Vec<f64>>, String>>()?;
+
+    let mut constraints = ConstraintSet::new();
+    for c in get(root, "constraints")?
+        .as_array()
+        .ok_or("constraints is not an array")?
+    {
+        let c = c.as_object().ok_or("constraint is not an object")?;
+        let aggregate = aggregate_from_name(&as_string(get(c, "aggregate")?, "aggregate")?)?;
+        let attribute = as_string(get(c, "attribute")?, "attribute")?;
+        let low = bound_from_value(get(c, "low")?)?;
+        let high = bound_from_value(get(c, "high")?)?;
+        constraints.push(
+            Constraint::new(aggregate, attribute, low, high)
+                .map_err(|e| format!("invalid constraint: {e}"))?,
+        );
+    }
+
+    let f = get(root, "fact")?
+        .as_object()
+        .ok_or("fact is not an object")?;
+    let fact = FactConfig {
+        construction_iterations: as_usize(
+            get(f, "construction_iterations")?,
+            "construction_iterations",
+        )?,
+        merge_limit: as_usize(get(f, "merge_limit")?, "merge_limit")?,
+        tabu_tenure: as_usize(get(f, "tabu_tenure")?, "tabu_tenure")?,
+        max_no_improve: as_opt_usize(get(f, "max_no_improve")?, "max_no_improve")?,
+        max_tabu_iterations: as_opt_usize(get(f, "max_tabu_iterations")?, "max_tabu_iterations")?,
+        local_search: as_bool(get(f, "local_search")?, "local_search")?,
+        incremental_tabu: as_bool(get(f, "incremental_tabu")?, "incremental_tabu")?,
+        seed: as_seed(get(f, "seed")?, "fact.seed")?,
+        parallel: as_bool(get(f, "parallel")?, "parallel")?,
+    };
+
+    Ok(OracleCase {
+        name: as_string(get(root, "name")?, "name")?,
+        seed: as_seed(get(root, "seed")?, "seed")?,
+        n: as_usize(get(root, "n")?, "n")?,
+        edges,
+        attr_names,
+        attr_columns,
+        dissim_attr: as_string(get(root, "dissim_attr")?, "dissim_attr")?,
+        constraints,
+        fact,
+    })
+}
+
+/// Writes `<dir>/<case name>.json` and returns its path.
+pub fn save_case(dir: &Path, case: &OracleCase, violations: &[Violation]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", case.name));
+    let text = serde_json::to_string_pretty(&case_to_json(case, violations))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Loads one repro file.
+pub fn load_case(path: &Path) -> Result<OracleCase, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let value: Value =
+        serde_json::from_str(&text).map_err(|e| format!("{}: bad JSON: {e}", path.display()))?;
+    case_from_json(&value)
+}
+
+/// Loads every `*.json` repro in `dir`, sorted by file name so replay order
+/// is stable across filesystems. A missing directory is an empty corpus.
+pub fn load_corpus(dir: &Path) -> Result<Vec<(PathBuf, OracleCase)>, String> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().map(|x| x == "json").unwrap_or(false))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| load_case(&p).map(|case| (p, case)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_case;
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        for seed in [0u64, 3, 17, u64::MAX - 5] {
+            let case = generate_case(seed);
+            let json = case_to_json(&case, &[Violation::new("demo", "details")]);
+            let text = serde_json::to_string(&json).unwrap();
+            let back = case_from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(format!("{case:?}"), format!("{back:?}"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn infinite_bounds_survive_the_trip() {
+        assert_eq!(
+            bound_from_value(&bound_to_value(f64::INFINITY)).unwrap(),
+            f64::INFINITY
+        );
+        assert_eq!(
+            bound_from_value(&bound_to_value(f64::NEG_INFINITY)).unwrap(),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(bound_from_value(&bound_to_value(12.5)).unwrap(), 12.5);
+        assert!(bound_from_value(&Value::from("oops")).is_err());
+    }
+
+    #[test]
+    fn corpus_io_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("emp-oracle-repro-test");
+        let _ = fs::remove_dir_all(&dir);
+        let a = generate_case(11);
+        let b = generate_case(12);
+        save_case(&dir, &b, &[]).unwrap();
+        save_case(&dir, &a, &[Violation::new("k", "d")]).unwrap();
+        let corpus = load_corpus(&dir).unwrap();
+        assert_eq!(corpus.len(), 2);
+        // Sorted by file name, not insertion order.
+        assert_eq!(corpus[0].1.name, a.name);
+        assert_eq!(corpus[1].1.name, b.name);
+        assert_eq!(format!("{:?}", corpus[0].1), format!("{a:?}"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`data`] | `emp-data` | synthetic census datasets (paper presets) |
 //! | [`baseline`] | `emp-baseline` | max-p-regions comparison heuristic |
 //! | [`exact`] | `emp-exact` | exact branch-and-bound for tiny instances |
+//! | [`oracle`] | `emp-oracle` | differential/metamorphic oracle, fuzz harness |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use emp_exact as exact;
 pub use emp_geo as geo;
 pub use emp_graph as graph;
 pub use emp_obs as obs;
+pub use emp_oracle as oracle;
 
 /// Convenient top-level re-exports for the common workflow.
 pub mod prelude {
