@@ -1,25 +1,36 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--fast] [--dataset NAME] [--out DIR] [--trace DIR] [EXPERIMENT...]
+//! repro [--fast] [--dataset NAME] [--jobs N] [--out DIR] [--trace DIR]
+//!       [--bench] [--mask-timings] [EXPERIMENT...]
 //!
-//!   EXPERIMENT   one or more of: datasets table3 table4 min-runtime avg
-//!                sum-runtime scalability exact ablations all (default: all)
-//!   --fast       small datasets + capped tabu (seconds instead of minutes)
-//!   --dataset    default dataset preset for single-dataset experiments
-//!                (default: 2k, the paper's default)
-//!   --out DIR    output directory (default: results/)
-//!   --trace DIR  also stream solver telemetry: one `<experiment>.jsonl`
-//!                event trace per experiment (see EXPERIMENTS.md)
+//!   EXPERIMENT     one or more of: datasets table3 table4 min-runtime avg
+//!                  sum-runtime scalability exact ablations all (default: all)
+//!   --fast         small datasets + capped tabu (seconds instead of minutes)
+//!   --dataset      default dataset preset for single-dataset experiments
+//!                  (default: 2k, the paper's default)
+//!   --jobs N       worker threads for the experiment cell pool (default:
+//!                  EMP_JOBS or the host parallelism; N >= 1). Output is
+//!                  identical for every N — only wall clock changes.
+//!   --out DIR      output directory (default: results/)
+//!   --trace DIR    also stream solver telemetry: one `<experiment>.jsonl`
+//!                  event trace per experiment (see EXPERIMENTS.md)
+//!   --bench        run every experiment twice — sequential (`--jobs 1`) and
+//!                  parallel — verify the canonical outputs match, and write
+//!                  per-experiment wall clocks to `BENCH_repro.json`
+//!   --mask-timings replace wall-clock cells with `*` in rendered tables and
+//!                  the INDEX.md elapsed column (for byte-exact diffing)
 //! ```
 //!
 //! Each experiment prints its tables and writes `<name>.md` / `<name>.csv`
 //! into the output directory.
 
-use emp_bench::experiments::{registry, ExpContext};
+use emp_bench::canon;
+use emp_bench::experiments::{registry, ExpContext, Experiment};
+use emp_bench::table::Table;
 use emp_obs::{JsonlWriter, SharedSink};
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn main() {
@@ -28,6 +39,9 @@ fn main() {
     let mut dataset = "2k".to_string();
     let mut out_dir = PathBuf::from("results");
     let mut trace_dir: Option<PathBuf> = None;
+    let mut jobs: Option<usize> = None;
+    let mut bench = false;
+    let mut mask_timings = false;
     let mut wanted: Vec<String> = Vec::new();
 
     while let Some(arg) = args.next() {
@@ -48,6 +62,12 @@ fn main() {
                         .unwrap_or_else(|| usage("--trace needs a directory")),
                 ));
             }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage("--jobs needs a value"));
+                jobs = Some(parse_jobs(&v));
+            }
+            "--bench" => bench = true,
+            "--mask-timings" => mask_timings = true,
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag '{other}'")),
             other => wanted.push(other.to_string()),
@@ -57,60 +77,250 @@ fn main() {
         wanted = registry().iter().map(|e| e.name.to_string()).collect();
     }
 
-    let mut ctx = if fast {
-        ExpContext::fast()
-    } else {
-        ExpContext::new()
-    };
-    ctx.dataset = dataset;
+    // Resolve the worker count once: an explicit `--jobs` wins and is
+    // exported as EMP_JOBS so the data/geo auto-parallel paths follow suit.
+    let jobs = jobs.unwrap_or_else(emp_geo::par::effective_jobs);
+    std::env::set_var("EMP_JOBS", jobs.to_string());
+
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     if let Some(dir) = &trace_dir {
         std::fs::create_dir_all(dir).expect("create trace directory");
     }
 
     let reg = registry();
+    let selected: Vec<&Experiment> = wanted
+        .iter()
+        .map(|name| {
+            reg.iter()
+                .find(|e| e.name == *name)
+                .unwrap_or_else(|| usage(&format!("unknown experiment '{name}'")))
+        })
+        .collect();
+
+    if bench {
+        run_bench(
+            &selected,
+            fast,
+            &dataset,
+            jobs,
+            &out_dir,
+            &trace_dir,
+            mask_timings,
+        );
+    } else {
+        run_once(
+            &selected,
+            fast,
+            &dataset,
+            jobs,
+            &out_dir,
+            &trace_dir,
+            mask_timings,
+        );
+    }
+}
+
+/// The normal mode: one pass, one shared context (warm dataset cache).
+fn run_once(
+    selected: &[&Experiment],
+    fast: bool,
+    dataset: &str,
+    jobs: usize,
+    out_dir: &Path,
+    trace_dir: &Option<PathBuf>,
+    mask_timings: bool,
+) {
+    let mut ctx = context(fast, dataset, jobs);
     let mut index = String::from("# EMP reproduction results\n\n");
-    for name in &wanted {
-        let Some(exp) = reg.iter().find(|e| e.name == *name) else {
-            usage(&format!("unknown experiment '{name}'"));
-        };
+    for exp in selected {
         eprintln!(">> running {} (covers {})", exp.name, exp.covers);
-        // One JSONL event trace per experiment; the SharedSink serializes
-        // the sequential solves of the experiment into one file.
-        let trace_sink = trace_dir.as_ref().map(|dir| {
-            let path = dir.join(format!("{}.jsonl", exp.name));
-            let writer = JsonlWriter::create(&path)
-                .unwrap_or_else(|e| panic!("create trace {}: {e}", path.display()));
-            SharedSink::new(Box::new(writer))
-        });
+        let trace_sink = open_trace(trace_dir, exp.name);
         ctx.trace = trace_sink.clone();
         let t0 = Instant::now();
         let tables = (exp.run)(&ctx);
         let elapsed = t0.elapsed().as_secs_f64();
-        if let Some(mut sink) = trace_sink {
-            use emp_obs::EventSink as _;
-            sink.flush();
+        flush_trace(trace_sink);
+        if mask_timings {
+            canonicalize_trace_file(trace_dir, exp.name);
         }
         ctx.trace = None;
         eprintln!("   done in {elapsed:.1}s ({} tables)", tables.len());
-
-        let mut md = format!("# {} — covers {}\n\n", exp.name, exp.covers);
-        let mut csv = String::new();
-        for t in &tables {
-            println!("{}", t.markdown());
-            md.push_str(&t.markdown());
-            md.push('\n');
-            csv.push_str(&format!("# {}\n{}\n", t.title, t.csv()));
-        }
-        write_file(&out_dir.join(format!("{}.md", exp.name)), &md);
-        write_file(&out_dir.join(format!("{}.csv", exp.name)), &csv);
-        index.push_str(&format!(
-            "- [{}]({}.md) — covers {} ({elapsed:.1}s)\n",
-            exp.name, exp.name, exp.covers
-        ));
+        write_experiment(exp, &tables, out_dir, mask_timings, true);
+        index.push_str(&index_line(exp, elapsed, mask_timings));
     }
     write_file(&out_dir.join("INDEX.md"), &index);
     eprintln!(">> results written to {}", out_dir.display());
+}
+
+/// `--bench`: each experiment runs twice — a sequential reference pass and
+/// the parallel pass — against fresh contexts (cold caches, fair timing).
+/// The canonically-masked outputs of both passes must match byte-for-byte;
+/// wall clocks land in `BENCH_repro.json`.
+fn run_bench(
+    selected: &[&Experiment],
+    fast: bool,
+    dataset: &str,
+    jobs: usize,
+    out_dir: &Path,
+    trace_dir: &Option<PathBuf>,
+    mask_timings: bool,
+) {
+    let mut index = String::from("# EMP reproduction results\n\n");
+    let mut entries = String::new();
+    let mut all_identical = true;
+    for exp in selected {
+        eprintln!(">> benching {} (sequential pass)", exp.name);
+        std::env::set_var("EMP_JOBS", "1");
+        let ctx_seq = context(fast, dataset, 1);
+        let t0 = Instant::now();
+        let seq_tables = (exp.run)(&ctx_seq);
+        let sequential_s = t0.elapsed().as_secs_f64();
+
+        eprintln!(">> benching {} (parallel pass, {jobs} jobs)", exp.name);
+        std::env::set_var("EMP_JOBS", jobs.to_string());
+        let mut ctx_par = context(fast, dataset, jobs);
+        let trace_sink = open_trace(trace_dir, exp.name);
+        ctx_par.trace = trace_sink.clone();
+        let t1 = Instant::now();
+        let tables = (exp.run)(&ctx_par);
+        let parallel_s = t1.elapsed().as_secs_f64();
+        flush_trace(trace_sink);
+        if mask_timings {
+            canonicalize_trace_file(trace_dir, exp.name);
+        }
+
+        let identical = canonical_render(&seq_tables) == canonical_render(&tables);
+        all_identical &= identical;
+        if !identical {
+            eprintln!("!! {}: sequential and parallel outputs DIVERGED", exp.name);
+        }
+        let speedup = sequential_s / parallel_s.max(1e-9);
+        eprintln!(
+            "   sequential {sequential_s:.2}s, parallel {parallel_s:.2}s ({speedup:.2}x), identical: {identical}"
+        );
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sequential_s\": {sequential_s:.3}, \"parallel_s\": {parallel_s:.3}, \"speedup\": {speedup:.2}, \"identical_output\": {identical}}}",
+            exp.name
+        ));
+
+        write_experiment(exp, &tables, out_dir, mask_timings, false);
+        index.push_str(&index_line(exp, parallel_s, mask_timings));
+    }
+    write_file(&out_dir.join("INDEX.md"), &index);
+
+    // Hand-rolled JSON: the schema is flat and fixed, and keeping the writer
+    // dependency-free matters more than a serializer here.
+    let report = format!(
+        "{{\n  \"schema\": \"emp-bench-repro/1\",\n  \"fast\": {fast},\n  \"jobs\": {jobs},\n  \"host_parallelism\": {},\n  \"all_identical\": {all_identical},\n  \"experiments\": [\n{entries}\n  ]\n}}\n",
+        emp_geo::par::host_parallelism(),
+    );
+    let path = out_dir.join("BENCH_repro.json");
+    write_file(&path, &report);
+    eprintln!(">> bench report written to {}", path.display());
+    if !all_identical {
+        eprintln!("error: parallel output diverged from the sequential reference");
+        std::process::exit(1);
+    }
+}
+
+fn context(fast: bool, dataset: &str, jobs: usize) -> ExpContext {
+    let mut ctx = if fast {
+        ExpContext::fast()
+    } else {
+        ExpContext::new()
+    };
+    ctx.dataset = dataset.to_string();
+    ctx.jobs = jobs;
+    ctx
+}
+
+/// One JSONL event trace per experiment; per-cell telemetry is buffered and
+/// replayed in submission order, so the file is identical for every `--jobs`.
+fn open_trace(trace_dir: &Option<PathBuf>, name: &str) -> Option<SharedSink> {
+    trace_dir.as_ref().map(|dir| {
+        let path = dir.join(format!("{name}.jsonl"));
+        let writer = JsonlWriter::create(&path)
+            .unwrap_or_else(|e| panic!("create trace {}: {e}", path.display()));
+        SharedSink::new(Box::new(writer))
+    })
+}
+
+fn flush_trace(sink: Option<SharedSink>) {
+    if let Some(mut sink) = sink {
+        use emp_obs::EventSink as _;
+        sink.flush();
+    }
+}
+
+/// Rewrites an experiment's JSONL trace with `wall_s` masked, so two trace
+/// trees from different `--jobs` values diff clean (`--mask-timings`).
+fn canonicalize_trace_file(trace_dir: &Option<PathBuf>, name: &str) {
+    if let Some(dir) = trace_dir {
+        let path = dir.join(format!("{name}.jsonl"));
+        let content = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read trace {}: {e}", path.display()));
+        write_file(&path, &canon::canonical_trace(&content));
+    }
+}
+
+/// The render used for sequential-vs-parallel comparison: every wall-clock
+/// cell masked, everything else byte-exact.
+fn canonical_render(tables: &[Table]) -> String {
+    tables
+        .iter()
+        .map(|t| canon::mask_timings(t).markdown())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn write_experiment(
+    exp: &Experiment,
+    tables: &[Table],
+    out_dir: &Path,
+    mask_timings: bool,
+    print: bool,
+) {
+    let mut md = format!("# {} — covers {}\n\n", exp.name, exp.covers);
+    let mut csv = String::new();
+    for t in tables {
+        let rendered = if mask_timings {
+            canon::mask_timings(t)
+        } else {
+            t.clone()
+        };
+        if print {
+            println!("{}", rendered.markdown());
+        }
+        md.push_str(&rendered.markdown());
+        md.push('\n');
+        csv.push_str(&format!("# {}\n{}\n", rendered.title, rendered.csv()));
+    }
+    write_file(&out_dir.join(format!("{}.md", exp.name)), &md);
+    write_file(&out_dir.join(format!("{}.csv", exp.name)), &csv);
+}
+
+fn index_line(exp: &Experiment, elapsed: f64, mask_timings: bool) -> String {
+    let elapsed = if mask_timings {
+        canon::MASK.to_string()
+    } else {
+        format!("{elapsed:.1}s")
+    };
+    format!(
+        "- [{}]({}.md) — covers {} ({elapsed})\n",
+        exp.name, exp.name, exp.covers
+    )
+}
+
+/// Parses a `--jobs` value; `0` is rejected rather than silently clamped.
+fn parse_jobs(v: &str) -> usize {
+    match v.parse::<usize>() {
+        Ok(0) => usage("--jobs must be >= 1 (use --jobs 1 for a sequential run)"),
+        Ok(n) => n,
+        Err(_) => usage(&format!("--jobs needs a positive integer, got '{v}'")),
+    }
 }
 
 fn write_file(path: &PathBuf, content: &str) {
@@ -125,7 +335,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--fast] [--dataset NAME] [--out DIR] [--trace DIR] [EXPERIMENT...]\n\
+        "usage: repro [--fast] [--dataset NAME] [--jobs N] [--out DIR] [--trace DIR]\n\
+         \x20            [--bench] [--mask-timings] [EXPERIMENT...]\n\
          experiments: {} all",
         registry()
             .iter()

@@ -1,7 +1,16 @@
 //! `trace_check` — CI smoke check for the JSONL telemetry channel.
 //!
-//! Runs a traced 200-area FaCT solve writing a JSONL event trace to a
-//! temporary file, then verifies that
+//! ```text
+//! trace_check [--jobs N]
+//!
+//!   --jobs N   worker threads for the cell pool (default: EMP_JOBS or the
+//!              host parallelism; N >= 1). The emitted trace is identical
+//!              for every N.
+//! ```
+//!
+//! Runs a traced 200-area FaCT solve through the experiment cell pool
+//! (buffered per-cell sink, replayed into the JSONL writer — the same path
+//! `repro --trace` uses), then verifies that
 //!
 //! 1. every emitted line parses as JSON with a known `type`,
 //! 2. exactly one depth-0 `solve` span exists and its counters match the
@@ -12,23 +21,58 @@
 //! Exits non-zero (panics) on any violation, so CI fails loudly.
 
 use emp_bench::presets::Combo;
-use emp_bench::runner::{run_fact, RunOptions};
-use emp_obs::{CounterKind, JsonlWriter, SharedSink};
+use emp_bench::runner::{run_fact, run_traced, Measurement, RunOptions, TracedJob};
+use emp_bench::sched::JobPool;
+use emp_obs::{CounterKind, EventSink as _, JsonlWriter, SharedSink};
 use serde_json::Value;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut jobs: Option<usize> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage("--jobs needs a value"));
+                match v.parse::<usize>() {
+                    Ok(0) => usage("--jobs must be >= 1 (use --jobs 1 for a sequential run)"),
+                    Ok(n) => jobs = Some(n),
+                    Err(_) => usage(&format!("--jobs needs a positive integer, got '{v}'")),
+                }
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let jobs = jobs.unwrap_or_else(emp_geo::par::effective_jobs);
+    std::env::set_var("EMP_JOBS", jobs.to_string());
+
     let dataset = emp_data::build_sized("trace-check", 200);
     let instance = dataset.to_instance().expect("instance");
     let set = Combo::Mas.build(None, None, None);
 
     let path = std::env::temp_dir().join(format!("emp_trace_check_{}.jsonl", std::process::id()));
     let writer = JsonlWriter::create(&path).expect("create trace file");
-    let opts = RunOptions {
-        max_no_improve: Some(100),
-        trace: Some(SharedSink::new(Box::new(writer))),
-        ..RunOptions::default()
-    };
-    let m = run_fact(&instance, &set, &opts);
+    let trace = Some(SharedSink::new(Box::new(writer)));
+
+    // One cell through the pool: exercises the buffered-sink replay exactly
+    // as `repro --trace --jobs N` does.
+    let pool = JobPool::new(jobs);
+    let (instance_ref, set_ref) = (&instance, &set);
+    let cells: Vec<TracedJob<'_, Measurement>> = vec![Box::new(move |sink| {
+        let opts = RunOptions {
+            max_no_improve: Some(100),
+            trace: sink,
+            ..RunOptions::default()
+        };
+        run_fact(instance_ref, set_ref, &opts)
+    })];
+    let m = run_traced(&pool, &trace, cells)
+        .into_iter()
+        .next()
+        .expect("one traced cell");
+    if let Some(mut sink) = trace {
+        sink.flush();
+    }
     assert!(m.p > 0, "seeded instance must be feasible");
 
     let content = std::fs::read_to_string(&path).expect("read trace file");
@@ -79,8 +123,16 @@ fn main() {
     );
 
     println!(
-        "trace_check OK: {} lines, {applied} moves, p = {}",
+        "trace_check OK: {} lines, {applied} moves, p = {}, jobs = {jobs}",
         content.lines().count(),
         m.p
     );
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: trace_check [--jobs N]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

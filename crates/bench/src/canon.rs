@@ -1,0 +1,120 @@
+//! Canonical (timing-masked) forms of harness output.
+//!
+//! The parallel harness promises output *identical* to the sequential run —
+//! but wall-clock cells can never satisfy that literally: even two
+//! sequential runs time differently. The determinism contract is therefore
+//! split:
+//!
+//! * **solver-dependent content** (p values, unassigned counts, objective
+//!   values, counters, trace event sequences) must be byte-identical for
+//!   every `--jobs` value — the scheduler guarantees this by construction;
+//! * **wall-clock cells** (`*_s` columns, `*_per_sec` rates, the `wall_s`
+//!   trace field) are masked before comparison.
+//!
+//! `repro --mask-timings` writes these canonical forms directly, so CI can
+//! `diff -r` a `--jobs 1` tree against a `--jobs 2` tree; the determinism
+//! integration test uses the same functions in-process.
+
+use crate::table::Table;
+
+/// Replacement string for a masked timing cell.
+pub const MASK: &str = "*";
+
+/// Is this column header / metric label a wall-clock quantity?
+///
+/// Matches the harness-wide naming convention: seconds columns end in `_s`
+/// (`construction_s`, `fact_time_s`, …) and rate columns end in `_per_sec`.
+pub fn is_timing_label(label: &str) -> bool {
+    label.ends_with("_s") || label.ends_with("_per_sec")
+}
+
+/// A copy of `table` with every wall-clock cell replaced by [`MASK`].
+///
+/// Two shapes are handled: tables with timing *columns* (header ends in a
+/// timing suffix) and key/value tables (`metric`/`value` headers) whose
+/// timing *rows* are identified by their label in the first column.
+pub fn mask_timings(table: &Table) -> Table {
+    let timing_col: Vec<bool> = table.headers.iter().map(|h| is_timing_label(h)).collect();
+    let key_value = table.headers.len() == 2 && !timing_col.iter().any(|&t| t);
+    let mut out = table.clone();
+    for row in &mut out.rows {
+        let timing_row = key_value && is_timing_label(&row[0]);
+        for (i, cell) in row.iter_mut().enumerate() {
+            if timing_col[i] || (timing_row && i == 1) {
+                *cell = MASK.to_string();
+            }
+        }
+    }
+    out
+}
+
+/// The canonical form of one JSONL trace line: the `wall_s` field value is
+/// replaced by `null`. All other fields — event type, span names, indices,
+/// depths, counters, trajectory points — are solver-deterministic and kept
+/// verbatim.
+pub fn canonical_trace_line(line: &str) -> String {
+    const KEY: &str = "\"wall_s\":";
+    match line.find(KEY) {
+        None => line.to_string(),
+        Some(start) => {
+            let vstart = start + KEY.len();
+            let rest = &line[vstart..];
+            let vend = rest
+                .find([',', '}'])
+                .map(|i| vstart + i)
+                .unwrap_or(line.len());
+            format!("{}null{}", &line[..vstart], &line[vend..])
+        }
+    }
+}
+
+/// Canonicalizes a whole JSONL trace (line by line).
+pub fn canonical_trace(content: &str) -> String {
+    let mut out = String::with_capacity(content.len());
+    for line in content.lines() {
+        out.push_str(&canonical_trace_line(line));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_timing_columns_only() {
+        let mut t = Table::new("x", &["combo", "p", "construction_s", "moves_per_sec"]);
+        t.push_row(vec!["MAS".into(), "17".into(), "1.234".into(), "99".into()]);
+        let m = mask_timings(&t);
+        assert_eq!(m.rows[0], vec!["MAS", "17", MASK, MASK]);
+        assert_eq!(m.headers, t.headers, "headers untouched");
+    }
+
+    #[test]
+    fn masks_timing_rows_of_key_value_tables() {
+        let mut t = Table::new("telemetry", &["metric", "value"]);
+        t.push_row(vec!["tabu_s".into(), "0.5".into()]);
+        t.push_row(vec!["moves_applied".into(), "120".into()]);
+        t.push_row(vec!["moves_per_sec".into(), "240".into()]);
+        let m = mask_timings(&t);
+        assert_eq!(m.rows[0], vec!["tabu_s", MASK]);
+        assert_eq!(m.rows[1], vec!["moves_applied", "120"]);
+        assert_eq!(m.rows[2], vec!["moves_per_sec", MASK]);
+    }
+
+    #[test]
+    fn canonicalizes_span_lines_and_keeps_others() {
+        let span = "{\"type\":\"span\",\"name\":\"tabu\",\"index\":null,\"depth\":1,\"wall_s\":0.25,\"counters\":{\"x\":1}}";
+        assert_eq!(
+            canonical_trace_line(span),
+            "{\"type\":\"span\",\"name\":\"tabu\",\"index\":null,\"depth\":1,\"wall_s\":null,\"counters\":{\"x\":1}}"
+        );
+        let traj = "{\"type\":\"trajectory\",\"iteration\":3,\"heterogeneity\":42.5}";
+        assert_eq!(canonical_trace_line(traj), traj);
+        let both = format!("{span}\n{traj}\n");
+        let canon = canonical_trace(&both);
+        assert!(canon.contains("\"wall_s\":null"));
+        assert!(canon.ends_with("42.5}\n"));
+    }
+}

@@ -5,7 +5,7 @@
 
 use super::ExpContext;
 use crate::presets::{avg_range, Combo};
-use crate::runner::{run_fact, RunOptions};
+use crate::runner::{run_fact, RunOptions, TracedJob};
 use crate::table::{fmt_f, fmt_improvement, fmt_secs, Table};
 use emp_core::engine::ConstraintEngine;
 use emp_core::feasibility::feasibility_phase;
@@ -37,21 +37,30 @@ fn merge_limit(ctx: &ExpContext) -> Table {
         &["merge_limit", "p", "unassigned", "construction_s"],
     );
     let set = Combo::A.build(None, Some(avg_range(2000.0, 4000.0)), None);
-    for limit in [0usize, 1, 3, 5, 10] {
-        let config = emp_core::FactConfig {
-            merge_limit: limit,
-            local_search: false,
-            construction_iterations: if ctx.fast { 1 } else { 3 },
-            seed: ctx.seed,
-            ..Default::default()
-        };
-        let report = emp_core::solve(&instance, &set, &config).expect("feasible");
-        table.push_row(vec![
-            limit.to_string(),
-            report.p().to_string(),
-            report.solution.unassigned.len().to_string(),
-            fmt_secs(report.timings.construction),
-        ]);
+    let (instance_ref, set_ref) = (&instance, &set);
+    let cells: Vec<TracedJob<'_, Vec<String>>> = [0usize, 1, 3, 5, 10]
+        .iter()
+        .map(|&limit| {
+            Box::new(move |_| {
+                let config = emp_core::FactConfig {
+                    merge_limit: limit,
+                    local_search: false,
+                    construction_iterations: if ctx.fast { 1 } else { 3 },
+                    seed: ctx.seed,
+                    ..Default::default()
+                };
+                let report = emp_core::solve(instance_ref, set_ref, &config).expect("feasible");
+                vec![
+                    limit.to_string(),
+                    report.p().to_string(),
+                    report.solution.unassigned.len().to_string(),
+                    fmt_secs(report.timings.construction),
+                ]
+            }) as TracedJob<'_, Vec<String>>
+        })
+        .collect();
+    for row in ctx.run_cells(cells) {
+        table.push_row(row);
     }
     table
 }
@@ -65,21 +74,31 @@ fn construction_iterations(ctx: &ExpContext) -> Table {
         &["iterations", "p", "unassigned", "construction_s"],
     );
     let set = Combo::Mas.build(None, None, None);
-    for iters in [1usize, 2, 4, 8] {
-        let opts = RunOptions {
-            construction_iterations: iters,
-            local_search: false,
-            max_no_improve: Some(0),
-            max_tabu_iterations: None,
-            ..ctx.opts(false, instance.len())
-        };
-        let m = run_fact(&instance, &set, &opts);
-        table.push_row(vec![
-            iters.to_string(),
-            m.p.to_string(),
-            m.unassigned.to_string(),
-            fmt_secs(m.construction_s),
-        ]);
+    let (instance_ref, set_ref) = (&instance, &set);
+    let cells: Vec<TracedJob<'_, Vec<String>>> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&iters| {
+            Box::new(move |sink| {
+                let opts = RunOptions {
+                    construction_iterations: iters,
+                    local_search: false,
+                    max_no_improve: Some(0),
+                    max_tabu_iterations: None,
+                    trace: sink,
+                    ..ctx.opts(false, instance_ref.len())
+                };
+                let m = run_fact(instance_ref, set_ref, &opts);
+                vec![
+                    iters.to_string(),
+                    m.p.to_string(),
+                    m.unassigned.to_string(),
+                    fmt_secs(m.construction_s),
+                ]
+            }) as TracedJob<'_, Vec<String>>
+        })
+        .collect();
+    for row in ctx.run_cells(cells) {
+        table.push_row(row);
     }
     table
 }
@@ -101,30 +120,49 @@ fn seeding(ctx: &ExpContext) -> Table {
         "Ablation — extrema-guided seeding vs random seeds (MA combo)",
         &["seeding", "p", "satisfied_regions", "unassigned"],
     );
-    for mode in ["extrema (paper)", "random"] {
-        let mut rng = StdRng::seed_from_u64(ctx.seed);
-        let seeds: Vec<u32> = if mode == "random" {
-            let mut valid: Vec<u32> = (0..instance.len() as u32)
-                .filter(|&a| eligible[a as usize])
-                .collect();
-            valid.shuffle(&mut rng);
-            valid.truncate(report.seeds.len());
-            valid
-        } else {
-            report.seeds.clone()
-        };
-        let mut partition = Partition::new(instance.len());
-        region_growing(&engine, &mut partition, &seeds, &eligible, 3, &mut rng);
-        let satisfied = partition
-            .region_ids()
-            .filter(|&id| engine.satisfies_all(&partition.region(id).agg))
-            .count();
-        table.push_row(vec![
-            mode.to_string(),
-            partition.p().to_string(),
-            satisfied.to_string(),
-            partition.unassigned().len().to_string(),
-        ]);
+    // Both modes seed an independent RNG from the same base seed, so they
+    // are order-independent and run as two concurrent cells.
+    let (engine_ref, report_ref, eligible_ref) = (&engine, &report, &eligible);
+    let n = instance.len();
+    let cells: Vec<TracedJob<'_, Vec<String>>> = ["extrema (paper)", "random"]
+        .iter()
+        .map(|&mode| {
+            Box::new(move |_| {
+                let mut rng = StdRng::seed_from_u64(ctx.seed);
+                let seeds: Vec<u32> = if mode == "random" {
+                    let mut valid: Vec<u32> = (0..n as u32)
+                        .filter(|&a| eligible_ref[a as usize])
+                        .collect();
+                    valid.shuffle(&mut rng);
+                    valid.truncate(report_ref.seeds.len());
+                    valid
+                } else {
+                    report_ref.seeds.clone()
+                };
+                let mut partition = Partition::new(n);
+                region_growing(
+                    engine_ref,
+                    &mut partition,
+                    &seeds,
+                    eligible_ref,
+                    3,
+                    &mut rng,
+                );
+                let satisfied = partition
+                    .region_ids()
+                    .filter(|&id| engine_ref.satisfies_all(&partition.region(id).agg))
+                    .count();
+                vec![
+                    mode.to_string(),
+                    partition.p().to_string(),
+                    satisfied.to_string(),
+                    partition.unassigned().len().to_string(),
+                ]
+            }) as TracedJob<'_, Vec<String>>
+        })
+        .collect();
+    for row in ctx.run_cells(cells) {
+        table.push_row(row);
     }
     table
 }
@@ -138,20 +176,29 @@ fn tabu_tenure(ctx: &ExpContext) -> Table {
         "Ablation — tabu tenure (paper default 10)",
         &["tenure", "improvement_%", "tabu_s"],
     );
-    for tenure in [1usize, 5, 10, 20, 50] {
-        let config = emp_core::FactConfig {
-            tabu_tenure: tenure,
-            construction_iterations: if ctx.fast { 1 } else { 3 },
-            max_no_improve: Some(if ctx.fast { 200 } else { 1000 }),
-            seed: ctx.seed,
-            ..Default::default()
-        };
-        let report = emp_core::solve(&instance, &set, &config).expect("feasible");
-        table.push_row(vec![
-            tenure.to_string(),
-            fmt_improvement(report.improvement()),
-            fmt_secs(report.timings.local_search),
-        ]);
+    let (instance_ref, set_ref) = (&instance, &set);
+    let cells: Vec<TracedJob<'_, Vec<String>>> = [1usize, 5, 10, 20, 50]
+        .iter()
+        .map(|&tenure| {
+            Box::new(move |_| {
+                let config = emp_core::FactConfig {
+                    tabu_tenure: tenure,
+                    construction_iterations: if ctx.fast { 1 } else { 3 },
+                    max_no_improve: Some(if ctx.fast { 200 } else { 1000 }),
+                    seed: ctx.seed,
+                    ..Default::default()
+                };
+                let report = emp_core::solve(instance_ref, set_ref, &config).expect("feasible");
+                vec![
+                    tenure.to_string(),
+                    fmt_improvement(report.improvement()),
+                    fmt_secs(report.timings.local_search),
+                ]
+            }) as TracedJob<'_, Vec<String>>
+        })
+        .collect();
+    for row in ctx.run_cells(cells) {
+        table.push_row(row);
     }
     table
 }
@@ -168,21 +215,33 @@ fn tabu_neighborhood(ctx: &ExpContext) -> Table {
         "Ablation — tabu neighborhood (incremental vs full-scan/BFS)",
         &["neighborhood", "moves", "improvement_%", "tabu_s"],
     );
-    for (name, incremental) in [("incremental", true), ("full-scan + BFS", false)] {
-        let config = emp_core::FactConfig {
-            incremental_tabu: incremental,
-            construction_iterations: 1,
-            max_no_improve: Some(if ctx.fast { 200 } else { 1000 }),
-            seed: ctx.seed,
-            ..Default::default()
-        };
-        let report = emp_core::solve(&instance, &set, &config).expect("feasible");
-        table.push_row(vec![
-            name.to_string(),
-            report.tabu.moves.to_string(),
-            fmt_improvement(report.improvement()),
-            fmt_secs(report.timings.local_search),
-        ]);
+    // Each variant solves from the same seed with its own config, so the
+    // traced move sequences stay identical whichever cell finishes first.
+    let (instance_ref, set_ref) = (&instance, &set);
+    let cells: Vec<TracedJob<'_, Vec<String>>> =
+        [("incremental", true), ("full-scan + BFS", false)]
+            .iter()
+            .map(|&(name, incremental)| {
+                Box::new(move |_| {
+                    let config = emp_core::FactConfig {
+                        incremental_tabu: incremental,
+                        construction_iterations: 1,
+                        max_no_improve: Some(if ctx.fast { 200 } else { 1000 }),
+                        seed: ctx.seed,
+                        ..Default::default()
+                    };
+                    let report = emp_core::solve(instance_ref, set_ref, &config).expect("feasible");
+                    vec![
+                        name.to_string(),
+                        report.tabu.moves.to_string(),
+                        fmt_improvement(report.improvement()),
+                        fmt_secs(report.timings.local_search),
+                    ]
+                }) as TracedJob<'_, Vec<String>>
+            })
+            .collect();
+    for row in ctx.run_cells(cells) {
+        table.push_row(row);
     }
     table
 }

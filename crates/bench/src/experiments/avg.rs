@@ -8,7 +8,7 @@
 
 use super::ExpContext;
 use crate::presets::{avg_range, Combo};
-use crate::runner::run_fact;
+use crate::runner::{JobKind, JobSpec};
 use crate::table::{fmt_f, fmt_improvement, fmt_secs, Table};
 use emp_data::attributes::ecdf;
 
@@ -56,10 +56,43 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         ],
     );
     let opts = ctx.opts(true, n);
-    let mut mid = 1000.0;
-    while mid <= 4500.0 {
-        let set = Combo::A.build(None, Some(avg_range(mid - 1000.0, mid + 1000.0)), None);
-        let m = run_fact(&instance, &set, &opts);
+    let mids: Vec<f64> = (0..8).map(|i| 1000.0 + 500.0 * i as f64).collect();
+
+    // Figures 10 & 11: fixed midpoint 3k, length +-0.5k..+-2k, all combos.
+    let lengths = [500.0, 1000.0, 1500.0, 2000.0];
+    let combos = [Combo::A, Combo::Ma, Combo::As, Combo::Mas];
+
+    // All solver cells of Figures 9–11 go through the pool in one batch:
+    // the midpoint sweep first, then the (combo, length) grid row-major.
+    let mut specs: Vec<JobSpec<'_>> = mids
+        .iter()
+        .map(|&mid| JobSpec {
+            instance: &instance,
+            kind: JobKind::Fact(Combo::A.build(
+                None,
+                Some(avg_range(mid - 1000.0, mid + 1000.0)),
+                None,
+            )),
+            opts: opts.clone(),
+        })
+        .collect();
+    for combo in combos {
+        for &len in &lengths {
+            specs.push(JobSpec {
+                instance: &instance,
+                kind: JobKind::Fact(combo.build(
+                    None,
+                    Some(avg_range(3000.0 - len, 3000.0 + len)),
+                    None,
+                )),
+                opts: opts.clone(),
+            });
+        }
+    }
+    let mut results = ctx.run_specs(specs).into_iter();
+
+    for &mid in &mids {
+        let m = results.next().expect("one result per midpoint");
         fig9.push_row(vec![
             fmt_f(mid),
             m.p.to_string(),
@@ -68,13 +101,8 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             fmt_secs(m.tabu_s),
             fmt_improvement(m.improvement),
         ]);
-        mid += 500.0;
     }
     tables.push(fig9);
-
-    // Figures 10 & 11: fixed midpoint 3k, length +-0.5k..+-2k, all combos.
-    let lengths = [500.0, 1000.0, 1500.0, 2000.0];
-    let combos = [Combo::A, Combo::Ma, Combo::As, Combo::Mas];
     let mut fig10 = Table::new(
         "Figure 10 — AVG with fixed midpoint 3k, varying range length: p and unassigned",
         &["combo", "range", "p", "unassigned", "unassigned_%"],
@@ -92,8 +120,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     );
     for combo in combos {
         for &len in &lengths {
-            let set = combo.build(None, Some(avg_range(3000.0 - len, 3000.0 + len)), None);
-            let m = run_fact(&instance, &set, &opts);
+            let m = results.next().expect("one result per grid cell");
             let range = format!("3k+-{}", fmt_f(len));
             fig10.push_row(vec![
                 combo.label().to_string(),

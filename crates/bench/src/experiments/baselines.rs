@@ -9,7 +9,7 @@
 
 use super::ExpContext;
 use crate::presets::Combo;
-use crate::runner::run_fact;
+use crate::runner::{run_fact, TracedJob};
 use crate::table::{fmt_f, Table};
 use emp_baseline::{solve_clustering_spatial, solve_mp, ClusteringConfig, MpConfig};
 use emp_core::engine::ConstraintEngine;
@@ -55,23 +55,8 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     push_row(&mut table, "FaCT (EMP)", &engine, &fact_solution);
     let _ = fact;
 
-    // MP-regions: only the SUM threshold is expressible.
-    let mp = solve_mp(
-        &instance,
-        "TOTALPOP",
-        20_000.0,
-        &MpConfig {
-            construction_iterations: if ctx.fast { 1 } else { 3 },
-            max_no_improve: ctx.opts(true, instance.len()).max_no_improve,
-            seed: ctx.seed,
-            ..MpConfig::default()
-        },
-    )
-    .expect("feasible");
-    push_row(&mut table, "MP-regions (SUM only)", &engine, &mp.solution);
-
-    // Clustering: k set to FaCT's p (the fairest possible scale guess, and
-    // exactly the input burden the paper criticizes).
+    // The three baselines are independent once FaCT has fixed `k`, so they
+    // run as one pool batch. Clustering inputs are shared by reference.
     let (xs, ys): (Vec<f64>, Vec<f64>) = dataset
         .areas
         .iter()
@@ -80,37 +65,63 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             (c.x, c.y)
         })
         .unzip();
-    let clustering = solve_clustering_spatial(
-        &instance,
-        &xs,
-        &ys,
-        &ClusteringConfig {
-            k: fact_solution.p().max(1),
-            seed: ctx.seed,
-            ..ClusteringConfig::default()
-        },
-    );
-    push_row(
-        &mut table,
+    let k = fact_solution.p().max(1);
+    let (instance_ref, xs_ref, ys_ref) = (&instance, &xs, &ys);
+    let cells: Vec<TracedJob<'_, Solution>> = vec![
+        // MP-regions: only the SUM threshold is expressible.
+        Box::new(move |_| {
+            solve_mp(
+                instance_ref,
+                "TOTALPOP",
+                20_000.0,
+                &MpConfig {
+                    construction_iterations: if ctx.fast { 1 } else { 3 },
+                    max_no_improve: ctx.opts(true, instance_ref.len()).max_no_improve,
+                    seed: ctx.seed,
+                    ..MpConfig::default()
+                },
+            )
+            .expect("feasible")
+            .solution
+        }),
+        // Clustering: k set to FaCT's p (the fairest possible scale guess,
+        // and exactly the input burden the paper criticizes).
+        Box::new(move |_| {
+            solve_clustering_spatial(
+                instance_ref,
+                xs_ref,
+                ys_ref,
+                &ClusteringConfig {
+                    k,
+                    seed: ctx.seed,
+                    ..ClusteringConfig::default()
+                },
+            )
+            .solution
+        }),
+        // SKATER-style tree partition, same k.
+        Box::new(move |_| {
+            emp_baseline::solve_skater(
+                instance_ref,
+                &emp_baseline::SkaterConfig {
+                    k,
+                    min_region_size: 1,
+                },
+            )
+            .solution
+        }),
+    ];
+    let solutions = ctx.run_cells(cells);
+    for (method, solution) in [
+        "MP-regions (SUM only)",
         "k-means + contiguity split",
-        &engine,
-        &clustering.solution,
-    );
-
-    // SKATER-style tree partition, same k.
-    let skater = emp_baseline::solve_skater(
-        &instance,
-        &emp_baseline::SkaterConfig {
-            k: fact_solution.p().max(1),
-            min_region_size: 1,
-        },
-    );
-    push_row(
-        &mut table,
         "SKATER tree partition",
-        &engine,
-        &skater.solution,
-    );
+    ]
+    .iter()
+    .zip(&solutions)
+    {
+        push_row(&mut table, method, &engine, solution);
+    }
 
     vec![table]
 }

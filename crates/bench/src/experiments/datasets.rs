@@ -2,7 +2,9 @@
 //! for the synthetic substitutes with their measured graph statistics.
 
 use super::ExpContext;
+use crate::runner::TracedJob;
 use crate::table::{fmt_f, Table};
+use emp_data::Dataset;
 use emp_graph::connected_components;
 
 /// Builds the dataset-inventory and default-constraint tables.
@@ -23,9 +25,15 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     } else {
         vec!["1k", "2k", "4k", "8k"]
     };
-    for name in names {
+    // Build every preset concurrently through the once-init cache; the
+    // table rows are then filled in the fixed inventory order.
+    let cells: Vec<TracedJob<'_, &'static Dataset>> = names
+        .iter()
+        .map(|&name| Box::new(move |_| ctx.cache.get(name)) as TracedJob<'_, &'static Dataset>)
+        .collect();
+    let built = ctx.run_cells(cells);
+    for (&name, d) in names.iter().zip(built) {
         let preset = emp_data::preset(name).expect("known preset");
-        let d = ctx.cache.get(name);
         inventory.push_row(vec![
             name.to_string(),
             d.len().to_string(),

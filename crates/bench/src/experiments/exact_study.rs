@@ -8,7 +8,7 @@
 
 use super::ExpContext;
 use crate::presets::Combo;
-use crate::runner::run_fact;
+use crate::runner::{run_fact, TracedJob};
 use crate::table::{fmt_secs, Table};
 use emp_core::instance::EmpInstance;
 use emp_exact::{exact_solve, ExactConfig};
@@ -32,45 +32,58 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         ],
     );
     let budget = if ctx.fast { 2_000_000 } else { 40_000_000 };
-    for &n in &SIZES {
-        let side = (n as f64).sqrt().round() as usize;
-        let instance = grid_instance(side, ctx.seed);
-        // A SUM threshold that forces ~2-3 areas per region.
-        let total: f64 = (0..n as u32)
-            .map(|a| instance.attributes().value(0, a as usize))
-            .sum();
-        let threshold = total / (n as f64 / 2.5);
-        let constraints = Combo::S.build(
-            None,
-            None,
-            Some(emp_core::Constraint::sum("TOTALPOP", threshold, f64::INFINITY).unwrap()),
-        );
+    // One cell per grid size: dataset synthesis, the exact branch-and-bound
+    // run, and the FaCT reference all live inside the cell, so the three
+    // sizes proceed concurrently under `--jobs`.
+    let cells: Vec<TracedJob<'_, Vec<String>>> = SIZES
+        .iter()
+        .map(|&n| {
+            Box::new(move |sink| {
+                let side = (n as f64).sqrt().round() as usize;
+                let instance = grid_instance(side, ctx.seed);
+                // A SUM threshold that forces ~2-3 areas per region.
+                let total: f64 = (0..n as u32)
+                    .map(|a| instance.attributes().value(0, a as usize))
+                    .sum();
+                let threshold = total / (n as f64 / 2.5);
+                let constraints = Combo::S.build(
+                    None,
+                    None,
+                    Some(emp_core::Constraint::sum("TOTALPOP", threshold, f64::INFINITY).unwrap()),
+                );
 
-        let t0 = Instant::now();
-        let exact = exact_solve(
-            &instance,
-            &constraints,
-            &ExactConfig {
-                max_nodes: budget,
-                ..ExactConfig::default()
-            },
-        )
-        .expect("small instance");
-        let exact_time = t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let exact = exact_solve(
+                    &instance,
+                    &constraints,
+                    &ExactConfig {
+                        max_nodes: budget,
+                        ..ExactConfig::default()
+                    },
+                )
+                .expect("small instance");
+                let exact_time = t0.elapsed().as_secs_f64();
 
-        let t1 = Instant::now();
-        let fact = run_fact(&instance, &constraints, &ctx.opts(true, n));
-        let fact_time = t1.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let mut opts = ctx.opts(true, n);
+                opts.trace = sink;
+                let fact = run_fact(&instance, &constraints, &opts);
+                let fact_time = t1.elapsed().as_secs_f64();
 
-        table.push_row(vec![
-            n.to_string(),
-            exact.nodes.to_string(),
-            fmt_secs(exact_time),
-            exact.complete.to_string(),
-            exact.solution.p().to_string(),
-            fact.p.to_string(),
-            fmt_secs(fact_time),
-        ]);
+                vec![
+                    n.to_string(),
+                    exact.nodes.to_string(),
+                    fmt_secs(exact_time),
+                    exact.complete.to_string(),
+                    exact.solution.p().to_string(),
+                    fact.p.to_string(),
+                    fmt_secs(fact_time),
+                ]
+            }) as TracedJob<'_, Vec<String>>
+        })
+        .collect();
+    for row in ctx.run_cells(cells) {
+        table.push_row(row);
     }
     vec![table]
 }

@@ -3,7 +3,7 @@
 
 use super::ExpContext;
 use crate::presets::{min_range, Combo};
-use crate::runner::run_fact;
+use crate::runner::{JobKind, JobSpec};
 use crate::table::{fmt_bound, fmt_improvement, fmt_secs, Table};
 use emp_core::instance::EmpInstance;
 
@@ -73,10 +73,20 @@ fn sweep(ctx: &ExpContext, instance: &EmpInstance, title: &str, ranges: &[(f64, 
             "improvement_%",
         ],
     );
+    let specs: Vec<JobSpec<'_>> = COMBOS
+        .iter()
+        .flat_map(|combo| {
+            ranges.iter().map(|&(l, u)| JobSpec {
+                instance,
+                kind: JobKind::Fact(combo.build(Some(min_range(l, u)), None, None)),
+                opts: opts.clone(),
+            })
+        })
+        .collect();
+    let mut results = ctx.run_specs(specs).into_iter();
     for combo in COMBOS {
         for &(l, u) in ranges {
-            let set = combo.build(Some(min_range(l, u)), None, None);
-            let m = run_fact(instance, &set, &opts);
+            let m = results.next().expect("one result per cell");
             table.push_row(vec![
                 combo.label().to_string(),
                 format!("[{}, {}]", fmt_bound(l), fmt_bound(u)),

@@ -15,7 +15,8 @@ pub mod sum_runtime;
 pub mod table3;
 pub mod table4;
 
-use crate::runner::{DatasetCache, RunOptions};
+use crate::runner::{self, DatasetCache, JobSpec, Measurement, RunOptions, TracedJob};
+use crate::sched::JobPool;
 use crate::table::Table;
 use emp_data::Dataset;
 use emp_obs::SharedSink;
@@ -32,6 +33,9 @@ pub struct ExpContext {
     pub seed: u64,
     /// Event sink every run streams telemetry into (`repro --trace`).
     pub trace: Option<SharedSink>,
+    /// Worker count for the cell pool (`repro --jobs`, `EMP_JOBS`; 1 =
+    /// sequential reference). Output is identical for every value.
+    pub jobs: usize,
 }
 
 impl ExpContext {
@@ -43,6 +47,7 @@ impl ExpContext {
             fast: false,
             seed: 20_22,
             trace: None,
+            jobs: emp_geo::par::effective_jobs(),
         }
     }
 
@@ -52,6 +57,26 @@ impl ExpContext {
             fast: true,
             ..Self::new()
         }
+    }
+
+    /// The cell pool for this context.
+    pub fn pool(&self) -> JobPool {
+        JobPool::new(self.jobs)
+    }
+
+    /// Runs solver cells on the pool; results come back in submission
+    /// order, per-cell telemetry is replayed into [`ExpContext::trace`] in
+    /// the same order (see [`runner::run_specs`]).
+    pub fn run_specs(&self, specs: Vec<JobSpec<'_>>) -> Vec<Measurement> {
+        runner::run_specs(&self.pool(), &self.trace, specs)
+    }
+
+    /// Runs heterogeneous traced cells on the pool (for experiment steps
+    /// that are not plain FaCT/MP solves — baseline algorithms, dataset
+    /// builds). Each task receives its private sink in place of
+    /// [`ExpContext::trace`].
+    pub fn run_cells<'a, T: Send + 'a>(&self, tasks: Vec<TracedJob<'a, T>>) -> Vec<T> {
+        runner::run_traced(&self.pool(), &self.trace, tasks)
     }
 
     /// The default dataset for single-dataset experiments. Fast mode uses a

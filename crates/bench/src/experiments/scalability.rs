@@ -6,8 +6,9 @@
 
 use super::ExpContext;
 use crate::presets::{avg_range, Combo};
-use crate::runner::run_fact;
+use crate::runner::{JobKind, JobSpec, TracedJob};
 use crate::table::{fmt_f, fmt_secs, Table};
+use emp_core::instance::EmpInstance;
 use emp_data::Dataset;
 
 const COMBOS: [Combo; 4] = [Combo::M, Combo::Ms, Combo::Ma, Combo::Mas];
@@ -17,28 +18,33 @@ const AVG_COMBOS: [Combo; 3] = [Combo::Ma, Combo::As, Combo::Mas];
 pub fn run(ctx: &ExpContext) -> Vec<Table> {
     let mut tables = Vec::new();
 
-    let small: Vec<&'static Dataset> = ctx
-        .small_scale_names()
-        .into_iter()
-        .map(|(name, areas)| ctx.sized(name, areas))
+    // Synthesize the full ladder up front: distinct datasets build
+    // concurrently through the once-init cache (tessellation + contiguity
+    // dominate here, not the solver).
+    let small_names = ctx.small_scale_names();
+    let large_names = ctx.large_scale_names();
+    let cells: Vec<TracedJob<'_, &'static Dataset>> = small_names
+        .iter()
+        .chain(&large_names)
+        .map(|&(name, areas)| {
+            Box::new(move |_| ctx.sized(name, areas)) as TracedJob<'_, &'static Dataset>
+        })
         .collect();
+    let built = ctx.run_cells(cells);
+    let (small, large) = built.split_at(small_names.len());
+
     tables.push(sweep(
         ctx,
         "Figure 14 — runtime varying datasets (small scale), default constraints",
-        &small,
+        small,
         &COMBOS,
         None,
     ));
 
-    let large: Vec<&'static Dataset> = ctx
-        .large_scale_names()
-        .into_iter()
-        .map(|(name, areas)| ctx.sized(name, areas))
-        .collect();
     tables.push(sweep(
         ctx,
         "Figure 15 — runtime varying datasets (multi-state scale), default constraints",
-        &large,
+        large,
         &COMBOS,
         None,
     ));
@@ -47,7 +53,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     tables.push(sweep(
         ctx,
         "Figure 16 — runtime varying datasets for AVG constraint with range 3k±1k",
-        &small,
+        small,
         &AVG_COMBOS,
         Some(avg_range(2000.0, 4000.0)),
     ));
@@ -74,12 +80,25 @@ fn sweep(
             "unassigned_%",
         ],
     );
-    for d in datasets {
-        let instance = d.to_instance().expect("dataset instance");
+    let instances: Vec<EmpInstance> = datasets
+        .iter()
+        .map(|d| d.to_instance().expect("dataset instance"))
+        .collect();
+    let mut specs: Vec<JobSpec<'_>> = Vec::new();
+    for instance in &instances {
         let opts = ctx.opts(true, instance.len());
         for &combo in combos {
-            let set = combo.build(None, avg_override.clone(), None);
-            let m = run_fact(&instance, &set, &opts);
+            specs.push(JobSpec {
+                instance,
+                kind: JobKind::Fact(combo.build(None, avg_override.clone(), None)),
+                opts: opts.clone(),
+            });
+        }
+    }
+    let mut results = ctx.run_specs(specs).into_iter();
+    for d in datasets {
+        for &combo in combos {
+            let m = results.next().expect("one result per ladder cell");
             table.push_row(vec![
                 d.name.clone(),
                 d.len().to_string(),

@@ -3,7 +3,7 @@
 
 use super::ExpContext;
 use crate::presets::{sum_range, Combo};
-use crate::runner::{run_fact, run_mp};
+use crate::runner::{JobKind, JobSpec};
 use crate::table::{fmt_bound, fmt_f, fmt_improvement, fmt_secs, Table};
 
 const COMBOS: [Combo; 4] = [Combo::S, Combo::Ms, Combo::As, Combo::Mas];
@@ -28,8 +28,45 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             "improvement_%",
         ],
     );
+    // Figure 13: bounded ranges around midpoint 20k with changing length.
+    let bounded = [
+        (15_000.0, 25_000.0),
+        (10_000.0, 30_000.0),
+        (5_000.0, 35_000.0),
+    ];
+
+    // Every solver cell of both figures in one pool batch, in table order:
+    // the MP thresholds, the FaCT (combo, l) grid, then the bounded grid.
+    let mut specs: Vec<JobSpec<'_>> = open_ranges
+        .iter()
+        .map(|&l| JobSpec {
+            instance: &instance,
+            kind: JobKind::Mp(l),
+            opts: opts.clone(),
+        })
+        .collect();
+    for combo in COMBOS {
+        for &l in &open_ranges {
+            specs.push(JobSpec {
+                instance: &instance,
+                kind: JobKind::Fact(combo.build(None, None, Some(sum_range(l, f64::INFINITY)))),
+                opts: opts.clone(),
+            });
+        }
+    }
+    for combo in COMBOS {
+        for &(l, u) in &bounded {
+            specs.push(JobSpec {
+                instance: &instance,
+                kind: JobKind::Fact(combo.build(None, None, Some(sum_range(l, u)))),
+                opts: opts.clone(),
+            });
+        }
+    }
+    let mut results = ctx.run_specs(specs).into_iter();
+
     for &l in &open_ranges {
-        let m = run_mp(&instance, l, &opts);
+        let m = results.next().expect("one result per MP threshold");
         fig12.push_row(vec![
             "MP".into(),
             fmt_bound(l),
@@ -42,8 +79,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     }
     for combo in COMBOS {
         for &l in &open_ranges {
-            let set = combo.build(None, None, Some(sum_range(l, f64::INFINITY)));
-            let m = run_fact(&instance, &set, &opts);
+            let m = results.next().expect("one result per open-range cell");
             fig12.push_row(vec![
                 combo.label().to_string(),
                 fmt_bound(l),
@@ -55,13 +91,6 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             ]);
         }
     }
-
-    // Figure 13: bounded ranges around midpoint 20k with changing length.
-    let bounded = [
-        (15_000.0, 25_000.0),
-        (10_000.0, 30_000.0),
-        (5_000.0, 35_000.0),
-    ];
     let mut fig13 = Table::new(
         "Figure 13 — runtime for SUM with a changing range length (seconds)",
         &[
@@ -77,8 +106,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     let n = instance.len() as f64;
     for combo in COMBOS {
         for &(l, u) in &bounded {
-            let set = combo.build(None, None, Some(sum_range(l, u)));
-            let m = run_fact(&instance, &set, &opts);
+            let m = results.next().expect("one result per bounded cell");
             fig13.push_row(vec![
                 combo.label().to_string(),
                 format!("[{}, {}]", fmt_bound(l), fmt_bound(u)),

@@ -5,7 +5,7 @@
 
 use super::ExpContext;
 use crate::presets::{min_range, table3_ranges, Combo};
-use crate::runner::run_fact;
+use crate::runner::{JobKind, JobSpec};
 use crate::table::{fmt_bound, Table};
 
 /// The combos of Table III, in paper row order.
@@ -36,11 +36,24 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         &headers,
     );
 
+    // One independent cell per (combo, range), in row-major paper order; the
+    // pool reassembles results in that same order.
+    let specs: Vec<JobSpec<'_>> = COMBOS
+        .iter()
+        .flat_map(|combo| {
+            ranges.iter().map(|&(l, u)| JobSpec {
+                instance: &instance,
+                kind: JobKind::Fact(combo.build(Some(min_range(l, u)), None, None)),
+                opts: opts.clone(),
+            })
+        })
+        .collect();
+    let mut results = ctx.run_specs(specs).into_iter();
+
     for combo in COMBOS {
         let mut row = vec![combo.label().to_string()];
-        for &(l, u) in &ranges {
-            let set = combo.build(Some(min_range(l, u)), None, None);
-            let m = run_fact(&instance, &set, &opts);
+        for _ in &ranges {
+            let m = results.next().expect("one result per cell");
             row.push(m.p.to_string());
         }
         table.push_row(row);

@@ -6,7 +6,7 @@
 
 use super::ExpContext;
 use crate::presets::{sum_range, table4_ranges, Combo};
-use crate::runner::{run_fact, run_mp};
+use crate::runner::{JobKind, JobSpec};
 use crate::table::{fmt_bound, Table};
 
 /// FaCT combos of Table IV, in paper row order (after the MP row).
@@ -34,13 +34,36 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         &headers,
     );
 
+    // Cells in row-major paper order: the MP row (bounded-range cells are
+    // N/A and get no job), then one FaCT cell per (combo, range).
+    let mut specs: Vec<JobSpec<'_>> = Vec::new();
+    for &(l, u) in &ranges {
+        if !u.is_finite() {
+            specs.push(JobSpec {
+                instance: &instance,
+                kind: JobKind::Mp(l),
+                opts: opts.clone(),
+            });
+        }
+    }
+    for combo in COMBOS {
+        for &(l, u) in &ranges {
+            specs.push(JobSpec {
+                instance: &instance,
+                kind: JobKind::Fact(combo.build(None, None, Some(sum_range(l, u)))),
+                opts: opts.clone(),
+            });
+        }
+    }
+    let mut results = ctx.run_specs(specs).into_iter();
+
     // MP baseline row.
     let mut row = vec!["MP".to_string()];
-    for &(l, u) in &ranges {
+    for &(_, u) in &ranges {
         if u.is_finite() {
             row.push("N/A".to_string());
         } else {
-            let m = run_mp(&instance, l, &opts);
+            let m = results.next().expect("one result per MP cell");
             row.push(m.p.to_string());
         }
     }
@@ -48,9 +71,8 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
 
     for combo in COMBOS {
         let mut row = vec![combo.label().to_string()];
-        for &(l, u) in &ranges {
-            let set = combo.build(None, None, Some(sum_range(l, u)));
-            let m = run_fact(&instance, &set, &opts);
+        for _ in &ranges {
+            let m = results.next().expect("one result per FaCT cell");
             row.push(m.p.to_string());
         }
         table.push_row(row);

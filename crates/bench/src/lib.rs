@@ -7,7 +7,10 @@
 //!   5–16, the §I MIP study) plus design-choice ablations;
 //! * [`presets`] — the paper's default constraints (Table II) and the combo
 //!   / range sweeps of §VII-B;
-//! * [`runner`] — shared measurement plumbing for FaCT and the MP baseline;
+//! * [`runner`] — shared measurement plumbing for FaCT and the MP baseline,
+//!   plus the [`JobSpec`](runner::JobSpec) cell decomposition;
+//! * [`sched`] — the work-stealing pool behind `repro --jobs N`;
+//! * [`canon`] — timing-masked canonical output for determinism diffs;
 //! * the `repro` binary — CLI entry point writing Markdown + CSV under
 //!   `results/`;
 //! * Criterion benches (`benches/`) — micro-benchmarks of the hot paths and
@@ -19,11 +22,17 @@
 
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod experiments;
 pub mod presets;
 pub mod runner;
+pub mod sched;
 pub mod table;
 
 pub use experiments::{registry, ExpContext, Experiment};
-pub use runner::{run_fact, run_mp, DatasetCache, Measurement, RunOptions};
+pub use runner::{
+    run_fact, run_mp, run_specs, run_traced, DatasetCache, JobKind, JobSpec, Measurement,
+    RunOptions, TracedJob,
+};
+pub use sched::{derive_seed, JobPool};
 pub use table::Table;

@@ -1,13 +1,12 @@
 //! Shared experiment runner: solve instances, collect measurement rows.
 
+use crate::sched::JobPool;
 use emp_baseline::{solve_mp_observed, MpConfig};
 use emp_core::constraint::ConstraintSet;
 use emp_core::instance::EmpInstance;
 use emp_core::solver::{solve_observed, FactConfig};
-use emp_data::Dataset;
-use emp_obs::{CounterKind, Counters, Recorder, SharedSink};
-use std::collections::HashMap;
-use std::sync::Mutex;
+use emp_data::{Dataset, OnceMap};
+use emp_obs::{BufferSink, CounterKind, Counters, Recorder, SharedSink};
 
 /// Measurement of one solver run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -167,15 +166,22 @@ pub fn run_mp(instance: &EmpInstance, threshold: f64, opts: &RunOptions) -> Meas
 
 /// A process-wide dataset cache: experiments share the (deterministic)
 /// presets instead of regenerating tessellations per table.
+///
+/// Built on [`OnceMap`], so the cache `Mutex` is never held across a build:
+/// concurrent workers asking for *distinct* datasets synthesize them in
+/// parallel, workers asking for the *same* dataset block on that entry
+/// alone, and every lookup after initialization is contention-free. (The
+/// old implementation held one global lock for the entire multi-second
+/// build, serializing unrelated cells.)
 pub struct DatasetCache {
-    cache: Mutex<HashMap<String, &'static Dataset>>,
+    cache: OnceMap<String, &'static Dataset>,
 }
 
 impl DatasetCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         DatasetCache {
-            cache: Mutex::new(HashMap::new()),
+            cache: OnceMap::new(),
         }
     }
 
@@ -183,27 +189,27 @@ impl DatasetCache {
     /// Leaking is deliberate: the harness is a short-lived process and the
     /// datasets live for its duration anyway.
     pub fn get(&self, name: &str) -> &'static Dataset {
-        let mut cache = self.cache.lock().expect("cache lock");
-        if let Some(d) = cache.get(name) {
-            return d;
-        }
-        let built = emp_data::build_preset(name)
-            .unwrap_or_else(|| panic!("unknown dataset preset '{name}'"));
-        let leaked: &'static Dataset = Box::leak(Box::new(built));
-        cache.insert(name.to_string(), leaked);
-        leaked
+        self.get_with(name, || {
+            emp_data::build_preset(name)
+                .unwrap_or_else(|| panic!("unknown dataset preset '{name}'"))
+        })
     }
 
     /// Returns a dataset of an arbitrary size keyed by `name`, building it
     /// with [`emp_data::build_sized`] on first use.
     pub fn get_or_build(&self, name: &str, areas: usize) -> &'static Dataset {
-        let mut cache = self.cache.lock().expect("cache lock");
-        if let Some(d) = cache.get(name) {
-            return d;
-        }
-        let leaked: &'static Dataset = Box::leak(Box::new(emp_data::build_sized(name, areas)));
-        cache.insert(name.to_string(), leaked);
-        leaked
+        self.get_with(name, || emp_data::build_sized(name, areas))
+    }
+
+    /// Returns the dataset keyed by `name`, building it with `build` on
+    /// first use. `build` runs outside every cache lock; only requests for
+    /// this same `name` wait on it.
+    pub fn get_with<F: FnOnce() -> Dataset>(&self, name: &str, build: F) -> &'static Dataset {
+        *self
+            .cache
+            .get_or_init(&name.to_string(), || -> &'static Dataset {
+                Box::leak(Box::new(build()))
+            })
     }
 }
 
@@ -211,6 +217,99 @@ impl Default for DatasetCache {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// What a harness cell solves.
+#[derive(Clone, Debug)]
+pub enum JobKind {
+    /// A FaCT solve under the given constraint set.
+    Fact(ConstraintSet),
+    /// An MP-regions baseline solve with `SUM(TOTALPOP) >= threshold`.
+    Mp(f64),
+}
+
+/// One independent experiment cell: an instance, what to solve on it, and
+/// the run options (seed, caps, tracing). Cells carry everything they need,
+/// so the pool can run them in any order on any worker.
+pub struct JobSpec<'a> {
+    /// The instance to solve (borrowed; datasets outlive the harness).
+    pub instance: &'a EmpInstance,
+    /// FaCT or the MP baseline.
+    pub kind: JobKind,
+    /// Options for this cell.
+    pub opts: RunOptions,
+}
+
+impl JobSpec<'_> {
+    /// Solves the cell.
+    fn run(self) -> Measurement {
+        match &self.kind {
+            JobKind::Fact(set) => run_fact(self.instance, set, &self.opts),
+            JobKind::Mp(threshold) => run_mp(self.instance, *threshold, &self.opts),
+        }
+    }
+}
+
+/// A boxed cell task that records its telemetry into the provided private
+/// sink (`None` when the harness runs untraced).
+pub type TracedJob<'a, T> = Box<dyn FnOnce(Option<SharedSink>) -> T + Send + 'a>;
+
+/// Runs heterogeneous cells on `pool`, returning results in submission
+/// order.
+///
+/// Telemetry is what makes this more than `pool.run`: each cell records
+/// into a **private** [`BufferSink`], and once the pool joins, the buffers
+/// are replayed into `trace` in submission order. A `--jobs N` trace is
+/// therefore event-for-event identical to the `--jobs 1` trace — the same
+/// buffered path runs for every worker count, only the wall-clock values
+/// inside events differ.
+pub fn run_traced<'a, T: Send + 'a>(
+    pool: &JobPool,
+    trace: &Option<SharedSink>,
+    tasks: Vec<TracedJob<'a, T>>,
+) -> Vec<T> {
+    let tracing = trace.is_some();
+    let mut handles = Vec::with_capacity(if tracing { tasks.len() } else { 0 });
+    let jobs: Vec<_> = tasks
+        .into_iter()
+        .map(|task| {
+            let private = tracing.then(|| {
+                let buffer = BufferSink::new();
+                handles.push(buffer.handle());
+                SharedSink::new(Box::new(buffer))
+            });
+            Box::new(move || task(private)) as crate::sched::Job<'a, T>
+        })
+        .collect();
+    let results = pool.run(jobs);
+    if let Some(sink) = trace {
+        let mut sink = sink.clone();
+        for handle in handles {
+            let events = handle.lock().expect("buffer sink handle");
+            emp_obs::replay(&events, &mut sink);
+        }
+    }
+    results
+}
+
+/// Runs solver cells on `pool` with per-job buffered telemetry (see
+/// [`run_traced`]), returning measurements in submission order. Each spec's
+/// own `opts.trace` is overridden by the harness-managed private sink.
+pub fn run_specs<'a>(
+    pool: &JobPool,
+    trace: &Option<SharedSink>,
+    specs: Vec<JobSpec<'a>>,
+) -> Vec<Measurement> {
+    let tasks: Vec<TracedJob<'a, Measurement>> = specs
+        .into_iter()
+        .map(|mut spec| {
+            Box::new(move |private: Option<SharedSink>| {
+                spec.opts.trace = private;
+                spec.run()
+            }) as TracedJob<'a, Measurement>
+        })
+        .collect();
+    run_traced(pool, trace, tasks)
 }
 
 #[cfg(test)]
@@ -268,6 +367,114 @@ mod tests {
         let a = cache.get("1k") as *const Dataset;
         let b = cache.get("1k") as *const Dataset;
         assert_eq!(a, b);
+    }
+
+    /// Regression test for the build-under-global-lock bug: two *distinct*
+    /// presets must synthesize at the same time. Each build rendezvouses
+    /// with the other inside its build closure; if builds were serialized
+    /// under one cache-wide lock, the wait below would time out.
+    #[test]
+    fn distinct_presets_build_concurrently() {
+        use std::sync::{Condvar, Mutex};
+        use std::time::Duration;
+
+        let cache = DatasetCache::new();
+        let gate = (Mutex::new(0usize), Condvar::new());
+        std::thread::scope(|s| {
+            for name in ["conc-a", "conc-b"] {
+                let cache = &cache;
+                let gate = &gate;
+                s.spawn(move || {
+                    cache.get_with(name, || {
+                        let (lock, cv) = gate;
+                        let mut inside = lock.lock().unwrap();
+                        *inside += 1;
+                        cv.notify_all();
+                        while *inside < 2 {
+                            let (guard, timeout) =
+                                cv.wait_timeout(inside, Duration::from_secs(10)).unwrap();
+                            inside = guard;
+                            assert!(
+                                !timeout.timed_out(),
+                                "distinct dataset builds were serialized: the \
+                                 second build never entered while the first \
+                                 held the cache"
+                            );
+                        }
+                        emp_data::build_sized(name, 60)
+                    });
+                });
+            }
+        });
+        assert_eq!(cache.get_with("conc-a", || unreachable!()).name, "conc-a");
+    }
+
+    /// The pool path must produce the same solver results as the sequential
+    /// path (wall-clock fields aside), and replayed traces must carry the
+    /// same spans in the same order.
+    #[test]
+    fn run_specs_is_jobs_invariant() {
+        use crate::sched::JobPool;
+        use emp_obs::InMemorySink;
+
+        let d = emp_data::build_sized("t", 120);
+        let inst = d.to_instance().unwrap();
+        let opts = RunOptions {
+            max_no_improve: Some(40),
+            ..RunOptions::default()
+        };
+        let specs = || -> Vec<JobSpec<'_>> {
+            vec![
+                JobSpec {
+                    instance: &inst,
+                    kind: JobKind::Fact(Combo::Mas.build(None, None, None)),
+                    opts: opts.clone(),
+                },
+                JobSpec {
+                    instance: &inst,
+                    kind: JobKind::Fact(Combo::M.build(None, None, None)),
+                    opts: RunOptions {
+                        seed: 7,
+                        ..opts.clone()
+                    },
+                },
+                JobSpec {
+                    instance: &inst,
+                    kind: JobKind::Mp(20_000.0),
+                    opts: opts.clone(),
+                },
+            ]
+        };
+
+        let traced = |jobs: usize| {
+            let sink = InMemorySink::new();
+            let handle = sink.handle();
+            let trace = Some(SharedSink::new(Box::new(sink)));
+            let results = run_specs(&JobPool::new(jobs), &trace, specs());
+            (results, handle)
+        };
+        let (seq, seq_trace) = traced(1);
+        let (par, par_trace) = traced(4);
+
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.p, b.p);
+            assert_eq!(a.unassigned, b.unassigned);
+            assert_eq!(a.heterogeneity, b.heterogeneity);
+            assert_eq!(a.improvement, b.improvement);
+            assert_eq!(a.counters, b.counters);
+        }
+
+        let shape = |handle: &std::sync::Arc<std::sync::Mutex<emp_obs::TraceData>>| {
+            let data = handle.lock().unwrap();
+            let spans: Vec<_> = data
+                .spans
+                .iter()
+                .map(|s| (s.name.clone(), s.index, s.depth, s.counters))
+                .collect();
+            (spans, data.trajectory.clone(), data.notes.clone())
+        };
+        assert_eq!(shape(&seq_trace), shape(&par_trace));
     }
 
     #[test]

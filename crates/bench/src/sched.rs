@@ -1,0 +1,203 @@
+//! Work-stealing job pool for the experiment harness.
+//!
+//! Experiments decompose into independent *cells* — one (dataset, combo,
+//! seed, options) solve each — whose costs vary by orders of magnitude
+//! (a 200-area p-only solve vs. a 50k-area tabu run). A fixed chunking
+//! would leave workers idle behind the slowest chunk, so the pool uses
+//! classic work stealing over `crossbeam::deque`: a global [`Injector`]
+//! feeds per-worker FIFO deques, and idle workers steal from the injector
+//! first, then from their siblings.
+//!
+//! **Determinism contract:** tasks are indexed at submission and results are
+//! written into their submission slot, so [`JobPool::run`] returns results
+//! in submission order no matter which worker ran what when. Combined with
+//! per-job buffered telemetry (replayed in submission order, see
+//! [`emp_obs::BufferSink`]) this makes harness output independent of the
+//! worker count and of scheduling.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::sync::Mutex;
+
+/// A boxed job returning `T`.
+pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Derives a per-cell seed from a base seed and a position tag path
+/// (experiment ordinal, cell ordinal, …) with a SplitMix64-style avalanche.
+/// Distinct tag paths give statistically independent seeds; the same path
+/// always gives the same seed, so results do not depend on execution order.
+pub fn derive_seed(base: u64, tags: &[u64]) -> u64 {
+    let mut z = base ^ 0x9E37_79B9_7F4A_7C15;
+    for (i, &t) in tags.iter().enumerate() {
+        z = z
+            .wrapping_add(t.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((i as u64 + 1).rotate_left(24));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// A fixed-width work-stealing pool. Cheap to construct; threads are scoped
+/// to each [`run`](JobPool::run) call, so a pool holds no resources between
+/// runs.
+#[derive(Clone, Copy, Debug)]
+pub struct JobPool {
+    jobs: usize,
+}
+
+impl JobPool {
+    /// A pool with `jobs` workers (0 is clamped to 1).
+    pub fn new(jobs: usize) -> Self {
+        JobPool { jobs: jobs.max(1) }
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every task and returns their results **in submission order**.
+    ///
+    /// With one worker (or one task) the tasks run inline on the calling
+    /// thread — the sequential reference path. Otherwise `min(jobs, tasks)`
+    /// scoped threads drain a shared injector, stealing from each other
+    /// when their local deque runs dry. A panicking task propagates the
+    /// panic to the caller after the scope joins.
+    pub fn run<'a, T: Send>(&self, tasks: Vec<Job<'a, T>>) -> Vec<T> {
+        let n = tasks.len();
+        if self.jobs <= 1 || n <= 1 {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+
+        let injector: Injector<(usize, Job<'a, T>)> = Injector::new();
+        for task in tasks.into_iter().enumerate() {
+            injector.push(task);
+        }
+
+        let workers: Vec<Worker<(usize, Job<'a, T>)>> =
+            (0..self.jobs.min(n)).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<(usize, Job<'a, T>)>> =
+            workers.iter().map(Worker::stealer).collect();
+
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for local in workers {
+                let injector = &injector;
+                let stealers = &stealers;
+                let slots = &slots;
+                scope.spawn(move || {
+                    while let Some((index, task)) = find_task(&local, injector, stealers) {
+                        let result = task();
+                        *slots[index].lock().expect("result slot poisoned") = Some(result);
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every submitted job produces a result")
+            })
+            .collect()
+    }
+}
+
+/// Next task for a worker: local deque, then the injector (stealing a batch
+/// into the local deque), then sibling deques. `None` once everything is
+/// drained — jobs never enqueue new jobs, so empty-everywhere is terminal.
+fn find_task<T>(local: &Worker<T>, injector: &Injector<T>, stealers: &[Stealer<T>]) -> Option<T> {
+    loop {
+        if let Some(task) = local.pop() {
+            return Some(task);
+        }
+        let mut retry = false;
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some(task),
+            Steal::Retry => retry = true,
+            Steal::Empty => {}
+        }
+        for stealer in stealers {
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn boxed_tasks(n: usize) -> Vec<Job<'static, usize>> {
+        (0..n)
+            .map(|i| Box::new(move || i * i) as Job<'static, usize>)
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let expect: Vec<usize> = (0..40).map(|i| i * i).collect();
+        for jobs in [1, 2, 3, 8] {
+            let pool = JobPool::new(jobs);
+            assert_eq!(pool.run(boxed_tasks(40)), expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(JobPool::new(0).jobs(), 1);
+        assert_eq!(JobPool::new(0).run(boxed_tasks(3)), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Job<'_, ()>> = (0..100)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Job<'_, ()>
+            })
+            .collect();
+        JobPool::new(4).run(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn uneven_task_costs_still_order_correctly() {
+        // Front-load slow tasks so stealing actually reorders execution.
+        let tasks: Vec<Job<'_, usize>> = (0..24usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i < 4 {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    i
+                }) as Job<'_, usize>
+            })
+            .collect();
+        assert_eq!(JobPool::new(6).run(tasks), (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct() {
+        let a = derive_seed(2022, &[1, 2, 3]);
+        assert_eq!(a, derive_seed(2022, &[1, 2, 3]), "stable");
+        assert_ne!(a, derive_seed(2022, &[1, 3, 2]), "order-sensitive");
+        assert_ne!(a, derive_seed(2023, &[1, 2, 3]), "base-sensitive");
+        let mut seeds: Vec<u64> = (0..64).map(|i| derive_seed(7, &[i, 0])).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 64, "no collisions in a small fan-out");
+    }
+}

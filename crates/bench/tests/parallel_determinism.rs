@@ -1,0 +1,80 @@
+//! The harness determinism contract, end to end: a fast-mode run of the
+//! full experiment registry at `--jobs 4` must produce byte-identical
+//! canonical output to the `--jobs 1` sequential reference — rendered
+//! tables (wall-clock cells masked) and JSONL event traces (`wall_s`
+//! masked) alike.
+
+use emp_bench::canon;
+use emp_bench::experiments::{registry, ExpContext};
+use emp_obs::{EventSink as _, JsonlWriter, SharedSink};
+use std::path::{Path, PathBuf};
+
+/// One fast-mode pass over the registry: returns, per experiment, the
+/// timing-masked markdown render and the canonicalized JSONL trace.
+fn run_registry(jobs: usize, trace_dir: &Path) -> Vec<(String, String, String)> {
+    std::fs::create_dir_all(trace_dir).expect("trace dir");
+    let mut ctx = ExpContext::fast();
+    ctx.jobs = jobs;
+    let mut out = Vec::new();
+    for exp in registry() {
+        let path = trace_dir.join(format!("{}.jsonl", exp.name));
+        let writer = JsonlWriter::create(&path).expect("create trace");
+        let mut sink = SharedSink::new(Box::new(writer));
+        ctx.trace = Some(sink.clone());
+        let tables = (exp.run)(&ctx);
+        sink.flush();
+        ctx.trace = None;
+
+        let rendered = tables
+            .iter()
+            .map(|t| canon::mask_timings(t).markdown())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let trace = canon::canonical_trace(&std::fs::read_to_string(&path).expect("read trace"));
+        let _ = std::fs::remove_file(&path);
+        out.push((exp.name.to_string(), rendered, trace));
+    }
+    out
+}
+
+#[test]
+fn four_jobs_match_the_sequential_reference() {
+    let base = std::env::temp_dir().join(format!("emp_par_det_{}", std::process::id()));
+    let seq = run_registry(1, &base.join("seq"));
+    let par = run_registry(4, &base.join("par"));
+    let _ = std::fs::remove_dir_all(&base);
+
+    assert_eq!(seq.len(), par.len());
+    for ((name, seq_tables, seq_trace), (par_name, par_tables, par_trace)) in seq.iter().zip(&par) {
+        assert_eq!(name, par_name);
+        assert_eq!(
+            seq_tables, par_tables,
+            "experiment '{name}': rendered tables diverged between --jobs 1 and --jobs 4"
+        );
+        assert_eq!(
+            seq_trace, par_trace,
+            "experiment '{name}': canonical traces diverged between --jobs 1 and --jobs 4"
+        );
+    }
+    // Not every experiment traces solver runs (`datasets` only builds), but
+    // most must — an all-empty pass would make the comparison vacuous.
+    let traced = seq.iter().filter(|(_, _, t)| !t.is_empty()).count();
+    assert!(traced >= seq.len() - 2, "only {traced} experiments traced");
+}
+
+/// Guard for the guard: masking must not erase solver content. The masked
+/// render still contains p values and counters (digits), and the canonical
+/// trace still contains counters and trajectory points.
+#[test]
+fn canonical_forms_keep_solver_content() {
+    let base: PathBuf = std::env::temp_dir().join(format!("emp_par_det_c_{}", std::process::id()));
+    let runs = run_registry(2, &base);
+    let _ = std::fs::remove_dir_all(&base);
+    let (_, tables, trace) = runs
+        .iter()
+        .find(|(name, _, _)| name == "table3")
+        .expect("table3 in registry");
+    assert!(tables.chars().any(|c| c.is_ascii_digit()));
+    assert!(trace.contains("\"counters\""));
+    assert!(trace.contains("\"wall_s\":null"));
+}

@@ -1,0 +1,156 @@
+//! Per-entry once-initialization map for concurrent dataset caching.
+//!
+//! The bench harness used to cache datasets behind a single `Mutex` held
+//! across the entire multi-second build, so two workers asking for *distinct*
+//! presets serialized on each other. [`OnceMap`] fixes the lock hierarchy:
+//!
+//! * a `RwLock<HashMap>` guards only the *map structure* (lookup / insert of
+//!   an empty slot) and is held for nanoseconds;
+//! * each entry is an `Arc<OnceLock<Arc<V>>>` — the build runs inside the
+//!   per-entry `OnceLock`, so concurrent requests for the **same** key block
+//!   on that entry alone (and exactly one of them builds), while requests
+//!   for **different** keys proceed fully in parallel.
+//!
+//! Values are handed out as `Arc<V>` clones, so readers never hold any lock
+//! while using a dataset.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A concurrent map where each value is built at most once, builds for
+/// distinct keys run in parallel, and lookups are lock-free after
+/// initialization (an `RwLock` read + `OnceLock` load).
+pub struct OnceMap<K, V> {
+    entries: RwLock<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V> OnceMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        OnceMap {
+            entries: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the value for `key`, building it with `init` if this is the
+    /// first request. Concurrent callers with the same key block until the
+    /// single in-flight build finishes; callers with different keys are
+    /// never blocked by it.
+    pub fn get_or_init<F: FnOnce() -> V>(&self, key: &K, init: F) -> Arc<V> {
+        let slot = self.slot(key);
+        // The map locks are released; only this entry's OnceLock is involved
+        // from here on, so unrelated builds proceed concurrently.
+        Arc::clone(slot.get_or_init(|| Arc::new(init())))
+    }
+
+    /// Returns the value for `key` if it has finished building.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let map = self.entries.read().expect("OnceMap lock poisoned");
+        map.get(key).and_then(|slot| slot.get()).cloned()
+    }
+
+    /// Number of *completed* entries (slots whose build finished).
+    pub fn len(&self) -> usize {
+        let map = self.entries.read().expect("OnceMap lock poisoned");
+        map.values().filter(|slot| slot.get().is_some()).count()
+    }
+
+    /// True when no entry has completed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The (possibly empty) slot for `key`, creating it under a brief write
+    /// lock if absent.
+    fn slot(&self, key: &K) -> Arc<OnceLock<Arc<V>>> {
+        if let Some(slot) = self.entries.read().expect("OnceMap lock poisoned").get(key) {
+            return Arc::clone(slot);
+        }
+        let mut map = self.entries.write().expect("OnceMap lock poisoned");
+        Arc::clone(map.entry(key.clone()).or_default())
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for OnceMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Condvar;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[test]
+    fn builds_each_key_once() {
+        let map: OnceMap<String, usize> = OnceMap::new();
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let v = map.get_or_init(&"k".to_string(), || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        42
+                    });
+                    assert_eq!(*v, 42);
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        assert_eq!(map.len(), 1);
+        assert_eq!(*map.get(&"k".to_string()).unwrap(), 42);
+        assert!(map.get(&"absent".to_string()).is_none());
+    }
+
+    /// Regression test for the build-under-global-lock bug: two *distinct*
+    /// keys must be able to build at the same time. Each build rendezvouses
+    /// with the other inside its init closure — if builds were serialized
+    /// under one lock, neither could observe the other and the wait below
+    /// would time out.
+    #[test]
+    fn distinct_keys_build_concurrently() {
+        let map: OnceMap<String, usize> = OnceMap::new();
+        let gate = (Mutex::new(0usize), Condvar::new());
+        std::thread::scope(|s| {
+            for key in ["preset-a", "preset-b"] {
+                let map = &map;
+                let gate = &gate;
+                s.spawn(move || {
+                    map.get_or_init(&key.to_string(), || {
+                        let (lock, cv) = gate;
+                        let mut inside = lock.lock().unwrap();
+                        *inside += 1;
+                        cv.notify_all();
+                        while *inside < 2 {
+                            let (guard, timeout) =
+                                cv.wait_timeout(inside, Duration::from_secs(10)).unwrap();
+                            inside = guard;
+                            assert!(
+                                !timeout.timed_out(),
+                                "distinct-key builds were serialized: the \
+                                 second build never started while the first \
+                                 was in flight"
+                            );
+                        }
+                        key.len()
+                    });
+                });
+            }
+        });
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_incomplete_slots_are_not_counted() {
+        let map: OnceMap<u32, u32> = OnceMap::new();
+        assert!(map.is_empty());
+        map.get_or_init(&1, || 10);
+        assert_eq!(map.len(), 1);
+        assert!(!map.is_empty());
+    }
+}

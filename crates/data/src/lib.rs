@@ -15,7 +15,9 @@
 //!   to the area;
 //! * [`dataset`] — ties geometry + contiguity + attributes together, with
 //!   GeoJSON round-tripping;
-//! * [`csv`] — attribute-table CSV I/O.
+//! * [`csv`] — attribute-table CSV I/O;
+//! * [`cache`] — a per-entry once-initialization map ([`OnceMap`]) so the
+//!   bench harness can build distinct datasets concurrently.
 //!
 //! ```
 //! use emp_data::prelude::*;
@@ -29,12 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod attributes;
+pub mod cache;
 pub mod csv;
 pub mod dataset;
 pub mod presets;
 pub mod tessellation;
 
 pub use attributes::{census_attributes, degenerate_attributes, DegenerateKind};
+pub use cache::OnceMap;
 pub use dataset::{Dataset, DISSIMILARITY_ATTR};
 pub use presets::{build_preset, build_sized, preset, Preset, DEFAULT_PRESET, PRESETS};
 pub use tessellation::TessellationSpec;

@@ -8,6 +8,7 @@
 //! tracts. Multi-component layouts ("islands") model states with offshore
 //! areas — a capability EMP has over classic MP-regions.
 
+use emp_geo::par;
 use emp_geo::polygon::MultiPolygon;
 use emp_geo::ring::Ring;
 use emp_geo::{Point, Polygon};
@@ -52,15 +53,44 @@ impl TessellationSpec {
     }
 }
 
+/// Below this many areas `generate` stays single-threaded (brick
+/// construction is a few hundred nanoseconds each; forking threads only
+/// pays off on the scalability-ladder sizes).
+const GENERATE_PARALLEL_MIN_AREAS: usize = 2048;
+
+/// Minimum bricks per worker chunk once the parallel path engages.
+const GENERATE_MIN_CHUNK: usize = 256;
+
 /// Generates the tessellation: one (multi-)polygon per area.
 ///
 /// Bricks are laid row by row; odd rows are offset by half a brick. Brick
 /// edges are split at half-brick boundaries so adjacent bricks share
 /// identical vertices and hashed contiguity detection works exactly.
+///
+/// Every brick is a pure function of `(spec, idx)`, so large tessellations
+/// are built on [`par::effective_jobs`] threads via contiguous index chunks
+/// reassembled in order — the output is byte-identical for every worker
+/// count.
 pub fn generate(spec: &TessellationSpec) -> Vec<MultiPolygon> {
+    let jobs = if spec.n < GENERATE_PARALLEL_MIN_AREAS {
+        1
+    } else {
+        par::effective_jobs()
+    };
+    generate_jobs(spec, jobs)
+}
+
+/// [`generate`] with an explicit worker count (1 = sequential reference).
+pub fn generate_jobs(spec: &TessellationSpec, jobs: usize) -> Vec<MultiPolygon> {
     assert!(spec.row_width > 0, "row_width must be positive");
     assert!(spec.islands > 0, "islands must be positive");
-    let mut areas = Vec::with_capacity(spec.n);
+    par::parallel_chunks(spec.n, GENERATE_MIN_CHUNK, jobs, |range| {
+        range.map(|idx| brick(spec, idx)).collect()
+    })
+}
+
+/// Builds brick `idx` of the tessellation — pure in `(spec, idx)`.
+fn brick(spec: &TessellationSpec, idx: usize) -> MultiPolygon {
     let w = spec.row_width;
     // Horizontal gap (in x lattice units) inserted between island bands.
     let island_of = |brick_x: usize| -> usize {
@@ -71,31 +101,27 @@ pub fn generate(spec: &TessellationSpec) -> Vec<MultiPolygon> {
         }
     };
     let gap = 6i64;
-
-    for idx in 0..spec.n {
-        let row = idx / w;
-        let col = idx % w;
-        // Lattice coordinates: x in half-brick units (brick = 2 units).
-        let offset = if row % 2 == 1 { 1 } else { 0 };
-        let band = island_of(col) as i64;
-        let x0 = (2 * col + offset) as i64 + band * gap;
-        let y0 = row as i64;
-        let verts = [
-            (x0, y0),
-            (x0 + 1, y0),
-            (x0 + 2, y0),
-            (x0 + 2, y0 + 1),
-            (x0 + 1, y0 + 1),
-            (x0, y0 + 1),
-        ];
-        let points: Vec<Point> = verts
-            .iter()
-            .map(|&(ix, iy)| jittered_vertex(ix, iy, spec.jitter, spec.seed))
-            .collect();
-        let ring = Ring::new(points).expect("brick ring is valid");
-        areas.push(Polygon::new(ring).into());
-    }
-    areas
+    let row = idx / w;
+    let col = idx % w;
+    // Lattice coordinates: x in half-brick units (brick = 2 units).
+    let offset = if row % 2 == 1 { 1 } else { 0 };
+    let band = island_of(col) as i64;
+    let x0 = (2 * col + offset) as i64 + band * gap;
+    let y0 = row as i64;
+    let verts = [
+        (x0, y0),
+        (x0 + 1, y0),
+        (x0 + 2, y0),
+        (x0 + 2, y0 + 1),
+        (x0 + 1, y0 + 1),
+        (x0, y0 + 1),
+    ];
+    let points: Vec<Point> = verts
+        .iter()
+        .map(|&(ix, iy)| jittered_vertex(ix, iy, spec.jitter, spec.seed))
+        .collect();
+    let ring = Ring::new(points).expect("brick ring is valid");
+    Polygon::new(ring).into()
 }
 
 /// Deterministic, shared vertex jitter: the same lattice vertex always maps
@@ -189,6 +215,21 @@ mod tests {
             for poly in mp.polygons() {
                 assert!(poly.exterior().is_simple());
                 assert!(poly.area() > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn generate_jobs_is_thread_count_invariant() {
+        // Large enough (> GENERATE_MIN_CHUNK per worker) that the parallel
+        // path actually splits into several chunks.
+        for spec in [
+            TessellationSpec::squareish(1000, 13),
+            TessellationSpec::islands(900, 3, 7),
+        ] {
+            let seq = generate_jobs(&spec, 1);
+            for jobs in [2, 3, 8] {
+                assert_eq!(generate_jobs(&spec, jobs), seq, "jobs={jobs}");
             }
         }
     }

@@ -1,0 +1,85 @@
+//! Property tests: the multithreaded contiguity paths in `emp-geo` produce
+//! exactly the sequential edge sets on the tessellations `emp-data` actually
+//! generates — jittered single-component brick walls and multi-island
+//! layouts — for arbitrary worker counts.
+//!
+//! This is the determinism contract the parallel harness leans on: the edge
+//! list a dataset is built from must not depend on `--jobs`.
+
+use emp_data::tessellation::{generate_jobs, TessellationSpec};
+use emp_geo::contiguity::{contiguity_hashed_jobs, contiguity_robust_jobs, ContiguityKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Hashed contiguity: sharded parallel extraction == sequential HashMap
+    /// path, rook and queen, on jittered multi-island tessellations.
+    #[test]
+    fn parallel_hashed_matches_sequential(
+        n in 40usize..200,
+        islands in 1usize..4,
+        seed in 0u64..1_000_000,
+        jitter_pct in 0usize..30,
+        jobs in 2usize..9,
+    ) {
+        let spec = TessellationSpec {
+            jitter: jitter_pct as f64 / 100.0,
+            ..TessellationSpec::islands(n, islands, seed)
+        };
+        let areas = generate_jobs(&spec, 1);
+        for kind in [ContiguityKind::Rook, ContiguityKind::Queen] {
+            let seq = contiguity_hashed_jobs(&areas, kind, 1);
+            let par = contiguity_hashed_jobs(&areas, kind, jobs);
+            prop_assert_eq!(
+                par, seq,
+                "hashed {:?} diverged: n={} islands={} jobs={}",
+                kind, n, islands, jobs
+            );
+        }
+    }
+
+    /// Robust contiguity: chunked parallel candidate evaluation == the
+    /// sequential filter, rook and queen.
+    #[test]
+    fn parallel_robust_matches_sequential(
+        n in 30usize..120,
+        islands in 1usize..4,
+        seed in 0u64..1_000_000,
+        jitter_pct in 0usize..30,
+        jobs in 2usize..9,
+    ) {
+        let spec = TessellationSpec {
+            jitter: jitter_pct as f64 / 100.0,
+            ..TessellationSpec::islands(n, islands, seed)
+        };
+        let areas = generate_jobs(&spec, 1);
+        for kind in [ContiguityKind::Rook, ContiguityKind::Queen] {
+            let seq = contiguity_robust_jobs(&areas, kind, 1);
+            let par = contiguity_robust_jobs(&areas, kind, jobs);
+            prop_assert_eq!(
+                par, seq,
+                "robust {:?} diverged: n={} islands={} jobs={}",
+                kind, n, islands, jobs
+            );
+        }
+    }
+
+    /// Tessellation generation itself is thread-count invariant, and the
+    /// hashed/robust strategies agree on clean (vertex-shared) tessellations
+    /// regardless of worker count.
+    #[test]
+    fn generation_and_strategies_agree_across_jobs(
+        n in 40usize..140,
+        islands in 1usize..3,
+        seed in 0u64..1_000_000,
+        jobs in 2usize..6,
+    ) {
+        let spec = TessellationSpec::islands(n, islands, seed);
+        let areas = generate_jobs(&spec, 1);
+        prop_assert_eq!(&generate_jobs(&spec, jobs), &areas);
+        let hashed = contiguity_hashed_jobs(&areas, ContiguityKind::Rook, jobs);
+        let robust = contiguity_robust_jobs(&areas, ContiguityKind::Rook, jobs);
+        prop_assert_eq!(hashed, robust);
+    }
+}

@@ -9,6 +9,8 @@
 //! * rook/queen [`contiguity`] detection (hashed fast path and a geometric
 //!   fallback for T-junction tessellations);
 //! * a uniform [`grid::GridIndex`] for candidate pruning;
+//! * deterministic fork-join helpers ([`par`]) driving the multithreaded
+//!   contiguity paths and `emp-data` tessellation generation;
 //! * [`wkt`], [`geojson`], and ESRI [`shapefile`] + [`dbf`] I/O.
 //!
 //! ```
@@ -30,6 +32,7 @@ pub mod dbf;
 pub mod error;
 pub mod geojson;
 pub mod grid;
+pub mod par;
 pub mod point;
 pub mod polygon;
 pub mod ring;

@@ -1,0 +1,143 @@
+//! Deterministic fork-join helpers for the data pipeline.
+//!
+//! Tessellation generation and contiguity detection are embarrassingly
+//! parallel, but the pipeline promises **byte-identical output** regardless
+//! of thread count: every helper here splits work into contiguous index
+//! chunks, runs them on scoped threads, and reassembles results in chunk
+//! order. Nothing in the output depends on scheduling.
+//!
+//! The worker count comes from the `EMP_JOBS` environment variable (set by
+//! `repro --jobs N` and `trace_check --jobs N`) and defaults to the host's
+//! available parallelism. Library callers that need an explicit count (tests,
+//! the `*_jobs` contiguity variants) pass one instead.
+
+use std::ops::Range;
+
+/// Effective worker count: `EMP_JOBS` when set to a positive integer,
+/// otherwise the host's available parallelism. Never returns 0.
+///
+/// An unset, empty, unparseable, or zero `EMP_JOBS` falls back to the host
+/// default — CLI entry points validate the flag/env loudly; the library
+/// stays permissive.
+pub fn effective_jobs() -> usize {
+    std::env::var("EMP_JOBS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(host_parallelism)
+}
+
+/// The host's available parallelism (1 when it cannot be determined).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..n` into at most `jobs` contiguous chunks of at least
+/// `min_chunk` items, maps each chunk on a scoped thread, and concatenates
+/// the per-chunk outputs **in chunk order** — so the result is identical to
+/// `f(0..n)` whenever `f` is a pure per-index map.
+///
+/// Falls back to a single inline call when the split would yield one chunk
+/// (small `n`, `jobs <= 1`), keeping the sequential path allocation-free.
+pub fn parallel_chunks<T, F>(n: usize, min_chunk: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let chunks = chunk_count(n, min_chunk, jobs);
+    if chunks <= 1 {
+        return f(0..n);
+    }
+    let bounds = chunk_bounds(n, chunks);
+    let mut parts: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                let f = &f;
+                scope.spawn(move || f(range))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_chunks worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for part in &mut parts {
+        out.append(part);
+    }
+    out
+}
+
+/// Number of chunks `parallel_chunks` will use.
+fn chunk_count(n: usize, min_chunk: usize, jobs: usize) -> usize {
+    if n == 0 || jobs <= 1 {
+        return 1;
+    }
+    let by_size = n.div_ceil(min_chunk.max(1));
+    jobs.min(by_size).max(1)
+}
+
+/// Contiguous near-equal ranges covering `0..n`.
+pub(crate) fn chunk_bounds(n: usize, chunks: usize) -> Vec<Range<usize>> {
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        bounds.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_map_equals_sequential() {
+        let f = |r: Range<usize>| r.map(|i| i * i).collect::<Vec<_>>();
+        let seq = f(0..1000);
+        for jobs in [1, 2, 3, 8, 64] {
+            assert_eq!(parallel_chunks(1000, 10, jobs, f), seq, "jobs={jobs}");
+        }
+        // min_chunk larger than n collapses to one inline chunk.
+        assert_eq!(parallel_chunks(5, 100, 8, f), f(0..5));
+        assert!(parallel_chunks(0, 1, 4, f).is_empty());
+    }
+
+    #[test]
+    fn chunk_bounds_cover_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for chunks in 1..=5usize {
+                let bounds = chunk_bounds(n, chunks);
+                assert_eq!(bounds.len(), chunks);
+                let mut expect = 0;
+                for b in &bounds {
+                    assert_eq!(b.start, expect);
+                    expect = b.end;
+                }
+                assert_eq!(expect, n);
+            }
+        }
+    }
+
+    #[test]
+    fn effective_jobs_is_positive() {
+        assert!(effective_jobs() >= 1);
+        assert!(host_parallelism() >= 1);
+    }
+
+    #[test]
+    fn variable_sized_chunk_outputs_concatenate_in_order() {
+        // Each chunk emits a variable number of items; order must hold.
+        let f = |r: Range<usize>| r.flat_map(|i| vec![i; i % 3]).collect::<Vec<_>>();
+        assert_eq!(parallel_chunks(200, 5, 7, f), f(0..200));
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`NoopSink`] — the production default; events are dropped before they
 //!   are built, counters still accumulate (a `u64` add each).
 //! * [`InMemorySink`] — buffers everything for tests and summary tables.
+//! * [`BufferSink`] — buffers events *in arrival order* for [`replay`];
+//!   the parallel harness records each job privately and replays the
+//!   buffers in canonical job order.
 //! * [`JsonlWriter`] — streams a structured JSONL trace (`repro --trace`).
 //!
 //! The façade is the [`Recorder`]: one per solve, or one per worker thread
@@ -39,4 +42,7 @@ pub mod sink;
 pub use counters::{CounterKind, Counters, COUNTER_KINDS};
 pub use jsonl::JsonlWriter;
 pub use recorder::{Recorder, TrajectorySummary};
-pub use sink::{EventSink, InMemorySink, NoopSink, SharedSink, SpanInfo, SpanRecord, TraceData};
+pub use sink::{
+    replay, BufferSink, Event, EventSink, InMemorySink, NoopSink, SharedSink, SpanInfo, SpanRecord,
+    TraceData,
+};

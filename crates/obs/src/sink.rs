@@ -153,6 +153,102 @@ impl EventSink for InMemorySink {
     }
 }
 
+/// One telemetry event, owned, in the order it was emitted.
+///
+/// [`InMemorySink`] splits the stream by event type (convenient for
+/// assertions); `Event` keeps the *interleaving*, which is what a replay
+/// needs to reproduce a JSONL trace byte-for-byte.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A span closed.
+    Span(SpanRecord),
+    /// A trajectory point was recorded.
+    Trajectory {
+        /// Applied-move count at record time (0 = pre-search).
+        iteration: u64,
+        /// Objective value at that point.
+        heterogeneity: f64,
+    },
+    /// A named scalar note.
+    Note {
+        /// Note key.
+        key: String,
+        /// Note value.
+        value: f64,
+    },
+}
+
+/// A sink buffering events **in arrival order** for later [`replay`].
+///
+/// This is the building block of the parallel experiment harness: each job
+/// records into a private `BufferSink`, and after the pool joins, the
+/// buffers are replayed into the experiment's shared sink in canonical job
+/// order — so a `--jobs N` trace has exactly the event sequence of the
+/// sequential run, independent of scheduling.
+#[derive(Clone, Debug, Default)]
+pub struct BufferSink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl BufferSink {
+    /// An empty buffer sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handle onto the shared event buffer; survives the sink being moved
+    /// into a recorder.
+    pub fn handle(&self) -> Arc<Mutex<Vec<Event>>> {
+        Arc::clone(&self.events)
+    }
+}
+
+impl EventSink for BufferSink {
+    fn span_close(&mut self, span: &SpanInfo<'_>) {
+        self.events.lock().unwrap().push(Event::Span(SpanRecord {
+            name: span.name.to_string(),
+            index: span.index,
+            depth: span.depth,
+            wall_s: span.wall_s,
+            counters: *span.counters,
+        }));
+    }
+
+    fn trajectory_point(&mut self, iteration: u64, heterogeneity: f64) {
+        self.events.lock().unwrap().push(Event::Trajectory {
+            iteration,
+            heterogeneity,
+        });
+    }
+
+    fn note(&mut self, key: &str, value: f64) {
+        self.events.lock().unwrap().push(Event::Note {
+            key: key.to_string(),
+            value,
+        });
+    }
+}
+
+/// Replays buffered events into `sink` in buffer order.
+pub fn replay(events: &[Event], sink: &mut dyn EventSink) {
+    for event in events {
+        match event {
+            Event::Span(s) => sink.span_close(&SpanInfo {
+                name: &s.name,
+                index: s.index,
+                depth: s.depth,
+                wall_s: s.wall_s,
+                counters: &s.counters,
+            }),
+            Event::Trajectory {
+                iteration,
+                heterogeneity,
+            } => sink.trajectory_point(*iteration, *heterogeneity),
+            Event::Note { key, value } => sink.note(key, *value),
+        }
+    }
+}
+
 /// A cloneable sink wrapper so one underlying sink (e.g. a
 /// [`JsonlWriter`](crate::JsonlWriter) for a whole experiment) can serve
 /// several sequential solves.
@@ -247,5 +343,71 @@ mod tests {
     #[test]
     fn noop_is_disabled() {
         assert!(!NoopSink.enabled());
+    }
+
+    #[test]
+    fn buffer_sink_preserves_interleaving_and_replays() {
+        let buf = BufferSink::new();
+        let handle = buf.handle();
+        let mut buf = buf;
+        let mut c = Counters::new();
+        c.inc(CounterKind::RegionsCreated);
+        buf.trajectory_point(0, 10.0);
+        buf.span_close(&SpanInfo {
+            name: "grow",
+            index: Some(2),
+            depth: 1,
+            wall_s: 0.1,
+            counters: &c,
+        });
+        buf.note("k", 1.5);
+        buf.trajectory_point(1, 9.0);
+
+        // Arrival order survives, unlike InMemorySink's per-type buffers.
+        {
+            let events = handle.lock().unwrap();
+            assert_eq!(events.len(), 4);
+            assert!(matches!(events[0], Event::Trajectory { iteration: 0, .. }));
+            assert!(matches!(events[1], Event::Span(_)));
+            assert!(matches!(events[2], Event::Note { .. }));
+            assert!(matches!(events[3], Event::Trajectory { iteration: 1, .. }));
+        }
+
+        // Replaying into a second buffer reproduces the exact sequence.
+        let target = BufferSink::new();
+        let target_handle = target.handle();
+        let mut target = target;
+        replay(&handle.lock().unwrap(), &mut target);
+        let replayed = target_handle.lock().unwrap();
+        let original = handle.lock().unwrap();
+        assert_eq!(replayed.len(), original.len());
+        for (a, b) in original.iter().zip(replayed.iter()) {
+            match (a, b) {
+                (Event::Span(x), Event::Span(y)) => {
+                    assert_eq!(x.name, y.name);
+                    assert_eq!(x.index, y.index);
+                    assert_eq!(x.depth, y.depth);
+                    assert_eq!(x.counters, y.counters);
+                }
+                (
+                    Event::Trajectory {
+                        iteration: i1,
+                        heterogeneity: h1,
+                    },
+                    Event::Trajectory {
+                        iteration: i2,
+                        heterogeneity: h2,
+                    },
+                ) => {
+                    assert_eq!(i1, i2);
+                    assert_eq!(h1, h2);
+                }
+                (Event::Note { key: k1, value: v1 }, Event::Note { key: k2, value: v2 }) => {
+                    assert_eq!(k1, k2);
+                    assert_eq!(v1, v2);
+                }
+                other => panic!("event kind mismatch after replay: {other:?}"),
+            }
+        }
     }
 }
