@@ -11,7 +11,7 @@
 use emp_core::heterogeneity::total_heterogeneity;
 use emp_core::instance::EmpInstance;
 use emp_core::solution::Solution;
-use emp_graph::ContiguityGraph;
+use emp_graph::{ContiguityGraph, VisitScratch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -197,21 +197,22 @@ fn split_into_components(
     _k: usize,
 ) -> Vec<Vec<u32>> {
     let n = assignment.len();
-    let mut visited = vec![false; n];
+    let mut visited = VisitScratch::new();
+    visited.begin(n);
     let mut regions = Vec::new();
+    let mut stack = Vec::new();
     for start in 0..n {
-        if visited[start] {
+        if visited.is_marked(start as u32) {
             continue;
         }
         let label = assignment[start];
         let mut members = Vec::new();
-        let mut stack = vec![start as u32];
-        visited[start] = true;
+        stack.push(start as u32);
+        visited.mark(start as u32);
         while let Some(v) = stack.pop() {
             members.push(v);
             for &w in graph.neighbors(v) {
-                if !visited[w as usize] && assignment[w as usize] == label {
-                    visited[w as usize] = true;
+                if assignment[w as usize] == label && visited.mark(w) {
                     stack.push(w);
                 }
             }

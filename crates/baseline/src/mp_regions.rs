@@ -8,6 +8,7 @@ use emp_core::partition::Partition;
 use emp_core::solution::Solution;
 use emp_core::solver::PhaseTimings;
 use emp_core::tabu::{tabu_search_observed, TabuConfig, TabuStats};
+use emp_graph::VisitScratch;
 use emp_obs::{CounterKind, Counters, Recorder, TrajectorySummary};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -162,8 +163,8 @@ pub fn solve_mp_observed(
         let replace = match &best {
             None => true,
             Some(b) => {
-                (cand.p(), std::cmp::Reverse(cand.unassigned().len()))
-                    > (b.p(), std::cmp::Reverse(b.unassigned().len()))
+                (cand.p(), std::cmp::Reverse(cand.unassigned_count()))
+                    > (b.p(), std::cmp::Reverse(b.unassigned_count()))
             }
         };
         if replace {
@@ -230,40 +231,63 @@ fn construct(
     let mut partition = Partition::new(n);
 
     // Growing phase: seed regions in random order, absorb unassigned
-    // neighbors until the threshold is met.
+    // neighbors until the threshold is met. The frontier is maintained
+    // incrementally with epoch-stamped membership sets (absorbing an area
+    // only adds its own unassigned neighbors), so a k-member growth walks
+    // each adjacency once instead of rescanning all members per step.
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.shuffle(rng);
+    let mut in_region = VisitScratch::new();
+    let mut in_frontier = VisitScratch::new();
+    let mut frontier: Vec<u32> = Vec::new();
     for &seed in &order {
         if !partition.is_unassigned(seed) {
             continue;
         }
         let mut members = vec![seed];
         let mut sum = attrs.value(col, seed as usize);
+        in_region.begin(n);
+        in_frontier.begin(n);
+        in_region.mark(seed);
+        frontier.clear();
+        for &nb in graph.neighbors(seed) {
+            if partition.is_unassigned(nb) && in_frontier.mark(nb) {
+                frontier.push(nb);
+            }
+        }
         while sum < threshold {
-            // Unassigned frontier of the growing region.
-            let mut frontier: Vec<u32> = Vec::new();
-            for &m in &members {
-                for &nb in graph.neighbors(m) {
-                    if partition.is_unassigned(nb) && !members.contains(&nb) {
-                        frontier.push(nb);
+            // Classic heuristic: absorb the frontier area with the largest
+            // attribute value to reach the threshold quickly (keeps regions
+            // small, maximizing p). Ties break toward the largest id — the
+            // same winner the historical sorted-scan selection produced.
+            let Some(best_at) = (0..frontier.len()).reduce(|best, i| {
+                let (va, vb) = (
+                    attrs.value(col, frontier[best] as usize),
+                    attrs.value(col, frontier[i] as usize),
+                );
+                match va.partial_cmp(&vb) {
+                    Some(std::cmp::Ordering::Greater) => best,
+                    Some(std::cmp::Ordering::Less) => i,
+                    _ => {
+                        if frontier[i] > frontier[best] {
+                            i
+                        } else {
+                            best
+                        }
                     }
                 }
-            }
-            frontier.sort_unstable();
-            frontier.dedup();
-            // Classic heuristic: absorb the neighbor with the largest
-            // attribute value to reach the threshold quickly (keeps regions
-            // small, maximizing p).
-            let Some(&next) = frontier.iter().max_by(|&&a, &&b| {
-                attrs
-                    .value(col, a as usize)
-                    .partial_cmp(&attrs.value(col, b as usize))
-                    .unwrap_or(std::cmp::Ordering::Equal)
             }) else {
                 break;
             };
+            let next = frontier.swap_remove(best_at);
             members.push(next);
             sum += attrs.value(col, next as usize);
+            in_region.mark(next);
+            for &nb in graph.neighbors(next) {
+                if partition.is_unassigned(nb) && !in_region.is_marked(nb) && in_frontier.mark(nb) {
+                    frontier.push(nb);
+                }
+            }
         }
         if sum >= threshold {
             // Commit: mark members assigned.

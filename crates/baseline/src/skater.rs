@@ -14,7 +14,7 @@
 use emp_core::heterogeneity::{total_heterogeneity, DissimStat};
 use emp_core::instance::EmpInstance;
 use emp_core::solution::Solution;
-use emp_graph::connected_components;
+use emp_graph::{connected_components, VisitScratch};
 use emp_obs::{CounterKind, Recorder};
 
 /// Tree-partition parameters.
@@ -83,13 +83,14 @@ pub fn solve_skater_observed(
 
     // Initial regions: the connected components (each spanned by its tree).
     let comps = connected_components(graph);
-    let mut regions: Vec<Vec<u32>> = comps.members.clone();
+    let mut regions: Vec<Vec<u32>> = comps.members;
     rec.counters()
         .add(CounterKind::RegionsCreated, regions.len() as u64);
     let mut splits = 0usize;
 
     // Phase 2: greedy best-cut splitting until k regions.
     rec.span_begin("split", None);
+    let mut visited = VisitScratch::new();
     while regions.len() < config.k {
         let mut best: Option<(usize, u32, u32, f64)> = None; // (region, a, b, reduction)
         for (ri, members) in regions.iter().enumerate() {
@@ -104,7 +105,7 @@ pub fn solve_skater_observed(
                 for &b in &tree[a as usize] {
                     if a < b && sorted.binary_search(&b).is_ok() {
                         // Cutting (a, b) splits this subtree in two.
-                        let side = subtree_side(&tree, &sorted, a, b);
+                        let side = subtree_side(&tree, &sorted, a, b, &mut visited);
                         if side.len() < config.min_region_size
                             || members.len() - side.len() < config.min_region_size
                         {
@@ -129,7 +130,7 @@ pub fn solve_skater_observed(
         let members = regions.swap_remove(ri);
         let mut sorted = members.clone();
         sorted.sort_unstable();
-        let side = subtree_side(&tree, &sorted, a, b);
+        let side = subtree_side(&tree, &sorted, a, b, &mut visited);
         let other: Vec<u32> = members
             .into_iter()
             .filter(|m| side.binary_search(m).is_err())
@@ -169,19 +170,27 @@ fn region_h(dissim: &[f64], members: &[u32]) -> f64 {
 }
 
 /// The members reachable from `b` in the tree without crossing edge
-/// `(a, b)`, restricted to `sorted` membership. Sorted ascending.
-fn subtree_side(tree: &[Vec<u32>], sorted: &[u32], a: u32, b: u32) -> Vec<u32> {
+/// `(a, b)`, restricted to `sorted` membership. Sorted ascending. `visited`
+/// is an epoch-stamped scratch reused across calls (O(1) dedup per probe).
+fn subtree_side(
+    tree: &[Vec<u32>],
+    sorted: &[u32],
+    a: u32,
+    b: u32,
+    visited: &mut VisitScratch,
+) -> Vec<u32> {
     let mut side = Vec::new();
     let mut stack = vec![b];
-    let mut visited = vec![b];
+    visited.begin(tree.len());
+    visited.mark(b);
     while let Some(v) = stack.pop() {
         side.push(v);
         for &w in &tree[v as usize] {
-            if (v == b && w == a) || visited.contains(&w) {
+            if (v == b && w == a) || visited.is_marked(w) {
                 continue;
             }
             if sorted.binary_search(&w).is_ok() {
-                visited.push(w);
+                visited.mark(w);
                 stack.push(w);
             }
         }

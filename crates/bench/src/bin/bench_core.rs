@@ -1,0 +1,236 @@
+//! Core hot-path bench: graph build, BFS sweep, articulation recompute, and
+//! end-to-end `solve` on sized synthetic presets (1k / 5k / 10k areas).
+//!
+//! Emits `BENCH_core.json` at the workspace root. A two-step protocol
+//! captures before/after numbers across a representation change:
+//!
+//! ```text
+//! # on the old code: record raw timings
+//! cargo run --release -p emp-bench --bin bench_core -- --save-baseline /tmp/before.json
+//! # on the new code: merge the baseline in and compute speedups
+//! cargo run --release -p emp-bench --bin bench_core -- --baseline /tmp/before.json
+//! ```
+//!
+//! `--smoke` runs one sample on the smallest size only (the CI mode); see
+//! EXPERIMENTS.md for how to read the artifact.
+
+use emp_bench::presets::Combo;
+use emp_core::engine::ConstraintEngine;
+use emp_core::partition::Partition;
+use emp_core::{solve_observed, FactConfig};
+use emp_graph::articulation::{articulation_points_into, ArticulationScratch};
+use emp_graph::traversal::bfs_visit;
+use emp_graph::{ContiguityGraph, VisitScratch};
+use emp_obs::Recorder;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [1000, 5000, 10_000];
+const SMOKE_SIZES: [usize; 1] = [1000];
+/// BFS sources per sweep: enough restarts that per-call visited-buffer
+/// allocation (the thing the scratch-epoch idiom removes) dominates noise.
+const BFS_SOURCES: usize = 64;
+
+struct Args {
+    smoke: bool,
+    save_baseline: Option<String>,
+    baseline: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        save_baseline: None,
+        baseline: None,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--save-baseline" => args.save_baseline = it.next(),
+            "--baseline" => args.baseline = it.next(),
+            "--out" => args.out = it.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Best-of-`samples` wall time for `f`, returning the seconds and the value
+/// of the final run (asserted identical across runs by the callers that
+/// care about determinism).
+fn best_of<T, F: FnMut() -> T>(samples: usize, mut f: F) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(value);
+    }
+    (best, last.expect("at least one sample"))
+}
+
+fn bench_size(areas: usize, samples: usize) -> serde_json::Value {
+    let dataset = emp_data::build_sized("core-bench", areas);
+    let instance = dataset.to_instance().expect("instance");
+    let graph = instance.graph();
+    let n = graph.len();
+
+    // Graph build: reconstruct the CSR/adjacency structure from the raw
+    // undirected edge list.
+    let edges: Vec<(u32, u32)> = graph.edges().collect();
+    let (graph_build_s, rebuilt) = best_of(samples, || {
+        ContiguityGraph::from_edges(n, &edges).expect("valid edges")
+    });
+    assert_eq!(rebuilt.edge_count(), graph.edge_count());
+
+    // BFS sweep: whole-graph traversals from evenly spaced sources through
+    // the solver's reusable-scratch path (`bfs_visit`). Each restart pays
+    // the visited-state setup cost, so this isolates per-call traversal
+    // overhead — the thing the scratch-epoch idiom removes — rather than
+    // one long frontier expansion.
+    let stride = (n / BFS_SOURCES).max(1);
+    let (bfs_sweep_s, bfs_visited) = best_of(samples, || {
+        let mut scratch = VisitScratch::new();
+        let mut queue = Vec::new();
+        let mut visited = 0u64;
+        let mut start = 0usize;
+        while start < n {
+            visited += bfs_visit(graph, start as u32, &mut scratch, &mut queue, |_| {}) as u64;
+            start += stride;
+        }
+        visited
+    });
+
+    // End-to-end solve under the paper's MAS combo (MIN + AVG + SUM).
+    let set = Combo::Mas.build(None, None, None);
+    let config = FactConfig {
+        seed: 7,
+        ..FactConfig::default()
+    };
+    let mut rec = Recorder::noop();
+    let reference = solve_observed(&instance, &set, &config, &mut rec).expect("solve");
+    let (solve_s, report) = best_of(samples, || {
+        let mut noop = Recorder::noop();
+        solve_observed(&instance, &set, &config, &mut noop).expect("solve")
+    });
+    assert_eq!(report.p(), reference.p(), "solve must be deterministic");
+    assert_eq!(
+        report.solution.heterogeneity, reference.solution.heterogeneity,
+        "solve must be deterministic"
+    );
+
+    // Articulation recompute: one full pass over the solved regions — the
+    // shape of work the tabu phase repeats after every applied move.
+    let engine = ConstraintEngine::compile(&instance, &set).expect("engine");
+    let mut partition = Partition::new(n);
+    for members in &report.solution.regions {
+        partition.create_region(&engine, members);
+    }
+    let mut scratch = ArticulationScratch::default();
+    let mut arts = Vec::new();
+    let (articulation_s, art_total) = best_of(samples, || {
+        let mut total = 0u64;
+        for members in &report.solution.regions {
+            articulation_points_into(graph, members, &mut scratch, &mut arts);
+            total += arts.len() as u64;
+        }
+        total
+    });
+
+    let counters: serde_json::Map<String, serde_json::Value> = reference
+        .counters
+        .iter_nonzero()
+        .map(|(k, v)| (k.name().to_string(), serde_json::json!(v)))
+        .collect();
+
+    serde_json::json!({
+        "areas": areas,
+        "vertices": n,
+        "edges": graph.edge_count(),
+        "graph_build_s": graph_build_s,
+        "bfs_sweep_s": bfs_sweep_s,
+        "bfs_sources": n.div_ceil(stride),
+        "bfs_visited": bfs_visited,
+        "articulation_s": articulation_s,
+        "articulation_points": art_total,
+        "solve_s": solve_s,
+        "p": report.p(),
+        "heterogeneity": report.solution.heterogeneity,
+        "counters": counters,
+    })
+}
+
+const METRICS: [&str; 4] = ["graph_build_s", "bfs_sweep_s", "articulation_s", "solve_s"];
+
+/// Attaches `baseline` (a prior `sizes` array) per size and computes
+/// per-metric speedups (`before / after`).
+fn merge_baseline(sizes: &mut [serde_json::Value], baseline: &serde_json::Value) {
+    let empty = Vec::new();
+    let before_sizes = baseline["sizes"].as_array().unwrap_or(&empty);
+    for entry in sizes.iter_mut() {
+        let areas = entry["areas"].as_u64();
+        let Some(before) = before_sizes.iter().find(|b| b["areas"].as_u64() == areas) else {
+            continue;
+        };
+        let mut speedup = serde_json::Map::new();
+        for metric in METRICS {
+            let (Some(b), Some(a)) = (before[metric].as_f64(), entry[metric].as_f64()) else {
+                continue;
+            };
+            let name = metric.trim_end_matches("_s").to_string();
+            speedup.insert(name, serde_json::json!(b / a.max(1e-12)));
+        }
+        let obj = entry.as_object_mut().expect("size entry");
+        obj.insert("baseline".into(), before.clone());
+        obj.insert("speedup".into(), serde_json::Value::Object(speedup));
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let samples = if args.smoke { 1 } else { 3 };
+    let sizes: &[usize] = if args.smoke { &SMOKE_SIZES } else { &SIZES };
+
+    let mut results = Vec::new();
+    for &areas in sizes {
+        eprintln!("bench_core: {areas} areas ({samples} samples)...");
+        results.push(bench_size(areas, samples));
+    }
+
+    if let Some(path) = &args.save_baseline {
+        let artifact = serde_json::json!({
+            "bench": "core-baseline",
+            "combo": "MAS",
+            "smoke": args.smoke,
+            "sizes": results,
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&artifact).unwrap())
+            .expect("write baseline");
+        eprintln!("wrote baseline {path}");
+        return;
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path).expect("read baseline");
+        let baseline: serde_json::Value = serde_json::from_str(&text).expect("parse baseline");
+        merge_baseline(&mut results, &baseline);
+    }
+
+    let artifact = serde_json::json!({
+        "bench": "core",
+        "combo": "MAS",
+        "smoke": args.smoke,
+        "sizes": results,
+    });
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+    let path = args.out.as_deref().unwrap_or(default_path);
+    std::fs::write(path, serde_json::to_string_pretty(&artifact).unwrap())
+        .expect("write BENCH_core.json");
+    eprintln!("wrote {path}");
+}

@@ -9,6 +9,7 @@
 use crate::constraint::Aggregate;
 use crate::engine::{check_counter, ConstraintEngine, RegionAgg};
 use crate::partition::{Partition, RegionId};
+use emp_graph::SubsetScratch;
 use emp_obs::{CounterKind, Counters};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -89,6 +90,8 @@ pub fn monotonic_adjustments_counted<R: Rng>(
     }
     // "Each area is swapped at most once" — the paper's termination argument.
     let mut swapped = vec![false; partition.len()];
+    // One connectivity scratch shared across every BFS probe of the step.
+    let mut scratch = SubsetScratch::new();
 
     // Pass 1: swap boundary areas with neighbor regions.
     let ids: Vec<RegionId> = partition.region_ids().collect();
@@ -104,6 +107,7 @@ pub fn monotonic_adjustments_counted<R: Rng>(
             &mut swapped,
             rng,
             counters,
+            &mut scratch,
         );
         if partition.is_live(id) {
             push_swaps(
@@ -114,6 +118,7 @@ pub fn monotonic_adjustments_counted<R: Rng>(
                 &mut swapped,
                 rng,
                 counters,
+                &mut scratch,
             );
         }
     }
@@ -125,7 +130,7 @@ pub fn monotonic_adjustments_counted<R: Rng>(
     let ids: Vec<RegionId> = partition.region_ids().collect();
     for id in ids {
         if partition.is_live(id) {
-            shed_overfilled(engine, partition, id, &counting, counters);
+            shed_overfilled(engine, partition, id, &counting, counters, &mut scratch);
         }
     }
 
@@ -142,6 +147,7 @@ pub fn monotonic_adjustments_counted<R: Rng>(
 }
 
 /// Pulls boundary areas from neighbor regions into an under-filled region.
+#[allow(clippy::too_many_arguments)]
 fn pull_swaps<R: Rng>(
     engine: &ConstraintEngine<'_>,
     partition: &mut Partition,
@@ -150,6 +156,7 @@ fn pull_swaps<R: Rng>(
     swapped: &mut [bool],
     rng: &mut R,
     counters: &mut Counters,
+    scratch: &mut SubsetScratch,
 ) {
     let graph = engine.instance().graph();
     loop {
@@ -177,7 +184,7 @@ fn pull_swaps<R: Rng>(
             let donor = partition.region_of(a).expect("candidate is assigned");
             // Donor must stay a single connected component...
             counters.inc(CounterKind::BfsFallbacks);
-            if !partition.removal_keeps_connected(engine, a) {
+            if !partition.removal_keeps_connected_with(engine, a, scratch) {
                 continue;
             }
             partition.move_area(engine, a, id);
@@ -205,6 +212,7 @@ fn pull_swaps<R: Rng>(
 }
 
 /// Pushes boundary areas of an over-filled region into neighbor regions.
+#[allow(clippy::too_many_arguments)]
 fn push_swaps<R: Rng>(
     engine: &ConstraintEngine<'_>,
     partition: &mut Partition,
@@ -213,6 +221,7 @@ fn push_swaps<R: Rng>(
     swapped: &mut [bool],
     rng: &mut R,
     counters: &mut Counters,
+    scratch: &mut SubsetScratch,
 ) {
     let graph = engine.instance().graph();
     loop {
@@ -228,7 +237,7 @@ fn push_swaps<R: Rng>(
                 continue;
             }
             counters.inc(CounterKind::BfsFallbacks);
-            if !partition.removal_keeps_connected(engine, a) {
+            if !partition.removal_keeps_connected_with(engine, a, scratch) {
                 continue;
             }
             let mut receivers: Vec<RegionId> = graph
@@ -328,6 +337,7 @@ fn shed_overfilled(
     id: RegionId,
     counting: &[usize],
     counters: &mut Counters,
+    scratch: &mut SubsetScratch,
 ) {
     loop {
         charge_counting_checks(engine, counting, counters);
@@ -354,7 +364,7 @@ fn shed_overfilled(
         let mut removed = false;
         for a in members {
             counters.inc(CounterKind::BfsFallbacks);
-            if !partition.removal_keeps_connected(engine, a) {
+            if !partition.removal_keeps_connected_with(engine, a, scratch) {
                 continue;
             }
             partition.remove_from_region(engine, a);
@@ -432,7 +442,7 @@ mod tests {
             assert!(eng.satisfies_all(&part.region(id).agg));
         }
         assert_eq!(part.region(b).members.len(), 2);
-        assert!(part.unassigned().is_empty());
+        assert_eq!(part.unassigned_count(), 0);
     }
 
     #[test]
@@ -460,7 +470,7 @@ mod tests {
                 members
             ));
         }
-        assert!(part.unassigned().is_empty());
+        assert_eq!(part.unassigned_count(), 0);
     }
 
     #[test]
@@ -479,7 +489,7 @@ mod tests {
         assert!(part.is_live(r));
         assert!(eng.satisfies_all(&part.region(r).agg));
         assert_eq!(part.region(r).members.len(), 3);
-        assert_eq!(part.unassigned().len(), 2);
+        assert_eq!(part.unassigned_count(), 2);
         assert!(emp_graph::subgraph::is_connected_subset(
             inst.graph(),
             &part.region(r).members
@@ -501,7 +511,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         monotonic_adjustments(&eng, &mut part, &mut rng);
         assert_eq!(part.p(), 0);
-        assert_eq!(part.unassigned().len(), 2);
+        assert_eq!(part.unassigned_count(), 2);
     }
 
     #[test]

@@ -288,10 +288,9 @@ fn substep_22_counted<R: Rng>(
 ) {
     // Round 1: direct attachment, repeated until fixpoint — assigning an
     // area may unlock its neighbors (paper §VII-B2).
-    loop {
+    while partition.unassigned_count() > 0 {
         let mut unassigned: Vec<u32> = partition
-            .unassigned()
-            .into_iter()
+            .unassigned_iter()
             .filter(|&a| eligible[a as usize])
             .collect();
         unassigned.shuffle(rng);
@@ -331,8 +330,7 @@ fn substep_22_counted<R: Rng>(
     // Round 2: absorb stubborn areas by merging a neighbor region with one
     // of its neighbor regions, bounded by the merge limit per area.
     let mut remaining: Vec<u32> = partition
-        .unassigned()
-        .into_iter()
+        .unassigned_iter()
         .filter(|&a| eligible[a as usize] && classify_area(engine, a) != AvgClass::InRange)
         .collect();
     remaining.shuffle(rng);

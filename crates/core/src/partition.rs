@@ -3,6 +3,7 @@
 
 use crate::engine::{ConstraintEngine, RegionAgg};
 use crate::heterogeneity::DissimStat;
+use emp_graph::scratch::SubsetScratch;
 use emp_graph::subgraph;
 
 /// Region identifier within a [`Partition`]. Region slots are reused via
@@ -31,6 +32,9 @@ pub struct Partition {
     /// [`Partition::create_region`] (O(1) instead of a linear slot scan).
     free_slots: Vec<RegionId>,
     live: usize,
+    /// Count of `None` entries in `assignment`, maintained incrementally so
+    /// `unassigned_count` is O(1) instead of an O(n) scan.
+    unassigned_live: usize,
 }
 
 impl Partition {
@@ -41,6 +45,7 @@ impl Partition {
             regions: Vec::new(),
             free_slots: Vec::new(),
             live: 0,
+            unassigned_live: n,
         }
     }
 
@@ -96,11 +101,21 @@ impl Partition {
 
     /// All unassigned areas, ascending.
     pub fn unassigned(&self) -> Vec<u32> {
+        self.unassigned_iter().collect()
+    }
+
+    /// Iterates unassigned areas, ascending, without allocating.
+    pub fn unassigned_iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.assignment
             .iter()
             .enumerate()
             .filter_map(|(i, r)| r.is_none().then_some(i as u32))
-            .collect()
+    }
+
+    /// Number of unassigned areas (the paper's `|U_0|`), O(1).
+    #[inline]
+    pub fn unassigned_count(&self) -> usize {
+        self.unassigned_live
     }
 
     /// The weighted objective score: for the default objective this is the
@@ -199,6 +214,7 @@ impl Partition {
             );
             self.assignment[a as usize] = Some(id);
         }
+        self.unassigned_live -= areas.len();
         self.live += 1;
         id
     }
@@ -214,6 +230,7 @@ impl Partition {
             stat.insert(ch.values[area as usize]);
         }
         self.assignment[area as usize] = Some(id);
+        self.unassigned_live -= 1;
     }
 
     /// Removes an area from its region, leaving it unassigned. Dissolving the
@@ -233,6 +250,7 @@ impl Partition {
             stat.remove(ch.values[area as usize]);
         }
         self.assignment[area as usize] = None;
+        self.unassigned_live += 1;
         if region.members.is_empty() {
             self.regions[id as usize] = None;
             self.free_slots.push(id);
@@ -278,6 +296,7 @@ impl Partition {
     pub fn dissolve_region(&mut self, id: RegionId) {
         let data = self.regions[id as usize].take().expect("live region");
         self.free_slots.push(id);
+        self.unassigned_live += data.members.len();
         for a in data.members {
             self.assignment[a as usize] = None;
         }
@@ -349,11 +368,23 @@ impl Partition {
 
     /// Whether removing `area` keeps its region connected (and non-empty).
     pub fn removal_keeps_connected(&self, engine: &ConstraintEngine<'_>, area: u32) -> bool {
+        self.removal_keeps_connected_with(engine, area, &mut SubsetScratch::new())
+    }
+
+    /// Allocation-free variant of [`Partition::removal_keeps_connected`]
+    /// reusing a caller-held traversal scratch.
+    pub fn removal_keeps_connected_with(
+        &self,
+        engine: &ConstraintEngine<'_>,
+        area: u32,
+        scratch: &mut SubsetScratch,
+    ) -> bool {
         let id = self.assignment[area as usize].expect("assigned");
-        subgraph::is_connected_after_removal(
+        subgraph::is_connected_after_removal_with(
             engine.instance().graph(),
             &self.region(id).members,
             area,
+            scratch,
         )
     }
 
@@ -391,18 +422,25 @@ impl Partition {
         engine: &ConstraintEngine<'_>,
         assignment: &[Option<RegionId>],
     ) -> Partition {
-        use std::collections::HashMap;
-        let mut groups: HashMap<RegionId, Vec<u32>> = HashMap::new();
-        for (a, r) in assignment.iter().enumerate() {
-            if let Some(r) = r {
-                groups.entry(*r).or_default().push(a as u32);
-            }
-        }
+        // Group by sorting (region, area) pairs instead of hashing: one flat
+        // buffer, and the stable sort keeps areas ascending within a region.
+        let mut pairs: Vec<(RegionId, u32)> = assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(a, r)| r.map(|r| (r, a as u32)))
+            .collect();
+        pairs.sort_by_key(|&(r, _)| r);
         let mut part = Partition::new(assignment.len());
-        let mut ids: Vec<RegionId> = groups.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            part.create_region(engine, &groups[&id]);
+        let mut members = Vec::new();
+        let mut run = 0;
+        while run < pairs.len() {
+            let region = pairs[run].0;
+            members.clear();
+            while run < pairs.len() && pairs[run].0 == region {
+                members.push(pairs[run].1);
+                run += 1;
+            }
+            part.create_region(engine, &members);
         }
         part
     }
@@ -579,6 +617,60 @@ mod tests {
         assert!(!part.removal_keeps_connected(&eng, 2));
         assert!(part.removal_keeps_connected(&eng, 5));
         assert!(part.removal_keeps_connected(&eng, 0));
+    }
+
+    #[test]
+    fn unassigned_count_tracks_all_mutations() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        assert_eq!(part.unassigned_count(), 9);
+        let a = part.create_region(&eng, &[0, 1, 2]);
+        assert_eq!(part.unassigned_count(), 6);
+        part.add_to_region(&eng, a, 5);
+        assert_eq!(part.unassigned_count(), 5);
+        part.remove_from_region(&eng, 1);
+        assert_eq!(part.unassigned_count(), 6);
+        let b = part.create_region(&eng, &[3, 4]);
+        part.merge_regions(&eng, a, b);
+        assert_eq!(part.unassigned_count(), 4);
+        part.dissolve_region(a);
+        assert_eq!(part.unassigned_count(), 9);
+        assert_eq!(part.unassigned_count(), part.unassigned().len());
+        assert_eq!(
+            part.unassigned_iter().collect::<Vec<_>>(),
+            part.unassigned()
+        );
+    }
+
+    #[test]
+    fn from_assignment_groups_sparse_ids() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        // Sparse, unordered region ids with gaps and an unassigned hole.
+        let assignment: Vec<Option<RegionId>> = vec![
+            Some(7),
+            Some(7),
+            None,
+            Some(2),
+            Some(2),
+            Some(7),
+            None,
+            Some(40),
+            Some(40),
+        ];
+        let part = Partition::from_assignment(&eng, &assignment);
+        assert_eq!(part.p(), 3);
+        assert_eq!(part.unassigned(), vec![2, 6]);
+        assert_eq!(part.unassigned_count(), 2);
+        assert_eq!(
+            part.extract_regions(),
+            vec![vec![0, 1, 5], vec![3, 4], vec![7, 8]]
+        );
+        // Region labels are re-assigned in ascending original-id order, so
+        // equal snapshots rebuild identically.
+        let again = Partition::from_assignment(&eng, &assignment);
+        assert_eq!(part.assignment(), again.assignment());
     }
 
     #[test]

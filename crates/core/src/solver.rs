@@ -266,8 +266,8 @@ fn construct_once(
 /// Ranks construction outcomes: higher p, then fewer unassigned, then lower
 /// heterogeneity.
 fn better(engine: &ConstraintEngine<'_>, a: &Partition, b: &Partition) -> bool {
-    let ua = a.unassigned().len();
-    let ub = b.unassigned().len();
+    let ua = a.unassigned_count();
+    let ub = b.unassigned_count();
     (
         a.p(),
         std::cmp::Reverse(ua),
@@ -328,6 +328,9 @@ fn construct_parallel(
     // the join (no atomics, no contention on the hot path). The nested
     // grow/adjust spans are intentionally dropped in parallel mode.
     let results = crossbeam::thread::scope(|scope| {
+        // The intermediate collect is the fan-out: all handles must exist
+        // before the first join, or the map chain would run serially.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = (0..iterations)
             .map(|i| {
                 let seed = config.seed.wrapping_add(i as u64);

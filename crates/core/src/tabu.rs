@@ -42,7 +42,6 @@ use crate::engine::{ConstraintEngine, RegionAgg};
 use crate::partition::{Partition, RegionId};
 use emp_graph::articulation::{articulation_points_into, ArticulationScratch};
 use emp_obs::{CounterKind, Counters, Recorder};
-use std::collections::HashMap;
 
 /// The incrementally-tracked heterogeneity is resynced against a fresh
 /// [`Partition::heterogeneity_with`] every this many iterations; a debug
@@ -139,26 +138,59 @@ fn beats(delta: f64, area: u32, to: RegionId, incumbent: &Option<Move>) -> bool 
 /// `m`-th applied move stores the stamp `m + tenure`; the pair stays tabu
 /// while fewer than `tenure` further moves have been applied. Semantically
 /// identical to the classic tenure-length FIFO list (later re-forbids simply
-/// overwrite with a larger stamp), but a test costs one hash probe instead
-/// of an O(tenure) scan.
+/// overwrite with a larger stamp), but the stamps live in a flat vector
+/// indexed by `area * region_slots + region` — a test is one array load, no
+/// hashing and no O(tenure) scan.
+///
+/// Region slots are stable for the lifetime of a search (tabu moves never
+/// create or destroy regions), so the stride is fixed up front by
+/// [`TabuTable::with_dimensions`]; [`TabuTable::new`] starts empty and grows
+/// on demand (test convenience).
 #[derive(Clone, Debug, Default)]
 pub struct TabuTable {
-    expiry: HashMap<u64, usize>,
+    /// `expiry[area * stride + region]`; 0 = never forbidden.
+    expiry: Vec<u32>,
+    /// Region-slot stride (columns per area row).
+    stride: usize,
+    /// Number of area rows allocated.
+    areas: usize,
     tenure: usize,
 }
 
 impl TabuTable {
-    /// An empty table with the given tenure.
+    /// An empty table with the given tenure; storage grows on first use.
     pub fn new(tenure: usize) -> Self {
         TabuTable {
-            expiry: HashMap::new(),
+            expiry: Vec::new(),
+            stride: 0,
+            areas: 0,
             tenure,
         }
     }
 
-    #[inline]
-    fn key(area: u32, region: RegionId) -> u64 {
-        (u64::from(area) << 32) | u64::from(region)
+    /// A table pre-sized for `areas` area rows and `region_slots` columns,
+    /// so the hot path never reallocates.
+    pub fn with_dimensions(tenure: usize, areas: usize, region_slots: usize) -> Self {
+        TabuTable {
+            expiry: vec![0; areas * region_slots],
+            stride: region_slots,
+            areas,
+            tenure,
+        }
+    }
+
+    /// Grows the table to cover `(area, region)`, remapping existing stamps.
+    fn grow(&mut self, area: u32, region: RegionId) {
+        let areas = self.areas.max(area as usize + 1);
+        let stride = self.stride.max(region as usize + 1);
+        let mut next = vec![0u32; areas * stride];
+        for a in 0..self.areas {
+            let src = &self.expiry[a * self.stride..(a + 1) * self.stride];
+            next[a * stride..a * stride + self.stride].copy_from_slice(src);
+        }
+        self.expiry = next;
+        self.areas = areas;
+        self.stride = stride;
     }
 
     /// Forbids moving `area` into `region`; `moves_done` is the number of
@@ -167,16 +199,20 @@ impl TabuTable {
         if self.tenure == 0 {
             return;
         }
-        self.expiry
-            .insert(Self::key(area, region), moves_done + self.tenure);
+        if (area as usize) >= self.areas || (region as usize) >= self.stride {
+            self.grow(area, region);
+        }
+        self.expiry[area as usize * self.stride + region as usize] =
+            (moves_done + self.tenure) as u32;
     }
 
     /// Whether moving `area` into `region` is currently tabu.
     #[inline]
     pub fn is_tabu(&self, area: u32, region: RegionId, moves_done: usize) -> bool {
-        self.expiry
-            .get(&Self::key(area, region))
-            .is_some_and(|&exp| moves_done < exp)
+        if (area as usize) >= self.areas || (region as usize) >= self.stride {
+            return false; // never forbidden
+        }
+        (moves_done as u32) < self.expiry[area as usize * self.stride + region as usize]
     }
 }
 
@@ -243,6 +279,23 @@ fn is_boundary(engine: &ConstraintEngine<'_>, partition: &Partition, area: u32) 
         .any(|&nb| partition.region_of(nb).is_some_and(|o| o != r))
 }
 
+/// A memoized donor-side verdict: `ok` holds for `area` while it stays in
+/// `region` and the region's version is unchanged.
+#[derive(Clone, Copy)]
+struct DonorEntry {
+    region: RegionId,
+    version: u64,
+    ok: bool,
+}
+
+impl DonorEntry {
+    const EMPTY: DonorEntry = DonorEntry {
+        region: u32::MAX,
+        version: 0,
+        ok: false,
+    };
+}
+
 /// Incrementally-maintained neighborhood of the tabu search: the boundary
 /// set plus a lazily-computed, per-region articulation-point cache.
 ///
@@ -263,6 +316,12 @@ pub struct NeighborhoodState {
     scratch: ArticulationScratch,
     /// Scratch for candidate destination regions.
     dests: Vec<RegionId>,
+    /// Per-region-slot mutation counter; bumped whenever a move touches the
+    /// region, so version-stamped caches invalidate in O(1).
+    region_version: Vec<u64>,
+    /// Memoized donor-side admissibility (contiguity + donor constraints)
+    /// per area, valid while the area's region version is unchanged.
+    donor_cache: Vec<DonorEntry>,
     /// Telemetry accumulated by this neighborhood (cache traffic, move
     /// evaluation accounting); merged into the search's recorder at the end.
     counters: Counters,
@@ -287,6 +346,8 @@ impl NeighborhoodState {
             spare: Vec::new(),
             scratch: ArticulationScratch::default(),
             dests: Vec::new(),
+            region_version: Vec::new(),
+            donor_cache: vec![DonorEntry::EMPTY; n],
             counters,
         }
     }
@@ -314,8 +375,7 @@ impl NeighborhoodState {
     ) {
         self.refresh_boundary_status(engine, partition, mv.area);
         let graph = engine.instance().graph();
-        for i in 0..graph.neighbors(mv.area).len() {
-            let nb = graph.neighbors(mv.area)[i];
+        for &nb in graph.neighbors(mv.area) {
             self.refresh_boundary_status(engine, partition, nb);
         }
         self.invalidate_region(mv.from);
@@ -347,6 +407,42 @@ impl NeighborhoodState {
                     .inc(CounterKind::ArticulationCacheInvalidations);
             }
         }
+        // Any donor verdict cached against the old version is now stale.
+        // A region never versioned here has no cached verdicts (the cache
+        // write path sizes the vector first).
+        if let Some(v) = self.region_version.get_mut(id as usize) {
+            *v += 1;
+        }
+    }
+
+    /// Memoized donor-side admissibility of moving `area` out of `from`:
+    /// contiguity (cached articulation points) plus the donor constraint
+    /// check. The verdict depends only on region `from`'s state, so it stays
+    /// valid until a move touches that region.
+    fn donor_admissible(
+        &mut self,
+        engine: &ConstraintEngine<'_>,
+        partition: &Partition,
+        area: u32,
+        from: RegionId,
+    ) -> bool {
+        if self.region_version.len() <= from as usize {
+            self.region_version
+                .resize(partition.region_slots().max(from as usize + 1), 0);
+        }
+        let version = self.region_version[from as usize];
+        let entry = self.donor_cache[area as usize];
+        if entry.region == from && entry.version == version {
+            return entry.ok;
+        }
+        let ok = self.removal_safe(engine, partition, area, from)
+            && donor_keeps_constraints(engine, partition, area, from, &mut self.counters);
+        self.donor_cache[area as usize] = DonorEntry {
+            region: from,
+            version,
+            ok,
+        };
+        ok
     }
 
     /// The (cached) sorted articulation points of region `id`, recomputing
@@ -409,6 +505,7 @@ impl NeighborhoodState {
     ) -> Option<Move> {
         let graph = engine.instance().graph();
         let mut best: Option<Move> = None;
+        let mut walked = 0u64;
         for i in 0..self.boundary.list.len() {
             let area = self.boundary.list[i];
             let from = partition
@@ -417,37 +514,37 @@ impl NeighborhoodState {
             if partition.region(from).members.len() <= 1 {
                 continue; // p must not change
             }
-            // Cheap per-area filters first: one O(log k) cached articulation
-            // lookup plus the destination-independent donor-side constraint
-            // check rule out the whole area before any per-destination work
+            // Donor-side gate first: the destination-independent verdict
+            // (contiguity + donor constraints) rules out the whole area
+            // before any per-destination work, and is memoized against the
+            // donor region's version — an applied move touches exactly two
+            // regions, so between moves almost every verdict is a cache hit
             // (with tight SUM/COUNT lower bounds most donors sit at the
-            // floor, so this skips the O(|region|) delta computations that
-            // dominate the scan).
-            if !self.removal_safe(engine, partition, area, from) {
-                self.counters.inc(CounterKind::TabuRejectedInfeasible);
-                continue;
-            }
-            if !donor_keeps_constraints(engine, partition, area, from, &mut self.counters) {
+            // floor, so this skips the destination enumeration entirely).
+            if !self.donor_admissible(engine, partition, area, from) {
                 self.counters.inc(CounterKind::TabuRejectedInfeasible);
                 continue;
             }
             let mut dests = std::mem::take(&mut self.dests);
             dests.clear();
+            let neighbors = graph.neighbors(area);
+            walked += neighbors.len() as u64;
             dests.extend(
-                graph
-                    .neighbors(area)
+                neighbors
                     .iter()
                     .filter_map(|&nb| partition.region_of(nb))
                     .filter(|&r| r != from),
             );
             dests.sort_unstable();
             dests.dedup();
+            // Per-destination filters, cheapest first: the O(1) incremental
+            // delta and the strict-total-order incumbent test rule out almost
+            // every candidate, so the expensive receiver-side constraint
+            // hypotheticals run only for candidates that would actually be
+            // selected. All filters are conjunctive, so evaluation order does
+            // not change which move wins.
             for &to in &dests {
                 self.counters.inc(CounterKind::TabuMovesEvaluated);
-                if !receiver_keeps_constraints(engine, partition, area, to, &mut self.counters) {
-                    self.counters.inc(CounterKind::TabuRejectedInfeasible);
-                    continue;
-                }
                 let delta = partition.move_objective_delta(engine, area, from, to);
                 if !beats(delta, area, to, &best) {
                     continue; // cannot beat the incumbent; skip checks
@@ -455,6 +552,10 @@ impl NeighborhoodState {
                 let aspires = current_h + delta < best_h - 1e-9;
                 if tabu.is_tabu(area, to, moves_done) && !aspires {
                     self.counters.inc(CounterKind::TabuRejectedTabu);
+                    continue;
+                }
+                if !receiver_keeps_constraints(engine, partition, area, to, &mut self.counters) {
+                    self.counters.inc(CounterKind::TabuRejectedInfeasible);
                     continue;
                 }
                 best = Some(Move {
@@ -466,6 +567,8 @@ impl NeighborhoodState {
             }
             self.dests = dests;
         }
+        self.counters
+            .add(CounterKind::NeighborEntriesWalked, walked);
         best
     }
 
@@ -539,7 +642,10 @@ pub fn tabu_search_observed(
         best: initial,
         ..Default::default()
     };
-    let mut tabu = TabuTable::new(config.tenure);
+    // Region slots are stable during the search (tabu moves never create or
+    // destroy regions), so the flat stamp table can be sized once up front.
+    let mut tabu =
+        TabuTable::with_dimensions(config.tenure, partition.len(), partition.region_slots());
     let mut no_improve = 0usize;
     let mut state = config
         .incremental
@@ -583,7 +689,8 @@ pub fn tabu_search_observed(
         rec.trajectory_point(stats.moves as u64, current_h);
         if current_h < best_h - 1e-9 {
             best_h = current_h;
-            best_assignment = partition.assignment().to_vec();
+            // Same length every time: overwrite in place, no reallocation.
+            best_assignment.copy_from_slice(partition.assignment());
             no_improve = 0;
         } else {
             no_improve += 1;
@@ -595,6 +702,8 @@ pub fn tabu_search_observed(
     debug_check_drift(engine, partition, current_h);
     if let Some(s) = state.as_ref() {
         rec.merge_counters(s.counters());
+        rec.counters()
+            .add(CounterKind::ScratchEpochRollovers, s.scratch.rollovers());
     }
 
     // Return the best partition encountered.
@@ -622,6 +731,9 @@ pub fn select_move_reference(
 ) -> Option<Move> {
     let graph = engine.instance().graph();
     let mut best: Option<Move> = None;
+    // One scratch for every BFS in this scan (the reference path is the
+    // ablation baseline — still O(V+E) per check, but allocation-free).
+    let mut scratch = emp_graph::SubsetScratch::new();
 
     for from in partition.region_ids() {
         let region = partition.region(from);
@@ -665,7 +777,8 @@ pub fn select_move_reference(
                 // Connectivity last (most expensive), computed once per area.
                 if !connectivity_checked {
                     counters.inc(CounterKind::BfsFallbacks);
-                    connectivity_ok = partition.removal_keeps_connected(engine, area);
+                    connectivity_ok =
+                        partition.removal_keeps_connected_with(engine, area, &mut scratch);
                     connectivity_checked = true;
                 }
                 if !connectivity_ok {

@@ -52,6 +52,9 @@ where
     }
     let bounds = chunk_bounds(n, chunks);
     let mut parts: Vec<Vec<T>> = std::thread::scope(|scope| {
+        // Fan-out: all handles must exist before the first join, or the
+        // map chain would run serially.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = bounds
             .iter()
             .map(|range| {

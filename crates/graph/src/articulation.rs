@@ -7,20 +7,34 @@
 //! ablation (see DESIGN.md §4.2).
 
 use crate::graph::ContiguityGraph;
+use crate::scratch::VisitScratch;
 
 /// Reusable buffers for [`articulation_points_into`].
 ///
 /// The local-search phase recomputes articulation points for the two regions
 /// touched by every applied move; reusing one scratch across those calls
-/// avoids six heap allocations per recomputation.
+/// avoids six heap allocations per recomputation. Membership tests during the
+/// DFS use an epoch-stamped index map (`in_set` + `pos`) instead of a binary
+/// search per neighbor probe, so each probe is O(1).
 #[derive(Clone, Debug, Default)]
 pub struct ArticulationScratch {
     sorted: Vec<u32>,
+    /// `pos[v]` is the local index of global vertex `v`, valid iff `in_set`
+    /// has `v` marked in the current round.
+    pos: Vec<u32>,
+    in_set: VisitScratch,
     disc: Vec<u32>,
     low: Vec<u32>,
     parent: Vec<u32>,
     is_art: Vec<bool>,
     stack: Vec<(u32, usize)>,
+}
+
+impl ArticulationScratch {
+    /// Epoch rollovers of the internal membership set (observability hook).
+    pub fn rollovers(&self) -> u64 {
+        self.in_set.rollovers()
+    }
 }
 
 /// Computes the articulation points of the subgraph induced by `members`,
@@ -58,7 +72,19 @@ pub fn articulation_points_into(
     scratch.sorted.clear();
     scratch.sorted.extend_from_slice(members);
     scratch.sorted.sort_unstable();
+    // Stamp membership and record each member's local (sorted) index for O(1)
+    // neighbor probes during the DFS.
+    scratch.in_set.begin(graph.len());
+    if scratch.pos.len() < graph.len() {
+        scratch.pos.resize(graph.len(), 0);
+    }
+    for (idx, &v) in scratch.sorted.iter().enumerate() {
+        scratch.in_set.mark(v);
+        scratch.pos[v as usize] = idx as u32;
+    }
     let sorted = &scratch.sorted;
+    let in_set = &scratch.in_set;
+    let pos = &scratch.pos;
 
     // Iterative Tarjan lowlink over local indices.
     const NIL: u32 = u32::MAX;
@@ -95,10 +121,10 @@ pub fn articulation_points_into(
             if *cursor < neighbors.len() {
                 let w_global = neighbors[*cursor];
                 *cursor += 1;
-                let Ok(w) = sorted.binary_search(&w_global) else {
+                if !in_set.is_marked(w_global) {
                     continue; // neighbor outside the region
-                };
-                let w = w as u32;
+                }
+                let w = pos[w_global as usize];
                 if disc[w as usize] == NIL {
                     parent[w as usize] = u;
                     disc[w as usize] = timer;

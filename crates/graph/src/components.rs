@@ -5,6 +5,8 @@
 //! first-class operation.
 
 use crate::graph::ContiguityGraph;
+use crate::scratch::VisitScratch;
+use crate::traversal::bfs_visit;
 
 /// Component labeling of every vertex plus the member lists per component.
 #[derive(Clone, Debug, PartialEq)]
@@ -60,7 +62,18 @@ pub fn connected_components(graph: &ContiguityGraph) -> Components {
 
 /// Whether the whole graph is connected (true for the empty graph).
 pub fn is_connected(graph: &ContiguityGraph) -> bool {
-    graph.is_empty() || connected_components(graph).count() == 1
+    let mut visited = VisitScratch::with_capacity(graph.len());
+    let mut queue = Vec::new();
+    is_connected_with(graph, &mut visited, &mut queue)
+}
+
+/// Allocation-free variant of [`is_connected`] reusing caller buffers.
+pub fn is_connected_with(
+    graph: &ContiguityGraph,
+    visited: &mut VisitScratch,
+    queue: &mut Vec<u32>,
+) -> bool {
+    graph.is_empty() || bfs_visit(graph, 0, visited, queue, |_| {}) == graph.len()
 }
 
 #[cfg(test)]

@@ -2,12 +2,18 @@
 
 use crate::error::GraphError;
 
-/// An undirected graph over `n` areas, stored as sorted adjacency lists.
+/// An undirected graph over `n` areas in compressed sparse row (CSR) form.
 ///
 /// Vertex ids are dense `u32` in `0..n`, matching area indices in the dataset.
+/// The neighbors of vertex `v` are the contiguous, ascending-sorted slice
+/// `neighbors[offsets[v]..offsets[v + 1]]`, so every traversal walks flat
+/// memory instead of chasing one heap allocation per vertex.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ContiguityGraph {
-    adjacency: Vec<Vec<u32>>,
+    /// `n + 1` row boundaries into `neighbors` (`offsets[0] == 0`).
+    offsets: Vec<u32>,
+    /// All adjacency lists, concatenated; each row sorted ascending.
+    neighbors: Vec<u32>,
 }
 
 impl ContiguityGraph {
@@ -15,7 +21,6 @@ impl ContiguityGraph {
     ///
     /// Edges are deduplicated; self-loops are rejected.
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
-        let mut adjacency = vec![Vec::new(); n];
         for &(i, j) in edges {
             if i == j {
                 return Err(GraphError::SelfLoop { vertex: i });
@@ -26,19 +31,18 @@ impl ContiguityGraph {
                     n,
                 });
             }
-            adjacency[i as usize].push(j);
-            adjacency[j as usize].push(i);
         }
-        for list in &mut adjacency {
-            list.sort_unstable();
-            list.dedup();
-        }
-        Ok(ContiguityGraph { adjacency })
+        Ok(Self::from_directed_pairs(n, |emit| {
+            for &(i, j) in edges {
+                emit(i, j);
+                emit(j, i);
+            }
+        }))
     }
 
     /// Builds a graph from pre-computed adjacency lists (normalized to be
     /// sorted, deduplicated, and symmetric).
-    pub fn from_adjacency(mut adjacency: Vec<Vec<u32>>) -> Result<Self, GraphError> {
+    pub fn from_adjacency(adjacency: Vec<Vec<u32>>) -> Result<Self, GraphError> {
         let n = adjacency.len();
         // Validate ranges and self-loops first.
         for (i, list) in adjacency.iter().enumerate() {
@@ -51,23 +55,55 @@ impl ContiguityGraph {
                 }
             }
         }
-        // Symmetrize.
-        let mut to_add: Vec<(usize, u32)> = Vec::new();
-        for (i, list) in adjacency.iter().enumerate() {
-            for &j in list {
-                if !adjacency[j as usize].contains(&(i as u32)) {
-                    to_add.push((j as usize, i as u32));
+        // Symmetrize: emit each listed arc in both directions; the CSR
+        // builder's sort + dedup collapses duplicates.
+        Ok(Self::from_directed_pairs(n, |emit| {
+            for (i, list) in adjacency.iter().enumerate() {
+                for &j in list {
+                    emit(i as u32, j);
+                    emit(j, i as u32);
                 }
             }
+        }))
+    }
+
+    /// Builds the CSR arrays from a directed-pair generator. The generator is
+    /// invoked twice: once to count row sizes, once to scatter the pairs.
+    /// Rows are then sorted, deduplicated, and compacted in place.
+    fn from_directed_pairs(n: usize, generate: impl Fn(&mut dyn FnMut(u32, u32))) -> Self {
+        let mut offsets = vec![0u32; n + 1];
+        generate(&mut |i, _| offsets[i as usize + 1] += 1);
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
         }
-        for (i, j) in to_add {
-            adjacency[i].push(j);
+        let total = offsets[n] as usize;
+        let mut neighbors = vec![0u32; total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        generate(&mut |i, j| {
+            let c = &mut cursor[i as usize];
+            neighbors[*c as usize] = j;
+            *c += 1;
+        });
+        // Sort each row, then dedup while compacting rows left.
+        let mut write = 0usize;
+        for v in 0..n {
+            let start = offsets[v] as usize;
+            let end = offsets[v + 1] as usize;
+            neighbors[start..end].sort_unstable();
+            let row_start = write;
+            for idx in start..end {
+                let x = neighbors[idx];
+                if write == row_start || neighbors[write - 1] != x {
+                    neighbors[write] = x;
+                    write += 1;
+                }
+            }
+            offsets[v] = row_start as u32;
         }
-        for list in &mut adjacency {
-            list.sort_unstable();
-            list.dedup();
-        }
-        Ok(ContiguityGraph { adjacency })
+        offsets[n] = write as u32;
+        neighbors.truncate(write);
+        neighbors.shrink_to_fit();
+        ContiguityGraph { offsets, neighbors }
     }
 
     /// A `w x h` 4-connected lattice (useful for tests and synthetic data).
@@ -90,51 +126,54 @@ impl ContiguityGraph {
     /// Number of vertices.
     #[inline]
     pub fn len(&self) -> usize {
-        self.adjacency.len()
+        self.offsets.len() - 1
     }
 
     /// Whether the graph has no vertices.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.adjacency.is_empty()
+        self.len() == 0
     }
 
     /// Neighbors of `v`, sorted ascending.
     #[inline]
     pub fn neighbors(&self, v: u32) -> &[u32] {
-        &self.adjacency[v as usize]
+        let start = self.offsets[v as usize] as usize;
+        let end = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[start..end]
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: u32) -> usize {
-        self.adjacency[v as usize].len()
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
     }
 
-    /// Whether `(i, j)` is an edge (binary search on the sorted list).
+    /// Whether `(i, j)` is an edge (binary search on the sorted row).
     #[inline]
     pub fn has_edge(&self, i: u32, j: u32) -> bool {
-        self.adjacency[i as usize].binary_search(&j).is_ok()
+        self.neighbors(i).binary_search(&j).is_ok()
     }
 
     /// Number of undirected edges.
+    #[inline]
     pub fn edge_count(&self) -> usize {
-        self.adjacency.iter().map(|l| l.len()).sum::<usize>() / 2
+        self.neighbors.len() / 2
     }
 
     /// Mean vertex degree (0 for an empty graph).
     pub fn mean_degree(&self) -> f64 {
-        if self.adjacency.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        2.0 * self.edge_count() as f64 / self.adjacency.len() as f64
+        self.neighbors.len() as f64 / self.len() as f64
     }
 
     /// Iterates all undirected edges `(i, j)` with `i < j`.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.adjacency.iter().enumerate().flat_map(|(i, list)| {
-            let i = i as u32;
-            list.iter()
+        (0..self.len() as u32).flat_map(move |i| {
+            self.neighbors(i)
+                .iter()
                 .copied()
                 .filter(move |&j| i < j)
                 .map(move |j| (i, j))
@@ -203,5 +242,16 @@ mod tests {
         let g = ContiguityGraph::from_edges(0, &[]).unwrap();
         assert!(g.is_empty());
         assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_rows() {
+        let g = ContiguityGraph::from_edges(4, &[(1, 3)]).unwrap();
+        assert!(g.neighbors(0).is_empty());
+        assert_eq!(g.neighbors(1), &[3]);
+        assert!(g.neighbors(2).is_empty());
+        assert_eq!(g.neighbors(3), &[1]);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.edge_count(), 1);
     }
 }

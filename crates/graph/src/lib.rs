@@ -4,7 +4,10 @@
 //! areas: vertices are areas, edges are spatial adjacency. This crate
 //! provides that graph plus the connectivity machinery FaCT needs:
 //!
-//! * [`ContiguityGraph`] — sorted adjacency lists over dense `u32` ids;
+//! * [`ContiguityGraph`] — compressed sparse row (CSR) adjacency over dense
+//!   `u32` ids: one flat neighbor array, `neighbors(v)` is a slice walk;
+//! * [`scratch`] — epoch-stamped visited sets ([`VisitScratch`]) so repeated
+//!   traversals never clear or allocate per call;
 //! * [`components`] — whole-graph connected components (EMP supports
 //!   multi-component datasets);
 //! * [`subgraph`] — region connectivity checks, boundary areas, frontiers;
@@ -26,9 +29,11 @@ pub mod articulation;
 pub mod components;
 pub mod error;
 pub mod graph;
+pub mod scratch;
 pub mod subgraph;
 pub mod traversal;
 
 pub use components::{connected_components, is_connected, Components};
 pub use error::GraphError;
 pub use graph::ContiguityGraph;
+pub use scratch::{SubsetScratch, VisitScratch};

@@ -1,0 +1,184 @@
+//! Reusable, allocation-free visited marking for graph traversals.
+//!
+//! Every traversal needs a "have I seen this vertex?" set. Allocating (or
+//! zero-filling) a `vec![false; n]` per call dominates the cost of the small
+//! subgraph walks FaCT performs millions of times. [`VisitScratch`] replaces
+//! the boolean vector with an epoch-stamped `Vec<u32>`: starting a new round
+//! is a single counter increment, and a vertex is visited iff its stamp equals
+//! the current epoch. The stamp array is only zero-filled when the 32-bit
+//! epoch wraps around (once every ~4.3 billion rounds), which callers can
+//! monitor via [`VisitScratch::rollovers`].
+
+/// Epoch-stamped visited set over dense `u32` ids.
+///
+/// ```
+/// use emp_graph::VisitScratch;
+///
+/// let mut visited = VisitScratch::new();
+/// visited.begin(10);
+/// assert!(visited.mark(3)); // newly marked
+/// assert!(!visited.mark(3)); // already marked this round
+/// visited.begin(10); // O(1): nothing to clear
+/// assert!(!visited.is_marked(3));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VisitScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    rollovers: u64,
+}
+
+impl VisitScratch {
+    /// An empty scratch; the stamp array grows on first [`begin`](Self::begin).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for a domain of `n` ids.
+    pub fn with_capacity(n: usize) -> Self {
+        VisitScratch {
+            stamp: vec![0; n],
+            epoch: 0,
+            rollovers: 0,
+        }
+    }
+
+    /// Starts a new visitation round over ids `0..n`. O(1) except when the
+    /// stamp array must grow or the epoch wraps around.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+            self.rollovers += 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Marks `v` as visited. Returns `true` if `v` was not yet marked in the
+    /// current round.
+    #[inline]
+    pub fn mark(&mut self, v: u32) -> bool {
+        let slot = &mut self.stamp[v as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `v` has been marked in the current round.
+    #[inline]
+    pub fn is_marked(&self, v: u32) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+
+    /// Unmarks `v` in the current round (used for "set minus one element"
+    /// membership tests without restarting the round).
+    #[inline]
+    pub fn unmark(&mut self, v: u32) {
+        // Epoch 0 never equals the live epoch: `begin` starts at 1.
+        self.stamp[v as usize] = self.epoch.wrapping_sub(1);
+    }
+
+    /// How many times the 32-bit epoch wrapped and forced a full zero-fill.
+    /// Exposed so solvers can report it as an observability counter.
+    #[inline]
+    pub fn rollovers(&self) -> u64 {
+        self.rollovers
+    }
+
+    /// Forces the epoch close to the wraparound point (test hook for
+    /// exercising rollover behaviour without 4.3 billion rounds).
+    pub fn force_epoch_near_max(&mut self) {
+        self.epoch = u32::MAX - 1;
+    }
+}
+
+/// Shared buffers for subset-connectivity and frontier queries: a membership
+/// set, a visited set, and a work stack. One instance serves all the
+/// subgraph helpers in [`crate::subgraph`].
+#[derive(Clone, Debug, Default)]
+pub struct SubsetScratch {
+    /// Which vertices belong to the queried subset this round.
+    pub(crate) in_set: VisitScratch,
+    /// Which subset vertices the walk has reached.
+    pub(crate) visited: VisitScratch,
+    /// DFS/BFS work stack of vertex ids.
+    pub(crate) stack: Vec<u32>,
+}
+
+impl SubsetScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total epoch rollovers across the contained visit sets.
+    pub fn rollovers(&self) -> u64 {
+        self.in_set.rollovers() + self.visited.rollovers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marking_is_per_round() {
+        let mut s = VisitScratch::new();
+        s.begin(4);
+        assert!(s.mark(0));
+        assert!(s.mark(3));
+        assert!(!s.mark(0));
+        assert!(s.is_marked(3));
+        assert!(!s.is_marked(1));
+        s.begin(4);
+        assert!(!s.is_marked(0));
+        assert!(s.mark(0));
+    }
+
+    #[test]
+    fn grows_to_larger_domains() {
+        let mut s = VisitScratch::new();
+        s.begin(2);
+        s.mark(1);
+        s.begin(8);
+        assert!(!s.is_marked(7));
+        assert!(s.mark(7));
+    }
+
+    #[test]
+    fn unmark_removes_from_round() {
+        let mut s = VisitScratch::new();
+        s.begin(4);
+        s.mark(2);
+        s.unmark(2);
+        assert!(!s.is_marked(2));
+        assert!(s.mark(2));
+    }
+
+    #[test]
+    fn epoch_rollover_clears_stale_stamps() {
+        let mut s = VisitScratch::new();
+        s.begin(4);
+        s.mark(1);
+        s.force_epoch_near_max();
+        // Next begin hits u32::MAX, the one after wraps and zero-fills.
+        s.begin(4);
+        assert_eq!(s.rollovers(), 0);
+        s.mark(2);
+        s.begin(4);
+        assert_eq!(s.rollovers(), 1);
+        assert!(!s.is_marked(1));
+        assert!(!s.is_marked(2));
+        assert!(s.mark(2));
+        // Subsequent rounds behave normally.
+        s.begin(4);
+        assert!(!s.is_marked(2));
+    }
+}

@@ -4,39 +4,52 @@
 //! leaves?" during Step 3 swaps and Tabu moves. These helpers answer such
 //! questions without materializing subgraphs, using a caller-provided
 //! membership predicate over the global assignment.
+//!
+//! Every query has two forms: a convenience function that allocates its own
+//! working memory, and a `_with` / `_into` form that reuses a caller-held
+//! [`SubsetScratch`] so the hot loops in the solver run allocation-free.
 
 use crate::graph::ContiguityGraph;
+use crate::scratch::SubsetScratch;
 
 /// Whether the vertices in `members` induce a connected subgraph.
 ///
 /// `members` may be in any order; duplicates are not allowed. An empty set is
 /// considered connected (a region, however, always has >= 1 area).
 pub fn is_connected_subset(graph: &ContiguityGraph, members: &[u32]) -> bool {
+    is_connected_subset_with(graph, members, &mut SubsetScratch::new())
+}
+
+/// Allocation-free variant of [`is_connected_subset`] reusing `scratch`.
+pub fn is_connected_subset_with(
+    graph: &ContiguityGraph,
+    members: &[u32],
+    scratch: &mut SubsetScratch,
+) -> bool {
     match members.len() {
         0 | 1 => return true,
         _ => {}
     }
-    // Membership test via a sorted copy: O(k log k) once, O(log k) per probe.
-    let mut sorted = members.to_vec();
-    sorted.sort_unstable();
-    debug_assert!(sorted.windows(2).all(|w| w[0] != w[1]), "duplicate member");
-    let mut visited = vec![false; sorted.len()];
-    let mut stack = vec![0usize];
-    visited[0] = true;
+    scratch.in_set.begin(graph.len());
+    for &v in members {
+        let fresh = scratch.in_set.mark(v);
+        debug_assert!(fresh, "duplicate member {v}");
+    }
+    scratch.visited.begin(graph.len());
+    scratch.stack.clear();
+    let start = members[0];
+    scratch.visited.mark(start);
+    scratch.stack.push(start);
     let mut seen = 1usize;
-    while let Some(idx) = stack.pop() {
-        let v = sorted[idx];
+    while let Some(v) = scratch.stack.pop() {
         for &w in graph.neighbors(v) {
-            if let Ok(widx) = sorted.binary_search(&w) {
-                if !visited[widx] {
-                    visited[widx] = true;
-                    seen += 1;
-                    stack.push(widx);
-                }
+            if scratch.in_set.is_marked(w) && scratch.visited.mark(w) {
+                seen += 1;
+                scratch.stack.push(w);
             }
         }
     }
-    seen == sorted.len()
+    seen == members.len()
 }
 
 /// Whether the subgraph induced by `members` minus vertex `removed` is still
@@ -45,12 +58,44 @@ pub fn is_connected_subset(graph: &ContiguityGraph, members: &[u32]) -> bool {
 /// Returns `false` when the region would become empty — by convention a
 /// region must keep at least one area, so removing the last area is invalid.
 pub fn is_connected_after_removal(graph: &ContiguityGraph, members: &[u32], removed: u32) -> bool {
+    is_connected_after_removal_with(graph, members, removed, &mut SubsetScratch::new())
+}
+
+/// Allocation-free variant of [`is_connected_after_removal`].
+pub fn is_connected_after_removal_with(
+    graph: &ContiguityGraph,
+    members: &[u32],
+    removed: u32,
+    scratch: &mut SubsetScratch,
+) -> bool {
     debug_assert!(members.contains(&removed));
-    if members.len() == 1 {
+    if members.len() <= 1 {
         return false;
     }
-    let remaining: Vec<u32> = members.iter().copied().filter(|&v| v != removed).collect();
-    is_connected_subset(graph, &remaining)
+    scratch.in_set.begin(graph.len());
+    for &v in members {
+        scratch.in_set.mark(v);
+    }
+    scratch.in_set.unmark(removed);
+    scratch.visited.begin(graph.len());
+    scratch.stack.clear();
+    let start = members
+        .iter()
+        .copied()
+        .find(|&v| v != removed)
+        .expect("members has >= 2 vertices");
+    scratch.visited.mark(start);
+    scratch.stack.push(start);
+    let mut seen = 1usize;
+    while let Some(v) = scratch.stack.pop() {
+        for &w in graph.neighbors(v) {
+            if scratch.in_set.is_marked(w) && scratch.visited.mark(w) {
+                seen += 1;
+                scratch.stack.push(w);
+            }
+        }
+    }
+    seen == members.len() - 1
 }
 
 /// Members of `members` that have at least one neighbor for which
@@ -70,19 +115,34 @@ pub fn boundary_areas<F: Fn(u32) -> bool>(
 /// All vertices outside `members` adjacent to at least one member, sorted and
 /// deduplicated: the region's neighboring frontier.
 pub fn frontier(graph: &ContiguityGraph, members: &[u32]) -> Vec<u32> {
-    let mut inside = members.to_vec();
-    inside.sort_unstable();
     let mut out = Vec::new();
+    frontier_into(graph, members, &mut SubsetScratch::new(), &mut out);
+    out
+}
+
+/// Allocation-free variant of [`frontier`]: writes the sorted, deduplicated
+/// frontier into `out` (cleared first).
+pub fn frontier_into(
+    graph: &ContiguityGraph,
+    members: &[u32],
+    scratch: &mut SubsetScratch,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    scratch.in_set.begin(graph.len());
+    for &v in members {
+        scratch.in_set.mark(v);
+    }
+    // `visited` doubles as the output dedup set.
+    scratch.visited.begin(graph.len());
     for &v in members {
         for &w in graph.neighbors(v) {
-            if inside.binary_search(&w).is_err() {
+            if !scratch.in_set.is_marked(w) && scratch.visited.mark(w) {
                 out.push(w);
             }
         }
     }
     out.sort_unstable();
-    out.dedup();
-    out
 }
 
 #[cfg(test)]
@@ -141,5 +201,37 @@ mod tests {
         let g = ContiguityGraph::lattice(3, 3);
         assert!(is_connected_subset(&g, &[2, 0, 1]));
         assert!(!is_connected_subset(&g, &[8, 0]));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_queries() {
+        let g = ContiguityGraph::lattice(4, 4);
+        let regions: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2, 3],
+            vec![0, 4, 8, 12, 13],
+            vec![5, 6, 9, 10],
+            vec![0, 15],
+            (0..16).collect(),
+        ];
+        let mut scratch = SubsetScratch::new();
+        let mut out = Vec::new();
+        for region in &regions {
+            assert_eq!(
+                is_connected_subset_with(&g, region, &mut scratch),
+                is_connected_subset(&g, region),
+                "region {region:?}"
+            );
+            frontier_into(&g, region, &mut scratch, &mut out);
+            assert_eq!(out, frontier(&g, region), "region {region:?}");
+            for &v in region {
+                if region.len() > 1 {
+                    assert_eq!(
+                        is_connected_after_removal_with(&g, region, v, &mut scratch),
+                        is_connected_after_removal(&g, region, v),
+                        "remove {v} from {region:?}"
+                    );
+                }
+            }
+        }
     }
 }

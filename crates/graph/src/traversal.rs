@@ -1,22 +1,24 @@
 //! Breadth-first traversal utilities.
 
 use crate::graph::ContiguityGraph;
+use crate::scratch::VisitScratch;
 use std::collections::VecDeque;
 
 /// Breadth-first iterator over the component containing `start`.
 pub struct Bfs<'g> {
     graph: &'g ContiguityGraph,
     queue: VecDeque<u32>,
-    visited: Vec<bool>,
+    visited: VisitScratch,
 }
 
 impl<'g> Bfs<'g> {
     /// Starts a BFS from `start`.
     pub fn new(graph: &'g ContiguityGraph, start: u32) -> Self {
-        let mut visited = vec![false; graph.len()];
+        let mut visited = VisitScratch::with_capacity(graph.len());
+        visited.begin(graph.len());
         let mut queue = VecDeque::new();
         if (start as usize) < graph.len() {
-            visited[start as usize] = true;
+            visited.mark(start);
             queue.push_back(start);
         }
         Bfs {
@@ -33,13 +35,43 @@ impl Iterator for Bfs<'_> {
     fn next(&mut self) -> Option<u32> {
         let v = self.queue.pop_front()?;
         for &w in self.graph.neighbors(v) {
-            if !self.visited[w as usize] {
-                self.visited[w as usize] = true;
+            if self.visited.mark(w) {
                 self.queue.push_back(w);
             }
         }
         Some(v)
     }
+}
+
+/// Visits the component containing `start`, calling `f` for each vertex in
+/// BFS order. Allocation-free: reuses the caller's `visited` set and `queue`
+/// buffer (cleared here). Returns the number of vertices visited.
+pub fn bfs_visit(
+    graph: &ContiguityGraph,
+    start: u32,
+    visited: &mut VisitScratch,
+    queue: &mut Vec<u32>,
+    mut f: impl FnMut(u32),
+) -> usize {
+    visited.begin(graph.len());
+    queue.clear();
+    if (start as usize) >= graph.len() {
+        return 0;
+    }
+    visited.mark(start);
+    queue.push(start);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        f(v);
+        for &w in graph.neighbors(v) {
+            if visited.mark(w) {
+                queue.push(w);
+            }
+        }
+    }
+    head
 }
 
 /// BFS distances from `start` to every vertex (`u32::MAX` if unreachable).
@@ -89,6 +121,29 @@ mod tests {
                 assert!(pos(near) < pos(far));
             }
         }
+    }
+
+    #[test]
+    fn bfs_visit_matches_iterator() {
+        let g = ContiguityGraph::lattice(4, 3);
+        let mut visited = VisitScratch::new();
+        let mut queue = Vec::new();
+        for start in 0..g.len() as u32 {
+            let mut order = Vec::new();
+            let count = bfs_visit(&g, start, &mut visited, &mut queue, |v| order.push(v));
+            let expected: Vec<u32> = Bfs::new(&g, start).collect();
+            assert_eq!(order, expected);
+            assert_eq!(count, expected.len());
+        }
+    }
+
+    #[test]
+    fn bfs_visit_out_of_range_start_is_empty() {
+        let g = ContiguityGraph::lattice(2, 2);
+        let mut visited = VisitScratch::new();
+        let mut queue = Vec::new();
+        let count = bfs_visit(&g, 99, &mut visited, &mut queue, |_| panic!("no visits"));
+        assert_eq!(count, 0);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Property tests pinning the CSR constructors to a straightforward
+//! nested-`Vec` reference implementation: same neighbor sets, same error
+//! cases, for both `from_edges` and `from_adjacency`. Plus epoch-rollover
+//! coverage for `VisitScratch` (the u32 stamp wraparound path).
+
+use emp_graph::{ContiguityGraph, GraphError, VisitScratch};
+use proptest::prelude::*;
+
+/// Reference `from_edges`: validate, symmetrize into nested Vecs, sort,
+/// dedup. Mirrors the pre-CSR representation the solver used to hold.
+fn reference_from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Vec<Vec<u32>>, GraphError> {
+    for &(i, j) in edges {
+        if i == j {
+            return Err(GraphError::SelfLoop { vertex: i });
+        }
+        if i as usize >= n || j as usize >= n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: i.max(j),
+                n,
+            });
+        }
+    }
+    let mut adj = vec![Vec::new(); n];
+    for &(i, j) in edges {
+        adj[i as usize].push(j);
+        adj[j as usize].push(i);
+    }
+    for row in &mut adj {
+        row.sort_unstable();
+        row.dedup();
+    }
+    Ok(adj)
+}
+
+/// Reference `from_adjacency`: validate, symmetrize, sort, dedup.
+fn reference_from_adjacency(adjacency: &[Vec<u32>]) -> Result<Vec<Vec<u32>>, GraphError> {
+    let n = adjacency.len();
+    for (i, list) in adjacency.iter().enumerate() {
+        for &j in list {
+            if j as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: j, n });
+            }
+            if j as usize == i {
+                return Err(GraphError::SelfLoop { vertex: i as u32 });
+            }
+        }
+    }
+    let mut adj = vec![Vec::new(); n];
+    for (i, list) in adjacency.iter().enumerate() {
+        for &j in list {
+            adj[i].push(j);
+            adj[j as usize].push(i as u32);
+        }
+    }
+    for row in &mut adj {
+        row.sort_unstable();
+        row.dedup();
+    }
+    Ok(adj)
+}
+
+fn assert_same_graph(graph: &ContiguityGraph, reference: &[Vec<u32>]) {
+    assert_eq!(graph.len(), reference.len());
+    for (v, row) in reference.iter().enumerate() {
+        assert_eq!(
+            graph.neighbors(v as u32),
+            row.as_slice(),
+            "neighbor row of vertex {v}"
+        );
+        assert_eq!(graph.degree(v as u32), row.len());
+    }
+    let edges: usize = reference.iter().map(Vec::len).sum::<usize>() / 2;
+    assert_eq!(graph.edge_count(), edges);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Valid edge lists (in-range, no self-loops, duplicates allowed):
+    /// CSR rows equal the sorted-deduped nested-Vec reference.
+    #[test]
+    fn from_edges_matches_reference(
+        n in 1usize..48,
+        raw in prop::collection::vec((0u32..48, 0u32..48), 0..120),
+    ) {
+        let edges: Vec<(u32, u32)> = raw
+            .into_iter()
+            .filter(|&(a, b)| a != b && (a as usize) < n && (b as usize) < n)
+            .collect();
+        let graph = ContiguityGraph::from_edges(n, &edges).unwrap();
+        let reference = reference_from_edges(n, &edges).unwrap();
+        assert_same_graph(&graph, &reference);
+    }
+
+    /// Arbitrary edge lists including invalid ones: the CSR constructor and
+    /// the reference return the *same* result, errors included (same variant,
+    /// same offending vertex — first bad edge wins in both).
+    #[test]
+    fn from_edges_matches_reference_errors_included(
+        n in 0usize..16,
+        edges in prop::collection::vec((0u32..20, 0u32..20), 0..40),
+    ) {
+        let got = ContiguityGraph::from_edges(n, &edges);
+        let expected = reference_from_edges(n, &edges);
+        match (got, expected) {
+            (Ok(graph), Ok(reference)) => assert_same_graph(&graph, &reference),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "CSR {:?} vs reference {:?}", a.map(|g| g.len()), b.map(|r| r.len())),
+        }
+    }
+
+    /// Asymmetric, unsorted, duplicated adjacency input: `from_adjacency`
+    /// normalizes exactly like the reference (symmetrize + sort + dedup).
+    #[test]
+    fn from_adjacency_matches_reference(
+        rows in prop::collection::vec(prop::collection::vec(0u32..24, 0..8), 0..24),
+    ) {
+        let got = ContiguityGraph::from_adjacency(rows.clone());
+        let expected = reference_from_adjacency(&rows);
+        match (got, expected) {
+            (Ok(graph), Ok(reference)) => assert_same_graph(&graph, &reference),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "CSR {:?} vs reference {:?}", a.map(|g| g.len()), b.map(|r| r.len())),
+        }
+    }
+
+    /// The two constructors agree with each other when fed the same graph.
+    #[test]
+    fn from_edges_and_from_adjacency_agree(
+        n in 1usize..32,
+        raw in prop::collection::vec((0u32..32, 0u32..32), 0..80),
+    ) {
+        let edges: Vec<(u32, u32)> = raw
+            .into_iter()
+            .filter(|&(a, b)| a != b && (a as usize) < n && (b as usize) < n)
+            .collect();
+        let via_edges = ContiguityGraph::from_edges(n, &edges).unwrap();
+        let mut adj = vec![Vec::new(); n];
+        for &(i, j) in &edges {
+            adj[i as usize].push(j); // one direction only: constructor symmetrizes
+        }
+        let via_adjacency = ContiguityGraph::from_adjacency(adj).unwrap();
+        prop_assert_eq!(via_edges, via_adjacency);
+    }
+
+    /// Marks survive an epoch wraparound: force the stamp near `u32::MAX`,
+    /// then run several rounds across the rollover and check that each round
+    /// still sees exactly its own marks (stale stamps never leak through).
+    #[test]
+    fn epoch_rollover_preserves_mark_semantics(
+        n in 1usize..40,
+        marks in prop::collection::vec(0u32..40, 1..20),
+        rounds in 2usize..6,
+    ) {
+        let marks: Vec<u32> = marks.into_iter().filter(|&v| (v as usize) < n).collect();
+        let mut scratch = VisitScratch::new();
+
+        // Seed some stamps at a normal epoch, then jump next to the wrap.
+        scratch.begin(n);
+        for &v in &marks {
+            scratch.mark(v);
+        }
+        scratch.force_epoch_near_max();
+        prop_assert_eq!(scratch.rollovers(), 0);
+
+        let mut wrapped = false;
+        for round in 0..rounds {
+            scratch.begin(n); // round 1 lands on u32::MAX, round 2 wraps
+            wrapped |= scratch.rollovers() > 0;
+            for v in 0..n as u32 {
+                prop_assert!(!scratch.is_marked(v), "stale mark on {} in round {}", v, round);
+            }
+            for (idx, &v) in marks.iter().enumerate() {
+                let fresh = scratch.mark(v);
+                prop_assert_eq!(fresh, !marks[..idx].contains(&v), "mark({v})");
+                prop_assert!(scratch.is_marked(v));
+            }
+        }
+        prop_assert!(wrapped, "test must actually cross the wraparound");
+        prop_assert_eq!(scratch.rollovers(), 1, "exactly one zero-fill");
+    }
+
+    /// `unmark` stays sound immediately after a rollover zero-fill (epoch 1:
+    /// unmark writes epoch 0, which must not read as marked).
+    #[test]
+    fn unmark_sound_across_rollover(v in 0u32..16) {
+        let mut scratch = VisitScratch::new();
+        scratch.begin(16);
+        scratch.force_epoch_near_max();
+        scratch.begin(16); // u32::MAX
+        scratch.begin(16); // wraps: zero-fill, epoch restarts at 1
+        prop_assert_eq!(scratch.rollovers(), 1);
+        prop_assert!(scratch.mark(v));
+        scratch.unmark(v);
+        prop_assert!(!scratch.is_marked(v));
+        prop_assert!(scratch.mark(v), "unmarked vertex re-marks as fresh");
+    }
+}

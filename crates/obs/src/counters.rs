@@ -52,10 +52,15 @@ pub enum CounterKind {
     MergeTrials,
     /// Incremental-objective resyncs against a fresh recomputation.
     ObjectiveResyncs,
+    /// Epoch wraparounds of reusable visited-set scratches (each forces one
+    /// full stamp clear; expected ~0 outside stress tests).
+    ScratchEpochRollovers,
+    /// Total CSR neighbor-slice entries walked by the tabu candidate scan.
+    NeighborEntriesWalked,
 }
 
 /// Number of counter kinds (the length of [`Counters`]' backing array).
-pub const COUNTER_KINDS: usize = 20;
+pub const COUNTER_KINDS: usize = 22;
 
 impl CounterKind {
     /// All kinds, in discriminant order.
@@ -80,6 +85,8 @@ impl CounterKind {
         CounterKind::RegionsMerged,
         CounterKind::MergeTrials,
         CounterKind::ObjectiveResyncs,
+        CounterKind::ScratchEpochRollovers,
+        CounterKind::NeighborEntriesWalked,
     ];
 
     /// Stable snake_case name used in JSONL traces and tables.
@@ -105,6 +112,8 @@ impl CounterKind {
             CounterKind::RegionsMerged => "regions_merged",
             CounterKind::MergeTrials => "merge_trials",
             CounterKind::ObjectiveResyncs => "objective_resyncs",
+            CounterKind::ScratchEpochRollovers => "scratch_epoch_rollovers",
+            CounterKind::NeighborEntriesWalked => "neighbor_entries_walked",
         }
     }
 

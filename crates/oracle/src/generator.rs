@@ -157,7 +157,7 @@ fn build_graph_and_attributes(
     // Tessellation path: exercises the emp-data pipeline end to end,
     // including multi-component island layouts.
     if rng.chance(0.15) {
-        let n = n_target.min(24).max(6);
+        let n = n_target.clamp(6, 24);
         let islands = if rng.chance(0.4) { rng.range(2, 3) } else { 1 };
         let ds = Dataset::generate("fuzz", &TessellationSpec::islands(n, islands, seed));
         return (ds.graph, ds.attributes);

@@ -53,12 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 // matter at similar magnitudes.
                 Channel {
                     name: "x".into(),
-                    values: xs.clone(),
+                    values: xs,
                     weight: 300.0,
                 },
                 Channel {
                     name: "y".into(),
-                    values: ys.clone(),
+                    values: ys,
                     weight: 300.0,
                 },
             ])?,

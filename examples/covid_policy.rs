@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Dissimilarity: income — policy regions should be economically
     // homogeneous.
-    let instance = EmpInstance::new(base.graph.clone(), attrs, "INCOME")?;
+    let instance = EmpInstance::new(base.graph, attrs, "INCOME")?;
 
     let query = parse_constraints(
         "SUM(TOTALPOP) >= 200k AND AVG(INCOME) IN [3000, 5000] AND SUM(TRANSIT) >= 10k",

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload: Vec<f64> = calls.iter().map(|&c| c * rng.gen_range(0.8..1.3)).collect();
     attrs.push_column("CALLS", calls)?;
     attrs.push_column("WORKLOAD", workload)?;
-    let instance = EmpInstance::new(city.graph.clone(), attrs, "WORKLOAD")?;
+    let instance = EmpInstance::new(city.graph, attrs, "WORKLOAD")?;
 
     // Balanced sectors: a two-sided calls range keeps sectors neither idle
     // nor overloaded; COUNT keeps them geographically manageable.

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     attrs.push_column("AGE", age)?;
     attrs.push_column("UNEMPLOYED", unemployed)?;
 
-    let instance = EmpInstance::new(base.graph.clone(), attrs, "POPULATION")?;
+    let instance = EmpInstance::new(base.graph, attrs, "POPULATION")?;
 
     // One constraint per aggregate family:
     //   every area populated enough, no high-dropout outliers, working-age
@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\np = {} regions, {} unassigned, heterogeneity improved {:.1}%",
         report.p(),
         report.solution.unassigned.len(),
-        report.improvement() * 100.0
+        report.improvement().unwrap_or(0.0) * 100.0
     );
 
     // Show that each constraint family did its job on the first regions.

@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "heterogeneity: {:.0} -> {:.0} ({:.1}% improvement from tabu search)",
         report.heterogeneity_before,
         report.solution.heterogeneity,
-        report.improvement() * 100.0
+        report.improvement().unwrap_or(0.0) * 100.0
     );
     println!(
         "phase times: feasibility {:.3}s, construction {:.3}s, local search {:.3}s",

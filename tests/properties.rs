@@ -53,7 +53,7 @@ proptest! {
         let emp: Vec<f64> = (0..n)
             .map(|i| ((i as u64 * 40503 + seed * 7) % 883) as f64 / 883.0 * pop_scale * 0.5 + 1.0)
             .collect();
-        let instance = instance_from(w, h, pop.clone(), emp);
+        let instance = instance_from(w, h, pop, emp);
 
         let mut set = ConstraintSet::new();
         if use_min {
