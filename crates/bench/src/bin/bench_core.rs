@@ -13,8 +13,17 @@
 //!
 //! `--smoke` runs one sample on the smallest size only (the CI mode); see
 //! EXPERIMENTS.md for how to read the artifact.
+//!
+//! `--check-regression` turns the run into a perf watchdog: instead of
+//! overwriting `BENCH_core.json`, the fresh numbers are compared against it
+//! (or `--against FILE`) with the noise-aware thresholds of
+//! [`emp_bench::regress`] — min-of-k inputs, relative *and* absolute floors
+//! (tune with `--rel` / `--abs`) — and the process exits 1 on regression.
+//! `--candidate FILE` skips benching and compares two artifacts directly;
+//! `--report-out FILE` saves the verdict JSON for CI artifacts.
 
 use emp_bench::presets::Combo;
+use emp_bench::regress::{self, Thresholds};
 use emp_core::engine::ConstraintEngine;
 use emp_core::partition::Partition;
 use emp_core::{solve_observed, FactConfig};
@@ -35,6 +44,12 @@ struct Args {
     save_baseline: Option<String>,
     baseline: Option<String>,
     out: Option<String>,
+    check_regression: bool,
+    against: Option<String>,
+    candidate: Option<String>,
+    rel: Option<f64>,
+    abs: Option<f64>,
+    report_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +58,12 @@ fn parse_args() -> Args {
         save_baseline: None,
         baseline: None,
         out: None,
+        check_regression: false,
+        against: None,
+        candidate: None,
+        rel: None,
+        abs: None,
+        report_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,6 +72,12 @@ fn parse_args() -> Args {
             "--save-baseline" => args.save_baseline = it.next(),
             "--baseline" => args.baseline = it.next(),
             "--out" => args.out = it.next(),
+            "--check-regression" => args.check_regression = true,
+            "--against" => args.against = it.next(),
+            "--candidate" => args.candidate = it.next(),
+            "--rel" => args.rel = it.next().and_then(|v| v.parse().ok()),
+            "--abs" => args.abs = it.next().and_then(|v| v.parse().ok()),
+            "--report-out" => args.report_out = it.next(),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -192,8 +219,54 @@ fn merge_baseline(sizes: &mut [serde_json::Value], baseline: &serde_json::Value)
     }
 }
 
+const DEFAULT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+
+fn read_json(path: &str) -> serde_json::Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: not JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `--check-regression`: compare fresh (or `--candidate`) numbers against
+/// the committed artifact; never overwrites `BENCH_core.json`. Exits 1 on a
+/// regression, 0 when clean.
+fn run_check(args: &Args, candidate: serde_json::Value) -> ! {
+    let against = args.against.as_deref().unwrap_or(DEFAULT_PATH);
+    let reference = read_json(against);
+    let defaults = Thresholds::default();
+    let th = Thresholds {
+        rel: args.rel.unwrap_or(defaults.rel),
+        abs: args.abs.unwrap_or(defaults.abs),
+    };
+    let report = regress::compare(&reference, &candidate, &th);
+    print!("{}", report.render(&th));
+    if let Some(path) = &args.report_out {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report.to_json(&th)).unwrap(),
+        )
+        .expect("write regression report");
+        eprintln!("wrote regression report {path}");
+    }
+    std::process::exit(if report.is_regressed() { 1 } else { 0 });
+}
+
 fn main() {
     let args = parse_args();
+
+    if args.check_regression {
+        if let Some(path) = &args.candidate {
+            // File-vs-file mode: no benching at all.
+            let candidate = read_json(path);
+            run_check(&args, candidate);
+        }
+    }
+
     let samples = if args.smoke { 1 } else { 3 };
     let sizes: &[usize] = if args.smoke { &SMOKE_SIZES } else { &SIZES };
 
@@ -228,8 +301,19 @@ fn main() {
         "smoke": args.smoke,
         "sizes": results,
     });
-    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
-    let path = args.out.as_deref().unwrap_or(default_path);
+
+    if args.check_regression {
+        // Fresh-run mode: write only to an explicit --out (the committed
+        // reference must survive the check), then compare.
+        if let Some(path) = &args.out {
+            std::fs::write(path, serde_json::to_string_pretty(&artifact).unwrap())
+                .expect("write candidate artifact");
+            eprintln!("wrote {path}");
+        }
+        run_check(&args, artifact);
+    }
+
+    let path = args.out.as_deref().unwrap_or(DEFAULT_PATH);
     std::fs::write(path, serde_json::to_string_pretty(&artifact).unwrap())
         .expect("write BENCH_core.json");
     eprintln!("wrote {path}");

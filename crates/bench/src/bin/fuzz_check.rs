@@ -110,7 +110,7 @@ fn main() {
     let replay_options = FuzzOptions {
         corpus_dir: None,
         minimize: false,
-        ..options.clone()
+        ..options
     };
     match replay_corpus(&args.corpus, &replay_options) {
         Ok(report) => {

@@ -1,22 +1,28 @@
 //! `trace_check` — CI smoke check for the JSONL telemetry channel.
 //!
 //! ```text
-//! trace_check [--jobs N]
+//! trace_check [--jobs N] [--out PATH]
 //!
 //!   --jobs N   worker threads for the cell pool (default: EMP_JOBS or the
 //!              host parallelism; N >= 1). The emitted trace is identical
 //!              for every N.
+//!   --out PATH keep the validated JSONL trace at PATH (default: a temp
+//!              file, deleted after the check). CI pipes the kept trace
+//!              through `trace_report`.
 //! ```
 //!
 //! Runs a traced 200-area FaCT solve through the experiment cell pool
 //! (buffered per-cell sink, replayed into the JSONL writer — the same path
 //! `repro --trace` uses), then verifies that
 //!
-//! 1. every emitted line parses as JSON with a known `type`,
+//! 1. every emitted line parses as JSON with a known `type` (or the
+//!    `trace_end` completeness marker),
 //! 2. exactly one depth-0 `solve` span exists and its counters match the
 //!    [`Measurement`](emp_bench::Measurement) the harness reported,
 //! 3. the trajectory starts at iteration 0 and has one point per applied
-//!    move plus the initial one.
+//!    move plus the initial one,
+//! 4. a histogram record was emitted and the file's last line is the
+//!    terminal `trace_end` marker (no truncation).
 //!
 //! Exits non-zero (panics) on any violation, so CI fails loudly.
 
@@ -29,6 +35,7 @@ use serde_json::Value;
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut jobs: Option<usize> = None;
+    let mut out: Option<std::path::PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--jobs" => {
@@ -38,6 +45,10 @@ fn main() {
                     Ok(n) => jobs = Some(n),
                     Err(_) => usage(&format!("--jobs needs a positive integer, got '{v}'")),
                 }
+            }
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| usage("--out needs a path"));
+                out = Some(std::path::PathBuf::from(v));
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument '{other}'")),
@@ -50,7 +61,10 @@ fn main() {
     let instance = dataset.to_instance().expect("instance");
     let set = Combo::Mas.build(None, None, None);
 
-    let path = std::env::temp_dir().join(format!("emp_trace_check_{}.jsonl", std::process::id()));
+    let keep = out.is_some();
+    let path = out.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("emp_trace_check_{}.jsonl", std::process::id()))
+    });
     let writer = JsonlWriter::create(&path).expect("create trace file");
     let trace = Some(SharedSink::new(Box::new(writer)));
 
@@ -76,12 +90,16 @@ fn main() {
     assert!(m.p > 0, "seeded instance must be feasible");
 
     let content = std::fs::read_to_string(&path).expect("read trace file");
-    let _ = std::fs::remove_file(&path);
+    if !keep {
+        let _ = std::fs::remove_file(&path);
+    }
     assert!(!content.is_empty(), "trace file must not be empty");
 
     let mut root_spans = 0usize;
     let mut root_applied = 0u64;
     let mut trajectory_points = 0usize;
+    let mut hist_records = 0usize;
+    let mut trace_ends = 0usize;
     let mut first_iteration: Option<u64> = None;
     for (lineno, line) in content.lines().enumerate() {
         let v: Value = serde_json::from_str(line)
@@ -105,11 +123,25 @@ fn main() {
             Some("note") => {
                 assert!(v["key"].is_string(), "note without key: {line}");
             }
+            Some("hist") => {
+                assert!(v["hists"].is_object(), "hist without hists map: {line}");
+                hist_records += 1;
+            }
+            None if v["event"].as_str() == Some("trace_end") => {
+                trace_ends += 1;
+            }
             other => panic!("line {}: unknown event type {other:?}", lineno + 1),
         }
     }
 
     assert_eq!(root_spans, 1, "exactly one root solve span");
+    assert!(hist_records >= 1, "at least one histogram record");
+    assert_eq!(trace_ends, 1, "exactly one trace_end for one traced cell");
+    assert_eq!(
+        content.lines().last(),
+        Some("{\"event\":\"trace_end\"}"),
+        "trace must end with the completeness marker"
+    );
     let applied = m.counters.get(CounterKind::TabuMovesApplied);
     assert_eq!(
         root_applied, applied,
@@ -133,6 +165,6 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: trace_check [--jobs N]");
+    eprintln!("usage: trace_check [--jobs N] [--out PATH]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

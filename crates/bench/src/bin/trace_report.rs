@@ -1,0 +1,184 @@
+//! `trace_report` — offline analytics over recorded JSONL traces.
+//!
+//! ```text
+//! trace_report FILE... [--folded PATH] [--prom PATH] [--summary PATH] [--csv]
+//!
+//!   Ingests one or more JSONL traces (repro --trace / trace_check --out)
+//!   and prints the aggregated span tree (count, total/self seconds,
+//!   p50/p90/p99/max) plus counter and histogram rollups.
+//!
+//!   --folded PATH   write folded stacks (`a;b;c N`, self-time µs) for
+//!                   inferno / flamegraph.pl
+//!   --prom PATH     write a Prometheus text-format snapshot
+//!   --summary PATH  write the machine-readable summary JSON (the input
+//!                   format of `trace_report diff`)
+//!   --csv           print tables as CSV instead of Markdown
+//!
+//! trace_report diff BEFORE.json AFTER.json [--rel R] [--abs S]
+//!
+//!   Compares two summary JSONs (or any benchmark JSON with `*_s` keys,
+//!   e.g. BENCH_core.json) with the noise-aware thresholds of
+//!   `emp_bench::regress`; exits 1 when a timing regressed.
+//! ```
+//!
+//! Truncated traces (missing the terminal `trace_end` marker) are reported
+//! and exit non-zero: partial traces silently under-count spans.
+
+use emp_bench::regress::{self, Thresholds};
+use emp_bench::report::TraceReport;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("diff") {
+        run_diff(&args[1..]);
+    } else {
+        run_report(&args);
+    }
+}
+
+fn run_report(args: &[String]) {
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    let mut folded: Option<std::path::PathBuf> = None;
+    let mut prom: Option<std::path::PathBuf> = None;
+    let mut summary: Option<std::path::PathBuf> = None;
+    let mut csv = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--folded" => folded = Some(path_arg(&mut it, "--folded")),
+            "--prom" => prom = Some(path_arg(&mut it, "--prom")),
+            "--summary" => summary = Some(path_arg(&mut it, "--summary")),
+            "--csv" => csv = true,
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown argument '{other}'")),
+            file => files.push(file.into()),
+        }
+    }
+    if files.is_empty() {
+        usage("no trace files given");
+    }
+
+    let mut report = TraceReport::new();
+    for file in &files {
+        let content = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| fail(&format!("read {}: {e}", file.display())));
+        report
+            .ingest(&content)
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", file.display())));
+    }
+
+    let spans = report.span_table();
+    let counters = report.counter_table();
+    if csv {
+        print!("{}", spans.csv());
+        print!("{}", counters.csv());
+    } else {
+        print!("{}", spans.markdown());
+        print!("{}", counters.markdown());
+    }
+    for (name, h) in &report.hists {
+        println!(
+            "hist {name} ({}): count {} p50 {:?} p99 {:?} max {:?}",
+            h.unit,
+            h.hist.count(),
+            h.hist.quantile(0.50),
+            h.hist.quantile(0.99),
+            h.hist.max(),
+        );
+    }
+    println!(
+        "{} line(s), {} span(s), {} root(s), {} trace_end marker(s)",
+        report.lines, report.spans, report.roots, report.trace_ends
+    );
+
+    if let Some(path) = folded {
+        write_out(&path, &report.folded_stacks(), "folded stacks");
+    }
+    if let Some(path) = prom {
+        write_out(&path, &report.prometheus(), "Prometheus snapshot");
+    }
+    if let Some(path) = summary {
+        let json = serde_json::to_string_pretty(&report.summary_json()).expect("serialize");
+        write_out(&path, &json, "summary JSON");
+    }
+
+    if report.truncated || report.orphans > 0 {
+        eprintln!(
+            "error: trace is truncated ({} orphan span(s), trailing trace_end {})",
+            report.orphans,
+            if report.truncated {
+                "missing"
+            } else {
+                "present"
+            }
+        );
+        std::process::exit(1);
+    }
+}
+
+fn run_diff(args: &[String]) {
+    let mut th = Thresholds::default();
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rel" => th.rel = num_arg(&mut it, "--rel"),
+            "--abs" => th.abs = num_arg(&mut it, "--abs"),
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown argument '{other}'")),
+            file => files.push(file.into()),
+        }
+    }
+    let [before_path, after_path] = files.as_slice() else {
+        usage("diff needs exactly two files: BEFORE.json AFTER.json");
+    };
+    let before = read_json(before_path);
+    let after = read_json(after_path);
+    let report = regress::compare(&before, &after, &th);
+    print!("{}", report.render(&th));
+    if report.is_regressed() {
+        std::process::exit(1);
+    }
+}
+
+fn read_json(path: &std::path::Path) -> serde_json::Value {
+    let content = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("read {}: {e}", path.display())));
+    serde_json::from_str(&content)
+        .unwrap_or_else(|e| fail(&format!("{}: not JSON: {e}", path.display())))
+}
+
+fn write_out(path: &std::path::Path, content: &str, what: &str) {
+    std::fs::write(path, content).unwrap_or_else(|e| fail(&format!("write {what}: {e}")));
+    println!("wrote {what} to {}", path.display());
+}
+
+fn path_arg(it: &mut std::slice::Iter<'_, String>, flag: &str) -> std::path::PathBuf {
+    it.next()
+        .unwrap_or_else(|| usage(&format!("{flag} needs a path")))
+        .into()
+}
+
+fn num_arg(it: &mut std::slice::Iter<'_, String>, flag: &str) -> f64 {
+    let v = it
+        .next()
+        .unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+    v.parse()
+        .unwrap_or_else(|_| usage(&format!("{flag} needs a number, got '{v}'")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: trace_report FILE... [--folded PATH] [--prom PATH] [--summary PATH] [--csv]\n\
+         \x20      trace_report diff BEFORE.json AFTER.json [--rel R] [--abs S]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

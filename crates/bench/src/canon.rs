@@ -49,10 +49,15 @@ pub fn mask_timings(table: &Table) -> Table {
 }
 
 /// The canonical form of one JSONL trace line: the `wall_s` field value is
-/// replaced by `null`. All other fields — event type, span names, indices,
-/// depths, counters, trajectory points — are solver-deterministic and kept
-/// verbatim.
+/// replaced by `null`, and `hist` lines are masked wholly (span-duration
+/// bucket counts are nothing *but* timings). All other fields — event type,
+/// span names, indices, depths, counters, trajectory points, the terminal
+/// `trace_end` marker — are solver-deterministic and kept verbatim.
 pub fn canonical_trace_line(line: &str) -> String {
+    const HIST_PREFIX: &str = "{\"type\":\"hist\"";
+    if line.starts_with(HIST_PREFIX) {
+        return "{\"type\":\"hist\",\"hists\":null}".to_string();
+    }
     const KEY: &str = "\"wall_s\":";
     match line.find(KEY) {
         None => line.to_string(),
@@ -112,6 +117,13 @@ mod tests {
         );
         let traj = "{\"type\":\"trajectory\",\"iteration\":3,\"heterogeneity\":42.5}";
         assert_eq!(canonical_trace_line(traj), traj);
+        let end = "{\"event\":\"trace_end\"}";
+        assert_eq!(canonical_trace_line(end), end);
+        let hist = "{\"type\":\"hist\",\"hists\":{\"span_tabu\":{\"unit\":\"ns\",\"count\":1,\"sum\":7,\"min\":7,\"max\":7,\"buckets\":[[3,1]]}}}";
+        assert_eq!(
+            canonical_trace_line(hist),
+            "{\"type\":\"hist\",\"hists\":null}"
+        );
         let both = format!("{span}\n{traj}\n");
         let canon = canonical_trace(&both);
         assert!(canon.contains("\"wall_s\":null"));

@@ -11,6 +11,9 @@
 //!   plus the [`JobSpec`](runner::JobSpec) cell decomposition;
 //! * [`sched`] — the work-stealing pool behind `repro --jobs N`;
 //! * [`canon`] — timing-masked canonical output for determinism diffs;
+//! * [`report`] / [`regress`] — trace analytics (span trees, flamegraph
+//!   folds, Prometheus snapshots) and the noise-aware perf-regression
+//!   comparator behind `trace_report` and `bench_core --check-regression`;
 //! * the `repro` binary — CLI entry point writing Markdown + CSV under
 //!   `results/`;
 //! * Criterion benches (`benches/`) — micro-benchmarks of the hot paths and
@@ -25,6 +28,8 @@
 pub mod canon;
 pub mod experiments;
 pub mod presets;
+pub mod regress;
+pub mod report;
 pub mod runner;
 pub mod sched;
 pub mod table;

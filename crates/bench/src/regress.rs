@@ -1,0 +1,338 @@
+//! Noise-aware perf-regression comparison of two benchmark / trace-summary
+//! JSON artifacts (`bench_core --check-regression`, `trace_report diff`).
+//!
+//! Both sides are generic JSON: every numeric field whose key ends in `_s`
+//! is treated as a wall-clock metric (the harness-wide naming convention,
+//! see [`canon::is_timing_label`](crate::canon::is_timing_label)). Array
+//! elements are labelled by their `areas` / `path` / `name` / `combo`
+//! field when present, so `BENCH_core.json` size entries and `trace_report`
+//! span summaries both produce stable metric labels.
+//!
+//! Noise handling is layered:
+//!
+//! * the *inputs* are already min-of-k (`bench_core` records best-of-N wall
+//!   times), which removes most scheduler noise at the source;
+//! * a metric only counts as regressed when it is slower **relatively**
+//!   (`after > before * (1 + rel)`) **and** **absolutely**
+//!   (`after - before > abs` seconds) — the absolute floor keeps
+//!   microsecond-scale metrics from tripping the relative gate on jitter,
+//!   the relative gate keeps slow metrics from hiding large shifts under a
+//!   fixed floor.
+//!
+//! Embedded `baseline` / `speedup` sub-objects (bench_core's merged
+//! history) are skipped: they describe a *previous* comparison, not the
+//! run under test.
+
+use serde_json::Value;
+
+/// Regression thresholds; a metric must breach **both** to count.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Relative slow-down floor (0.3 = 30% slower).
+    pub rel: f64,
+    /// Absolute slow-down floor in seconds.
+    pub abs: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            rel: 0.30,
+            abs: 0.05,
+        }
+    }
+}
+
+/// One timing metric present on both sides.
+#[derive(Clone, Debug)]
+pub struct MetricDelta {
+    /// Dotted label, e.g. `sizes[areas=1000].solve_s`.
+    pub label: String,
+    /// Seconds on the reference side.
+    pub before: f64,
+    /// Seconds on the candidate side.
+    pub after: f64,
+    /// `after / before` (∞ when before is 0 and after is not).
+    pub ratio: f64,
+    /// Breached both thresholds.
+    pub regressed: bool,
+}
+
+/// Outcome of a [`compare`] run.
+#[derive(Clone, Debug, Default)]
+pub struct RegressionReport {
+    /// Every timing metric present on both sides, in label order.
+    pub deltas: Vec<MetricDelta>,
+    /// Labels present on exactly one side (renamed or removed metrics are
+    /// reported, never silently dropped).
+    pub only_before: Vec<String>,
+    /// Labels present only on the candidate side.
+    pub only_after: Vec<String>,
+}
+
+impl RegressionReport {
+    /// The metrics that breached both thresholds.
+    pub fn regressions(&self) -> impl Iterator<Item = &MetricDelta> + '_ {
+        self.deltas.iter().filter(|d| d.regressed)
+    }
+
+    /// Whether any metric regressed.
+    pub fn is_regressed(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Human-readable verdict table (one line per metric, regressions
+    /// flagged, unmatched labels listed at the end).
+    pub fn render(&self, th: &Thresholds) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "regression check (rel > {:.0}% AND abs > {:.3}s):",
+            th.rel * 100.0,
+            th.abs
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "  {} {:<44} before {:>12.6}s  after {:>12.6}s  x{:.3}",
+                if d.regressed {
+                    "REGRESSED"
+                } else {
+                    "ok       "
+                },
+                d.label,
+                d.before,
+                d.after,
+                d.ratio,
+            );
+        }
+        for l in &self.only_before {
+            let _ = writeln!(out, "  missing   {l} (present only in reference)");
+        }
+        for l in &self.only_after {
+            let _ = writeln!(out, "  new       {l} (present only in candidate)");
+        }
+        let n = self.regressions().count();
+        let _ = writeln!(
+            out,
+            "{}: {} metric(s) compared, {} regressed",
+            if n == 0 { "PASS" } else { "FAIL" },
+            self.deltas.len(),
+            n
+        );
+        out
+    }
+
+    /// JSON form of the report (for CI artifacts).
+    pub fn to_json(&self, th: &Thresholds) -> Value {
+        let deltas: Vec<Value> = self
+            .deltas
+            .iter()
+            .map(|d| {
+                serde_json::json!({
+                    "label": d.label.clone(),
+                    "before_s": d.before,
+                    "after_s": d.after,
+                    "ratio": d.ratio,
+                    "regressed": d.regressed,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "thresholds": serde_json::json!({ "rel": th.rel, "abs": th.abs }),
+            "regressed": self.is_regressed(),
+            "deltas": deltas,
+            "only_before": self.only_before.clone(),
+            "only_after": self.only_after.clone(),
+        })
+    }
+}
+
+/// Collects `(label, seconds)` pairs for every numeric `*_s` field
+/// reachable from `value`, skipping embedded `baseline`/`speedup` history.
+pub fn extract_timings(value: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(value, "", &mut out);
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn walk(value: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Object(map) => {
+            for (key, v) in map {
+                if key == "baseline" || key == "speedup" {
+                    continue;
+                }
+                let label = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                if key.ends_with("_s") {
+                    if let Some(x) = v.as_f64() {
+                        out.push((label, x));
+                        continue;
+                    }
+                }
+                walk(v, &label, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                walk(v, &element_label(prefix, i, v), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Array-element labelling: prefer a stable identity field over the index,
+/// so reordered entries still line up across the two sides.
+fn element_label(prefix: &str, index: usize, v: &Value) -> String {
+    const ID_KEYS: [&str; 4] = ["areas", "path", "name", "combo"];
+    let id = ID_KEYS.iter().find_map(|k| {
+        v.get(k).map(|x| match x {
+            Value::String(s) => format!("{k}={s}"),
+            other => format!("{k}={other}"),
+        })
+    });
+    match id {
+        Some(id) => format!("{prefix}[{id}]"),
+        None => format!("{prefix}[{index}]"),
+    }
+}
+
+/// Compares every shared timing metric of two JSON artifacts.
+pub fn compare(before: &Value, after: &Value, th: &Thresholds) -> RegressionReport {
+    let b = extract_timings(before);
+    let a = extract_timings(after);
+    let mut report = RegressionReport::default();
+    let mut ai = a.iter().peekable();
+    let mut bi = b.iter().peekable();
+    // Both sides are label-sorted: a linear merge pairs them up.
+    loop {
+        match (bi.peek(), ai.peek()) {
+            (None, None) => break,
+            (Some((bl, _)), None) => {
+                report.only_before.push(bl.clone());
+                bi.next();
+            }
+            (None, Some((al, _))) => {
+                report.only_after.push(al.clone());
+                ai.next();
+            }
+            (Some((bl, bv)), Some((al, av))) => match bl.cmp(al) {
+                std::cmp::Ordering::Less => {
+                    report.only_before.push(bl.clone());
+                    bi.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    report.only_after.push(al.clone());
+                    ai.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    let ratio = if *bv > 0.0 {
+                        av / bv
+                    } else if *av > 0.0 {
+                        f64::INFINITY
+                    } else {
+                        1.0
+                    };
+                    let regressed = *av > bv * (1.0 + th.rel) && (av - bv) > th.abs;
+                    report.deltas.push(MetricDelta {
+                        label: bl.clone(),
+                        before: *bv,
+                        after: *av,
+                        ratio,
+                        regressed,
+                    });
+                    bi.next();
+                    ai.next();
+                }
+            },
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn bench_shaped(solve_s: f64, graph_build_s: f64) -> Value {
+        json!({
+            "bench": "core",
+            "sizes": json!([json!({
+                "areas": 1000,
+                "solve_s": solve_s,
+                "graph_build_s": graph_build_s,
+                "p": 118,
+                "baseline": json!({ "solve_s": 99.0 }),
+            })]),
+        })
+    }
+
+    fn bench_like(solve_s: f64) -> Value {
+        bench_shaped(solve_s, 0.001)
+    }
+
+    #[test]
+    fn identical_inputs_pass() {
+        let v = bench_like(0.5);
+        let r = compare(&v, &v, &Thresholds::default());
+        assert!(!r.is_regressed());
+        assert_eq!(r.deltas.len(), 2);
+        assert!(r.only_before.is_empty() && r.only_after.is_empty());
+    }
+
+    #[test]
+    fn synthetic_slowdown_fails_both_gates() {
+        let before = bench_like(0.5);
+        let after = bench_like(1.0); // 2x slower, +0.5s: breaches both
+        let r = compare(&before, &after, &Thresholds::default());
+        assert!(r.is_regressed());
+        let reg: Vec<_> = r.regressions().collect();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].label, "sizes[areas=1000].solve_s");
+        assert!((reg[0].ratio - 2.0).abs() < 1e-12);
+        assert!(r.render(&Thresholds::default()).contains("FAIL"));
+    }
+
+    #[test]
+    fn absolute_floor_tolerates_microsecond_jitter() {
+        // 3x relative slow-down but only 2ms absolute: under the floor.
+        let before = bench_like(0.5);
+        let after = bench_shaped(0.5, 0.003);
+        let r = compare(&before, &after, &Thresholds::default());
+        assert!(!r.is_regressed(), "{:?}", r.deltas);
+    }
+
+    #[test]
+    fn relative_gate_tolerates_small_shifts_on_slow_metrics() {
+        // +0.06s on a 10s metric: over the absolute floor, under 30% rel.
+        let before = bench_like(10.0);
+        let after = bench_like(10.06);
+        let r = compare(&before, &after, &Thresholds::default());
+        assert!(!r.is_regressed());
+    }
+
+    #[test]
+    fn embedded_baseline_history_is_skipped() {
+        let v = bench_like(0.5);
+        let labels: Vec<String> = extract_timings(&v).into_iter().map(|(l, _)| l).collect();
+        assert!(labels.iter().all(|l| !l.contains("baseline")), "{labels:?}");
+    }
+
+    #[test]
+    fn unmatched_labels_are_reported_not_dropped() {
+        let before = json!({ "a_s": 1.0, "gone_s": 2.0 });
+        let after = json!({ "a_s": 1.0, "new_s": 3.0 });
+        let r = compare(&before, &after, &Thresholds::default());
+        assert_eq!(r.only_before, vec!["gone_s"]);
+        assert_eq!(r.only_after, vec!["new_s"]);
+        assert_eq!(r.deltas.len(), 1);
+    }
+}

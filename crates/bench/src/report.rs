@@ -1,0 +1,528 @@
+//! Trace analytics: turns recorded JSONL traces into aggregated span
+//! trees, counter rollups, folded-stack flamegraph exports, and
+//! Prometheus-text snapshots — without re-running anything.
+//!
+//! The JSONL span stream is **close-ordered** (children before parents,
+//! each line carrying its nesting depth); [`TraceReport::ingest`] rebuilds
+//! the tree with a pending stack: when a span at depth `d` closes, the
+//! trailing pending entries at depth `d+1` are exactly its children (in
+//! reverse chronological order). A depth-0 close finalizes one root tree,
+//! which is folded into per-**path** statistics (`solve;tabu;resync`),
+//! each carrying a log-bucketed duration [`Histogram`] for p50/p90/p99.
+//!
+//! Counter rollups sum the depth-0 spans only — a root span's counter
+//! delta already includes all of its children, so summing every span
+//! would double-count.
+
+use emp_obs::hist::{bucket_upper, Histogram, HIST_BUCKETS};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+use crate::table::Table;
+
+/// Nanoseconds per second (span wall times arrive as seconds).
+const NS_PER_S: f64 = 1e9;
+
+/// One span close, parsed from a JSONL line.
+struct ClosedSpan {
+    name: String,
+    depth: usize,
+    wall_s: f64,
+    children: Vec<ClosedSpan>,
+}
+
+/// Aggregated statistics for one span *path* (root→leaf name chain).
+#[derive(Clone, Debug)]
+pub struct SpanStat {
+    /// Semicolon-joined name chain, e.g. `solve;tabu;resync`.
+    pub path: String,
+    /// Number of spans that closed on this path.
+    pub count: u64,
+    /// Total wall seconds (sum over all spans on the path).
+    pub total_s: f64,
+    /// Self wall seconds: total minus the time spent in child spans.
+    pub self_s: f64,
+    /// Log-bucketed distribution of per-span durations (nanoseconds).
+    pub hist: Histogram,
+}
+
+/// A merged histogram record (from `{"type":"hist"}` lines), keyed by the
+/// [`HistKind`](emp_obs::HistKind) name.
+#[derive(Clone, Debug)]
+pub struct HistSummary {
+    /// Value unit (`ns`, `micro`, `areas`).
+    pub unit: String,
+    /// Merged distribution across every ingested record.
+    pub hist: Histogram,
+}
+
+/// Everything extracted from one or more JSONL trace files.
+#[derive(Default)]
+pub struct TraceReport {
+    /// Lines ingested (across all files).
+    pub lines: usize,
+    /// Total span closes seen.
+    pub spans: u64,
+    /// Root (depth-0) spans seen.
+    pub roots: u64,
+    /// Trajectory points seen.
+    pub trajectory_points: u64,
+    /// Note lines seen.
+    pub notes: u64,
+    /// `trace_end` markers seen.
+    pub trace_ends: u64,
+    /// Whether the last ingested line was NOT a `trace_end` marker — the
+    /// producer flushes one terminal marker per recorder, so its absence
+    /// at the tail means the trace was cut short.
+    pub truncated: bool,
+    /// Per-path span statistics, label-ordered.
+    pub stats: BTreeMap<String, SpanStat>,
+    /// Counter totals from depth-0 spans.
+    pub counters: BTreeMap<String, u64>,
+    /// Merged `hist` records by histogram name.
+    pub hists: BTreeMap<String, HistSummary>,
+    /// Spans left unparented at end of input (deep spans whose enclosing
+    /// root never closed — another truncation symptom).
+    pub orphans: u64,
+    pending: Vec<ClosedSpan>,
+}
+
+impl TraceReport {
+    /// An empty report; feed it with [`TraceReport::ingest`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one JSONL trace. Malformed lines abort with `Err` (a trace
+    /// half-written by a crashed producer is diagnosable; silent skips are
+    /// not). Call once per file; statistics accumulate.
+    pub fn ingest(&mut self, content: &str) -> Result<(), String> {
+        let mut last_was_end = self.trace_ends > 0 && !self.truncated && self.lines > 0;
+        for (lineno, line) in content.lines().enumerate() {
+            let v: Value = serde_json::from_str(line)
+                .map_err(|e| format!("line {}: not JSON: {e}", lineno + 1))?;
+            self.lines += 1;
+            last_was_end = false;
+            match v["type"].as_str() {
+                Some("span") => self.ingest_span(&v, lineno)?,
+                Some("trajectory") => self.trajectory_points += 1,
+                Some("note") => self.notes += 1,
+                Some("hist") => self.ingest_hists(&v, lineno)?,
+                None if v["event"].as_str() == Some("trace_end") => {
+                    self.trace_ends += 1;
+                    last_was_end = true;
+                }
+                other => return Err(format!("line {}: unknown event type {other:?}", lineno + 1)),
+            }
+        }
+        self.orphans = self.pending.len() as u64;
+        self.truncated = !last_was_end;
+        Ok(())
+    }
+
+    fn ingest_span(&mut self, v: &Value, lineno: usize) -> Result<(), String> {
+        let name = v["name"]
+            .as_str()
+            .ok_or_else(|| format!("line {}: span without name", lineno + 1))?
+            .to_string();
+        let depth = v["depth"]
+            .as_u64()
+            .ok_or_else(|| format!("line {}: span without depth", lineno + 1))?
+            as usize;
+        let wall_s = v["wall_s"].as_f64().unwrap_or(0.0);
+        self.spans += 1;
+
+        // The trailing pending entries one level deeper closed before this
+        // span and inside its window: they are its children.
+        let mut children = Vec::new();
+        while self.pending.last().is_some_and(|s| s.depth == depth + 1) {
+            children.push(self.pending.pop().expect("peeked"));
+        }
+        children.reverse(); // back to chronological order
+        let span = ClosedSpan {
+            name,
+            depth,
+            wall_s,
+            children,
+        };
+        if depth == 0 {
+            self.roots += 1;
+            // Root deltas already include every child's contribution, so
+            // only depth-0 counters roll up (no double counting).
+            if let Some(counters) = v["counters"].as_object() {
+                for (key, c) in counters {
+                    if let Some(x) = c.as_u64() {
+                        *self.counters.entry(key.clone()).or_insert(0) += x;
+                    }
+                }
+            }
+            self.fold_tree(&span, "");
+        } else {
+            self.pending.push(span);
+        }
+        Ok(())
+    }
+
+    /// Accumulates one finalized root tree into the per-path statistics.
+    fn fold_tree(&mut self, span: &ClosedSpan, prefix: &str) {
+        let path = if prefix.is_empty() {
+            span.name.clone()
+        } else {
+            format!("{prefix};{}", span.name)
+        };
+        let child_s: f64 = span.children.iter().map(|c| c.wall_s).sum();
+        let stat = self.stats.entry(path.clone()).or_insert_with(|| SpanStat {
+            path: path.clone(),
+            count: 0,
+            total_s: 0.0,
+            self_s: 0.0,
+            hist: Histogram::new(),
+        });
+        stat.count += 1;
+        stat.total_s += span.wall_s;
+        stat.self_s += (span.wall_s - child_s).max(0.0);
+        stat.hist.record((span.wall_s * NS_PER_S) as u64);
+        for child in &span.children {
+            self.fold_tree(child, &path);
+        }
+    }
+
+    fn ingest_hists(&mut self, v: &Value, lineno: usize) -> Result<(), String> {
+        let map = v["hists"]
+            .as_object()
+            .ok_or_else(|| format!("line {}: hist without hists map", lineno + 1))?;
+        for (name, h) in map {
+            let unit = h["unit"].as_str().unwrap_or("").to_string();
+            let sparse: Vec<(usize, u64)> = h["buckets"]
+                .as_array()
+                .map(|pairs| {
+                    pairs
+                        .iter()
+                        .filter_map(|p| {
+                            let pair = p.as_array()?;
+                            Some((pair.first()?.as_u64()? as usize, pair.get(1)?.as_u64()?))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let parsed = Histogram::from_parts(
+                h["count"].as_u64().unwrap_or(0),
+                h["sum"].as_u64().unwrap_or(0),
+                h["min"].as_u64().unwrap_or(u64::MAX),
+                h["max"].as_u64().unwrap_or(0),
+                sparse,
+            );
+            let entry = self
+                .hists
+                .entry(name.clone())
+                .or_insert_with(|| HistSummary {
+                    unit: unit.clone(),
+                    hist: Histogram::new(),
+                });
+            entry.hist.merge(&parsed);
+        }
+        Ok(())
+    }
+
+    /// The aggregated span-tree table: one row per path, with count,
+    /// total/self seconds, and p50/p90/p99/max durations.
+    pub fn span_table(&self) -> Table {
+        let mut t = Table::new(
+            "Span tree",
+            &[
+                "path", "count", "total_s", "self_s", "p50_ms", "p90_ms", "p99_ms", "max_ms",
+            ],
+        );
+        for stat in self.stats.values() {
+            let q = |p: f64| -> String {
+                stat.hist
+                    .quantile(p)
+                    .map(|ns| format!("{:.3}", ns as f64 / 1e6))
+                    .unwrap_or_else(|| "n/a".into())
+            };
+            let max = stat
+                .hist
+                .max()
+                .map(|ns| format!("{:.3}", ns as f64 / 1e6))
+                .unwrap_or_else(|| "n/a".into());
+            t.push_row(vec![
+                stat.path.clone(),
+                stat.count.to_string(),
+                format!("{:.6}", stat.total_s),
+                format!("{:.6}", stat.self_s),
+                q(0.50),
+                q(0.90),
+                q(0.99),
+                max,
+            ]);
+        }
+        t
+    }
+
+    /// The counter rollup table (depth-0 span deltas summed).
+    pub fn counter_table(&self) -> Table {
+        let mut t = Table::new("Counter rollup", &["counter", "total"]);
+        for (name, v) in &self.counters {
+            t.push_row(vec![name.clone(), v.to_string()]);
+        }
+        t
+    }
+
+    /// Folded-stack flamegraph lines (`a;b;c N`, inferno / flamegraph.pl
+    /// compatible). One line per span path with positive **self** time;
+    /// the sample unit is microseconds of self wall time.
+    pub fn folded_stacks(&self) -> String {
+        let mut out = String::new();
+        for stat in self.stats.values() {
+            let us = (stat.self_s * 1e6).round() as u64;
+            if us > 0 {
+                out.push_str(&stat.path);
+                out.push(' ');
+                out.push_str(&us.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Prometheus text-format snapshot: counter totals, per-path span
+    /// totals, and every merged histogram as a native Prometheus histogram
+    /// (cumulative `le` buckets over the log-2 layout).
+    pub fn prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE emp_counter_total counter");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "emp_counter_total{{counter=\"{name}\"}} {v}");
+        }
+        let _ = writeln!(out, "# TYPE emp_span_seconds_total counter");
+        let _ = writeln!(out, "# TYPE emp_span_closes_total counter");
+        for stat in self.stats.values() {
+            let _ = writeln!(
+                out,
+                "emp_span_seconds_total{{path=\"{}\"}} {}",
+                stat.path, stat.total_s
+            );
+            let _ = writeln!(
+                out,
+                "emp_span_closes_total{{path=\"{}\"}} {}",
+                stat.path, stat.count
+            );
+        }
+        let _ = writeln!(out, "# TYPE emp_hist histogram");
+        for (name, summary) in &self.hists {
+            let h = &summary.hist;
+            let mut cumulative = 0u64;
+            for i in 0..HIST_BUCKETS {
+                let c = h.bucket(i);
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                let le = if i == HIST_BUCKETS - 1 {
+                    "+Inf".to_string()
+                } else {
+                    bucket_upper(i).to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "emp_hist_bucket{{hist=\"{name}\",unit=\"{}\",le=\"{le}\"}} {cumulative}",
+                    summary.unit
+                );
+            }
+            if h.bucket(HIST_BUCKETS - 1) == 0 {
+                let _ = writeln!(
+                    out,
+                    "emp_hist_bucket{{hist=\"{name}\",unit=\"{}\",le=\"+Inf\"}} {cumulative}",
+                    summary.unit
+                );
+            }
+            let _ = writeln!(
+                out,
+                "emp_hist_sum{{hist=\"{name}\",unit=\"{}\"}} {}",
+                summary.unit,
+                h.sum()
+            );
+            let _ = writeln!(
+                out,
+                "emp_hist_count{{hist=\"{name}\",unit=\"{}\"}} {}",
+                summary.unit,
+                h.count()
+            );
+        }
+        out
+    }
+
+    /// Machine-readable summary for `trace_report diff`: span paths with
+    /// timing keys (picked up by [`regress`](crate::regress)) plus counter
+    /// totals and histogram quantiles.
+    pub fn summary_json(&self) -> Value {
+        let spans: Vec<Value> = self
+            .stats
+            .values()
+            .map(|s| {
+                serde_json::json!({
+                    "path": s.path.clone(),
+                    "count": s.count,
+                    "total_s": s.total_s,
+                    "self_s": s.self_s,
+                    "p50_ns": s.hist.quantile(0.50),
+                    "p90_ns": s.hist.quantile(0.90),
+                    "p99_ns": s.hist.quantile(0.99),
+                    "max_ns": s.hist.max(),
+                })
+            })
+            .collect();
+        let hists: serde_json::Map<String, Value> = self
+            .hists
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    serde_json::json!({
+                        "unit": s.unit.clone(),
+                        "count": s.hist.count(),
+                        "p50": s.hist.quantile(0.50),
+                        "p99": s.hist.quantile(0.99),
+                        "max": s.hist.max(),
+                    }),
+                )
+            })
+            .collect();
+        let counters: serde_json::Map<String, Value> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::from(*v)))
+            .collect();
+        serde_json::json!({
+            "trace_summary": serde_json::json!({
+                "lines": self.lines as u64,
+                "spans": self.spans,
+                "roots": self.roots,
+                "trace_ends": self.trace_ends,
+                "truncated": self.truncated,
+                "orphans": self.orphans,
+            }),
+            "spans": spans,
+            "counters": counters,
+            "hists": hists,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-root close-ordered trace: solve{construct, tabu{resync}} twice,
+    /// with a counter on each root, one hist record, and the end marker.
+    fn sample_trace() -> String {
+        [
+            r#"{"type":"span","name":"construct","index":null,"depth":1,"wall_s":0.010,"counters":{}}"#,
+            r#"{"type":"span","name":"resync","index":null,"depth":2,"wall_s":0.005,"counters":{}}"#,
+            r#"{"type":"span","name":"tabu","index":null,"depth":1,"wall_s":0.030,"counters":{}}"#,
+            r#"{"type":"trajectory","iteration":0,"heterogeneity":10.0}"#,
+            r#"{"type":"span","name":"solve","index":null,"depth":0,"wall_s":0.050,"counters":{"tabu_moves_applied":7}}"#,
+            r#"{"type":"span","name":"construct","index":null,"depth":1,"wall_s":0.020,"counters":{}}"#,
+            r#"{"type":"span","name":"solve","index":null,"depth":0,"wall_s":0.025,"counters":{"tabu_moves_applied":3}}"#,
+            r#"{"type":"hist","hists":{"tabu_boundary_size":{"unit":"areas","count":2,"sum":12,"min":4,"max":8,"buckets":[[3,1],[4,1]]}}}"#,
+            r#"{"event":"trace_end"}"#,
+            "",
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn rebuilds_span_tree_and_rolls_up() {
+        let mut r = TraceReport::new();
+        r.ingest(&sample_trace()).unwrap();
+        assert_eq!(r.roots, 2);
+        assert_eq!(r.spans, 6);
+        assert_eq!(r.trace_ends, 1);
+        assert!(!r.truncated);
+        assert_eq!(r.orphans, 0);
+
+        let solve = &r.stats["solve"];
+        assert_eq!(solve.count, 2);
+        assert!((solve.total_s - 0.075).abs() < 1e-12);
+        // First root: 0.050 - (0.010 + 0.030); second: 0.025 - 0.020.
+        assert!((solve.self_s - 0.015).abs() < 1e-12);
+        let tabu = &r.stats["solve;tabu"];
+        assert_eq!(tabu.count, 1);
+        assert!((tabu.self_s - 0.025).abs() < 1e-12, "0.030 - resync 0.005");
+        assert!(r.stats.contains_key("solve;tabu;resync"));
+        assert_eq!(r.stats["solve;construct"].count, 2);
+
+        assert_eq!(r.counters["tabu_moves_applied"], 10);
+        assert_eq!(r.hists["tabu_boundary_size"].hist.count(), 2);
+        assert_eq!(r.trajectory_points, 1);
+    }
+
+    #[test]
+    fn folded_stacks_are_flamegraph_format() {
+        let mut r = TraceReport::new();
+        r.ingest(&sample_trace()).unwrap();
+        let folded = r.folded_stacks();
+        for line in folded.lines() {
+            let (path, samples) = line.rsplit_once(' ').expect("`stack N` shape");
+            assert!(
+                !path.is_empty() && !path.ends_with(';'),
+                "bad stack: {line}"
+            );
+            assert!(samples.parse::<u64>().expect("integer samples") > 0);
+        }
+        assert!(folded.contains("solve;tabu;resync 5000\n"));
+        assert!(folded.contains("solve 15000\n"));
+    }
+
+    #[test]
+    fn prometheus_snapshot_has_cumulative_buckets() {
+        let mut r = TraceReport::new();
+        r.ingest(&sample_trace()).unwrap();
+        let prom = r.prometheus();
+        assert!(prom.contains("# TYPE emp_hist histogram"));
+        assert!(prom.contains("emp_counter_total{counter=\"tabu_moves_applied\"} 10"));
+        // Buckets [3,1] and [4,1] (inclusive uppers 7 and 15): cumulative 1
+        // then 2, and the final cumulative bucket (+Inf line) equals _count.
+        assert!(prom.contains("le=\"7\"} 1"));
+        assert!(prom.contains("le=\"15\"} 2"));
+        assert!(prom.contains("le=\"+Inf\"} 2"));
+        assert!(prom.contains("emp_hist_count{hist=\"tabu_boundary_size\",unit=\"areas\"} 2"));
+        assert!(prom.contains("emp_span_closes_total{path=\"solve\"} 2"));
+    }
+
+    #[test]
+    fn truncated_trace_is_detected() {
+        let full = sample_trace();
+        let cut = full.trim_end().trim_end_matches(r#"{"event":"trace_end"}"#);
+        let mut r = TraceReport::new();
+        r.ingest(cut).unwrap();
+        assert!(r.truncated, "missing trailing trace_end must be flagged");
+    }
+
+    #[test]
+    fn summary_json_feeds_the_regression_comparator() {
+        let mut r = TraceReport::new();
+        r.ingest(&sample_trace()).unwrap();
+        let summary = r.summary_json();
+        let labels: Vec<String> = crate::regress::extract_timings(&summary)
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert!(
+            labels.contains(&"spans[path=solve].total_s".to_string()),
+            "{labels:?}"
+        );
+        assert!(labels.contains(&"spans[path=solve;tabu].self_s".to_string()));
+    }
+
+    #[test]
+    fn malformed_lines_abort_with_location() {
+        let mut r = TraceReport::new();
+        let err = r.ingest("{\"type\":\"span\",\"depth\":0}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let mut r2 = TraceReport::new();
+        let err2 = r2.ingest("not json\n").unwrap_err();
+        assert!(err2.contains("not JSON"), "{err2}");
+    }
+}

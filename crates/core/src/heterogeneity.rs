@@ -245,7 +245,7 @@ mod tests {
         let mut a = DissimStat::from_values(&a_vals);
         let b = DissimStat::from_values(&b_vals);
         a.absorb(&b);
-        let mut all = a_vals.clone();
+        let mut all = a_vals;
         all.extend_from_slice(&b_vals);
         assert!((a.pairwise() - brute(&all)).abs() < 1e-6);
     }

@@ -346,7 +346,12 @@ fn construct_parallel(
                         seed,
                         &mut worker,
                     );
-                    (cand, worker.counters_snapshot(), t.elapsed().as_secs_f64())
+                    (
+                        cand,
+                        worker.counters_snapshot(),
+                        worker.hists_snapshot(),
+                        t.elapsed().as_secs_f64(),
+                    )
                 })
             })
             .collect();
@@ -357,8 +362,11 @@ fn construct_parallel(
     })
     .expect("crossbeam scope");
     let mut best: Option<Partition> = None;
-    for (i, (cand, counters, wall_s)) in results.into_iter().enumerate() {
+    for (i, (cand, counters, hists, wall_s)) in results.into_iter().enumerate() {
         rec.record_external_span("construct_iter", Some(i as u64), wall_s, &counters);
+        // The workers' grow/adjust duration histograms survive the join
+        // even though their span events are dropped in parallel mode.
+        rec.merge_hists(&hists);
         if best.as_ref().is_none_or(|b| better(engine, &cand, b)) {
             best = Some(cand);
         }

@@ -41,7 +41,7 @@ use crate::constraint::Aggregate;
 use crate::engine::{ConstraintEngine, RegionAgg};
 use crate::partition::{Partition, RegionId};
 use emp_graph::articulation::{articulation_points_into, ArticulationScratch};
-use emp_obs::{CounterKind, Counters, Recorder};
+use emp_obs::{CounterKind, Counters, HistKind, Recorder};
 
 /// The incrementally-tracked heterogeneity is resynced against a fresh
 /// [`Partition::heterogeneity_with`] every this many iterations; a debug
@@ -654,6 +654,12 @@ pub fn tabu_search_observed(
 
     while no_improve < config.max_no_improve && stats.iterations < config.max_iterations {
         stats.iterations += 1;
+        if let Some(s) = state.as_ref() {
+            // Per-iteration neighborhood width: how many areas sit on a
+            // region boundary (the candidate-move universe).
+            rec.hists()
+                .record(HistKind::TabuBoundary, s.boundary().as_slice().len() as u64);
+        }
         let mv = match state.as_mut() {
             Some(s) => s.select_move(engine, partition, &tabu, stats.moves, current_h, best_h),
             None => select_move_reference(
@@ -675,6 +681,12 @@ pub fn tabu_search_observed(
         }
         stats.moves += 1;
         rec.counters().inc(CounterKind::TabuMovesApplied);
+        // |ΔH| in millionths of an objective unit; `as` saturates and maps
+        // NaN to 0, so the cast can never panic on a degenerate delta.
+        rec.hists().record(
+            HistKind::TabuMoveDelta,
+            (mv.delta.abs() * 1e6).round() as u64,
+        );
         // Forbid the reverse move.
         tabu.forbid(mv.area, mv.from, stats.moves);
         current_h += mv.delta;
@@ -1088,7 +1100,7 @@ mod tests {
         let spec = ObjectiveSpec::from_channels(vec![
             Channel {
                 name: "dissim".into(),
-                values: d.clone(),
+                values: d,
                 weight: 1.0,
             },
             Channel {

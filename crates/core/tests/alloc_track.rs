@@ -1,0 +1,113 @@
+//! CI-enforced form of the "allocation-free tabu hot path" claim: with the
+//! counting allocator installed, a warmed-up search loop must drive the
+//! process-global allocation counters by exactly zero.
+//!
+//! This file must contain exactly ONE `#[test]`: the counters are
+//! process-wide and Rust runs a binary's tests concurrently, so any sibling
+//! test's allocations would pollute the measurement window.
+//!
+//! Run with `cargo test -p emp-core --features alloc-track`.
+
+#![cfg(feature = "alloc-track")]
+
+use emp_core::constraint::{Constraint, ConstraintSet};
+use emp_core::engine::ConstraintEngine;
+use emp_core::partition::Partition;
+use emp_core::tabu::{NeighborhoodState, TabuTable};
+use emp_core::{AttributeTable, EmpInstance};
+use emp_graph::ContiguityGraph;
+use emp_obs::alloc::{snapshot, CountingAlloc};
+use emp_obs::Recorder;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const WARMUP_MOVES: usize = 300;
+const MEASURED_MOVES: usize = 300;
+
+#[test]
+fn tabu_loop_is_allocation_free_after_warmup() {
+    // A 12x12 lattice with varied dissimilarity and loose COUNT bounds:
+    // plenty of admissible boundary moves, so the search churns far past
+    // the warmup + measurement horizon.
+    let side = 12usize;
+    let n = side * side;
+    let graph = ContiguityGraph::lattice(side, side);
+    let mut attrs = AttributeTable::new(n);
+    attrs.push_column("POP", vec![1.0; n]).unwrap();
+    attrs
+        .push_column("D", (0..n).map(|i| ((i * 31) % 17) as f64).collect())
+        .unwrap();
+    let inst = EmpInstance::new(graph, attrs, "D").unwrap();
+    let set = ConstraintSet::new().with(Constraint::count(4.0, (n / 2) as f64).unwrap());
+    let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+
+    // Four quadrant regions as the starting partition.
+    let mut part = Partition::new(n);
+    let quadrant = |r0: usize, c0: usize| -> Vec<u32> {
+        let mut v = Vec::new();
+        for r in r0..r0 + side / 2 {
+            for c in c0..c0 + side / 2 {
+                v.push((r * side + c) as u32);
+            }
+        }
+        v
+    };
+    part.create_region(&eng, &quadrant(0, 0));
+    part.create_region(&eng, &quadrant(0, side / 2));
+    part.create_region(&eng, &quadrant(side / 2, 0));
+    part.create_region(&eng, &quadrant(side / 2, side / 2));
+
+    // Drive the same loop as `tabu_search_observed`, minus the bits that
+    // are not steady-state (best-assignment snapshots, resyncs).
+    let mut rec = Recorder::noop();
+    let mut state = NeighborhoodState::new(&eng, &part);
+    let mut tabu = TabuTable::with_dimensions(8, part.len(), part.region_slots());
+    let mut current_h = part.heterogeneity_with(&eng);
+    let best_h = current_h;
+    let mut moves = 0usize;
+    let mut window_start = None;
+
+    while moves < WARMUP_MOVES + MEASURED_MOVES {
+        if moves == WARMUP_MOVES {
+            // Warmup done: scratch epochs, articulation caches, boundary
+            // set, and region member vectors have reached their working
+            // capacities. Everything past this point must be free.
+            window_start = Some(snapshot());
+        }
+        rec.hists().record(
+            emp_obs::HistKind::TabuBoundary,
+            state.boundary().as_slice().len() as u64,
+        );
+        let mv = state.select_move(&eng, &part, &tabu, moves, current_h, best_h);
+        let Some(mv) = mv else {
+            panic!("search ran dry after {moves} moves; enlarge the instance");
+        };
+        part.move_area(&eng, mv.area, mv.to);
+        state.on_move_applied(&eng, &part, mv);
+        moves += 1;
+        tabu.forbid(mv.area, mv.from, moves);
+        rec.hists().record(
+            emp_obs::HistKind::TabuMoveDelta,
+            (mv.delta.abs() * 1e6).round() as u64,
+        );
+        current_h += mv.delta;
+    }
+
+    let start = window_start.expect("measurement window opened");
+    // Sanity: the allocator is really installed and counting — all the
+    // setup above (graph, engine, partitions) cannot have been free.
+    assert!(
+        start.allocs > 0 && start.bytes > 0,
+        "counting allocator not active; the zero-delta below would be vacuous"
+    );
+    let delta = snapshot().delta_since(&start);
+    assert_eq!(
+        (delta.allocs, delta.bytes),
+        (0, 0),
+        "tabu hot loop allocated during the measured window \
+         ({} calls, {} bytes over {MEASURED_MOVES} moves)",
+        delta.allocs,
+        delta.bytes,
+    );
+}

@@ -360,7 +360,7 @@ mod tests {
         let out = rank_remap(&field, &mut values);
         // Smallest field rank gets smallest value.
         assert_eq!(out, vec![40.0, 10.0, 30.0, 20.0]);
-        let mut sorted = out.clone();
+        let mut sorted = out;
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(sorted, vec![10.0, 20.0, 30.0, 40.0]);
     }

@@ -197,7 +197,7 @@ mod tests {
         };
         let wavy = TessellationSpec {
             jitter: 0.22,
-            ..flat.clone()
+            ..flat
         };
         let g_flat = graph_of(&generate(&flat));
         let g_wavy = graph_of(&generate(&wavy));

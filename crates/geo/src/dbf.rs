@@ -262,7 +262,7 @@ mod tests {
         assert!(read_dbf(&[]).is_err());
         let bytes = write_dbf(&table()).unwrap();
         assert!(read_dbf(&bytes[..40]).is_err());
-        let mut bad = bytes.clone();
+        let mut bad = bytes;
         bad[0] = 0x08; // unsupported version
         assert!(read_dbf(&bad).is_err());
     }

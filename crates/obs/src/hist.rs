@@ -1,0 +1,504 @@
+//! Log-bucketed latency/value histograms: a fixed, named set of
+//! fixed-size distributions accumulated alongside the [`Counters`].
+//!
+//! The design mirrors [`Counters`](crate::Counters): every recorder owns a
+//! [`Histograms`] bundle, recording is a couple of array operations (no
+//! allocation, hot-loop safe), per-thread bundles are accumulated privately
+//! and [`merged`](Histograms::merge) at join time, and the *event* (the
+//! rendered distribution) only flows to a sink when one is attached.
+//!
+//! # Bucket layout (see `DESIGN.md` §10)
+//!
+//! Values are `u64` in a kind-specific unit ([`HistKind::unit`]); each
+//! histogram has [`HIST_BUCKETS`] = 64 base-2 logarithmic buckets:
+//!
+//! * bucket 0 holds exactly the value `0`;
+//! * bucket `i` (1 ≤ i ≤ 62) holds `2^(i-1) ≤ v < 2^i`;
+//! * bucket 63 is the **saturating top bucket**: every `v ≥ 2^62` lands
+//!   there, so the layout covers the full `u64` domain with no overflow.
+//!
+//! Alongside the buckets each histogram tracks exact `count`, saturating
+//! `sum`, and exact `min`/`max`, so means and extremes are not subject to
+//! bucket quantization.
+//!
+//! # Quantile convention
+//!
+//! [`Histogram::quantile`] uses the nearest-rank definition (rank
+//! `⌈q·count⌉`) and reports the **inclusive upper bound of the bucket**
+//! holding that rank — a conservative "the q-quantile is at most this"
+//! estimate, deliberately *not* clamped to the observed `max`. Because the
+//! estimate is a monotone function of the ranked element alone, merged
+//! histograms bracket their inputs: for any `q`,
+//! `min(q(a), q(b)) ≤ q(merge(a,b)) ≤ max(q(a), q(b))`
+//! (property-tested in `tests/hist_merge.rs`).
+
+/// Number of buckets per histogram (base-2 log layout, saturating top).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Everything the solver records distributions of. Span-duration kinds are
+/// fed automatically by [`Recorder::span_end`](crate::Recorder::span_end)
+/// (unit: nanoseconds); value kinds are recorded explicitly by the solver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum HistKind {
+    /// `solve` span wall time (ns).
+    SpanSolve = 0,
+    /// `feasibility` span wall time (ns).
+    SpanFeasibility,
+    /// `construct_iter` span wall time (ns).
+    SpanConstructIter,
+    /// `grow` span wall time (ns).
+    SpanGrow,
+    /// `adjust` span wall time (ns).
+    SpanAdjust,
+    /// `tabu` span wall time (ns).
+    SpanTabu,
+    /// `resync` span wall time (ns).
+    SpanResync,
+    /// `mp_construct` span wall time (ns, MP-regions baseline).
+    SpanMpConstruct,
+    /// `mst` span wall time (ns, SKATER baseline).
+    SpanMst,
+    /// `split` span wall time (ns, SKATER baseline).
+    SpanSplit,
+    /// Magnitude of applied tabu move objective deltas, in millionths of an
+    /// objective unit (`|ΔH| · 1e6`, rounded).
+    TabuMoveDelta,
+    /// Boundary-area set size sampled at the start of every tabu iteration.
+    TabuBoundary,
+}
+
+/// Number of histogram kinds (the length of [`Histograms`]' backing array).
+pub const HIST_KINDS: usize = 12;
+
+impl HistKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [HistKind; HIST_KINDS] = [
+        HistKind::SpanSolve,
+        HistKind::SpanFeasibility,
+        HistKind::SpanConstructIter,
+        HistKind::SpanGrow,
+        HistKind::SpanAdjust,
+        HistKind::SpanTabu,
+        HistKind::SpanResync,
+        HistKind::SpanMpConstruct,
+        HistKind::SpanMst,
+        HistKind::SpanSplit,
+        HistKind::TabuMoveDelta,
+        HistKind::TabuBoundary,
+    ];
+
+    /// Stable snake_case name used in JSONL traces and Prometheus exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistKind::SpanSolve => "span_solve",
+            HistKind::SpanFeasibility => "span_feasibility",
+            HistKind::SpanConstructIter => "span_construct_iter",
+            HistKind::SpanGrow => "span_grow",
+            HistKind::SpanAdjust => "span_adjust",
+            HistKind::SpanTabu => "span_tabu",
+            HistKind::SpanResync => "span_resync",
+            HistKind::SpanMpConstruct => "span_mp_construct",
+            HistKind::SpanMst => "span_mst",
+            HistKind::SpanSplit => "span_split",
+            HistKind::TabuMoveDelta => "tabu_move_delta",
+            HistKind::TabuBoundary => "tabu_boundary_size",
+        }
+    }
+
+    /// Unit of the recorded values.
+    pub fn unit(self) -> &'static str {
+        match self {
+            HistKind::TabuMoveDelta => "micro",
+            HistKind::TabuBoundary => "areas",
+            _ => "ns",
+        }
+    }
+
+    /// The duration histogram fed by spans with this name, if any.
+    pub fn for_span(name: &str) -> Option<HistKind> {
+        Some(match name {
+            "solve" => HistKind::SpanSolve,
+            "feasibility" => HistKind::SpanFeasibility,
+            "construct_iter" => HistKind::SpanConstructIter,
+            "grow" => HistKind::SpanGrow,
+            "adjust" => HistKind::SpanAdjust,
+            "tabu" => HistKind::SpanTabu,
+            "resync" => HistKind::SpanResync,
+            "mp_construct" => HistKind::SpanMpConstruct,
+            "mst" => HistKind::SpanMst,
+            "split" => HistKind::SpanSplit,
+            _ => return None,
+        })
+    }
+
+    /// Inverse of [`HistKind::name`].
+    pub fn from_name(name: &str) -> Option<HistKind> {
+        HistKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// Bucket index of a value under the base-2 log layout.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lower(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the top bucket saturates at
+/// `u64::MAX`).
+pub fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        i if i >= HIST_BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// One fixed-size log-bucketed distribution. See the module docs for the
+/// bucket layout and quantile convention.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    count: u64,
+    /// Saturating sum of recorded values.
+    sum: u64,
+    /// Exact minimum; `u64::MAX` while empty.
+    min: u64,
+    /// Exact maximum; 0 while empty.
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Rebuilds a histogram from serialized parts (used by `trace_report`
+    /// to re-aggregate JSONL `hist` records). `count`/`min`/`max` are taken
+    /// as given; sparse `(bucket, count)` pairs fill the bucket array
+    /// (out-of-range indices land in the saturating top bucket).
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        sparse: impl IntoIterator<Item = (usize, u64)>,
+    ) -> Self {
+        let mut h = Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets: [0; HIST_BUCKETS],
+        };
+        for (i, c) in sparse {
+            h.buckets[i.min(HIST_BUCKETS - 1)] += c;
+        }
+        h
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum, or `None` while empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum, or `None` while empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded values, or `None` while empty (saturating sum, so a
+    /// saturated histogram under-reports).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// `(bucket_index, count)` pairs with non-zero counts, ascending.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| (c > 0).then_some((i, c)))
+    }
+
+    /// Nearest-rank quantile estimate (see the module docs): the inclusive
+    /// upper bound of the bucket holding rank `⌈q·count⌉`. `None` while
+    /// empty; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(i));
+            }
+        }
+        Some(bucket_upper(HIST_BUCKETS - 1))
+    }
+
+    /// Folds `other` in: bucket counts and totals add, extremes widen. The
+    /// join-time merge for per-thread accumulators.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+/// The fixed bundle of all solver histograms, one per [`HistKind`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Histograms {
+    hists: [Histogram; HIST_KINDS],
+}
+
+impl Default for Histograms {
+    fn default() -> Self {
+        Histograms {
+            hists: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+}
+
+impl Histograms {
+    /// All-empty histograms.
+    pub fn new() -> Self {
+        Histograms::default()
+    }
+
+    /// Records one value into `kind`.
+    #[inline]
+    pub fn record(&mut self, kind: HistKind, v: u64) {
+        self.hists[kind as usize].record(v);
+    }
+
+    /// Records a span duration (seconds → nanoseconds) into the duration
+    /// histogram of the span kind, if the name maps to one.
+    #[inline]
+    pub fn record_span_duration(&mut self, name: &str, wall_s: f64) {
+        if let Some(kind) = HistKind::for_span(name) {
+            self.record(kind, secs_to_ns(wall_s));
+        }
+    }
+
+    /// The histogram for `kind`.
+    pub fn get(&self, kind: HistKind) -> &Histogram {
+        &self.hists[kind as usize]
+    }
+
+    /// Folds `other` in, histogram by histogram.
+    pub fn merge(&mut self, other: &Histograms) {
+        for (a, b) in self.hists.iter_mut().zip(&other.hists) {
+            a.merge(b);
+        }
+    }
+
+    /// `(kind, histogram)` pairs with at least one recorded value.
+    pub fn iter_nonempty(&self) -> impl Iterator<Item = (HistKind, &Histogram)> + '_ {
+        HistKind::ALL
+            .into_iter()
+            .filter(|&k| !self.hists[k as usize].is_empty())
+            .map(|k| (k, &self.hists[k as usize]))
+    }
+
+    /// Whether every histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hists.iter().all(Histogram::is_empty)
+    }
+}
+
+/// Seconds → nanoseconds with saturation (negative and NaN become 0).
+#[inline]
+pub fn secs_to_ns(wall_s: f64) -> u64 {
+    (wall_s * 1e9) as u64 // `as` casts saturate; NaN becomes 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1 << 61), 62);
+        assert_eq!(bucket_index(1 << 62), 63);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..HIST_BUCKETS {
+            assert!(bucket_lower(i) <= bucket_upper(i), "bucket {i}");
+            assert_eq!(bucket_index(bucket_lower(i)), i);
+            assert_eq!(bucket_index(bucket_upper(i)), i);
+        }
+        assert_eq!(bucket_upper(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn records_and_estimates_quantiles() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        // rank ceil(0.5 * 6) = 3 -> value 2 -> bucket [2,3].
+        assert_eq!(h.quantile(0.5), Some(3));
+        // rank 6 -> value 1000 -> bucket [512,1023].
+        assert_eq!(h.quantile(1.0), Some(1023));
+        // rank clamps to 1 at q = 0 -> value 0 -> bucket {0}.
+        assert_eq!(h.quantile(0.0), Some(0));
+    }
+
+    #[test]
+    fn merge_is_additive_and_widens_extremes() {
+        let mut a = Histogram::new();
+        a.record(5);
+        a.record(9);
+        let mut b = Histogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(100));
+        assert_eq!(a.bucket(bucket_index(5)), 1);
+        assert_eq!(a.bucket(bucket_index(100)), 1);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.bucket(HIST_BUCKETS - 1), 2);
+    }
+
+    #[test]
+    fn span_names_map_to_duration_kinds() {
+        assert_eq!(HistKind::for_span("solve"), Some(HistKind::SpanSolve));
+        assert_eq!(HistKind::for_span("resync"), Some(HistKind::SpanResync));
+        assert_eq!(HistKind::for_span("mst"), Some(HistKind::SpanMst));
+        assert_eq!(HistKind::for_span("unknown"), None);
+        let mut hs = Histograms::new();
+        hs.record_span_duration("tabu", 1.5e-6);
+        assert_eq!(hs.get(HistKind::SpanTabu).count(), 1);
+        assert_eq!(hs.get(HistKind::SpanTabu).sum(), 1500);
+        hs.record_span_duration("not_a_span", 1.0);
+        assert_eq!(hs.iter_nonempty().count(), 1);
+    }
+
+    #[test]
+    fn names_are_unique_and_roundtrip() {
+        let mut names: Vec<_> = HistKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), HIST_KINDS);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), HIST_KINDS);
+        for k in HistKind::ALL {
+            assert_eq!(HistKind::from_name(k.name()), Some(k));
+            assert!(!k.unit().is_empty());
+        }
+    }
+
+    #[test]
+    fn bundle_merge_accumulates_per_kind() {
+        let mut a = Histograms::new();
+        let mut b = Histograms::new();
+        a.record(HistKind::TabuMoveDelta, 10);
+        b.record(HistKind::TabuMoveDelta, 20);
+        b.record(HistKind::TabuBoundary, 7);
+        a.merge(&b);
+        assert_eq!(a.get(HistKind::TabuMoveDelta).count(), 2);
+        assert_eq!(a.get(HistKind::TabuBoundary).count(), 1);
+        assert!(!a.is_empty());
+        assert_eq!(a.iter_nonempty().count(), 2);
+    }
+
+    #[test]
+    fn secs_to_ns_saturates() {
+        assert_eq!(secs_to_ns(0.0), 0);
+        assert_eq!(secs_to_ns(-1.0), 0);
+        assert_eq!(secs_to_ns(f64::NAN), 0);
+        assert_eq!(secs_to_ns(1.0), 1_000_000_000);
+        assert_eq!(secs_to_ns(f64::INFINITY), u64::MAX);
+    }
+
+    #[test]
+    fn from_parts_reconstructs_sparse_buckets() {
+        let mut h = Histogram::new();
+        for v in [1, 1, 7, 4096] {
+            h.record(v);
+        }
+        let parts: Vec<(usize, u64)> = h.iter_nonzero().collect();
+        let rebuilt = Histogram::from_parts(h.count(), h.sum(), 1, 4096, parts);
+        assert_eq!(rebuilt, h);
+    }
+}

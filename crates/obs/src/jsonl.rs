@@ -7,12 +7,21 @@
 //! {"type":"span","name":"tabu","index":null,"depth":1,"wall_s":0.12,"counters":{...}}
 //! {"type":"trajectory","iteration":17,"heterogeneity":1234.5}
 //! {"type":"note","key":"skater_splits","value":7}
+//! {"type":"hist","hists":{"span_tabu":{"unit":"ns","count":3,"sum":9,"min":2,"max":4,"buckets":[[2,2],[3,1]]}}}
+//! {"event":"trace_end"}
 //! ```
 //!
-//! Only non-zero counters are emitted. Non-finite floats become `null` so
-//! every emitted line parses under any JSON reader.
+//! Only non-zero counters, non-empty histograms, and non-zero bucket
+//! counts are emitted; span lines gain `"allocs"`/`"alloc_bytes"` fields
+//! only when the `alloc-track` allocator observed traffic, so traces from
+//! default builds are byte-stable. Non-finite floats become `null` so
+//! every emitted line parses under any JSON reader. The `trace_end` line
+//! (one per [`Recorder::finish`](crate::Recorder::finish)) is the
+//! completeness marker: a trace file whose last line is not a `trace_end`
+//! was truncated.
 
 use crate::counters::Counters;
+use crate::hist::Histograms;
 use crate::sink::{EventSink, SpanInfo};
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -74,6 +83,12 @@ impl<W: Write> EventSink for JsonlWriter<W> {
         push_json_f64(&mut line, span.wall_s);
         line.push_str(",\"counters\":");
         push_counters(&mut line, span.counters);
+        if span.allocs > 0 || span.alloc_bytes > 0 {
+            line.push_str(",\"allocs\":");
+            line.push_str(&span.allocs.to_string());
+            line.push_str(",\"alloc_bytes\":");
+            line.push_str(&span.alloc_bytes.to_string());
+        }
         line.push('}');
         self.write_line(&line);
     }
@@ -96,6 +111,49 @@ impl<W: Write> EventSink for JsonlWriter<W> {
         push_json_f64(&mut line, value);
         line.push('}');
         self.write_line(&line);
+    }
+
+    fn histograms(&mut self, hists: &Histograms) {
+        let mut line = String::with_capacity(256);
+        line.push_str("{\"type\":\"hist\",\"hists\":{");
+        let mut first = true;
+        for (kind, h) in hists.iter_nonempty() {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            push_json_str(&mut line, kind.name());
+            line.push_str(":{\"unit\":");
+            push_json_str(&mut line, kind.unit());
+            line.push_str(",\"count\":");
+            line.push_str(&h.count().to_string());
+            line.push_str(",\"sum\":");
+            line.push_str(&h.sum().to_string());
+            line.push_str(",\"min\":");
+            line.push_str(&h.min().unwrap_or(0).to_string());
+            line.push_str(",\"max\":");
+            line.push_str(&h.max().unwrap_or(0).to_string());
+            line.push_str(",\"buckets\":[");
+            let mut first_bucket = true;
+            for (i, c) in h.iter_nonzero() {
+                if !first_bucket {
+                    line.push(',');
+                }
+                first_bucket = false;
+                line.push('[');
+                line.push_str(&i.to_string());
+                line.push(',');
+                line.push_str(&c.to_string());
+                line.push(']');
+            }
+            line.push_str("]}");
+        }
+        line.push_str("}}");
+        self.write_line(&line);
+    }
+
+    fn trace_end(&mut self) {
+        self.write_line("{\"event\":\"trace_end\"}");
     }
 
     fn flush(&mut self) {
@@ -183,6 +241,8 @@ mod tests {
                 depth: 1,
                 wall_s: 0.25,
                 counters: &c,
+                allocs: 0,
+                alloc_bytes: 0,
             })
         });
         assert_eq!(
@@ -191,6 +251,80 @@ mod tests {
              \"wall_s\":0.25,\"counters\":{\"tabu_moves_evaluated\":12,\
              \"tabu_moves_applied\":1}}\n"
         );
+    }
+
+    #[test]
+    fn span_line_includes_alloc_fields_only_when_observed() {
+        let c = Counters::new();
+        let line = render(|w| {
+            w.span_close(&SpanInfo {
+                name: "tabu",
+                index: None,
+                depth: 0,
+                wall_s: 0.1,
+                counters: &c,
+                allocs: 3,
+                alloc_bytes: 96,
+            })
+        });
+        assert!(line.contains(",\"allocs\":3,\"alloc_bytes\":96}"), "{line}");
+    }
+
+    #[test]
+    fn hist_line_shape_and_trace_end() {
+        use crate::hist::{HistKind, Histograms};
+        let mut hists = Histograms::new();
+        hists.record(HistKind::SpanTabu, 2);
+        hists.record(HistKind::SpanTabu, 3);
+        hists.record(HistKind::SpanTabu, 4);
+        let out = render(|w| {
+            w.histograms(&hists);
+            w.trace_end();
+        });
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"hist\",\"hists\":{\"span_tabu\":{\"unit\":\"ns\",\
+             \"count\":3,\"sum\":9,\"min\":2,\"max\":4,\
+             \"buckets\":[[2,2],[3,1]]}}}"
+        );
+        assert_eq!(lines[1], "{\"event\":\"trace_end\"}");
+    }
+
+    #[test]
+    fn finished_trace_ends_with_trace_end_marker() {
+        use crate::recorder::Recorder;
+        use crate::sink::SharedSink;
+        use std::sync::{Arc, Mutex};
+
+        // Share the byte buffer so we can read it back after the recorder
+        // consumes the sink.
+        #[derive(Clone)]
+        struct SharedVec(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedVec {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedVec(Arc::new(Mutex::new(Vec::new())));
+        let sink = SharedSink::new(Box::new(JsonlWriter::new(buf.clone())));
+        let mut rec = Recorder::with_sink(Box::new(sink));
+        rec.span_begin("solve", None);
+        rec.span_end();
+        rec.finish();
+
+        let out = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let last = out.lines().last().unwrap();
+        assert_eq!(last, "{\"event\":\"trace_end\"}");
+        assert!(out.contains("\"type\":\"hist\""), "{out}");
+        // Truncation detection: chop the terminal marker off and the tail
+        // is no longer a trace_end line — exactly what trace_report flags.
+        let truncated = &out[..out.len() - last.len() - 1];
+        assert_ne!(truncated.lines().last().unwrap_or(""), last);
     }
 
     #[test]

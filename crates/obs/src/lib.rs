@@ -34,12 +34,16 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "alloc-track")]
+pub mod alloc;
 pub mod counters;
+pub mod hist;
 pub mod jsonl;
 pub mod recorder;
 pub mod sink;
 
 pub use counters::{CounterKind, Counters, COUNTER_KINDS};
+pub use hist::{HistKind, Histogram, Histograms, HIST_BUCKETS, HIST_KINDS};
 pub use jsonl::JsonlWriter;
 pub use recorder::{Recorder, TrajectorySummary};
 pub use sink::{

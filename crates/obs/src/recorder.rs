@@ -3,8 +3,12 @@
 //! event sink.
 
 use crate::counters::Counters;
+use crate::hist::Histograms;
 use crate::sink::{EventSink, NoopSink, SpanInfo};
 use std::time::Instant;
+
+#[cfg(feature = "alloc-track")]
+use crate::alloc::{snapshot as alloc_snapshot, AllocSnapshot};
 
 /// A running summary of the local-search objective trajectory, maintained
 /// even when the sink drops the per-point events. This is the single source
@@ -63,6 +67,8 @@ struct OpenSpan {
     index: Option<u64>,
     start: Instant,
     snapshot: Counters,
+    #[cfg(feature = "alloc-track")]
+    allocs: AllocSnapshot,
 }
 
 /// Accumulates counters, tracks hierarchical spans, and forwards events to
@@ -79,6 +85,7 @@ struct OpenSpan {
 /// — no atomics, no contention.
 pub struct Recorder {
     counters: Counters,
+    hists: Histograms,
     sink: Box<dyn EventSink + Send>,
     enabled: bool,
     stack: Vec<OpenSpan>,
@@ -107,6 +114,7 @@ impl Recorder {
         let enabled = sink.enabled();
         Recorder {
             counters: Counters::new(),
+            hists: Histograms::new(),
             sink,
             enabled,
             stack: Vec::new(),
@@ -140,6 +148,26 @@ impl Recorder {
         self.counters.merge(delta);
     }
 
+    /// Mutable access to the histogram bundle, for hot loops. Like
+    /// counters, histograms are always accumulated (a few array ops per
+    /// record) — the sink only sees them once, at [`Recorder::finish`].
+    #[inline]
+    pub fn hists(&mut self) -> &mut Histograms {
+        &mut self.hists
+    }
+
+    /// Clone of the accumulated histograms.
+    pub fn hists_snapshot(&self) -> Histograms {
+        self.hists.clone()
+    }
+
+    /// Folds an external histogram bundle in (bucket counts add, extremes
+    /// widen) — the join-time merge for per-worker recorders, the
+    /// histogram counterpart of [`Recorder::merge_counters`].
+    pub fn merge_hists(&mut self, other: &Histograms) {
+        self.hists.merge(other);
+    }
+
     /// Opens a span. Must be balanced by [`Recorder::span_end`].
     pub fn span_begin(&mut self, name: &'static str, index: Option<u64>) {
         self.stack.push(OpenSpan {
@@ -147,10 +175,13 @@ impl Recorder {
             index,
             start: Instant::now(),
             snapshot: self.counters,
+            #[cfg(feature = "alloc-track")]
+            allocs: alloc_snapshot(),
         });
     }
 
-    /// Closes the innermost open span, reporting it to the sink. Returns the
+    /// Closes the innermost open span, reporting it to the sink and
+    /// recording its duration into the per-span-kind histogram. Returns the
     /// span's wall seconds (for callers that also keep their own timings).
     pub fn span_end(&mut self) -> f64 {
         let Some(span) = self.stack.pop() else {
@@ -158,14 +189,24 @@ impl Recorder {
             return 0.0;
         };
         let wall_s = span.start.elapsed().as_secs_f64();
+        self.hists.record_span_duration(span.name, wall_s);
         if self.enabled {
             let delta = self.counters.delta_since(&span.snapshot);
+            #[cfg(feature = "alloc-track")]
+            let (allocs, alloc_bytes) = {
+                let d = alloc_snapshot().delta_since(&span.allocs);
+                (d.allocs, d.bytes)
+            };
+            #[cfg(not(feature = "alloc-track"))]
+            let (allocs, alloc_bytes) = (0u64, 0u64);
             self.sink.span_close(&SpanInfo {
                 name: span.name,
                 index: span.index,
                 depth: self.stack.len(),
                 wall_s,
                 counters: &delta,
+                allocs,
+                alloc_bytes,
             });
         }
         wall_s
@@ -187,6 +228,7 @@ impl Recorder {
         delta: &Counters,
     ) {
         self.counters.merge(delta);
+        self.hists.record_span_duration(name, wall_s);
         if self.enabled {
             self.sink.span_close(&SpanInfo {
                 name,
@@ -194,6 +236,8 @@ impl Recorder {
                 depth: self.stack.len(),
                 wall_s,
                 counters: delta,
+                allocs: 0,
+                alloc_bytes: 0,
             });
         }
     }
@@ -226,9 +270,18 @@ impl Recorder {
         }
     }
 
-    /// Flushes the sink.
+    /// Finishes the trace: reports the histogram bundle (when the sink is
+    /// enabled and anything was recorded), emits the terminal `trace_end`
+    /// marker, and flushes the sink. Readers treat a JSONL trace without a
+    /// final `trace_end` line as truncated.
     pub fn finish(&mut self) {
         debug_assert!(self.stack.is_empty(), "finish with open spans");
+        if self.enabled {
+            if !self.hists.is_empty() {
+                self.sink.histograms(&self.hists);
+            }
+            self.sink.trace_end();
+        }
         self.sink.flush();
     }
 }
@@ -306,6 +359,47 @@ mod tests {
         let mut rec = Recorder::noop();
         rec.trajectory_point(0, 0.0);
         assert_eq!(rec.trajectory().improvement(), None);
+    }
+
+    #[test]
+    fn span_durations_feed_histograms_and_finish_reports() {
+        use crate::hist::HistKind;
+        let sink = InMemorySink::new();
+        let handle = sink.handle();
+        let mut rec = Recorder::with_sink(Box::new(sink));
+        rec.span_begin("solve", None);
+        rec.span_begin("tabu", None);
+        rec.hists().record(HistKind::TabuBoundary, 12);
+        rec.span_end();
+        rec.span_end();
+        rec.record_external_span("construct_iter", Some(0), 0.25, &Counters::new());
+
+        let mut worker = Recorder::noop();
+        worker.hists().record(HistKind::TabuMoveDelta, 500);
+        rec.merge_hists(&worker.hists_snapshot());
+
+        assert_eq!(rec.hists_snapshot().get(HistKind::SpanTabu).count(), 1);
+        rec.finish();
+        let data = handle.lock().unwrap();
+        assert_eq!(data.trace_ends, 1);
+        assert_eq!(data.hists.len(), 1);
+        let h = &data.hists[0];
+        assert_eq!(h.get(HistKind::SpanSolve).count(), 1);
+        assert_eq!(h.get(HistKind::SpanConstructIter).count(), 1);
+        assert_eq!(h.get(HistKind::SpanConstructIter).sum(), 250_000_000);
+        assert_eq!(h.get(HistKind::TabuBoundary).count(), 1);
+        assert_eq!(h.get(HistKind::TabuMoveDelta).count(), 1);
+    }
+
+    #[test]
+    fn finish_with_empty_histograms_still_marks_trace_end() {
+        let sink = InMemorySink::new();
+        let handle = sink.handle();
+        let mut rec = Recorder::with_sink(Box::new(sink));
+        rec.finish();
+        let data = handle.lock().unwrap();
+        assert!(data.hists.is_empty());
+        assert_eq!(data.trace_ends, 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! [`JsonlWriter`](crate::JsonlWriter) streams structured JSONL.
 
 use crate::counters::Counters;
+use crate::hist::Histograms;
 use std::sync::{Arc, Mutex};
 
 /// A closed span, as seen by a sink: name, optional index (e.g. the
@@ -24,6 +25,11 @@ pub struct SpanInfo<'a> {
     pub wall_s: f64,
     /// Counter deltas attributable to the span (gauges: final watermark).
     pub counters: &'a Counters,
+    /// Heap allocations inside the span (0 unless the `alloc-track`
+    /// feature is active and the counting allocator is installed).
+    pub allocs: u64,
+    /// Heap bytes requested inside the span (same gating as `allocs`).
+    pub alloc_bytes: u64,
 }
 
 /// Receives telemetry events from a [`Recorder`](crate::Recorder).
@@ -54,6 +60,17 @@ pub trait EventSink {
         let _ = (key, value);
     }
 
+    /// The recorder's final histogram bundle (emitted once per
+    /// [`Recorder::finish`](crate::Recorder::finish), only when non-empty).
+    fn histograms(&mut self, hists: &Histograms) {
+        let _ = hists;
+    }
+
+    /// The trace is complete: `Recorder::finish` ran and nothing follows
+    /// from this recorder. Readers use the terminal marker to detect
+    /// truncated traces.
+    fn trace_end(&mut self) {}
+
     /// Flush buffered output, if any.
     fn flush(&mut self) {}
 }
@@ -81,6 +98,10 @@ pub struct SpanRecord {
     pub wall_s: f64,
     /// Counter deltas inside the span.
     pub counters: Counters,
+    /// Heap allocations inside the span (see [`SpanInfo::allocs`]).
+    pub allocs: u64,
+    /// Heap bytes requested inside the span.
+    pub alloc_bytes: u64,
 }
 
 /// Everything an [`InMemorySink`] buffered, readable after the solve.
@@ -92,6 +113,10 @@ pub struct TraceData {
     pub trajectory: Vec<(u64, f64)>,
     /// `(key, value)` notes, in record order.
     pub notes: Vec<(String, f64)>,
+    /// Histogram bundles, one per finished recorder that had data.
+    pub hists: Vec<Histograms>,
+    /// Number of `trace_end` markers received.
+    pub trace_ends: u64,
 }
 
 impl TraceData {
@@ -133,6 +158,8 @@ impl EventSink for InMemorySink {
             depth: span.depth,
             wall_s: span.wall_s,
             counters: *span.counters,
+            allocs: span.allocs,
+            alloc_bytes: span.alloc_bytes,
         });
     }
 
@@ -151,6 +178,14 @@ impl EventSink for InMemorySink {
             .notes
             .push((key.to_string(), value));
     }
+
+    fn histograms(&mut self, hists: &Histograms) {
+        self.data.lock().unwrap().hists.push(hists.clone());
+    }
+
+    fn trace_end(&mut self) {
+        self.data.lock().unwrap().trace_ends += 1;
+    }
 }
 
 /// One telemetry event, owned, in the order it was emitted.
@@ -160,8 +195,9 @@ impl EventSink for InMemorySink {
 /// needs to reproduce a JSONL trace byte-for-byte.
 #[derive(Clone, Debug)]
 pub enum Event {
-    /// A span closed.
-    Span(SpanRecord),
+    /// A span closed (boxed: the record carries a full counter snapshot,
+    /// an order of magnitude bigger than the other variants).
+    Span(Box<SpanRecord>),
     /// A trajectory point was recorded.
     Trajectory {
         /// Applied-move count at record time (0 = pre-search).
@@ -176,6 +212,11 @@ pub enum Event {
         /// Note value.
         value: f64,
     },
+    /// A recorder finished and reported its histograms (boxed: the bundle
+    /// is ~6 KiB and would otherwise dominate every buffered event).
+    Hist(Box<Histograms>),
+    /// A recorder finished; the trace is complete up to here.
+    TraceEnd,
 }
 
 /// A sink buffering events **in arrival order** for later [`replay`].
@@ -205,13 +246,18 @@ impl BufferSink {
 
 impl EventSink for BufferSink {
     fn span_close(&mut self, span: &SpanInfo<'_>) {
-        self.events.lock().unwrap().push(Event::Span(SpanRecord {
-            name: span.name.to_string(),
-            index: span.index,
-            depth: span.depth,
-            wall_s: span.wall_s,
-            counters: *span.counters,
-        }));
+        self.events
+            .lock()
+            .unwrap()
+            .push(Event::Span(Box::new(SpanRecord {
+                name: span.name.to_string(),
+                index: span.index,
+                depth: span.depth,
+                wall_s: span.wall_s,
+                counters: *span.counters,
+                allocs: span.allocs,
+                alloc_bytes: span.alloc_bytes,
+            })));
     }
 
     fn trajectory_point(&mut self, iteration: u64, heterogeneity: f64) {
@@ -227,6 +273,17 @@ impl EventSink for BufferSink {
             value,
         });
     }
+
+    fn histograms(&mut self, hists: &Histograms) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(Event::Hist(Box::new(hists.clone())));
+    }
+
+    fn trace_end(&mut self) {
+        self.events.lock().unwrap().push(Event::TraceEnd);
+    }
 }
 
 /// Replays buffered events into `sink` in buffer order.
@@ -239,12 +296,16 @@ pub fn replay(events: &[Event], sink: &mut dyn EventSink) {
                 depth: s.depth,
                 wall_s: s.wall_s,
                 counters: &s.counters,
+                allocs: s.allocs,
+                alloc_bytes: s.alloc_bytes,
             }),
             Event::Trajectory {
                 iteration,
                 heterogeneity,
             } => sink.trajectory_point(*iteration, *heterogeneity),
             Event::Note { key, value } => sink.note(key, *value),
+            Event::Hist(h) => sink.histograms(h),
+            Event::TraceEnd => sink.trace_end(),
         }
     }
 }
@@ -292,6 +353,14 @@ impl EventSink for SharedSink {
         self.inner.lock().unwrap().note(key, value);
     }
 
+    fn histograms(&mut self, hists: &Histograms) {
+        self.inner.lock().unwrap().histograms(hists);
+    }
+
+    fn trace_end(&mut self) {
+        self.inner.lock().unwrap().trace_end();
+    }
+
     fn flush(&mut self) {
         self.inner.lock().unwrap().flush();
     }
@@ -315,9 +384,15 @@ mod tests {
             depth: 1,
             wall_s: 0.5,
             counters: &c,
+            allocs: 0,
+            alloc_bytes: 0,
         });
         sink.trajectory_point(0, 12.0);
         sink.note("k", 3.0);
+        let mut hists = crate::hist::Histograms::new();
+        hists.record(crate::hist::HistKind::TabuBoundary, 9);
+        sink.histograms(&hists);
+        sink.trace_end();
         let data = handle.lock().unwrap();
         assert_eq!(data.spans.len(), 1);
         assert_eq!(data.spans[0].name, "tabu");
@@ -325,6 +400,14 @@ mod tests {
         assert_eq!(data.trajectory, vec![(0, 12.0)]);
         assert_eq!(data.notes, vec![("k".to_string(), 3.0)]);
         assert!((data.wall_of("tabu") - 0.5).abs() < 1e-12);
+        assert_eq!(data.hists.len(), 1);
+        assert_eq!(
+            data.hists[0]
+                .get(crate::hist::HistKind::TabuBoundary)
+                .count(),
+            1
+        );
+        assert_eq!(data.trace_ends, 1);
     }
 
     #[test]
@@ -359,18 +442,26 @@ mod tests {
             depth: 1,
             wall_s: 0.1,
             counters: &c,
+            allocs: 0,
+            alloc_bytes: 0,
         });
         buf.note("k", 1.5);
         buf.trajectory_point(1, 9.0);
+        let mut hists = crate::hist::Histograms::new();
+        hists.record(crate::hist::HistKind::TabuMoveDelta, 3);
+        buf.histograms(&hists);
+        buf.trace_end();
 
         // Arrival order survives, unlike InMemorySink's per-type buffers.
         {
             let events = handle.lock().unwrap();
-            assert_eq!(events.len(), 4);
+            assert_eq!(events.len(), 6);
             assert!(matches!(events[0], Event::Trajectory { iteration: 0, .. }));
             assert!(matches!(events[1], Event::Span(_)));
             assert!(matches!(events[2], Event::Note { .. }));
             assert!(matches!(events[3], Event::Trajectory { iteration: 1, .. }));
+            assert!(matches!(events[4], Event::Hist(_)));
+            assert!(matches!(events[5], Event::TraceEnd));
         }
 
         // Replaying into a second buffer reproduces the exact sequence.
@@ -406,6 +497,8 @@ mod tests {
                     assert_eq!(k1, k2);
                     assert_eq!(v1, v2);
                 }
+                (Event::Hist(h1), Event::Hist(h2)) => assert_eq!(h1, h2),
+                (Event::TraceEnd, Event::TraceEnd) => {}
                 other => panic!("event kind mismatch after replay: {other:?}"),
             }
         }

@@ -1,0 +1,47 @@
+//! Anti-drift check: the counter glossary table in `DESIGN.md` §6 must
+//! mirror `CounterKind::ALL` exactly — every counter documented, nothing
+//! documented that the code no longer has, same order.
+
+use emp_obs::{CounterKind, COUNTER_KINDS};
+
+/// Extracts the backticked counter names from the §6 glossary table, in
+/// document order.
+fn documented_counters(design: &str) -> Vec<String> {
+    let section = design
+        .split("## 6.")
+        .nth(1)
+        .expect("DESIGN.md has a section 6")
+        .split("\n## ")
+        .next()
+        .expect("section 6 has an end");
+    section
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("| `")?;
+            let (name, _) = rest.split_once('`')?;
+            Some(name.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn design_glossary_matches_counter_kinds() {
+    let design = include_str!("../../../DESIGN.md");
+    let documented = documented_counters(design);
+    assert_eq!(
+        documented.len(),
+        COUNTER_KINDS,
+        "DESIGN.md §6 glossary documents {} counters but the code has {}; \
+         update the table and CounterKind together",
+        documented.len(),
+        COUNTER_KINDS,
+    );
+    let actual: Vec<String> = CounterKind::ALL
+        .iter()
+        .map(|k| k.name().to_string())
+        .collect();
+    assert_eq!(
+        documented, actual,
+        "DESIGN.md §6 glossary rows must match CounterKind::ALL in order"
+    );
+}

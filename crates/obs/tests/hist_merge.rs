@@ -1,0 +1,116 @@
+//! Property tests for the log-bucketed histogram's merge semantics: the
+//! contract that makes per-worker accumulation + join-time merge sound.
+
+use emp_obs::hist::{bucket_index, HIST_BUCKETS};
+use emp_obs::Histogram;
+use proptest::prelude::*;
+
+fn build(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Values spanning the full bucket range: small integers, mid-range, and
+/// near-top magnitudes (shifted so every bucket index is reachable).
+fn value_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u64..64, 0u64..1024), 1..40).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(shift, low)| (1u64 << shift.min(62)).wrapping_add(low))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merged_bucket_counts_are_exactly_additive(
+        a in value_strategy(),
+        b in value_strategy(),
+    ) {
+        let (ha, hb) = (build(&a), build(&b));
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        for i in 0..HIST_BUCKETS {
+            prop_assert_eq!(merged.bucket(i), ha.bucket(i) + hb.bucket(i));
+        }
+        prop_assert_eq!(merged.count(), ha.count() + hb.count());
+        prop_assert_eq!(merged.sum(), ha.sum().saturating_add(hb.sum()));
+        prop_assert_eq!(merged.min(), ha.min().min(hb.min()));
+        prop_assert_eq!(merged.max(), ha.max().max(hb.max()));
+    }
+
+    #[test]
+    fn merged_quantiles_bracket_per_input_quantiles(
+        a in value_strategy(),
+        b in value_strategy(),
+        q_mil in 1u64..1000,
+    ) {
+        // For any quantile q, merging cannot push the estimate outside the
+        // envelope of the two inputs' estimates: the merged distribution is
+        // a mixture, so its q-quantile lies between the per-input ones.
+        let q = q_mil as f64 / 1000.0;
+        let (ha, hb) = (build(&a), build(&b));
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        let qa = ha.quantile(q).expect("non-empty");
+        let qb = hb.quantile(q).expect("non-empty");
+        let qm = merged.quantile(q).expect("non-empty");
+        prop_assert!(
+            qa.min(qb) <= qm && qm <= qa.max(qb),
+            "q={q}: merged {qm} outside [{}, {}]", qa.min(qb), qa.max(qb),
+        );
+    }
+
+    #[test]
+    fn merge_is_commutative(a in value_strategy(), b in value_strategy()) {
+        let (ha, hb) = (build(&a), build(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn recording_equals_merging_singletons(values in value_strategy()) {
+        // h(v1..vn) == merge of n singleton histograms: accumulation order
+        // and grouping are irrelevant, which is what lets workers keep
+        // private histograms and merge at join.
+        let direct = build(&values);
+        let mut merged = Histogram::new();
+        for &v in &values {
+            merged.merge(&build(&[v]));
+        }
+        prop_assert_eq!(direct, merged);
+    }
+}
+
+#[test]
+fn top_bucket_saturates_instead_of_overflowing() {
+    // Epoch-style overflow: huge values land in the saturating top bucket,
+    // and the sum saturates at u64::MAX rather than wrapping.
+    let mut h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    h.record(1u64 << 62); // smallest value that still maps to the top bucket
+    assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    assert_eq!(bucket_index(1u64 << 62), HIST_BUCKETS - 1);
+    assert_eq!(h.bucket(HIST_BUCKETS - 1), 3);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.sum(), u64::MAX, "sum must saturate, not wrap");
+    assert_eq!(h.max(), Some(u64::MAX));
+    // The top bucket's reported upper bound stays u64::MAX under quantile.
+    assert_eq!(h.quantile(1.0), Some(u64::MAX));
+
+    // Merging two saturated histograms keeps the invariants.
+    let mut other = Histogram::new();
+    other.record(u64::MAX);
+    h.merge(&other);
+    assert_eq!(h.bucket(HIST_BUCKETS - 1), 4);
+    assert_eq!(h.sum(), u64::MAX);
+}
