@@ -35,5 +35,11 @@ pub mod skater;
 pub use clustering::{
     solve_clustering, solve_clustering_spatial, ClusteringConfig, ClusteringReport,
 };
-pub use mp_regions::{mp_feasibility, solve_mp, solve_mp_observed, MpConfig, MpReport};
-pub use skater::{solve_skater, solve_skater_observed, SkaterConfig, SkaterReport};
+pub use mp_regions::{
+    mp_feasibility, solve_mp, solve_mp_budgeted, solve_mp_budgeted_observed, solve_mp_observed,
+    MpConfig, MpReport,
+};
+pub use skater::{
+    solve_skater, solve_skater_budgeted, solve_skater_budgeted_observed, solve_skater_observed,
+    SkaterConfig, SkaterReport,
+};

@@ -1,13 +1,14 @@
 //! The max-p-regions construction heuristic and solver.
 
 use emp_core::constraint::{Constraint, ConstraintSet};
+use emp_core::control::{SolveBudget, StopReason};
 use emp_core::engine::ConstraintEngine;
 use emp_core::error::EmpError;
 use emp_core::instance::EmpInstance;
 use emp_core::partition::Partition;
 use emp_core::solution::Solution;
 use emp_core::solver::PhaseTimings;
-use emp_core::tabu::{tabu_search_observed, TabuConfig, TabuStats};
+use emp_core::tabu::{tabu_search_budgeted, TabuConfig, TabuOutcome, TabuStats};
 use emp_graph::VisitScratch;
 use emp_obs::{CounterKind, Counters, Recorder, TrajectorySummary};
 use rand::rngs::StdRng;
@@ -138,6 +139,50 @@ pub fn solve_mp_observed(
     config: &MpConfig,
     rec: &mut Recorder,
 ) -> Result<MpReport, EmpError> {
+    solve_mp_budgeted_observed(
+        instance,
+        attr,
+        threshold,
+        config,
+        &SolveBudget::unlimited(),
+        rec,
+    )
+    .map(|(report, _)| report)
+}
+
+/// [`solve_mp`] under a cooperative [`SolveBudget`]: the solve polls the
+/// budget before each construction iteration, at every enclave-assignment
+/// fixpoint round, and (through the budgeted tabu search) at every tabu
+/// iteration. An interrupted solve returns the best-so-far valid incumbent
+/// — at worst the always-valid "everything unassigned" partition — and the
+/// interrupting [`StopReason`]; no checkpointing (baselines are cheap to
+/// re-run).
+pub fn solve_mp_budgeted(
+    instance: &EmpInstance,
+    attr: &str,
+    threshold: f64,
+    config: &MpConfig,
+    budget: &SolveBudget,
+) -> Result<(MpReport, StopReason), EmpError> {
+    solve_mp_budgeted_observed(
+        instance,
+        attr,
+        threshold,
+        config,
+        budget,
+        &mut Recorder::noop(),
+    )
+}
+
+/// [`solve_mp_budgeted`] reporting telemetry through `rec`.
+pub fn solve_mp_budgeted_observed(
+    instance: &EmpInstance,
+    attr: &str,
+    threshold: f64,
+    config: &MpConfig,
+    budget: &SolveBudget,
+    rec: &mut Recorder,
+) -> Result<(MpReport, StopReason), EmpError> {
     let constraints = ConstraintSet::new().with(Constraint::sum(attr, threshold, f64::INFINITY)?);
     let engine = ConstraintEngine::compile(instance, &constraints)?;
     let col =
@@ -154,11 +199,29 @@ pub fn solve_mp_observed(
     let counters_at_entry = rec.counters_snapshot();
     rec.span_begin("solve", None);
     let t0 = Instant::now();
+    let mut stop: Option<StopReason> = None;
     let mut best: Option<Partition> = None;
     for i in 0..config.construction_iterations.max(1) {
+        rec.counters().inc(CounterKind::CancelPolls);
+        if let Some(reason) = budget.poll() {
+            if reason == StopReason::DeadlineExceeded {
+                rec.counters().inc(CounterKind::DeadlineExceeded);
+            }
+            stop = Some(reason);
+            break;
+        }
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
         rec.span_begin("mp_construct", Some(i as u64));
-        let cand = construct(&engine, instance, col, threshold, &mut rng, rec.counters());
+        let cand = construct(
+            &engine,
+            instance,
+            col,
+            threshold,
+            &mut rng,
+            budget,
+            &mut stop,
+            rec.counters(),
+        );
         rec.span_end();
         let replace = match &best {
             None => true,
@@ -170,13 +233,18 @@ pub fn solve_mp_observed(
         if replace {
             best = Some(cand);
         }
+        if stop.is_some() {
+            break;
+        }
     }
-    let mut partition = best.expect("at least one iteration");
+    // Interrupted before the first construction finished: fall back to the
+    // always-valid "everything unassigned" partition.
+    let mut partition = best.unwrap_or_else(|| Partition::new(instance.len()));
     let construction = t0.elapsed().as_secs_f64();
     let heterogeneity_before = partition.heterogeneity_with(&engine);
 
     let t1 = Instant::now();
-    let tabu = if config.local_search {
+    let tabu = if config.local_search && stop.is_none() {
         let mut cfg = TabuConfig {
             tenure: config.tabu_tenure,
             max_no_improve: config.max_no_improve.unwrap_or(instance.len()),
@@ -186,9 +254,20 @@ pub fn solve_mp_observed(
             cfg.max_iterations = cap;
         }
         rec.span_begin("tabu", None);
-        let stats = tabu_search_observed(&engine, &mut partition, &cfg, rec);
+        let outcome = tabu_search_budgeted(&engine, &mut partition, &cfg, budget, None, rec);
         rec.span_end();
-        stats
+        match outcome {
+            TabuOutcome::Converged(stats) => stats,
+            TabuOutcome::Interrupted {
+                stats,
+                reason,
+                state,
+            } => {
+                stop = Some(reason);
+                partition = Partition::from_assignment(&engine, &state.best_assignment);
+                stats
+            }
+        }
     } else {
         TabuStats {
             initial: heterogeneity_before,
@@ -198,31 +277,41 @@ pub fn solve_mp_observed(
     };
     let local_search = t1.elapsed().as_secs_f64();
 
+    let stop_reason = stop.unwrap_or(StopReason::Completed);
+    rec.note("stop_reason", stop_reason.code() as f64);
     rec.span_end(); // close "solve"
     let counters = rec.counters_snapshot().delta_since(&counters_at_entry);
     let trajectory = rec.take_trajectory();
 
-    Ok(MpReport {
-        solution: Solution::from_partition(&engine, &partition),
-        heterogeneity_before,
-        tabu,
-        timings: PhaseTimings {
-            feasibility: 0.0,
-            construction,
-            local_search,
+    Ok((
+        MpReport {
+            solution: Solution::from_partition(&engine, &partition),
+            heterogeneity_before,
+            tabu,
+            timings: PhaseTimings {
+                feasibility: 0.0,
+                construction,
+                local_search,
+            },
+            counters,
+            trajectory,
         },
-        counters,
-        trajectory,
-    })
+        stop_reason,
+    ))
 }
 
-/// One growing-phase construction iteration.
+/// One growing-phase construction iteration. Polls `budget` once per
+/// enclave-assignment fixpoint round; on interruption the partially
+/// enclave-assigned (still valid) partition is returned and `stop` is set.
+#[allow(clippy::too_many_arguments)]
 fn construct(
     engine: &ConstraintEngine<'_>,
     instance: &EmpInstance,
     col: usize,
     threshold: f64,
     rng: &mut StdRng,
+    budget: &SolveBudget,
+    stop: &mut Option<StopReason>,
     counters: &mut Counters,
 ) -> Partition {
     let n = instance.len();
@@ -300,6 +389,14 @@ fn construct(
     // Enclave assignment: attach leftovers to adjacent regions, choosing the
     // region whose objective increases least, until a fixpoint.
     loop {
+        counters.inc(CounterKind::CancelPolls);
+        if let Some(reason) = budget.poll() {
+            if reason == StopReason::DeadlineExceeded {
+                counters.inc(CounterKind::DeadlineExceeded);
+            }
+            *stop = Some(reason);
+            break;
+        }
         let mut changed = false;
         let mut enclaves = partition.unassigned();
         enclaves.shuffle(rng);
@@ -417,6 +514,64 @@ mod tests {
         let report = solve_mp(&inst, "POP", 700.0, &MpConfig::seeded(7)).unwrap();
         let set = ConstraintSet::new().with(Constraint::sum("POP", 700.0, f64::INFINITY).unwrap());
         validate_solution(&inst, &set, &report.solution).unwrap();
+    }
+
+    #[test]
+    fn budget_zero_returns_valid_empty_incumbent() {
+        let inst = random_instance(8, 21);
+        let (report, reason) = solve_mp_budgeted(
+            &inst,
+            "POP",
+            800.0,
+            &MpConfig::seeded(4),
+            &SolveBudget::poll_limit(0),
+        )
+        .unwrap();
+        assert_eq!(reason, StopReason::IterationBudget);
+        assert_eq!(report.p(), 0);
+        assert_eq!(report.solution.unassigned.len(), inst.len());
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 800.0, f64::INFINITY).unwrap());
+        validate_solution(&inst, &set, &report.solution).unwrap();
+    }
+
+    #[test]
+    fn interrupted_solve_keeps_valid_incumbent() {
+        let inst = random_instance(8, 21);
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 800.0, f64::INFINITY).unwrap());
+        // Cut at a spread of points through construction and tabu; every
+        // incumbent must validate and carry a non-Completed stop reason.
+        for limit in [1u64, 2, 3, 5, 8, 13, 21] {
+            let (report, reason) = solve_mp_budgeted(
+                &inst,
+                "POP",
+                800.0,
+                &MpConfig::seeded(4),
+                &SolveBudget::poll_limit(limit),
+            )
+            .unwrap();
+            if reason == StopReason::Completed {
+                continue; // budget outlived the whole solve
+            }
+            assert_eq!(reason, StopReason::IterationBudget);
+            validate_solution(&inst, &set, &report.solution)
+                .unwrap_or_else(|e| panic!("limit {limit}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_solve() {
+        let inst = random_instance(7, 9);
+        let plain = solve_mp(&inst, "POP", 600.0, &MpConfig::seeded(5)).unwrap();
+        let (budgeted, reason) = solve_mp_budgeted(
+            &inst,
+            "POP",
+            600.0,
+            &MpConfig::seeded(5),
+            &SolveBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(reason, StopReason::Completed);
+        assert_eq!(plain.solution, budgeted.solution);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! input and supports no enriched constraints beyond an optional minimum
 //! region size — exactly the gap EMP fills.
 
+use emp_core::control::{SolveBudget, StopReason};
 use emp_core::heterogeneity::{total_heterogeneity, DissimStat};
 use emp_core::instance::EmpInstance;
 use emp_core::solution::Solution;
@@ -57,6 +58,29 @@ pub fn solve_skater_observed(
     config: &SkaterConfig,
     rec: &mut Recorder,
 ) -> SkaterReport {
+    solve_skater_budgeted_observed(instance, config, &SolveBudget::unlimited(), rec).0
+}
+
+/// [`solve_skater`] under a cooperative [`SolveBudget`]: the split loop
+/// polls the budget once per cut. An interrupted run returns the regions
+/// split so far — always a valid, fully-assigned, contiguous partition
+/// (at worst the untouched connected components) — plus the interrupting
+/// [`StopReason`]; no checkpointing (the baseline is cheap to re-run).
+pub fn solve_skater_budgeted(
+    instance: &EmpInstance,
+    config: &SkaterConfig,
+    budget: &SolveBudget,
+) -> (SkaterReport, StopReason) {
+    solve_skater_budgeted_observed(instance, config, budget, &mut Recorder::noop())
+}
+
+/// [`solve_skater_budgeted`] reporting telemetry through `rec`.
+pub fn solve_skater_budgeted_observed(
+    instance: &EmpInstance,
+    config: &SkaterConfig,
+    budget: &SolveBudget,
+    rec: &mut Recorder,
+) -> (SkaterReport, StopReason) {
     let n = instance.len();
     let graph = instance.graph();
     let dissim = instance.dissimilarity();
@@ -90,8 +114,17 @@ pub fn solve_skater_observed(
 
     // Phase 2: greedy best-cut splitting until k regions.
     rec.span_begin("split", None);
+    let mut stop: Option<StopReason> = None;
     let mut visited = VisitScratch::new();
     while regions.len() < config.k {
+        rec.counters().inc(CounterKind::CancelPolls);
+        if let Some(reason) = budget.poll() {
+            if reason == StopReason::DeadlineExceeded {
+                rec.counters().inc(CounterKind::DeadlineExceeded);
+            }
+            stop = Some(reason);
+            break;
+        }
         let mut best: Option<(usize, u32, u32, f64)> = None; // (region, a, b, reduction)
         for (ri, members) in regions.iter().enumerate() {
             if members.len() < 2 * config.min_region_size {
@@ -152,15 +185,18 @@ pub fn solve_skater_observed(
         }
     }
     let heterogeneity = total_heterogeneity(dissim, &regions);
-    SkaterReport {
-        solution: Solution {
-            regions,
-            assignment,
-            unassigned: Vec::new(),
-            heterogeneity,
+    (
+        SkaterReport {
+            solution: Solution {
+                regions,
+                assignment,
+                unassigned: Vec::new(),
+                heterogeneity,
+            },
+            splits,
         },
-        splits,
-    }
+        stop.unwrap_or(StopReason::Completed),
+    )
 }
 
 /// Pairwise heterogeneity of one member list.
@@ -329,6 +365,29 @@ mod tests {
         );
         assert_eq!(report.solution.p(), 2);
         assert_eq!(report.splits, 0, "components already satisfy k");
+    }
+
+    #[test]
+    fn budget_interrupts_split_loop() {
+        let dissim: Vec<f64> = (0..36).map(|i| ((i * 7) % 23) as f64).collect();
+        let inst = instance(dissim, 6, 6);
+        let config = SkaterConfig {
+            k: 12,
+            min_region_size: 1,
+        };
+        // Cut after two splits: the partial partition (3 regions) is still a
+        // valid fully-assigned contiguous partition.
+        let (report, reason) = solve_skater_budgeted(&inst, &config, &SolveBudget::poll_limit(2));
+        assert_eq!(reason, StopReason::IterationBudget);
+        assert_eq!(report.splits, 2);
+        assert_eq!(report.solution.p(), 3);
+        assert!(report.solution.unassigned.is_empty());
+        validate_solution(&inst, &ConstraintSet::new(), &report.solution).unwrap();
+
+        // An ample budget completes with the same result as unbudgeted.
+        let (full, reason) = solve_skater_budgeted(&inst, &config, &SolveBudget::poll_limit(1_000));
+        assert_eq!(reason, StopReason::Completed);
+        assert_eq!(full.solution, solve_skater(&inst, &config).solution);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use emp_bench::presets::Combo;
 use emp_bench::regress::{self, Thresholds};
 use emp_core::engine::ConstraintEngine;
 use emp_core::partition::Partition;
-use emp_core::{solve_observed, FactConfig};
+use emp_core::{solve_budgeted_observed, solve_observed, FactConfig, SolveBudget, StopReason};
 use emp_graph::articulation::{articulation_points_into, ArticulationScratch};
 use emp_graph::traversal::bfs_visit;
 use emp_graph::{ContiguityGraph, VisitScratch};
@@ -50,6 +50,7 @@ struct Args {
     rel: Option<f64>,
     abs: Option<f64>,
     report_out: Option<String>,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +65,7 @@ fn parse_args() -> Args {
         rel: None,
         abs: None,
         report_out: None,
+        deadline_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -78,6 +80,7 @@ fn parse_args() -> Args {
             "--rel" => args.rel = it.next().and_then(|v| v.parse().ok()),
             "--abs" => args.abs = it.next().and_then(|v| v.parse().ok()),
             "--report-out" => args.report_out = it.next(),
+            "--deadline-ms" => args.deadline_ms = it.next().and_then(|v| v.parse().ok()),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -102,7 +105,7 @@ fn best_of<T, F: FnMut() -> T>(samples: usize, mut f: F) -> (f64, T) {
     (best, last.expect("at least one sample"))
 }
 
-fn bench_size(areas: usize, samples: usize) -> serde_json::Value {
+fn bench_size(areas: usize, samples: usize, deadline_ms: Option<u64>) -> serde_json::Value {
     let dataset = emp_data::build_sized("core-bench", areas);
     let instance = dataset.to_instance().expect("instance");
     let graph = instance.graph();
@@ -141,16 +144,40 @@ fn bench_size(areas: usize, samples: usize) -> serde_json::Value {
         ..FactConfig::default()
     };
     let mut rec = Recorder::noop();
-    let reference = solve_observed(&instance, &set, &config, &mut rec).expect("solve");
-    let (solve_s, report) = best_of(samples, || {
-        let mut noop = Recorder::noop();
-        solve_observed(&instance, &set, &config, &mut noop).expect("solve")
-    });
-    assert_eq!(report.p(), reference.p(), "solve must be deterministic");
-    assert_eq!(
-        report.solution.heterogeneity, reference.solution.heterogeneity,
-        "solve must be deterministic"
-    );
+    let mut stop_reason = StopReason::Completed;
+    let (solve_s, report) = match deadline_ms {
+        // Budgeted mode: where the wall clock lands is nondeterministic by
+        // nature, so the determinism assertions are skipped — the artifact
+        // records the stop reason instead.
+        Some(ms) => {
+            let (solve_s, outcome) = best_of(samples, || {
+                let mut noop = Recorder::noop();
+                solve_budgeted_observed(
+                    &instance,
+                    &set,
+                    &config,
+                    &SolveBudget::deadline_ms(ms),
+                    &mut noop,
+                )
+                .expect("solve")
+            });
+            stop_reason = outcome.stop_reason;
+            (solve_s, outcome.report)
+        }
+        None => {
+            let reference = solve_observed(&instance, &set, &config, &mut rec).expect("solve");
+            let (solve_s, report) = best_of(samples, || {
+                let mut noop = Recorder::noop();
+                solve_observed(&instance, &set, &config, &mut noop).expect("solve")
+            });
+            assert_eq!(report.p(), reference.p(), "solve must be deterministic");
+            assert_eq!(
+                report.solution.heterogeneity, reference.solution.heterogeneity,
+                "solve must be deterministic"
+            );
+            (solve_s, report)
+        }
+    };
 
     // Articulation recompute: one full pass over the solved regions — the
     // shape of work the tabu phase repeats after every applied move.
@@ -170,13 +197,13 @@ fn bench_size(areas: usize, samples: usize) -> serde_json::Value {
         total
     });
 
-    let counters: serde_json::Map<String, serde_json::Value> = reference
+    let counters: serde_json::Map<String, serde_json::Value> = report
         .counters
         .iter_nonzero()
         .map(|(k, v)| (k.name().to_string(), serde_json::json!(v)))
         .collect();
 
-    serde_json::json!({
+    let mut entry = serde_json::json!({
         "areas": areas,
         "vertices": n,
         "edges": graph.edge_count(),
@@ -190,7 +217,13 @@ fn bench_size(areas: usize, samples: usize) -> serde_json::Value {
         "p": report.p(),
         "heterogeneity": report.solution.heterogeneity,
         "counters": counters,
-    })
+    });
+    if let Some(ms) = deadline_ms {
+        let obj = entry.as_object_mut().expect("size entry");
+        obj.insert("deadline_ms".into(), serde_json::json!(ms));
+        obj.insert("stop_reason".into(), serde_json::json!(stop_reason.name()));
+    }
+    entry
 }
 
 const METRICS: [&str; 4] = ["graph_build_s", "bfs_sweep_s", "articulation_s", "solve_s"];
@@ -253,7 +286,22 @@ fn run_check(args: &Args, candidate: serde_json::Value) -> ! {
         .expect("write regression report");
         eprintln!("wrote regression report {path}");
     }
-    std::process::exit(if report.is_regressed() { 1 } else { 0 });
+    // A reference that lacks a candidate timing can't vouch for it — a
+    // stale baseline must fail the watchdog, not silently pass. Metrics
+    // only in the reference stay non-fatal: retiring a benchmark is fine.
+    let uncovered = !report.only_after.is_empty();
+    if uncovered {
+        eprintln!(
+            "error: reference {against} is missing {} candidate timing metric(s): {}",
+            report.only_after.len(),
+            report.only_after.join(", ")
+        );
+    }
+    std::process::exit(if report.is_regressed() || uncovered {
+        1
+    } else {
+        0
+    });
 }
 
 fn main() {
@@ -273,7 +321,7 @@ fn main() {
     let mut results = Vec::new();
     for &areas in sizes {
         eprintln!("bench_core: {areas} areas ({samples} samples)...");
-        results.push(bench_size(areas, samples));
+        results.push(bench_size(areas, samples, args.deadline_ms));
     }
 
     if let Some(path) = &args.save_baseline {

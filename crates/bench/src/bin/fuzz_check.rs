@@ -104,6 +104,7 @@ fn main() {
         minimize: args.minimize,
         corpus_dir: Some(args.corpus.clone()),
         budget: (args.budget_secs > 0).then(|| std::time::Duration::from_secs(args.budget_secs)),
+        budget_probes: true,
     };
 
     // Phase 1: replay the committed corpus (sorted order, no persistence).

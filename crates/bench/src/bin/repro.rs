@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--fast] [--dataset NAME] [--jobs N] [--out DIR] [--trace DIR]
-//!       [--bench] [--mask-timings] [EXPERIMENT...]
+//!       [--bench] [--mask-timings] [--deadline-ms MS] [--checkpoint DIR]
+//!       [EXPERIMENT...]
 //!
 //!   EXPERIMENT     one or more of: datasets table3 table4 min-runtime avg
 //!                  sum-runtime scalability exact ablations all (default: all)
@@ -20,6 +21,12 @@
 //!                  per-experiment wall clocks to `BENCH_repro.json`
 //!   --mask-timings replace wall-clock cells with `*` in rendered tables and
 //!                  the INDEX.md elapsed column (for byte-exact diffing)
+//!   --deadline-ms  per-cell wall-clock budget: cells that hit it report
+//!                  their best valid incumbent instead of running on; each
+//!                  experiment then logs a greppable
+//!                  `budget: N cell(s) stopped early` line (DESIGN.md §11)
+//!   --checkpoint   directory where deadline-interrupted FaCT cells dump
+//!                  resumable checkpoints (requires --deadline-ms)
 //! ```
 //!
 //! Each experiment prints its tables and writes `<name>.md` / `<name>.csv`
@@ -42,11 +49,27 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut bench = false;
     let mut mask_timings = false;
+    let mut deadline_ms: Option<u64> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => fast = true,
+            "--deadline-ms" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--deadline-ms needs a value"));
+                deadline_ms = Some(v.parse().unwrap_or_else(|_| {
+                    usage(&format!("--deadline-ms needs milliseconds, got '{v}'"))
+                }));
+            }
+            "--checkpoint" => {
+                checkpoint_dir = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--checkpoint needs a directory")),
+                ));
+            }
             "--dataset" => {
                 dataset = args
                     .next()
@@ -82,9 +105,16 @@ fn main() {
     let jobs = jobs.unwrap_or_else(emp_geo::par::effective_jobs);
     std::env::set_var("EMP_JOBS", jobs.to_string());
 
+    if checkpoint_dir.is_some() && deadline_ms.is_none() {
+        usage("--checkpoint requires --deadline-ms (checkpoints only exist for interrupted cells)");
+    }
+
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     if let Some(dir) = &trace_dir {
         std::fs::create_dir_all(dir).expect("create trace directory");
+    }
+    if let Some(dir) = &checkpoint_dir {
+        std::fs::create_dir_all(dir).expect("create checkpoint directory");
     }
 
     let reg = registry();
@@ -97,6 +127,10 @@ fn main() {
         })
         .collect();
 
+    let budget = BudgetArgs {
+        deadline_ms,
+        checkpoint_dir,
+    };
     if bench {
         run_bench(
             &selected,
@@ -106,6 +140,7 @@ fn main() {
             &out_dir,
             &trace_dir,
             mask_timings,
+            &budget,
         );
     } else {
         run_once(
@@ -116,11 +151,30 @@ fn main() {
             &out_dir,
             &trace_dir,
             mask_timings,
+            &budget,
         );
     }
 }
 
+/// Lifecycle-control settings (`--deadline-ms` / `--checkpoint`) threaded
+/// into every experiment context.
+struct BudgetArgs {
+    deadline_ms: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
+}
+
+/// Per-experiment degradation summary: how many solver cells the deadline
+/// stopped early. Printed (greppably) whenever a deadline is active — zero
+/// included, so CI can assert the budget path actually ran.
+fn report_stopped(budget: &BudgetArgs, name: &str) {
+    if let Some(ms) = budget.deadline_ms {
+        let n = emp_bench::runner::take_stopped_cells();
+        eprintln!("   budget: {name}: {n} cell(s) stopped early (deadline {ms}ms)");
+    }
+}
+
 /// The normal mode: one pass, one shared context (warm dataset cache).
+#[allow(clippy::too_many_arguments)]
 fn run_once(
     selected: &[&Experiment],
     fast: bool,
@@ -129,8 +183,9 @@ fn run_once(
     out_dir: &Path,
     trace_dir: &Option<PathBuf>,
     mask_timings: bool,
+    budget: &BudgetArgs,
 ) {
-    let mut ctx = context(fast, dataset, jobs);
+    let mut ctx = context(fast, dataset, jobs, budget);
     let mut index = String::from("# EMP reproduction results\n\n");
     for exp in selected {
         eprintln!(">> running {} (covers {})", exp.name, exp.covers);
@@ -139,6 +194,7 @@ fn run_once(
         let t0 = Instant::now();
         let tables = (exp.run)(&ctx);
         let elapsed = t0.elapsed().as_secs_f64();
+        report_stopped(budget, exp.name);
         flush_trace(trace_sink);
         if mask_timings {
             canonicalize_trace_file(trace_dir, exp.name);
@@ -156,6 +212,7 @@ fn run_once(
 /// the parallel pass — against fresh contexts (cold caches, fair timing).
 /// The canonically-masked outputs of both passes must match byte-for-byte;
 /// wall clocks land in `BENCH_repro.json`.
+#[allow(clippy::too_many_arguments)]
 fn run_bench(
     selected: &[&Experiment],
     fast: bool,
@@ -164,6 +221,7 @@ fn run_bench(
     out_dir: &Path,
     trace_dir: &Option<PathBuf>,
     mask_timings: bool,
+    budget: &BudgetArgs,
 ) {
     let mut index = String::from("# EMP reproduction results\n\n");
     let mut entries = String::new();
@@ -171,19 +229,20 @@ fn run_bench(
     for exp in selected {
         eprintln!(">> benching {} (sequential pass)", exp.name);
         std::env::set_var("EMP_JOBS", "1");
-        let ctx_seq = context(fast, dataset, 1);
+        let ctx_seq = context(fast, dataset, 1, budget);
         let t0 = Instant::now();
         let seq_tables = (exp.run)(&ctx_seq);
         let sequential_s = t0.elapsed().as_secs_f64();
 
         eprintln!(">> benching {} (parallel pass, {jobs} jobs)", exp.name);
         std::env::set_var("EMP_JOBS", jobs.to_string());
-        let mut ctx_par = context(fast, dataset, jobs);
+        let mut ctx_par = context(fast, dataset, jobs, budget);
         let trace_sink = open_trace(trace_dir, exp.name);
         ctx_par.trace = trace_sink.clone();
         let t1 = Instant::now();
         let tables = (exp.run)(&ctx_par);
         let parallel_s = t1.elapsed().as_secs_f64();
+        report_stopped(budget, exp.name);
         flush_trace(trace_sink);
         if mask_timings {
             canonicalize_trace_file(trace_dir, exp.name);
@@ -226,7 +285,7 @@ fn run_bench(
     }
 }
 
-fn context(fast: bool, dataset: &str, jobs: usize) -> ExpContext {
+fn context(fast: bool, dataset: &str, jobs: usize, budget: &BudgetArgs) -> ExpContext {
     let mut ctx = if fast {
         ExpContext::fast()
     } else {
@@ -234,6 +293,8 @@ fn context(fast: bool, dataset: &str, jobs: usize) -> ExpContext {
     };
     ctx.dataset = dataset.to_string();
     ctx.jobs = jobs;
+    ctx.deadline_ms = budget.deadline_ms;
+    ctx.checkpoint_dir = budget.checkpoint_dir.clone();
     ctx
 }
 
@@ -336,7 +397,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--fast] [--dataset NAME] [--jobs N] [--out DIR] [--trace DIR]\n\
-         \x20            [--bench] [--mask-timings] [EXPERIMENT...]\n\
+         \x20            [--bench] [--mask-timings] [--deadline-ms MS] [--checkpoint DIR]\n\
+         \x20            [EXPERIMENT...]\n\
          experiments: {} all",
         registry()
             .iter()

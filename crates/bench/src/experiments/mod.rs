@@ -36,6 +36,12 @@ pub struct ExpContext {
     /// Worker count for the cell pool (`repro --jobs`, `EMP_JOBS`; 1 =
     /// sequential reference). Output is identical for every value.
     pub jobs: usize,
+    /// Per-cell wall-clock deadline (`repro --deadline-ms`). Stopped cells
+    /// report their best valid incumbent; `None` runs unbudgeted.
+    pub deadline_ms: Option<u64>,
+    /// Checkpoint dump directory for deadline-interrupted FaCT cells
+    /// (`repro --checkpoint DIR`).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl ExpContext {
@@ -48,6 +54,8 @@ impl ExpContext {
             seed: 20_22,
             trace: None,
             jobs: emp_geo::par::effective_jobs(),
+            deadline_ms: None,
+            checkpoint_dir: None,
         }
     }
 
@@ -117,6 +125,8 @@ impl ExpContext {
             max_no_improve,
             max_tabu_iterations,
             trace: self.trace.clone(),
+            deadline_ms: self.deadline_ms,
+            checkpoint_dir: self.checkpoint_dir.clone(),
         }
     }
 

@@ -1,12 +1,30 @@
 //! Shared experiment runner: solve instances, collect measurement rows.
 
 use crate::sched::JobPool;
-use emp_baseline::{solve_mp_observed, MpConfig};
+use emp_baseline::{solve_mp_budgeted_observed, solve_mp_observed, MpConfig};
 use emp_core::constraint::ConstraintSet;
+use emp_core::control::{SolveBudget, StopReason};
 use emp_core::instance::EmpInstance;
-use emp_core::solver::{solve_observed, FactConfig};
+use emp_core::solver::{solve_budgeted_observed, solve_observed, FactConfig};
 use emp_data::{Dataset, OnceMap};
 use emp_obs::{BufferSink, CounterKind, Counters, Recorder, SharedSink};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of solver cells a budget stopped early (deadline or
+/// cancellation); the `repro` harness drains it per experiment for its
+/// degradation summary line.
+static STOPPED_CELLS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of budget-stopped cells since the last [`take_stopped_cells`].
+pub fn take_stopped_cells() -> u64 {
+    STOPPED_CELLS.swap(0, Ordering::Relaxed)
+}
+
+fn note_stop(reason: StopReason) {
+    if reason != StopReason::Completed {
+        STOPPED_CELLS.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// Measurement of one solver run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -25,6 +43,10 @@ pub struct Measurement {
     pub improvement: Option<f64>,
     /// Final heterogeneity.
     pub heterogeneity: f64,
+    /// Why the solve stopped ([`StopReason::Completed`] unless a deadline
+    /// or cancellation cut it short — the row then reports the best valid
+    /// incumbent at the cut).
+    pub stop_reason: StopReason,
     /// Telemetry counters of the run.
     pub counters: Counters,
 }
@@ -65,6 +87,13 @@ pub struct RunOptions {
     /// Event sink the solvers stream span/trajectory events into (`None` =
     /// counters only, no event overhead).
     pub trace: Option<SharedSink>,
+    /// Per-cell wall-clock deadline in milliseconds (`repro --deadline-ms`).
+    /// `None` runs unbudgeted — the exact same code path as before the
+    /// control plane existed, so unbudgeted timings are comparable.
+    pub deadline_ms: Option<u64>,
+    /// Where deadline-interrupted FaCT cells dump their [`emp_core::Checkpoint`]
+    /// (`repro --checkpoint DIR`); `None` discards them.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -76,6 +105,8 @@ impl Default for RunOptions {
             max_no_improve: None,
             max_tabu_iterations: None,
             trace: None,
+            deadline_ms: None,
+            checkpoint_dir: None,
         }
     }
 }
@@ -104,7 +135,29 @@ impl RunOptions {
     }
 }
 
-/// Runs FaCT and converts the report into a [`Measurement`].
+/// Writes a deadline-interrupted cell's checkpoint (`--checkpoint DIR`).
+/// Keyed by instance size and seed — the pair that identifies a resumable
+/// cell. Write failures degrade to a warning: a missing checkpoint must not
+/// take the harness down with it.
+fn write_checkpoint(
+    dir: &std::path::Path,
+    areas: usize,
+    seed: u64,
+    checkpoint: &emp_core::Checkpoint,
+) {
+    let path = dir.join(format!("fact-n{areas}-seed{seed}.ckpt"));
+    let result =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, checkpoint.to_text()));
+    if let Err(e) = result {
+        eprintln!("warn: could not write checkpoint {}: {e}", path.display());
+    }
+}
+
+/// Runs FaCT and converts the report into a [`Measurement`]. With
+/// `opts.deadline_ms` set the solve runs under a wall-clock budget and may
+/// return early with its best valid incumbent (and a checkpoint, persisted
+/// when `opts.checkpoint_dir` is set); without it, the pre-control-plane
+/// unbudgeted path runs unchanged.
 pub fn run_fact(
     instance: &EmpInstance,
     constraints: &ConstraintSet,
@@ -118,26 +171,45 @@ pub fn run_fact(
         seed: opts.seed,
         ..FactConfig::default()
     };
+    let measure = |report: &emp_core::solver::SolveReport, stop_reason: StopReason| Measurement {
+        p: report.p(),
+        unassigned: report.solution.unassigned.len(),
+        construction_s: report.timings.feasibility + report.timings.construction,
+        tabu_s: report.timings.local_search,
+        improvement: report.improvement(),
+        heterogeneity: report.solution.heterogeneity,
+        stop_reason,
+        counters: report.counters,
+    };
     let mut rec = opts.recorder();
-    let m = match solve_observed(instance, constraints, &config, &mut rec) {
-        Ok(report) => Measurement {
-            p: report.p(),
-            unassigned: report.solution.unassigned.len(),
-            construction_s: report.timings.feasibility + report.timings.construction,
-            tabu_s: report.timings.local_search,
-            improvement: report.improvement(),
-            heterogeneity: report.solution.heterogeneity,
-            counters: report.counters,
+    let m = match opts.deadline_ms {
+        Some(ms) => {
+            let budget = SolveBudget::deadline_ms(ms);
+            match solve_budgeted_observed(instance, constraints, &config, &budget, &mut rec) {
+                Ok(outcome) => {
+                    note_stop(outcome.stop_reason);
+                    if let (Some(dir), Some(ckpt)) = (&opts.checkpoint_dir, &outcome.checkpoint) {
+                        write_checkpoint(dir, instance.len(), opts.seed, ckpt);
+                    }
+                    measure(&outcome.report, outcome.stop_reason)
+                }
+                Err(_) => Measurement::default(),
+            }
+        }
+        None => match solve_observed(instance, constraints, &config, &mut rec) {
+            Ok(report) => measure(&report, StopReason::Completed),
+            // Infeasible query: report zeros (the paper reports such cells
+            // as empty / p = 0).
+            Err(_) => Measurement::default(),
         },
-        // Infeasible query: report zeros (the paper reports such cells as
-        // empty / p = 0).
-        Err(_) => Measurement::default(),
     };
     rec.finish();
     m
 }
 
 /// Runs the MP-regions baseline with a single `SUM(TOTALPOP) >= threshold`.
+/// Honors `opts.deadline_ms` like [`run_fact`]; baselines carry no
+/// checkpoint (they are cheap to re-run from scratch).
 pub fn run_mp(instance: &EmpInstance, threshold: f64, opts: &RunOptions) -> Measurement {
     let config = MpConfig {
         construction_iterations: opts.construction_iterations,
@@ -147,18 +219,34 @@ pub fn run_mp(instance: &EmpInstance, threshold: f64, opts: &RunOptions) -> Meas
         seed: opts.seed,
         ..MpConfig::default()
     };
+    let measure = |report: &emp_baseline::MpReport, stop_reason: StopReason| Measurement {
+        p: report.p(),
+        unassigned: report.solution.unassigned.len(),
+        construction_s: report.timings.construction,
+        tabu_s: report.timings.local_search,
+        improvement: report.improvement(),
+        heterogeneity: report.solution.heterogeneity,
+        stop_reason,
+        counters: report.counters,
+    };
     let mut rec = opts.recorder();
-    let m = match solve_mp_observed(instance, "TOTALPOP", threshold, &config, &mut rec) {
-        Ok(report) => Measurement {
-            p: report.p(),
-            unassigned: report.solution.unassigned.len(),
-            construction_s: report.timings.construction,
-            tabu_s: report.timings.local_search,
-            improvement: report.improvement(),
-            heterogeneity: report.solution.heterogeneity,
-            counters: report.counters,
+    let m = match opts.deadline_ms {
+        Some(ms) => {
+            let budget = SolveBudget::deadline_ms(ms);
+            match solve_mp_budgeted_observed(
+                instance, "TOTALPOP", threshold, &config, &budget, &mut rec,
+            ) {
+                Ok((report, stop_reason)) => {
+                    note_stop(stop_reason);
+                    measure(&report, stop_reason)
+                }
+                Err(_) => Measurement::default(),
+            }
+        }
+        None => match solve_mp_observed(instance, "TOTALPOP", threshold, &config, &mut rec) {
+            Ok(report) => measure(&report, StopReason::Completed),
+            Err(_) => Measurement::default(),
         },
-        Err(_) => Measurement::default(),
     };
     rec.finish();
     m
@@ -333,6 +421,46 @@ mod tests {
         let b = run_mp(&inst, 20_000.0, &opts);
         assert!(b.p > 0);
         assert!(b.counters.get(CounterKind::RegionsCreated) > 0);
+    }
+
+    #[test]
+    fn deadline_zero_degrades_gracefully() {
+        let d = emp_data::build_sized("t", 150);
+        let inst = d.to_instance().unwrap();
+        let dir = std::env::temp_dir().join("emp-runner-ckpt-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions {
+            deadline_ms: Some(0),
+            checkpoint_dir: Some(dir.clone()),
+            max_no_improve: Some(50),
+            ..RunOptions::default()
+        };
+        let set = Combo::Mas.build(None, None, None);
+        let _ = take_stopped_cells();
+        let m = run_fact(&inst, &set, &opts);
+        assert_ne!(m.stop_reason, StopReason::Completed);
+        let b = run_mp(&inst, 20_000.0, &opts);
+        assert_ne!(b.stop_reason, StopReason::Completed);
+        assert!(take_stopped_cells() >= 2);
+        // The interrupted FaCT cell dumped a resumable checkpoint.
+        let dumped: Vec<_> = std::fs::read_dir(&dir)
+            .expect("checkpoint dir exists")
+            .filter_map(|e| e.ok())
+            .collect();
+        assert_eq!(dumped.len(), 1, "one FaCT cell, one checkpoint");
+        let text = std::fs::read_to_string(dumped[0].path()).unwrap();
+        emp_core::Checkpoint::from_text(&text).expect("dumped checkpoint parses");
+        let _ = std::fs::remove_dir_all(&dir);
+        // A generous deadline completes and reports so.
+        let relaxed = RunOptions {
+            deadline_ms: Some(600_000),
+            max_no_improve: Some(50),
+            ..RunOptions::default()
+        };
+        let m = run_fact(&inst, &set, &relaxed);
+        assert_eq!(m.stop_reason, StopReason::Completed);
+        assert!(m.p > 0);
+        let _ = take_stopped_cells();
     }
 
     #[test]

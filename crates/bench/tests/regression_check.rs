@@ -1,0 +1,78 @@
+//! `bench_core --check-regression` verdicts, end to end through the
+//! binary in file-vs-file mode (`--candidate` / `--against`). The key
+//! regression under test: a reference artifact that is *missing* a timing
+//! metric present in the candidate used to pass silently — a stale baseline
+//! vouched for numbers it had never seen.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn write_json(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("emp-regression-check-{name}.json"));
+    std::fs::write(&path, content).expect("write fixture");
+    path
+}
+
+fn run_check(reference: &PathBuf, candidate: &PathBuf) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_core"))
+        .args(["--check-regression", "--against"])
+        .arg(reference)
+        .arg("--candidate")
+        .arg(candidate)
+        .output()
+        .expect("spawn bench_core")
+}
+
+#[test]
+fn identical_artifacts_pass() {
+    let reference = write_json("id-ref", r#"{"solve_s": 0.5, "graph_build_s": 0.01}"#);
+    let candidate = write_json("id-cand", r#"{"solve_s": 0.5, "graph_build_s": 0.01}"#);
+    let out = run_check(&reference, &candidate);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+    let _ = std::fs::remove_file(reference);
+    let _ = std::fs::remove_file(candidate);
+}
+
+#[test]
+fn regressed_timing_fails() {
+    let reference = write_json("slow-ref", r#"{"solve_s": 0.5}"#);
+    let candidate = write_json("slow-cand", r#"{"solve_s": 1.2}"#);
+    let out = run_check(&reference, &candidate);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
+    let _ = std::fs::remove_file(reference);
+    let _ = std::fs::remove_file(candidate);
+}
+
+#[test]
+fn reference_missing_candidate_metric_fails() {
+    // The candidate grew a metric the baseline has no number for. The
+    // verdict must be exit 1 with the uncovered label named, not a silent
+    // PASS.
+    let reference = write_json("miss-ref", r#"{"solve_s": 0.5}"#);
+    let candidate = write_json("miss-cand", r#"{"solve_s": 0.5, "bfs_sweep_s": 0.2}"#);
+    let out = run_check(&reference, &candidate);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("missing 1 candidate timing metric(s)"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("bfs_sweep_s"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(reference);
+    let _ = std::fs::remove_file(candidate);
+}
+
+#[test]
+fn retired_reference_metric_stays_nonfatal() {
+    // The reverse direction — a metric only the *reference* has — is a
+    // retired benchmark, reported but not fatal.
+    let reference = write_json("retire-ref", r#"{"solve_s": 0.5, "gone_s": 9.0}"#);
+    let candidate = write_json("retire-cand", r#"{"solve_s": 0.5}"#);
+    let out = run_check(&reference, &candidate);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("gone_s"));
+    let _ = std::fs::remove_file(reference);
+    let _ = std::fs::remove_file(candidate);
+}

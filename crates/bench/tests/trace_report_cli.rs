@@ -1,0 +1,132 @@
+//! `trace_report` ingest edge cases, end to end through the binary: exit
+//! codes and diagnostics for truncated traces, orphaned span closes, and
+//! events recorded after the terminal `trace_end` marker. A trace that
+//! under-counts must fail loudly — a report over a partial trace looks
+//! plausible and silently wrong otherwise.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// A well-formed one-root close-ordered trace line set (without the final
+/// newline join).
+fn happy_lines() -> Vec<&'static str> {
+    vec![
+        r#"{"type":"span","name":"construct","index":null,"depth":1,"wall_s":0.010,"counters":{}}"#,
+        r#"{"type":"span","name":"tabu","index":null,"depth":1,"wall_s":0.030,"counters":{}}"#,
+        r#"{"type":"span","name":"solve","index":null,"depth":0,"wall_s":0.050,"counters":{"tabu_moves_applied":7}}"#,
+        r#"{"event":"trace_end"}"#,
+    ]
+}
+
+fn write_trace(name: &str, lines: &[&str]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("emp-trace-report-cli-{name}.jsonl"));
+    let mut content = lines.join("\n");
+    content.push('\n');
+    std::fs::write(&path, content).expect("write trace fixture");
+    path
+}
+
+fn run_report(trace: &PathBuf) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_trace_report"))
+        .arg(trace)
+        .output()
+        .expect("spawn trace_report")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn complete_trace_exits_zero() {
+    let trace = write_trace("happy", &happy_lines());
+    let out = run_report(&trace);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 trace_end marker(s)"), "{stdout}");
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn missing_trace_end_exits_one() {
+    let lines = happy_lines();
+    let trace = write_trace("truncated", &lines[..lines.len() - 1]);
+    let out = run_report(&trace);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains("trace is truncated (0 orphan span(s), trailing trace_end missing)"),
+        "stderr: {stderr}"
+    );
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn orphaned_span_close_exits_one() {
+    // A depth-1 close with no enclosing depth-0 root ever arriving: the
+    // span stays pending, and the report must flag it even though the
+    // trailing trace_end is present.
+    let trace = write_trace(
+        "orphan",
+        &[
+            r#"{"type":"span","name":"construct","index":null,"depth":1,"wall_s":0.010,"counters":{}}"#,
+            r#"{"event":"trace_end"}"#,
+        ],
+    );
+    let out = run_report(&trace);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains("trace is truncated (1 orphan span(s), trailing trace_end present)"),
+        "stderr: {stderr}"
+    );
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn event_after_trace_end_exits_one() {
+    // A producer that kept writing after its end marker: the marker is no
+    // longer trailing, so the trace cannot vouch for completeness.
+    let mut lines = happy_lines();
+    lines.push(
+        r#"{"type":"hist","hists":{"tabu_boundary_size":{"unit":"areas","count":1,"sum":4,"min":4,"max":4,"buckets":[[3,1]]}}}"#,
+    );
+    let trace = write_trace("post-end-hist", &lines);
+    let out = run_report(&trace);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains("trailing trace_end missing"),
+        "stderr: {stderr}"
+    );
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn malformed_json_exits_two() {
+    let trace = write_trace("malformed", &[r#"{"type":"span", oops"#]);
+    let out = run_report(&trace);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("not JSON"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn no_files_is_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_trace_report"))
+        .output()
+        .expect("spawn trace_report");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("no trace files given"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_trace_report"))
+        .arg("--help")
+        .output()
+        .expect("spawn trace_report");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stderr_of(&out).contains("usage:"));
+}

@@ -1,0 +1,670 @@
+//! Solver lifecycle control plane: deadlines, cooperative cancellation,
+//! and checkpoint/resume (DESIGN.md §11).
+//!
+//! A [`SolveBudget`] is threaded through every long-running solver loop.
+//! Each loop *polls* the budget at iteration granularity — never mid-move —
+//! and when the budget answers with a [`StopReason`], the loop winds down
+//! cleanly: the caller receives the best-so-far **valid** incumbent plus a
+//! serializable [`Checkpoint`] from which `resume` continues byte-identically
+//! to an uninterrupted run.
+//!
+//! Three interruption sources compose in one poll:
+//!
+//! * a wall-clock **deadline** (armed when the budget is built),
+//! * a shared [`CancelToken`] flipped from another thread,
+//! * a deterministic **poll limit** — "stop after the k-th poll" — which is
+//!   what the interruption test suite uses to cut a solve at an arbitrary
+//!   reproducible point without any wall-clock dependence.
+//!
+//! The checkpoint text format is versioned (`EMPCKPT v1`) and hand-rolled:
+//! `emp-core` is serde-free by design. Every path-dependent `f64` (region
+//! sums, pairwise dissimilarity accumulators, tabu objective state) is
+//! stored as exact IEEE-754 bits so a restore is bit-identical, which is
+//! what makes resumed move sequences provably equal to uninterrupted ones.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a solve stopped. `Completed` means the solver ran to its natural
+/// termination; every other reason marks a cooperative interruption.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StopReason {
+    /// The solver ran to natural termination.
+    #[default]
+    Completed,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// A [`CancelToken`] was flipped.
+    Cancelled,
+    /// The deterministic poll limit was reached (test hook).
+    IterationBudget,
+    /// The exact search exhausted its node budget.
+    NodeBudget,
+}
+
+impl StopReason {
+    /// Stable numeric code (used as the `stop_reason` span note value).
+    pub fn code(self) -> u32 {
+        match self {
+            StopReason::Completed => 0,
+            StopReason::DeadlineExceeded => 1,
+            StopReason::Cancelled => 2,
+            StopReason::IterationBudget => 3,
+            StopReason::NodeBudget => 4,
+        }
+    }
+
+    /// Stable snake_case name (used in JSON artifacts and table notes).
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::DeadlineExceeded => "deadline_exceeded",
+            StopReason::Cancelled => "cancelled",
+            StopReason::IterationBudget => "iteration_budget",
+            StopReason::NodeBudget => "node_budget",
+        }
+    }
+
+    /// Parses a [`StopReason::name`] back.
+    pub fn from_name(name: &str) -> Option<StopReason> {
+        Some(match name {
+            "completed" => StopReason::Completed,
+            "deadline_exceeded" => StopReason::DeadlineExceeded,
+            "cancelled" => StopReason::Cancelled,
+            "iteration_budget" => StopReason::IterationBudget,
+            "node_budget" => StopReason::NodeBudget,
+            _ => return None,
+        })
+    }
+}
+
+/// Shared cooperative-cancellation flag. Clones observe the same flag; any
+/// clone may cancel, from any thread.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; solvers observe it at their next
+    /// poll point.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// The budget a solve runs under. Built once, polled at every loop
+/// iteration; clones share the poll counter and cancel flag, so a budget
+/// handed to helper phases still counts and stops globally.
+#[derive(Clone, Debug)]
+pub struct SolveBudget {
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    poll_limit: Option<u64>,
+    polls: Arc<AtomicU64>,
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        SolveBudget::unlimited()
+    }
+}
+
+impl SolveBudget {
+    /// A budget that never interrupts (polls still count).
+    pub fn unlimited() -> Self {
+        SolveBudget {
+            deadline: None,
+            cancel: None,
+            poll_limit: None,
+            polls: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A wall-clock budget, armed now: the solve is interrupted at the
+    /// first poll after `ms` milliseconds.
+    pub fn deadline_ms(ms: u64) -> Self {
+        SolveBudget {
+            deadline: Some(Instant::now() + Duration::from_millis(ms)),
+            ..SolveBudget::unlimited()
+        }
+    }
+
+    /// A deterministic budget: the first `limit` polls pass, every poll
+    /// after that interrupts with [`StopReason::IterationBudget`]. This is
+    /// the interruption test suite's cut-point mechanism — no wall clock,
+    /// so the same `limit` cuts the same solve at the same place every run.
+    pub fn poll_limit(limit: u64) -> Self {
+        SolveBudget {
+            poll_limit: Some(limit),
+            ..SolveBudget::unlimited()
+        }
+    }
+
+    /// Attaches a cancellation token (any combination of sources is legal).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether this budget can ever interrupt.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none() && self.poll_limit.is_none()
+    }
+
+    /// Polls made so far (shared across clones).
+    pub fn polls(&self) -> u64 {
+        self.polls.load(Ordering::Relaxed)
+    }
+
+    /// One cooperative check. Returns `Some(reason)` when the solve must
+    /// stop. Check order is deterministic: cancellation, then the poll
+    /// limit, then the wall clock — so poll-limited test runs never race
+    /// the deadline.
+    #[inline]
+    pub fn poll(&self) -> Option<StopReason> {
+        let made = self.polls.fetch_add(1, Ordering::Relaxed);
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(limit) = self.poll_limit {
+            if made >= limit {
+                return Some(StopReason::IterationBudget);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+}
+
+/// How far a solve got before it returned (complete or interrupted).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// Construction iterations fully finished.
+    pub construction_iterations: usize,
+    /// Tabu iterations executed (applied or terminal).
+    pub tabu_iterations: usize,
+    /// Tabu moves applied.
+    pub tabu_moves: usize,
+}
+
+/// Exact bit dump of one live region slot: members in stored order plus
+/// every path-dependent float accumulator as raw IEEE-754 bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionSlotDump {
+    /// Member area ids in the region's stored order.
+    pub members: Vec<u32>,
+    /// Per-attribute running sums (`RegionAgg::sums`), as `f64::to_bits`.
+    pub sums: Vec<u64>,
+    /// Per-dissimilarity-channel pairwise accumulators, as `f64::to_bits`.
+    pub pairwise: Vec<u64>,
+}
+
+/// Slot-exact dump of a [`crate::partition::Partition`]: one entry per
+/// region slot in slot order, `None` for tombstoned (freed) slots, so the
+/// restored partition has the identical slot layout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionDump {
+    /// Region slots in slot order; `None` marks a freed slot.
+    pub slots: Vec<Option<RegionSlotDump>>,
+}
+
+/// Mid-tabu loop state: everything the search needs to continue from the
+/// exact iteration it was cut at. Objective floats are raw bits; the
+/// neighborhood caches are *not* stored — they are representation-only and
+/// rebuilt cold on resume without affecting move selection (the move order
+/// is a strict total order independent of cache state).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TabuCheckpoint {
+    /// Iterations executed so far.
+    pub iterations: usize,
+    /// Moves applied so far (equals `iterations` at every poll point).
+    pub moves: usize,
+    /// Consecutive non-improving iterations.
+    pub no_improve: usize,
+    /// Pre-search objective, as bits.
+    pub initial: u64,
+    /// Incrementally-tracked current objective, as bits.
+    pub current_h: u64,
+    /// Best objective seen, as bits.
+    pub best_h: u64,
+    /// Best assignment seen (`u32::MAX` encodes unassigned in text form).
+    pub best_assignment: Vec<Option<u32>>,
+    /// Region-slot stride of the expiry table.
+    pub tabu_stride: usize,
+    /// Dense expiry-table length (`areas * stride`).
+    pub tabu_len: usize,
+    /// Sparse non-zero expiry stamps as `(index, stamp)` pairs.
+    pub tabu_expiry: Vec<(u32, u32)>,
+    /// Objective before the tabu phase (reported as `heterogeneity_before`).
+    pub heterogeneity_before: u64,
+    /// The *working* partition (not the best incumbent) at the cut.
+    pub partition: PartitionDump,
+}
+
+/// Which solver phase the checkpoint cuts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointPhase {
+    /// Cut between construction iterations: `next_iter` is the first
+    /// iteration still to run; `best` is the best candidate so far.
+    Construction {
+        /// First construction iteration still to run.
+        next_iter: usize,
+        /// Best candidate partition so far (`None` before any finished).
+        best: Option<PartitionDump>,
+    },
+    /// Cut inside (or just before) the tabu phase.
+    Tabu(TabuCheckpoint),
+}
+
+/// A serializable cut of an interrupted FaCT solve. `resume` continues
+/// byte-identically to an uninterrupted run; the `seed`/`areas` fields are
+/// integrity checks verified against the resuming instance and config.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The `FactConfig::seed` the solve ran under.
+    pub seed: u64,
+    /// Number of areas in the instance.
+    pub areas: usize,
+    /// Phase-specific cut state.
+    pub phase: CheckpointPhase,
+}
+
+/// Checkpoint text-format header (version bumped on layout changes).
+pub const CHECKPOINT_HEADER: &str = "EMPCKPT v1";
+
+fn push_bits_line(out: &mut String, key: &str, bits: &[u64]) {
+    out.push_str(key);
+    for b in bits {
+        out.push(' ');
+        out.push_str(&format!("{b:016x}"));
+    }
+    out.push('\n');
+}
+
+fn push_partition(out: &mut String, dump: &PartitionDump) {
+    out.push_str(&format!("partition {}\n", dump.slots.len()));
+    for slot in &dump.slots {
+        match slot {
+            None => out.push_str("none\n"),
+            Some(region) => {
+                out.push_str("members");
+                for m in &region.members {
+                    out.push_str(&format!(" {m}"));
+                }
+                out.push('\n');
+                push_bits_line(out, "sums", &region.sums);
+                push_bits_line(out, "pairwise", &region.pairwise);
+            }
+        }
+    }
+}
+
+struct Lines<'a> {
+    iter: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn next(&mut self, what: &str) -> Result<&'a str, String> {
+        self.line_no += 1;
+        self.iter
+            .next()
+            .ok_or_else(|| format!("checkpoint truncated: expected {what}"))
+    }
+
+    fn err(&self, msg: impl std::fmt::Display) -> String {
+        format!("checkpoint line {}: {}", self.line_no, msg)
+    }
+}
+
+fn parse_keyed<'a>(lines: &mut Lines<'a>, key: &str) -> Result<&'a str, String> {
+    let line = lines.next(key)?;
+    line.strip_prefix(key)
+        .map(str::trim_start)
+        .ok_or_else(|| lines.err(format!("expected `{key} ...`, got {line:?}")))
+}
+
+fn parse_usize(lines: &Lines<'_>, token: &str) -> Result<usize, String> {
+    token
+        .parse::<usize>()
+        .map_err(|e| lines.err(format!("bad integer {token:?}: {e}")))
+}
+
+fn parse_bits(lines: &Lines<'_>, field: &str) -> Result<Vec<u64>, String> {
+    field
+        .split_whitespace()
+        .map(|t| {
+            u64::from_str_radix(t, 16).map_err(|e| lines.err(format!("bad f64 bits {t:?}: {e}")))
+        })
+        .collect()
+}
+
+fn parse_keyed_usize(lines: &mut Lines<'_>, key: &str) -> Result<usize, String> {
+    let field = parse_keyed(lines, key)?;
+    parse_usize(lines, field)
+}
+
+fn parse_keyed_bits(lines: &mut Lines<'_>, key: &str) -> Result<Vec<u64>, String> {
+    let field = parse_keyed(lines, key)?;
+    parse_bits(lines, field)
+}
+
+fn parse_one_bits(lines: &mut Lines<'_>, key: &str) -> Result<u64, String> {
+    let field = parse_keyed(lines, key)?;
+    let bits = parse_bits(lines, field)?;
+    match bits.as_slice() {
+        [one] => Ok(*one),
+        other => Err(lines.err(format!("{key}: expected one value, got {}", other.len()))),
+    }
+}
+
+fn parse_partition(lines: &mut Lines<'_>) -> Result<PartitionDump, String> {
+    let n = parse_keyed_usize(lines, "partition")?;
+    let mut slots = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = lines.next("partition slot")?;
+        if line == "none" {
+            slots.push(None);
+            continue;
+        }
+        let members = line
+            .strip_prefix("members")
+            .ok_or_else(|| lines.err(format!("expected `members ...` or `none`, got {line:?}")))?
+            .split_whitespace()
+            .map(|t| {
+                t.parse::<u32>()
+                    .map_err(|e| lines.err(format!("bad member {t:?}: {e}")))
+            })
+            .collect::<Result<Vec<u32>, String>>()?;
+        let sums = parse_keyed_bits(lines, "sums")?;
+        let pairwise = parse_keyed_bits(lines, "pairwise")?;
+        slots.push(Some(RegionSlotDump {
+            members,
+            sums,
+            pairwise,
+        }));
+    }
+    Ok(PartitionDump { slots })
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint to its versioned text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CHECKPOINT_HEADER);
+        out.push('\n');
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("areas {}\n", self.areas));
+        match &self.phase {
+            CheckpointPhase::Construction { next_iter, best } => {
+                out.push_str("phase construction\n");
+                out.push_str(&format!("next_iter {next_iter}\n"));
+                match best {
+                    None => out.push_str("best none\n"),
+                    Some(dump) => {
+                        out.push_str("best partition\n");
+                        push_partition(&mut out, dump);
+                    }
+                }
+            }
+            CheckpointPhase::Tabu(t) => {
+                out.push_str("phase tabu\n");
+                push_bits_line(&mut out, "het_before", &[t.heterogeneity_before]);
+                out.push_str(&format!("iterations {}\n", t.iterations));
+                out.push_str(&format!("moves {}\n", t.moves));
+                out.push_str(&format!("no_improve {}\n", t.no_improve));
+                push_bits_line(&mut out, "initial", &[t.initial]);
+                push_bits_line(&mut out, "current_h", &[t.current_h]);
+                push_bits_line(&mut out, "best_h", &[t.best_h]);
+                out.push_str("best_assignment");
+                for a in &t.best_assignment {
+                    match a {
+                        Some(r) => out.push_str(&format!(" {r}")),
+                        None => out.push_str(" -"),
+                    }
+                }
+                out.push('\n');
+                out.push_str(&format!("tabu_stride {}\n", t.tabu_stride));
+                out.push_str(&format!("tabu_len {}\n", t.tabu_len));
+                out.push_str("tabu_expiry");
+                for (idx, stamp) in &t.tabu_expiry {
+                    out.push_str(&format!(" {idx}:{stamp}"));
+                }
+                out.push('\n');
+                push_partition(&mut out, &t.partition);
+            }
+        }
+        out
+    }
+
+    /// Parses the versioned text form back. Errors are human-readable with
+    /// a line number; an unknown header version is rejected outright.
+    pub fn from_text(text: &str) -> Result<Checkpoint, String> {
+        let mut lines = Lines {
+            iter: text.lines(),
+            line_no: 0,
+        };
+        let header = lines.next("header")?;
+        if header != CHECKPOINT_HEADER {
+            return Err(format!(
+                "unsupported checkpoint header {header:?} (expected {CHECKPOINT_HEADER:?})"
+            ));
+        }
+        let seed = parse_keyed(&mut lines, "seed")?
+            .parse::<u64>()
+            .map_err(|e| lines.err(format!("bad seed: {e}")))?;
+        let areas = parse_keyed_usize(&mut lines, "areas")?;
+        let phase = match parse_keyed(&mut lines, "phase")? {
+            "construction" => {
+                let next_iter = parse_keyed_usize(&mut lines, "next_iter")?;
+                let best = match parse_keyed(&mut lines, "best")? {
+                    "none" => None,
+                    "partition" => Some(parse_partition(&mut lines)?),
+                    other => return Err(lines.err(format!("bad best tag {other:?}"))),
+                };
+                CheckpointPhase::Construction { next_iter, best }
+            }
+            "tabu" => {
+                let heterogeneity_before = parse_one_bits(&mut lines, "het_before")?;
+                let iterations = parse_keyed_usize(&mut lines, "iterations")?;
+                let moves = parse_keyed_usize(&mut lines, "moves")?;
+                let no_improve = parse_keyed_usize(&mut lines, "no_improve")?;
+                let initial = parse_one_bits(&mut lines, "initial")?;
+                let current_h = parse_one_bits(&mut lines, "current_h")?;
+                let best_h = parse_one_bits(&mut lines, "best_h")?;
+                let best_assignment = parse_keyed(&mut lines, "best_assignment")?
+                    .split_whitespace()
+                    .map(|t| {
+                        if t == "-" {
+                            Ok(None)
+                        } else {
+                            t.parse::<u32>()
+                                .map(Some)
+                                .map_err(|e| lines.err(format!("bad region id {t:?}: {e}")))
+                        }
+                    })
+                    .collect::<Result<Vec<Option<u32>>, String>>()?;
+                let tabu_stride = parse_keyed_usize(&mut lines, "tabu_stride")?;
+                let tabu_len = parse_keyed_usize(&mut lines, "tabu_len")?;
+                let tabu_expiry = parse_keyed(&mut lines, "tabu_expiry")?
+                    .split_whitespace()
+                    .map(|pair| {
+                        let (idx, stamp) = pair
+                            .split_once(':')
+                            .ok_or_else(|| lines.err(format!("bad expiry pair {pair:?}")))?;
+                        Ok((
+                            idx.parse::<u32>()
+                                .map_err(|e| lines.err(format!("bad expiry index: {e}")))?,
+                            stamp
+                                .parse::<u32>()
+                                .map_err(|e| lines.err(format!("bad expiry stamp: {e}")))?,
+                        ))
+                    })
+                    .collect::<Result<Vec<(u32, u32)>, String>>()?;
+                let partition = parse_partition(&mut lines)?;
+                CheckpointPhase::Tabu(TabuCheckpoint {
+                    iterations,
+                    moves,
+                    no_improve,
+                    initial,
+                    current_h,
+                    best_h,
+                    best_assignment,
+                    tabu_stride,
+                    tabu_len,
+                    tabu_expiry,
+                    heterogeneity_before,
+                    partition,
+                })
+            }
+            other => return Err(lines.err(format!("unknown phase {other:?}"))),
+        };
+        Ok(Checkpoint { seed, areas, phase })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_stops() {
+        let budget = SolveBudget::unlimited();
+        for _ in 0..1000 {
+            assert_eq!(budget.poll(), None);
+        }
+        assert_eq!(budget.polls(), 1000);
+        assert!(budget.is_unlimited());
+    }
+
+    #[test]
+    fn poll_limit_interrupts_deterministically() {
+        let budget = SolveBudget::poll_limit(3);
+        assert_eq!(budget.poll(), None);
+        assert_eq!(budget.poll(), None);
+        assert_eq!(budget.poll(), None);
+        assert_eq!(budget.poll(), Some(StopReason::IterationBudget));
+        assert_eq!(budget.poll(), Some(StopReason::IterationBudget));
+    }
+
+    #[test]
+    fn zero_deadline_stops_at_first_poll() {
+        let budget = SolveBudget::deadline_ms(0);
+        assert_eq!(budget.poll(), Some(StopReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let budget = SolveBudget::unlimited().with_cancel(token.clone());
+        let clone = budget.clone();
+        assert_eq!(clone.poll(), None);
+        token.cancel();
+        assert_eq!(budget.poll(), Some(StopReason::Cancelled));
+        assert_eq!(clone.poll(), Some(StopReason::Cancelled));
+        // Clones share the poll counter too.
+        assert_eq!(budget.polls(), 3);
+    }
+
+    #[test]
+    fn stop_reason_codes_and_names_round_trip() {
+        for reason in [
+            StopReason::Completed,
+            StopReason::DeadlineExceeded,
+            StopReason::Cancelled,
+            StopReason::IterationBudget,
+            StopReason::NodeBudget,
+        ] {
+            assert_eq!(StopReason::from_name(reason.name()), Some(reason));
+        }
+        assert_eq!(StopReason::Completed.code(), 0);
+        assert_eq!(StopReason::from_name("nope"), None);
+    }
+
+    fn sample_dump() -> PartitionDump {
+        PartitionDump {
+            slots: vec![
+                Some(RegionSlotDump {
+                    members: vec![3, 1, 2],
+                    sums: vec![1.5f64.to_bits(), (-0.0f64).to_bits()],
+                    pairwise: vec![0.1f64.to_bits()],
+                }),
+                None,
+                Some(RegionSlotDump {
+                    members: vec![0],
+                    sums: vec![7.25f64.to_bits(), 0.0f64.to_bits()],
+                    pairwise: vec![0u64],
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn construction_checkpoint_round_trips() {
+        for best in [None, Some(sample_dump())] {
+            let ckpt = Checkpoint {
+                seed: u64::MAX - 7,
+                areas: 4,
+                phase: CheckpointPhase::Construction { next_iter: 2, best },
+            };
+            let text = ckpt.to_text();
+            assert_eq!(Checkpoint::from_text(&text).unwrap(), ckpt);
+        }
+    }
+
+    #[test]
+    fn tabu_checkpoint_round_trips_bit_exactly() {
+        let ckpt = Checkpoint {
+            seed: 0xE5_1D,
+            areas: 4,
+            phase: CheckpointPhase::Tabu(TabuCheckpoint {
+                iterations: 17,
+                moves: 17,
+                no_improve: 3,
+                initial: 123.456f64.to_bits(),
+                current_h: (123.456f64 - 1e-13).to_bits(),
+                best_h: f64::NAN.to_bits(),
+                best_assignment: vec![Some(0), None, Some(2), Some(0)],
+                tabu_stride: 3,
+                tabu_len: 12,
+                tabu_expiry: vec![(1, 19), (7, 22)],
+                heterogeneity_before: 200.0f64.to_bits(),
+                partition: sample_dump(),
+            }),
+        };
+        let text = ckpt.to_text();
+        let back = Checkpoint::from_text(&text).unwrap();
+        assert_eq!(back, ckpt);
+        // The text form survives a second trip (canonical encoding).
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected_with_context() {
+        assert!(Checkpoint::from_text("").unwrap_err().contains("truncated"));
+        assert!(Checkpoint::from_text("EMPCKPT v9\nseed 1")
+            .unwrap_err()
+            .contains("unsupported"));
+        let err = Checkpoint::from_text("EMPCKPT v1\nseed 1\nareas 4\nphase tabu\nhet_before zz")
+            .unwrap_err();
+        assert!(err.contains("line 5"), "{err}");
+    }
+}

@@ -58,6 +58,12 @@ pub enum EmpError {
         /// Why each failing constraint cannot be satisfied.
         reasons: Vec<String>,
     },
+    /// A checkpoint failed to parse, or does not match the instance and
+    /// config it is being resumed against.
+    BadCheckpoint {
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl fmt::Display for EmpError {
@@ -89,6 +95,9 @@ impl fmt::Display for EmpError {
             ),
             EmpError::Infeasible { reasons } => {
                 write!(f, "instance is infeasible: {}", reasons.join("; "))
+            }
+            EmpError::BadCheckpoint { message } => {
+                write!(f, "bad checkpoint: {message}")
             }
         }
     }

@@ -53,6 +53,14 @@ impl DissimStat {
         2.0 * self.pairwise
     }
 
+    /// Overwrites the running pairwise sum with an externally-recorded
+    /// value. Checkpoint restore only: the incremental sum is
+    /// path-dependent in its last ulps, so a resumed search must continue
+    /// from the *recorded* bits, not a fresh recomputation.
+    pub(crate) fn restore_pairwise(&mut self, pairwise: f64) {
+        self.pairwise = pairwise;
+    }
+
     /// Change of the pairwise sum if `x` were inserted.
     pub fn insert_delta(&self, x: f64) -> f64 {
         // Σ |x - v| over current members.

@@ -47,6 +47,7 @@
 pub mod adjust;
 pub mod attr;
 pub mod constraint;
+pub mod control;
 pub mod describe;
 pub mod engine;
 pub mod error;
@@ -65,6 +66,9 @@ pub mod value;
 
 pub use attr::AttributeTable;
 pub use constraint::{Aggregate, Constraint, ConstraintSet, Family};
+pub use control::{
+    CancelToken, Checkpoint, CheckpointPhase, Progress, SolveBudget, StopReason, TabuCheckpoint,
+};
 pub use describe::{describe, SolutionReport};
 pub use error::EmpError;
 pub use feasibility::{FeasibilityReport, Verdict};
@@ -72,18 +76,25 @@ pub use instance::EmpInstance;
 pub use objective::{Channel, ObjectiveSpec};
 pub use parse::{parse_constraint, parse_constraints};
 pub use solution::Solution;
-pub use solver::{solve, solve_observed, FactConfig, PhaseTimings, SolveReport};
-pub use tabu::{tabu_search, tabu_search_observed, Move, NeighborhoodState, TabuConfig, TabuStats};
+pub use solver::{
+    resume, resume_observed, solve, solve_budgeted, solve_budgeted_observed, solve_observed,
+    FactConfig, PhaseTimings, SolveOutcome, SolveReport,
+};
+pub use tabu::{
+    tabu_search, tabu_search_budgeted, tabu_search_observed, Move, NeighborhoodState, TabuConfig,
+    TabuOutcome, TabuResume, TabuStats,
+};
 pub use validate::{p_upper_bound, recompute_heterogeneity, solution_feasible, validate_solution};
 
 /// Common imports for EMP users.
 pub mod prelude {
     pub use crate::attr::AttributeTable;
     pub use crate::constraint::{Aggregate, Constraint, ConstraintSet};
+    pub use crate::control::{CancelToken, Checkpoint, SolveBudget, StopReason};
     pub use crate::error::EmpError;
     pub use crate::instance::EmpInstance;
     pub use crate::parse::{parse_constraint, parse_constraints};
     pub use crate::solution::Solution;
-    pub use crate::solver::{solve, FactConfig, SolveReport};
+    pub use crate::solver::{solve, solve_budgeted, FactConfig, SolveOutcome, SolveReport};
     pub use crate::validate::validate_solution;
 }

@@ -1,6 +1,7 @@
 //! The working partition: mutable assignment of areas to regions with
 //! incrementally-maintained aggregates and heterogeneity statistics.
 
+use crate::control::{PartitionDump, RegionSlotDump};
 use crate::engine::{ConstraintEngine, RegionAgg};
 use crate::heterogeneity::DissimStat;
 use emp_graph::scratch::SubsetScratch;
@@ -416,6 +417,106 @@ impl Partition {
         self.regions.len()
     }
 
+    /// Slot-exact snapshot for checkpointing (DESIGN.md §11): per-slot
+    /// member lists in stored order plus every path-dependent float
+    /// accumulator (`RegionAgg::sums`, per-channel pairwise dissimilarity)
+    /// as raw IEEE-754 bits. Canonical state (multisets, sorted value
+    /// lists, counts) is omitted — it is a pure function of the members.
+    pub fn dump(&self) -> PartitionDump {
+        PartitionDump {
+            slots: self
+                .regions
+                .iter()
+                .map(|slot| {
+                    slot.as_ref().map(|r| RegionSlotDump {
+                        members: r.members.clone(),
+                        sums: r.agg.sums.iter().map(|s| s.to_bits()).collect(),
+                        pairwise: r.dissim.iter().map(|d| d.pairwise().to_bits()).collect(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores a partition from a slot-exact [`Partition::dump`]: slot
+    /// layout (including tombstones) is preserved, canonical state is
+    /// recomputed from the members, and the path-dependent accumulators are
+    /// overwritten with the stored bits so incremental updates continue
+    /// bit-identically to the dumping run. Tombstones enter the free list
+    /// in ascending slot order; pop order is unobservable after a restore
+    /// because the checkpointed phases (tabu moves) never allocate slots.
+    pub fn from_dump(
+        engine: &ConstraintEngine<'_>,
+        n: usize,
+        dump: &PartitionDump,
+    ) -> Result<Partition, String> {
+        let channels = engine.instance().objective().channels();
+        let mut part = Partition::new(n);
+        for (slot, entry) in dump.slots.iter().enumerate() {
+            let Some(region) = entry else {
+                part.regions.push(None);
+                continue;
+            };
+            if region.members.is_empty() {
+                return Err(format!("checkpoint slot {slot}: empty region"));
+            }
+            if region.pairwise.len() != channels.len() {
+                return Err(format!(
+                    "checkpoint slot {slot}: {} dissimilarity channels, instance has {}",
+                    region.pairwise.len(),
+                    channels.len()
+                ));
+            }
+            for &a in &region.members {
+                if a as usize >= n {
+                    return Err(format!("checkpoint slot {slot}: area {a} out of range"));
+                }
+                if part.assignment[a as usize].is_some() {
+                    return Err(format!("checkpoint slot {slot}: area {a} assigned twice"));
+                }
+                part.assignment[a as usize] = Some(slot as RegionId);
+            }
+            let dissim = channels
+                .iter()
+                .zip(&region.pairwise)
+                .map(|(ch, &bits)| {
+                    let vals: Vec<f64> = region
+                        .members
+                        .iter()
+                        .map(|&a| ch.values[a as usize])
+                        .collect();
+                    let mut stat = DissimStat::from_values(&vals);
+                    stat.restore_pairwise(f64::from_bits(bits));
+                    stat
+                })
+                .collect();
+            let mut agg = engine.compute_fresh(&region.members);
+            if agg.sums.len() != region.sums.len() {
+                return Err(format!(
+                    "checkpoint slot {slot}: {} sum channels, engine has {}",
+                    region.sums.len(),
+                    agg.sums.len()
+                ));
+            }
+            for (s, &bits) in agg.sums.iter_mut().zip(&region.sums) {
+                *s = f64::from_bits(bits);
+            }
+            part.unassigned_live -= region.members.len();
+            part.live += 1;
+            part.regions.push(Some(RegionData {
+                members: region.members.clone(),
+                agg,
+                dissim,
+            }));
+        }
+        for (slot, entry) in dump.slots.iter().enumerate() {
+            if entry.is_none() {
+                part.free_slots.push(slot as RegionId);
+            }
+        }
+        Ok(part)
+    }
+
     /// Rebuilds a partition from an assignment snapshot (region ids need not
     /// be dense; they are re-labeled).
     pub fn from_assignment(
@@ -671,6 +772,54 @@ mod tests {
         // equal snapshots rebuild identically.
         let again = Partition::from_assignment(&eng, &assignment);
         assert_eq!(part.assignment(), again.assignment());
+    }
+
+    #[test]
+    fn dump_restore_is_slot_and_bit_exact() {
+        let (inst, set) = setup();
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let mut part = Partition::new(9);
+        let a = part.create_region(&eng, &[0, 1]);
+        let b = part.create_region(&eng, &[3, 4]);
+        let c = part.create_region(&eng, &[6, 7]);
+        // Accumulate path-dependent float state, then tombstone a slot.
+        part.add_to_region(&eng, b, 5);
+        part.move_area(&eng, 5, c);
+        part.add_to_region(&eng, c, 8);
+        part.dissolve_region(a);
+        let dump = part.dump();
+        let back = Partition::from_dump(&eng, 9, &dump).unwrap();
+        assert_eq!(back.assignment(), part.assignment());
+        assert_eq!(back.region_slots(), part.region_slots());
+        assert_eq!(back.p(), part.p());
+        assert_eq!(back.unassigned_count(), part.unassigned_count());
+        for id in part.region_ids() {
+            assert_eq!(back.region(id).members, part.region(id).members);
+            for (x, y) in back
+                .region(id)
+                .agg
+                .sums
+                .iter()
+                .zip(&part.region(id).agg.sums)
+            {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in back.region(id).dissim.iter().zip(&part.region(id).dissim) {
+                assert_eq!(x.pairwise().to_bits(), y.pairwise().to_bits());
+            }
+        }
+        assert_eq!(
+            back.heterogeneity_with(&eng).to_bits(),
+            part.heterogeneity_with(&eng).to_bits()
+        );
+        // A second dump of the restored partition is identical.
+        assert_eq!(back.dump(), dump);
+        // Corrupt dumps are rejected.
+        let mut dup = dump;
+        if let Some(slot) = dup.slots[1].as_mut() {
+            slot.members.push(6); // already in region c
+        }
+        assert!(Partition::from_dump(&eng, 9, &dup).is_err());
     }
 
     #[test]

@@ -3,6 +3,9 @@
 
 use crate::adjust::monotonic_adjustments_counted;
 use crate::constraint::ConstraintSet;
+use crate::control::{
+    Checkpoint, CheckpointPhase, Progress, SolveBudget, StopReason, TabuCheckpoint,
+};
 use crate::engine::ConstraintEngine;
 use crate::error::EmpError;
 use crate::feasibility::{feasibility_phase, FeasibilityReport};
@@ -10,8 +13,11 @@ use crate::grow::region_growing_counted;
 use crate::instance::EmpInstance;
 use crate::partition::Partition;
 use crate::solution::Solution;
-use crate::tabu::{tabu_search_observed, TabuConfig, TabuStats};
-use emp_obs::{Counters, Recorder, TrajectorySummary};
+use crate::tabu::{
+    tabu_search_budgeted, tabu_search_observed, TabuConfig, TabuOutcome, TabuResume, TabuStats,
+    TabuTable,
+};
+use emp_obs::{CounterKind, Counters, Recorder, TrajectorySummary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -192,15 +198,7 @@ pub fn solve_observed(
     // Phase 3: local search.
     let t2 = Instant::now();
     let tabu = if config.local_search {
-        let mut tabu_cfg = TabuConfig {
-            tenure: config.tabu_tenure,
-            max_no_improve: config.max_no_improve.unwrap_or(instance.len()),
-            incremental: config.incremental_tabu,
-            ..TabuConfig::for_instance(instance.len())
-        };
-        if let Some(cap) = config.max_tabu_iterations {
-            tabu_cfg.max_iterations = cap;
-        }
+        let tabu_cfg = tabu_config_for(config, instance.len());
         rec.span_begin("tabu", None);
         let stats = tabu_search_observed(&engine, &mut partition, &tabu_cfg, rec);
         rec.span_end();
@@ -372,6 +370,423 @@ fn construct_parallel(
         }
     }
     best
+}
+
+/// The [`TabuConfig`] a [`FactConfig`] implies for an `n`-area instance.
+fn tabu_config_for(config: &FactConfig, n: usize) -> TabuConfig {
+    let mut tabu_cfg = TabuConfig {
+        tenure: config.tabu_tenure,
+        max_no_improve: config.max_no_improve.unwrap_or(n),
+        incremental: config.incremental_tabu,
+        ..TabuConfig::for_instance(n)
+    };
+    if let Some(cap) = config.max_tabu_iterations {
+        tabu_cfg.max_iterations = cap;
+    }
+    tabu_cfg
+}
+
+/// A budget-bounded solve's result. `report.solution` is always the best
+/// valid incumbent found so far — even under a zero budget it is a
+/// `validate`-clean (possibly all-unassigned, `p = 0`) solution.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// The solve report built around the incumbent solution.
+    pub report: SolveReport,
+    /// Why the solve returned.
+    pub stop_reason: StopReason,
+    /// Phase-level progress at the cut (or at completion).
+    pub progress: Progress,
+    /// Resume state; `None` when the solve ran to completion.
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// [`solve`] under a [`SolveBudget`]: polls the budget at iteration
+/// granularity (never mid-move) and, when interrupted, returns the best
+/// valid incumbent plus a [`Checkpoint`] from which [`resume`] continues
+/// byte-identically to an uninterrupted run.
+///
+/// The budgeted path always runs construction serially — parallel/serial
+/// construction equivalence is property-tested elsewhere, so the results
+/// match [`solve`] with `parallel: false` (checkpoints cut *between*
+/// iterations, which a work-stealing schedule cannot honor reproducibly).
+pub fn solve_budgeted(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    config: &FactConfig,
+    budget: &SolveBudget,
+) -> Result<SolveOutcome, EmpError> {
+    solve_budgeted_observed(instance, constraints, config, budget, &mut Recorder::noop())
+}
+
+/// [`solve_budgeted`] reporting telemetry through `rec`. On top of the
+/// [`solve_observed`] spans, the closing `solve` span carries a
+/// `stop_reason` note (the [`StopReason::code`]), every budget poll bumps
+/// `cancel_polls`, a fired deadline bumps `deadline_exceeded`, and the
+/// serialized size of an emitted checkpoint is recorded in the
+/// `checkpoint_bytes` gauge.
+pub fn solve_budgeted_observed(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    config: &FactConfig,
+    budget: &SolveBudget,
+    rec: &mut Recorder,
+) -> Result<SolveOutcome, EmpError> {
+    run_budgeted(instance, constraints, config, budget, None, rec)
+}
+
+/// Continues an interrupted [`solve_budgeted`] from its checkpoint. The
+/// instance, constraints, and config must be the ones the checkpoint was
+/// cut from (`seed`/`areas` are verified; a mismatch is
+/// [`EmpError::BadCheckpoint`]). The continuation replays the exact state
+/// of the cut, so the concatenation of the interrupted and resumed legs is
+/// byte-identical to one uninterrupted run.
+pub fn resume(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    config: &FactConfig,
+    budget: &SolveBudget,
+    checkpoint: &Checkpoint,
+) -> Result<SolveOutcome, EmpError> {
+    resume_observed(
+        instance,
+        constraints,
+        config,
+        budget,
+        checkpoint,
+        &mut Recorder::noop(),
+    )
+}
+
+/// [`resume`] reporting telemetry through `rec`.
+pub fn resume_observed(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    config: &FactConfig,
+    budget: &SolveBudget,
+    checkpoint: &Checkpoint,
+    rec: &mut Recorder,
+) -> Result<SolveOutcome, EmpError> {
+    if checkpoint.seed != config.seed {
+        return Err(EmpError::BadCheckpoint {
+            message: format!(
+                "checkpoint was cut under seed {}, config has seed {}",
+                checkpoint.seed, config.seed
+            ),
+        });
+    }
+    if checkpoint.areas != instance.len() {
+        return Err(EmpError::BadCheckpoint {
+            message: format!(
+                "checkpoint covers {} areas, instance has {}",
+                checkpoint.areas,
+                instance.len()
+            ),
+        });
+    }
+    run_budgeted(instance, constraints, config, budget, Some(checkpoint), rec)
+}
+
+/// Everything [`run_budgeted`] needs to close out one outcome: the shared
+/// "note stop reason, record checkpoint size, close the solve span, snapshot
+/// counters" epilogue.
+#[allow(clippy::too_many_arguments)]
+fn seal_outcome(
+    rec: &mut Recorder,
+    counters_at_entry: &Counters,
+    solution: Solution,
+    feasibility: FeasibilityReport,
+    heterogeneity_before: f64,
+    tabu: TabuStats,
+    timings: PhaseTimings,
+    stop_reason: StopReason,
+    progress: Progress,
+    checkpoint: Option<Checkpoint>,
+) -> SolveOutcome {
+    rec.note("stop_reason", stop_reason.code() as f64);
+    if let Some(ckpt) = &checkpoint {
+        rec.counters()
+            .record_max(CounterKind::CheckpointBytes, ckpt.to_text().len() as u64);
+    }
+    rec.span_end(); // close "solve"
+    let counters = rec.counters_snapshot().delta_since(counters_at_entry);
+    let trajectory = rec.take_trajectory();
+    SolveOutcome {
+        report: SolveReport {
+            solution,
+            feasibility,
+            heterogeneity_before,
+            tabu,
+            timings,
+            counters,
+            trajectory,
+        },
+        stop_reason,
+        progress,
+        checkpoint,
+    }
+}
+
+fn run_budgeted(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    config: &FactConfig,
+    budget: &SolveBudget,
+    resume_from: Option<&Checkpoint>,
+    rec: &mut Recorder,
+) -> Result<SolveOutcome, EmpError> {
+    let engine = ConstraintEngine::compile(instance, constraints)?;
+    let bad = |message: String| EmpError::BadCheckpoint { message };
+
+    // Decode the resume point before any spans open, so a corrupt
+    // checkpoint cannot leave a half-opened trace behind.
+    let (start_iter, mut best, tabu_resume): (usize, Option<Partition>, Option<TabuResume>) =
+        match resume_from.map(|c| &c.phase) {
+            None => (0, None, None),
+            Some(CheckpointPhase::Construction { next_iter, best }) => {
+                let best = best
+                    .as_ref()
+                    .map(|d| Partition::from_dump(&engine, instance.len(), d))
+                    .transpose()
+                    .map_err(bad)?;
+                (*next_iter, best, None)
+            }
+            Some(CheckpointPhase::Tabu(t)) => {
+                let working =
+                    Partition::from_dump(&engine, instance.len(), &t.partition).map_err(bad)?;
+                if t.best_assignment.len() != instance.len() {
+                    return Err(bad(format!(
+                        "best assignment covers {} areas, instance has {}",
+                        t.best_assignment.len(),
+                        instance.len()
+                    )));
+                }
+                let state = TabuResume {
+                    iterations: t.iterations,
+                    moves: t.moves,
+                    no_improve: t.no_improve,
+                    initial: f64::from_bits(t.initial),
+                    current_h: f64::from_bits(t.current_h),
+                    best_h: f64::from_bits(t.best_h),
+                    best_assignment: t.best_assignment.clone(),
+                    tabu: TabuTable::from_stamps(
+                        config.tabu_tenure,
+                        t.tabu_len,
+                        t.tabu_stride,
+                        &t.tabu_expiry,
+                    )
+                    .map_err(bad)?,
+                };
+                (
+                    config.construction_iterations.max(1),
+                    Some(working),
+                    Some(state),
+                )
+            }
+        };
+
+    let counters_at_entry = rec.counters_snapshot();
+    rec.span_begin("solve", None);
+
+    // Phase 1: feasibility. Always runs fully — it is cheap, deterministic,
+    // and recomputed on every resume rather than checkpointed, so a budget
+    // can never produce a false infeasibility verdict.
+    rec.span_begin("feasibility", None);
+    let feasibility = feasibility_phase(&engine);
+    let feasibility_time = rec.span_end();
+    if feasibility.is_infeasible() {
+        rec.span_end(); // close "solve"
+        return Err(EmpError::Infeasible {
+            reasons: feasibility.infeasible_reasons(),
+        });
+    }
+    let mut eligible = vec![true; instance.len()];
+    for &a in &feasibility.invalid_areas {
+        eligible[a as usize] = false;
+    }
+
+    // Phase 2: construction, serial, polled once per iteration.
+    let t1 = Instant::now();
+    let iterations = config.construction_iterations.max(1);
+    let mut completed_iters = start_iter;
+    let mut construction_stop: Option<StopReason> = None;
+    if tabu_resume.is_none() {
+        for i in start_iter..iterations {
+            rec.counters().inc(CounterKind::CancelPolls);
+            if let Some(reason) = budget.poll() {
+                if reason == StopReason::DeadlineExceeded {
+                    rec.counters().inc(CounterKind::DeadlineExceeded);
+                }
+                construction_stop = Some(reason);
+                break;
+            }
+            rec.span_begin("construct_iter", Some(i as u64));
+            let cand = construct_once(
+                &engine,
+                &feasibility,
+                &eligible,
+                config.merge_limit,
+                config.seed.wrapping_add(i as u64),
+                rec,
+            );
+            rec.span_end();
+            if best.as_ref().is_none_or(|b| better(&engine, &cand, b)) {
+                best = Some(cand);
+            }
+            completed_iters = i + 1;
+        }
+    } else {
+        completed_iters = iterations;
+    }
+    let construction_time = t1.elapsed().as_secs_f64();
+
+    if let Some(reason) = construction_stop {
+        // Interrupted between construction iterations: the incumbent is the
+        // best finished candidate — or the valid all-unassigned (p = 0)
+        // partition when the budget fired before the first one finished.
+        let checkpoint = Checkpoint {
+            seed: config.seed,
+            areas: instance.len(),
+            phase: CheckpointPhase::Construction {
+                next_iter: completed_iters,
+                best: best.as_ref().map(|p| p.dump()),
+            },
+        };
+        let incumbent = best.unwrap_or_else(|| Partition::new(instance.len()));
+        let heterogeneity_before = incumbent.heterogeneity_with(&engine);
+        return Ok(seal_outcome(
+            rec,
+            &counters_at_entry,
+            Solution::from_partition(&engine, &incumbent),
+            feasibility,
+            heterogeneity_before,
+            TabuStats {
+                initial: heterogeneity_before,
+                best: heterogeneity_before,
+                ..Default::default()
+            },
+            PhaseTimings {
+                feasibility: feasibility_time,
+                construction: construction_time,
+                local_search: 0.0,
+            },
+            reason,
+            Progress {
+                construction_iterations: completed_iters,
+                ..Default::default()
+            },
+            Some(checkpoint),
+        ));
+    }
+
+    let mut partition = best.expect("at least one construction iteration");
+    let heterogeneity_before = match resume_from.map(|c| &c.phase) {
+        // The pre-tabu objective is path-dependent state from the first
+        // leg; recomputing it here would not be bit-identical.
+        Some(CheckpointPhase::Tabu(t)) => f64::from_bits(t.heterogeneity_before),
+        _ => partition.heterogeneity_with(&engine),
+    };
+
+    // Phase 3: local search, polled once per tabu iteration.
+    let t2 = Instant::now();
+    if !config.local_search {
+        return Ok(seal_outcome(
+            rec,
+            &counters_at_entry,
+            Solution::from_partition(&engine, &partition),
+            feasibility,
+            heterogeneity_before,
+            TabuStats {
+                initial: heterogeneity_before,
+                best: heterogeneity_before,
+                ..Default::default()
+            },
+            PhaseTimings {
+                feasibility: feasibility_time,
+                construction: construction_time,
+                local_search: 0.0,
+            },
+            StopReason::Completed,
+            Progress {
+                construction_iterations: completed_iters,
+                ..Default::default()
+            },
+            None,
+        ));
+    }
+    let tabu_cfg = tabu_config_for(config, instance.len());
+    rec.span_begin("tabu", None);
+    let outcome =
+        tabu_search_budgeted(&engine, &mut partition, &tabu_cfg, budget, tabu_resume, rec);
+    rec.span_end();
+    let local_search_time = t2.elapsed().as_secs_f64();
+    let timings = PhaseTimings {
+        feasibility: feasibility_time,
+        construction: construction_time,
+        local_search: local_search_time,
+    };
+    match outcome {
+        TabuOutcome::Converged(stats) => Ok(seal_outcome(
+            rec,
+            &counters_at_entry,
+            Solution::from_partition(&engine, &partition),
+            feasibility,
+            heterogeneity_before,
+            stats,
+            timings,
+            StopReason::Completed,
+            Progress {
+                construction_iterations: completed_iters,
+                tabu_iterations: stats.iterations,
+                tabu_moves: stats.moves,
+            },
+            None,
+        )),
+        TabuOutcome::Interrupted {
+            stats,
+            reason,
+            state,
+        } => {
+            // The checkpoint carries the *working* partition (where the
+            // move sequence continues); the incumbent handed back to the
+            // caller is the best assignment seen so far.
+            let checkpoint = Checkpoint {
+                seed: config.seed,
+                areas: instance.len(),
+                phase: CheckpointPhase::Tabu(TabuCheckpoint {
+                    iterations: state.iterations,
+                    moves: state.moves,
+                    no_improve: state.no_improve,
+                    initial: state.initial.to_bits(),
+                    current_h: state.current_h.to_bits(),
+                    best_h: state.best_h.to_bits(),
+                    best_assignment: state.best_assignment.clone(),
+                    tabu_stride: state.tabu.stride(),
+                    tabu_len: state.tabu.table_len(),
+                    tabu_expiry: state.tabu.nonzero_stamps(),
+                    heterogeneity_before: heterogeneity_before.to_bits(),
+                    partition: partition.dump(),
+                }),
+            };
+            let incumbent = Partition::from_assignment(&engine, &state.best_assignment);
+            Ok(seal_outcome(
+                rec,
+                &counters_at_entry,
+                Solution::from_partition(&engine, &incumbent),
+                feasibility,
+                heterogeneity_before,
+                stats,
+                timings,
+                reason,
+                Progress {
+                    construction_iterations: completed_iters,
+                    tabu_iterations: stats.iterations,
+                    tabu_moves: stats.moves,
+                },
+                Some(checkpoint),
+            ))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 //! and reach identical final heterogeneity.
 
 use crate::constraint::Aggregate;
+use crate::control::{SolveBudget, StopReason};
 use crate::engine::{ConstraintEngine, RegionAgg};
 use crate::partition::{Partition, RegionId};
 use emp_graph::articulation::{articulation_points_into, ArticulationScratch};
@@ -213,6 +214,60 @@ impl TabuTable {
             return false; // never forbidden
         }
         (moves_done as u32) < self.expiry[area as usize * self.stride + region as usize]
+    }
+
+    /// Region-slot stride (checkpoint layout field).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Dense expiry-table length (checkpoint layout field).
+    pub fn table_len(&self) -> usize {
+        self.expiry.len()
+    }
+
+    /// Sparse dump of the non-zero expiry stamps as `(flat index, stamp)`
+    /// pairs in index order — the tenure bounds how many pairs are live, so
+    /// this stays tiny even for large instances.
+    pub fn nonzero_stamps(&self) -> Vec<(u32, u32)> {
+        self.expiry
+            .iter()
+            .enumerate()
+            .filter(|(_, &stamp)| stamp != 0)
+            .map(|(i, &stamp)| (i as u32, stamp))
+            .collect()
+    }
+
+    /// Rebuilds a table from its checkpoint layout fields and sparse stamp
+    /// dump. The layout must be internally consistent (`stride` divides
+    /// `len`, every stamp index in range) or an error describes the defect.
+    pub fn from_stamps(
+        tenure: usize,
+        len: usize,
+        stride: usize,
+        stamps: &[(u32, u32)],
+    ) -> Result<Self, String> {
+        if stride == 0 && len != 0 {
+            return Err("tabu table: zero stride with non-empty storage".into());
+        }
+        if stride != 0 && !len.is_multiple_of(stride) {
+            return Err(format!(
+                "tabu table: length {len} not a multiple of stride {stride}"
+            ));
+        }
+        let mut expiry = vec![0u32; len];
+        for &(idx, stamp) in stamps {
+            let slot = expiry
+                .get_mut(idx as usize)
+                .ok_or_else(|| format!("tabu table: stamp index {idx} out of range (len {len})"))?;
+            *slot = stamp;
+        }
+        Ok(TabuTable {
+            expiry,
+            stride,
+            areas: len.checked_div(stride).unwrap_or(0),
+            tenure,
+        })
     }
 }
 
@@ -633,26 +688,160 @@ pub fn tabu_search_observed(
     config: &TabuConfig,
     rec: &mut Recorder,
 ) -> TabuStats {
-    let initial = partition.heterogeneity_with(engine);
-    let mut current_h = initial;
-    let mut best_h = initial;
-    let mut best_assignment: Vec<Option<RegionId>> = partition.assignment().to_vec();
-    let mut stats = TabuStats {
+    match tabu_search_budgeted(
+        engine,
+        partition,
+        config,
+        &SolveBudget::unlimited(),
+        None,
+        rec,
+    ) {
+        TabuOutcome::Converged(stats) => stats,
+        TabuOutcome::Interrupted { .. } => unreachable!("an unlimited budget never interrupts"),
+    }
+}
+
+/// Mid-search loop state: exactly the variables the budgeted search needs to
+/// continue from a poll point, with nothing representation-only — the
+/// neighborhood caches are rebuilt cold on resume, which cannot change the
+/// chosen moves (selection is a strict total order independent of cache
+/// state). Converted to/from [`crate::control::TabuCheckpoint`] by the
+/// solver; the floats here are live values, bit-exact because the checkpoint
+/// stores their raw IEEE-754 bits.
+#[derive(Clone, Debug)]
+pub struct TabuResume {
+    /// Iterations executed so far.
+    pub iterations: usize,
+    /// Moves applied so far.
+    pub moves: usize,
+    /// Consecutive non-improving iterations.
+    pub no_improve: usize,
+    /// Pre-search objective.
+    pub initial: f64,
+    /// Incrementally-tracked current objective.
+    pub current_h: f64,
+    /// Best objective seen so far.
+    pub best_h: f64,
+    /// Best assignment seen so far.
+    pub best_assignment: Vec<Option<RegionId>>,
+    /// The expiry-stamp tabu table.
+    pub tabu: TabuTable,
+}
+
+impl TabuResume {
+    /// The "search not yet started" state for a partition: what
+    /// [`tabu_search_budgeted`] initializes when no resume state is given.
+    /// Used by the solver to checkpoint a solve cut *between* construction
+    /// and local search.
+    pub fn fresh(
+        engine: &ConstraintEngine<'_>,
+        partition: &Partition,
+        config: &TabuConfig,
+    ) -> Self {
+        let initial = partition.heterogeneity_with(engine);
+        TabuResume {
+            iterations: 0,
+            moves: 0,
+            no_improve: 0,
+            initial,
+            current_h: initial,
+            best_h: initial,
+            best_assignment: partition.assignment().to_vec(),
+            tabu: TabuTable::with_dimensions(
+                config.tenure,
+                partition.len(),
+                partition.region_slots(),
+            ),
+        }
+    }
+}
+
+/// How a budgeted tabu search ended.
+pub enum TabuOutcome {
+    /// Natural termination; the partition holds the best found solution.
+    Converged(TabuStats),
+    /// The budget interrupted the search at a poll point. The partition is
+    /// left at the **working** state (not the best incumbent) so the caller
+    /// can checkpoint it; `state` continues the search byte-identically.
+    Interrupted {
+        /// Statistics up to the cut (`best` reflects the incumbent).
+        stats: TabuStats,
+        /// Which budget source fired.
+        reason: StopReason,
+        /// Loop state to hand back to [`tabu_search_budgeted`].
+        state: TabuResume,
+    },
+}
+
+/// [`tabu_search_observed`] under a [`SolveBudget`], optionally continuing
+/// from a prior interruption. The budget is polled once per iteration at the
+/// loop top — never mid-move — so an interrupted partition is always a valid
+/// (contiguous, constraint-satisfying) state. Resuming with the `state` from
+/// an [`TabuOutcome::Interrupted`] (or its checkpoint round-trip) continues
+/// the exact move sequence of an uninterrupted run.
+pub fn tabu_search_budgeted(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    config: &TabuConfig,
+    budget: &SolveBudget,
+    resume: Option<TabuResume>,
+    rec: &mut Recorder,
+) -> TabuOutcome {
+    let fresh_start = resume.is_none();
+    let TabuResume {
+        iterations,
+        moves,
+        mut no_improve,
         initial,
-        best: initial,
-        ..Default::default()
+        mut current_h,
+        mut best_h,
+        mut best_assignment,
+        mut tabu,
+    } = resume.unwrap_or_else(|| TabuResume::fresh(engine, partition, config));
+    let mut stats = TabuStats {
+        iterations,
+        moves,
+        initial,
+        best: best_h,
     };
-    // Region slots are stable during the search (tabu moves never create or
-    // destroy regions), so the flat stamp table can be sized once up front.
-    let mut tabu =
-        TabuTable::with_dimensions(config.tenure, partition.len(), partition.region_slots());
-    let mut no_improve = 0usize;
     let mut state = config
         .incremental
         .then(|| NeighborhoodState::new(engine, partition));
-    rec.trajectory_point(0, initial);
+    if fresh_start {
+        // A resumed search already emitted the initial trajectory point in
+        // its first leg (even when cut before the first iteration), so
+        // emitting it again would skew the concatenated trajectory.
+        rec.trajectory_point(0, initial);
+    }
 
     while no_improve < config.max_no_improve && stats.iterations < config.max_iterations {
+        rec.counters().inc(CounterKind::CancelPolls);
+        if let Some(reason) = budget.poll() {
+            if reason == StopReason::DeadlineExceeded {
+                rec.counters().inc(CounterKind::DeadlineExceeded);
+            }
+            debug_check_drift(engine, partition, current_h);
+            if let Some(s) = state.as_ref() {
+                rec.merge_counters(s.counters());
+                rec.counters()
+                    .add(CounterKind::ScratchEpochRollovers, s.scratch.rollovers());
+            }
+            stats.best = best_h;
+            return TabuOutcome::Interrupted {
+                stats,
+                reason,
+                state: TabuResume {
+                    iterations: stats.iterations,
+                    moves: stats.moves,
+                    no_improve,
+                    initial,
+                    current_h,
+                    best_h,
+                    best_assignment,
+                    tabu,
+                },
+            };
+        }
         stats.iterations += 1;
         if let Some(s) = state.as_ref() {
             // Per-iteration neighborhood width: how many areas sit on a
@@ -723,7 +912,7 @@ pub fn tabu_search_observed(
         *partition = Partition::from_assignment(engine, &best_assignment);
     }
     stats.best = best_h;
-    stats
+    TabuOutcome::Converged(stats)
 }
 
 /// Reference neighborhood: scans every region × every member and answers

@@ -1,0 +1,333 @@
+//! Interruption test suite: checkpoint/resume equivalence (ISSUE 8).
+//!
+//! The contract under test (DESIGN.md §11): cutting a budgeted solve at an
+//! *arbitrary* poll point and resuming from its checkpoint must reproduce
+//! the uninterrupted run **byte-identically** — same final assignment, same
+//! `p`, same heterogeneity bits, same move/iteration counts, and the
+//! concatenated objective trajectories of the two legs must equal the
+//! uninterrupted trajectory point for point.
+//!
+//! Cut points are driven by [`SolveBudget::poll_limit`], the deterministic
+//! interruption source: "stop at the k-th poll" lands on the same iteration
+//! boundary every run, with no wall clock involved. Instances come from the
+//! oracle generator, so the suite sweeps every graph shape, attribute
+//! layout, and constraint family the fuzzer knows about.
+
+use emp_core::{
+    resume_observed, solve, solve_budgeted, solve_budgeted_observed, validate_solution, Checkpoint,
+    EmpError, SolveBudget, SolveOutcome, StopReason,
+};
+use emp_obs::{InMemorySink, Recorder};
+use emp_oracle::generate_case;
+use proptest::prelude::*;
+
+/// One observed run: the outcome plus the trajectory points its recorder
+/// emitted, as `(iteration, heterogeneity bits)` for exact comparison.
+fn observed<F>(run: F) -> (Result<SolveOutcome, EmpError>, Vec<(u64, u64)>)
+where
+    F: FnOnce(&mut Recorder) -> Result<SolveOutcome, EmpError>,
+{
+    let sink = InMemorySink::new();
+    let handle = sink.handle();
+    let mut rec = Recorder::with_sink(Box::new(sink));
+    let outcome = run(&mut rec);
+    rec.finish();
+    let data = handle.lock().unwrap();
+    let trajectory = data
+        .trajectory
+        .iter()
+        .map(|&(i, h)| (i, h.to_bits()))
+        .collect();
+    (outcome, trajectory)
+}
+
+/// Asserts two outcomes are byte-identical in everything the resume
+/// contract pins: assignment, regions, p, heterogeneity bits, and tabu
+/// iteration/move counts. Telemetry counters are deliberately NOT compared
+/// — a resumed run rebuilds neighborhood caches cold, so cache-hit counts
+/// differ by design (DESIGN.md §11).
+fn assert_equivalent(label: &str, a: &SolveOutcome, b: &SolveOutcome) {
+    assert_eq!(
+        a.report.solution.assignment, b.report.solution.assignment,
+        "{label}: assignment diverged"
+    );
+    assert_eq!(
+        a.report.solution.regions, b.report.solution.regions,
+        "{label}: regions diverged"
+    );
+    assert_eq!(
+        a.report.solution.heterogeneity.to_bits(),
+        b.report.solution.heterogeneity.to_bits(),
+        "{label}: heterogeneity bits diverged"
+    );
+    assert_eq!(
+        a.report.tabu.iterations, b.report.tabu.iterations,
+        "{label}: tabu iteration count diverged"
+    );
+    assert_eq!(
+        a.report.tabu.moves, b.report.tabu.moves,
+        "{label}: tabu move count diverged"
+    );
+    assert_eq!(
+        a.report.tabu.best.to_bits(),
+        b.report.tabu.best.to_bits(),
+        "{label}: tabu best bits diverged"
+    );
+}
+
+/// Runs the seed's case uninterrupted, then cut at poll `cut` and resumed,
+/// and checks the equivalence contract. Returns `false` when the case is
+/// infeasible (nothing to compare) or the budget outlived the whole solve.
+fn check_cut(seed: u64, cut: u64) -> bool {
+    let case = generate_case(seed);
+    let instance = case.instance().expect("oracle case compiles");
+    let (full, full_traj) = observed(|rec| {
+        solve_budgeted_observed(
+            &instance,
+            &case.constraints,
+            &case.fact,
+            &SolveBudget::unlimited(),
+            rec,
+        )
+    });
+    let full = match full {
+        Ok(outcome) => outcome,
+        Err(EmpError::Infeasible { .. }) => {
+            // Budgeted solves must agree on infeasibility, however tight.
+            let cut_run = solve_budgeted(
+                &instance,
+                &case.constraints,
+                &case.fact,
+                &SolveBudget::poll_limit(cut),
+            );
+            assert!(
+                matches!(cut_run, Err(EmpError::Infeasible { .. })),
+                "seed {seed}: interrupted run hid infeasibility: {cut_run:?}"
+            );
+            return false;
+        }
+        Err(e) => panic!("seed {seed}: {e}"),
+    };
+    assert_eq!(full.stop_reason, StopReason::Completed);
+    assert!(full.checkpoint.is_none());
+
+    let (interrupted, cut_traj) = observed(|rec| {
+        solve_budgeted_observed(
+            &instance,
+            &case.constraints,
+            &case.fact,
+            &SolveBudget::poll_limit(cut),
+            rec,
+        )
+    });
+    let interrupted = interrupted.expect("feasible case stays feasible under a budget");
+    if interrupted.stop_reason == StopReason::Completed {
+        // The budget outlived the solve: it must be the uninterrupted run.
+        assert!(interrupted.checkpoint.is_none());
+        assert_equivalent(
+            &format!("seed {seed} cut {cut} (uncut)"),
+            &full,
+            &interrupted,
+        );
+        assert_eq!(
+            full_traj, cut_traj,
+            "seed {seed}: uncut trajectory diverged"
+        );
+        return false;
+    }
+
+    // The incumbent at the cut is always a valid partition.
+    assert_eq!(interrupted.stop_reason, StopReason::IterationBudget);
+    validate_solution(&instance, &case.constraints, &interrupted.report.solution)
+        .unwrap_or_else(|v| panic!("seed {seed} cut {cut}: invalid incumbent: {v:?}"));
+
+    // Checkpoint text round-trip is exact.
+    let checkpoint = interrupted
+        .checkpoint
+        .expect("interrupted solve carries a checkpoint");
+    let text = checkpoint.to_text();
+    let reparsed = Checkpoint::from_text(&text)
+        .unwrap_or_else(|e| panic!("seed {seed} cut {cut}: checkpoint reparse failed: {e}"));
+    assert_eq!(
+        reparsed.to_text(),
+        text,
+        "seed {seed} cut {cut}: checkpoint round-trip not identical"
+    );
+
+    // Resume from the re-parsed checkpoint (the full serialize→parse path).
+    let (resumed, resume_traj) = observed(|rec| {
+        resume_observed(
+            &instance,
+            &case.constraints,
+            &case.fact,
+            &SolveBudget::unlimited(),
+            &reparsed,
+            rec,
+        )
+    });
+    let resumed = resumed.expect("resume of a feasible case succeeds");
+    assert_eq!(resumed.stop_reason, StopReason::Completed);
+    assert!(resumed.checkpoint.is_none());
+    assert_equivalent(&format!("seed {seed} cut {cut}"), &full, &resumed);
+
+    // Move sequence: leg trajectories concatenate to the uninterrupted one.
+    let mut stitched = cut_traj;
+    stitched.extend(resume_traj);
+    assert_eq!(
+        stitched, full_traj,
+        "seed {seed} cut {cut}: stitched trajectory diverged"
+    );
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Oracle seeds × arbitrary cut points: resume == uninterrupted.
+    #[test]
+    fn resume_matches_uninterrupted(seed in 0u64..200, cut in 0u64..600) {
+        check_cut(seed, cut);
+    }
+
+    /// Double interruption: cut, resume, cut again, resume again. The chain
+    /// of three legs must still land on the uninterrupted result.
+    #[test]
+    fn chained_resume_matches_uninterrupted(seed in 0u64..120, first in 0u64..80, second in 0u64..80) {
+        let case = generate_case(seed);
+        let instance = case.instance().expect("oracle case compiles");
+        let full = match solve_budgeted(
+            &instance,
+            &case.constraints,
+            &case.fact,
+            &SolveBudget::unlimited(),
+        ) {
+            Ok(outcome) => outcome,
+            Err(EmpError::Infeasible { .. }) => return Ok(()),
+            Err(e) => panic!("seed {seed}: {e}"),
+        };
+
+        let mut leg = solve_budgeted(
+            &instance,
+            &case.constraints,
+            &case.fact,
+            &SolveBudget::poll_limit(first),
+        )
+        .expect("feasible under budget");
+        if let Some(checkpoint) = leg.checkpoint.take() {
+            leg = emp_core::resume(
+                &instance,
+                &case.constraints,
+                &case.fact,
+                &SolveBudget::poll_limit(second),
+                &checkpoint,
+            )
+            .expect("first resume succeeds");
+        }
+        if let Some(checkpoint) = leg.checkpoint.take() {
+            leg = emp_core::resume(
+                &instance,
+                &case.constraints,
+                &case.fact,
+                &SolveBudget::unlimited(),
+                &checkpoint,
+            )
+            .expect("second resume succeeds");
+        }
+        prop_assert_eq!(leg.stop_reason, StopReason::Completed);
+        assert_equivalent(&format!("seed {seed} cuts {first}/{second}"), &full, &leg);
+    }
+}
+
+/// The plain API and an unlimited budget agree (serial construction).
+#[test]
+fn unlimited_budget_matches_plain_solve() {
+    for seed in [0u64, 3, 17, 40, 77] {
+        let case = generate_case(seed);
+        let instance = case.instance().expect("oracle case compiles");
+        let plain = solve(&instance, &case.constraints, &case.fact);
+        let budgeted = solve_budgeted(
+            &instance,
+            &case.constraints,
+            &case.fact,
+            &SolveBudget::unlimited(),
+        );
+        match (plain, budgeted) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.solution, b.report.solution, "seed {seed}");
+                assert_eq!(b.stop_reason, StopReason::Completed);
+            }
+            (Err(EmpError::Infeasible { .. }), Err(EmpError::Infeasible { .. })) => {}
+            (a, b) => panic!("seed {seed}: mismatched outcomes {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// Resuming against the wrong config or instance is rejected, not garbage.
+#[test]
+fn resume_rejects_mismatched_checkpoint() {
+    // Find a feasible case that a poll-1 cut actually interrupts.
+    let (case, instance, checkpoint) = (0u64..50)
+        .find_map(|seed| {
+            let case = generate_case(seed);
+            let instance = case.instance().ok()?;
+            let interrupted = solve_budgeted(
+                &instance,
+                &case.constraints,
+                &case.fact,
+                &SolveBudget::poll_limit(1),
+            )
+            .ok()?;
+            let checkpoint = interrupted.checkpoint?;
+            Some((case, instance, checkpoint))
+        })
+        .expect("some seed in 0..50 is feasible and interruptible");
+
+    let mut wrong_seed = case.fact.clone();
+    wrong_seed.seed ^= 1;
+    assert!(matches!(
+        emp_core::resume(
+            &instance,
+            &case.constraints,
+            &wrong_seed,
+            &SolveBudget::unlimited(),
+            &checkpoint,
+        ),
+        Err(EmpError::BadCheckpoint { .. })
+    ));
+
+    let mut wrong_areas = checkpoint;
+    wrong_areas.areas += 1;
+    assert!(matches!(
+        emp_core::resume(
+            &instance,
+            &case.constraints,
+            &case.fact,
+            &SolveBudget::unlimited(),
+            &wrong_areas,
+        ),
+        Err(EmpError::BadCheckpoint { .. })
+    ));
+}
+
+/// A zero budget still yields a valid (possibly empty) incumbent.
+#[test]
+fn zero_budget_yields_valid_incumbent() {
+    for seed in [0u64, 5, 11, 29] {
+        let case = generate_case(seed);
+        let instance = case.instance().expect("oracle case compiles");
+        match solve_budgeted(
+            &instance,
+            &case.constraints,
+            &case.fact,
+            &SolveBudget::poll_limit(0),
+        ) {
+            Ok(outcome) => {
+                assert_ne!(outcome.stop_reason, StopReason::Completed, "seed {seed}");
+                validate_solution(&instance, &case.constraints, &outcome.report.solution)
+                    .unwrap_or_else(|v| panic!("seed {seed}: invalid zero-budget incumbent {v:?}"));
+            }
+            Err(EmpError::Infeasible { .. }) => {} // feasibility always runs fully
+            Err(e) => panic!("seed {seed}: {e}"),
+        }
+    }
+}

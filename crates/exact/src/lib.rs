@@ -25,4 +25,4 @@
 
 pub mod search;
 
-pub use search::{exact_solve, ExactConfig, ExactReport, MAX_AREAS};
+pub use search::{exact_solve, exact_solve_budgeted, ExactConfig, ExactReport, MAX_AREAS};

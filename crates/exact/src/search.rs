@@ -17,11 +17,17 @@
 //! areas among ties).
 
 use emp_core::constraint::{Aggregate, ConstraintSet};
+use emp_core::control::{SolveBudget, StopReason};
 use emp_core::engine::ConstraintEngine;
 use emp_core::error::EmpError;
 use emp_core::heterogeneity::DissimStat;
 use emp_core::instance::EmpInstance;
 use emp_core::solution::Solution;
+
+/// Budget polls are amortized over this many charged nodes: the branch-and-
+/// bound charges nodes at a rate of millions per second, so polling every
+/// node would spend more time on `Instant::now()` than on search.
+const POLL_STRIDE: u64 = 1024;
 
 /// Search limits and knobs.
 ///
@@ -87,6 +93,9 @@ struct Ctx<'a, 'b> {
     /// Monotonic upper bounds: (constraint index, is_count).
     nodes: u64,
     max_nodes: u64,
+    budget: &'a SolveBudget,
+    /// Set at the first interrupted charge; sticky for the rest of the run.
+    stop: Option<StopReason>,
     best_p: usize,
     best_h: f64,
     best_unassigned: usize,
@@ -107,6 +116,23 @@ pub fn exact_solve(
     constraints: &ConstraintSet,
     config: &ExactConfig,
 ) -> Result<ExactReport, EmpError> {
+    exact_solve_budgeted(instance, constraints, config, &SolveBudget::unlimited())
+        .map(|(report, _)| report)
+}
+
+/// [`exact_solve`] under a cooperative [`SolveBudget`]: the search polls the
+/// budget every [`POLL_STRIDE`] charged nodes alongside the node-budget
+/// check, so a deadline or cancellation interrupts even a blown-up search.
+/// The returned report always carries the best incumbent found so far (at
+/// worst the always-valid "everything unassigned" baseline); the
+/// [`StopReason`] is [`Completed`](StopReason::Completed) iff
+/// [`ExactReport::complete`].
+pub fn exact_solve_budgeted(
+    instance: &EmpInstance,
+    constraints: &ConstraintSet,
+    config: &ExactConfig,
+    budget: &SolveBudget,
+) -> Result<(ExactReport, StopReason), EmpError> {
     let n = instance.len();
     if n > MAX_AREAS {
         return Err(EmpError::SizeMismatch {
@@ -143,6 +169,8 @@ pub fn exact_solve(
         count_low,
         nodes: 0,
         max_nodes: config.max_nodes,
+        budget,
+        stop: None,
         best_p: 0,
         best_h: f64::INFINITY,
         best_unassigned: usize::MAX,
@@ -173,16 +201,24 @@ pub fn exact_solve(
         .collect();
     let heterogeneity =
         emp_core::heterogeneity::total_heterogeneity(instance.dissimilarity(), &region_lists);
-    Ok(ExactReport {
-        solution: Solution {
-            regions: region_lists,
-            assignment,
-            unassigned,
-            heterogeneity,
+    let stop_reason = if complete {
+        StopReason::Completed
+    } else {
+        ctx.stop.unwrap_or(StopReason::NodeBudget)
+    };
+    Ok((
+        ExactReport {
+            solution: Solution {
+                regions: region_lists,
+                assignment,
+                unassigned,
+                heterogeneity,
+            },
+            complete,
+            nodes: ctx.nodes,
         },
-        complete,
-        nodes: ctx.nodes,
-    })
+        stop_reason,
+    ))
 }
 
 fn mask_to_vec(mask: u64) -> Vec<u32> {
@@ -197,6 +233,24 @@ fn mask_to_vec(mask: u64) -> Vec<u32> {
 }
 
 impl Ctx<'_, '_> {
+    /// Charges one node against the node budget and (every [`POLL_STRIDE`]
+    /// nodes) the cooperative budget. Answers `false` when the search must
+    /// stop; the stop reason is latched in `self.stop`.
+    fn charge(&mut self) -> bool {
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            self.stop.get_or_insert(StopReason::NodeBudget);
+            return false;
+        }
+        if self.nodes.is_multiple_of(POLL_STRIDE) {
+            if let Some(reason) = self.budget.poll() {
+                self.stop.get_or_insert(reason);
+                return false;
+            }
+        }
+        self.stop.is_none()
+    }
+
     fn consider(&mut self, regions: &[u64], unassigned: usize) {
         let p = regions.len();
         let h: f64 = regions.iter().map(|&m| self.region_h(m)).sum();
@@ -258,8 +312,7 @@ fn search(
     if ctx.done {
         return true;
     }
-    ctx.nodes += 1;
-    if ctx.nodes > ctx.max_nodes {
+    if !ctx.charge() {
         return false;
     }
     if remaining == 0 {
@@ -316,7 +369,7 @@ fn search(
             regions.push(mask);
             complete &= search(ctx, remaining & !mask, regions, _h, _depth + 1);
             regions.pop();
-            if ctx.nodes > ctx.max_nodes {
+            if ctx.stop.is_some() {
                 return false;
             }
         }
@@ -337,8 +390,7 @@ fn enumerate_connected(
     available: u64,
     out: &mut Vec<u64>,
 ) -> bool {
-    ctx.nodes += 1;
-    if ctx.nodes > ctx.max_nodes {
+    if !ctx.charge() {
         return false;
     }
     out.push(current);
@@ -535,6 +587,83 @@ mod tests {
         let report = exact_solve(&inst, &ConstraintSet::new(), &cfg).unwrap();
         assert!(!report.complete);
         assert!(report.nodes >= 10);
+    }
+
+    #[test]
+    fn budget_cancellation_interrupts_search() {
+        use emp_core::control::CancelToken;
+        // Pre-cancelled token: the search stops at its first amortized poll
+        // (POLL_STRIDE nodes in) with a valid incumbent.
+        let inst = path_instance(&[1.0; 16]);
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = SolveBudget::unlimited().with_cancel(token);
+        let (report, reason) = exact_solve_budgeted(
+            &inst,
+            &ConstraintSet::new(),
+            &ExactConfig::default(),
+            &budget,
+        )
+        .unwrap();
+        assert!(!report.complete);
+        assert_eq!(reason, StopReason::Cancelled);
+        assert!(report.nodes <= 2 * POLL_STRIDE, "{}", report.nodes);
+        validate_solution(&inst, &ConstraintSet::new(), &report.solution).unwrap();
+    }
+
+    #[test]
+    fn budget_poll_limit_is_deterministic() {
+        let inst = path_instance(&[1.0; 16]);
+        let run = || {
+            exact_solve_budgeted(
+                &inst,
+                &ConstraintSet::new(),
+                &ExactConfig::default(),
+                &SolveBudget::poll_limit(2),
+            )
+            .unwrap()
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        assert!(!a.complete);
+        assert_eq!(ra, StopReason::IterationBudget);
+        assert_eq!(ra, rb);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(format!("{:?}", a.solution), format!("{:?}", b.solution));
+    }
+
+    #[test]
+    fn node_budget_reports_stop_reason() {
+        let inst = path_instance(&[1.0; 12]);
+        let cfg = ExactConfig {
+            max_nodes: 10,
+            ..ExactConfig::default()
+        };
+        let (report, reason) = exact_solve_budgeted(
+            &inst,
+            &ConstraintSet::new(),
+            &cfg,
+            &SolveBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(!report.complete);
+        assert_eq!(reason, StopReason::NodeBudget);
+    }
+
+    #[test]
+    fn completed_run_reports_completed() {
+        let inst = path_instance(&[3.0; 4]);
+        let set = ConstraintSet::new().with(Constraint::sum("POP", 6.0, f64::INFINITY).unwrap());
+        let (report, reason) = exact_solve_budgeted(
+            &inst,
+            &set,
+            &ExactConfig::default(),
+            &SolveBudget::deadline_ms(60_000),
+        )
+        .unwrap();
+        assert!(report.complete);
+        assert_eq!(reason, StopReason::Completed);
+        assert_eq!(report.solution.p(), 2);
     }
 
     #[test]

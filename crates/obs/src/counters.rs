@@ -57,10 +57,18 @@ pub enum CounterKind {
     ScratchEpochRollovers,
     /// Total CSR neighbor-slice entries walked by the tabu candidate scan.
     NeighborEntriesWalked,
+    /// Cooperative budget polls (cancellation/deadline checks) made by
+    /// solver loops.
+    CancelPolls,
+    /// Budget polls that answered with a wall-clock deadline interruption.
+    DeadlineExceeded,
+    /// Size in bytes of the largest checkpoint serialized by an interrupted
+    /// solve (gauge).
+    CheckpointBytes,
 }
 
 /// Number of counter kinds (the length of [`Counters`]' backing array).
-pub const COUNTER_KINDS: usize = 22;
+pub const COUNTER_KINDS: usize = 25;
 
 impl CounterKind {
     /// All kinds, in discriminant order.
@@ -87,6 +95,9 @@ impl CounterKind {
         CounterKind::ObjectiveResyncs,
         CounterKind::ScratchEpochRollovers,
         CounterKind::NeighborEntriesWalked,
+        CounterKind::CancelPolls,
+        CounterKind::DeadlineExceeded,
+        CounterKind::CheckpointBytes,
     ];
 
     /// Stable snake_case name used in JSONL traces and tables.
@@ -114,13 +125,19 @@ impl CounterKind {
             CounterKind::ObjectiveResyncs => "objective_resyncs",
             CounterKind::ScratchEpochRollovers => "scratch_epoch_rollovers",
             CounterKind::NeighborEntriesWalked => "neighbor_entries_walked",
+            CounterKind::CancelPolls => "cancel_polls",
+            CounterKind::DeadlineExceeded => "deadline_exceeded",
+            CounterKind::CheckpointBytes => "checkpoint_bytes",
         }
     }
 
     /// Gauges hold a high-watermark rather than a monotone count; deltas and
     /// merges take the max instead of adding/subtracting.
     pub fn is_gauge(self) -> bool {
-        matches!(self, CounterKind::BoundaryAreasPeak)
+        matches!(
+            self,
+            CounterKind::BoundaryAreasPeak | CounterKind::CheckpointBytes
+        )
     }
 }
 

@@ -14,6 +14,10 @@ use crate::generator::{generate_case, OracleCase};
 use crate::metamorphic::{check_relation, Relation};
 use crate::minimize::{minimize, MinimizeOptions};
 use crate::repro::{load_corpus, save_case};
+use emp_core::control::{SolveBudget, StopReason};
+use emp_core::error::EmpError;
+use emp_core::solver::solve_budgeted;
+use emp_core::validate::validate_solution;
 
 /// Harness tuning.
 #[derive(Clone, Debug)]
@@ -30,6 +34,10 @@ pub struct FuzzOptions {
     /// budget trips, the sweep stops after the current case and the report
     /// notes the truncation — truncated runs are not byte-comparable.
     pub budget: Option<Duration>,
+    /// Run the budget fuzz pass on each case: re-solve under a spread of
+    /// tight [`SolveBudget`]s (including zero) and check every incumbent
+    /// validates with a stop reason consistent with its checkpoint.
+    pub budget_probes: bool,
 }
 
 impl Default for FuzzOptions {
@@ -40,6 +48,7 @@ impl Default for FuzzOptions {
             minimize: true,
             corpus_dir: None,
             budget: None,
+            budget_probes: true,
         }
     }
 }
@@ -60,6 +69,11 @@ pub struct CaseReport {
     pub compared: bool,
     /// Whether the MP-regions cross-check applied.
     pub mp_checked: bool,
+    /// Stop reason of the first *violating* budget probe
+    /// ([`StopReason::Completed`] when the budget pass found nothing or was
+    /// disabled); persisted into the repro file so interruption bugs replay
+    /// with their cut context.
+    pub stop_reason: StopReason,
     /// Every violation from the differential pass and all relations.
     pub violations: Vec<Violation>,
 }
@@ -105,8 +119,84 @@ impl FuzzReport {
     }
 }
 
-/// Runs the differential pass and (optionally) all metamorphic relations
-/// on one case.
+/// Poll-count cut points for the budget fuzz pass. Small primes plus zero:
+/// zero exercises the "no work done at all" incumbent, the rest land at
+/// assorted construction/tabu iteration boundaries.
+const BUDGET_PROBE_CUTS: [u64; 5] = [0, 1, 3, 7, 19];
+
+/// Budget fuzz pass: re-solves the case under a spread of tight budgets and
+/// checks the lifecycle contract — every interrupted solve must hand back a
+/// `validate`-clean incumbent, and `stop_reason == Completed` exactly when
+/// there is no checkpoint. Returns the violations plus the stop reason of
+/// the first violating probe ([`StopReason::Completed`] when clean).
+fn budget_probe(case: &OracleCase) -> (Vec<Violation>, StopReason) {
+    let instance = match case.instance() {
+        Ok(instance) => instance,
+        // Generator/compile failures are the differential pass's problem.
+        Err(_) => return (Vec::new(), StopReason::Completed),
+    };
+    let mut violations = Vec::new();
+    let mut first_stop = StopReason::Completed;
+    let mut record = |probe: &str, reason: StopReason, detail: String| {
+        if violations.is_empty() {
+            first_stop = reason;
+        }
+        violations.push(Violation::new("budget", format!("probe {probe}: {detail}")));
+    };
+    let budgets: Vec<(String, SolveBudget)> = BUDGET_PROBE_CUTS
+        .iter()
+        .map(|&k| (format!("poll_limit({k})"), SolveBudget::poll_limit(k)))
+        .chain(std::iter::once((
+            "deadline_ms(0)".to_string(),
+            SolveBudget::deadline_ms(0),
+        )))
+        .collect();
+    for (probe, budget) in &budgets {
+        match solve_budgeted(&instance, &case.constraints, &case.fact, budget) {
+            Ok(outcome) => {
+                if let Err(errors) =
+                    validate_solution(&instance, &case.constraints, &outcome.report.solution)
+                {
+                    record(
+                        probe,
+                        outcome.stop_reason,
+                        format!(
+                            "incumbent fails validation under {:?}: {:?}",
+                            outcome.stop_reason, errors
+                        ),
+                    );
+                    continue;
+                }
+                let completed = outcome.stop_reason == StopReason::Completed;
+                if completed == outcome.checkpoint.is_some() {
+                    record(
+                        probe,
+                        outcome.stop_reason,
+                        format!(
+                            "stop reason {:?} inconsistent with checkpoint presence {}",
+                            outcome.stop_reason,
+                            outcome.checkpoint.is_some()
+                        ),
+                    );
+                }
+            }
+            // Feasibility always runs to completion, so infeasibility under
+            // a budget matches the unbudgeted verdict — not a violation.
+            Err(EmpError::Infeasible { .. }) => {}
+            Err(e) => {
+                record(
+                    probe,
+                    StopReason::Completed,
+                    format!("unexpected error {e}"),
+                );
+            }
+        }
+    }
+    (violations, first_stop)
+}
+
+/// Runs the differential pass, (optionally) all metamorphic relations, and
+/// (optionally) the budget fuzz pass on one case.
 pub fn run_case(case: &OracleCase, options: &FuzzOptions) -> CaseReport {
     let outcome = differential_check(case, options.exact_nodes);
     let mut violations = outcome.violations.clone();
@@ -119,6 +209,12 @@ pub fn run_case(case: &OracleCase, options: &FuzzOptions) -> CaseReport {
             ));
         }
     }
+    let mut stop_reason = StopReason::Completed;
+    if options.budget_probes {
+        let (budget_violations, first_stop) = budget_probe(case);
+        stop_reason = first_stop;
+        violations.extend(budget_violations);
+    }
     CaseReport {
         name: case.name.clone(),
         seed: case.seed,
@@ -126,6 +222,7 @@ pub fn run_case(case: &OracleCase, options: &FuzzOptions) -> CaseReport {
         p_exact: outcome.p_exact,
         compared: outcome.compared,
         mp_checked: outcome.mp_checked,
+        stop_reason,
         violations,
     }
 }
@@ -164,7 +261,7 @@ fn persist_failure(
     } else {
         &recheck.violations
     };
-    save_case(dir, &to_save, saved_violations).ok()
+    save_case(dir, &to_save, saved_violations, recheck.stop_reason).ok()
 }
 
 /// Sweeps `seeds` through the full oracle. Failing cases are minimized and
@@ -213,6 +310,7 @@ mod tests {
             minimize: false,
             corpus_dir: None,
             budget: None,
+            budget_probes: false,
         }
     }
 
@@ -239,6 +337,7 @@ mod tests {
             &dir,
             &case,
             &[Violation::new("synthetic", "planted for replay test")],
+            StopReason::Completed,
         )
         .unwrap();
         let options = quick_options();
@@ -263,6 +362,35 @@ mod tests {
         )
         .unwrap();
         assert!(report.cases.is_empty());
+    }
+
+    #[test]
+    fn budget_probes_hold_across_seeds() {
+        // The lifecycle contract: every budgeted solve, however tight the
+        // budget (including zero polls and an already-expired deadline),
+        // hands back a validate-clean incumbent with a stop reason that
+        // matches its checkpoint. A clean sweep also reports Completed as
+        // every case's persisted stop reason.
+        let options = FuzzOptions {
+            budget_probes: true,
+            metamorphic: false,
+            ..quick_options()
+        };
+        let report = fuzz_sweep(0..25u64, &options);
+        assert_eq!(
+            report.violation_count(),
+            0,
+            "budget violations: {:#?}",
+            report
+                .cases
+                .iter()
+                .filter(|c| !c.violations.is_empty())
+                .collect::<Vec<_>>()
+        );
+        assert!(report
+            .cases
+            .iter()
+            .all(|c| c.stop_reason == StopReason::Completed));
     }
 
     #[test]

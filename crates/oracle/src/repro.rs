@@ -16,6 +16,7 @@ use std::path::{Path, PathBuf};
 use crate::differential::Violation;
 use crate::generator::OracleCase;
 use emp_core::constraint::{Aggregate, Constraint, ConstraintSet};
+use emp_core::control::StopReason;
 use emp_core::solver::FactConfig;
 use serde_json::{Map, Value};
 
@@ -55,12 +56,15 @@ fn aggregate_from_name(name: &str) -> Result<Aggregate, String> {
 }
 
 /// Serializes a case (plus the violations that made it worth keeping) into
-/// a JSON value.
-pub fn case_to_json(case: &OracleCase, violations: &[Violation]) -> Value {
+/// a JSON value. `stop_reason` records the budget-probe cut context under
+/// which the case first failed ([`StopReason::Completed`] for failures on
+/// the unbudgeted path); older readers ignore the key.
+pub fn case_to_json(case: &OracleCase, violations: &[Violation], stop_reason: StopReason) -> Value {
     let mut root = Map::new();
     root.insert("format".to_string(), Value::from(FORMAT_VERSION));
     root.insert("name".to_string(), Value::from(case.name.clone()));
     root.insert("seed".to_string(), Value::from(case.seed.to_string()));
+    root.insert("stop_reason".to_string(), Value::from(stop_reason.name()));
     root.insert("n".to_string(), Value::from(case.n));
     root.insert(
         "edges".to_string(),
@@ -279,10 +283,15 @@ pub fn case_from_json(value: &Value) -> Result<OracleCase, String> {
 }
 
 /// Writes `<dir>/<case name>.json` and returns its path.
-pub fn save_case(dir: &Path, case: &OracleCase, violations: &[Violation]) -> io::Result<PathBuf> {
+pub fn save_case(
+    dir: &Path,
+    case: &OracleCase,
+    violations: &[Violation],
+    stop_reason: StopReason,
+) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.json", case.name));
-    let text = serde_json::to_string_pretty(&case_to_json(case, violations))
+    let text = serde_json::to_string_pretty(&case_to_json(case, violations, stop_reason))
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     fs::write(&path, text)?;
     Ok(path)
@@ -324,7 +333,16 @@ mod tests {
     fn json_round_trip_is_lossless() {
         for seed in [0u64, 3, 17, u64::MAX - 5] {
             let case = generate_case(seed);
-            let json = case_to_json(&case, &[Violation::new("demo", "details")]);
+            let json = case_to_json(
+                &case,
+                &[Violation::new("demo", "details")],
+                StopReason::DeadlineExceeded,
+            );
+            assert_eq!(
+                json.get("stop_reason").and_then(Value::as_str),
+                Some("deadline_exceeded"),
+                "seed {seed}"
+            );
             let text = serde_json::to_string(&json).unwrap();
             let back = case_from_json(&serde_json::from_str(&text).unwrap()).unwrap();
             assert_eq!(format!("{case:?}"), format!("{back:?}"), "seed {seed}");
@@ -351,8 +369,8 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         let a = generate_case(11);
         let b = generate_case(12);
-        save_case(&dir, &b, &[]).unwrap();
-        save_case(&dir, &a, &[Violation::new("k", "d")]).unwrap();
+        save_case(&dir, &b, &[], StopReason::Completed).unwrap();
+        save_case(&dir, &a, &[Violation::new("k", "d")], StopReason::Cancelled).unwrap();
         let corpus = load_corpus(&dir).unwrap();
         assert_eq!(corpus.len(), 2);
         // Sorted by file name, not insertion order.
