@@ -102,8 +102,51 @@ fn mode_json(stats: &TabuStats, wall_s: f64, counters: &Counters) -> serde_json:
         "moves_evaluated": moves_evaluated,
         "articulation_cache_hit_rate": cache_hit_rate,
         "bfs_fallbacks": bfs_fallbacks,
+        "slack_prune_skips": counters.get(CounterKind::TabuSlackPruneSkips),
         "initial_heterogeneity": stats.initial,
         "best_heterogeneity": stats.best,
+    })
+}
+
+/// Sharded-evaluation section: the largest budget re-run with the parallel
+/// tabu evaluator at jobs ∈ {1, 2, 4}. `identical_best` is *asserted*, not
+/// just recorded — byte-identical results for any worker count is the
+/// sharded evaluator's determinism contract (`DESIGN.md` §12) and a bench
+/// run that violates it must fail loudly, not publish a bogus speedup.
+fn sharded_json(engine: &ConstraintEngine<'_>, base: &Partition) -> serde_json::Value {
+    let budget = BUDGETS[BUDGETS.len() - 1];
+    let mut serial: Option<(TabuStats, f64)> = None;
+    let mut entries = Vec::new();
+    for jobs in [1usize, 2, 4] {
+        let config = TabuConfig {
+            jobs,
+            ..tabu_config(budget, true)
+        };
+        let (stats, wall_s, counters, _) = timed_run(engine, base, &config);
+        let (serial_stats, serial_s) = serial.get_or_insert((stats.clone(), wall_s));
+        assert_eq!(
+            (stats.moves, stats.iterations, stats.best.to_bits()),
+            (
+                serial_stats.moves,
+                serial_stats.iterations,
+                serial_stats.best.to_bits()
+            ),
+            "jobs = {jobs} must replay the serial search exactly"
+        );
+        entries.push(serde_json::json!({
+            "jobs": jobs,
+            "wall_s": wall_s,
+            "iters_per_sec": stats.iterations as f64 / wall_s.max(1e-12),
+            "shards_evaluated": counters.get(CounterKind::TabuShardsEvaluated),
+            "parallel_iterations": counters.get(CounterKind::TabuParallelIterations),
+            "slack_prune_skips": counters.get(CounterKind::TabuSlackPruneSkips),
+            "speedup_vs_serial": *serial_s / wall_s.max(1e-12),
+            "identical_best": true,
+        }));
+    }
+    serde_json::json!({
+        "max_no_improve": budget,
+        "jobs": entries,
     })
 }
 
@@ -139,6 +182,7 @@ fn emit_artifact(engine: &ConstraintEngine<'_>, base: &Partition) {
         "dataset": dataset,
         "combo": "MAS",
         "budgets": budgets,
+        "sharded": sharded_json(engine, base),
         "trajectory": trajectory,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tabu.json");

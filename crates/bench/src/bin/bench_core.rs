@@ -14,6 +14,14 @@
 //! `--smoke` runs one sample on the smallest size only (the CI mode); see
 //! EXPERIMENTS.md for how to read the artifact.
 //!
+//! `--jobs N` sets the tabu worker count for the *parallel* solve column
+//! (default: `EMP_JOBS` or the host parallelism). The canonical `solve_s`
+//! metric always times the serial path (`jobs = 1`) so the regression
+//! watchdog compares like with like across machines; when the effective
+//! job count exceeds 1 the entry additionally records `solve_par_s`, the
+//! `solve_par_speedup` ratio, and asserts the sharded evaluator reproduced
+//! the serial `p` and heterogeneity exactly (`DESIGN.md` §12).
+//!
 //! `--check-regression` turns the run into a perf watchdog: instead of
 //! overwriting `BENCH_core.json`, the fresh numbers are compared against it
 //! (or `--against FILE`) with the noise-aware thresholds of
@@ -51,6 +59,7 @@ struct Args {
     abs: Option<f64>,
     report_out: Option<String>,
     deadline_ms: Option<u64>,
+    jobs: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -66,6 +75,7 @@ fn parse_args() -> Args {
         abs: None,
         report_out: None,
         deadline_ms: None,
+        jobs: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -81,6 +91,7 @@ fn parse_args() -> Args {
             "--abs" => args.abs = it.next().and_then(|v| v.parse().ok()),
             "--report-out" => args.report_out = it.next(),
             "--deadline-ms" => args.deadline_ms = it.next().and_then(|v| v.parse().ok()),
+            "--jobs" => args.jobs = it.next().and_then(|v| v.parse().ok()),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -105,7 +116,12 @@ fn best_of<T, F: FnMut() -> T>(samples: usize, mut f: F) -> (f64, T) {
     (best, last.expect("at least one sample"))
 }
 
-fn bench_size(areas: usize, samples: usize, deadline_ms: Option<u64>) -> serde_json::Value {
+fn bench_size(
+    areas: usize,
+    samples: usize,
+    deadline_ms: Option<u64>,
+    jobs: usize,
+) -> serde_json::Value {
     let dataset = emp_data::build_sized("core-bench", areas);
     let instance = dataset.to_instance().expect("instance");
     let graph = instance.graph();
@@ -179,6 +195,28 @@ fn bench_size(areas: usize, samples: usize, deadline_ms: Option<u64>) -> serde_j
         }
     };
 
+    // Parallel solve: the sharded tabu evaluator with `jobs` workers must
+    // reproduce the serial result exactly — the timing is a speedup
+    // column, the assertion is the determinism contract (DESIGN.md §12).
+    // Skipped under a deadline: where the budget trips is nondeterministic.
+    let solve_par_s = (jobs > 1 && deadline_ms.is_none()).then(|| {
+        let par_config = FactConfig { jobs, ..config };
+        let (solve_par_s, par_report) = best_of(samples, || {
+            let mut noop = Recorder::noop();
+            solve_observed(&instance, &set, &par_config, &mut noop).expect("solve")
+        });
+        assert_eq!(
+            par_report.p(),
+            report.p(),
+            "sharded evaluator must reproduce the serial p"
+        );
+        assert_eq!(
+            par_report.solution.heterogeneity, report.solution.heterogeneity,
+            "sharded evaluator must reproduce the serial heterogeneity"
+        );
+        solve_par_s
+    });
+
     // Articulation recompute: one full pass over the solved regions — the
     // shape of work the tabu phase repeats after every applied move.
     let engine = ConstraintEngine::compile(&instance, &set).expect("engine");
@@ -216,8 +254,18 @@ fn bench_size(areas: usize, samples: usize, deadline_ms: Option<u64>) -> serde_j
         "solve_s": solve_s,
         "p": report.p(),
         "heterogeneity": report.solution.heterogeneity,
+        "jobs": jobs,
+        "host_parallelism": emp_geo::par::host_parallelism(),
         "counters": counters,
     });
+    if let Some(s) = solve_par_s {
+        let obj = entry.as_object_mut().expect("size entry");
+        obj.insert("solve_par_s".into(), serde_json::json!(s));
+        obj.insert(
+            "solve_par_speedup".into(),
+            serde_json::json!(solve_s / s.max(1e-12)),
+        );
+    }
     if let Some(ms) = deadline_ms {
         let obj = entry.as_object_mut().expect("size entry");
         obj.insert("deadline_ms".into(), serde_json::json!(ms));
@@ -318,10 +366,15 @@ fn main() {
     let samples = if args.smoke { 1 } else { 3 };
     let sizes: &[usize] = if args.smoke { &SMOKE_SIZES } else { &SIZES };
 
+    let jobs = args
+        .jobs
+        .unwrap_or_else(emp_geo::par::effective_jobs)
+        .max(1);
+
     let mut results = Vec::new();
     for &areas in sizes {
-        eprintln!("bench_core: {areas} areas ({samples} samples)...");
-        results.push(bench_size(areas, samples, args.deadline_ms));
+        eprintln!("bench_core: {areas} areas ({samples} samples, {jobs} jobs)...");
+        results.push(bench_size(areas, samples, args.deadline_ms, jobs));
     }
 
     if let Some(path) = &args.save_baseline {

@@ -163,6 +163,11 @@ pub fn run_fact(
     constraints: &ConstraintSet,
     opts: &RunOptions,
 ) -> Measurement {
+    // Experiment cells deliberately keep the solver serial (`jobs = 1`,
+    // the default): the cell pool already saturates the host, and the CI
+    // trace-diff (`repro --jobs 1` vs `--jobs 2`) pins byte-equal per-cell
+    // traces. Solver-level sharding is measured by `bench_core --jobs` and
+    // the `BENCH_tabu.json` sharded section instead (EXPERIMENTS.md).
     let config = FactConfig {
         construction_iterations: opts.construction_iterations,
         max_no_improve: Some(opts.effective_no_improve(instance.len())),

@@ -77,6 +77,13 @@ pub struct ConstraintEngine<'a> {
     extrema_cols: Vec<usize>,
     /// Indices of constraints by aggregate, for phase-specific iteration.
     by_aggregate: [Vec<usize>; 5],
+    /// Per-constraint `(min, max)` of [`ConstraintEngine::area_value`] over
+    /// every area — the extreme single-area contribution a move can add to
+    /// or subtract from a region aggregate. `(1, 1)` for COUNT. Columns
+    /// containing NaN (or an empty instance) store `(NaN, NaN)`, which makes
+    /// every slack-prune comparison false and disables pruning for that
+    /// constraint (the per-move checks stay authoritative).
+    value_bounds: Vec<(f64, f64)>,
 }
 
 fn agg_index(a: Aggregate) -> usize {
@@ -103,12 +110,39 @@ impl<'a> ConstraintEngine<'a> {
             by_aggregate[agg_index(c.aggregate)].push(i);
             constraints.push(compiled);
         }
+        let n = attrs.rows();
+        let value_bounds = constraints
+            .iter()
+            .map(|c| {
+                if c.aggregate == Aggregate::Count {
+                    return (1.0, 1.0);
+                }
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for area in 0..n {
+                    let v = attrs.value(c.col, area);
+                    if v.is_nan() {
+                        // `f64::min`/`max` silently ignore NaN, but the move
+                        // hypotheticals do not — disable pruning entirely.
+                        return (f64::NAN, f64::NAN);
+                    }
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                if n == 0 {
+                    (f64::NAN, f64::NAN)
+                } else {
+                    (lo, hi)
+                }
+            })
+            .collect();
         Ok(ConstraintEngine {
             instance,
             constraints,
             sum_cols,
             extrema_cols,
             by_aggregate,
+            value_bounds,
         })
     }
 
@@ -183,6 +217,14 @@ impl<'a> ConstraintEngine<'a> {
     #[inline]
     pub fn has(&self, aggregate: Aggregate) -> bool {
         !self.indices_of(aggregate).is_empty()
+    }
+
+    /// Per-constraint global `(min, max)` single-area contribution; `(NaN,
+    /// NaN)` when pruning is disabled for that constraint (NaN-valued
+    /// column or empty instance). Indexed like [`ConstraintEngine::constraints`].
+    #[inline]
+    pub fn value_bounds(&self, ci: usize) -> (f64, f64) {
+        self.value_bounds[ci]
     }
 
     /// One area's value for the constraint's column (1 for COUNT).

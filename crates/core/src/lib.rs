@@ -61,6 +61,7 @@ pub mod partition;
 pub mod solution;
 pub mod solver;
 pub mod tabu;
+mod tabu_par;
 pub mod validate;
 pub mod value;
 

@@ -50,6 +50,11 @@ pub struct FactConfig {
     /// Run construction iterations on scoped threads (paper §VIII future
     /// work: parallelization).
     pub parallel: bool,
+    /// Worker threads for sharded tabu move evaluation (1 = the serial
+    /// local-search path; results are identical either way, see DESIGN.md
+    /// §12). CLIs resolve their `--jobs`/`EMP_JOBS` conventions before
+    /// setting this.
+    pub jobs: usize,
 }
 
 impl Default for FactConfig {
@@ -64,6 +69,7 @@ impl Default for FactConfig {
             incremental_tabu: true,
             seed: 0xE5_1D,
             parallel: false,
+            jobs: 1,
         }
     }
 }
@@ -322,9 +328,12 @@ fn construct_parallel(
     iterations: usize,
     rec: &mut Recorder,
 ) -> Option<Partition> {
-    // Each worker owns a private noop recorder; counters are merged after
-    // the join (no atomics, no contention on the hot path). The nested
-    // grow/adjust spans are intentionally dropped in parallel mode.
+    // Each worker owns a private recorder backed by a `BufferSink` and
+    // opens its own `construct_iter` span, so the nested grow/adjust spans
+    // land at the same relative depth the serial path produces. Counters
+    // are merged and the buffered events replayed in iteration order after
+    // the join (no atomics, no contention on the hot path), so an observed
+    // parallel construction emits exactly the serial event stream.
     let results = crossbeam::thread::scope(|scope| {
         // The intermediate collect is the fan-out: all handles must exist
         // before the first join, or the map chain would run serially.
@@ -334,8 +343,10 @@ fn construct_parallel(
                 let seed = config.seed.wrapping_add(i as u64);
                 let merge_limit = config.merge_limit;
                 scope.spawn(move |_| {
-                    let mut worker = Recorder::noop();
-                    let t = Instant::now();
+                    let sink = emp_obs::BufferSink::new();
+                    let events = sink.handle();
+                    let mut worker = Recorder::with_sink(Box::new(sink));
+                    worker.span_begin("construct_iter", Some(i as u64));
                     let cand = construct_once(
                         engine,
                         feasibility,
@@ -344,11 +355,12 @@ fn construct_parallel(
                         seed,
                         &mut worker,
                     );
+                    worker.span_end();
                     (
                         cand,
                         worker.counters_snapshot(),
                         worker.hists_snapshot(),
-                        t.elapsed().as_secs_f64(),
+                        events,
                     )
                 })
             })
@@ -360,11 +372,13 @@ fn construct_parallel(
     })
     .expect("crossbeam scope");
     let mut best: Option<Partition> = None;
-    for (i, (cand, counters, hists, wall_s)) in results.into_iter().enumerate() {
-        rec.record_external_span("construct_iter", Some(i as u64), wall_s, &counters);
-        // The workers' grow/adjust duration histograms survive the join
-        // even though their span events are dropped in parallel mode.
+    for (cand, counters, hists, events) in results {
+        rec.merge_counters(&counters);
+        // The worker histograms already hold the construct_iter, grow and
+        // adjust span durations (its own span_end recorded them), so the
+        // merge reproduces the serial path's histogram stream.
         rec.merge_hists(&hists);
+        rec.replay_buffered(&events.lock().unwrap());
         if best.as_ref().is_none_or(|b| better(engine, &cand, b)) {
             best = Some(cand);
         }
@@ -378,6 +392,7 @@ fn tabu_config_for(config: &FactConfig, n: usize) -> TabuConfig {
         tenure: config.tabu_tenure,
         max_no_improve: config.max_no_improve.unwrap_or(n),
         incremental: config.incremental_tabu,
+        jobs: config.jobs.max(1),
         ..TabuConfig::for_instance(n)
     };
     if let Some(cap) = config.max_tabu_iterations {
@@ -1062,5 +1077,48 @@ mod tests {
         // Region creations happen on worker threads; the merged counters
         // must still see them.
         assert!(report.counters.get(CounterKind::RegionsCreated) > 0);
+    }
+
+    /// The parallel construction path buffers each worker's events and
+    /// replays them at join time, so an observed parallel solve emits the
+    /// same span structure as the serial path: `construct_iter` spans in
+    /// iteration order with `grow`/`adjust` nested one level deeper.
+    #[test]
+    fn parallel_observed_solve_replays_nested_construction_spans() {
+        use emp_obs::InMemorySink;
+
+        let inst = grid_instance(12);
+        let cfg = FactConfig {
+            construction_iterations: 3,
+            parallel: true,
+            ..FactConfig::seeded(8)
+        };
+        let sink = InMemorySink::new();
+        let handle = sink.handle();
+        let mut rec = Recorder::with_sink(Box::new(sink));
+        solve_observed(&inst, &default_constraints(), &cfg, &mut rec).unwrap();
+        rec.finish();
+
+        let data = handle.lock().unwrap();
+        let iters: Vec<_> = data
+            .spans
+            .iter()
+            .filter(|s| s.name == "construct_iter")
+            .collect();
+        assert_eq!(iters.len(), 3, "one span per construction iteration");
+        assert_eq!(
+            iters.iter().map(|s| s.index).collect::<Vec<_>>(),
+            [Some(0), Some(1), Some(2)],
+            "replayed in iteration order regardless of scheduling"
+        );
+        for kind in ["grow", "adjust"] {
+            let nested = data.spans.iter().find(|s| s.name == kind);
+            let nested = nested.unwrap_or_else(|| panic!("missing nested {kind} span"));
+            assert_eq!(
+                nested.depth,
+                iters[0].depth + 1,
+                "{kind} nests inside construct_iter"
+            );
+        }
     }
 }

@@ -64,6 +64,13 @@ pub struct TabuConfig {
     /// path — the DESIGN.md §4.2 ablation baseline. Move selection is
     /// identical either way; only the cost differs.
     pub incremental: bool,
+    /// Worker threads for sharded move evaluation. `1` (the default) runs
+    /// the existing allocation-free serial scan; `> 1` evaluates boundary
+    /// shards on a persistent scoped pool (`crate::tabu_par`) and requires
+    /// `incremental` (the reference path stays serial). Either way the
+    /// applied move sequence, `p`, and `H` are identical — see DESIGN.md
+    /// §12.
+    pub jobs: usize,
 }
 
 impl TabuConfig {
@@ -74,6 +81,7 @@ impl TabuConfig {
             max_no_improve: n,
             max_iterations: 20 * n.max(50),
             incremental: true,
+            jobs: 1,
         }
     }
 }
@@ -124,7 +132,7 @@ pub struct Move {
 /// lets the incremental and reference neighborhoods trace identical
 /// move sequences.
 #[inline]
-fn beats(delta: f64, area: u32, to: RegionId, incumbent: &Option<Move>) -> bool {
+pub(crate) fn beats(delta: f64, area: u32, to: RegionId, incumbent: &Option<Move>) -> bool {
     match incumbent {
         None => true,
         Some(b) => match delta.partial_cmp(&b.delta) {
@@ -282,7 +290,7 @@ pub struct BoundarySet {
 }
 
 impl BoundarySet {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         BoundarySet {
             list: Vec::new(),
             pos: vec![u32::MAX; n],
@@ -301,14 +309,14 @@ impl BoundarySet {
         &self.list
     }
 
-    fn insert(&mut self, area: u32) {
+    pub(crate) fn insert(&mut self, area: u32) {
         if !self.contains(area) {
             self.pos[area as usize] = self.list.len() as u32;
             self.list.push(area);
         }
     }
 
-    fn remove(&mut self, area: u32) {
+    pub(crate) fn remove(&mut self, area: u32) {
         let p = self.pos[area as usize];
         if p == u32::MAX {
             return;
@@ -322,7 +330,7 @@ impl BoundarySet {
 }
 
 /// Whether `area` has at least one neighbor assigned to a different region.
-fn is_boundary(engine: &ConstraintEngine<'_>, partition: &Partition, area: u32) -> bool {
+pub(crate) fn is_boundary(engine: &ConstraintEngine<'_>, partition: &Partition, area: u32) -> bool {
     let Some(r) = partition.region_of(area) else {
         return false;
     };
@@ -334,20 +342,161 @@ fn is_boundary(engine: &ConstraintEngine<'_>, partition: &Partition, area: u32) 
         .any(|&nb| partition.region_of(nb).is_some_and(|o| o != r))
 }
 
-/// A memoized donor-side verdict: `ok` holds for `area` while it stays in
+/// Donor-side admissibility of one boundary area, split three ways so the
+/// memo can replay the right telemetry counter on every cache hit: the
+/// area-level slack proof is a *prune* (`tabu_slack_prune_skips`), a
+/// contiguity or MIN/MAX/COUNT failure is a *rejection*
+/// (`tabu_rejected_infeasible`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DonorVerdict {
+    /// The area may leave its region (contiguity and all constraints hold).
+    Admissible,
+    /// [`donor_value_blocked`] proved a SUM/AVG violation in O(1).
+    SlackBlocked,
+    /// The full check failed (articulation point, or a COUNT/MIN/MAX or
+    /// unproven SUM/AVG violation).
+    Rejected,
+}
+
+/// A memoized donor-side verdict: holds for `area` while it stays in
 /// `region` and the region's version is unchanged.
 #[derive(Clone, Copy)]
-struct DonorEntry {
-    region: RegionId,
-    version: u64,
-    ok: bool,
+pub(crate) struct DonorEntry {
+    pub(crate) region: RegionId,
+    pub(crate) version: u64,
+    pub(crate) verdict: DonorVerdict,
 }
 
 impl DonorEntry {
-    const EMPTY: DonorEntry = DonorEntry {
+    pub(crate) const EMPTY: DonorEntry = DonorEntry {
         region: u32::MAX,
         version: 0,
-        ok: false,
+        verdict: DonorVerdict::Rejected,
+    };
+}
+
+/// Region-level constraint-slack verdict: whether *every* possible single
+/// area donation out of (`donor_blocked`) or into (`receiver_blocked`) a
+/// region is provably infeasible. The donor side brackets a removed area's
+/// contribution by the region's *own* member value range (a donation always
+/// removes a member, so the region-local bracket is tight exactly where it
+/// matters: regions sitting at a constraint floor); the receiver side uses
+/// the global per-constraint bounds ([`ConstraintEngine::value_bounds`]) —
+/// an incoming area can be any area. `true` is a proof; `false` just means
+/// the per-move checks must decide. See DESIGN.md §12 for the per-aggregate
+/// soundness argument.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct SlackVerdict {
+    pub(crate) donor_blocked: bool,
+    pub(crate) receiver_blocked: bool,
+}
+
+impl SlackVerdict {
+    pub(crate) fn compute(engine: &ConstraintEngine<'_>, agg: &RegionAgg, members: &[u32]) -> Self {
+        SlackVerdict {
+            donor_blocked: donor_blocked(engine, agg, members),
+            receiver_blocked: receiver_blocked(engine, agg),
+        }
+    }
+}
+
+/// Min/max of column `col` over the region's members — the donor-side
+/// bracket on a removed area's contribution. NaN member values are skipped
+/// by `f64::min`/`max`, but any NaN member also makes the region's running
+/// sum NaN, so every slack comparison fails and the prune stays off.
+fn member_value_bounds(engine: &ConstraintEngine<'_>, members: &[u32], col: usize) -> (f64, f64) {
+    let attrs = engine.instance().attributes();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &a in members {
+        let v = attrs.value(col, a as usize);
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+/// Whether *no* area removal can leave `agg` satisfying every constraint.
+/// Sound because IEEE-754 subtraction and division by a positive count are
+/// weakly monotone: any removable value `v` satisfies `rmin <= v <= rmax`
+/// (it is a member), so the achievable post-removal aggregate range is
+/// bracketed by plugging in the member extremes, and a NaN sum or bound
+/// (pruning disabled) fails every comparison. O(|members|) per SUM/AVG
+/// constraint — paid once per region version thanks to the verdict caches.
+pub(crate) fn donor_blocked(
+    engine: &ConstraintEngine<'_>,
+    agg: &RegionAgg,
+    members: &[u32],
+) -> bool {
+    engine.constraints().iter().any(|c| {
+        match c.aggregate {
+            Aggregate::Count => !c.contains(agg.count.saturating_sub(1) as f64),
+            Aggregate::Sum => {
+                let (rmin, rmax) = member_value_bounds(engine, members, c.col);
+                let s = agg.sums[c.slot];
+                s - rmin < c.low || s - rmax > c.high
+            }
+            Aggregate::Avg => {
+                let k = agg.count.saturating_sub(1);
+                if k == 0 {
+                    false // the per-move hypothetical already rejects
+                } else {
+                    let (rmin, rmax) = member_value_bounds(engine, members, c.col);
+                    let s = agg.sums[c.slot];
+                    let k = k as f64;
+                    (s - rmin) / k < c.low || (s - rmax) / k > c.high
+                }
+            }
+            // Removing an element can only raise the min / lower the max,
+            // so a min already above `high` (max below `low`) stays violated.
+            Aggregate::Min => agg.multisets[c.slot].min().is_some_and(|m| m > c.high),
+            Aggregate::Max => agg.multisets[c.slot].max().is_some_and(|m| m < c.low),
+        }
+    })
+}
+
+/// Whether *no* area addition can leave `agg` satisfying every constraint.
+pub(crate) fn receiver_blocked(engine: &ConstraintEngine<'_>, agg: &RegionAgg) -> bool {
+    engine.constraints().iter().enumerate().any(|(ci, c)| {
+        let (gmin, gmax) = engine.value_bounds(ci);
+        match c.aggregate {
+            Aggregate::Count => !c.contains((agg.count + 1) as f64),
+            Aggregate::Sum => {
+                let s = agg.sums[c.slot];
+                s + gmax < c.low || s + gmin > c.high
+            }
+            Aggregate::Avg => {
+                let s = agg.sums[c.slot];
+                let k = (agg.count + 1) as f64;
+                (s + gmax) / k < c.low || (s + gmin) / k > c.high
+            }
+            // min(m, v) is bounded above by both m and any v ≤ gmax; adding
+            // an area can never raise a min already below `low`.
+            Aggregate::Min => {
+                gmax < c.low || agg.multisets[c.slot].min().is_some_and(|m| m < c.low)
+            }
+            Aggregate::Max => {
+                gmin > c.high || agg.multisets[c.slot].max().is_some_and(|m| m > c.high)
+            }
+        }
+    })
+}
+
+/// A cached [`SlackVerdict`], valid while the region's version is unchanged.
+#[derive(Clone, Copy)]
+struct SlackStamp {
+    /// `region_version + 1` at compute time; 0 = never computed.
+    stamp: u64,
+    verdict: SlackVerdict,
+}
+
+impl SlackStamp {
+    const EMPTY: SlackStamp = SlackStamp {
+        stamp: 0,
+        verdict: SlackVerdict {
+            donor_blocked: false,
+            receiver_blocked: false,
+        },
     };
 }
 
@@ -377,6 +526,10 @@ pub struct NeighborhoodState {
     /// Memoized donor-side admissibility (contiguity + donor constraints)
     /// per area, valid while the area's region version is unchanged.
     donor_cache: Vec<DonorEntry>,
+    /// Memoized region-level slack verdicts, version-stamped like
+    /// `donor_cache` — an applied move touches exactly two regions, so
+    /// between moves almost every verdict is a cache hit.
+    slack: Vec<SlackStamp>,
     /// Telemetry accumulated by this neighborhood (cache traffic, move
     /// evaluation accounting); merged into the search's recorder at the end.
     counters: Counters,
@@ -403,6 +556,7 @@ impl NeighborhoodState {
             dests: Vec::new(),
             region_version: Vec::new(),
             donor_cache: vec![DonorEntry::EMPTY; n],
+            slack: Vec::new(),
             counters,
         }
     }
@@ -470,17 +624,51 @@ impl NeighborhoodState {
         }
     }
 
+    /// The (cached) region-level slack verdict of region `id`, recomputed
+    /// when the region's version has moved past the stamp.
+    fn slack_verdict(
+        &mut self,
+        engine: &ConstraintEngine<'_>,
+        partition: &Partition,
+        id: RegionId,
+    ) -> SlackVerdict {
+        let idx = id as usize;
+        if self.region_version.len() <= idx {
+            self.region_version
+                .resize(partition.region_slots().max(idx + 1), 0);
+        }
+        if self.slack.len() <= idx {
+            self.slack
+                .resize(partition.region_slots().max(idx + 1), SlackStamp::EMPTY);
+        }
+        let version = self.region_version[idx];
+        let e = self.slack[idx];
+        if e.stamp == version + 1 {
+            return e.verdict;
+        }
+        let region = partition.region(id);
+        let verdict = SlackVerdict::compute(engine, &region.agg, &region.members);
+        self.slack[idx] = SlackStamp {
+            stamp: version + 1,
+            verdict,
+        };
+        verdict
+    }
+
     /// Memoized donor-side admissibility of moving `area` out of `from`:
+    /// the O(1) area-level slack gate first ([`donor_value_blocked`] — its
+    /// hit is a proof, so the full check is skipped entirely), then
     /// contiguity (cached articulation points) plus the donor constraint
     /// check. The verdict depends only on region `from`'s state, so it stays
-    /// valid until a move touches that region.
-    fn donor_admissible(
+    /// valid until a move touches that region, and a cache hit replays the
+    /// matching telemetry counter at zero marginal cost.
+    fn donor_verdict(
         &mut self,
         engine: &ConstraintEngine<'_>,
         partition: &Partition,
         area: u32,
         from: RegionId,
-    ) -> bool {
+    ) -> DonorVerdict {
         if self.region_version.len() <= from as usize {
             self.region_version
                 .resize(partition.region_slots().max(from as usize + 1), 0);
@@ -488,16 +676,23 @@ impl NeighborhoodState {
         let version = self.region_version[from as usize];
         let entry = self.donor_cache[area as usize];
         if entry.region == from && entry.version == version {
-            return entry.ok;
+            return entry.verdict;
         }
-        let ok = self.removal_safe(engine, partition, area, from)
-            && donor_keeps_constraints(engine, partition, area, from, &mut self.counters);
+        let verdict = if donor_value_blocked(engine, &partition.region(from).agg, area) {
+            DonorVerdict::SlackBlocked
+        } else if self.removal_safe(engine, partition, area, from)
+            && donor_keeps_constraints(engine, partition, area, from, &mut self.counters)
+        {
+            DonorVerdict::Admissible
+        } else {
+            DonorVerdict::Rejected
+        };
         self.donor_cache[area as usize] = DonorEntry {
             region: from,
             version,
-            ok,
+            verdict,
         };
-        ok
+        verdict
     }
 
     /// The (cached) sorted articulation points of region `id`, recomputing
@@ -569,16 +764,31 @@ impl NeighborhoodState {
             if partition.region(from).members.len() <= 1 {
                 continue; // p must not change
             }
-            // Donor-side gate first: the destination-independent verdict
-            // (contiguity + donor constraints) rules out the whole area
-            // before any per-destination work, and is memoized against the
-            // donor region's version — an applied move touches exactly two
-            // regions, so between moves almost every verdict is a cache hit
-            // (with tight SUM/COUNT lower bounds most donors sit at the
-            // floor, so this skips the destination enumeration entirely).
-            if !self.donor_admissible(engine, partition, area, from) {
-                self.counters.inc(CounterKind::TabuRejectedInfeasible);
+            // Region-level slack gate: if no removal whatsoever can keep the
+            // donor feasible, skip the area before any per-move work (the
+            // verdict is a proof, so the selected move cannot change).
+            if self.slack_verdict(engine, partition, from).donor_blocked {
+                self.counters.inc(CounterKind::TabuSlackPruneSkips);
                 continue;
+            }
+            // Donor-side gate next: the destination-independent verdict
+            // (area-level slack proof, then contiguity + donor constraints)
+            // rules out the whole area before any per-destination work, and
+            // is memoized against the donor region's version — an applied
+            // move touches exactly two regions, so between moves almost
+            // every verdict is a cache hit (with tight SUM/COUNT lower
+            // bounds most donors sit at the floor, so this skips the
+            // destination enumeration entirely).
+            match self.donor_verdict(engine, partition, area, from) {
+                DonorVerdict::SlackBlocked => {
+                    self.counters.inc(CounterKind::TabuSlackPruneSkips);
+                    continue;
+                }
+                DonorVerdict::Rejected => {
+                    self.counters.inc(CounterKind::TabuRejectedInfeasible);
+                    continue;
+                }
+                DonorVerdict::Admissible => {}
             }
             let mut dests = std::mem::take(&mut self.dests);
             dests.clear();
@@ -607,6 +817,10 @@ impl NeighborhoodState {
                 let aspires = current_h + delta < best_h - 1e-9;
                 if tabu.is_tabu(area, to, moves_done) && !aspires {
                     self.counters.inc(CounterKind::TabuRejectedTabu);
+                    continue;
+                }
+                if self.slack_verdict(engine, partition, to).receiver_blocked {
+                    self.counters.inc(CounterKind::TabuSlackPruneSkips);
                     continue;
                 }
                 if !receiver_keeps_constraints(engine, partition, area, to, &mut self.counters) {
@@ -664,7 +878,11 @@ pub fn tabu_search(
 /// telemetry span close inside the search (each `resync` span and the final
 /// close), not just on the [`RESYNC_INTERVAL`] boundary.
 #[cfg(debug_assertions)]
-fn debug_check_drift(engine: &ConstraintEngine<'_>, partition: &Partition, current_h: f64) {
+pub(crate) fn debug_check_drift(
+    engine: &ConstraintEngine<'_>,
+    partition: &Partition,
+    current_h: f64,
+) {
     let fresh = partition.heterogeneity_with(engine);
     debug_assert!(
         (fresh - current_h).abs() <= 1e-6 * fresh.abs().max(1.0),
@@ -675,7 +893,7 @@ fn debug_check_drift(engine: &ConstraintEngine<'_>, partition: &Partition, curre
 
 #[cfg(not(debug_assertions))]
 #[inline]
-fn debug_check_drift(_: &ConstraintEngine<'_>, _: &Partition, _: f64) {}
+pub(crate) fn debug_check_drift(_: &ConstraintEngine<'_>, _: &Partition, _: f64) {}
 
 /// [`tabu_search`] reporting telemetry through `rec`: the per-move
 /// heterogeneity **trajectory** (the objective after every applied move,
@@ -787,6 +1005,15 @@ pub fn tabu_search_budgeted(
     resume: Option<TabuResume>,
     rec: &mut Recorder,
 ) -> TabuOutcome {
+    if config.jobs > 1 && config.incremental {
+        // Sharded evaluation on a persistent worker pool; selects the exact
+        // move sequence of the serial scan (strict total order), so results
+        // are byte-identical for any jobs value. The reference
+        // (non-incremental) ablation path stays serial by design.
+        return crate::tabu_par::tabu_search_parallel(
+            engine, partition, config, budget, resume, rec,
+        );
+    }
     let fresh_start = resume.is_none();
     let TabuResume {
         iterations,
@@ -1014,7 +1241,7 @@ fn move_keeps_constraints(
 
 /// Destination-independent half of [`move_keeps_constraints`]: would the
 /// donor region still satisfy every constraint after losing `area`?
-fn donor_keeps_constraints(
+pub(crate) fn donor_keeps_constraints(
     engine: &ConstraintEngine<'_>,
     partition: &Partition,
     area: u32,
@@ -1033,9 +1260,46 @@ fn donor_keeps_constraints(
     true
 }
 
+/// Area-level donor slack gate: would removing this *specific* area
+/// provably violate a SUM or AVG constraint of its region? Runs the exact
+/// removal arithmetic of [`donor_keeps_constraints`] (same float
+/// operations on the same incremental aggregates), restricted to the
+/// constraint kinds whose hypothetical is a closed-form O(1) expression —
+/// so a `true` here is a proof that the full donor check would reject the
+/// area, and skipping it cannot change the selected move. COUNT floors
+/// are covered by the region-level [`SlackVerdict`]; MIN/MAX need the
+/// order multisets and stay with the memoized full check. Unlike
+/// [`donor_keeps_constraints`] this never touches the per-area memo or the
+/// `checks_*` counters: it is a prune, not a check.
+pub(crate) fn donor_value_blocked(
+    engine: &ConstraintEngine<'_>,
+    agg: &RegionAgg,
+    area: u32,
+) -> bool {
+    let Some(new_count) = agg.count.checked_sub(1) else {
+        return false;
+    };
+    for (ci, c) in engine.constraints().iter().enumerate() {
+        let val = match c.aggregate {
+            Aggregate::Sum => agg.sums[c.slot] - engine.area_value(ci, area),
+            Aggregate::Avg => {
+                if new_count == 0 {
+                    continue; // the full check rejects; no proof needed here
+                }
+                (agg.sums[c.slot] - engine.area_value(ci, area)) / new_count as f64
+            }
+            Aggregate::Count | Aggregate::Min | Aggregate::Max => continue,
+        };
+        if !c.contains(val) {
+            return true;
+        }
+    }
+    false
+}
+
 /// Would the receiver region still satisfy every constraint after gaining
 /// `area`?
-fn receiver_keeps_constraints(
+pub(crate) fn receiver_keeps_constraints(
     engine: &ConstraintEngine<'_>,
     partition: &Partition,
     area: u32,

@@ -1,0 +1,613 @@
+//! Parallel sharded move evaluation for the tabu local search (DESIGN.md
+//! §12).
+//!
+//! Each iteration the boundary-area list is split into `jobs` contiguous
+//! shards. A **persistent** scoped worker pool — spawned once per search,
+//! reused across iterations, mirroring the determinism discipline of
+//! `emp-bench`'s `sched` pool — evaluates shards `1..jobs` while the main
+//! thread evaluates shard `0`, each with thread-local scratch (donor-verdict
+//! cache, destination buffer) and a private [`Counters`] merged at join
+//! time. Per-shard winners are reduced under the same strict total order
+//! (ΔH, then area id, then destination id) as the serial scan; the order is
+//! strict and every admissibility filter is intrinsic to the candidate, so
+//! the reduced winner equals the serial winner and the applied move
+//! sequence, `p`, and `H` are byte-identical for any `jobs` value.
+//!
+//! Shared state (partition, tabu table, boundary list, articulation and
+//! slack caches) is handed to workers as raw pointers inside a [`Task`]
+//! under a rendezvous protocol: workers dereference them only between
+//! receiving a task and sending its result, and the main thread mutates
+//! them only while every worker is idle (all results collected). Unlike the
+//! serial path's lazy caches, the main thread keeps the articulation and
+//! slack caches **eagerly fresh** for exactly the regions workers may query
+//! (donor-unblocked, ≥ 2 members), refreshing the two regions an applied
+//! move touches.
+
+use crate::control::{SolveBudget, StopReason};
+use crate::engine::ConstraintEngine;
+use crate::partition::{Partition, RegionId};
+use crate::tabu::{
+    beats, debug_check_drift, donor_keeps_constraints, donor_value_blocked, is_boundary,
+    receiver_keeps_constraints, BoundarySet, DonorEntry, DonorVerdict, Move, SlackVerdict,
+    TabuConfig, TabuOutcome, TabuResume, TabuStats, TabuTable, RESYNC_INTERVAL,
+};
+use emp_graph::articulation::{articulation_points_into, ArticulationScratch};
+use emp_obs::{CounterKind, Counters, HistKind, Recorder};
+use std::sync::mpsc;
+
+/// Read-only snapshot of the shared search state, sent to workers each
+/// iteration. Raw pointers because the referents live on the main thread's
+/// stack and are re-borrowed every iteration; validity is guaranteed by the
+/// rendezvous protocol (module docs), not by lifetimes.
+#[derive(Clone, Copy)]
+struct SharedView {
+    partition: *const Partition,
+    tabu: *const TabuTable,
+    boundary: *const [u32],
+    arts: *const [Option<Vec<u32>>],
+    slack: *const [SlackVerdict],
+    versions: *const [u64],
+}
+
+// SAFETY: the pointed-to state is only read by workers, and only between
+// task receipt and result send; the main thread never mutates it while a
+// task is outstanding.
+unsafe impl Send for SharedView {}
+
+/// One iteration's unit of work for a worker: evaluate boundary positions
+/// `lo..hi` against the shared state.
+struct Task {
+    view: SharedView,
+    lo: usize,
+    hi: usize,
+    moves_done: usize,
+    current_h: f64,
+    best_h: f64,
+}
+
+/// Thread-local evaluation scratch; one per worker and one for the main
+/// thread's shard.
+struct EvalScratch {
+    /// Memoized donor verdicts, version-stamped like the serial path's.
+    donor_cache: Vec<DonorEntry>,
+    /// Candidate destination regions of the current area.
+    dests: Vec<RegionId>,
+    counters: Counters,
+}
+
+impl EvalScratch {
+    fn new(n: usize) -> Self {
+        EvalScratch {
+            donor_cache: vec![DonorEntry::EMPTY; n],
+            dests: Vec::new(),
+            counters: Counters::new(),
+        }
+    }
+}
+
+/// Contiguous shard `w` of `len` items split `jobs` ways.
+fn shard_bounds(len: usize, jobs: usize, w: usize) -> (usize, usize) {
+    (w * len / jobs, (w + 1) * len / jobs)
+}
+
+/// The serial `select_move` filter chain over one boundary shard. Mirrors
+/// `NeighborhoodState::select_move` exactly — members gate, region- and
+/// area-level donor slack prunes, memoized donor verdict (articulation
+/// lookup + donor constraints), sorted/deduped destinations, delta,
+/// incumbent order, tabu/aspiration, receiver slack prune, receiver
+/// constraints — against a *shard-local* incumbent. Incumbent pruning only skips work (every filter is intrinsic
+/// to the candidate), so the shard winner set reduces to the serial winner;
+/// per-shard counters may differ across `jobs` values, the selected move
+/// cannot.
+#[allow(clippy::too_many_arguments)]
+fn eval_shard(
+    engine: &ConstraintEngine<'_>,
+    partition: &Partition,
+    tabu: &TabuTable,
+    boundary: &[u32],
+    arts: &[Option<Vec<u32>>],
+    slack: &[SlackVerdict],
+    versions: &[u64],
+    moves_done: usize,
+    current_h: f64,
+    best_h: f64,
+    ws: &mut EvalScratch,
+) -> Option<Move> {
+    let graph = engine.instance().graph();
+    let mut best: Option<Move> = None;
+    let mut walked = 0u64;
+    ws.counters.inc(CounterKind::TabuShardsEvaluated);
+    for &area in boundary {
+        let from = partition
+            .region_of(area)
+            .expect("boundary areas are assigned");
+        if partition.region(from).members.len() <= 1 {
+            continue; // p must not change
+        }
+        if slack[from as usize].donor_blocked {
+            ws.counters.inc(CounterKind::TabuSlackPruneSkips);
+            continue;
+        }
+        let version = versions[from as usize];
+        let entry = ws.donor_cache[area as usize];
+        let verdict = if entry.region == from && entry.version == version {
+            entry.verdict
+        } else if donor_value_blocked(engine, &partition.region(from).agg, area) {
+            // Area-level slack gate, mirroring the serial path exactly
+            // (same float operations, see `donor_value_blocked`); its hit
+            // is a proof, so the full check is skipped entirely.
+            let verdict = DonorVerdict::SlackBlocked;
+            ws.donor_cache[area as usize] = DonorEntry {
+                region: from,
+                version,
+                verdict,
+            };
+            verdict
+        } else {
+            // The maintenance invariant guarantees a fresh articulation
+            // cache for every donor-unblocked region with ≥ 2 members; a
+            // lookup is a cache hit by construction.
+            let arts_from = arts[from as usize]
+                .as_deref()
+                .expect("eager articulation cache for unblocked donor");
+            ws.counters.inc(CounterKind::ArticulationQueries);
+            ws.counters.inc(CounterKind::ArticulationCacheHits);
+            let ok = arts_from.binary_search(&area).is_err()
+                && donor_keeps_constraints(engine, partition, area, from, &mut ws.counters);
+            let verdict = if ok {
+                DonorVerdict::Admissible
+            } else {
+                DonorVerdict::Rejected
+            };
+            ws.donor_cache[area as usize] = DonorEntry {
+                region: from,
+                version,
+                verdict,
+            };
+            verdict
+        };
+        match verdict {
+            DonorVerdict::SlackBlocked => {
+                ws.counters.inc(CounterKind::TabuSlackPruneSkips);
+                continue;
+            }
+            DonorVerdict::Rejected => {
+                ws.counters.inc(CounterKind::TabuRejectedInfeasible);
+                continue;
+            }
+            DonorVerdict::Admissible => {}
+        }
+        let neighbors = graph.neighbors(area);
+        walked += neighbors.len() as u64;
+        ws.dests.clear();
+        ws.dests.extend(
+            neighbors
+                .iter()
+                .filter_map(|&nb| partition.region_of(nb))
+                .filter(|&r| r != from),
+        );
+        ws.dests.sort_unstable();
+        ws.dests.dedup();
+        for &to in &ws.dests {
+            ws.counters.inc(CounterKind::TabuMovesEvaluated);
+            let delta = partition.move_objective_delta(engine, area, from, to);
+            if !beats(delta, area, to, &best) {
+                continue; // cannot beat the shard incumbent; skip checks
+            }
+            let aspires = current_h + delta < best_h - 1e-9;
+            if tabu.is_tabu(area, to, moves_done) && !aspires {
+                ws.counters.inc(CounterKind::TabuRejectedTabu);
+                continue;
+            }
+            if slack[to as usize].receiver_blocked {
+                ws.counters.inc(CounterKind::TabuSlackPruneSkips);
+                continue;
+            }
+            if !receiver_keeps_constraints(engine, partition, area, to, &mut ws.counters) {
+                ws.counters.inc(CounterKind::TabuRejectedInfeasible);
+                continue;
+            }
+            best = Some(Move {
+                area,
+                from,
+                to,
+                delta,
+            });
+        }
+    }
+    ws.counters.add(CounterKind::NeighborEntriesWalked, walked);
+    best
+}
+
+/// Eagerly (re)computes region `id`'s slack verdict and articulation cache
+/// so workers can read both without synchronization. The articulation
+/// points are computed only when a worker could need them (donor-unblocked,
+/// ≥ 2 members); otherwise the entry is parked as `None`.
+#[allow(clippy::too_many_arguments)]
+fn refresh_region(
+    engine: &ConstraintEngine<'_>,
+    partition: &Partition,
+    id: RegionId,
+    arts: &mut [Option<Vec<u32>>],
+    slack: &mut [SlackVerdict],
+    spare: &mut Vec<Vec<u32>>,
+    scratch: &mut ArticulationScratch,
+    counters: &mut Counters,
+) {
+    let region = partition.region(id);
+    let verdict = SlackVerdict::compute(engine, &region.agg, &region.members);
+    slack[id as usize] = verdict;
+    let slot = &mut arts[id as usize];
+    if let Some(buf) = slot.take() {
+        spare.push(buf);
+        counters.inc(CounterKind::ArticulationCacheInvalidations);
+    }
+    if !verdict.donor_blocked && region.members.len() > 1 {
+        counters.inc(CounterKind::ArticulationQueries);
+        counters.inc(CounterKind::ArticulationCacheMisses);
+        let mut buf = spare.pop().unwrap_or_default();
+        articulation_points_into(
+            engine.instance().graph(),
+            &region.members,
+            scratch,
+            &mut buf,
+        );
+        *slot = Some(buf);
+    }
+}
+
+/// [`crate::tabu::tabu_search_budgeted`] on the sharded worker pool.
+/// Selects the identical move sequence (and therefore identical `p`, `H`,
+/// trajectory, and resume state) as the serial incremental path; only
+/// scan-order-dependent telemetry (evaluation/rejection counters) may
+/// differ. The budget is polled once per iteration at the loop top, exactly
+/// like the serial loop, so checkpoint/resume round-trips stay equivalent.
+pub(crate) fn tabu_search_parallel(
+    engine: &ConstraintEngine<'_>,
+    partition: &mut Partition,
+    config: &TabuConfig,
+    budget: &SolveBudget,
+    resume: Option<TabuResume>,
+    rec: &mut Recorder,
+) -> TabuOutcome {
+    debug_assert!(config.jobs > 1 && config.incremental);
+    let jobs = config.jobs;
+    let n = partition.len();
+    let fresh_start = resume.is_none();
+    let TabuResume {
+        iterations,
+        moves,
+        mut no_improve,
+        initial,
+        mut current_h,
+        mut best_h,
+        mut best_assignment,
+        mut tabu,
+    } = resume.unwrap_or_else(|| TabuResume::fresh(engine, partition, config));
+    let mut stats = TabuStats {
+        iterations,
+        moves,
+        initial,
+        best: best_h,
+    };
+    if fresh_start {
+        rec.trajectory_point(0, initial);
+    }
+
+    // Shared caches, owned by the main thread, read by workers via views.
+    let slots = partition.region_slots();
+    let mut boundary = BoundarySet::new(n);
+    for area in 0..n as u32 {
+        if is_boundary(engine, partition, area) {
+            boundary.insert(area);
+        }
+    }
+    rec.counters().record_max(
+        CounterKind::BoundaryAreasPeak,
+        boundary.as_slice().len() as u64,
+    );
+    let mut arts: Vec<Option<Vec<u32>>> = (0..slots).map(|_| None).collect();
+    let mut slack: Vec<SlackVerdict> = vec![SlackVerdict::default(); slots];
+    let mut versions: Vec<u64> = vec![0; slots];
+    let mut spare: Vec<Vec<u32>> = Vec::new();
+    let mut scratch = ArticulationScratch::default();
+    let mut main_ws = EvalScratch::new(n);
+    for id in partition.region_ids() {
+        refresh_region(
+            engine,
+            partition,
+            id,
+            &mut arts,
+            &mut slack,
+            &mut spare,
+            &mut scratch,
+            &mut main_ws.counters,
+        );
+    }
+
+    enum LoopEnd {
+        Converged,
+        Interrupted(StopReason),
+    }
+
+    let outcome = crossbeam::thread::scope(|scope| {
+        let (res_tx, res_rx) = mpsc::channel::<Option<Move>>();
+        let mut task_txs: Vec<mpsc::Sender<Task>> = Vec::with_capacity(jobs - 1);
+        let mut handles = Vec::with_capacity(jobs - 1);
+        for _ in 1..jobs {
+            let (tx, rx) = mpsc::channel::<Task>();
+            task_txs.push(tx);
+            let res_tx = res_tx.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut ws = EvalScratch::new(n);
+                while let Ok(task) = rx.recv() {
+                    // SAFETY: the main thread sent this task and will not
+                    // mutate the viewed state until it has received one
+                    // result per dispatched task (rendezvous protocol).
+                    let view = task.view;
+                    let winner = unsafe {
+                        let boundary: &[u32] = &*view.boundary;
+                        eval_shard(
+                            engine,
+                            &*view.partition,
+                            &*view.tabu,
+                            &boundary[task.lo..task.hi],
+                            &*view.arts,
+                            &*view.slack,
+                            &*view.versions,
+                            task.moves_done,
+                            task.current_h,
+                            task.best_h,
+                            &mut ws,
+                        )
+                    };
+                    if res_tx.send(winner).is_err() {
+                        break;
+                    }
+                }
+                ws.counters
+            }));
+        }
+
+        let end = loop {
+            if !(no_improve < config.max_no_improve && stats.iterations < config.max_iterations) {
+                break LoopEnd::Converged;
+            }
+            rec.counters().inc(CounterKind::CancelPolls);
+            if let Some(reason) = budget.poll() {
+                if reason == StopReason::DeadlineExceeded {
+                    rec.counters().inc(CounterKind::DeadlineExceeded);
+                }
+                debug_check_drift(engine, partition, current_h);
+                break LoopEnd::Interrupted(reason);
+            }
+            stats.iterations += 1;
+            rec.hists()
+                .record(HistKind::TabuBoundary, boundary.as_slice().len() as u64);
+            rec.counters().inc(CounterKind::TabuParallelIterations);
+            let len = boundary.as_slice().len();
+            let view = SharedView {
+                partition: &*partition,
+                tabu: &tabu,
+                boundary: boundary.as_slice(),
+                arts: arts.as_slice(),
+                slack: slack.as_slice(),
+                versions: versions.as_slice(),
+            };
+            for (w, tx) in task_txs.iter().enumerate() {
+                let (lo, hi) = shard_bounds(len, jobs, w + 1);
+                tx.send(Task {
+                    view,
+                    lo,
+                    hi,
+                    moves_done: stats.moves,
+                    current_h,
+                    best_h,
+                })
+                .expect("eval worker alive");
+            }
+            let (lo0, hi0) = shard_bounds(len, jobs, 0);
+            let mut best_mv = eval_shard(
+                engine,
+                partition,
+                &tabu,
+                &boundary.as_slice()[lo0..hi0],
+                &arts,
+                &slack,
+                &versions,
+                stats.moves,
+                current_h,
+                best_h,
+                &mut main_ws,
+            );
+            // Rendezvous: collect every dispatched result before touching
+            // any shared state. The reduction order is irrelevant — the
+            // order is strict, so the minimum is unique.
+            for _ in 0..task_txs.len() {
+                let winner = res_rx.recv().expect("eval worker result");
+                if let Some(mv) = winner {
+                    if beats(mv.delta, mv.area, mv.to, &best_mv) {
+                        best_mv = Some(mv);
+                    }
+                }
+            }
+            let Some(mv) = best_mv else {
+                break LoopEnd::Converged; // no admissible move at all
+            };
+            partition.move_area(engine, mv.area, mv.to);
+            if is_boundary(engine, partition, mv.area) {
+                boundary.insert(mv.area);
+            } else {
+                boundary.remove(mv.area);
+            }
+            for &nb in engine.instance().graph().neighbors(mv.area) {
+                if is_boundary(engine, partition, nb) {
+                    boundary.insert(nb);
+                } else {
+                    boundary.remove(nb);
+                }
+            }
+            rec.counters().record_max(
+                CounterKind::BoundaryAreasPeak,
+                boundary.as_slice().len() as u64,
+            );
+            versions[mv.from as usize] += 1;
+            versions[mv.to as usize] += 1;
+            for id in [mv.from, mv.to] {
+                refresh_region(
+                    engine,
+                    partition,
+                    id,
+                    &mut arts,
+                    &mut slack,
+                    &mut spare,
+                    &mut scratch,
+                    &mut main_ws.counters,
+                );
+            }
+            stats.moves += 1;
+            rec.counters().inc(CounterKind::TabuMovesApplied);
+            rec.hists().record(
+                HistKind::TabuMoveDelta,
+                (mv.delta.abs() * 1e6).round() as u64,
+            );
+            tabu.forbid(mv.area, mv.from, stats.moves);
+            current_h += mv.delta;
+            if stats.iterations.is_multiple_of(RESYNC_INTERVAL) {
+                rec.span_begin("resync", Some((stats.iterations / RESYNC_INTERVAL) as u64));
+                rec.counters().inc(CounterKind::ObjectiveResyncs);
+                debug_check_drift(engine, partition, current_h);
+                current_h = partition.heterogeneity_with(engine);
+                rec.span_end();
+            }
+            rec.trajectory_point(stats.moves as u64, current_h);
+            if current_h < best_h - 1e-9 {
+                best_h = current_h;
+                best_assignment.copy_from_slice(partition.assignment());
+                no_improve = 0;
+            } else {
+                no_improve += 1;
+            }
+        };
+
+        // Tear the pool down before anything else mutates the partition:
+        // closing the task channels ends the worker loops, and the joins
+        // hand back the per-worker counters.
+        drop(task_txs);
+        for h in handles {
+            let counters = h.join().expect("eval worker panicked");
+            rec.merge_counters(&counters);
+        }
+        end
+    })
+    .expect("tabu eval pool");
+
+    rec.merge_counters(&main_ws.counters);
+    rec.counters()
+        .add(CounterKind::ScratchEpochRollovers, scratch.rollovers());
+
+    match outcome {
+        LoopEnd::Interrupted(reason) => {
+            stats.best = best_h;
+            TabuOutcome::Interrupted {
+                stats,
+                reason,
+                state: TabuResume {
+                    iterations: stats.iterations,
+                    moves: stats.moves,
+                    no_improve,
+                    initial,
+                    current_h,
+                    best_h,
+                    best_assignment,
+                    tabu,
+                },
+            }
+        }
+        LoopEnd::Converged => {
+            debug_check_drift(engine, partition, current_h);
+            if (partition.heterogeneity_with(engine) - best_h).abs() > 1e-9 {
+                *partition = Partition::from_assignment(engine, &best_assignment);
+            }
+            stats.best = best_h;
+            TabuOutcome::Converged(stats)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeTable;
+    use crate::constraint::{Constraint, ConstraintSet};
+    use crate::instance::EmpInstance;
+    use crate::tabu::{tabu_search, TabuConfig};
+    use emp_graph::ContiguityGraph;
+
+    fn lattice_instance(w: usize, h: usize) -> EmpInstance {
+        let n = w * h;
+        let graph = ContiguityGraph::lattice(w, h);
+        let mut attrs = AttributeTable::new(n);
+        attrs.push_column("POP", vec![1.0; n]).unwrap();
+        attrs
+            .push_column("D", (0..n).map(|i| ((i * 7) % 5) as f64).collect())
+            .unwrap();
+        EmpInstance::new(graph, attrs, "D").unwrap()
+    }
+
+    fn quadrant_partition(engine: &ConstraintEngine<'_>, w: usize, h: usize) -> Partition {
+        let mut part = Partition::new(w * h);
+        let (hw, hh) = (w / 2, h / 2);
+        for (qx, qy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+            let members: Vec<u32> = (0..w * h)
+                .filter(|&i| {
+                    let (x, y) = (i % w, i / w);
+                    (x < hw) == (qx == 0) && (y < hh) == (qy == 0)
+                })
+                .map(|i| i as u32)
+                .collect();
+            part.create_region(engine, &members);
+        }
+        part
+    }
+
+    #[test]
+    fn parallel_matches_serial_moves_and_objective() {
+        let inst = lattice_instance(8, 8);
+        let set = ConstraintSet::new().with(Constraint::count(4.0, 40.0).unwrap());
+        let eng = ConstraintEngine::compile(&inst, &set).unwrap();
+        let serial_cfg = TabuConfig::for_instance(64);
+        let mut serial = quadrant_partition(&eng, 8, 8);
+        let serial_stats = tabu_search(&eng, &mut serial, &serial_cfg);
+        for jobs in [2, 3, 8] {
+            let cfg = TabuConfig { jobs, ..serial_cfg };
+            let mut par = quadrant_partition(&eng, 8, 8);
+            let stats = tabu_search(&eng, &mut par, &cfg);
+            assert_eq!(stats.moves, serial_stats.moves, "jobs={jobs}");
+            assert_eq!(
+                stats.best.to_bits(),
+                serial_stats.best.to_bits(),
+                "jobs={jobs}"
+            );
+            assert_eq!(par.assignment(), serial.assignment(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn shard_bounds_cover_and_partition() {
+        for len in [0usize, 1, 7, 64, 1001] {
+            for jobs in [2usize, 3, 8] {
+                let mut covered = 0;
+                for w in 0..jobs {
+                    let (lo, hi) = shard_bounds(len, jobs, w);
+                    assert!(lo <= hi && hi <= len);
+                    covered += hi - lo;
+                    if w > 0 {
+                        assert_eq!(shard_bounds(len, jobs, w - 1).1, lo);
+                    }
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+}

@@ -1,10 +1,13 @@
 //! CI-enforced form of the "allocation-free tabu hot path" claim: with the
-//! counting allocator installed, a warmed-up search loop must drive the
-//! process-global allocation counters by exactly zero.
+//! counting allocator installed, a warmed-up search loop must drive this
+//! thread's allocation counters by exactly zero.
 //!
-//! This file must contain exactly ONE `#[test]`: the counters are
-//! process-wide and Rust runs a binary's tests concurrently, so any sibling
-//! test's allocations would pollute the measurement window.
+//! The assertion reads [`thread_snapshot`], not the process-global
+//! [`snapshot`]: the libtest harness's own threads (the parked main
+//! thread, output capture) allocate at unpredictable times, which made a
+//! process-global zero assertion flaky on slow single-CPU hosts. This file
+//! must still contain exactly ONE `#[test]` so no sibling test can
+//! interleave work onto the measuring thread.
 //!
 //! Run with `cargo test -p emp-core --features alloc-track`.
 
@@ -16,7 +19,7 @@ use emp_core::partition::Partition;
 use emp_core::tabu::{NeighborhoodState, TabuTable};
 use emp_core::{AttributeTable, EmpInstance};
 use emp_graph::ContiguityGraph;
-use emp_obs::alloc::{snapshot, CountingAlloc};
+use emp_obs::alloc::{thread_snapshot, CountingAlloc};
 use emp_obs::Recorder;
 
 #[global_allocator]
@@ -73,7 +76,7 @@ fn tabu_loop_is_allocation_free_after_warmup() {
             // Warmup done: scratch epochs, articulation caches, boundary
             // set, and region member vectors have reached their working
             // capacities. Everything past this point must be free.
-            window_start = Some(snapshot());
+            window_start = Some(thread_snapshot());
         }
         rec.hists().record(
             emp_obs::HistKind::TabuBoundary,
@@ -101,7 +104,7 @@ fn tabu_loop_is_allocation_free_after_warmup() {
         start.allocs > 0 && start.bytes > 0,
         "counting allocator not active; the zero-delta below would be vacuous"
     );
-    let delta = snapshot().delta_since(&start);
+    let delta = thread_snapshot().delta_since(&start);
     assert_eq!(
         (delta.allocs, delta.bytes),
         (0, 0),

@@ -88,6 +88,7 @@ proptest! {
             max_no_improve: w * h,
             max_iterations: 150,
             incremental,
+            jobs: 1,
         };
         let mut fast = base.clone();
         let mut slow = base;

@@ -1,0 +1,272 @@
+//! Parallel tabu suite: the sharded move evaluator (`TabuConfig::jobs > 1`)
+//! is a *pure throughput lever* — for any worker count it must replay the
+//! serial search byte-for-byte (same moves, same `p`, same heterogeneity
+//! bits), and the constraint-slack pruning it shares with the serial path
+//! must never change a decision (DESIGN.md §12).
+//!
+//! Instances come from the oracle generator, so the suite sweeps every
+//! graph shape (lattice, tree, ring-with-chords, cluster, multi-component)
+//! and every MIN/MAX/AVG/SUM/COUNT constraint combination the fuzzer knows
+//! about — not just the hand-built lattices of `tabu_incremental.rs`.
+
+use emp_core::engine::ConstraintEngine;
+use emp_core::partition::Partition;
+use emp_core::tabu::{tabu_search, TabuConfig};
+use emp_core::{
+    resume_observed, solve_budgeted_observed, Checkpoint, EmpError, FactConfig, SolveBudget,
+    SolveOutcome, StopReason,
+};
+use emp_obs::{CounterKind, InMemorySink, Recorder};
+use emp_oracle::generate_case;
+use proptest::prelude::*;
+
+/// The oracle case's config, forced onto the local-search path under test:
+/// incremental neighborhood (the only path the sharded evaluator serves)
+/// with local search always on.
+fn tabu_fact(seed: u64, jobs: usize) -> FactConfig {
+    let case = generate_case(seed);
+    FactConfig {
+        local_search: true,
+        incremental_tabu: true,
+        jobs,
+        ..case.fact
+    }
+}
+
+/// One observed budgeted solve: the outcome, its trajectory as bit-exact
+/// `(iteration, heterogeneity bits)` pairs (pinning the full move
+/// sequence), and the counter snapshot.
+#[allow(clippy::type_complexity)]
+fn run(
+    seed: u64,
+    fact: &FactConfig,
+    budget: &SolveBudget,
+) -> (
+    Result<SolveOutcome, EmpError>,
+    Vec<(u64, u64)>,
+    emp_obs::Counters,
+) {
+    let case = generate_case(seed);
+    let instance = case.instance().expect("oracle case compiles");
+    let sink = InMemorySink::new();
+    let handle = sink.handle();
+    let mut rec = Recorder::with_sink(Box::new(sink));
+    let outcome = solve_budgeted_observed(&instance, &case.constraints, fact, budget, &mut rec);
+    let counters = rec.counters_snapshot();
+    rec.finish();
+    let trajectory = handle
+        .lock()
+        .unwrap()
+        .trajectory
+        .iter()
+        .map(|&(i, h)| (i, h.to_bits()))
+        .collect();
+    (outcome, trajectory, counters)
+}
+
+/// Byte-identity of everything the determinism contract pins.
+fn assert_identical(label: &str, a: &SolveOutcome, b: &SolveOutcome) {
+    assert_eq!(
+        a.report.solution.assignment, b.report.solution.assignment,
+        "{label}: assignment diverged"
+    );
+    assert_eq!(
+        a.report.solution.regions, b.report.solution.regions,
+        "{label}: regions diverged"
+    );
+    assert_eq!(a.report.p(), b.report.p(), "{label}: p diverged");
+    assert_eq!(
+        a.report.solution.heterogeneity.to_bits(),
+        b.report.solution.heterogeneity.to_bits(),
+        "{label}: heterogeneity bits diverged"
+    );
+    assert_eq!(
+        (a.report.tabu.iterations, a.report.tabu.moves),
+        (b.report.tabu.iterations, b.report.tabu.moves),
+        "{label}: iteration/move counts diverged"
+    );
+    assert_eq!(
+        a.report.tabu.best.to_bits(),
+        b.report.tabu.best.to_bits(),
+        "{label}: tabu best bits diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Tentpole contract: for jobs ∈ {2, 3, 8}, the sharded evaluator's
+    /// applied-move sequence (pinned by the bit-exact trajectory), final
+    /// assignment, `p`, and `H` equal the serial run's exactly.
+    #[test]
+    fn parallel_solve_identical_to_serial(seed in 0u64..300, jobs_idx in 0usize..3) {
+        let jobs = [2usize, 3, 8][jobs_idx];
+        let unlimited = SolveBudget::unlimited();
+        let (serial, serial_traj, _) = run(seed, &tabu_fact(seed, 1), &unlimited);
+        let (parallel, parallel_traj, counters) = run(seed, &tabu_fact(seed, jobs), &unlimited);
+        match (serial, parallel) {
+            (Ok(s), Ok(p)) => {
+                assert_identical(&format!("seed {seed} jobs {jobs}"), &s, &p);
+                prop_assert_eq!(
+                    serial_traj, parallel_traj,
+                    "seed {} jobs {}: move sequence diverged", seed, jobs
+                );
+                // The parallel path really ran whenever the search iterated.
+                if p.report.tabu.iterations > 0 {
+                    prop_assert!(counters.get(CounterKind::TabuParallelIterations) > 0);
+                    prop_assert!(counters.get(CounterKind::TabuShardsEvaluated) > 0);
+                }
+            }
+            (Err(EmpError::Infeasible { .. }), Err(EmpError::Infeasible { .. })) => {}
+            (s, p) => panic!("seed {seed} jobs {jobs}: outcomes diverged: {s:?} vs {p:?}"),
+        }
+    }
+
+    /// Prune-soundness differential: the incremental neighborhood (which
+    /// slack-prunes donors and receivers) and the full-scan reference
+    /// (which checks every candidate the slow way, no pruning) trace
+    /// identical searches from the same constructed partition — so a prune
+    /// can never have skipped a move the reference would have taken. The
+    /// sharded evaluator at jobs = 3 must agree with both.
+    #[test]
+    fn pruned_search_matches_unpruned_reference(seed in 0u64..250) {
+        let case = generate_case(seed);
+        let instance = case.instance().expect("oracle case compiles");
+        let construct_only = FactConfig {
+            local_search: false,
+            ..case.fact.clone()
+        };
+        let report = match emp_core::solve(&instance, &case.constraints, &construct_only) {
+            Ok(report) => report,
+            Err(EmpError::Infeasible { .. }) => return Ok(()),
+            Err(e) => panic!("seed {seed}: {e}"),
+        };
+        let engine = ConstraintEngine::compile(&instance, &case.constraints).expect("engine");
+        let mut base = Partition::new(instance.len());
+        for members in &report.solution.regions {
+            base.create_region(&engine, members);
+        }
+        let config = |incremental: bool, jobs: usize| TabuConfig {
+            incremental,
+            jobs,
+            max_iterations: 200,
+            ..TabuConfig::for_instance(instance.len())
+        };
+
+        let mut pruned = base.clone();
+        let mut reference = base.clone();
+        let mut sharded = base;
+        let fast = tabu_search(&engine, &mut pruned, &config(true, 1));
+        let slow = tabu_search(&engine, &mut reference, &config(false, 1));
+        let par = tabu_search(&engine, &mut sharded, &config(true, 3));
+        prop_assert_eq!(
+            (fast.iterations, fast.moves, fast.best.to_bits()),
+            (slow.iterations, slow.moves, slow.best.to_bits()),
+            "seed {}: slack pruning changed the search", seed
+        );
+        prop_assert_eq!(pruned.assignment(), reference.assignment());
+        prop_assert_eq!(
+            (par.iterations, par.moves, par.best.to_bits()),
+            (fast.iterations, fast.moves, fast.best.to_bits()),
+            "seed {}: sharded evaluator diverged", seed
+        );
+        prop_assert_eq!(sharded.assignment(), pruned.assignment());
+    }
+
+    /// Resume equivalence with a parallel worker pool: cutting a jobs = 3
+    /// solve at an arbitrary poll and resuming (still at jobs = 3) lands on
+    /// the uninterrupted *serial* result, trajectories stitched exactly —
+    /// budget polling stays at iteration granularity regardless of jobs.
+    #[test]
+    fn parallel_resume_matches_uninterrupted(seed in 0u64..120, cut in 0u64..300) {
+        let fact = tabu_fact(seed, 3);
+        let case = generate_case(seed);
+        let instance = case.instance().expect("oracle case compiles");
+        let (full, full_traj, _) = run(seed, &tabu_fact(seed, 1), &SolveBudget::unlimited());
+        let full = match full {
+            Ok(outcome) => outcome,
+            Err(EmpError::Infeasible { .. }) => return Ok(()),
+            Err(e) => panic!("seed {seed}: {e}"),
+        };
+        let (interrupted, cut_traj, _) = run(seed, &fact, &SolveBudget::poll_limit(cut));
+        let mut interrupted = interrupted.expect("feasible case stays feasible under a budget");
+        if interrupted.stop_reason == StopReason::Completed {
+            assert_identical(&format!("seed {seed} (uncut, jobs 3)"), &full, &interrupted);
+            return Ok(());
+        }
+        let checkpoint = interrupted
+            .checkpoint
+            .take()
+            .expect("interrupted solve carries a checkpoint");
+        let reparsed = Checkpoint::from_text(&checkpoint.to_text())
+            .unwrap_or_else(|e| panic!("seed {seed} cut {cut}: checkpoint reparse failed: {e}"));
+
+        let sink = InMemorySink::new();
+        let handle = sink.handle();
+        let mut rec = Recorder::with_sink(Box::new(sink));
+        let resumed = resume_observed(
+            &instance,
+            &case.constraints,
+            &fact,
+            &SolveBudget::unlimited(),
+            &reparsed,
+            &mut rec,
+        )
+        .expect("resume of a feasible case succeeds");
+        rec.finish();
+        let resume_traj: Vec<(u64, u64)> = handle
+            .lock()
+            .unwrap()
+            .trajectory
+            .iter()
+            .map(|&(i, h)| (i, h.to_bits()))
+            .collect();
+        assert_identical(&format!("seed {seed} cut {cut} (jobs 3)"), &full, &resumed);
+        let mut stitched = cut_traj;
+        stitched.extend(resume_traj);
+        prop_assert_eq!(
+            stitched, full_traj,
+            "seed {} cut {}: stitched trajectory diverged", seed, cut
+        );
+    }
+}
+
+/// Accounting: across a spread of oracle seeds, the serial path actually
+/// exercises the slack pruner (the counter is live, not dead weight) while
+/// never touching the sharded evaluator; a jobs = 4 run does the opposite
+/// on the shard counters and must end on identical prune *opportunities*
+/// only where the serial scan order visits them — so only the serial-path
+/// invariant (`shards == 0`) is asserted per run, totals in aggregate.
+#[test]
+fn counters_account_for_serial_and_parallel_paths() {
+    let mut serial_prunes = 0u64;
+    let mut parallel_shards = 0u64;
+    for seed in 0..60u64 {
+        let (serial, _, counters) = run(seed, &tabu_fact(seed, 1), &SolveBudget::unlimited());
+        if serial.is_err() {
+            continue;
+        }
+        assert_eq!(
+            counters.get(CounterKind::TabuShardsEvaluated),
+            0,
+            "seed {seed}: serial run must never shard"
+        );
+        assert_eq!(
+            counters.get(CounterKind::TabuParallelIterations),
+            0,
+            "seed {seed}: serial run must stay on the serial path"
+        );
+        serial_prunes += counters.get(CounterKind::TabuSlackPruneSkips);
+
+        let (_, _, par_counters) = run(seed, &tabu_fact(seed, 4), &SolveBudget::unlimited());
+        parallel_shards += par_counters.get(CounterKind::TabuShardsEvaluated);
+    }
+    assert!(
+        serial_prunes > 0,
+        "slack pruning never fired across 60 oracle seeds"
+    );
+    assert!(
+        parallel_shards > 0,
+        "sharded evaluator never ran across 60 oracle seeds"
+    );
+}

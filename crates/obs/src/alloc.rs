@@ -5,11 +5,13 @@
 //! The module only exists under the `alloc-track` feature. It provides
 //! [`CountingAlloc`], a zero-overhead-when-unused wrapper around the
 //! system allocator that counts allocation *calls* and requested *bytes*
-//! in process-global relaxed atomics. The counters are process-wide, so a
-//! meaningful zero-allocation assertion needs a quiet process: put the
-//! test in its own integration-test binary with exactly **one** `#[test]`
-//! function (Rust runs tests in one process, concurrently, and any other
-//! test's allocations would pollute the window).
+//! in process-global relaxed atomics, mirrored into per-thread counters.
+//! The process-global counters ([`snapshot`]) are polluted by whatever any
+//! other thread does — including the libtest harness's own bookkeeping —
+//! so zero-allocation assertions must use the calling thread's view
+//! ([`thread_snapshot`]) and still live in an integration-test binary with
+//! exactly **one** `#[test]` function (a sibling test sharing the thread
+//! pool could otherwise interleave on the measuring thread).
 //!
 //! Install it in the test binary:
 //!
@@ -29,10 +31,29 @@
 //! feature those fields are always 0.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // Const-initialized, no-Drop cells: access compiles to a TLS offset
+    // load with no lazy registration, so reading/updating them inside the
+    // allocator cannot itself allocate or recurse.
+    static THREAD_ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn count(bytes: u64) {
+    ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    // `try_with` so a stray allocation during thread teardown (after TLS
+    // destruction) degrades to "not counted" instead of aborting.
+    let _ = THREAD_ALLOC_CALLS.try_with(|c| c.set(c.get() + 1));
+    let _ = THREAD_ALLOC_BYTES.try_with(|c| c.set(c.get() + bytes));
+}
 
 /// A [`GlobalAlloc`] that counts allocation calls and requested bytes
 /// (relaxed atomics, ~1ns per allocation) and forwards to [`System`].
@@ -46,14 +67,12 @@ pub struct CountingAlloc;
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        count(layout.size() as u64);
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        count(layout.size() as u64);
         System.alloc_zeroed(layout)
     }
 
@@ -62,8 +81,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        count(new_size as u64);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -93,6 +111,18 @@ pub fn snapshot() -> AllocSnapshot {
     AllocSnapshot {
         allocs: ALLOC_CALLS.load(Ordering::Relaxed),
         bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Reads the calling thread's allocation counters. Use this (not
+/// [`snapshot`]) for zero-allocation assertions: the test harness's own
+/// threads (output capture, the parked main thread) allocate at
+/// unpredictable times, and those hits land in the process-global counters
+/// but never in another thread's local ones.
+pub fn thread_snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: THREAD_ALLOC_CALLS.with(Cell::get),
+        bytes: THREAD_ALLOC_BYTES.with(Cell::get),
     }
 }
 

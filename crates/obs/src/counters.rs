@@ -65,10 +65,19 @@ pub enum CounterKind {
     /// Size in bytes of the largest checkpoint serialized by an interrupted
     /// solve (gauge).
     CheckpointBytes,
+    /// Donor areas / receiver candidates skipped outright because a
+    /// region- or area-level constraint-slack proof ruled the move
+    /// infeasible.
+    TabuSlackPruneSkips,
+    /// Boundary shards evaluated by the parallel tabu search (main thread
+    /// and workers combined).
+    TabuShardsEvaluated,
+    /// Tabu iterations whose move selection ran on the sharded worker pool.
+    TabuParallelIterations,
 }
 
 /// Number of counter kinds (the length of [`Counters`]' backing array).
-pub const COUNTER_KINDS: usize = 25;
+pub const COUNTER_KINDS: usize = 28;
 
 impl CounterKind {
     /// All kinds, in discriminant order.
@@ -98,6 +107,9 @@ impl CounterKind {
         CounterKind::CancelPolls,
         CounterKind::DeadlineExceeded,
         CounterKind::CheckpointBytes,
+        CounterKind::TabuSlackPruneSkips,
+        CounterKind::TabuShardsEvaluated,
+        CounterKind::TabuParallelIterations,
     ];
 
     /// Stable snake_case name used in JSONL traces and tables.
@@ -128,6 +140,9 @@ impl CounterKind {
             CounterKind::CancelPolls => "cancel_polls",
             CounterKind::DeadlineExceeded => "deadline_exceeded",
             CounterKind::CheckpointBytes => "checkpoint_bytes",
+            CounterKind::TabuSlackPruneSkips => "tabu_slack_prune_skips",
+            CounterKind::TabuShardsEvaluated => "tabu_shards_evaluated",
+            CounterKind::TabuParallelIterations => "tabu_parallel_iterations",
         }
     }
 

@@ -4,7 +4,7 @@
 
 use crate::counters::Counters;
 use crate::hist::Histograms;
-use crate::sink::{EventSink, NoopSink, SpanInfo};
+use crate::sink::{Event, EventSink, NoopSink, SpanInfo};
 use std::time::Instant;
 
 #[cfg(feature = "alloc-track")]
@@ -239,6 +239,47 @@ impl Recorder {
                 allocs: 0,
                 alloc_bytes: 0,
             });
+        }
+    }
+
+    /// Replays events a worker buffered into a
+    /// [`BufferSink`](crate::BufferSink) into this recorder's sink,
+    /// re-parenting them under the currently open spans: every replayed
+    /// span's recorded depth is shifted by the current stack depth. A
+    /// worker that opens its own root span (say `construct_iter`) with
+    /// nested children therefore produces exactly the event stream the
+    /// serial path would have emitted in place.
+    ///
+    /// Only the *event stream* is forwarded — the worker's counters and
+    /// histograms must be folded in separately via
+    /// [`Recorder::merge_counters`] / [`Recorder::merge_hists`], which this
+    /// method deliberately does not touch. `Hist` and `TraceEnd` events are
+    /// skipped for the same reason: the enclosing recorder emits its own at
+    /// [`Recorder::finish`], and a mid-trace `trace_end` would mark the
+    /// trace complete prematurely.
+    pub fn replay_buffered(&mut self, events: &[Event]) {
+        if !self.enabled {
+            return;
+        }
+        let base = self.stack.len();
+        for event in events {
+            match event {
+                Event::Span(s) => self.sink.span_close(&SpanInfo {
+                    name: &s.name,
+                    index: s.index,
+                    depth: s.depth + base,
+                    wall_s: s.wall_s,
+                    counters: &s.counters,
+                    allocs: s.allocs,
+                    alloc_bytes: s.alloc_bytes,
+                }),
+                Event::Trajectory {
+                    iteration,
+                    heterogeneity,
+                } => self.sink.trajectory_point(*iteration, *heterogeneity),
+                Event::Note { key, value } => self.sink.note(key, *value),
+                Event::Hist(_) | Event::TraceEnd => {}
+            }
         }
     }
 

@@ -78,7 +78,7 @@ pub fn differential_check(case: &OracleCase, exact_nodes: u64) -> DiffOutcome {
     };
 
     // FaCT under test.
-    match solve(&instance, &case.constraints, &case.fact) {
+    match solve(&instance, &case.constraints, &case.solve_config()) {
         Ok(report) => {
             if let Err(problems) = validate_solution(&instance, &case.constraints, &report.solution)
             {

@@ -84,6 +84,25 @@ pub struct OracleCase {
 }
 
 impl OracleCase {
+    /// The [`FactConfig`] to actually solve with: the case's persisted
+    /// config, with the tabu worker count overridden by `EMP_JOBS` when it
+    /// is set to a positive integer. The sharded evaluator is move-for-move
+    /// identical to the serial path (`DESIGN.md` §12), so the override
+    /// cannot change any oracle verdict — running the whole fuzz sweep
+    /// under `EMP_JOBS=2` and diffing against a serial run is itself a
+    /// determinism check (CI does exactly that).
+    pub fn solve_config(&self) -> FactConfig {
+        let mut fact = self.fact.clone();
+        if let Some(jobs) = std::env::var("EMP_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&j| j >= 1)
+        {
+            fact.jobs = jobs;
+        }
+        fact
+    }
+
     /// Builds the contiguity graph.
     pub fn graph(&self) -> Result<ContiguityGraph, EmpError> {
         ContiguityGraph::from_edges(self.n, &self.edges).map_err(|e| EmpError::Infeasible {

@@ -152,7 +152,7 @@ fn budget_probe(case: &OracleCase) -> (Vec<Violation>, StopReason) {
         )))
         .collect();
     for (probe, budget) in &budgets {
-        match solve_budgeted(&instance, &case.constraints, &case.fact, budget) {
+        match solve_budgeted(&instance, &case.constraints, &case.solve_config(), budget) {
             Ok(outcome) => {
                 if let Err(errors) =
                     validate_solution(&instance, &case.constraints, &outcome.report.solution)

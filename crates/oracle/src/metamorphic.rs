@@ -119,7 +119,7 @@ fn check_permute(case: &OracleCase, base: Option<&Solution>) -> Vec<Violation> {
     let Some(base) = base else {
         // Hard infeasibility is a property of the multiset of attribute
         // values and the component structure; a relabeling preserves both.
-        return match solve(&instance, &case.constraints, &case.fact) {
+        return match solve(&instance, &case.constraints, &case.solve_config()) {
             Err(EmpError::Infeasible { .. }) => vec![],
             Ok(r) => vec![violation(
                 rel,
@@ -253,7 +253,10 @@ fn check_scale(case: &OracleCase, base: Option<&Solution>) -> Vec<Violation> {
     // count must be preserved. The tabu phase uses absolute 1e-9 epsilons
     // (aspiration/acceptance) that are not scale-invariant, so identical
     // region structure is asserted only when local search is off.
-    match (solve(&instance, &scaled.constraints, &case.fact), base) {
+    match (
+        solve(&instance, &scaled.constraints, &case.solve_config()),
+        base,
+    ) {
         (Ok(rescaled), Some(base)) => {
             if rescaled.p() != base.p() {
                 out.push(violation(

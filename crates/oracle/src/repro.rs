@@ -137,6 +137,7 @@ pub fn case_to_json(case: &OracleCase, violations: &[Violation], stop_reason: St
     );
     fact.insert("seed".to_string(), Value::from(f.seed.to_string()));
     fact.insert("parallel".to_string(), Value::Bool(f.parallel));
+    fact.insert("jobs".to_string(), Value::from(f.jobs));
     root.insert("fact".to_string(), Value::Object(fact));
     root.insert(
         "violations".to_string(),
@@ -267,6 +268,12 @@ pub fn case_from_json(value: &Value) -> Result<OracleCase, String> {
         incremental_tabu: as_bool(get(f, "incremental_tabu")?, "incremental_tabu")?,
         seed: as_seed(get(f, "seed")?, "fact.seed")?,
         parallel: as_bool(get(f, "parallel")?, "parallel")?,
+        // Absent in cases saved before the sharded tabu evaluator existed:
+        // those always ran the serial local search, i.e. jobs = 1.
+        jobs: match f.get("jobs") {
+            Some(v) => as_usize(v, "jobs")?,
+            None => 1,
+        },
     };
 
     Ok(OracleCase {
