@@ -29,6 +29,12 @@
 //! (tune with `--rel` / `--abs`) — and the process exits 1 on regression.
 //! `--candidate FILE` skips benching and compares two artifacts directly;
 //! `--report-out FILE` saves the verdict JSON for CI artifacts.
+//!
+//! Unbudgeted runs additionally time the serial solve with a live-metrics
+//! mirror attached (`solve_live_s`, DESIGN.md §13). The telemetry overhead
+//! (`solve_live_overhead`, budget: <= 3%) is thereby a watched regression
+//! metric, and the live run must reproduce the metrics-off move sequence,
+//! `p`, and heterogeneity exactly.
 
 use emp_bench::presets::Combo;
 use emp_bench::regress::{self, Thresholds};
@@ -38,7 +44,7 @@ use emp_core::{solve_budgeted_observed, solve_observed, FactConfig, SolveBudget,
 use emp_graph::articulation::{articulation_points_into, ArticulationScratch};
 use emp_graph::traversal::bfs_visit;
 use emp_graph::{ContiguityGraph, VisitScratch};
-use emp_obs::Recorder;
+use emp_obs::{LiveRegistry, Recorder, RingSink, DEFAULT_FLIGHT_CAPACITY};
 use std::time::Instant;
 
 const SIZES: [usize; 3] = [1000, 5000, 10_000];
@@ -121,6 +127,7 @@ fn bench_size(
     samples: usize,
     deadline_ms: Option<u64>,
     jobs: usize,
+    flight: &RingSink,
 ) -> serde_json::Value {
     let dataset = emp_data::build_sized("core-bench", areas);
     let instance = dataset.to_instance().expect("instance");
@@ -159,8 +166,11 @@ fn bench_size(
         seed: 7,
         ..FactConfig::default()
     };
-    let mut rec = Recorder::noop();
+    // The untimed reference solve streams into the flight recorder so a
+    // later panic has a real event tail to dump; timed runs stay sinkless.
+    let mut rec = Recorder::with_sink(Box::new(flight.clone()));
     let mut stop_reason = StopReason::Completed;
+    let mut solve_live_s = None;
     let (solve_s, report) = match deadline_ms {
         // Budgeted mode: where the wall clock lands is nondeterministic by
         // nature, so the determinism assertions are skipped — the artifact
@@ -191,6 +201,36 @@ fn bench_size(
                 report.solution.heterogeneity, reference.solution.heterogeneity,
                 "solve must be deterministic"
             );
+
+            // Telemetry overhead: the same serial solve with a live-metrics
+            // mirror attached — the delta is the full hot-path cost of the
+            // telemetry plane (gauge updates + batched counter/histogram
+            // flushes). The mirror must observe, never steer: moves, p, and
+            // heterogeneity stay byte-identical to the metrics-off run.
+            let registry = LiveRegistry::new();
+            let (live_s, live_report) = best_of(samples, || {
+                let mut live_rec = Recorder::noop();
+                live_rec.attach_live(registry.register(&format!("core-n{areas}")));
+                solve_observed(&instance, &set, &config, &mut live_rec).expect("solve")
+            });
+            assert_eq!(
+                live_report.p(),
+                report.p(),
+                "live telemetry must not change p"
+            );
+            assert_eq!(
+                live_report.solution.heterogeneity, report.solution.heterogeneity,
+                "live telemetry must not change heterogeneity"
+            );
+            assert_eq!(
+                live_report.counters, report.counters,
+                "live telemetry must not change the move sequence"
+            );
+            eprintln!(
+                "  solve {solve_s:.3}s, live-metrics {live_s:.3}s ({:+.2}% overhead)",
+                (live_s / solve_s.max(1e-12) - 1.0) * 100.0
+            );
+            solve_live_s = Some(live_s);
             (solve_s, report)
         }
     };
@@ -258,6 +298,14 @@ fn bench_size(
         "host_parallelism": emp_geo::par::host_parallelism(),
         "counters": counters,
     });
+    if let Some(s) = solve_live_s {
+        let obj = entry.as_object_mut().expect("size entry");
+        obj.insert("solve_live_s".into(), serde_json::json!(s));
+        obj.insert(
+            "solve_live_overhead".into(),
+            serde_json::json!(s / solve_s.max(1e-12) - 1.0),
+        );
+    }
     if let Some(s) = solve_par_s {
         let obj = entry.as_object_mut().expect("size entry");
         obj.insert("solve_par_s".into(), serde_json::json!(s));
@@ -274,7 +322,13 @@ fn bench_size(
     entry
 }
 
-const METRICS: [&str; 4] = ["graph_build_s", "bfs_sweep_s", "articulation_s", "solve_s"];
+const METRICS: [&str; 5] = [
+    "graph_build_s",
+    "bfs_sweep_s",
+    "articulation_s",
+    "solve_s",
+    "solve_live_s",
+];
 
 /// Attaches `baseline` (a prior `sizes` array) per size and computes
 /// per-metric speedups (`before / after`).
@@ -371,10 +425,24 @@ fn main() {
         .unwrap_or_else(emp_geo::par::effective_jobs)
         .max(1);
 
+    // Flight recorder + panic hook: a crash mid-bench dumps the last events
+    // of the reference solve as replayable JSONL (DESIGN.md §13).
+    let flight = RingSink::new(DEFAULT_FLIGHT_CAPACITY);
+    {
+        let flight = flight.clone();
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if std::fs::write("bench-core-flight-panic.jsonl", flight.dump_jsonl()).is_ok() {
+                eprintln!("flight recorder dumped to bench-core-flight-panic.jsonl");
+            }
+            previous(info);
+        }));
+    }
+
     let mut results = Vec::new();
     for &areas in sizes {
         eprintln!("bench_core: {areas} areas ({samples} samples, {jobs} jobs)...");
-        results.push(bench_size(areas, samples, args.deadline_ms, jobs));
+        results.push(bench_size(areas, samples, args.deadline_ms, jobs, &flight));
     }
 
     if let Some(path) = &args.save_baseline {

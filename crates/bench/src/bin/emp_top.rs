@@ -1,0 +1,124 @@
+//! `emp_top` — a `top`-style console for a running `repro --metrics-addr`.
+//!
+//! ```text
+//! emp_top [--addr HOST:PORT] [--interval-ms MS] [--once]
+//!
+//!   --addr         the `/progress` endpoint to poll (default:
+//!                  EMP_METRICS_ADDR or 127.0.0.1:9184)
+//!   --interval-ms  poll period (default: 1000)
+//!   --once         print one snapshot and exit (scripting / CI)
+//! ```
+//!
+//! Each poll prints one line per registered solve: phase, iteration,
+//! current/best heterogeneity, boundary size, and deadline headroom. The
+//! endpoint serves plain HTTP/1.1 JSON lines (DESIGN.md §13), so the whole
+//! client is a `TcpStream` and a JSON parse.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut interval_ms: u64 = 1000;
+    let mut once = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next(),
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--interval-ms needs milliseconds"));
+            }
+            "--once" => once = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let addr = addr
+        .or_else(|| std::env::var("EMP_METRICS_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:9184".to_string());
+
+    loop {
+        match fetch_progress(&addr) {
+            Ok(body) => print_snapshot(&body),
+            Err(e) => eprintln!("emp_top: {addr}: {e}"),
+        }
+        if once {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+/// One `GET /progress` over a fresh connection (the server closes after
+/// each response), returning the body.
+fn fetch_progress(addr: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET /progress HTTP/1.1\r\nHost: {addr}\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let Some((head, body)) = response
+        .split_once("\r\n\r\n")
+        .or_else(|| response.split_once("\n\n"))
+    else {
+        return Err(std::io::Error::other("malformed HTTP response"));
+    };
+    if !head.starts_with("HTTP/1.1 200") {
+        let status = head.lines().next().unwrap_or("").to_string();
+        return Err(std::io::Error::other(format!("server said '{status}'")));
+    }
+    Ok(body.to_string())
+}
+
+/// Renders one status line per solve from the `/progress` JSON lines.
+fn print_snapshot(body: &str) {
+    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        println!("(no active solves)");
+        return;
+    }
+    for line in lines {
+        let parsed: Result<serde_json::Value, _> = serde_json::from_str(line);
+        let Ok(v) = parsed else {
+            eprintln!("emp_top: skipping unparseable line: {line}");
+            continue;
+        };
+        let label = v["solve"].as_str().unwrap_or("?");
+        let phase = v["phase"].as_str().unwrap_or("?");
+        let iter = v["iteration"].as_u64().unwrap_or(0);
+        let best = v["best_h"].as_f64();
+        let current = v["current_h"].as_f64();
+        let boundary = v["boundary_areas"].as_u64().unwrap_or(0);
+        let elapsed = v["elapsed_s"].as_f64().unwrap_or(0.0);
+        let h = match (current, best) {
+            (Some(c), Some(b)) => format!("h={c:.3} best={b:.3}"),
+            _ => "h=-".to_string(),
+        };
+        let deadline = match v["deadline_remaining_s"].as_f64() {
+            Some(s) => format!(" deadline={s:.1}s"),
+            None => String::new(),
+        };
+        let done = if v["done"].as_bool() == Some(true) {
+            let reason = v["stop_reason"].as_str().unwrap_or("done");
+            format!(" [{reason}]")
+        } else {
+            String::new()
+        };
+        println!(
+            "{label:<28} {phase:<12} iter={iter:<8} {h} boundary={boundary} \
+             elapsed={elapsed:.1}s{deadline}{done}"
+        );
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: emp_top [--addr HOST:PORT] [--interval-ms MS] [--once]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

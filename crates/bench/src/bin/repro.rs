@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--fast] [--dataset NAME] [--jobs N] [--out DIR] [--trace DIR]
 //!       [--bench] [--mask-timings] [--deadline-ms MS] [--checkpoint DIR]
-//!       [EXPERIMENT...]
+//!       [--metrics-addr ADDR] [EXPERIMENT...]
 //!
 //!   EXPERIMENT     one or more of: datasets table3 table4 min-runtime avg
 //!                  sum-runtime scalability exact ablations all (default: all)
@@ -27,7 +27,17 @@
 //!                  `budget: N cell(s) stopped early` line (DESIGN.md §11)
 //!   --checkpoint   directory where deadline-interrupted FaCT cells dump
 //!                  resumable checkpoints (requires --deadline-ms)
+//!   --metrics-addr bind an embedded HTTP endpoint (e.g. `127.0.0.1:9184`,
+//!                  port 0 picks a free port) serving live `/metrics`
+//!                  (Prometheus text) and `/progress` (one JSON line per
+//!                  solve) while experiments run; also honors the
+//!                  `EMP_METRICS_ADDR` env var (flag wins)
 //! ```
+//!
+//! A fixed-capacity flight recorder rides along on every run: the last
+//! events of the solver stream are kept in a ring, dumped as replayable
+//! JSONL next to the checkpoint for deadline-interrupted cells and to
+//! `<out>/flight-panic.jsonl` on panic (DESIGN.md §13).
 //!
 //! Each experiment prints its tables and writes `<name>.md` / `<name>.csv`
 //! into the output directory.
@@ -35,9 +45,12 @@
 use emp_bench::canon;
 use emp_bench::experiments::{registry, ExpContext, Experiment};
 use emp_bench::table::Table;
-use emp_obs::{JsonlWriter, SharedSink};
+use emp_obs::{
+    JsonlWriter, LiveRegistry, MetricsServer, RingSink, SharedSink, DEFAULT_FLIGHT_CAPACITY,
+};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -51,6 +64,7 @@ fn main() {
     let mut mask_timings = false;
     let mut deadline_ms: Option<u64> = None;
     let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     while let Some(arg) = args.next() {
@@ -88,6 +102,12 @@ fn main() {
             "--jobs" => {
                 let v = args.next().unwrap_or_else(|| usage("--jobs needs a value"));
                 jobs = Some(parse_jobs(&v));
+            }
+            "--metrics-addr" => {
+                metrics_addr = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--metrics-addr needs host:port")),
+                );
             }
             "--bench" => bench = true,
             "--mask-timings" => mask_timings = true,
@@ -131,6 +151,28 @@ fn main() {
         deadline_ms,
         checkpoint_dir,
     };
+
+    // Live telemetry: the registry only exists (and cells only pay the
+    // mirror-flush cost) when an endpoint is actually bound. The flight
+    // recorder always rides along — it is a fixed-capacity ring with zero
+    // steady-state allocation, and a panic with no tail to dump is worse.
+    let metrics_addr = metrics_addr.or_else(|| std::env::var("EMP_METRICS_ADDR").ok());
+    let live = metrics_addr
+        .as_ref()
+        .map(|_| Arc::clone(LiveRegistry::global()));
+    let flight = RingSink::new(DEFAULT_FLIGHT_CAPACITY);
+    install_panic_hook(flight.clone(), out_dir.join("flight-panic.jsonl"));
+    let _metrics_server = metrics_addr.map(|addr| {
+        let server = MetricsServer::start(&addr, Arc::clone(LiveRegistry::global()))
+            .unwrap_or_else(|e| usage(&format!("--metrics-addr {addr}: {e}")));
+        eprintln!(
+            ">> metrics: serving http://{0}/metrics and http://{0}/progress",
+            server.local_addr()
+        );
+        server
+    });
+    let telemetry = Telemetry { live, flight };
+
     if bench {
         run_bench(
             &selected,
@@ -141,6 +183,7 @@ fn main() {
             &trace_dir,
             mask_timings,
             &budget,
+            &telemetry,
         );
     } else {
         run_once(
@@ -152,8 +195,29 @@ fn main() {
             &trace_dir,
             mask_timings,
             &budget,
+            &telemetry,
         );
     }
+}
+
+/// Live-telemetry plumbing threaded into every experiment context: the
+/// registry backing `/metrics` + `/progress` (only when `--metrics-addr`
+/// bound an endpoint) and the always-on flight-recorder ring.
+struct Telemetry {
+    live: Option<Arc<LiveRegistry>>,
+    flight: RingSink,
+}
+
+/// Dumps the flight-recorder tail before the default panic report. The
+/// dump is best-effort: a failed write must not mask the panic itself.
+fn install_panic_hook(flight: RingSink, path: PathBuf) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if std::fs::write(&path, flight.dump_jsonl()).is_ok() {
+            eprintln!("flight recorder dumped to {}", path.display());
+        }
+        previous(info);
+    }));
 }
 
 /// Lifecycle-control settings (`--deadline-ms` / `--checkpoint`) threaded
@@ -184,8 +248,9 @@ fn run_once(
     trace_dir: &Option<PathBuf>,
     mask_timings: bool,
     budget: &BudgetArgs,
+    telemetry: &Telemetry,
 ) {
-    let mut ctx = context(fast, dataset, jobs, budget);
+    let mut ctx = context(fast, dataset, jobs, budget, telemetry);
     let mut index = String::from("# EMP reproduction results\n\n");
     for exp in selected {
         eprintln!(">> running {} (covers {})", exp.name, exp.covers);
@@ -222,6 +287,7 @@ fn run_bench(
     trace_dir: &Option<PathBuf>,
     mask_timings: bool,
     budget: &BudgetArgs,
+    telemetry: &Telemetry,
 ) {
     let mut index = String::from("# EMP reproduction results\n\n");
     let mut entries = String::new();
@@ -229,14 +295,14 @@ fn run_bench(
     for exp in selected {
         eprintln!(">> benching {} (sequential pass)", exp.name);
         std::env::set_var("EMP_JOBS", "1");
-        let ctx_seq = context(fast, dataset, 1, budget);
+        let ctx_seq = context(fast, dataset, 1, budget, telemetry);
         let t0 = Instant::now();
         let seq_tables = (exp.run)(&ctx_seq);
         let sequential_s = t0.elapsed().as_secs_f64();
 
         eprintln!(">> benching {} (parallel pass, {jobs} jobs)", exp.name);
         std::env::set_var("EMP_JOBS", jobs.to_string());
-        let mut ctx_par = context(fast, dataset, jobs, budget);
+        let mut ctx_par = context(fast, dataset, jobs, budget, telemetry);
         let trace_sink = open_trace(trace_dir, exp.name);
         ctx_par.trace = trace_sink.clone();
         let t1 = Instant::now();
@@ -285,7 +351,13 @@ fn run_bench(
     }
 }
 
-fn context(fast: bool, dataset: &str, jobs: usize, budget: &BudgetArgs) -> ExpContext {
+fn context(
+    fast: bool,
+    dataset: &str,
+    jobs: usize,
+    budget: &BudgetArgs,
+    telemetry: &Telemetry,
+) -> ExpContext {
     let mut ctx = if fast {
         ExpContext::fast()
     } else {
@@ -295,6 +367,8 @@ fn context(fast: bool, dataset: &str, jobs: usize, budget: &BudgetArgs) -> ExpCo
     ctx.jobs = jobs;
     ctx.deadline_ms = budget.deadline_ms;
     ctx.checkpoint_dir = budget.checkpoint_dir.clone();
+    ctx.live = telemetry.live.clone();
+    ctx.flight = Some(telemetry.flight.clone());
     ctx
 }
 
@@ -398,7 +472,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--fast] [--dataset NAME] [--jobs N] [--out DIR] [--trace DIR]\n\
          \x20            [--bench] [--mask-timings] [--deadline-ms MS] [--checkpoint DIR]\n\
-         \x20            [EXPERIMENT...]\n\
+         \x20            [--metrics-addr ADDR] [EXPERIMENT...]\n\
          experiments: {} all",
         registry()
             .iter()

@@ -19,7 +19,8 @@ use crate::runner::{self, DatasetCache, JobSpec, Measurement, RunOptions, Traced
 use crate::sched::JobPool;
 use crate::table::Table;
 use emp_data::Dataset;
-use emp_obs::SharedSink;
+use emp_obs::{LiveRegistry, RingSink, SharedSink};
+use std::sync::Arc;
 
 /// Shared context: dataset cache plus run-mode switches.
 pub struct ExpContext {
@@ -42,6 +43,11 @@ pub struct ExpContext {
     /// Checkpoint dump directory for deadline-interrupted FaCT cells
     /// (`repro --checkpoint DIR`).
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Live-metrics registry the embedded `/metrics` + `/progress` endpoints
+    /// read (`repro --metrics-addr`); `None` = no live telemetry.
+    pub live: Option<Arc<LiveRegistry>>,
+    /// Flight-recorder ring each cell's event stream is teed into.
+    pub flight: Option<RingSink>,
 }
 
 impl ExpContext {
@@ -56,6 +62,8 @@ impl ExpContext {
             jobs: emp_geo::par::effective_jobs(),
             deadline_ms: None,
             checkpoint_dir: None,
+            live: None,
+            flight: None,
         }
     }
 
@@ -127,6 +135,8 @@ impl ExpContext {
             trace: self.trace.clone(),
             deadline_ms: self.deadline_ms,
             checkpoint_dir: self.checkpoint_dir.clone(),
+            live: self.live.clone(),
+            flight: self.flight.clone(),
         }
     }
 

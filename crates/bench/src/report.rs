@@ -14,7 +14,7 @@
 //! delta already includes all of its children, so summing every span
 //! would double-count.
 
-use emp_obs::hist::{bucket_upper, Histogram, HIST_BUCKETS};
+use emp_obs::hist::Histogram;
 use serde_json::Value;
 use std::collections::BTreeMap;
 
@@ -287,68 +287,24 @@ impl TraceReport {
 
     /// Prometheus text-format snapshot: counter totals, per-path span
     /// totals, and every merged histogram as a native Prometheus histogram
-    /// (cumulative `le` buckets over the log-2 layout).
+    /// (cumulative `le` buckets over the log-2 layout). All names, labels,
+    /// and value rendering come from `emp_obs::naming`, the module the
+    /// live `/metrics` endpoint also renders through — the two outputs are
+    /// diffable line-for-line for a common recording.
     pub fn prometheus(&self) -> String {
-        use std::fmt::Write as _;
+        use emp_obs::naming;
         let mut out = String::new();
-        let _ = writeln!(out, "# TYPE emp_counter_total counter");
+        naming::push_counter_header(&mut out);
         for (name, v) in &self.counters {
-            let _ = writeln!(out, "emp_counter_total{{counter=\"{name}\"}} {v}");
+            naming::push_counter(&mut out, name, *v);
         }
-        let _ = writeln!(out, "# TYPE emp_span_seconds_total counter");
-        let _ = writeln!(out, "# TYPE emp_span_closes_total counter");
+        naming::push_span_headers(&mut out);
         for stat in self.stats.values() {
-            let _ = writeln!(
-                out,
-                "emp_span_seconds_total{{path=\"{}\"}} {}",
-                stat.path, stat.total_s
-            );
-            let _ = writeln!(
-                out,
-                "emp_span_closes_total{{path=\"{}\"}} {}",
-                stat.path, stat.count
-            );
+            naming::push_span(&mut out, &stat.path, stat.total_s, stat.count);
         }
-        let _ = writeln!(out, "# TYPE emp_hist histogram");
+        naming::push_hist_header(&mut out);
         for (name, summary) in &self.hists {
-            let h = &summary.hist;
-            let mut cumulative = 0u64;
-            for i in 0..HIST_BUCKETS {
-                let c = h.bucket(i);
-                if c == 0 {
-                    continue;
-                }
-                cumulative += c;
-                let le = if i == HIST_BUCKETS - 1 {
-                    "+Inf".to_string()
-                } else {
-                    bucket_upper(i).to_string()
-                };
-                let _ = writeln!(
-                    out,
-                    "emp_hist_bucket{{hist=\"{name}\",unit=\"{}\",le=\"{le}\"}} {cumulative}",
-                    summary.unit
-                );
-            }
-            if h.bucket(HIST_BUCKETS - 1) == 0 {
-                let _ = writeln!(
-                    out,
-                    "emp_hist_bucket{{hist=\"{name}\",unit=\"{}\",le=\"+Inf\"}} {cumulative}",
-                    summary.unit
-                );
-            }
-            let _ = writeln!(
-                out,
-                "emp_hist_sum{{hist=\"{name}\",unit=\"{}\"}} {}",
-                summary.unit,
-                h.sum()
-            );
-            let _ = writeln!(
-                out,
-                "emp_hist_count{{hist=\"{name}\",unit=\"{}\"}} {}",
-                summary.unit,
-                h.count()
-            );
+            naming::push_hist(&mut out, name, &summary.unit, &summary.hist);
         }
         out
     }

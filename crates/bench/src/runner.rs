@@ -7,8 +7,12 @@ use emp_core::control::{SolveBudget, StopReason};
 use emp_core::instance::EmpInstance;
 use emp_core::solver::{solve_budgeted_observed, solve_observed, FactConfig};
 use emp_data::{Dataset, OnceMap};
-use emp_obs::{BufferSink, CounterKind, Counters, Recorder, SharedSink};
+use emp_obs::{
+    BufferSink, CounterKind, Counters, EventSink, LiveRegistry, NoopSink, Recorder, RingSink,
+    SharedSink, TeeSink,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Process-wide count of solver cells a budget stopped early (deadline or
 /// cancellation); the `repro` harness drains it per experiment for its
@@ -94,6 +98,15 @@ pub struct RunOptions {
     /// Where deadline-interrupted FaCT cells dump their [`emp_core::Checkpoint`]
     /// (`repro --checkpoint DIR`); `None` discards them.
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Live-metrics registry: each cell registers a
+    /// [`LiveSolve`](emp_obs::LiveSolve) mirror the `/metrics` and
+    /// `/progress` endpoints read while the cell runs (`None` = no live
+    /// telemetry, zero overhead).
+    pub live: Option<Arc<LiveRegistry>>,
+    /// Flight recorder: a shared fixed-capacity ring the cell's event
+    /// stream is teed into; interrupted cells dump its tail as replayable
+    /// JSONL next to their checkpoint.
+    pub flight: Option<RingSink>,
 }
 
 impl Default for RunOptions {
@@ -107,6 +120,8 @@ impl Default for RunOptions {
             trace: None,
             deadline_ms: None,
             checkpoint_dir: None,
+            live: None,
+            flight: None,
         }
     }
 }
@@ -125,12 +140,26 @@ impl RunOptions {
         self.max_no_improve.unwrap_or(n)
     }
 
-    /// A recorder for one run: traced when a sink is configured, noop
-    /// otherwise.
+    /// A recorder for one run: the trace sink and/or the flight-recorder
+    /// ring when configured (teed when both are), noop otherwise.
     pub fn recorder(&self) -> Recorder {
-        match &self.trace {
-            Some(sink) => Recorder::with_sink(Box::new(sink.clone())),
-            None => Recorder::noop(),
+        let sink: Box<dyn EventSink + Send> = match (&self.trace, &self.flight) {
+            (Some(trace), Some(flight)) => Box::new(TeeSink::new(
+                Box::new(trace.clone()),
+                Box::new(flight.clone()),
+            )),
+            (Some(trace), None) => Box::new(trace.clone()),
+            (None, Some(flight)) => Box::new(flight.clone()),
+            (None, None) => Box::new(NoopSink),
+        };
+        Recorder::with_sink(sink)
+    }
+
+    /// Registers a live mirror for one cell and attaches it to `rec` (no-op
+    /// without a registry).
+    fn attach_live(&self, rec: &mut Recorder, label: &str) {
+        if let Some(registry) = &self.live {
+            rec.attach_live(registry.register(label));
         }
     }
 }
@@ -150,6 +179,18 @@ fn write_checkpoint(
         std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, checkpoint.to_text()));
     if let Err(e) = result {
         eprintln!("warn: could not write checkpoint {}: {e}", path.display());
+    }
+}
+
+/// Dumps the flight-recorder tail of an interrupted cell as replayable
+/// JSONL next to its checkpoint (same key, `.flight.jsonl` suffix). Same
+/// warn-on-failure policy as [`write_checkpoint`].
+fn write_flight_dump(dir: &std::path::Path, areas: usize, seed: u64, flight: &RingSink) {
+    let path = dir.join(format!("fact-n{areas}-seed{seed}.flight.jsonl"));
+    let result =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, flight.dump_jsonl()));
+    if let Err(e) = result {
+        eprintln!("warn: could not write flight dump {}: {e}", path.display());
     }
 }
 
@@ -187,12 +228,21 @@ pub fn run_fact(
         counters: report.counters,
     };
     let mut rec = opts.recorder();
+    opts.attach_live(
+        &mut rec,
+        &format!("fact-n{}-seed{}", instance.len(), opts.seed),
+    );
     let m = match opts.deadline_ms {
         Some(ms) => {
             let budget = SolveBudget::deadline_ms(ms);
             match solve_budgeted_observed(instance, constraints, &config, &budget, &mut rec) {
                 Ok(outcome) => {
                     note_stop(outcome.stop_reason);
+                    if outcome.stop_reason != StopReason::Completed {
+                        if let (Some(dir), Some(flight)) = (&opts.checkpoint_dir, &opts.flight) {
+                            write_flight_dump(dir, instance.len(), opts.seed, flight);
+                        }
+                    }
                     if let (Some(dir), Some(ckpt)) = (&opts.checkpoint_dir, &outcome.checkpoint) {
                         write_checkpoint(dir, instance.len(), opts.seed, ckpt);
                     }
@@ -235,6 +285,10 @@ pub fn run_mp(instance: &EmpInstance, threshold: f64, opts: &RunOptions) -> Meas
         counters: report.counters,
     };
     let mut rec = opts.recorder();
+    opts.attach_live(
+        &mut rec,
+        &format!("mp-n{}-seed{}", instance.len(), opts.seed),
+    );
     let m = match opts.deadline_ms {
         Some(ms) => {
             let budget = SolveBudget::deadline_ms(ms);

@@ -1,0 +1,124 @@
+//! Naming-contract tests: the live `/metrics` render and `trace_report
+//! --prom` are built on the same `emp_obs::naming` module, so for one
+//! recorded solve the metric families they share must agree line-for-line
+//! (names, labels, *and* values). Also pins the flight-recorder dump as
+//! valid `trace_report` input.
+
+use emp_bench::presets::Combo;
+use emp_bench::report::TraceReport;
+use emp_bench::runner::{run_fact, RunOptions};
+use emp_obs::{replay, BufferSink, JsonlWriter, LiveRegistry, RingSink, SharedSink};
+use std::sync::Arc;
+
+/// One seeded 200-area solve recorded three ways at once: an event buffer
+/// (the `trace_report` path), a live registry (the `/metrics` path), and a
+/// deliberately tiny flight ring (forces overwrite-oldest).
+fn solve_all_sinks() -> (TraceReport, Arc<LiveRegistry>, RingSink) {
+    let dataset = emp_data::build_sized("live-naming-it", 200);
+    let instance = dataset.to_instance().expect("instance");
+    let set = Combo::Mas.build(None, None, None);
+    let buffer = BufferSink::new();
+    let events = buffer.handle();
+    let registry = Arc::new(LiveRegistry::new());
+    let flight = RingSink::new(64);
+    let opts = RunOptions {
+        max_no_improve: Some(100),
+        trace: Some(SharedSink::new(Box::new(buffer))),
+        live: Some(Arc::clone(&registry)),
+        flight: Some(flight.clone()),
+        ..RunOptions::default()
+    };
+    let m = run_fact(&instance, &set, &opts);
+    assert!(m.p > 0, "seeded instance must be feasible");
+
+    // Round-trip the buffered events through the JSONL writer into the
+    // trace_report engine — the exact offline pipeline.
+    let events = events.lock().expect("event buffer").clone();
+    let mut writer = JsonlWriter::new(Vec::new());
+    replay(&events, &mut writer);
+    let jsonl = String::from_utf8(writer.into_inner()).expect("utf8 trace");
+    let mut report = TraceReport::new();
+    report.ingest(&jsonl).expect("trace ingests");
+    (report, registry, flight)
+}
+
+/// The lines of `text` belonging to the metric family `prefix` (samples
+/// and their `# HELP` / `# TYPE` headers).
+fn family_lines<'a>(text: &'a str, prefix: &str) -> Vec<&'a str> {
+    text.lines()
+        .filter(|l| {
+            l.starts_with(prefix)
+                || l.strip_prefix("# HELP ")
+                    .or_else(|| l.strip_prefix("# TYPE "))
+                    .is_some_and(|rest| rest.starts_with(prefix))
+        })
+        .collect()
+}
+
+#[test]
+fn live_metrics_and_trace_report_share_naming() {
+    let (report, registry, _) = solve_all_sinks();
+    let offline = report.prometheus();
+    let live = registry.render_prometheus();
+
+    // Counters: both renders cover the same solve, so every offline counter
+    // sample must appear byte-identical in the live output. (The live side
+    // also exposes zero-valued counters; the offline report skips them.)
+    let offline_counters = family_lines(&offline, "emp_counter_total");
+    assert!(!offline_counters.is_empty(), "offline render has counters");
+    for line in offline_counters {
+        assert!(
+            live.contains(line),
+            "offline counter line missing from live render: {line}"
+        );
+    }
+
+    // Histograms: same data reaches both sides (trace events vs live
+    // mirrors), so buckets, sums, and counts must agree byte-for-byte.
+    for family in ["emp_hist_bucket", "emp_hist_sum", "emp_hist_count"] {
+        let lines = family_lines(&offline, family);
+        assert!(!lines.is_empty(), "offline render has {family} samples");
+        for line in lines {
+            assert!(
+                live.contains(line),
+                "offline {family} line missing from live render: {line}"
+            );
+        }
+    }
+
+    // The live-only families exist with their documented names.
+    assert!(live.contains("# TYPE emp_solve_progress gauge"));
+    assert!(live.contains("emp_solve_progress{solve=\"fact-n200-seed2022\",field=\"iteration\"}"));
+    assert!(live.contains("# TYPE emp_solve_stop_reason gauge"));
+    assert!(live.contains("reason=\"completed\"} 1"));
+}
+
+#[test]
+fn progress_json_reports_the_finished_solve() {
+    let (_, registry, _) = solve_all_sinks();
+    let progress = registry.render_progress();
+    let line = progress.lines().next().expect("one progress line");
+    let parsed: Result<serde_json::Value, _> = serde_json::from_str(line);
+    let v = parsed.expect("progress line is valid JSON");
+    assert_eq!(v["solve"].as_str(), Some("fact-n200-seed2022"));
+    assert_eq!(v["done"].as_bool(), Some(true));
+    assert_eq!(v["stop_reason"].as_str(), Some("completed"));
+    assert!(v["iteration"].as_u64().is_some());
+    assert!(v["best_h"].as_f64().is_some());
+}
+
+#[test]
+fn flight_recorder_dump_is_valid_trace_report_input() {
+    let (_, _, flight) = solve_all_sinks();
+    assert!(
+        flight.dropped_events() > 0,
+        "a 64-slot ring must wrap on a 200-area solve"
+    );
+    let dump = flight.dump_jsonl();
+    let mut report = TraceReport::new();
+    report
+        .ingest(&dump)
+        .expect("flight dump must ingest without truncation errors");
+    // The dump advertises its own truncation instead of hiding it.
+    assert!(dump.contains("flight_recorder_dropped"));
+}

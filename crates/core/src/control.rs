@@ -44,6 +44,15 @@ pub enum StopReason {
 }
 
 impl StopReason {
+    /// Every variant, in [`StopReason::code`] order.
+    pub const ALL: [StopReason; 5] = [
+        StopReason::Completed,
+        StopReason::DeadlineExceeded,
+        StopReason::Cancelled,
+        StopReason::IterationBudget,
+        StopReason::NodeBudget,
+    ];
+
     /// Stable numeric code (used as the `stop_reason` span note value).
     pub fn code(self) -> u32 {
         match self {
@@ -166,6 +175,14 @@ impl SolveBudget {
     /// Polls made so far (shared across clones).
     pub fn polls(&self) -> u64 {
         self.polls.load(Ordering::Relaxed)
+    }
+
+    /// Wall time left until the deadline (`None` when no deadline is
+    /// armed; `Some(ZERO)` once it has passed). Feeds the live
+    /// deadline-remaining gauge.
+    pub fn deadline_remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
     /// One cooperative check. Returns `Some(reason)` when the solve must
@@ -597,6 +614,48 @@ mod tests {
         }
         assert_eq!(StopReason::Completed.code(), 0);
         assert_eq!(StopReason::from_name("nope"), None);
+    }
+
+    #[test]
+    fn stop_reason_all_is_exhaustive_with_unique_stable_names() {
+        // Compile-time exhaustiveness: adding a variant breaks this match,
+        // forcing `ALL` (and the live stop-reason gauge) to be updated.
+        let count = |r: StopReason| match r {
+            StopReason::Completed
+            | StopReason::DeadlineExceeded
+            | StopReason::Cancelled
+            | StopReason::IterationBudget
+            | StopReason::NodeBudget => StopReason::ALL.len(),
+        };
+        assert_eq!(count(StopReason::Completed), 5);
+
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, reason) in StopReason::ALL.into_iter().enumerate() {
+            assert_eq!(reason.code() as usize, i, "ALL must be in code order");
+            assert_eq!(
+                StopReason::from_name(reason.name()),
+                Some(reason),
+                "name round-trip for {reason:?}"
+            );
+            assert!(
+                seen.insert(reason.name()),
+                "duplicate name {}",
+                reason.name()
+            );
+        }
+        assert_eq!(StopReason::from_name(""), None);
+        assert_eq!(StopReason::from_name("COMPLETED"), None);
+    }
+
+    #[test]
+    fn deadline_remaining_reports_and_saturates() {
+        assert_eq!(SolveBudget::unlimited().deadline_remaining(), None);
+        let far = SolveBudget::deadline_ms(60_000);
+        let remaining = far.deadline_remaining().expect("deadline armed");
+        assert!(remaining <= Duration::from_millis(60_000));
+        assert!(remaining > Duration::from_millis(30_000));
+        let past = SolveBudget::deadline_ms(0);
+        assert_eq!(past.deadline_remaining(), Some(Duration::ZERO));
     }
 
     fn sample_dump() -> PartitionDump {

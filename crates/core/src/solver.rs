@@ -174,11 +174,18 @@ pub fn solve_observed(
     rec.span_begin("solve", None);
 
     // Phase 1: feasibility.
+    if let Some(live) = rec.live() {
+        live.set_phase(emp_obs::SolvePhase::Feasibility);
+    }
     rec.span_begin("feasibility", None);
     let feasibility = feasibility_phase(&engine);
     let feasibility_time = rec.span_end();
     if feasibility.is_infeasible() {
         rec.span_end(); // close "solve"
+        if let Some(live) = rec.live() {
+            live.mark_done();
+        }
+        rec.live_flush();
         return Err(EmpError::Infeasible {
             reasons: feasibility.infeasible_reasons(),
         });
@@ -190,6 +197,9 @@ pub fn solve_observed(
 
     // Phase 2: construction (multiple iterations, keep max p; ties broken by
     // fewer unassigned areas, then lower heterogeneity).
+    if let Some(live) = rec.live() {
+        live.set_phase(emp_obs::SolvePhase::Construction);
+    }
     let t1 = Instant::now();
     let iterations = config.construction_iterations.max(1);
     let best = if config.parallel && iterations > 1 {
@@ -200,8 +210,16 @@ pub fn solve_observed(
     let mut partition = best.expect("at least one construction iteration");
     let construction_time = t1.elapsed().as_secs_f64();
     let heterogeneity_before = partition.heterogeneity_with(&engine);
+    if let Some(live) = rec.live() {
+        live.set_regions(partition.region_ids().count() as u64);
+        live.set_objective(heterogeneity_before, heterogeneity_before);
+    }
+    rec.live_flush();
 
     // Phase 3: local search.
+    if let Some(live) = rec.live() {
+        live.set_phase(emp_obs::SolvePhase::LocalSearch);
+    }
     let t2 = Instant::now();
     let tabu = if config.local_search {
         let tabu_cfg = tabu_config_for(config, instance.len());
@@ -219,6 +237,11 @@ pub fn solve_observed(
     let local_search_time = t2.elapsed().as_secs_f64();
 
     rec.span_end(); // close "solve"
+    if let Some(live) = rec.live() {
+        live.set_stop_reason(StopReason::Completed.name());
+        live.mark_done();
+    }
+    rec.live_flush();
     let counters = rec.counters_snapshot().delta_since(&counters_at_entry);
     let trajectory = rec.take_trajectory();
 
@@ -524,6 +547,12 @@ fn seal_outcome(
             .record_max(CounterKind::CheckpointBytes, ckpt.to_text().len() as u64);
     }
     rec.span_end(); // close "solve"
+    if let Some(live) = rec.live() {
+        live.set_regions(solution.regions.len() as u64);
+        live.set_stop_reason(stop_reason.name());
+        live.mark_done();
+    }
+    rec.live_flush();
     let counters = rec.counters_snapshot().delta_since(counters_at_entry);
     let trajectory = rec.take_trajectory();
     SolveOutcome {
@@ -606,11 +635,19 @@ fn run_budgeted(
     // Phase 1: feasibility. Always runs fully — it is cheap, deterministic,
     // and recomputed on every resume rather than checkpointed, so a budget
     // can never produce a false infeasibility verdict.
+    if let Some(live) = rec.live() {
+        live.set_phase(emp_obs::SolvePhase::Feasibility);
+        live.set_deadline_remaining(budget.deadline_remaining());
+    }
     rec.span_begin("feasibility", None);
     let feasibility = feasibility_phase(&engine);
     let feasibility_time = rec.span_end();
     if feasibility.is_infeasible() {
         rec.span_end(); // close "solve"
+        if let Some(live) = rec.live() {
+            live.mark_done();
+        }
+        rec.live_flush();
         return Err(EmpError::Infeasible {
             reasons: feasibility.infeasible_reasons(),
         });
@@ -621,6 +658,9 @@ fn run_budgeted(
     }
 
     // Phase 2: construction, serial, polled once per iteration.
+    if let Some(live) = rec.live() {
+        live.set_phase(emp_obs::SolvePhase::Construction);
+    }
     let t1 = Instant::now();
     let iterations = config.construction_iterations.max(1);
     let mut completed_iters = start_iter;
@@ -649,6 +689,14 @@ fn run_budgeted(
                 best = Some(cand);
             }
             completed_iters = i + 1;
+            if let Some(live) = rec.live() {
+                // Construction iterations are coarse (one per span, not per
+                // move), so a flush per iteration is cheap.
+                live.set_iteration(completed_iters as u64);
+                live.set_polls(budget.polls());
+                live.set_deadline_remaining(budget.deadline_remaining());
+                rec.live_flush();
+            }
         }
     } else {
         completed_iters = iterations;
@@ -701,6 +749,13 @@ fn run_budgeted(
         Some(CheckpointPhase::Tabu(t)) => f64::from_bits(t.heterogeneity_before),
         _ => partition.heterogeneity_with(&engine),
     };
+
+    if let Some(live) = rec.live() {
+        live.set_regions(partition.region_ids().count() as u64);
+        live.set_objective(heterogeneity_before, heterogeneity_before);
+        live.set_phase(emp_obs::SolvePhase::LocalSearch);
+    }
+    rec.live_flush();
 
     // Phase 3: local search, polled once per tabu iteration.
     let t2 = Instant::now();

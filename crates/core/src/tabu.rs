@@ -49,6 +49,13 @@ use emp_obs::{CounterKind, Counters, HistKind, Recorder};
 /// assertion bounds the accumulated float drift at 1e-6 (relative).
 pub const RESYNC_INTERVAL: usize = 256;
 
+/// Live-metrics mirrors are refreshed every this many tabu iterations.
+/// The flush is ~10² relaxed atomic stores; at this cadence it amortizes
+/// to well under the 3% overhead budget gated by `bench_core`
+/// (`DESIGN.md` §13), and the jobs=1 path stays allocation-free (stores
+/// into preallocated atomics).
+pub const LIVE_FLUSH_INTERVAL: usize = 64;
+
 /// Tabu search parameters (paper defaults: tenure 10, `max_no_improve = n`).
 #[derive(Clone, Copy, Debug)]
 pub struct TabuConfig {
@@ -991,6 +998,29 @@ pub enum TabuOutcome {
     },
 }
 
+/// Pushes the local-search gauges and counter/histogram mirrors to the
+/// recorder's attached [`LiveSolve`](emp_obs::LiveSolve). No-op without an
+/// attached mirror; called every [`LIVE_FLUSH_INTERVAL`] iterations from
+/// both tabu paths, never per move.
+pub(crate) fn flush_live(
+    rec: &mut Recorder,
+    budget: &SolveBudget,
+    iterations: usize,
+    current_h: f64,
+    best_h: f64,
+    boundary: Option<u64>,
+) {
+    let Some(live) = rec.live() else { return };
+    live.set_iteration(iterations as u64);
+    live.set_objective(current_h, best_h);
+    if let Some(areas) = boundary {
+        live.set_boundary(areas);
+    }
+    live.set_polls(budget.polls());
+    live.set_deadline_remaining(budget.deadline_remaining());
+    rec.live_flush();
+}
+
 /// [`tabu_search_observed`] under a [`SolveBudget`], optionally continuing
 /// from a prior interruption. The budget is polled once per iteration at the
 /// loop top — never mid-move — so an interrupted partition is always a valid
@@ -1054,6 +1084,9 @@ pub fn tabu_search_budgeted(
                     .add(CounterKind::ScratchEpochRollovers, s.scratch.rollovers());
             }
             stats.best = best_h;
+            if rec.has_live() {
+                flush_live(rec, budget, stats.iterations, current_h, best_h, None);
+            }
             return TabuOutcome::Interrupted {
                 stats,
                 reason,
@@ -1122,6 +1155,16 @@ pub fn tabu_search_budgeted(
             no_improve = 0;
         } else {
             no_improve += 1;
+        }
+        if rec.has_live() && stats.iterations.is_multiple_of(LIVE_FLUSH_INTERVAL) {
+            flush_live(
+                rec,
+                budget,
+                stats.iterations,
+                current_h,
+                best_h,
+                state.as_ref().map(|s| s.boundary().as_slice().len() as u64),
+            );
         }
     }
 

@@ -488,6 +488,20 @@ pub(crate) fn tabu_search_parallel(
             } else {
                 no_improve += 1;
             }
+            if rec.has_live()
+                && stats
+                    .iterations
+                    .is_multiple_of(crate::tabu::LIVE_FLUSH_INTERVAL)
+            {
+                crate::tabu::flush_live(
+                    rec,
+                    budget,
+                    stats.iterations,
+                    current_h,
+                    best_h,
+                    Some(boundary.as_slice().len() as u64),
+                );
+            }
         };
 
         // Tear the pool down before anything else mutates the partition:
@@ -509,6 +523,9 @@ pub(crate) fn tabu_search_parallel(
     match outcome {
         LoopEnd::Interrupted(reason) => {
             stats.best = best_h;
+            if rec.has_live() {
+                crate::tabu::flush_live(rec, budget, stats.iterations, current_h, best_h, None);
+            }
             TabuOutcome::Interrupted {
                 stats,
                 reason,

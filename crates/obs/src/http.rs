@@ -1,0 +1,172 @@
+//! Embedded zero-dependency HTTP/1.1 exporter for the live registry.
+//!
+//! A [`MetricsServer`] binds a `std::net::TcpListener`, spawns one
+//! detached background thread, and answers two GET routes:
+//!
+//! - `/metrics` — [`LiveRegistry::render_prometheus`] as
+//!   `text/plain; version=0.0.4`
+//! - `/progress` — [`LiveRegistry::render_progress`] as one JSON object
+//!   per line
+//!
+//! Requests are served sequentially (a scraper every few seconds, not a
+//! web service), each response carries `Connection: close` and an exact
+//! `Content-Length`, and a slow or malformed client is cut off by a read
+//! timeout so the exporter can never wedge. The solver never blocks on
+//! this thread: the registry reads are relaxed atomic loads.
+
+use crate::live::LiveRegistry;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cap on the request head we are willing to buffer.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// How long we wait for a client to finish its request head.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Handle to a running metrics endpoint. Dropping the handle does not stop
+/// the background thread; it serves for the life of the process (the
+/// thread is detached so process exit is never delayed).
+#[derive(Debug)]
+pub struct MetricsServer {
+    local_addr: std::net::SocketAddr,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, or port `0` for an ephemeral
+    /// port) and starts serving `registry` on a background thread.
+    pub fn start(addr: &str, registry: Arc<LiveRegistry>) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        std::thread::Builder::new()
+            .name("emp-metrics".to_string())
+            .spawn(move || serve(listener, registry))?;
+        Ok(MetricsServer { local_addr })
+    }
+
+    /// The bound address — with the real port when `:0` was requested.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+}
+
+fn serve(listener: TcpListener, registry: Arc<LiveRegistry>) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        // One misbehaving client must not take the exporter down.
+        let _ = handle(stream, &registry);
+    }
+}
+
+fn handle(mut stream: TcpStream, registry: &LiveRegistry) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let request_line = read_request_head(&mut stream)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    // Ignore any query string; `/metrics?x=y` is still `/metrics`.
+    let path = target.split('?').next().unwrap_or(target);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                registry.render_prometheus(),
+            ),
+            "/progress" => ("200 OK", "application/json", registry.render_progress()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads the whole request head (through the blank line ending the
+/// headers), bounded by [`MAX_REQUEST_BYTES`], and returns the request
+/// line. The head must be fully consumed before we respond and close —
+/// closing a socket with unread bytes sends an RST that can discard the
+/// in-flight response on the client side.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while head.len() < MAX_REQUEST_BYTES && !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n")
+    {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(e),
+        }
+    }
+    let line_end = head.iter().position(|&b| b == b'\n').unwrap_or(head.len());
+    let line = head[..line_end]
+        .strip_suffix(b"\r")
+        .unwrap_or(&head[..line_end]);
+    Ok(String::from_utf8_lossy(line).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{CounterKind, Counters};
+    use crate::live::SolvePhase;
+
+    fn get(addr: std::net::SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_metrics_and_progress_over_tcp() {
+        let registry = Arc::new(LiveRegistry::new());
+        let solve = registry.register("http-test");
+        let mut c = Counters::new();
+        c.add(CounterKind::TabuMovesApplied, 11);
+        solve.store_counters(&c);
+        solve.set_phase(SolvePhase::LocalSearch);
+        solve.set_iteration(5);
+
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+
+        let metrics = get(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(
+            metrics.contains("emp_counter_total{counter=\"tabu_moves_applied\"} 11"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("emp_solve_progress{solve=\"http-test\",field=\"iteration\"} 5"),
+            "{metrics}"
+        );
+
+        let progress = get(addr, "GET /progress?x=1 HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(progress.contains("application/json"), "{progress}");
+        assert!(
+            progress.contains("\"phase\":\"local_search\""),
+            "{progress}"
+        );
+
+        let missing = get(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let post = get(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+    }
+}

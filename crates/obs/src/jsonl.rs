@@ -188,7 +188,7 @@ fn push_counters(out: &mut String, counters: &Counters) {
 }
 
 /// Appends a JSON string literal with the mandatory escapes.
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -208,7 +208,7 @@ fn push_json_str(out: &mut String, s: &str) {
 
 /// Appends a float; non-finite values become `null` so the line stays
 /// parseable JSON.
-fn push_json_f64(out: &mut String, v: f64) {
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&format!("{v}"));
         // `Display` for f64 omits the fraction for integral values; that is

@@ -38,15 +38,22 @@
 pub mod alloc;
 pub mod counters;
 pub mod hist;
+pub mod http;
 pub mod jsonl;
+pub mod live;
+pub mod naming;
 pub mod recorder;
+pub mod ring;
 pub mod sink;
 
 pub use counters::{CounterKind, Counters, COUNTER_KINDS};
 pub use hist::{HistKind, Histogram, Histograms, HIST_BUCKETS, HIST_KINDS};
+pub use http::MetricsServer;
 pub use jsonl::JsonlWriter;
+pub use live::{LiveRegistry, LiveSolve, SolvePhase};
 pub use recorder::{Recorder, TrajectorySummary};
+pub use ring::{RingSink, DEFAULT_FLIGHT_CAPACITY};
 pub use sink::{
     replay, BufferSink, Event, EventSink, InMemorySink, NoopSink, SharedSink, SpanInfo, SpanRecord,
-    TraceData,
+    TeeSink, TraceData,
 };

@@ -1,0 +1,553 @@
+//! Live metrics: lock-free per-solve mirrors of the solver's counters,
+//! histograms, and progress gauges, readable while the solve runs.
+//!
+//! A [`LiveSolve`] is a bundle of `AtomicU64`s registered in a
+//! [`LiveRegistry`] and attached to a [`Recorder`](crate::Recorder). The
+//! solve side *stores* into the mirrors (each solve has exactly one writer
+//! — its recorder — so flushes are plain value stores, not read-modify
+//! -write cycles); the HTTP exporter side reads them. All accesses use
+//! `Ordering::Relaxed`: the mirrors are monitoring data with no
+//! happens-before obligations, and a scrape racing a flush may observe a
+//! torn bundle (e.g. a histogram count one ahead of its buckets), which is
+//! acceptable for a dashboard and costs the hot loop nothing on every
+//! mainstream ISA. The rationale and the overhead budget live in
+//! `DESIGN.md` §13.
+
+use crate::counters::{CounterKind, Counters, COUNTER_KINDS};
+use crate::hist::{HistKind, Histogram, Histograms, HIST_BUCKETS, HIST_KINDS};
+use crate::jsonl::{push_json_f64, push_json_str};
+use crate::naming;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Which phase a live solve is in, as stored in the phase gauge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[repr(u64)]
+pub enum SolvePhase {
+    /// Registered, not yet running.
+    #[default]
+    Idle = 0,
+    /// Checking per-area constraint feasibility.
+    Feasibility = 1,
+    /// Growing/adjusting candidate partitions.
+    Construction = 2,
+    /// Tabu local search.
+    LocalSearch = 3,
+    /// The solve returned (see the stop-reason gauge for why).
+    Done = 4,
+}
+
+impl SolvePhase {
+    /// Stable snake_case name (used in `/progress` JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolvePhase::Idle => "idle",
+            SolvePhase::Feasibility => "feasibility",
+            SolvePhase::Construction => "construction",
+            SolvePhase::LocalSearch => "local_search",
+            SolvePhase::Done => "done",
+        }
+    }
+
+    fn from_code(code: u64) -> SolvePhase {
+        match code {
+            1 => SolvePhase::Feasibility,
+            2 => SolvePhase::Construction,
+            3 => SolvePhase::LocalSearch,
+            4 => SolvePhase::Done,
+            _ => SolvePhase::Idle,
+        }
+    }
+}
+
+/// Sentinel for "no deadline" in the deadline-remaining gauge.
+const NO_DEADLINE: u64 = u64::MAX;
+
+/// Atomic mirrors for one solve. Constructed by
+/// [`LiveRegistry::register`]; the solve's recorder stores into it, the
+/// exporter reads from it. All methods are `&self` and thread-safe.
+pub struct LiveSolve {
+    label: String,
+    started: Instant,
+    counters: [AtomicU64; COUNTER_KINDS],
+    hist_count: [AtomicU64; HIST_KINDS],
+    hist_sum: [AtomicU64; HIST_KINDS],
+    hist_min: [AtomicU64; HIST_KINDS],
+    hist_max: [AtomicU64; HIST_KINDS],
+    /// `HIST_KINDS * HIST_BUCKETS`, kind-major.
+    hist_buckets: Vec<AtomicU64>,
+    phase: AtomicU64,
+    iteration: AtomicU64,
+    regions: AtomicU64,
+    boundary: AtomicU64,
+    polls: AtomicU64,
+    /// `f64::to_bits`; NaN until the first objective update.
+    current_h: AtomicU64,
+    /// `f64::to_bits`; NaN until the first objective update.
+    best_h: AtomicU64,
+    deadline_remaining_ms: AtomicU64,
+    done: AtomicU64,
+    /// Written once at seal time; never touched by the hot loop.
+    stop_reason: Mutex<Option<&'static str>>,
+}
+
+impl std::fmt::Debug for LiveSolve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveSolve")
+            .field("label", &self.label)
+            .field("phase", &self.phase())
+            .field("iteration", &self.iteration.load(Relaxed))
+            .finish()
+    }
+}
+
+impl LiveSolve {
+    fn new(label: &str) -> LiveSolve {
+        LiveSolve {
+            label: label.to_string(),
+            started: Instant::now(),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist_count: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist_sum: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist_min: std::array::from_fn(|_| AtomicU64::new(u64::MAX)),
+            hist_max: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist_buckets: (0..HIST_KINDS * HIST_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            phase: AtomicU64::new(SolvePhase::Idle as u64),
+            iteration: AtomicU64::new(0),
+            regions: AtomicU64::new(0),
+            boundary: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+            current_h: AtomicU64::new(f64::NAN.to_bits()),
+            best_h: AtomicU64::new(f64::NAN.to_bits()),
+            deadline_remaining_ms: AtomicU64::new(NO_DEADLINE),
+            done: AtomicU64::new(0),
+            stop_reason: Mutex::new(None),
+        }
+    }
+
+    /// The label this solve registered under.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Wall seconds since registration.
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Sets the phase gauge.
+    pub fn set_phase(&self, phase: SolvePhase) {
+        self.phase.store(phase as u64, Relaxed);
+    }
+
+    /// Current phase gauge value.
+    pub fn phase(&self) -> SolvePhase {
+        SolvePhase::from_code(self.phase.load(Relaxed))
+    }
+
+    /// Sets the local-search iteration gauge.
+    pub fn set_iteration(&self, iteration: u64) {
+        self.iteration.store(iteration, Relaxed);
+    }
+
+    /// Sets the region-count (`p`) gauge.
+    pub fn set_regions(&self, p: u64) {
+        self.regions.store(p, Relaxed);
+    }
+
+    /// Sets the boundary-area-set-size gauge.
+    pub fn set_boundary(&self, areas: u64) {
+        self.boundary.store(areas, Relaxed);
+    }
+
+    /// Sets the budget-poll gauge.
+    pub fn set_polls(&self, polls: u64) {
+        self.polls.store(polls, Relaxed);
+    }
+
+    /// Sets the current/best objective gauges.
+    pub fn set_objective(&self, current_h: f64, best_h: f64) {
+        self.current_h.store(current_h.to_bits(), Relaxed);
+        self.best_h.store(best_h.to_bits(), Relaxed);
+    }
+
+    /// Sets the deadline-remaining gauge (`None` clears it).
+    pub fn set_deadline_remaining(&self, remaining: Option<Duration>) {
+        let ms = remaining.map_or(NO_DEADLINE, |d| (d.as_millis() as u64).min(NO_DEADLINE - 1));
+        self.deadline_remaining_ms.store(ms, Relaxed);
+    }
+
+    /// Records why the solve stopped (a [`StopReason`] name from
+    /// `emp-core`; this crate stores it opaquely) and flips the done flag.
+    pub fn set_stop_reason(&self, reason: &'static str) {
+        *self.stop_reason.lock().unwrap() = Some(reason);
+    }
+
+    /// Marks the solve finished.
+    pub fn mark_done(&self) {
+        self.set_phase(SolvePhase::Done);
+        self.done.store(1, Relaxed);
+    }
+
+    /// Whether the solve finished.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Relaxed) == 1
+    }
+
+    /// Mirrors the recorder's counter totals (single-writer value stores).
+    pub fn store_counters(&self, counters: &Counters) {
+        for kind in CounterKind::ALL {
+            self.counters[kind as usize].store(counters.get(kind), Relaxed);
+        }
+    }
+
+    /// Mirrors the recorder's histogram totals. Kinds whose count is
+    /// unchanged skip their bucket array, so a steady flush touches only
+    /// the histograms the hot loop actually feeds.
+    pub fn store_hists(&self, hists: &Histograms) {
+        for kind in HistKind::ALL {
+            let k = kind as usize;
+            let h = hists.get(kind);
+            if self.hist_count[k].load(Relaxed) == h.count() {
+                continue;
+            }
+            let base = k * HIST_BUCKETS;
+            for i in 0..HIST_BUCKETS {
+                self.hist_buckets[base + i].store(h.bucket(i), Relaxed);
+            }
+            self.hist_sum[k].store(h.sum(), Relaxed);
+            self.hist_min[k].store(h.min().unwrap_or(u64::MAX), Relaxed);
+            self.hist_max[k].store(h.max().unwrap_or(0), Relaxed);
+            // Count last: a reader seeing the new count sees new buckets
+            // on any coherent ISA; a torn read is tolerated regardless.
+            self.hist_count[k].store(h.count(), Relaxed);
+        }
+    }
+
+    /// Snapshot of the mirrored counters.
+    pub fn counters_snapshot(&self) -> Counters {
+        let mut out = Counters::new();
+        for kind in CounterKind::ALL {
+            let v = self.counters[kind as usize].load(Relaxed);
+            if kind.is_gauge() {
+                out.record_max(kind, v);
+            } else {
+                out.add(kind, v);
+            }
+        }
+        out
+    }
+
+    /// Snapshot of one mirrored histogram.
+    pub fn hist_snapshot(&self, kind: HistKind) -> Histogram {
+        let k = kind as usize;
+        let base = k * HIST_BUCKETS;
+        let sparse: Vec<(usize, u64)> = (0..HIST_BUCKETS)
+            .filter_map(|i| {
+                let c = self.hist_buckets[base + i].load(Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect();
+        Histogram::from_parts(
+            self.hist_count[k].load(Relaxed),
+            self.hist_sum[k].load(Relaxed),
+            self.hist_min[k].load(Relaxed),
+            self.hist_max[k].load(Relaxed),
+            sparse,
+        )
+    }
+
+    /// One `/progress` JSON object (no trailing newline).
+    pub fn progress_json(&self) -> String {
+        let mut line = String::with_capacity(256);
+        line.push_str("{\"solve\":");
+        push_json_str(&mut line, &self.label);
+        line.push_str(",\"phase\":");
+        push_json_str(&mut line, self.phase().name());
+        line.push_str(",\"iteration\":");
+        line.push_str(&self.iteration.load(Relaxed).to_string());
+        line.push_str(",\"regions\":");
+        line.push_str(&self.regions.load(Relaxed).to_string());
+        line.push_str(",\"current_h\":");
+        push_json_f64(&mut line, f64::from_bits(self.current_h.load(Relaxed)));
+        line.push_str(",\"best_h\":");
+        push_json_f64(&mut line, f64::from_bits(self.best_h.load(Relaxed)));
+        line.push_str(",\"boundary_areas\":");
+        line.push_str(&self.boundary.load(Relaxed).to_string());
+        line.push_str(",\"cancel_polls\":");
+        line.push_str(&self.polls.load(Relaxed).to_string());
+        line.push_str(",\"elapsed_s\":");
+        push_json_f64(&mut line, self.elapsed_s());
+        line.push_str(",\"deadline_remaining_s\":");
+        match self.deadline_remaining_ms.load(Relaxed) {
+            NO_DEADLINE => line.push_str("null"),
+            ms => push_json_f64(&mut line, ms as f64 / 1e3),
+        }
+        line.push_str(",\"stop_reason\":");
+        match *self.stop_reason.lock().unwrap() {
+            Some(reason) => push_json_str(&mut line, reason),
+            None => line.push_str("null"),
+        }
+        line.push_str(",\"done\":");
+        line.push_str(if self.is_done() { "true" } else { "false" });
+        line.push('}');
+        line
+    }
+}
+
+/// The set of live solves one process exposes. The exporter renders every
+/// registered solve; sequential solves (the `repro` harness) accumulate,
+/// which is what a scraper wants — counters keep their totals after a
+/// solve finishes.
+#[derive(Default)]
+pub struct LiveRegistry {
+    solves: Mutex<Vec<Arc<LiveSolve>>>,
+}
+
+impl std::fmt::Debug for LiveRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LiveRegistry({} solves)",
+            self.solves.lock().unwrap().len()
+        )
+    }
+}
+
+impl LiveRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        LiveRegistry::default()
+    }
+
+    /// The process-wide registry (what `--metrics-addr` serves).
+    pub fn global() -> &'static Arc<LiveRegistry> {
+        static GLOBAL: OnceLock<Arc<LiveRegistry>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(LiveRegistry::new()))
+    }
+
+    /// Registers a new solve under `label` and returns its mirror bundle
+    /// (attach it with [`Recorder::attach_live`](crate::Recorder::attach_live)).
+    pub fn register(&self, label: &str) -> Arc<LiveSolve> {
+        let solve = Arc::new(LiveSolve::new(label));
+        self.solves.lock().unwrap().push(Arc::clone(&solve));
+        solve
+    }
+
+    /// Handles on every registered solve, registration order.
+    pub fn solves(&self) -> Vec<Arc<LiveSolve>> {
+        self.solves.lock().unwrap().clone()
+    }
+
+    /// The `/metrics` body: counter totals summed across solves, merged
+    /// histograms, per-solve progress gauges, and stop-reason gauges — in
+    /// the shared [`naming`] conventions `trace_report --prom` also uses.
+    pub fn render_prometheus(&self) -> String {
+        let solves = self.solves();
+        let mut out = String::with_capacity(4096);
+
+        let mut totals = Counters::new();
+        for solve in &solves {
+            totals.merge(&solve.counters_snapshot());
+        }
+        naming::push_counter_header(&mut out);
+        for kind in CounterKind::ALL {
+            naming::push_counter(&mut out, kind.name(), totals.get(kind));
+        }
+
+        naming::push_hist_header(&mut out);
+        // Name order, matching trace_report's BTreeMap iteration.
+        let mut kinds = HistKind::ALL;
+        kinds.sort_unstable_by_key(|k| k.name());
+        for kind in kinds {
+            let mut merged = Histogram::new();
+            for solve in &solves {
+                merged.merge(&solve.hist_snapshot(kind));
+            }
+            if !merged.is_empty() {
+                naming::push_hist(&mut out, kind.name(), kind.unit(), &merged);
+            }
+        }
+
+        naming::push_progress_header(&mut out);
+        for solve in &solves {
+            let label = solve.label();
+            let fields: [(&str, u64); 5] = [
+                ("phase", solve.phase() as u64),
+                ("iteration", solve.iteration.load(Relaxed)),
+                ("regions", solve.regions.load(Relaxed)),
+                ("boundary_areas", solve.boundary.load(Relaxed)),
+                ("cancel_polls", solve.polls.load(Relaxed)),
+            ];
+            for (field, v) in fields {
+                naming::push_progress(&mut out, label, field, v);
+            }
+            for (field, bits) in [
+                ("current_h", solve.current_h.load(Relaxed)),
+                ("best_h", solve.best_h.load(Relaxed)),
+            ] {
+                let v = f64::from_bits(bits);
+                if v.is_finite() {
+                    naming::push_progress(&mut out, label, field, v);
+                }
+            }
+            naming::push_progress(&mut out, label, "elapsed_s", solve.elapsed_s());
+            match solve.deadline_remaining_ms.load(Relaxed) {
+                NO_DEADLINE => {}
+                ms => {
+                    naming::push_progress(&mut out, label, "deadline_remaining_s", ms as f64 / 1e3)
+                }
+            }
+            naming::push_progress(&mut out, label, "done", u64::from(solve.is_done()));
+        }
+
+        naming::push_stop_reason_header(&mut out);
+        for solve in &solves {
+            if let Some(reason) = *solve.stop_reason.lock().unwrap() {
+                naming::push_stop_reason(&mut out, solve.label(), reason);
+            }
+        }
+        out
+    }
+
+    /// The `/progress` body: one JSON object per registered solve, one per
+    /// line, registration order.
+    pub fn render_progress(&self) -> String {
+        let mut out = String::new();
+        for solve in self.solves() {
+            out.push_str(&solve.progress_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_round_trip_through_the_render() {
+        let reg = LiveRegistry::new();
+        let solve = reg.register("fact-n100-seed7");
+        solve.set_phase(SolvePhase::LocalSearch);
+        solve.set_iteration(42);
+        solve.set_regions(9);
+        solve.set_boundary(33);
+        solve.set_polls(100);
+        solve.set_objective(123.5, 120.25);
+        solve.set_deadline_remaining(Some(Duration::from_millis(2500)));
+
+        let prom = reg.render_prometheus();
+        assert!(
+            prom.contains("emp_solve_progress{solve=\"fact-n100-seed7\",field=\"iteration\"} 42"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("emp_solve_progress{solve=\"fact-n100-seed7\",field=\"regions\"} 9"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("emp_solve_progress{solve=\"fact-n100-seed7\",field=\"best_h\"} 120.25"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains(
+                "emp_solve_progress{solve=\"fact-n100-seed7\",field=\"deadline_remaining_s\"} 2.5"
+            ),
+            "{prom}"
+        );
+
+        let progress = reg.render_progress();
+        let line = progress.lines().next().unwrap();
+        assert!(line.contains("\"phase\":\"local_search\""), "{line}");
+        assert!(line.contains("\"iteration\":42"), "{line}");
+        assert!(line.contains("\"deadline_remaining_s\":2.5"), "{line}");
+        assert!(line.contains("\"stop_reason\":null"), "{line}");
+        assert!(line.contains("\"done\":false"), "{line}");
+    }
+
+    #[test]
+    fn counters_and_hists_mirror_totals() {
+        let reg = LiveRegistry::new();
+        let a = reg.register("a");
+        let b = reg.register("b");
+        let mut ca = Counters::new();
+        ca.add(CounterKind::TabuMovesApplied, 5);
+        ca.record_max(CounterKind::BoundaryAreasPeak, 10);
+        a.store_counters(&ca);
+        let mut cb = Counters::new();
+        cb.add(CounterKind::TabuMovesApplied, 3);
+        cb.record_max(CounterKind::BoundaryAreasPeak, 40);
+        b.store_counters(&cb);
+
+        let mut ha = Histograms::new();
+        ha.record(HistKind::TabuBoundary, 5);
+        ha.record(HistKind::TabuBoundary, 12);
+        a.store_hists(&ha);
+
+        let prom = reg.render_prometheus();
+        assert!(
+            prom.contains("emp_counter_total{counter=\"tabu_moves_applied\"} 8"),
+            "{prom}"
+        );
+        // Gauge counters take the max across solves, like a merge.
+        assert!(
+            prom.contains("emp_counter_total{counter=\"boundary_areas_peak\"} 40"),
+            "{prom}"
+        );
+        // Every counter kind appears, zero or not.
+        for kind in CounterKind::ALL {
+            assert!(
+                prom.contains(&format!("{{counter=\"{}\"}}", kind.name())),
+                "missing {}",
+                kind.name()
+            );
+        }
+        assert!(
+            prom.contains("emp_hist_count{hist=\"tabu_boundary_size\",unit=\"areas\"} 2"),
+            "{prom}"
+        );
+    }
+
+    #[test]
+    fn stop_reason_renders_once_set() {
+        let reg = LiveRegistry::new();
+        let solve = reg.register("s");
+        assert!(!reg.render_prometheus().contains("emp_solve_stop_reason{"));
+        solve.set_stop_reason("deadline_exceeded");
+        solve.mark_done();
+        let prom = reg.render_prometheus();
+        assert!(
+            prom.contains("emp_solve_stop_reason{solve=\"s\",reason=\"deadline_exceeded\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("emp_solve_progress{solve=\"s\",field=\"done\"} 1"),
+            "{prom}"
+        );
+        let progress = reg.render_progress();
+        assert!(
+            progress.contains("\"stop_reason\":\"deadline_exceeded\""),
+            "{progress}"
+        );
+    }
+
+    #[test]
+    fn store_is_idempotent_not_additive() {
+        let reg = LiveRegistry::new();
+        let solve = reg.register("s");
+        let mut c = Counters::new();
+        c.add(CounterKind::CancelPolls, 7);
+        solve.store_counters(&c);
+        solve.store_counters(&c);
+        assert_eq!(
+            solve.counters_snapshot().get(CounterKind::CancelPolls),
+            7,
+            "mirror stores totals, repeated flushes must not double-count"
+        );
+    }
+}

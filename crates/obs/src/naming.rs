@@ -1,0 +1,175 @@
+//! Shared Prometheus metric names and line rendering.
+//!
+//! Two producers emit Prometheus text format: the post-hoc `trace_report
+//! --prom` snapshot (aggregated from JSONL traces) and the live `/metrics`
+//! endpoint (rendered from [`LiveRegistry`](crate::LiveRegistry) atomics).
+//! Both MUST use identical metric names, label keys, and value rendering,
+//! so a dashboard built against one works against the other. This module is
+//! the single source of those conventions; `crates/bench/tests` diffs the
+//! two outputs for a common recording.
+
+use crate::hist::{bucket_upper, Histogram, HIST_BUCKETS};
+use std::fmt::Write as _;
+
+/// Counter totals: `emp_counter_total{counter="<name>"} <v>`.
+pub const COUNTER_TOTAL: &str = "emp_counter_total";
+/// Per-path span wall seconds: `emp_span_seconds_total{path="a;b"} <s>`.
+pub const SPAN_SECONDS_TOTAL: &str = "emp_span_seconds_total";
+/// Per-path span close counts: `emp_span_closes_total{path="a;b"} <n>`.
+pub const SPAN_CLOSES_TOTAL: &str = "emp_span_closes_total";
+/// Histogram family prefix: `emp_hist_bucket` / `emp_hist_sum` /
+/// `emp_hist_count` with `hist`/`unit` labels.
+pub const HIST_FAMILY: &str = "emp_hist";
+/// Per-solve progress gauge: `emp_solve_progress{solve="<l>",field="<f>"}`.
+pub const SOLVE_PROGRESS: &str = "emp_solve_progress";
+/// Per-solve stop-reason gauge:
+/// `emp_solve_stop_reason{solve="<l>",reason="<name>"} 1`.
+pub const SOLVE_STOP_REASON: &str = "emp_solve_stop_reason";
+
+/// Appends the `# TYPE` header for the counter family.
+pub fn push_counter_header(out: &mut String) {
+    let _ = writeln!(out, "# TYPE {COUNTER_TOTAL} counter");
+}
+
+/// Appends one counter total line.
+pub fn push_counter(out: &mut String, counter: &str, value: u64) {
+    let _ = writeln!(out, "{COUNTER_TOTAL}{{counter=\"{counter}\"}} {value}");
+}
+
+/// Appends the `# TYPE` headers for the span families.
+pub fn push_span_headers(out: &mut String) {
+    let _ = writeln!(out, "# TYPE {SPAN_SECONDS_TOTAL} counter");
+    let _ = writeln!(out, "# TYPE {SPAN_CLOSES_TOTAL} counter");
+}
+
+/// Appends the seconds + closes lines for one span path.
+pub fn push_span(out: &mut String, path: &str, total_s: f64, closes: u64) {
+    let _ = writeln!(out, "{SPAN_SECONDS_TOTAL}{{path=\"{path}\"}} {total_s}");
+    let _ = writeln!(out, "{SPAN_CLOSES_TOTAL}{{path=\"{path}\"}} {closes}");
+}
+
+/// Appends the `# TYPE` header for the histogram family.
+pub fn push_hist_header(out: &mut String) {
+    let _ = writeln!(out, "# TYPE {HIST_FAMILY} histogram");
+}
+
+/// Appends one histogram as a native Prometheus histogram: cumulative `le`
+/// buckets over the log-2 layout (only non-zero buckets, the mandatory
+/// `+Inf` line always present), then `_sum` and `_count`.
+pub fn push_hist(out: &mut String, name: &str, unit: &str, h: &Histogram) {
+    let mut cumulative = 0u64;
+    for i in 0..HIST_BUCKETS {
+        let c = h.bucket(i);
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        let le = if i == HIST_BUCKETS - 1 {
+            "+Inf".to_string()
+        } else {
+            bucket_upper(i).to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{HIST_FAMILY}_bucket{{hist=\"{name}\",unit=\"{unit}\",le=\"{le}\"}} {cumulative}"
+        );
+    }
+    if h.bucket(HIST_BUCKETS - 1) == 0 {
+        let _ = writeln!(
+            out,
+            "{HIST_FAMILY}_bucket{{hist=\"{name}\",unit=\"{unit}\",le=\"+Inf\"}} {cumulative}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{HIST_FAMILY}_sum{{hist=\"{name}\",unit=\"{unit}\"}} {}",
+        h.sum()
+    );
+    let _ = writeln!(
+        out,
+        "{HIST_FAMILY}_count{{hist=\"{name}\",unit=\"{unit}\"}} {}",
+        h.count()
+    );
+}
+
+/// Appends the `# TYPE` header for the per-solve progress gauge.
+pub fn push_progress_header(out: &mut String) {
+    let _ = writeln!(out, "# TYPE {SOLVE_PROGRESS} gauge");
+}
+
+/// Appends one per-solve progress gauge line.
+pub fn push_progress(out: &mut String, solve: &str, field: &str, value: impl std::fmt::Display) {
+    let _ = writeln!(
+        out,
+        "{SOLVE_PROGRESS}{{solve=\"{solve}\",field=\"{field}\"}} {value}"
+    );
+}
+
+/// Appends the `# TYPE` header for the stop-reason gauge.
+pub fn push_stop_reason_header(out: &mut String) {
+    let _ = writeln!(out, "# TYPE {SOLVE_STOP_REASON} gauge");
+}
+
+/// Appends the one-hot stop-reason line for a stopped solve.
+pub fn push_stop_reason(out: &mut String, solve: &str, reason: &str) {
+    let _ = writeln!(
+        out,
+        "{SOLVE_STOP_REASON}{{solve=\"{solve}\",reason=\"{reason}\"}} 1"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_span_line_shapes_are_pinned() {
+        let mut out = String::new();
+        push_counter_header(&mut out);
+        push_counter(&mut out, "tabu_moves_applied", 10);
+        push_span_headers(&mut out);
+        push_span(&mut out, "solve;tabu", 0.5, 2);
+        assert_eq!(
+            out,
+            "# TYPE emp_counter_total counter\n\
+             emp_counter_total{counter=\"tabu_moves_applied\"} 10\n\
+             # TYPE emp_span_seconds_total counter\n\
+             # TYPE emp_span_closes_total counter\n\
+             emp_span_seconds_total{path=\"solve;tabu\"} 0.5\n\
+             emp_span_closes_total{path=\"solve;tabu\"} 2\n"
+        );
+    }
+
+    #[test]
+    fn hist_rendering_is_cumulative_with_inf_line() {
+        let mut h = Histogram::new();
+        h.record(5); // bucket 3, upper 7
+        h.record(12); // bucket 4, upper 15
+        let mut out = String::new();
+        push_hist_header(&mut out);
+        push_hist(&mut out, "tabu_boundary_size", "areas", &h);
+        assert!(out.contains("le=\"7\"} 1"), "{out}");
+        assert!(out.contains("le=\"15\"} 2"), "{out}");
+        assert!(out.contains("le=\"+Inf\"} 2"), "{out}");
+        assert!(
+            out.contains("emp_hist_count{hist=\"tabu_boundary_size\",unit=\"areas\"} 2"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn gauge_line_shapes_are_pinned() {
+        let mut out = String::new();
+        push_progress_header(&mut out);
+        push_progress(&mut out, "fact-n1000-seed42", "iteration", 17u64);
+        push_stop_reason_header(&mut out);
+        push_stop_reason(&mut out, "fact-n1000-seed42", "deadline_exceeded");
+        assert_eq!(
+            out,
+            "# TYPE emp_solve_progress gauge\n\
+             emp_solve_progress{solve=\"fact-n1000-seed42\",field=\"iteration\"} 17\n\
+             # TYPE emp_solve_stop_reason gauge\n\
+             emp_solve_stop_reason{solve=\"fact-n1000-seed42\",reason=\"deadline_exceeded\"} 1\n"
+        );
+    }
+}

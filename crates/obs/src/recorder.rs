@@ -4,7 +4,9 @@
 
 use crate::counters::Counters;
 use crate::hist::Histograms;
+use crate::live::LiveSolve;
 use crate::sink::{Event, EventSink, NoopSink, SpanInfo};
+use std::sync::Arc;
 use std::time::Instant;
 
 #[cfg(feature = "alloc-track")]
@@ -90,6 +92,7 @@ pub struct Recorder {
     enabled: bool,
     stack: Vec<OpenSpan>,
     trajectory: TrajectorySummary,
+    live: Option<Arc<LiveSolve>>,
 }
 
 impl Default for Recorder {
@@ -119,6 +122,7 @@ impl Recorder {
             enabled,
             stack: Vec::new(),
             trajectory: TrajectorySummary::default(),
+            live: None,
         }
     }
 
@@ -311,6 +315,40 @@ impl Recorder {
         }
     }
 
+    /// Attaches a [`LiveSolve`] mirror: subsequent [`Recorder::live_flush`]
+    /// calls store the counter/histogram totals into it, and
+    /// [`Recorder::finish`] flushes once more so the mirrors end exact.
+    /// Performs an immediate flush so the registry never shows a stale
+    /// zero bundle for an attached solve.
+    pub fn attach_live(&mut self, live: Arc<LiveSolve>) {
+        live.store_counters(&self.counters);
+        live.store_hists(&self.hists);
+        self.live = Some(live);
+    }
+
+    /// Whether a live mirror is attached — the hot loop's cheap guard
+    /// before doing any flush bookkeeping.
+    #[inline]
+    pub fn has_live(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// The attached live mirror, for gauge updates (phase, iteration, ...).
+    #[inline]
+    pub fn live(&self) -> Option<&Arc<LiveSolve>> {
+        self.live.as_ref()
+    }
+
+    /// Stores the current counter and histogram totals into the attached
+    /// live mirror (no-op when none is attached). Called from batched
+    /// flush points, never per move.
+    pub fn live_flush(&self) {
+        if let Some(live) = &self.live {
+            live.store_counters(&self.counters);
+            live.store_hists(&self.hists);
+        }
+    }
+
     /// Finishes the trace: reports the histogram bundle (when the sink is
     /// enabled and anything was recorded), emits the terminal `trace_end`
     /// marker, and flushes the sink. Readers treat a JSONL trace without a
@@ -324,6 +362,7 @@ impl Recorder {
             self.sink.trace_end();
         }
         self.sink.flush();
+        self.live_flush();
     }
 }
 

@@ -1,0 +1,462 @@
+//! Fixed-capacity ring-buffer flight recorder: keeps the last `K` telemetry
+//! events with zero steady-state allocation, for post-mortem dumps when a
+//! solve dies on a deadline, a cancellation, or a panic.
+//!
+//! The ring stores compact fixed-size records (span/note names live in
+//! inline byte buffers, truncated past [`NAME_CAP`] bytes), so recording in
+//! the tabu hot loop never allocates once the ring is warm. The only
+//! exception is the rare [`Histograms`] bundle emitted at
+//! [`Recorder::finish`](crate::Recorder::finish), which is boxed.
+//!
+//! A dump ([`RingSink::dump_jsonl`]) is a *repaired* replayable JSONL tail:
+//! because the ring drops the oldest events, the surviving span closes may
+//! reference enclosing spans whose closes were overwritten (or never
+//! happened — the solve was cut mid-span). The dump appends synthetic
+//! `flight_truncated` closing spans that adopt every unparented span and a
+//! terminal `trace_end` marker, so `trace_report` ingests the tail with
+//! zero orphans and no truncation flag.
+
+use crate::counters::Counters;
+use crate::hist::Histograms;
+use crate::jsonl::JsonlWriter;
+use crate::sink::{replay, Event, EventSink, SpanInfo, SpanRecord};
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity for the `repro` / `bench_core` flight recorders.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// Inline capacity for span and note names; longer names are truncated at
+/// a char boundary (every solver span name is far shorter).
+pub const NAME_CAP: usize = 48;
+
+/// Name of the synthetic spans appended by the dump repair pass.
+pub const TRUNCATED_SPAN: &str = "flight_truncated";
+
+/// A fixed-capacity inline string (no heap).
+#[derive(Clone, Copy)]
+struct SmallStr {
+    len: u8,
+    buf: [u8; NAME_CAP],
+}
+
+impl SmallStr {
+    fn new(s: &str) -> SmallStr {
+        let mut end = s.len().min(NAME_CAP);
+        while end > 0 && !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        let mut buf = [0u8; NAME_CAP];
+        buf[..end].copy_from_slice(&s.as_bytes()[..end]);
+        SmallStr {
+            len: end as u8,
+            buf,
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf[..self.len as usize]).expect("built from &str")
+    }
+}
+
+/// One ring slot: a compact owned event.
+// Inline `Span` payloads keep the steady-state record path allocation-free;
+// boxing the large variant would trade one-time ring capacity for a heap
+// allocation on every recorded span.
+#[allow(clippy::large_enum_variant)]
+enum Slot {
+    Span {
+        name: SmallStr,
+        index: Option<u64>,
+        depth: usize,
+        wall_s: f64,
+        counters: Counters,
+        allocs: u64,
+        alloc_bytes: u64,
+    },
+    Trajectory {
+        iteration: u64,
+        heterogeneity: f64,
+    },
+    Note {
+        key: SmallStr,
+        value: f64,
+    },
+    Hist(Box<Histograms>),
+    TraceEnd,
+}
+
+impl Slot {
+    fn to_event(&self) -> Event {
+        match self {
+            Slot::Span {
+                name,
+                index,
+                depth,
+                wall_s,
+                counters,
+                allocs,
+                alloc_bytes,
+            } => Event::Span(Box::new(SpanRecord {
+                name: name.as_str().to_string(),
+                index: *index,
+                depth: *depth,
+                wall_s: *wall_s,
+                counters: *counters,
+                allocs: *allocs,
+                alloc_bytes: *alloc_bytes,
+            })),
+            Slot::Trajectory {
+                iteration,
+                heterogeneity,
+            } => Event::Trajectory {
+                iteration: *iteration,
+                heterogeneity: *heterogeneity,
+            },
+            Slot::Note { key, value } => Event::Note {
+                key: key.as_str().to_string(),
+                value: *value,
+            },
+            Slot::Hist(h) => Event::Hist(h.clone()),
+            Slot::TraceEnd => Event::TraceEnd,
+        }
+    }
+}
+
+struct RingBuffer {
+    cap: usize,
+    /// Pre-allocated to `cap`; pushes never grow past it.
+    slots: Vec<Slot>,
+    /// Next write position (== oldest slot once the ring wrapped).
+    next: usize,
+    /// Events ever written (so `total - len` is the overwritten count).
+    total: u64,
+}
+
+impl RingBuffer {
+    fn push(&mut self, slot: Slot) {
+        if self.slots.len() < self.cap {
+            self.slots.push(slot);
+        } else {
+            self.slots[self.next] = slot;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.total += 1;
+    }
+
+    /// Slots oldest-first.
+    fn chronological(&self) -> impl Iterator<Item = &Slot> {
+        let (wrapped, head) = if self.slots.len() < self.cap {
+            (&[][..], &self.slots[..])
+        } else {
+            self.slots.split_at(self.next)
+        };
+        head.iter().chain(wrapped.iter())
+    }
+}
+
+/// An [`EventSink`] recording into a shared fixed-capacity ring. Clones
+/// share the buffer, so one handle can live in a panic hook while another
+/// is attached to a recorder (possibly behind a
+/// [`TeeSink`](crate::TeeSink) next to a trace sink).
+#[derive(Clone)]
+pub struct RingSink {
+    buf: Arc<Mutex<RingBuffer>>,
+}
+
+impl std::fmt::Debug for RingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let buf = self.buf.lock().unwrap();
+        f.debug_struct("RingSink")
+            .field("cap", &buf.cap)
+            .field("len", &buf.slots.len())
+            .field("total", &buf.total)
+            .finish()
+    }
+}
+
+impl RingSink {
+    /// A ring holding the last `capacity` events (clamped to at least 1).
+    /// The full slot storage is allocated up front.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        RingSink {
+            buf: Arc::new(Mutex::new(RingBuffer {
+                cap,
+                slots: Vec::with_capacity(cap),
+                next: 0,
+                total: 0,
+            })),
+        }
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().slots.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events ever recorded (including overwritten ones).
+    pub fn total_events(&self) -> u64 {
+        self.buf.lock().unwrap().total
+    }
+
+    /// Events lost to overwrite-oldest.
+    pub fn dropped_events(&self) -> u64 {
+        let buf = self.buf.lock().unwrap();
+        buf.total - buf.slots.len() as u64
+    }
+
+    /// The surviving tail, oldest-first, as owned [`Event`]s — exactly the
+    /// last `min(total, capacity)` events recorded, unrepaired.
+    pub fn tail_events(&self) -> Vec<Event> {
+        let buf = self.buf.lock().unwrap();
+        buf.chronological().map(Slot::to_event).collect()
+    }
+
+    /// The repaired, replayable dump: a `flight_recorder_dropped` note when
+    /// events were overwritten, the surviving tail, synthetic
+    /// [`TRUNCATED_SPAN`] closes adopting every unparented span, and a
+    /// terminal `trace_end` — so `trace_report` ingests it with zero
+    /// orphans and no truncation flag.
+    pub fn dump_events(&self) -> Vec<Event> {
+        let dropped = self.dropped_events();
+        let tail = self.tail_events();
+        let mut out = Vec::with_capacity(tail.len() + 8);
+        if dropped > 0 {
+            out.push(Event::Note {
+                key: "flight_recorder_dropped".to_string(),
+                value: dropped as f64,
+            });
+        }
+        // Simulate the reader's pending stack over the tail: a close at
+        // depth d adopts trailing pending entries at depth d+1; depth-0
+        // closes finalize. Whatever is left needs synthetic parents.
+        let mut pending: Vec<usize> = Vec::new();
+        for event in &tail {
+            if let Event::Span(s) = event {
+                while pending.last().is_some_and(|&d| d == s.depth + 1) {
+                    pending.pop();
+                }
+                if s.depth > 0 {
+                    pending.push(s.depth);
+                }
+            }
+        }
+        let ends_complete = matches!(tail.last(), Some(Event::TraceEnd));
+        out.extend(tail);
+        while let Some(&deepest) = pending.last() {
+            let close_at = deepest - 1;
+            while pending.last().is_some_and(|&d| d == close_at + 1) {
+                pending.pop();
+            }
+            if close_at > 0 {
+                pending.push(close_at);
+            }
+            out.push(Event::Span(Box::new(SpanRecord {
+                name: TRUNCATED_SPAN.to_string(),
+                index: None,
+                depth: close_at,
+                wall_s: 0.0,
+                counters: Counters::new(),
+                allocs: 0,
+                alloc_bytes: 0,
+            })));
+        }
+        if !ends_complete || out.last().is_none_or(|e| !matches!(e, Event::TraceEnd)) {
+            out.push(Event::TraceEnd);
+        }
+        out
+    }
+
+    /// [`RingSink::dump_events`] rendered as JSONL text (the exact line
+    /// shapes `trace_report` ingests).
+    pub fn dump_jsonl(&self) -> String {
+        let mut writer = JsonlWriter::new(Vec::new());
+        replay(&self.dump_events(), &mut writer);
+        String::from_utf8(writer.into_inner()).expect("JSONL output is UTF-8")
+    }
+}
+
+impl EventSink for RingSink {
+    fn span_close(&mut self, span: &SpanInfo<'_>) {
+        self.buf.lock().unwrap().push(Slot::Span {
+            name: SmallStr::new(span.name),
+            index: span.index,
+            depth: span.depth,
+            wall_s: span.wall_s,
+            counters: *span.counters,
+            allocs: span.allocs,
+            alloc_bytes: span.alloc_bytes,
+        });
+    }
+
+    fn trajectory_point(&mut self, iteration: u64, heterogeneity: f64) {
+        self.buf.lock().unwrap().push(Slot::Trajectory {
+            iteration,
+            heterogeneity,
+        });
+    }
+
+    fn note(&mut self, key: &str, value: f64) {
+        self.buf.lock().unwrap().push(Slot::Note {
+            key: SmallStr::new(key),
+            value,
+        });
+    }
+
+    fn histograms(&mut self, hists: &Histograms) {
+        self.buf
+            .lock()
+            .unwrap()
+            .push(Slot::Hist(Box::new(hists.clone())));
+    }
+
+    fn trace_end(&mut self) {
+        self.buf.lock().unwrap().push(Slot::TraceEnd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CounterKind;
+
+    fn span(name: &str, depth: usize) -> SpanInfo<'static> {
+        // Leak a counters bundle per test span; fine in tests.
+        let counters: &'static Counters = Box::leak(Box::new(Counters::new()));
+        SpanInfo {
+            name: Box::leak(name.to_string().into_boxed_str()),
+            index: None,
+            depth,
+            wall_s: 0.001,
+            counters,
+            allocs: 0,
+            alloc_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn keeps_last_k_events_across_wraparound() {
+        let mut ring = RingSink::new(3);
+        for i in 0..7u64 {
+            ring.trajectory_point(i, i as f64);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_events(), 7);
+        assert_eq!(ring.dropped_events(), 4);
+        let tail = ring.tail_events();
+        let iters: Vec<u64> = tail
+            .iter()
+            .map(|e| match e {
+                Event::Trajectory { iteration, .. } => *iteration,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(iters, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn dump_repairs_unparented_spans_and_terminates() {
+        let mut ring = RingSink::new(8);
+        // A tail cut mid-solve: deep closes whose roots never closed.
+        ring.span_close(&span("grow", 2));
+        ring.span_close(&span("adjust", 2));
+        ring.span_close(&span("construct_iter", 1));
+        ring.span_close(&span("resync", 2));
+        let dump = ring.dump_events();
+        assert!(matches!(dump.last(), Some(Event::TraceEnd)));
+        // Re-simulate the reader: nothing may be left unparented.
+        let mut pending: Vec<usize> = Vec::new();
+        for event in &dump {
+            if let Event::Span(s) = event {
+                while pending.last().is_some_and(|&d| d == s.depth + 1) {
+                    pending.pop();
+                }
+                if s.depth > 0 {
+                    pending.push(s.depth);
+                }
+            }
+        }
+        assert!(pending.is_empty(), "repair left orphans: {pending:?}");
+        let synthetic = dump
+            .iter()
+            .filter(|e| matches!(e, Event::Span(s) if s.name == TRUNCATED_SPAN))
+            .count();
+        // Needs a depth-1 close (adopting resync) and a depth-0 root.
+        assert_eq!(synthetic, 2);
+    }
+
+    #[test]
+    fn dump_notes_dropped_events() {
+        let mut ring = RingSink::new(2);
+        for i in 0..5u64 {
+            ring.trajectory_point(i, 0.0);
+        }
+        let dump = ring.dump_events();
+        match &dump[0] {
+            Event::Note { key, value } => {
+                assert_eq!(key, "flight_recorder_dropped");
+                assert_eq!(*value, 3.0);
+            }
+            other => panic!("expected dropped note, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complete_trace_dump_is_untouched() {
+        let mut ring = RingSink::new(8);
+        ring.span_close(&span("solve", 0));
+        ring.trace_end();
+        let dump = ring.dump_events();
+        assert_eq!(dump.len(), 2);
+        assert!(matches!(dump.last(), Some(Event::TraceEnd)));
+    }
+
+    #[test]
+    fn dump_jsonl_lines_parse_and_end_with_marker() {
+        let mut ring = RingSink::new(4);
+        let mut c = Counters::new();
+        c.inc(CounterKind::TabuMovesApplied);
+        ring.span_close(&SpanInfo {
+            name: "tabu",
+            index: None,
+            depth: 1,
+            wall_s: 0.5,
+            counters: &c,
+            allocs: 0,
+            alloc_bytes: 0,
+        });
+        ring.note("stop_reason", 1.0);
+        let text = ring.dump_jsonl();
+        let last = text.lines().last().unwrap();
+        assert_eq!(last, "{\"event\":\"trace_end\"}");
+        assert!(text.contains("\"name\":\"tabu\""), "{text}");
+        assert!(text.contains(TRUNCATED_SPAN), "{text}");
+    }
+
+    #[test]
+    fn long_names_truncate_at_char_boundary() {
+        let long = "x".repeat(NAME_CAP + 10);
+        let mut ring = RingSink::new(2);
+        ring.note(&long, 1.0);
+        match &ring.tail_events()[0] {
+            Event::Note { key, .. } => assert_eq!(key.len(), NAME_CAP),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Multi-byte boundary: 'é' is 2 bytes; a name of 'é's must not be
+        // cut mid-codepoint.
+        let accented = "é".repeat(NAME_CAP);
+        ring.note(&accented, 1.0);
+        match &ring.tail_events()[1] {
+            Event::Note { key, .. } => {
+                assert!(key.len() <= NAME_CAP);
+                assert!(key.chars().all(|ch| ch == 'é'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -366,10 +366,88 @@ impl EventSink for SharedSink {
     }
 }
 
+/// Forwards every event to two sinks — e.g. a JSONL trace *and* the
+/// flight recorder ring at once. `enabled` is the OR of the branches, so
+/// teeing a live sink onto a disabled one still records.
+pub struct TeeSink {
+    a: Box<dyn EventSink + Send>,
+    b: Box<dyn EventSink + Send>,
+}
+
+impl TeeSink {
+    /// Tees `a` and `b`.
+    pub fn new(a: Box<dyn EventSink + Send>, b: Box<dyn EventSink + Send>) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl std::fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TeeSink(..)")
+    }
+}
+
+impl EventSink for TeeSink {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn span_close(&mut self, span: &SpanInfo<'_>) {
+        self.a.span_close(span);
+        self.b.span_close(span);
+    }
+
+    fn trajectory_point(&mut self, iteration: u64, heterogeneity: f64) {
+        self.a.trajectory_point(iteration, heterogeneity);
+        self.b.trajectory_point(iteration, heterogeneity);
+    }
+
+    fn note(&mut self, key: &str, value: f64) {
+        self.a.note(key, value);
+        self.b.note(key, value);
+    }
+
+    fn histograms(&mut self, hists: &Histograms) {
+        self.a.histograms(hists);
+        self.b.histograms(hists);
+    }
+
+    fn trace_end(&mut self) {
+        self.a.trace_end();
+        self.b.trace_end();
+    }
+
+    fn flush(&mut self) {
+        self.a.flush();
+        self.b.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::counters::CounterKind;
+
+    #[test]
+    fn tee_forwards_to_both_branches() {
+        let left = InMemorySink::new();
+        let right = BufferSink::new();
+        let (lh, rh) = (left.handle(), right.handle());
+        let mut tee = TeeSink::new(Box::new(left), Box::new(right));
+        assert!(tee.enabled());
+        tee.trajectory_point(3, 7.5);
+        tee.trace_end();
+        assert_eq!(lh.lock().unwrap().trajectory, vec![(3, 7.5)]);
+        assert_eq!(rh.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn tee_with_one_live_branch_is_enabled() {
+        let tee = TeeSink::new(Box::new(NoopSink), Box::new(BufferSink::new()));
+        assert!(tee.enabled());
+        let tee = TeeSink::new(Box::new(NoopSink), Box::new(NoopSink));
+        assert!(!tee.enabled());
+    }
 
     #[test]
     fn in_memory_buffers_all_event_types() {

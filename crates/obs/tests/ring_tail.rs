@@ -1,0 +1,153 @@
+//! Property tests for the flight-recorder ring: against an unbounded
+//! reference recording, the ring's surviving tail must be *exactly* the
+//! last `K` events (overwrite-oldest, wraparound included), and the
+//! repaired dump must stay a well-formed replayable trace whatever prefix
+//! was lost.
+
+use emp_obs::ring::TRUNCATED_SPAN;
+use emp_obs::{replay, BufferSink, Counters, Event, EventSink, JsonlWriter, RingSink, SpanInfo};
+use proptest::prelude::*;
+
+const NAMES: [&str; 5] = ["solve", "tabu", "construct_iter", "grow", "adjust"];
+
+/// One sink call; a recorded stream is an arbitrary interleaving of these.
+#[derive(Clone, Debug)]
+enum Op {
+    Span { name: usize, depth: usize },
+    Trajectory { iteration: u64, milli_h: u32 },
+    Note { name: usize, value: i32 },
+    TraceEnd,
+}
+
+/// Weighted op mix: mostly span closes (the repair-relevant case), some
+/// trajectory points and notes, the occasional `trace_end`.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0u64..10,
+        0usize..NAMES.len(),
+        0usize..4,
+        0u32..1_000_000,
+        -1000i32..1000,
+    )
+        .prop_map(|(kind, name, depth, milli_h, value)| match kind {
+            0..=3 => Op::Span { name, depth },
+            4..=6 => Op::Trajectory {
+                iteration: u64::from(milli_h),
+                milli_h,
+            },
+            7..=8 => Op::Note { name, value },
+            _ => Op::TraceEnd,
+        })
+}
+
+/// Drives one op stream into any sink — the same call sequence the solver
+/// would make.
+fn apply(ops: &[Op], sink: &mut dyn EventSink) {
+    for op in ops {
+        match op {
+            Op::Span { name, depth } => {
+                let counters = Counters::new();
+                sink.span_close(&SpanInfo {
+                    name: NAMES[*name],
+                    index: None,
+                    depth: *depth,
+                    wall_s: 0.0,
+                    counters: &counters,
+                    allocs: 0,
+                    alloc_bytes: 0,
+                });
+            }
+            Op::Trajectory { iteration, milli_h } => {
+                sink.trajectory_point(*iteration, f64::from(*milli_h) / 1000.0);
+            }
+            Op::Note { name, value } => sink.note(NAMES[*name], f64::from(*value)),
+            Op::TraceEnd => sink.trace_end(),
+        }
+    }
+}
+
+/// Canonical byte rendering for event-sequence equality (the `Event` enum
+/// is compared through the JSONL lines `trace_report` actually reads).
+fn jsonl(events: &[Event]) -> String {
+    let mut writer = JsonlWriter::new(Vec::new());
+    replay(events, &mut writer);
+    String::from_utf8(writer.into_inner()).expect("utf8")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tail_is_exactly_the_last_k_reference_events(
+        ops in prop::collection::vec(op_strategy(), 0..120),
+        cap in 1usize..40,
+    ) {
+        let reference = BufferSink::new();
+        let handle = reference.handle();
+        let mut reference: Box<dyn EventSink + Send> = Box::new(reference);
+        apply(&ops, reference.as_mut());
+        let mut ring = RingSink::new(cap);
+        apply(&ops, &mut ring);
+
+        let all = handle.lock().expect("reference events").clone();
+        prop_assert_eq!(all.len(), ops.len(), "buffer records every op");
+        prop_assert_eq!(ring.total_events(), ops.len() as u64);
+        prop_assert_eq!(
+            ring.dropped_events(),
+            ops.len().saturating_sub(cap) as u64
+        );
+
+        let expected = &all[all.len() - all.len().min(cap)..];
+        prop_assert_eq!(jsonl(&ring.tail_events()), jsonl(expected));
+    }
+
+    #[test]
+    fn dump_is_repaired_terminated_and_preserves_the_tail(
+        ops in prop::collection::vec(op_strategy(), 0..120),
+        cap in 1usize..40,
+    ) {
+        let mut ring = RingSink::new(cap);
+        apply(&ops, &mut ring);
+        let tail = ring.tail_events();
+        let dump = ring.dump_events();
+
+        // Terminated, and truncation is advertised iff events were lost.
+        prop_assert!(matches!(dump.last(), Some(Event::TraceEnd)));
+        let dropped = ring.dropped_events();
+        match &dump[0] {
+            Event::Note { key, value } if key == "flight_recorder_dropped" => {
+                prop_assert!(dropped > 0);
+                prop_assert_eq!(*value, dropped as f64);
+            }
+            _ => prop_assert!(dropped == 0, "lost events must be advertised"),
+        }
+
+        // The surviving tail is embedded verbatim (the repair only wraps
+        // it; it never rewrites recorded events).
+        prop_assert!(jsonl(&dump).contains(&jsonl(&tail)));
+
+        // Replaying the reader's pending-stack rule over the dump leaves
+        // no orphans: every deep close finds a parent close later on.
+        let mut pending: Vec<usize> = Vec::new();
+        for event in &dump {
+            if let Event::Span(s) = event {
+                while pending.last().is_some_and(|&d| d == s.depth + 1) {
+                    pending.pop();
+                }
+                if s.depth > 0 {
+                    pending.push(s.depth);
+                }
+            }
+        }
+        prop_assert!(pending.is_empty(), "dump left orphan spans: {pending:?}");
+
+        // Synthetic closes only ever appear when something was truncated.
+        let synthetic = dump
+            .iter()
+            .any(|e| matches!(e, Event::Span(s) if s.name == TRUNCATED_SPAN));
+        let tail_has_deep_spans = tail
+            .iter()
+            .any(|e| matches!(e, Event::Span(s) if s.depth > 0));
+        prop_assert!(!synthetic || tail_has_deep_spans);
+    }
+}
